@@ -1,0 +1,248 @@
+// Extension benches beyond the paper's evaluation:
+//  A. Prediction quality vs hit ratio — how much of PerDNN's win depends on
+//     the mobility predictor (stationary lower bound, Markov, SVR, oracle
+//     upper bound).
+//  B. GPU-aware server selection — the paper's load-balancing claim: letting
+//     clients pick the best *visible* server (by GPU-aware plan latency)
+//     instead of blindly using their cell's server, in a dense hotspot.
+//  C. Failure injection — edge servers crash, losing caches and clients;
+//     how hit ratio and cold-start throughput degrade with failure rate.
+#include <algorithm>
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "datasets.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace perdnn;
+using namespace perdnn::bench;
+
+void predictor_quality() {
+  std::printf("\n--- A. hit ratio by mobility predictor (Inception, "
+              "KAIST-like, r=50) ---\n");
+  const DatasetPair data = kaist_like(20.0, 3.0 * 3600.0);
+
+  TextTable table({"predictor", "hit ratio %", "cold-window queries",
+                   "migrated GB"});
+  for (PredictorKind kind :
+       {PredictorKind::kStationary, PredictorKind::kMarkov,
+        PredictorKind::kSvr, PredictorKind::kOracle}) {
+    SimulationConfig config;
+    config.model = ModelName::kInception;
+    config.policy = MigrationPolicy::kProactive;
+    config.migration_radius_m = 50.0;
+    config.predictor = kind;
+    config.seed = 97;
+    const SimulationWorld world = build_world(config, data.train, data.test);
+    const SimulationMetrics metrics = run_simulation(config, world);
+    const char* label = kind == PredictorKind::kStationary ? "stationary"
+                        : kind == PredictorKind::kMarkov   ? "Markov"
+                        : kind == PredictorKind::kSvr      ? "SVR"
+                                                           : "oracle";
+    table.add_row({label, TextTable::num(metrics.hit_ratio() * 100.0, 1),
+                   TextTable::num(static_cast<long long>(
+                       metrics.cold_window_queries)),
+                   TextTable::num(
+                       bytes_to_mb(metrics.total_migrated_bytes) / 1024.0,
+                       1)});
+  }
+  std::printf("%s", table.to_string().c_str());
+}
+
+void server_selection() {
+  std::printf("\n--- B. server selection in a dense hotspot (ResNet, 40 "
+              "users on 600x600 m) ---\n");
+  CampusTraceConfig trace_config;
+  trace_config.area = {0.0, 0.0, 600.0, 600.0};
+  trace_config.num_users = 40;
+  trace_config.num_buildings = 6;
+  trace_config.duration = 1.5 * 3600.0;
+  trace_config.sample_interval = 20.0;
+  trace_config.seed = 55;
+  const auto train = generate_campus_traces(trace_config);
+  trace_config.seed = 66;
+  const auto test = generate_campus_traces(trace_config);
+
+  SimulationConfig config;
+  config.model = ModelName::kResNet;
+  config.policy = MigrationPolicy::kProactive;
+  config.migration_radius_m = 100.0;
+  config.seed = 97;
+  const SimulationWorld world = build_world(config, train, test);
+
+  TextTable table({"selection", "server changes", "hit ratio %",
+                   "cold-window queries", "queries per window"});
+  for (ServerSelection selection :
+       {ServerSelection::kCurrentCell, ServerSelection::kBestVisible}) {
+    SimulationConfig run = config;
+    run.selection = selection;
+    run.visibility_radius_m = 120.0;
+    const SimulationMetrics metrics = run_simulation(run, world);
+    table.add_row(
+        {selection == ServerSelection::kCurrentCell
+             ? "current cell"
+             : "best visible (GPU-aware)",
+         TextTable::num(static_cast<long long>(metrics.server_changes)),
+         TextTable::num(metrics.hit_ratio() * 100.0, 1),
+         TextTable::num(static_cast<long long>(metrics.cold_window_queries)),
+         TextTable::num(static_cast<double>(metrics.cold_window_queries) /
+                            std::max(1, metrics.server_changes),
+                        1)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("(GPU-aware selection with hysteresis suppresses boundary "
+              "flapping — far fewer cold\n starts — and steers clients off "
+              "crowded cells, the load balancing of Section 3.C;\n the "
+              "trade-off is a lower hit ratio, since migrations target the "
+              "predicted cell's\n neighbourhood while selection may pick a "
+              "less-loaded server outside it)\n");
+}
+
+void failure_injection() {
+  std::printf("\n--- C. edge-server failures (Inception, KAIST-like, "
+              "r=100) ---\n");
+  const DatasetPair data = kaist_like(20.0, 3.0 * 3600.0);
+  SimulationConfig config;
+  config.model = ModelName::kInception;
+  config.policy = MigrationPolicy::kProactive;
+  config.migration_radius_m = 100.0;
+  config.seed = 97;
+  const SimulationWorld world = build_world(config, data.train, data.test);
+
+  TextTable table({"failure rate /srv/interval", "crashes", "evictions",
+                   "hit ratio %", "cold-window queries"});
+  for (double rate : {0.0, 0.001, 0.005, 0.02}) {
+    SimulationConfig run = config;
+    run.server_failure_rate = rate;
+    run.server_downtime_intervals = 5;
+    const SimulationMetrics metrics = run_simulation(run, world);
+    table.add_row({TextTable::num(rate, 3),
+                   TextTable::num(static_cast<long long>(
+                       metrics.server_failures)),
+                   TextTable::num(static_cast<long long>(
+                       metrics.failure_evictions)),
+                   TextTable::num(metrics.hit_ratio() * 100.0, 1),
+                   TextTable::num(static_cast<long long>(
+                       metrics.cold_window_queries))});
+  }
+  std::printf("%s", table.to_string().c_str());
+}
+
+
+void routing_fallback() {
+  std::printf("\n--- D. routing fallback: bridge cold starts through the "
+              "previous server (ResNet, KAIST-like) ---\n");
+  const DatasetPair data = kaist_like(20.0, 3.0 * 3600.0);
+  SimulationConfig config;
+  config.model = ModelName::kResNet;
+  config.migration_radius_m = 50.0;
+  config.seed = 97;
+  const SimulationWorld world = build_world(config, data.train, data.test);
+
+  struct Row {
+    const char* label;
+    MigrationPolicy policy;
+    bool routing;
+  };
+  TextTable table({"configuration", "cold-window queries", "routed queries",
+                   "hit ratio %"});
+  for (const Row row : {Row{"IONN", MigrationPolicy::kNone, false},
+                        Row{"IONN + routing", MigrationPolicy::kNone, true},
+                        Row{"PerDNN", MigrationPolicy::kProactive, false},
+                        Row{"PerDNN + routing", MigrationPolicy::kProactive,
+                            true}}) {
+    SimulationConfig run = config;
+    run.policy = row.policy;
+    run.routing_fallback = row.routing;
+    const SimulationMetrics metrics = run_simulation(run, world);
+    table.add_row({row.label,
+                   TextTable::num(static_cast<long long>(
+                       metrics.cold_window_queries)),
+                   TextTable::num(static_cast<long long>(
+                       metrics.routed_queries)),
+                   TextTable::num(metrics.hit_ratio() * 100.0, 1)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("(the paper's 'alternative (2)': routing patches misses at "
+              "the cost of steady backhaul\n usage; proactive migration "
+              "still wins, and the two compose)\n");
+}
+
+
+void ttl_sweep() {
+  std::printf("\n--- E. cache TTL sweep (Inception, KAIST-like, r=100; "
+              "paper fixes TTL=5) ---\n");
+  const DatasetPair data = kaist_like(20.0, 3.0 * 3600.0);
+  SimulationConfig config;
+  config.model = ModelName::kInception;
+  config.policy = MigrationPolicy::kProactive;
+  config.migration_radius_m = 100.0;
+  config.seed = 97;
+  const SimulationWorld world = build_world(config, data.train, data.test);
+
+  TextTable table({"TTL (intervals)", "hit ratio %", "cold-window queries",
+                   "migrated GB"});
+  for (int ttl : {1, 2, 5, 10, 20}) {
+    SimulationConfig run = config;
+    run.ttl_intervals = ttl;
+    const SimulationMetrics metrics = run_simulation(run, world);
+    table.add_row({TextTable::num(static_cast<long long>(ttl)),
+                   TextTable::num(metrics.hit_ratio() * 100.0, 1),
+                   TextTable::num(static_cast<long long>(
+                       metrics.cold_window_queries)),
+                   TextTable::num(
+                       bytes_to_mb(metrics.total_migrated_bytes) / 1024.0,
+                       1)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("(short TTLs evict layers before the user arrives and force "
+              "re-sends; long TTLs cost\n only server storage in this "
+              "model — the paper's TTL=5 sits on the plateau)\n");
+}
+
+void bandwidth_jitter() {
+  std::printf("\n--- F. wireless variability (Inception, KAIST-like, "
+              "lognormal link factor per attachment) ---\n");
+  const DatasetPair data = kaist_like(20.0, 3.0 * 3600.0);
+  SimulationConfig config;
+  config.model = ModelName::kInception;
+  config.policy = MigrationPolicy::kProactive;
+  config.migration_radius_m = 100.0;
+  config.seed = 97;
+  const SimulationWorld world = build_world(config, data.train, data.test);
+
+  TextTable table({"sigma", "cold-window queries", "vs stable %"});
+  long long baseline = 0;
+  for (double sigma : {0.0, 0.25, 0.5, 0.75}) {
+    SimulationConfig run = config;
+    run.bandwidth_jitter_sigma = sigma;
+    const SimulationMetrics metrics = run_simulation(run, world);
+    if (sigma == 0.0) baseline = metrics.cold_window_queries;
+    table.add_row(
+        {TextTable::num(sigma, 2),
+         TextTable::num(static_cast<long long>(metrics.cold_window_queries)),
+         TextTable::num(100.0 * metrics.cold_window_queries /
+                            static_cast<double>(baseline),
+                        1)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("(plans are made against nominal rates while execution sees "
+              "the drawn ones; hit-heavy\n workloads are insensitive — "
+              "only the miss-path uploads stretch)\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Extensions: prediction quality, GPU-aware server "
+              "selection, failure injection ===\n");
+  predictor_quality();
+  server_selection();
+  failure_injection();
+  routing_fallback();
+  ttl_sweep();
+  bandwidth_jitter();
+  return 0;
+}

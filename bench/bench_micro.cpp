@@ -1,0 +1,101 @@
+// Google-benchmark microbenchmarks for the hot algorithmic paths: the
+// partitioning DP (runs per query in the simulator), upload-order planning
+// (runs per server change), min-cut, and the mobility predictors.
+#include <benchmark/benchmark.h>
+
+#include "core/perdnn.hpp"
+#include "mobility/predictor.hpp"
+#include "mobility/trace_gen.hpp"
+
+namespace {
+
+using namespace perdnn;
+
+struct PartitionFixture {
+  DnnModel model;
+  DnnProfile client;
+  PartitionContext context;
+  PartitionPlan plan;
+
+  explicit PartitionFixture(ModelName name) : model(build_model(name)) {
+    client = profile_on_client(model, odroid_xu4_profile());
+    const DnnProfile server = profile_on_client(model, titan_xp_profile());
+    context.model = &model;
+    context.client_profile = &client;
+    context.server_time = server.client_time;
+    plan = compute_best_plan(context);
+  }
+};
+
+PartitionFixture& fixture(ModelName name) {
+  static PartitionFixture mobilenet(ModelName::kMobileNet);
+  static PartitionFixture inception(ModelName::kInception);
+  static PartitionFixture resnet(ModelName::kResNet);
+  switch (name) {
+    case ModelName::kMobileNet: return mobilenet;
+    case ModelName::kInception: return inception;
+    default: return resnet;
+  }
+}
+
+void BM_ShortestPathPlan(benchmark::State& state) {
+  PartitionFixture& f = fixture(static_cast<ModelName>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(compute_best_plan(f.context));
+  state.SetLabel(f.model.name());
+}
+BENCHMARK(BM_ShortestPathPlan)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_PlanLatencyMasked(benchmark::State& state) {
+  PartitionFixture& f = fixture(static_cast<ModelName>(state.range(0)));
+  std::vector<bool> mask(static_cast<std::size_t>(f.model.num_layers()));
+  for (std::size_t i = 0; i < mask.size(); ++i) mask[i] = i % 2 == 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(plan_latency(f.context, mask));
+  state.SetLabel(f.model.name());
+}
+BENCHMARK(BM_PlanLatencyMasked)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_MinCutPlan(benchmark::State& state) {
+  PartitionFixture& f = fixture(static_cast<ModelName>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(compute_mincut_plan(f.context));
+  state.SetLabel(f.model.name());
+}
+BENCHMARK(BM_MinCutPlan)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_UploadOrder(benchmark::State& state) {
+  PartitionFixture& f = fixture(ModelName::kInception);
+  const UploadPlannerConfig config{
+      state.range(0) == 0 ? UploadEnumeration::kExact
+                          : UploadEnumeration::kAnchored};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(plan_upload_order(f.context, f.plan, config));
+  state.SetLabel(state.range(0) == 0 ? "exact" : "anchored");
+}
+BENCHMARK(BM_UploadOrder)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_SvrPredict(benchmark::State& state) {
+  CampusTraceConfig config;
+  config.num_users = 10;
+  config.duration = 3600.0;
+  const auto traces = generate_campus_traces(config);
+  SvrPredictor predictor(5);
+  Rng rng(3);
+  predictor.fit(traces, rng);
+  const auto& points = traces.front().points;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        predictor.predict(std::span<const Point>(points.data(), 10)));
+}
+BENCHMARK(BM_SvrPredict);
+
+void BM_LiveCutBytes(benchmark::State& state) {
+  PartitionFixture& f = fixture(ModelName::kInception);
+  for (auto _ : state) benchmark::DoNotOptimize(live_cut_bytes(f.model));
+}
+BENCHMARK(BM_LiveCutBytes);
+
+}  // namespace
+
+BENCHMARK_MAIN();

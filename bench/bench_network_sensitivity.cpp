@@ -1,0 +1,59 @@
+// Network sensitivity (NeuroSurgeon-style sweep): how the partitioning plan
+// and its latency respond to the wireless uplink rate — the "runtime network
+// speed" input of the paper's partitioner. At low bandwidth everything stays
+// on the device; as bandwidth grows the cut slides toward the input until
+// the whole model offloads; the crossover differs per model shape.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/perdnn.hpp"
+
+int main() {
+  using namespace perdnn;
+  std::printf("=== Network sensitivity: plan vs uplink bandwidth "
+              "(uncontended server) ===\n");
+
+  const DnnModel models[] = {build_mobilenet_v1(), build_inception21k(),
+                             build_resnet50(), build_vgg16()};
+  for (const DnnModel& model : models) {
+    const DnnProfile client = profile_on_client(model, odroid_xu4_profile());
+    const DnnProfile server = profile_on_client(model, titan_xp_profile());
+    std::printf("\n--- %s (local %.3f s) ---\n", model.name().c_str(),
+                total_client_time(client));
+    TextTable table({"uplink Mbps", "plan latency s", "speedup",
+                     "server layers", "query bytes up (KB)"});
+    for (double mbps : {0.5, 1.0, 2.0, 5.0, 10.0, 35.0, 100.0, 500.0}) {
+      PartitionContext context;
+      context.model = &model;
+      context.client_profile = &client;
+      context.server_time = server.client_time;
+      context.net.uplink_bytes_per_sec = mbps_to_bytes_per_sec(mbps);
+      context.net.downlink_bytes_per_sec =
+          mbps_to_bytes_per_sec(mbps * 50.0 / 35.0);
+      const PartitionPlan plan = compute_best_plan(context);
+
+      // Bytes the query actually ships uplink under this plan: the live set
+      // at the first client->server crossing (0 if fully local).
+      const std::vector<Bytes> live = live_cut_bytes(model);
+      Bytes query_up = 0;
+      ExecLocation at = ExecLocation::kClient;
+      for (std::size_t i = 1; i < plan.location.size(); ++i) {
+        if (plan.location[i] != at) {
+          if (plan.location[i] == ExecLocation::kServer)
+            query_up += live[i - 1];
+          at = plan.location[i];
+        }
+      }
+      table.add_row(
+          {TextTable::num(mbps, 1), TextTable::num(plan.latency, 3),
+           TextTable::num(total_client_time(client) / plan.latency, 1) + "x",
+           TextTable::num(static_cast<long long>(plan.num_server_layers())),
+           TextTable::num(static_cast<double>(query_up) / 1024.0, 0)});
+    }
+    std::printf("%s", table.to_string().c_str());
+  }
+  std::printf("\n(low bandwidth pins execution to the device; the crossover "
+              "point depends on the\n model's compute density vs its "
+              "activation sizes)\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Shared dataset definitions for the benchmark harness, so every bench that
+// references "KAIST" or "Geolife" sees the same synthetic worlds.
+//
+// KAIST-like: 31 replayed campus pedestrians (plus a disjoint training
+// cohort), 1.5 x 2 km, ~0.5 m/s. Geolife-like: 138 replayed urban users,
+// 7.2 x 5.6 km, ~3.9 m/s, generated at Geolife's dense 5 s sampling and
+// resampled to the simulation interval t.
+#pragma once
+
+#include "mobility/trace_gen.hpp"
+
+namespace perdnn::bench {
+
+struct DatasetPair {
+  std::vector<Trajectory> train;
+  std::vector<Trajectory> test;
+  const char* name;
+};
+
+inline DatasetPair kaist_like(Seconds interval = 20.0,
+                              Seconds duration = 6.0 * 3600.0) {
+  CampusTraceConfig train_config;
+  train_config.num_users = 31;
+  train_config.sample_interval = interval;
+  train_config.duration = duration;
+  train_config.seed = 1001;
+  CampusTraceConfig test_config = train_config;
+  test_config.seed = 2002;
+  return {generate_campus_traces(train_config),
+          generate_campus_traces(test_config), "KAIST"};
+}
+
+/// Geolife-like traces at the dense base rate (5 s); resample with
+/// Trajectory::resampled(stride) for coarser time intervals.
+inline DatasetPair geolife_like_base(Seconds duration = 2.0 * 3600.0) {
+  UrbanTraceConfig train_config;
+  train_config.num_users = 138;
+  train_config.duration = duration;
+  train_config.seed = 3003;
+  UrbanTraceConfig test_config = train_config;
+  test_config.seed = 4004;
+  return {generate_urban_traces(train_config),
+          generate_urban_traces(test_config), "Geolife"};
+}
+
+inline std::vector<Trajectory> resample_all(
+    const std::vector<Trajectory>& traces, int stride) {
+  std::vector<Trajectory> out;
+  out.reserve(traces.size());
+  for (const auto& t : traces) out.push_back(t.resampled(stride));
+  return out;
+}
+
+inline DatasetPair geolife_like(Seconds interval = 20.0,
+                                Seconds duration = 2.0 * 3600.0) {
+  DatasetPair base = geolife_like_base(duration);
+  const int stride = static_cast<int>(interval / 5.0);
+  return {resample_all(base.train, stride), resample_all(base.test, stride),
+          "Geolife"};
+}
+
+}  // namespace perdnn::bench

@@ -1,0 +1,83 @@
+// Mobile cognitive assistance (the paper's motivating application, after
+// Ha et al.): smart glasses continuously recognise objects for a visually
+// impaired user with ResNet-50, issuing a query 0.5 s after the previous
+// answer. The user walks from the coverage of one edge server into another;
+// we compare the session with and without PerDNN's proactive migration and
+// report the metric a user feels: recognition answers that arrive too late.
+#include <cstdio>
+
+#include "core/perdnn.hpp"
+
+namespace {
+
+using namespace perdnn;
+
+/// Answers slower than this feel broken in a guidance app (object already
+/// passed by). Purely for reporting; pick what your app tolerates.
+constexpr Seconds kDeadline = 0.6;
+
+struct SessionStats {
+  int total = 0;
+  int late = 0;
+  Seconds worst = 0.0;
+};
+
+SessionStats walk_through(const OffloadingSession& session,
+                          const UploadSchedule& schedule,
+                          Bytes migrated_ahead, int queries_per_server) {
+  ReplayConfig config;
+  config.max_queries = queries_per_server;
+  SessionStats stats;
+  // Two server visits: the first is always cold (the user appeared from
+  // nowhere); at the second, `migrated_ahead` bytes arrived ahead of them.
+  for (const Bytes initial : {Bytes{0}, migrated_ahead}) {
+    const ReplayResult result = session.replay(schedule, initial, config);
+    for (const QueryRecord& q : result.queries) {
+      ++stats.total;
+      if (q.latency > kDeadline) ++stats.late;
+      stats.worst = std::max(stats.worst, q.latency);
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("mobile cognitive assistance: ResNet-50 object recognition on "
+              "smart glasses,\nwalking between two edge servers\n\n");
+
+  OffloadingSession::Options options;
+  options.model = ModelName::kResNet;
+  options.profiling.max_clients = 4;
+  options.profiling.samples_per_level = 3;
+  OffloadingSession session(options);
+  const PartitionPlan plan = session.best_plan();
+  const UploadSchedule schedule =
+      session.upload_schedule(plan, UploadEnumeration::kAnchored);
+
+  std::printf("on-device recognition latency: %.2f s (unusable for guidance)\n",
+              session.local_latency());
+  std::printf("offloaded latency at an idle server: %.2f s\n\n", plan.latency);
+
+  struct Scenario {
+    const char* label;
+    Bytes migrated;
+  };
+  const Scenario scenarios[] = {
+      {"IONN: nothing migrated ahead", 0},
+      {"PerDNN, fractional (32 MB ahead)", mb_to_bytes(32.0)},
+      {"PerDNN, full proactive migration", schedule.total_bytes()},
+  };
+  std::printf("%-36s %8s %10s %12s\n", "scenario", "answers",
+              "late (>0.6s)", "worst (s)");
+  for (const Scenario& s : scenarios) {
+    const SessionStats stats = walk_through(session, schedule, s.migrated, 30);
+    std::printf("%-36s %8d %10d %12.2f\n", s.label, stats.total, stats.late,
+                stats.worst);
+  }
+  std::printf("\nthe first server visit is cold in every scenario; proactive "
+              "migration removes\nthe second spike, which is the one users "
+              "hit every time they cross a cell edge\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Always-on invariant checking. Simulation bugs must fail loudly, not warp
+// results silently, so these checks stay enabled in release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace perdnn::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "PERDNN_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace perdnn::detail
+
+/// Checks a simulation/library invariant; throws std::logic_error on failure.
+#define PERDNN_CHECK(expr)                                                  \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::perdnn::detail::check_failed(#expr, __FILE__, __LINE__, "");        \
+  } while (0)
+
+/// Like PERDNN_CHECK but with a streamed message, e.g.
+/// PERDNN_CHECK_MSG(x > 0, "x=" << x).
+#define PERDNN_CHECK_MSG(expr, msg)                                         \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::ostringstream os_;                                               \
+      os_ << msg;                                                           \
+      ::perdnn::detail::check_failed(#expr, __FILE__, __LINE__, os_.str()); \
+    }                                                                       \
+  } while (0)

@@ -1,0 +1,177 @@
+#include "common/matrix.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace perdnn {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    PERDNN_CHECK(row.size() == cols_);
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  PERDNN_CHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  PERDNN_CHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+const double* Matrix::row_data(std::size_t r) const {
+  PERDNN_CHECK(r < rows_);
+  return data_.data() + r * cols_;
+}
+
+double* Matrix::row_data(std::size_t r) {
+  PERDNN_CHECK(r < rows_);
+  return data_.data() + r * cols_;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  return out;
+}
+
+Matrix Matrix::matmul(const Matrix& other) const {
+  PERDNN_CHECK(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      const double* orow = other.row_data(k);
+      double* out_row = out.row_data(r);
+      for (std::size_t c = 0; c < other.cols_; ++c) out_row[c] += a * orow[c];
+    }
+  }
+  return out;
+}
+
+Vector Matrix::matvec(const Vector& v) const {
+  PERDNN_CHECK(v.size() == cols_);
+  Vector out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = row_data(r);
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Vector Matrix::transposed_matvec(const Vector& v) const {
+  PERDNN_CHECK(v.size() == rows_);
+  Vector out(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = row_data(r);
+    const double s = v[r];
+    if (s == 0.0) continue;
+    for (std::size_t c = 0; c < cols_; ++c) out[c] += row[c] * s;
+  }
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  PERDNN_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  PERDNN_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (double& x : data_) x *= scalar;
+  return *this;
+}
+
+Vector cholesky_solve(const Matrix& a, const Vector& b, double ridge) {
+  PERDNN_CHECK(a.rows() == a.cols());
+  PERDNN_CHECK(b.size() == a.rows());
+  PERDNN_CHECK(ridge >= 0.0);
+  const std::size_t n = a.rows();
+
+  // Lower-triangular Cholesky factor of (A + ridge*I).
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j) + (i == j ? ridge : 0.0);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        PERDNN_CHECK_MSG(sum > 0.0, "matrix not positive definite at row " << i);
+        l(i, i) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+
+  // Forward substitution: L y = b.
+  Vector y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l(i, k) * y[k];
+    y[i] = sum / l(i, i);
+  }
+  // Back substitution: L^T x = y.
+  Vector x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= l(k, ii) * x[k];
+    x[ii] = sum / l(ii, ii);
+  }
+  return x;
+}
+
+Vector vec_add(const Vector& a, const Vector& b) {
+  PERDNN_CHECK(a.size() == b.size());
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vector vec_sub(const Vector& a, const Vector& b) {
+  PERDNN_CHECK(a.size() == b.size());
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vector vec_mul(const Vector& a, const Vector& b) {
+  PERDNN_CHECK(a.size() == b.size());
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+Vector vec_scale(const Vector& a, double s) {
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  PERDNN_CHECK(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace perdnn

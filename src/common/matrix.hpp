@@ -1,0 +1,68 @@
+// Dense row-major matrix/vector math for the from-scratch ML stack
+// (ridge regression normal equations, SVR feature algebra, LSTM forward and
+// backward passes). Deliberately small: only the operations the ML modules
+// need, with invariant checks on every shape.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace perdnn {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  /// Builds from nested initializer lists; all rows must be equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  /// Row view as a span-like pointer pair (row-major storage).
+  const double* row_data(std::size_t r) const;
+  double* row_data(std::size_t r);
+
+  Matrix transposed() const;
+
+  /// this * other.
+  Matrix matmul(const Matrix& other) const;
+  /// this * v.
+  Vector matvec(const Vector& v) const;
+  /// transpose(this) * v — avoids materialising the transpose.
+  Vector transposed_matvec(const Vector& v) const;
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar);
+
+  /// All entries, row-major.
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves (A + ridge*I) x = b for symmetric positive definite A via Cholesky.
+/// Used for ridge-regression normal equations. Throws if A is not SPD even
+/// after the ridge term.
+Vector cholesky_solve(const Matrix& a, const Vector& b, double ridge = 0.0);
+
+/// Elementwise vector helpers used by the LSTM.
+Vector vec_add(const Vector& a, const Vector& b);
+Vector vec_sub(const Vector& a, const Vector& b);
+Vector vec_mul(const Vector& a, const Vector& b);
+Vector vec_scale(const Vector& a, double s);
+double dot(const Vector& a, const Vector& b);
+
+}  // namespace perdnn

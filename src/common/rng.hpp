@@ -1,0 +1,73 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the reproduction (trace generators, GPU
+// contention noise, ML training shuffles, bootstrap sampling) draws from an
+// explicitly seeded Rng so experiments are reproducible bit-for-bit. We use
+// xoshiro256** seeded via splitmix64, the standard pairing recommended by the
+// xoshiro authors; std::mt19937 would also work but is slower and its
+// distributions are not portable across standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace perdnn {
+
+/// splitmix64 step; used for seeding and for cheap stateless hashing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** PRNG with convenience distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Raw 64-bit draw (UniformRandomBitGenerator interface).
+  std::uint64_t operator()();
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Standard normal via Box-Muller (cached second value).
+  double normal();
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+  /// Bernoulli draw.
+  bool bernoulli(double p);
+  /// Exponential with the given mean (not rate).
+  double exponential(double mean);
+  /// Index into [0, n) — for picking elements.
+  std::size_t index(std::size_t n);
+  /// Categorical draw from unnormalised non-negative weights.
+  std::size_t categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = index(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator; used to give each simulation
+  /// component its own stream so adding draws in one place does not perturb
+  /// another.
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace perdnn

@@ -1,0 +1,89 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace perdnn {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double total = 0.0;
+  for (double x : xs) total += x;
+  return total / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double total = 0.0;
+  for (double x : xs) total += (x - m) * (x - m);
+  return total / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double mean_absolute_error(std::span<const double> predicted,
+                           std::span<const double> actual) {
+  PERDNN_CHECK(predicted.size() == actual.size());
+  if (predicted.empty()) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i)
+    total += std::abs(predicted[i] - actual[i]);
+  return total / static_cast<double>(predicted.size());
+}
+
+double root_mean_squared_error(std::span<const double> predicted,
+                               std::span<const double> actual) {
+  PERDNN_CHECK(predicted.size() == actual.size());
+  if (predicted.empty()) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double d = predicted[i] - actual[i];
+    total += d * d;
+  }
+  return std::sqrt(total / static_cast<double>(predicted.size()));
+}
+
+double percentile(std::span<const double> xs, double p) {
+  PERDNN_CHECK(p >= 0.0 && p <= 100.0);
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double max_value(std::span<const double> xs) {
+  double best = -std::numeric_limits<double>::infinity();
+  for (double x : xs) best = std::max(best, x);
+  return best;
+}
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace perdnn

@@ -1,0 +1,56 @@
+// Small statistics helpers used by estimator evaluation (MAE), the
+// simulator's metric collection, and the benches' reporting.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace perdnn {
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Population variance; 0 for fewer than two samples.
+double variance(std::span<const double> xs);
+
+/// Population standard deviation.
+double stddev(std::span<const double> xs);
+
+/// Mean absolute error between predictions and targets (equal length).
+double mean_absolute_error(std::span<const double> predicted,
+                           std::span<const double> actual);
+
+/// Root mean squared error between predictions and targets (equal length).
+double root_mean_squared_error(std::span<const double> predicted,
+                               std::span<const double> actual);
+
+/// p-th percentile (0..100) via linear interpolation on a copy of the data.
+double percentile(std::span<const double> xs, double p);
+
+/// Maximum; -inf for an empty span.
+double max_value(std::span<const double> xs);
+
+/// Streaming mean/variance/min/max (Welford). Used for per-interval traffic
+/// accounting where storing every sample would be wasteful.
+class OnlineStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace perdnn

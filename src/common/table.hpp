@@ -1,0 +1,31 @@
+// ASCII table rendering for the benchmark harness. Each bench reproduces a
+// paper table/figure and prints it in the same row/column layout; this
+// helper keeps the formatting consistent across benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace perdnn {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats a double with the given precision.
+  static std::string num(double value, int precision = 2);
+  /// Convenience: integer cell.
+  static std::string num(long long value);
+
+  /// Renders with column-aligned padding and +---+ separators.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace perdnn

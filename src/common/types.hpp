@@ -1,0 +1,56 @@
+// Fundamental identifier and unit types shared across all PerDNN modules.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace perdnn {
+
+/// Identifier of an edge server (index into the simulation's server table).
+using ServerId = std::int32_t;
+/// Identifier of a mobile client.
+using ClientId = std::int32_t;
+/// Index of a DNN layer within a model (topological position).
+using LayerId = std::int32_t;
+
+/// Sentinel meaning "no server" (e.g. client is outside every service area).
+inline constexpr ServerId kNoServer = -1;
+/// Sentinel meaning "no layer".
+inline constexpr LayerId kNoLayer = -1;
+
+/// Simulation time in seconds. Double precision keeps sub-millisecond
+/// resolution over multi-hour traces.
+using Seconds = double;
+/// Data sizes in bytes (model weights, tensors, traffic accounting).
+using Bytes = std::int64_t;
+/// Floating-point operation counts.
+using Flops = double;
+
+/// Bits-per-second <-> bytes helpers. Network speeds in the paper are quoted
+/// in Mbps; all internal accounting is in bytes and seconds.
+inline constexpr double kBitsPerByte = 8.0;
+
+/// Converts a link speed in megabits/second to bytes/second.
+constexpr double mbps_to_bytes_per_sec(double mbps) {
+  return mbps * 1e6 / kBitsPerByte;
+}
+
+/// Converts bytes transferred in an interval to average megabits/second.
+constexpr double bytes_to_mbps(double bytes, double interval_sec) {
+  return interval_sec > 0 ? bytes * kBitsPerByte / 1e6 / interval_sec : 0.0;
+}
+
+/// Megabytes -> bytes (model sizes in the paper are quoted in MB).
+constexpr Bytes mb_to_bytes(double mb) {
+  return static_cast<Bytes>(mb * 1024.0 * 1024.0);
+}
+
+/// Bytes -> megabytes.
+constexpr double bytes_to_mb(Bytes bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+/// "Infinite" time used for unreachable states in shortest-path searches.
+inline constexpr Seconds kInfSeconds = std::numeric_limits<double>::infinity();
+
+}  // namespace perdnn

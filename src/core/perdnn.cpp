@@ -1,0 +1,71 @@
+#include "core/perdnn.hpp"
+
+#include "common/check.hpp"
+
+namespace perdnn {
+
+OffloadingSession::Options::Options()
+    : net(lab_wifi()),
+      client_device(odroid_xu4_profile()),
+      server_device(titan_xp_profile()) {}
+
+OffloadingSession::OffloadingSession(const Options& options)
+    : options_(options), model_(build_model(options.model)) {
+  PERDNN_CHECK(options.server_load >= 1);
+  client_profile_ = profile_on_client(model_, options.client_device);
+  gpu_ = std::make_shared<GpuContentionModel>(options.server_device);
+
+  Rng rng(options.seed);
+  ConcurrencyProfiler profiler(gpu_.get(), rng.fork());
+  const DnnModel* models[] = {&model_};
+  const auto records = profiler.profile_models(models, options.profiling);
+  estimator_ = std::make_shared<RandomForestEstimator>();
+  Rng train_rng = rng.fork();
+  estimator_->train(records, train_rng);
+
+  Rng stats_rng = rng.fork();
+  const double load = static_cast<double>(options.server_load);
+  stats_ = gpu_->stats_for_load(options.server_load, load, stats_rng);
+
+  estimated_times_.reserve(static_cast<std::size_t>(model_.num_layers()));
+  true_times_.reserve(static_cast<std::size_t>(model_.num_layers()));
+  for (LayerId id = 0; id < model_.num_layers(); ++id) {
+    const Bytes in_bytes = model_.input_bytes(id);
+    estimated_times_.push_back(
+        estimator_->estimate(model_.layer(id), in_bytes, stats_));
+    true_times_.push_back(
+        gpu_->expected_layer_time(model_.layer(id), in_bytes, load));
+  }
+}
+
+PartitionContext OffloadingSession::context(bool use_true_times) const {
+  PartitionContext context;
+  context.model = &model_;
+  context.client_profile = &client_profile_;
+  context.server_time = use_true_times ? true_times_ : estimated_times_;
+  context.net = options_.net;
+  return context;
+}
+
+PartitionPlan OffloadingSession::best_plan() const {
+  return compute_best_plan(context(/*use_true_times=*/false));
+}
+
+UploadSchedule OffloadingSession::upload_schedule(
+    const PartitionPlan& plan, UploadEnumeration enumeration) const {
+  return plan_upload_order(context(/*use_true_times=*/false), plan,
+                           {.enumeration = enumeration});
+}
+
+ReplayResult OffloadingSession::replay(const UploadSchedule& schedule,
+                                       Bytes initial_bytes,
+                                       const ReplayConfig& config) const {
+  return replay_queries(context(/*use_true_times=*/true), schedule,
+                        initial_bytes, config);
+}
+
+Seconds OffloadingSession::local_latency() const {
+  return total_client_time(client_profile_);
+}
+
+}  // namespace perdnn

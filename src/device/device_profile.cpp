@@ -1,0 +1,79 @@
+#include "device/device_profile.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace perdnn {
+
+DeviceProfile odroid_xu4_profile() {
+  DeviceProfile p;
+  p.name = "odroid-xu4";
+  // Exynos 5422 big.LITTLE with NEON; caffe achieves a few GFLOP/s on conv.
+  p.gflops = 4.0;
+  p.depthwise_efficiency = 0.25;
+  p.pointwise_gbps = 2.0;
+  p.per_layer_overhead = 0.8e-3;
+  return p;
+}
+
+DeviceProfile titan_xp_profile() {
+  DeviceProfile p;
+  p.name = "titan-xp";
+  // Effective small-batch throughput, far below the 12 TFLOP/s peak.
+  p.gflops = 1000.0;
+  p.depthwise_efficiency = 0.5;
+  p.pointwise_gbps = 200.0;
+  p.per_layer_overhead = 50e-6;
+  return p;
+}
+
+Seconds layer_time_on(const DeviceProfile& device, const LayerSpec& layer,
+                      Bytes layer_input_bytes) {
+  PERDNN_CHECK(device.gflops > 0 && device.pointwise_gbps > 0);
+  if (layer.kind == LayerKind::kInput) return 0.0;
+  Seconds t = device.per_layer_overhead;
+  // Roofline: a layer is limited by whichever is slower, arithmetic or
+  // streaming its weights + activations through memory. The memory term is
+  // what makes huge FC layers (Inception's 21k-way head, ~90 MB of weights)
+  // expensive on an embedded CPU even though their FLOP count is tiny.
+  const double mem_time =
+      static_cast<double>(layer.weight_bytes + layer_input_bytes +
+                          layer.output_bytes) /
+      (device.pointwise_gbps * 1e9);
+  switch (layer.kind) {
+    case LayerKind::kConv:
+    case LayerKind::kFullyConnected:
+      t += std::max(layer.flops / (device.gflops * 1e9), mem_time);
+      break;
+    case LayerKind::kDepthwiseConv:
+      t += std::max(layer.flops /
+                        (device.gflops * device.depthwise_efficiency * 1e9),
+                    mem_time);
+      break;
+    default:
+      t += mem_time;
+      break;
+  }
+  return t;
+}
+
+DnnProfile profile_on_client(const DnnModel& model,
+                             const DeviceProfile& client) {
+  DnnProfile profile;
+  profile.model_name = model.name();
+  profile.client_time.reserve(static_cast<std::size_t>(model.num_layers()));
+  for (LayerId id = 0; id < model.num_layers(); ++id) {
+    profile.client_time.push_back(
+        layer_time_on(client, model.layer(id), model.input_bytes(id)));
+  }
+  return profile;
+}
+
+Seconds total_client_time(const DnnProfile& profile) {
+  Seconds total = 0;
+  for (Seconds t : profile.client_time) total += t;
+  return total;
+}
+
+}  // namespace perdnn

@@ -1,0 +1,57 @@
+// Analytical device performance profiles.
+//
+// The paper records per-layer execution times of real hardware (ODROID XU4
+// client, Titan Xp server) with caffe and replays them in simulation. We
+// have no such hardware, so we substitute a calibrated roofline-style model:
+// compute layers are bound by an effective FLOP rate, pointwise layers by an
+// effective memory bandwidth, and every layer pays a framework dispatch
+// overhead. The constants are calibrated so that the end-to-end shapes match
+// the paper (local Inception ≈ 1 s on the client, offloaded query ≈ 0.17 s,
+// upload-window throughput close to Table II).
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "nn/layer.hpp"
+#include "nn/model.hpp"
+
+namespace perdnn {
+
+struct DeviceProfile {
+  std::string name;
+  /// Effective throughput for conv/fc kernels, in GFLOP/s.
+  double gflops = 1.0;
+  /// Depthwise convolutions achieve a fraction of `gflops` (low arithmetic
+  /// intensity); MobileNet on CPU is notoriously memory-bound.
+  double depthwise_efficiency = 0.5;
+  /// Effective bandwidth for pointwise layers (bn/relu/pool/...), in GB/s.
+  double pointwise_gbps = 1.0;
+  /// Fixed per-layer dispatch overhead (framework + kernel launch).
+  Seconds per_layer_overhead = 0.0;
+};
+
+/// ODROID XU4-class embedded CPU client (the paper's client board).
+DeviceProfile odroid_xu4_profile();
+
+/// Titan Xp-class desktop GPU edge server, uncontended.
+DeviceProfile titan_xp_profile();
+
+/// Uncontended execution time of one layer on the given device.
+Seconds layer_time_on(const DeviceProfile& device, const LayerSpec& layer,
+                      Bytes layer_input_bytes);
+
+/// Per-layer client execution times for a whole model: the dynamic half of
+/// the paper's "DNN profile" that the client uploads to the master server.
+struct DnnProfile {
+  std::string model_name;
+  std::vector<Seconds> client_time;  // indexed by LayerId
+};
+
+DnnProfile profile_on_client(const DnnModel& model,
+                             const DeviceProfile& client);
+
+/// Sum of client execution times (full on-device latency).
+Seconds total_client_time(const DnnProfile& profile);
+
+}  // namespace perdnn

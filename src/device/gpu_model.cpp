@@ -1,0 +1,72 @@
+#include "device/gpu_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace perdnn {
+
+GpuContentionModel::GpuContentionModel(DeviceProfile server,
+                                       GpuContentionConfig config)
+    : server_(std::move(server)), config_(config) {
+  PERDNN_CHECK(config_.linear_slowdown >= 0.0);
+  PERDNN_CHECK(config_.slowdown_exponent >= 1.0);
+}
+
+double GpuContentionModel::slowdown(double effective_load) const {
+  PERDNN_CHECK(effective_load >= 0.0);
+  const double extra = std::max(0.0, effective_load - 1.0);
+  // 1 + a*x^e: linear-ish at first, super-linear as the GPU saturates.
+  return 1.0 +
+         config_.linear_slowdown * std::pow(extra, config_.slowdown_exponent);
+}
+
+double GpuContentionModel::sample_effective_load(int num_clients,
+                                                 Rng& rng) const {
+  PERDNN_CHECK(num_clients >= 0);
+  if (num_clients == 0) return 0.0;
+  const double jitter =
+      config_.base_jitter + config_.jitter_per_client * (num_clients - 1);
+  const double load = num_clients * (1.0 + jitter * rng.normal());
+  return std::max(0.25, load);
+}
+
+GpuStats GpuContentionModel::stats_for_load(int num_clients,
+                                            double effective_load,
+                                            Rng& rng) const {
+  GpuStats stats;
+  stats.num_clients = num_clients;
+  // Utilisation saturates exponentially with load (one client already keeps
+  // the GPU fairly busy during its bursts).
+  const double kutil = 100.0 * (1.0 - std::exp(-0.30 * effective_load));
+  const double mutil = 100.0 * (1.0 - std::exp(-0.18 * effective_load));
+  stats.kernel_util =
+      std::clamp(kutil + config_.stats_noise * rng.normal(), 0.0, 100.0);
+  stats.mem_util =
+      std::clamp(mutil + config_.stats_noise * rng.normal(), 0.0, 100.0);
+  stats.mem_usage_mb = 600.0 + 850.0 * effective_load +
+                       25.0 * rng.normal();
+  // Temperature trails utilisation; saturates near the thermal limit.
+  stats.temperature_c = std::clamp(
+      38.0 + 5.5 * effective_load + 1.5 * rng.normal(), 30.0, 92.0);
+  return stats;
+}
+
+Seconds GpuContentionModel::expected_layer_time(const LayerSpec& layer,
+                                                Bytes layer_input_bytes,
+                                                double effective_load) const {
+  const Seconds base = layer_time_on(server_, layer, layer_input_bytes);
+  return base * slowdown(std::max(1.0, effective_load));
+}
+
+Seconds GpuContentionModel::layer_time(const LayerSpec& layer,
+                                       Bytes layer_input_bytes,
+                                       double effective_load, Rng& rng) const {
+  const Seconds expected =
+      expected_layer_time(layer, layer_input_bytes, effective_load);
+  const double noise = 1.0 + config_.latency_noise * rng.normal();
+  return expected * std::max(0.5, noise);
+}
+
+}  // namespace perdnn

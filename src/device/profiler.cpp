@@ -1,0 +1,45 @@
+#include "device/profiler.hpp"
+
+#include "common/check.hpp"
+
+namespace perdnn {
+
+ConcurrencyProfiler::ConcurrencyProfiler(const GpuContentionModel* gpu,
+                                         Rng rng)
+    : gpu_(gpu), rng_(rng) {
+  PERDNN_CHECK(gpu != nullptr);
+}
+
+ProfileRecord ConcurrencyProfiler::profile_once(const LayerSpec& layer,
+                                                Bytes input_bytes,
+                                                int num_clients) {
+  PERDNN_CHECK(num_clients >= 1);
+  ProfileRecord rec;
+  rec.layer = layer;
+  rec.input_bytes = input_bytes;
+  rec.true_load = gpu_->sample_effective_load(num_clients, rng_);
+  rec.stats = gpu_->stats_for_load(num_clients, rec.true_load, rng_);
+  rec.time = gpu_->layer_time(layer, input_bytes, rec.true_load, rng_);
+  return rec;
+}
+
+std::vector<ProfileRecord> ConcurrencyProfiler::profile_models(
+    std::span<const DnnModel* const> models, const ProfilerConfig& config) {
+  PERDNN_CHECK(config.max_clients >= 1 && config.samples_per_level >= 1);
+  std::vector<ProfileRecord> records;
+  for (const DnnModel* model : models) {
+    PERDNN_CHECK(model != nullptr);
+    for (LayerId id = 0; id < model->num_layers(); ++id) {
+      const LayerSpec& layer = model->layer(id);
+      if (layer.kind == LayerKind::kInput) continue;
+      if (!config.include_pointwise && !layer.is_compute()) continue;
+      const Bytes in_bytes = model->input_bytes(id);
+      for (int n = 1; n <= config.max_clients; ++n)
+        for (int s = 0; s < config.samples_per_level; ++s)
+          records.push_back(profile_once(layer, in_bytes, n));
+    }
+  }
+  return records;
+}
+
+}  // namespace perdnn

@@ -1,0 +1,55 @@
+// Offline concurrency-sweep profiler: the analogue of the paper's extended
+// TensorRT perf_client. It executes (simulated) layers under nominal
+// concurrency levels 1..N, recording for every request the nvml statistics
+// observed at submission time and the measured latency. The resulting
+// records train the execution-time estimators (Section 3.C.1).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "device/gpu_model.hpp"
+#include "nn/model.hpp"
+
+namespace perdnn {
+
+/// One (layer, observed GPU state, measured latency) training record.
+struct ProfileRecord {
+  LayerSpec layer;     // hyperparameters of the profiled layer
+  Bytes input_bytes = 0;
+  GpuStats stats;      // nvml snapshot when the request was issued
+  Seconds time = 0.0;  // measured layer latency
+  double true_load = 0.0;  // hidden ground truth (for tests only)
+};
+
+struct ProfilerConfig {
+  int max_clients = 16;
+  int samples_per_level = 12;  // draws per (layer, concurrency) pair
+  /// Also profile pointwise layers (bn/relu/pool/...). They are cheap on a
+  /// GPU but the partitioner still needs estimates for them, so production
+  /// training sweeps include them; focused experiments (Fig 4 is conv-only)
+  /// can turn them off.
+  bool include_pointwise = true;
+};
+
+class ConcurrencyProfiler {
+ public:
+  ConcurrencyProfiler(const GpuContentionModel* gpu, Rng rng);
+
+  /// Profiles every compute layer (conv/dwconv/fc) of the given models across
+  /// the concurrency sweep. Pointwise layers are negligible on a GPU and are
+  /// estimated analytically (as the paper trains models per heavy layer type).
+  std::vector<ProfileRecord> profile_models(
+      std::span<const DnnModel* const> models, const ProfilerConfig& config);
+
+  /// Profiles a single layer at one nominal concurrency level.
+  ProfileRecord profile_once(const LayerSpec& layer, Bytes input_bytes,
+                             int num_clients);
+
+ private:
+  const GpuContentionModel* gpu_;
+  Rng rng_;
+};
+
+}  // namespace perdnn

@@ -1,0 +1,69 @@
+#include "edge/layer_cache.hpp"
+
+#include "common/check.hpp"
+
+namespace perdnn {
+
+LayerCache::LayerCache(int ttl_intervals) : ttl_(ttl_intervals) {
+  PERDNN_CHECK(ttl_intervals >= 1);
+}
+
+std::vector<LayerId> LayerCache::store(ClientId client,
+                                       const std::vector<LayerId>& layers,
+                                       int now_interval) {
+  Entry& entry = entries_[client];
+  entry.expires_at = now_interval + ttl_;
+  std::vector<LayerId> added;
+  for (LayerId id : layers)
+    if (entry.layers.insert(id).second) added.push_back(id);
+  return added;
+}
+
+void LayerCache::touch(ClientId client, int now_interval) {
+  const auto it = entries_.find(client);
+  if (it != entries_.end()) it->second.expires_at = now_interval + ttl_;
+}
+
+void LayerCache::expire(int now_interval) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.expires_at <= now_interval) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void LayerCache::erase(ClientId client) { entries_.erase(client); }
+
+bool LayerCache::has_entry(ClientId client) const {
+  return entries_.count(client) > 0;
+}
+
+std::vector<LayerId> LayerCache::layers(ClientId client) const {
+  const auto it = entries_.find(client);
+  if (it == entries_.end()) return {};
+  return {it->second.layers.begin(), it->second.layers.end()};
+}
+
+std::vector<bool> LayerCache::mask(ClientId client,
+                                   const DnnModel& model) const {
+  std::vector<bool> out(static_cast<std::size_t>(model.num_layers()), false);
+  const auto it = entries_.find(client);
+  if (it == entries_.end()) return out;
+  for (LayerId id : it->second.layers) {
+    PERDNN_CHECK(id >= 0 && id < model.num_layers());
+    out[static_cast<std::size_t>(id)] = true;
+  }
+  return out;
+}
+
+Bytes LayerCache::cached_bytes(ClientId client, const DnnModel& model) const {
+  const auto it = entries_.find(client);
+  if (it == entries_.end()) return 0;
+  Bytes total = 0;
+  for (LayerId id : it->second.layers) total += model.layer(id).weight_bytes;
+  return total;
+}
+
+}  // namespace perdnn

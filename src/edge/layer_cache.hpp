@@ -1,0 +1,63 @@
+// Per-client DNN layer cache held by each edge server.
+//
+// Proactively migrated layers are kept for TTL time intervals and discarded
+// afterwards; the TTL resets whenever another server attempts to send the
+// same client's layers (which also suppresses duplicate transmission —
+// Section 3.B.2). The cache stores layer *ids* per client; weight bytes are
+// derived from the client's model when needed.
+#pragma once
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "nn/model.hpp"
+
+namespace perdnn {
+
+class LayerCache {
+ public:
+  explicit LayerCache(int ttl_intervals);
+
+  /// Merges `layers` into the client's entry and resets its TTL.
+  /// Returns the ids that were actually new (not already cached) — the
+  /// bytes that really crossed the backhaul.
+  std::vector<LayerId> store(ClientId client,
+                             const std::vector<LayerId>& layers,
+                             int now_interval);
+
+  /// Resets the TTL without adding layers (client actively attached, or a
+  /// duplicate-suppressed send).
+  void touch(ClientId client, int now_interval);
+
+  /// Drops entries whose TTL elapsed before `now_interval`.
+  void expire(int now_interval);
+
+  /// Removes a client's entry entirely.
+  void erase(ClientId client);
+
+  bool has_entry(ClientId client) const;
+
+  /// Cached layer ids for the client (empty if none).
+  std::vector<LayerId> layers(ClientId client) const;
+
+  /// Availability mask sized to the model.
+  std::vector<bool> mask(ClientId client, const DnnModel& model) const;
+
+  /// Total cached weight bytes for the client under its model.
+  Bytes cached_bytes(ClientId client, const DnnModel& model) const;
+
+  std::size_t num_entries() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::set<LayerId> layers;
+    int expires_at = 0;  // interval index at which the entry dies
+  };
+
+  int ttl_;
+  std::unordered_map<ClientId, Entry> entries_;
+};
+
+}  // namespace perdnn

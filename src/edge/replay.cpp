@@ -1,0 +1,53 @@
+#include "edge/replay.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace perdnn {
+
+int ReplayResult::queries_completed_by(Seconds deadline) const {
+  int count = 0;
+  for (const auto& q : queries)
+    if (q.start + q.latency <= deadline) ++count;
+  return count;
+}
+
+Seconds ReplayResult::peak_latency() const {
+  Seconds peak = 0.0;
+  for (const auto& q : queries) peak = std::max(peak, q.latency);
+  return peak;
+}
+
+ReplayResult replay_queries(const PartitionContext& context,
+                            const UploadSchedule& schedule,
+                            Bytes initial_bytes, const ReplayConfig& config) {
+  PERDNN_CHECK(context.model != nullptr);
+  PERDNN_CHECK(config.query_gap >= 0.0);
+  PERDNN_CHECK(initial_bytes >= 0);
+  PERDNN_CHECK(config.max_queries >= 0);
+
+  const Bytes total = schedule.total_bytes();
+  const Bytes missing = std::max<Bytes>(0, total - initial_bytes);
+
+  ReplayResult result;
+  result.upload_completed_at =
+      static_cast<double>(missing) / context.net.uplink_bytes_per_sec;
+
+  Seconds now = 0.0;
+  while (static_cast<int>(result.queries.size()) < config.max_queries &&
+         now <= config.max_time) {
+    // Bytes present at the server when this query starts.
+    const Bytes uploaded =
+        initial_bytes +
+        static_cast<Bytes>(now * context.net.uplink_bytes_per_sec);
+    const std::vector<bool> mask = schedule.uploaded_after(
+        *context.model, std::min(uploaded, total));
+    const Seconds latency = plan_latency(context, mask);
+    result.queries.push_back({now, latency});
+    now += latency + config.query_gap;
+  }
+  return result;
+}
+
+}  // namespace perdnn

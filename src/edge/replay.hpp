@@ -1,0 +1,49 @@
+// Single-client query replay: the engine behind Fig 1, Fig 7 and Table II.
+//
+// A client attached to one edge server issues a DNN query `query_gap`
+// seconds after the previous one completes (the paper's mobile cognitive
+// assistance workload, gap = 0.5 s). Meanwhile the missing server-side
+// layers upload continuously at the wireless uplink rate, in the
+// efficiency-ordered schedule. Each query executes under the best plan the
+// currently-available layers allow (shortest-path DP over the availability
+// mask) — exactly how IONN's incremental offloading improves latency while
+// the upload progresses.
+#pragma once
+
+#include <vector>
+
+#include "partition/partition.hpp"
+#include "partition/upload_order.hpp"
+
+namespace perdnn {
+
+struct QueryRecord {
+  Seconds start = 0.0;    ///< time the query was issued
+  Seconds latency = 0.0;  ///< end-to-end execution time
+};
+
+struct ReplayConfig {
+  Seconds query_gap = 0.5;
+  /// Stop after this many queries (whichever of the limits hits first).
+  int max_queries = 1 << 20;
+  /// ... or when this much time has elapsed.
+  Seconds max_time = kInfSeconds;
+};
+
+struct ReplayResult {
+  std::vector<QueryRecord> queries;
+  /// When the last missing byte arrived (0 if nothing needed uploading).
+  Seconds upload_completed_at = 0.0;
+
+  int queries_completed_by(Seconds deadline) const;
+  Seconds peak_latency() const;
+};
+
+/// Replays queries against one server. `initial_bytes` of the schedule are
+/// already present at the server (0 = IONN-style cold start; total = hit
+/// after full proactive migration; anything between = fractional migration).
+ReplayResult replay_queries(const PartitionContext& context,
+                            const UploadSchedule& schedule,
+                            Bytes initial_bytes, const ReplayConfig& config);
+
+}  // namespace perdnn

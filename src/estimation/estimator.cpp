@@ -1,0 +1,215 @@
+#include "estimation/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace perdnn {
+
+namespace {
+
+constexpr Seconds kMinEstimate = 1e-7;
+
+Seconds clamp_estimate(double value) { return std::max(kMinEstimate, value); }
+
+}  // namespace
+
+// ---------------------------------------------------------------- LL
+
+void NeurosurgeonEstimator::train(const std::vector<ProfileRecord>& records,
+                                  Rng& /*rng*/) {
+  PERDNN_CHECK(!records.empty());
+  models_.clear();
+  kind_fallback_.clear();
+
+  std::map<std::pair<LayerKind, int>, ml::Dataset> buckets;
+  std::map<LayerKind, ml::Dataset> kind_buckets;
+  for (const auto& rec : records) {
+    const Vector feats = layer_features(rec.layer, rec.input_bytes);
+    buckets[{rec.layer.kind, rec.stats.num_clients}].add(feats, rec.time);
+    kind_buckets[rec.layer.kind].add(feats, rec.time);
+  }
+  const ml::RidgeConfig config{.ridge = 1e-4, .log_features = true};
+  for (auto& [key, data] : buckets) {
+    if (data.size() < 4) continue;  // too few samples for a stable solve
+    ml::RidgeRegression model(config);
+    model.fit(data);
+    models_.emplace(key, std::move(model));
+  }
+  for (auto& [kind, data] : kind_buckets) {
+    if (data.size() < 4) continue;
+    ml::RidgeRegression model(config);
+    model.fit(data);
+    kind_fallback_.emplace(kind, std::move(model));
+  }
+  PERDNN_CHECK_MSG(!models_.empty() || !kind_fallback_.empty(),
+                   "no bucket had enough samples to train");
+}
+
+Seconds NeurosurgeonEstimator::estimate(const LayerSpec& layer,
+                                        Bytes input_bytes,
+                                        const GpuStats& stats) const {
+  const Vector feats = layer_features(layer, input_bytes);
+  // Exact (kind, clients) bucket if we have it...
+  auto it = models_.find({layer.kind, stats.num_clients});
+  if (it == models_.end()) {
+    // ... else the nearest trained client count for this kind.
+    int best_delta = std::numeric_limits<int>::max();
+    for (const auto& [key, model] : models_) {
+      if (key.first != layer.kind) continue;
+      const int delta = std::abs(key.second - stats.num_clients);
+      if (delta < best_delta) {
+        best_delta = delta;
+        it = models_.find(key);
+      }
+    }
+  }
+  if (it != models_.end()) return clamp_estimate(it->second.predict(feats));
+  const auto fb = kind_fallback_.find(layer.kind);
+  if (fb != kind_fallback_.end())
+    return clamp_estimate(fb->second.predict(feats));
+  return kMinEstimate;  // never-profiled kind: treat as negligible
+}
+
+// ---------------------------------------------------------------- LL+load
+
+void LoadAwareLinearEstimator::train(const std::vector<ProfileRecord>& records,
+                                     Rng& /*rng*/) {
+  PERDNN_CHECK(!records.empty());
+  models_.clear();
+
+  std::map<LayerKind, ml::Dataset> buckets;
+  ml::Dataset all;
+  for (const auto& rec : records) {
+    const Vector feats =
+        combined_features(rec.layer, rec.input_bytes, rec.stats);
+    buckets[rec.layer.kind].add(feats, rec.time);
+    all.add(feats, rec.time);
+  }
+  const ml::RidgeConfig config{.ridge = 1e-4, .log_features = true};
+  for (auto& [kind, data] : buckets) {
+    if (data.size() < 8) continue;
+    ml::RidgeRegression model(config);
+    model.fit(data);
+    models_.emplace(kind, std::move(model));
+  }
+  global_ = std::make_unique<ml::RidgeRegression>(config);
+  global_->fit(all);
+}
+
+Seconds LoadAwareLinearEstimator::estimate(const LayerSpec& layer,
+                                           Bytes input_bytes,
+                                           const GpuStats& stats) const {
+  PERDNN_CHECK_MSG(global_ != nullptr, "estimate() before train()");
+  const Vector feats = combined_features(layer, input_bytes, stats);
+  const auto it = models_.find(layer.kind);
+  if (it != models_.end()) return clamp_estimate(it->second.predict(feats));
+  return clamp_estimate(global_->predict(feats));
+}
+
+// ---------------------------------------------------------------- RF+load
+
+RandomForestEstimator::RandomForestEstimator(
+    RandomForestEstimatorConfig config)
+    : config_(config) {}
+
+void RandomForestEstimator::train(const std::vector<ProfileRecord>& records,
+                                  Rng& rng) {
+  PERDNN_CHECK(!records.empty());
+  models_.clear();
+
+  std::map<LayerKind, ml::Dataset> buckets;
+  ml::Dataset all;
+  for (const auto& rec : records) {
+    const Vector feats =
+        combined_features(rec.layer, rec.input_bytes, rec.stats);
+    buckets[rec.layer.kind].add(feats, rec.time);
+    all.add(feats, rec.time);
+  }
+  for (auto& [kind, data] : buckets) {
+    if (data.size() < 16) continue;
+    ml::RandomForest forest(config_.forest);
+    forest.fit(data, rng);
+    models_.emplace(kind, std::move(forest));
+  }
+  const ml::RidgeConfig linear_config{.ridge = 1e-4, .log_features = true};
+  global_ = std::make_unique<ml::RidgeRegression>(linear_config);
+  global_->fit(all);
+}
+
+Seconds RandomForestEstimator::estimate(const LayerSpec& layer,
+                                        Bytes input_bytes,
+                                        const GpuStats& stats) const {
+  PERDNN_CHECK_MSG(global_ != nullptr, "estimate() before train()");
+  const Vector feats = combined_features(layer, input_bytes, stats);
+  const auto it = models_.find(layer.kind);
+  if (it != models_.end()) return clamp_estimate(it->second.predict(feats));
+  return clamp_estimate(global_->predict(feats));
+}
+
+Vector RandomForestEstimator::feature_importance(LayerKind kind) const {
+  const auto it = models_.find(kind);
+  if (it == models_.end()) return {};
+  return it->second.feature_importance();
+}
+
+// ---------------------------------------------------------------- GBT+load
+
+GradientBoostedEstimator::GradientBoostedEstimator(ml::GbtConfig config)
+    : config_(config) {}
+
+void GradientBoostedEstimator::train(const std::vector<ProfileRecord>& records,
+                                     Rng& rng) {
+  PERDNN_CHECK(!records.empty());
+  models_.clear();
+
+  std::map<LayerKind, ml::Dataset> buckets;
+  ml::Dataset all;
+  for (const auto& rec : records) {
+    const Vector feats =
+        combined_features(rec.layer, rec.input_bytes, rec.stats);
+    buckets[rec.layer.kind].add(feats, rec.time);
+    all.add(feats, rec.time);
+  }
+  for (auto& [kind, data] : buckets) {
+    if (data.size() < 16) continue;
+    ml::GradientBoostedTrees model(config_);
+    model.fit(data, rng);
+    models_.emplace(kind, std::move(model));
+  }
+  const ml::RidgeConfig linear_config{.ridge = 1e-4, .log_features = true};
+  global_ = std::make_unique<ml::RidgeRegression>(linear_config);
+  global_->fit(all);
+}
+
+Seconds GradientBoostedEstimator::estimate(const LayerSpec& layer,
+                                           Bytes input_bytes,
+                                           const GpuStats& stats) const {
+  PERDNN_CHECK_MSG(global_ != nullptr, "estimate() before train()");
+  const Vector feats = combined_features(layer, input_bytes, stats);
+  const auto it = models_.find(layer.kind);
+  if (it != models_.end()) return clamp_estimate(it->second.predict(feats));
+  return clamp_estimate(global_->predict(feats));
+}
+
+// ---------------------------------------------------------------- eval
+
+double estimator_mae(const LayerTimeEstimator& estimator,
+                     const std::vector<ProfileRecord>& records,
+                     int num_clients, LayerKind kind) {
+  std::vector<double> predicted;
+  std::vector<double> actual;
+  for (const auto& rec : records) {
+    if (num_clients >= 0 && rec.stats.num_clients != num_clients) continue;
+    if (kind != LayerKind::kInput && rec.layer.kind != kind) continue;
+    predicted.push_back(
+        estimator.estimate(rec.layer, rec.input_bytes, rec.stats));
+    actual.push_back(rec.time);
+  }
+  return mean_absolute_error(predicted, actual);
+}
+
+}  // namespace perdnn

@@ -1,0 +1,122 @@
+// Layer execution-time estimators (Section 3.C.1).
+//
+// Three families, mirroring Fig 4:
+//   * NeurosurgeonEstimator ("LL")          — linear/log regression on layer
+//     hyperparameters only, one model per (layer type, nominal client count);
+//   * LoadAwareLinearEstimator ("LL+load")  — the same regression family but
+//     with the GPU statistics appended to the features;
+//   * RandomForestEstimator ("RF+load")     — the paper's estimator: one
+//     random forest per layer type over hyperparameters + GPU statistics.
+//
+// All estimators train on ProfileRecords produced by the ConcurrencyProfiler
+// and expose the same estimate() used by the DNN partitioner.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "device/profiler.hpp"
+#include "estimation/features.hpp"
+#include "ml/gbt.hpp"
+#include "ml/linear_model.hpp"
+#include "ml/random_forest.hpp"
+
+namespace perdnn {
+
+class LayerTimeEstimator {
+ public:
+  virtual ~LayerTimeEstimator() = default;
+
+  /// Trains from profiling records. Must be called before estimate().
+  virtual void train(const std::vector<ProfileRecord>& records, Rng& rng) = 0;
+
+  /// Estimated server-side execution time of one layer under the observed
+  /// GPU state. Never negative.
+  virtual Seconds estimate(const LayerSpec& layer, Bytes input_bytes,
+                           const GpuStats& stats) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// NeuroSurgeon-style baseline: per (layer kind, #clients) linear/log model
+/// on hyperparameters only. Unseen client counts clamp to the nearest
+/// trained level; unseen layer kinds fall back to a global model.
+class NeurosurgeonEstimator : public LayerTimeEstimator {
+ public:
+  void train(const std::vector<ProfileRecord>& records, Rng& rng) override;
+  Seconds estimate(const LayerSpec& layer, Bytes input_bytes,
+                   const GpuStats& stats) const override;
+  std::string name() const override { return "LL"; }
+
+ private:
+  std::map<std::pair<LayerKind, int>, ml::RidgeRegression> models_;
+  std::map<LayerKind, ml::RidgeRegression> kind_fallback_;
+};
+
+/// LL augmented with GPU load features (the paper's "LL w/ server load
+/// info" ablation).
+class LoadAwareLinearEstimator : public LayerTimeEstimator {
+ public:
+  void train(const std::vector<ProfileRecord>& records, Rng& rng) override;
+  Seconds estimate(const LayerSpec& layer, Bytes input_bytes,
+                   const GpuStats& stats) const override;
+  std::string name() const override { return "LL+load"; }
+
+ private:
+  std::map<LayerKind, ml::RidgeRegression> models_;
+  std::unique_ptr<ml::RidgeRegression> global_;
+};
+
+struct RandomForestEstimatorConfig {
+  ml::ForestConfig forest;
+};
+
+/// The paper's estimator: per layer kind random forests over hyperparameters
+/// and GPU statistics; exposes impurity feature importances (Fig 4, right).
+class RandomForestEstimator : public LayerTimeEstimator {
+ public:
+  explicit RandomForestEstimator(RandomForestEstimatorConfig config = {});
+
+  void train(const std::vector<ProfileRecord>& records, Rng& rng) override;
+  Seconds estimate(const LayerSpec& layer, Bytes input_bytes,
+                   const GpuStats& stats) const override;
+  std::string name() const override { return "RF+load"; }
+
+  /// Normalised importances for the given kind, aligned with
+  /// combined_feature_names(); empty if that kind was never trained.
+  Vector feature_importance(LayerKind kind) const;
+
+ private:
+  RandomForestEstimatorConfig config_;
+  std::map<LayerKind, ml::RandomForest> models_;
+  std::unique_ptr<ml::RidgeRegression> global_;
+};
+
+/// Extension beyond the paper: per-kind gradient-boosted trees over the same
+/// combined features. Compared against the random forest in the benches.
+class GradientBoostedEstimator : public LayerTimeEstimator {
+ public:
+  explicit GradientBoostedEstimator(ml::GbtConfig config = {});
+
+  void train(const std::vector<ProfileRecord>& records, Rng& rng) override;
+  Seconds estimate(const LayerSpec& layer, Bytes input_bytes,
+                   const GpuStats& stats) const override;
+  std::string name() const override { return "GBT+load"; }
+
+ private:
+  ml::GbtConfig config_;
+  std::map<LayerKind, ml::GradientBoostedTrees> models_;
+  std::unique_ptr<ml::RidgeRegression> global_;
+};
+
+/// MAE of an estimator over records (optionally restricted to one nominal
+/// client count and/or one layer kind; pass -1 / nullopt-like defaults).
+double estimator_mae(const LayerTimeEstimator& estimator,
+                     const std::vector<ProfileRecord>& records,
+                     int num_clients = -1,
+                     LayerKind kind = LayerKind::kInput);
+
+}  // namespace perdnn

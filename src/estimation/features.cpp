@@ -1,0 +1,58 @@
+#include "estimation/features.hpp"
+
+namespace perdnn {
+
+Vector layer_features(const LayerSpec& layer, Bytes input_bytes) {
+  return {
+      layer.flops / 1e9,                            // GFLOPs
+      static_cast<double>(input_bytes) / 1e6,       // MB in
+      static_cast<double>(layer.output_bytes) / 1e6,
+      static_cast<double>(layer.weight_bytes) / 1e6,
+      static_cast<double>(layer.in_channels),
+      static_cast<double>(layer.out_channels),
+      static_cast<double>(layer.kernel),
+      static_cast<double>(layer.stride),
+      static_cast<double>(layer.out_height),
+  };
+}
+
+const std::vector<std::string>& layer_feature_names() {
+  static const std::vector<std::string> names = {
+      "gflops",       "input_mb",  "output_mb", "weight_mb", "in_channels",
+      "out_channels", "kernel",    "stride",    "out_height"};
+  return names;
+}
+
+Vector load_features(const GpuStats& stats) {
+  return {
+      static_cast<double>(stats.num_clients),
+      stats.kernel_util,
+      stats.mem_util,
+      stats.mem_usage_mb / 1e3,  // GB
+      stats.temperature_c,
+  };
+}
+
+const std::vector<std::string>& load_feature_names() {
+  static const std::vector<std::string> names = {
+      "num_clients", "kernel_util", "mem_util", "mem_usage_gb",
+      "temperature"};
+  return names;
+}
+
+Vector combined_features(const LayerSpec& layer, Bytes input_bytes,
+                         const GpuStats& stats) {
+  Vector out = layer_features(layer, input_bytes);
+  const Vector load = load_features(stats);
+  out.insert(out.end(), load.begin(), load.end());
+  return out;
+}
+
+std::vector<std::string> combined_feature_names() {
+  std::vector<std::string> names = layer_feature_names();
+  const auto& load = load_feature_names();
+  names.insert(names.end(), load.begin(), load.end());
+  return names;
+}
+
+}  // namespace perdnn

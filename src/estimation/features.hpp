@@ -1,0 +1,37 @@
+// Feature extraction shared by all execution-time estimators. The paper's
+// estimators consume (a) layer hyperparameters and (b) the server's GPU
+// statistics; keeping the encoding in one place guarantees the profiler, the
+// trainers and the online partitioning path agree on the feature layout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/types.hpp"
+#include "device/gpu_model.hpp"
+#include "nn/layer.hpp"
+
+namespace perdnn {
+
+/// Hyperparameter features of a layer. FLOPs and byte counts are scaled to
+/// comparable magnitudes so the ridge solves stay well-conditioned.
+Vector layer_features(const LayerSpec& layer, Bytes input_bytes);
+
+/// Names aligned with layer_features() entries (for importance reports).
+const std::vector<std::string>& layer_feature_names();
+
+/// GPU workload features from an nvml-style snapshot.
+Vector load_features(const GpuStats& stats);
+
+/// Names aligned with load_features() entries.
+const std::vector<std::string>& load_feature_names();
+
+/// Concatenation [layer_features | load_features].
+Vector combined_features(const LayerSpec& layer, Bytes input_bytes,
+                         const GpuStats& stats);
+
+/// Names aligned with combined_features().
+std::vector<std::string> combined_feature_names();
+
+}  // namespace perdnn

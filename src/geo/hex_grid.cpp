@@ -1,0 +1,79 @@
+#include "geo/hex_grid.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/check.hpp"
+
+namespace perdnn {
+
+namespace {
+constexpr double kSqrt3 = 1.7320508075688772;
+}
+
+HexGrid::HexGrid(double cell_radius_m) : radius_(cell_radius_m) {
+  PERDNN_CHECK(cell_radius_m > 0.0);
+}
+
+Point HexGrid::center(HexCoord cell) const {
+  // Pointy-top axial -> pixel.
+  const double x = radius_ * kSqrt3 * (cell.q + cell.r / 2.0);
+  const double y = radius_ * 1.5 * cell.r;
+  return {x, y};
+}
+
+HexCoord HexGrid::cell_at(Point p) const {
+  // Pixel -> fractional axial.
+  const double qf = (kSqrt3 / 3.0 * p.x - 1.0 / 3.0 * p.y) / radius_;
+  const double rf = (2.0 / 3.0 * p.y) / radius_;
+  // Cube rounding: s = -q - r.
+  const double sf = -qf - rf;
+  double q = std::round(qf);
+  double r = std::round(rf);
+  double s = std::round(sf);
+  const double dq = std::abs(q - qf);
+  const double dr = std::abs(r - rf);
+  const double ds = std::abs(s - sf);
+  if (dq > dr && dq > ds) {
+    q = -r - s;
+  } else if (dr > ds) {
+    r = -q - s;
+  }
+  return {static_cast<std::int32_t>(q), static_cast<std::int32_t>(r)};
+}
+
+std::int32_t HexGrid::hex_distance(HexCoord a, HexCoord b) {
+  const std::int32_t dq = a.q - b.q;
+  const std::int32_t dr = a.r - b.r;
+  const std::int32_t ds = -dq - dr;
+  return (std::abs(dq) + std::abs(dr) + std::abs(ds)) / 2;
+}
+
+std::vector<HexCoord> HexGrid::neighbors(HexCoord cell) {
+  static constexpr std::int32_t kDirs[6][2] = {
+      {1, 0}, {1, -1}, {0, -1}, {-1, 0}, {-1, 1}, {0, 1}};
+  std::vector<HexCoord> out;
+  out.reserve(6);
+  for (const auto& d : kDirs) out.push_back({cell.q + d[0], cell.r + d[1]});
+  return out;
+}
+
+std::vector<HexCoord> HexGrid::cells_within(Point p, double radius_m) const {
+  PERDNN_CHECK(radius_m >= 0.0);
+  // Centres are at least sqrt(3)*R apart, so cells within radius_m of p lie
+  // within ceil(radius_m / (sqrt(3)*R)) + 1 hex steps of p's cell.
+  const HexCoord origin = cell_at(p);
+  const auto steps =
+      static_cast<std::int32_t>(std::ceil(radius_m / (kSqrt3 * radius_))) + 1;
+  std::vector<HexCoord> out;
+  for (std::int32_t q = -steps; q <= steps; ++q) {
+    for (std::int32_t r = -steps; r <= steps; ++r) {
+      if (std::abs(q + r) > steps) continue;  // outside the hex ball
+      const HexCoord cell{origin.q + q, origin.r + r};
+      if (distance(center(cell), p) <= radius_m) out.push_back(cell);
+    }
+  }
+  return out;
+}
+
+}  // namespace perdnn

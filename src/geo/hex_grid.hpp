@@ -1,0 +1,63 @@
+// Hexagonal tessellation of the study area.
+//
+// The paper divides the region into a hexagonal grid whose cells have a
+// radius of 50 m (the service range of a typical Wi-Fi AP) and allocates an
+// edge server per visited cell. We use pointy-top hexagons in axial (q, r)
+// coordinates; the conversions follow the standard cube-coordinate
+// formulation (Red Blob Games / Amit Patel).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geo/point.hpp"
+
+namespace perdnn {
+
+/// Axial hexagon coordinate.
+struct HexCoord {
+  std::int32_t q = 0;
+  std::int32_t r = 0;
+
+  friend bool operator==(HexCoord a, HexCoord b) {
+    return a.q == b.q && a.r == b.r;
+  }
+};
+
+struct HexCoordHash {
+  std::size_t operator()(HexCoord h) const {
+    const auto uq = static_cast<std::uint64_t>(static_cast<std::uint32_t>(h.q));
+    const auto ur = static_cast<std::uint64_t>(static_cast<std::uint32_t>(h.r));
+    return std::hash<std::uint64_t>{}((uq << 32) | ur);
+  }
+};
+
+/// Pointy-top hexagonal grid with circumradius `cell_radius_m` metres.
+class HexGrid {
+ public:
+  explicit HexGrid(double cell_radius_m);
+
+  double cell_radius() const { return radius_; }
+
+  /// Centre of a cell on the metric plane.
+  Point center(HexCoord cell) const;
+
+  /// Cell containing the given point (cube rounding).
+  HexCoord cell_at(Point p) const;
+
+  /// Hex (grid) distance between two cells, in cell steps.
+  static std::int32_t hex_distance(HexCoord a, HexCoord b);
+
+  /// The six neighbours of a cell.
+  static std::vector<HexCoord> neighbors(HexCoord cell);
+
+  /// All cells whose centre lies within `radius_m` metres of `p`.
+  /// Enumerates the bounding hex ring rather than scanning the whole grid.
+  std::vector<HexCoord> cells_within(Point p, double radius_m) const;
+
+ private:
+  double radius_;
+};
+
+}  // namespace perdnn

@@ -1,0 +1,45 @@
+// Planar geometry for the smart-city simulation. Mobility traces are
+// projected to a local metric (x, y) plane in metres, as the paper does when
+// it clips Geolife to a rectangular area around Beijing subway line 2.
+#pragma once
+
+#include <cmath>
+
+namespace perdnn {
+
+/// A point (or displacement) in metres on the local plane.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
+  friend Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+  friend Point operator*(Point a, double s) { return {a.x * s, a.y * s}; }
+  friend bool operator==(Point a, Point b) { return a.x == b.x && a.y == b.y; }
+
+  double norm() const { return std::hypot(x, y); }
+};
+
+/// Euclidean distance in metres.
+inline double distance(Point a, Point b) { return (a - b).norm(); }
+
+/// Axis-aligned rectangle used to clip traces to the study area.
+struct Rect {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+
+  double width() const { return max_x - min_x; }
+  double height() const { return max_y - min_y; }
+  bool contains(Point p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+  /// Clamps a point into the rectangle (used by trace generators at borders).
+  Point clamp(Point p) const {
+    return {p.x < min_x ? min_x : (p.x > max_x ? max_x : p.x),
+            p.y < min_y ? min_y : (p.y > max_y ? max_y : p.y)};
+  }
+};
+
+}  // namespace perdnn

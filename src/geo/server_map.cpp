@@ -1,0 +1,74 @@
+#include "geo/server_map.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace perdnn {
+
+ServerMap::ServerMap(double cell_radius_m) : grid_(cell_radius_m) {}
+
+int ServerMap::allocate_for_visits(const std::vector<Point>& points) {
+  const int before = num_servers();
+  for (Point p : points) allocate_at(p);
+  return num_servers() - before;
+}
+
+ServerId ServerMap::allocate_at(Point p) {
+  const HexCoord cell = grid_.cell_at(p);
+  auto it = cell_to_server_.find(cell);
+  if (it != cell_to_server_.end()) return it->second;
+  const auto id = static_cast<ServerId>(centers_.size());
+  cell_to_server_.emplace(cell, id);
+  centers_.push_back(grid_.center(cell));
+  return id;
+}
+
+ServerId ServerMap::server_at(Point p) const {
+  const auto it = cell_to_server_.find(grid_.cell_at(p));
+  return it == cell_to_server_.end() ? kNoServer : it->second;
+}
+
+ServerId ServerMap::nearest_server(Point p, double max_radius_m) const {
+  PERDNN_CHECK(max_radius_m >= 0.0);
+  // Expanding-ring search: most queries hit within a cell or two, so start
+  // small and double the radius until something is found. A candidate found
+  // at radius r is only conclusive once the search radius reaches its
+  // distance (a nearer server could hide just outside the scanned disc), so
+  // expand once more when the best hit is near the boundary.
+  double radius = std::min(max_radius_m, grid_.cell_radius() * 1.5);
+  while (true) {
+    ServerId best = kNoServer;
+    double best_dist = max_radius_m;
+    for (HexCoord cell : grid_.cells_within(p, radius)) {
+      const auto it = cell_to_server_.find(cell);
+      if (it == cell_to_server_.end()) continue;
+      const double d =
+          distance(centers_[static_cast<std::size_t>(it->second)], p);
+      if (d <= best_dist) {
+        best_dist = d;
+        best = it->second;
+      }
+    }
+    if (best != kNoServer && best_dist <= radius) return best;
+    if (radius >= max_radius_m) return best;
+    radius = std::min(max_radius_m, radius * 2.0);
+  }
+}
+
+std::vector<ServerId> ServerMap::servers_within(Point p, double radius_m) const {
+  std::vector<ServerId> out;
+  for (HexCoord cell : grid_.cells_within(p, radius_m)) {
+    const auto it = cell_to_server_.find(cell);
+    if (it != cell_to_server_.end()) out.push_back(it->second);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Point ServerMap::server_center(ServerId id) const {
+  PERDNN_CHECK(id >= 0 && id < num_servers());
+  return centers_[static_cast<std::size_t>(id)];
+}
+
+}  // namespace perdnn

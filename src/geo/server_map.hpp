@@ -1,0 +1,53 @@
+// Edge-server placement database (the paper's "Wi-Fi database", cf. WiGLE).
+//
+// The paper allocates one edge server per hexagonal cell that any user
+// visited, so every trace point has a serving edge server. The master server
+// consults this map to (a) find the client's current server and (b) find all
+// servers within radius r of a predicted location for proactive migration.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "geo/hex_grid.hpp"
+#include "geo/point.hpp"
+
+namespace perdnn {
+
+class ServerMap {
+ public:
+  /// Creates an empty map over a hex grid with the given cell radius.
+  explicit ServerMap(double cell_radius_m);
+
+  /// Allocates servers for every cell touched by the given points (idempotent
+  /// per cell). Returns the number of servers newly created.
+  int allocate_for_visits(const std::vector<Point>& points);
+
+  /// Allocates (or returns the existing) server for the cell containing p.
+  ServerId allocate_at(Point p);
+
+  /// Server of the cell containing p, or kNoServer if that cell has none.
+  ServerId server_at(Point p) const;
+
+  /// Nearest server to p by centre distance, searching outward up to
+  /// `max_radius_m`; kNoServer if none within range.
+  ServerId nearest_server(Point p, double max_radius_m) const;
+
+  /// All servers whose cell centre is within radius_m of p.
+  std::vector<ServerId> servers_within(Point p, double radius_m) const;
+
+  /// Centre of a server's cell.
+  Point server_center(ServerId id) const;
+
+  int num_servers() const { return static_cast<int>(centers_.size()); }
+  const HexGrid& grid() const { return grid_; }
+
+ private:
+  HexGrid grid_;
+  std::unordered_map<HexCoord, ServerId, HexCoordHash> cell_to_server_;
+  std::vector<Point> centers_;  // indexed by ServerId
+};
+
+}  // namespace perdnn

@@ -1,0 +1,92 @@
+#include "ml/dataset.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace perdnn::ml {
+
+void Dataset::add(Vector features, double target) {
+  PERDNN_CHECK_MSG(rows.empty() || features.size() == num_features(),
+                   "feature arity changed mid-dataset");
+  rows.push_back(std::move(features));
+  y.push_back(target);
+}
+
+void Dataset::check() const {
+  PERDNN_CHECK(rows.size() == y.size());
+  for (const auto& r : rows) PERDNN_CHECK(r.size() == num_features());
+}
+
+Matrix Dataset::to_matrix() const {
+  Matrix m(rows.size(), num_features());
+  for (std::size_t r = 0; r < rows.size(); ++r)
+    for (std::size_t c = 0; c < rows[r].size(); ++c) m(r, c) = rows[r][c];
+  return m;
+}
+
+std::pair<Dataset, Dataset> train_test_split(const Dataset& data,
+                                             double test_fraction, Rng& rng) {
+  data.check();
+  PERDNN_CHECK(test_fraction > 0.0 && test_fraction < 1.0);
+  PERDNN_CHECK(data.size() >= 2);
+  std::vector<std::size_t> idx(data.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  rng.shuffle(idx);
+  const auto n_test = static_cast<std::size_t>(std::max(
+      1.0, std::round(test_fraction * static_cast<double>(idx.size()))));
+  PERDNN_CHECK(n_test < idx.size());
+
+  Dataset train, test;
+  for (std::size_t pos = 0; pos < idx.size(); ++pos) {
+    const std::size_t i = idx[pos];
+    (pos < n_test ? test : train).add(data.rows[i], data.y[i]);
+  }
+  return {std::move(train), std::move(test)};
+}
+
+void StandardScaler::fit(const std::vector<Vector>& rows) {
+  PERDNN_CHECK(!rows.empty());
+  const std::size_t f = rows[0].size();
+  mean_.assign(f, 0.0);
+  scale_.assign(f, 0.0);
+  for (const auto& row : rows) {
+    PERDNN_CHECK(row.size() == f);
+    for (std::size_t c = 0; c < f; ++c) mean_[c] += row[c];
+  }
+  for (double& m : mean_) m /= static_cast<double>(rows.size());
+  for (const auto& row : rows)
+    for (std::size_t c = 0; c < f; ++c) {
+      const double d = row[c] - mean_[c];
+      scale_[c] += d * d;
+    }
+  for (double& s : scale_) {
+    s = std::sqrt(s / static_cast<double>(rows.size()));
+    if (s < 1e-12) s = 1.0;  // constant feature
+  }
+}
+
+Vector StandardScaler::transform(const Vector& features) const {
+  PERDNN_CHECK(fitted() && features.size() == mean_.size());
+  Vector out(features.size());
+  for (std::size_t c = 0; c < features.size(); ++c)
+    out[c] = (features[c] - mean_[c]) / scale_[c];
+  return out;
+}
+
+std::vector<Vector> StandardScaler::transform(
+    const std::vector<Vector>& rows) const {
+  std::vector<Vector> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(transform(row));
+  return out;
+}
+
+double StandardScaler::inverse_single(std::size_t feature,
+                                      double value) const {
+  PERDNN_CHECK(fitted() && feature < mean_.size());
+  return value * scale_[feature] + mean_[feature];
+}
+
+}  // namespace perdnn::ml

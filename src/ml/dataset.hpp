@@ -1,0 +1,52 @@
+// Tabular regression dataset plus the feature scaling the paper applies
+// before SVR/RNN training (standard scores).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace perdnn::ml {
+
+/// Rows of features with a scalar target each. Row-of-vectors storage keeps
+/// appends O(row); convert with to_matrix() where dense algebra is needed.
+struct Dataset {
+  std::vector<Vector> rows;
+  Vector y;
+
+  std::size_t size() const { return y.size(); }
+  std::size_t num_features() const { return rows.empty() ? 0 : rows[0].size(); }
+
+  void add(Vector features, double target);
+  /// Validates shape consistency; throws on mismatch.
+  void check() const;
+  /// Dense copy of the feature rows.
+  Matrix to_matrix() const;
+};
+
+/// Splits into train/test by shuffled indices; `test_fraction` in (0, 1).
+std::pair<Dataset, Dataset> train_test_split(const Dataset& data,
+                                             double test_fraction, Rng& rng);
+
+/// Per-feature standardisation to zero mean / unit variance. Constant
+/// features get scale 1 so transform stays finite.
+class StandardScaler {
+ public:
+  void fit(const std::vector<Vector>& rows);
+  Vector transform(const Vector& features) const;
+  std::vector<Vector> transform(const std::vector<Vector>& rows) const;
+  /// Undoes standardisation for one feature dimension.
+  double inverse_single(std::size_t feature, double value) const;
+  bool fitted() const { return !mean_.empty(); }
+  const Vector& mean() const { return mean_; }
+  const Vector& scale() const { return scale_; }
+
+ private:
+  Vector mean_;
+  Vector scale_;
+};
+
+}  // namespace perdnn::ml

@@ -1,0 +1,158 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace perdnn::ml {
+
+RegressionTree::RegressionTree(TreeConfig config) : config_(config) {
+  PERDNN_CHECK(config_.max_depth >= 1);
+  PERDNN_CHECK(config_.min_samples_leaf >= 1);
+  PERDNN_CHECK(config_.min_samples_split >= 2 * config_.min_samples_leaf);
+}
+
+void RegressionTree::fit(const Dataset& data, Rng& rng) {
+  std::vector<std::size_t> idx(data.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  fit(data, idx, rng);
+}
+
+void RegressionTree::fit(const Dataset& data,
+                         const std::vector<std::size_t>& sample_indices,
+                         Rng& rng) {
+  data.check();
+  PERDNN_CHECK(!sample_indices.empty());
+  nodes_.clear();
+  depth_ = 0;
+  num_features_ = data.num_features();
+  importance_.assign(num_features_, 0.0);
+  std::vector<std::size_t> idx = sample_indices;
+  build(data, idx, 0, idx.size(), 0, rng);
+}
+
+namespace {
+
+/// Mean and sum-of-squared-deviation of y over idx[begin, end).
+struct Moments {
+  double mean = 0.0;
+  double sse = 0.0;  // sum (y - mean)^2
+};
+
+Moments moments(const Vector& y, const std::vector<std::size_t>& idx,
+                std::size_t begin, std::size_t end) {
+  Moments m;
+  const double n = static_cast<double>(end - begin);
+  for (std::size_t i = begin; i < end; ++i) m.mean += y[idx[i]];
+  m.mean /= n;
+  for (std::size_t i = begin; i < end; ++i) {
+    const double d = y[idx[i]] - m.mean;
+    m.sse += d * d;
+  }
+  return m;
+}
+
+}  // namespace
+
+int RegressionTree::build(const Dataset& data, std::vector<std::size_t>& idx,
+                          std::size_t begin, std::size_t end, int depth,
+                          Rng& rng) {
+  const std::size_t n = end - begin;
+  depth_ = std::max(depth_, depth);
+  const Moments parent = moments(data.y, idx, begin, end);
+
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[static_cast<std::size_t>(node_id)].value = parent.mean;
+
+  const bool can_split = depth < config_.max_depth &&
+                         n >= config_.min_samples_split && parent.sse > 1e-24;
+  if (!can_split) return node_id;
+
+  // Candidate features (optionally subsampled, for forests).
+  std::vector<std::size_t> features(num_features_);
+  std::iota(features.begin(), features.end(), 0);
+  if (config_.max_features > 0 && config_.max_features < num_features_) {
+    rng.shuffle(features);
+    features.resize(config_.max_features);
+  }
+
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_gain = 1e-12;
+  std::vector<std::size_t> sorted(idx.begin() + static_cast<long>(begin),
+                                  idx.begin() + static_cast<long>(end));
+  for (std::size_t f : features) {
+    std::sort(sorted.begin(), sorted.end(), [&](std::size_t a, std::size_t b) {
+      return data.rows[a][f] < data.rows[b][f];
+    });
+    // Prefix scan of sums / sums of squares to evaluate every split in O(n).
+    double left_sum = 0.0, left_sq = 0.0;
+    double total_sum = 0.0, total_sq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = data.y[sorted[i]];
+      total_sum += v;
+      total_sq += v * v;
+    }
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      const double v = data.y[sorted[i]];
+      left_sum += v;
+      left_sq += v * v;
+      const std::size_t nl = i + 1;
+      const std::size_t nr = n - nl;
+      if (nl < config_.min_samples_leaf || nr < config_.min_samples_leaf)
+        continue;
+      // Skip ties: can't split between equal feature values.
+      if (data.rows[sorted[i]][f] >= data.rows[sorted[i + 1]][f]) continue;
+      const double right_sum = total_sum - left_sum;
+      const double right_sq = total_sq - left_sq;
+      const double sse_left = left_sq - left_sum * left_sum / nl;
+      const double sse_right = right_sq - right_sum * right_sum / nr;
+      const double gain = parent.sse - sse_left - sse_right;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold =
+            0.5 * (data.rows[sorted[i]][f] + data.rows[sorted[i + 1]][f]);
+      }
+    }
+  }
+  if (best_feature < 0) return node_id;  // no usable split -> leaf
+
+  importance_[static_cast<std::size_t>(best_feature)] += best_gain;
+
+  // Partition idx[begin, end) by the chosen split.
+  const auto mid_it = std::partition(
+      idx.begin() + static_cast<long>(begin),
+      idx.begin() + static_cast<long>(end), [&](std::size_t i) {
+        return data.rows[i][static_cast<std::size_t>(best_feature)] <=
+               best_threshold;
+      });
+  const auto mid = static_cast<std::size_t>(mid_it - idx.begin());
+  PERDNN_CHECK(mid > begin && mid < end);
+
+  const int left = build(data, idx, begin, mid, depth + 1, rng);
+  const int right = build(data, idx, mid, end, depth + 1, rng);
+  Node& node = nodes_[static_cast<std::size_t>(node_id)];
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  return node_id;
+}
+
+double RegressionTree::predict(const Vector& features) const {
+  PERDNN_CHECK_MSG(trained(), "predict() before fit()");
+  PERDNN_CHECK(features.size() == num_features_);
+  int node = 0;
+  while (nodes_[static_cast<std::size_t>(node)].feature >= 0) {
+    const Node& n = nodes_[static_cast<std::size_t>(node)];
+    node = features[static_cast<std::size_t>(n.feature)] <= n.threshold
+               ? n.left
+               : n.right;
+  }
+  return nodes_[static_cast<std::size_t>(node)].value;
+}
+
+}  // namespace perdnn::ml

@@ -1,0 +1,62 @@
+// CART regression tree: variance-reduction splits, depth and leaf-size
+// stopping rules, optional per-split feature subsampling (for forests), and
+// impurity-decrease feature importances (the quantity Fig 4 reports).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/dataset.hpp"
+
+namespace perdnn::ml {
+
+struct TreeConfig {
+  int max_depth = 12;
+  std::size_t min_samples_leaf = 3;
+  std::size_t min_samples_split = 6;
+  /// Features considered per split; 0 means all features.
+  std::size_t max_features = 0;
+};
+
+class RegressionTree {
+ public:
+  explicit RegressionTree(TreeConfig config = {});
+
+  /// Fits on the subset of `data` given by `sample_indices` (bootstrap
+  /// support); pass all indices for a plain fit.
+  void fit(const Dataset& data, const std::vector<std::size_t>& sample_indices,
+           Rng& rng);
+  /// Convenience: fit on the full dataset.
+  void fit(const Dataset& data, Rng& rng);
+
+  double predict(const Vector& features) const;
+  bool trained() const { return !nodes_.empty(); }
+
+  /// Total impurity decrease attributed to each feature (unnormalised).
+  const Vector& impurity_importance() const { return importance_; }
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  int depth() const { return depth_; }
+
+ private:
+  struct Node {
+    // Leaf iff feature < 0.
+    int feature = -1;
+    double threshold = 0.0;
+    double value = 0.0;  // leaf prediction (mean of samples)
+    int left = -1;
+    int right = -1;
+  };
+
+  int build(const Dataset& data, std::vector<std::size_t>& idx,
+            std::size_t begin, std::size_t end, int depth, Rng& rng);
+
+  TreeConfig config_;
+  std::vector<Node> nodes_;
+  Vector importance_;
+  int depth_ = 0;
+  std::size_t num_features_ = 0;
+};
+
+}  // namespace perdnn::ml

@@ -1,0 +1,60 @@
+#include "ml/gbt.hpp"
+
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace perdnn::ml {
+
+GradientBoostedTrees::GradientBoostedTrees(GbtConfig config)
+    : config_(config) {
+  PERDNN_CHECK(config_.num_rounds >= 1);
+  PERDNN_CHECK(config_.learning_rate > 0.0 && config_.learning_rate <= 1.0);
+  PERDNN_CHECK(config_.subsample > 0.0 && config_.subsample <= 1.0);
+}
+
+void GradientBoostedTrees::fit(const Dataset& data, Rng& rng) {
+  data.check();
+  PERDNN_CHECK(data.size() >= 4);
+  trees_.clear();
+
+  base_ = 0.0;
+  for (double y : data.y) base_ += y;
+  base_ /= static_cast<double>(data.y.size());
+
+  // Squared loss: the negative gradient is simply the residual, so each
+  // round fits a small tree to the current residuals.
+  Dataset residuals = data;
+  for (std::size_t i = 0; i < residuals.y.size(); ++i)
+    residuals.y[i] -= base_;
+
+  std::vector<std::size_t> all(data.size());
+  std::iota(all.begin(), all.end(), 0);
+  const auto sample_n = static_cast<std::size_t>(std::max(
+      2.0, config_.subsample * static_cast<double>(data.size())));
+
+  for (int round = 0; round < config_.num_rounds; ++round) {
+    std::vector<std::size_t> sample = all;
+    if (sample_n < sample.size()) {
+      rng.shuffle(sample);
+      sample.resize(sample_n);
+    }
+    RegressionTree tree(config_.tree);
+    tree.fit(residuals, sample, rng);
+    for (std::size_t i = 0; i < residuals.y.size(); ++i)
+      residuals.y[i] -=
+          config_.learning_rate * tree.predict(residuals.rows[i]);
+    trees_.push_back(std::move(tree));
+  }
+  trained_ = true;
+}
+
+double GradientBoostedTrees::predict(const Vector& features) const {
+  PERDNN_CHECK_MSG(trained_, "predict() before fit()");
+  double out = base_;
+  for (const auto& tree : trees_)
+    out += config_.learning_rate * tree.predict(features);
+  return out;
+}
+
+}  // namespace perdnn::ml

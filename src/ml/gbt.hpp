@@ -1,0 +1,42 @@
+// Gradient-boosted regression trees (squared loss, shrinkage, optional row
+// subsampling). An extension beyond the paper's random forest — boosting
+// often edges out bagging on smooth latency surfaces, and the ablation bench
+// compares the two as execution-time estimators.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/decision_tree.hpp"
+
+namespace perdnn::ml {
+
+struct GbtConfig {
+  int num_rounds = 80;
+  double learning_rate = 0.1;
+  /// Fraction of rows sampled (without replacement) per round.
+  double subsample = 0.8;
+  TreeConfig tree{.max_depth = 4,
+                  .min_samples_leaf = 3,
+                  .min_samples_split = 6,
+                  .max_features = 0};
+};
+
+class GradientBoostedTrees {
+ public:
+  explicit GradientBoostedTrees(GbtConfig config = {});
+
+  void fit(const Dataset& data, Rng& rng);
+  double predict(const Vector& features) const;
+  bool trained() const { return trained_; }
+
+  int num_trees() const { return static_cast<int>(trees_.size()); }
+
+ private:
+  GbtConfig config_;
+  double base_ = 0.0;  // initial prediction (target mean)
+  std::vector<RegressionTree> trees_;
+  bool trained_ = false;
+};
+
+}  // namespace perdnn::ml

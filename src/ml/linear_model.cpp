@@ -1,0 +1,52 @@
+#include "ml/linear_model.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace perdnn::ml {
+
+RidgeRegression::RidgeRegression(RidgeConfig config) : config_(config) {
+  PERDNN_CHECK(config_.ridge >= 0.0);
+}
+
+Vector RidgeRegression::expand(const Vector& features) const {
+  Vector out = features;
+  if (config_.log_features) {
+    out.reserve(features.size() * 2 + 1);
+    for (double f : features) out.push_back(std::log1p(std::abs(f)));
+  }
+  out.push_back(1.0);  // intercept
+  return out;
+}
+
+void RidgeRegression::fit(const Dataset& data) {
+  data.check();
+  PERDNN_CHECK(data.size() >= 2);
+  raw_features_ = data.num_features();
+
+  // Build the expanded design matrix implicitly: accumulate X^T X and X^T y.
+  const std::size_t d = expand(data.rows[0]).size();
+  Matrix xtx(d, d);
+  Vector xty(d, 0.0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const Vector row = expand(data.rows[i]);
+    for (std::size_t a = 0; a < d; ++a) {
+      xty[a] += row[a] * data.y[i];
+      for (std::size_t b = a; b < d; ++b) xtx(a, b) += row[a] * row[b];
+    }
+  }
+  for (std::size_t a = 0; a < d; ++a)
+    for (std::size_t b = 0; b < a; ++b) xtx(a, b) = xtx(b, a);
+
+  // A tiny ridge floor keeps the solve well-posed with collinear features.
+  weights_ = cholesky_solve(xtx, xty, std::max(config_.ridge, 1e-9));
+}
+
+double RidgeRegression::predict(const Vector& features) const {
+  PERDNN_CHECK_MSG(trained(), "predict() before fit()");
+  PERDNN_CHECK(features.size() == raw_features_);
+  return dot(expand(features), weights_);
+}
+
+}  // namespace perdnn::ml

@@ -1,0 +1,41 @@
+// Ridge-regularised linear regression, solved by normal equations.
+//
+// This is the building block for the NeuroSurgeon-style "LL" estimators:
+// the paper's baseline fits linear *and logarithmic* regression models on
+// layer hyperparameters; we expose an optional log1p feature expansion that
+// appends log-transformed copies of the inputs so a single linear solve
+// covers both regimes.
+#pragma once
+
+#include "common/matrix.hpp"
+#include "ml/dataset.hpp"
+
+namespace perdnn::ml {
+
+struct RidgeConfig {
+  double ridge = 1e-6;
+  /// Append log1p(|x|) copies of every feature (the "logarithmic" half of
+  /// NeuroSurgeon's LL family).
+  bool log_features = false;
+};
+
+class RidgeRegression {
+ public:
+  explicit RidgeRegression(RidgeConfig config = {});
+
+  void fit(const Dataset& data);
+  double predict(const Vector& features) const;
+  bool trained() const { return !weights_.empty(); }
+
+  /// Learned weights (expanded-feature space), last entry is the intercept.
+  const Vector& weights() const { return weights_; }
+
+ private:
+  Vector expand(const Vector& features) const;
+
+  RidgeConfig config_;
+  Vector weights_;
+  std::size_t raw_features_ = 0;
+};
+
+}  // namespace perdnn::ml

@@ -1,0 +1,224 @@
+#include "ml/lstm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace perdnn::ml {
+
+namespace {
+
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+void adam_update(Vector& param, const Vector& grad, Vector& m, Vector& v,
+                 long t, double lr, double clip) {
+  constexpr double kBeta1 = 0.9;
+  constexpr double kBeta2 = 0.999;
+  constexpr double kEps = 1e-8;
+  if (m.size() != param.size()) {
+    m.assign(param.size(), 0.0);
+    v.assign(param.size(), 0.0);
+  }
+  const double bias1 = 1.0 - std::pow(kBeta1, static_cast<double>(t));
+  const double bias2 = 1.0 - std::pow(kBeta2, static_cast<double>(t));
+  for (std::size_t i = 0; i < param.size(); ++i) {
+    const double g = std::clamp(grad[i], -clip, clip);
+    m[i] = kBeta1 * m[i] + (1.0 - kBeta1) * g;
+    v[i] = kBeta2 * v[i] + (1.0 - kBeta2) * g * g;
+    param[i] -= lr * (m[i] / bias1) / (std::sqrt(v[i] / bias2) + kEps);
+  }
+}
+
+}  // namespace
+
+/// Per-timestep values cached by the forward pass for BPTT.
+struct LstmRegressor::StepCache {
+  Vector concat;  // [x_t ; h_{t-1}]
+  Vector i, f, g, o;
+  Vector c;       // cell state after this step
+  Vector c_prev;
+  Vector h;       // hidden state after this step
+};
+
+LstmRegressor::LstmRegressor(LstmConfig config, Rng& rng) : config_(config) {
+  PERDNN_CHECK(config_.input_dim >= 1 && config_.hidden_dim >= 1 &&
+               config_.output_dim >= 1);
+  const std::size_t h = config_.hidden_dim;
+  const std::size_t z = config_.input_dim + h;
+  // Xavier-style initialisation.
+  const double gate_scale = 1.0 / std::sqrt(static_cast<double>(z));
+  w_gates_ = Matrix(4 * h, z);
+  for (double& w : w_gates_.data()) w = gate_scale * rng.normal();
+  b_gates_.assign(4 * h, 0.0);
+  // Forget-gate bias of 1 is the standard trick for gradient flow.
+  for (std::size_t i = h; i < 2 * h; ++i) b_gates_[i] = 1.0;
+  const double out_scale = 1.0 / std::sqrt(static_cast<double>(h));
+  w_out_ = Matrix(config_.output_dim, h);
+  for (double& w : w_out_.data()) w = out_scale * rng.normal();
+  b_out_.assign(config_.output_dim, 0.0);
+}
+
+Vector LstmRegressor::forward(const std::vector<Vector>& sequence,
+                              std::vector<StepCache>* caches) const {
+  PERDNN_CHECK(!sequence.empty());
+  const std::size_t h = config_.hidden_dim;
+  Vector h_state(h, 0.0);
+  Vector c_state(h, 0.0);
+  if (caches) caches->clear();
+  for (const Vector& x : sequence) {
+    PERDNN_CHECK(x.size() == config_.input_dim);
+    Vector concat;
+    concat.reserve(config_.input_dim + h);
+    concat.insert(concat.end(), x.begin(), x.end());
+    concat.insert(concat.end(), h_state.begin(), h_state.end());
+    const Vector pre = vec_add(w_gates_.matvec(concat), b_gates_);
+
+    StepCache cache;
+    cache.concat = std::move(concat);
+    cache.c_prev = c_state;
+    cache.i.resize(h);
+    cache.f.resize(h);
+    cache.g.resize(h);
+    cache.o.resize(h);
+    for (std::size_t k = 0; k < h; ++k) {
+      cache.i[k] = sigmoid(pre[k]);
+      cache.f[k] = sigmoid(pre[h + k]);
+      cache.g[k] = std::tanh(pre[2 * h + k]);
+      cache.o[k] = sigmoid(pre[3 * h + k]);
+    }
+    for (std::size_t k = 0; k < h; ++k)
+      c_state[k] = cache.f[k] * cache.c_prev[k] + cache.i[k] * cache.g[k];
+    for (std::size_t k = 0; k < h; ++k)
+      h_state[k] = cache.o[k] * std::tanh(c_state[k]);
+    cache.c = c_state;
+    cache.h = h_state;
+    if (caches) caches->push_back(std::move(cache));
+  }
+  return vec_add(w_out_.matvec(h_state), b_out_);
+}
+
+Vector LstmRegressor::predict(const std::vector<Vector>& sequence) const {
+  return forward(sequence, nullptr);
+}
+
+double LstmRegressor::evaluate_mae(
+    const std::vector<std::vector<Vector>>& sequences,
+    const std::vector<Vector>& targets) const {
+  PERDNN_CHECK(sequences.size() == targets.size());
+  PERDNN_CHECK(!sequences.empty());
+  double total = 0.0;
+  std::size_t terms = 0;
+  for (std::size_t i = 0; i < sequences.size(); ++i) {
+    const Vector pred = predict(sequences[i]);
+    for (std::size_t d = 0; d < pred.size(); ++d) {
+      total += std::abs(pred[d] - targets[i][d]);
+      ++terms;
+    }
+  }
+  return total / static_cast<double>(terms);
+}
+
+void LstmRegressor::fit(const std::vector<std::vector<Vector>>& sequences,
+                        const std::vector<Vector>& targets, Rng& rng) {
+  PERDNN_CHECK(sequences.size() == targets.size());
+  PERDNN_CHECK(!sequences.empty());
+  const std::size_t h = config_.hidden_dim;
+  const std::size_t z = config_.input_dim + h;
+
+  std::vector<std::size_t> order(sequences.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t start = 0; start < order.size();
+         start += config_.batch_size) {
+      const std::size_t end =
+          std::min(order.size(), start + config_.batch_size);
+
+      Vector grad_w_gates(w_gates_.data().size(), 0.0);
+      Vector grad_b_gates(b_gates_.size(), 0.0);
+      Vector grad_w_out(w_out_.data().size(), 0.0);
+      Vector grad_b_out(b_out_.size(), 0.0);
+
+      for (std::size_t bi = start; bi < end; ++bi) {
+        const auto& seq = sequences[order[bi]];
+        const auto& target = targets[order[bi]];
+        PERDNN_CHECK(target.size() == config_.output_dim);
+        std::vector<StepCache> caches;
+        const Vector pred = forward(seq, &caches);
+
+        // MAE loss: dL/dpred = sign(pred - target) / output_dim.
+        Vector d_pred(config_.output_dim);
+        for (std::size_t d = 0; d < config_.output_dim; ++d) {
+          const double diff = pred[d] - target[d];
+          d_pred[d] = (diff > 0 ? 1.0 : (diff < 0 ? -1.0 : 0.0)) /
+                      static_cast<double>(config_.output_dim);
+        }
+
+        // Output head gradients.
+        const Vector& h_last = caches.back().h;
+        for (std::size_t r = 0; r < config_.output_dim; ++r) {
+          grad_b_out[r] += d_pred[r];
+          for (std::size_t cidx = 0; cidx < h; ++cidx)
+            grad_w_out[r * h + cidx] += d_pred[r] * h_last[cidx];
+        }
+        Vector dh = w_out_.transposed_matvec(d_pred);
+        Vector dc(h, 0.0);
+
+        // BPTT over the sequence.
+        for (std::size_t t = caches.size(); t-- > 0;) {
+          const StepCache& cache = caches[t];
+          Vector d_pre(4 * h, 0.0);
+          for (std::size_t k = 0; k < h; ++k) {
+            const double tanh_c = std::tanh(cache.c[k]);
+            const double do_ = dh[k] * tanh_c;
+            double dc_k = dc[k] + dh[k] * cache.o[k] * (1.0 - tanh_c * tanh_c);
+            const double di = dc_k * cache.g[k];
+            const double df = dc_k * cache.c_prev[k];
+            const double dg = dc_k * cache.i[k];
+            dc[k] = dc_k * cache.f[k];  // carried to t-1
+            d_pre[k] = di * cache.i[k] * (1.0 - cache.i[k]);
+            d_pre[h + k] = df * cache.f[k] * (1.0 - cache.f[k]);
+            d_pre[2 * h + k] = dg * (1.0 - cache.g[k] * cache.g[k]);
+            d_pre[3 * h + k] = do_ * cache.o[k] * (1.0 - cache.o[k]);
+          }
+          // Accumulate gate parameter gradients and propagate to h_{t-1}.
+          Vector d_concat(z, 0.0);
+          for (std::size_t r = 0; r < 4 * h; ++r) {
+            const double dp = d_pre[r];
+            if (dp == 0.0) continue;
+            grad_b_gates[r] += dp;
+            const double* wrow = w_gates_.row_data(r);
+            for (std::size_t cidx = 0; cidx < z; ++cidx) {
+              grad_w_gates[r * z + cidx] += dp * cache.concat[cidx];
+              d_concat[cidx] += dp * wrow[cidx];
+            }
+          }
+          for (std::size_t k = 0; k < h; ++k)
+            dh[k] = d_concat[config_.input_dim + k];
+        }
+      }
+
+      const double inv_batch = 1.0 / static_cast<double>(end - start);
+      for (double& g : grad_w_gates) g *= inv_batch;
+      for (double& g : grad_b_gates) g *= inv_batch;
+      for (double& g : grad_w_out) g *= inv_batch;
+      for (double& g : grad_b_out) g *= inv_batch;
+
+      ++adam_t_;
+      adam_update(w_gates_.data(), grad_w_gates, adam_w_gates_.m,
+                  adam_w_gates_.v, adam_t_, config_.learning_rate,
+                  config_.grad_clip);
+      adam_update(b_gates_, grad_b_gates, adam_b_gates_.m, adam_b_gates_.v,
+                  adam_t_, config_.learning_rate, config_.grad_clip);
+      adam_update(w_out_.data(), grad_w_out, adam_w_out_.m, adam_w_out_.v,
+                  adam_t_, config_.learning_rate, config_.grad_clip);
+      adam_update(b_out_, grad_b_out, adam_b_out_.m, adam_b_out_.v, adam_t_,
+                  config_.learning_rate, config_.grad_clip);
+    }
+  }
+}
+
+}  // namespace perdnn::ml

@@ -1,0 +1,65 @@
+// Single-cell LSTM sequence regressor with a linear output head, trained
+// with Adam on MAE loss via full backpropagation-through-time — matching the
+// paper's RNN mobility predictor (one LSTM cell, latent size 16–32, fc head
+// with no activation, MAE loss, Adam @ lr 0.001).
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace perdnn::ml {
+
+struct LstmConfig {
+  std::size_t input_dim = 2;
+  std::size_t hidden_dim = 16;
+  std::size_t output_dim = 2;
+  int epochs = 40;
+  std::size_t batch_size = 16;
+  double learning_rate = 1e-3;
+  double grad_clip = 5.0;  ///< elementwise gradient clipping
+};
+
+class LstmRegressor {
+ public:
+  explicit LstmRegressor(LstmConfig config, Rng& rng);
+
+  /// Trains on (sequence of input vectors) -> (target vector) pairs. All
+  /// sequences may have different lengths; every step must be input_dim wide.
+  void fit(const std::vector<std::vector<Vector>>& sequences,
+           const std::vector<Vector>& targets, Rng& rng);
+
+  Vector predict(const std::vector<Vector>& sequence) const;
+
+  /// Mean absolute error over a dataset (per-output average).
+  double evaluate_mae(const std::vector<std::vector<Vector>>& sequences,
+                      const std::vector<Vector>& targets) const;
+
+  const LstmConfig& config() const { return config_; }
+
+ private:
+  struct StepCache;
+
+  /// Runs the cell over a sequence; fills caches when requested.
+  Vector forward(const std::vector<Vector>& sequence,
+                 std::vector<StepCache>* caches) const;
+
+  LstmConfig config_;
+  // Gate weights, stacked [i; f; g; o]: each block hidden_dim rows over
+  // (input_dim + hidden_dim) columns.
+  Matrix w_gates_;
+  Vector b_gates_;
+  Matrix w_out_;   // output_dim x hidden_dim
+  Vector b_out_;
+
+  // Adam state (same shapes as the parameters, flattened).
+  struct AdamState {
+    Vector m;
+    Vector v;
+  };
+  AdamState adam_w_gates_, adam_b_gates_, adam_w_out_, adam_b_out_;
+  long adam_t_ = 0;
+};
+
+}  // namespace perdnn::ml

@@ -1,0 +1,95 @@
+#include "ml/markov.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace perdnn::ml {
+
+std::size_t PredictionSuffixTree::VectorHash::operator()(
+    const std::vector<int>& v) const {
+  std::size_t h = 1469598103934665603ULL;
+  for (int x : v) {
+    h ^= static_cast<std::size_t>(static_cast<std::uint32_t>(x));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+PredictionSuffixTree::PredictionSuffixTree(MarkovConfig config)
+    : config_(config) {
+  PERDNN_CHECK(config_.max_order >= 1);
+  PERDNN_CHECK(config_.subsequence_ratio > 0.0 &&
+               config_.subsequence_ratio <= 1.0);
+}
+
+void PredictionSuffixTree::add_sequence(const std::vector<int>& symbols) {
+  // Every position contributes counts for contexts of order 1..max_order.
+  for (std::size_t pos = 1; pos < symbols.size(); ++pos) {
+    const int next = symbols[pos];
+    const auto max_len = std::min<std::size_t>(
+        pos, static_cast<std::size_t>(config_.max_order));
+    for (std::size_t len = 1; len <= max_len; ++len) {
+      std::vector<int> context(symbols.begin() + static_cast<long>(pos - len),
+                               symbols.begin() + static_cast<long>(pos));
+      ++contexts_[std::move(context)][next];
+    }
+  }
+}
+
+std::vector<std::pair<int, double>> PredictionSuffixTree::predict_distribution(
+    const std::vector<int>& recent) const {
+  if (recent.empty() || contexts_.empty()) return {};
+
+  // Longest suffix of `recent` that exists as a context.
+  const auto cap = std::min<std::size_t>(
+      recent.size(), static_cast<std::size_t>(config_.max_order));
+  std::size_t longest = 0;
+  for (std::size_t len = cap; len >= 1; --len) {
+    std::vector<int> context(recent.end() - static_cast<long>(len),
+                             recent.end());
+    if (contexts_.count(context)) {
+      longest = len;
+      break;
+    }
+  }
+  if (longest == 0) return {};
+
+  // Shorten by the subsequence ratio (Jacquet et al.'s sampled pattern
+  // matching); at least order 1.
+  const auto use_len = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::floor(
+             config_.subsequence_ratio * static_cast<double>(longest))));
+  std::vector<int> context(recent.end() - static_cast<long>(use_len),
+                           recent.end());
+  const auto it = contexts_.find(context);
+  if (it == contexts_.end()) return {};
+
+  std::int64_t total = 0;
+  for (const auto& [symbol, count] : it->second) total += count;
+  std::vector<std::pair<int, double>> dist;
+  dist.reserve(it->second.size());
+  for (const auto& [symbol, count] : it->second)
+    dist.emplace_back(symbol,
+                      static_cast<double>(count) / static_cast<double>(total));
+  std::sort(dist.begin(), dist.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;  // deterministic tie-break
+  });
+  return dist;
+}
+
+std::vector<int> PredictionSuffixTree::predict_top(
+    const std::vector<int>& recent, int n) const {
+  PERDNN_CHECK(n >= 1);
+  const auto dist = predict_distribution(recent);
+  std::vector<int> out;
+  for (const auto& [symbol, prob] : dist) {
+    out.push_back(symbol);
+    if (static_cast<int>(out.size()) == n) break;
+  }
+  return out;
+}
+
+}  // namespace perdnn::ml

@@ -1,0 +1,51 @@
+// Variable-order Markov predictor implemented as a prediction suffix tree
+// (Ron, Singer & Tishby), matching the paper's Markov mobility baseline:
+// locations are discretised to edge-server identifiers, the tree stores
+// next-symbol counts per context, and prediction looks up the longest
+// matching suffix of the recent trajectory, shortened by the subsequence
+// ratio `a` (0.7 in the paper, after Jacquet et al.).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace perdnn::ml {
+
+struct MarkovConfig {
+  int max_order = 5;
+  double subsequence_ratio = 0.7;  ///< the paper's `a`
+};
+
+class PredictionSuffixTree {
+ public:
+  explicit PredictionSuffixTree(MarkovConfig config = {});
+
+  /// Folds one symbol sequence (e.g. a user's server-id trajectory) into the
+  /// context statistics.
+  void add_sequence(const std::vector<int>& symbols);
+
+  /// (symbol, probability) pairs sorted by descending probability for the
+  /// longest usable context of `recent`; empty if nothing matches.
+  std::vector<std::pair<int, double>> predict_distribution(
+      const std::vector<int>& recent) const;
+
+  /// Top-n most probable next symbols (may return fewer).
+  std::vector<int> predict_top(const std::vector<int>& recent, int n) const;
+
+  std::size_t num_contexts() const { return contexts_.size(); }
+
+ private:
+  struct VectorHash {
+    std::size_t operator()(const std::vector<int>& v) const;
+  };
+
+  MarkovConfig config_;
+  /// context (most recent symbol last) -> next-symbol counts.
+  std::unordered_map<std::vector<int>, std::unordered_map<int, std::int64_t>,
+                     VectorHash>
+      contexts_;
+};
+
+}  // namespace perdnn::ml

@@ -1,0 +1,67 @@
+#include "ml/random_forest.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace perdnn::ml {
+
+RandomForest::RandomForest(ForestConfig config) : config_(config) {
+  PERDNN_CHECK(config_.num_trees >= 1);
+  PERDNN_CHECK(config_.bootstrap_fraction > 0.0 &&
+               config_.bootstrap_fraction <= 1.0);
+}
+
+void RandomForest::fit(const Dataset& data, Rng& rng) {
+  data.check();
+  PERDNN_CHECK(data.size() >= 4);
+  num_features_ = data.num_features();
+  trees_.clear();
+  trees_.reserve(static_cast<std::size_t>(config_.num_trees));
+
+  TreeConfig tree_config = config_.tree;
+  if (tree_config.max_features == 0) {
+    // sklearn-style default for regression forests: all features; we use
+    // ceil(sqrt) x 2 as a compromise that decorrelates trees while keeping
+    // the strong load features in play often enough.
+    tree_config.max_features = std::min(
+        num_features_,
+        static_cast<std::size_t>(
+            std::ceil(std::sqrt(static_cast<double>(num_features_)))) *
+            2);
+  }
+
+  const auto bootstrap_n = static_cast<std::size_t>(std::max(
+      1.0, std::round(config_.bootstrap_fraction *
+                      static_cast<double>(data.size()))));
+  for (int t = 0; t < config_.num_trees; ++t) {
+    std::vector<std::size_t> sample(bootstrap_n);
+    for (auto& s : sample) s = rng.index(data.size());
+    RegressionTree tree(tree_config);
+    tree.fit(data, sample, rng);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double RandomForest::predict(const Vector& features) const {
+  PERDNN_CHECK_MSG(trained(), "predict() before fit()");
+  double total = 0.0;
+  for (const auto& tree : trees_) total += tree.predict(features);
+  return total / static_cast<double>(trees_.size());
+}
+
+Vector RandomForest::feature_importance() const {
+  PERDNN_CHECK(trained());
+  Vector importance(num_features_, 0.0);
+  for (const auto& tree : trees_) {
+    const Vector& imp = tree.impurity_importance();
+    for (std::size_t f = 0; f < num_features_; ++f) importance[f] += imp[f];
+  }
+  double total = 0.0;
+  for (double v : importance) total += v;
+  if (total > 0.0)
+    for (double& v : importance) v /= total;
+  return importance;
+}
+
+}  // namespace perdnn::ml

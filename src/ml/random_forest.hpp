@@ -1,0 +1,38 @@
+// Random forest regressor: bagged CART trees with per-split feature
+// subsampling, plus aggregated impurity feature importances (Fig 4 right).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/decision_tree.hpp"
+
+namespace perdnn::ml {
+
+struct ForestConfig {
+  int num_trees = 24;
+  TreeConfig tree;
+  /// Bootstrap sample size as a fraction of the dataset.
+  double bootstrap_fraction = 1.0;
+};
+
+class RandomForest {
+ public:
+  explicit RandomForest(ForestConfig config = {});
+
+  void fit(const Dataset& data, Rng& rng);
+  double predict(const Vector& features) const;
+  bool trained() const { return !trees_.empty(); }
+
+  /// Mean impurity importance across trees, normalised to sum to 1.
+  Vector feature_importance() const;
+
+  int num_trees() const { return static_cast<int>(trees_.size()); }
+
+ private:
+  ForestConfig config_;
+  std::vector<RegressionTree> trees_;
+  std::size_t num_features_ = 0;
+};
+
+}  // namespace perdnn::ml

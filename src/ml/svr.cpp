@@ -1,0 +1,101 @@
+#include "ml/svr.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace perdnn::ml {
+
+LinearSvr::LinearSvr(SvrConfig config) : config_(config) {
+  PERDNN_CHECK(config_.epsilon >= 0.0);
+  PERDNN_CHECK(config_.lambda >= 0.0);
+  PERDNN_CHECK(config_.epochs >= 1);
+  PERDNN_CHECK(config_.learning_rate > 0.0);
+}
+
+void LinearSvr::fit(const Dataset& data, Rng& rng) {
+  data.check();
+  PERDNN_CHECK(data.size() >= 2);
+  const std::size_t d = data.num_features();
+  weights_.assign(d, 0.0);
+  bias_ = 0.0;
+
+  // Polyak averaging over the second half of training stabilises SGD.
+  Vector avg_w(d, 0.0);
+  double avg_b = 0.0;
+  std::size_t avg_count = 0;
+  const std::size_t avg_start =
+      static_cast<std::size_t>(config_.epochs) * data.size() / 2;
+
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::size_t step = 0;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t i : order) {
+      ++step;
+      const double lr =
+          config_.learning_rate / (1.0 + 0.01 * static_cast<double>(step));
+      const Vector& x = data.rows[i];
+      const double residual = dot(weights_, x) + bias_ - data.y[i];
+      // Subgradient of the epsilon-insensitive loss.
+      double g = 0.0;
+      if (residual > config_.epsilon) g = 1.0;
+      else if (residual < -config_.epsilon) g = -1.0;
+      for (std::size_t f = 0; f < d; ++f)
+        weights_[f] -= lr * (config_.lambda * weights_[f] + g * x[f]);
+      bias_ -= lr * g;
+      if (step >= avg_start) {
+        for (std::size_t f = 0; f < d; ++f) avg_w[f] += weights_[f];
+        avg_b += bias_;
+        ++avg_count;
+      }
+    }
+  }
+  if (avg_count > 0) {
+    for (std::size_t f = 0; f < d; ++f)
+      weights_[f] = avg_w[f] / static_cast<double>(avg_count);
+    bias_ = avg_b / static_cast<double>(avg_count);
+  }
+}
+
+double LinearSvr::predict(const Vector& features) const {
+  PERDNN_CHECK_MSG(trained(), "predict() before fit()");
+  PERDNN_CHECK(features.size() == weights_.size());
+  return dot(weights_, features) + bias_;
+}
+
+MultiOutputSvr::MultiOutputSvr(std::size_t outputs, SvrConfig config) {
+  PERDNN_CHECK(outputs >= 1);
+  models_.assign(outputs, LinearSvr(config));
+}
+
+void MultiOutputSvr::fit(const std::vector<Vector>& features,
+                         const std::vector<Vector>& targets, Rng& rng) {
+  PERDNN_CHECK(features.size() == targets.size());
+  PERDNN_CHECK(!features.empty());
+  for (std::size_t out = 0; out < models_.size(); ++out) {
+    Dataset data;
+    for (std::size_t i = 0; i < features.size(); ++i) {
+      PERDNN_CHECK(targets[i].size() == models_.size());
+      data.add(features[i], targets[i][out]);
+    }
+    models_[out].fit(data, rng);
+  }
+}
+
+Vector MultiOutputSvr::predict(const Vector& features) const {
+  Vector out;
+  out.reserve(models_.size());
+  for (const auto& model : models_) out.push_back(model.predict(features));
+  return out;
+}
+
+bool MultiOutputSvr::trained() const {
+  for (const auto& model : models_)
+    if (!model.trained()) return false;
+  return true;
+}
+
+}  // namespace perdnn::ml

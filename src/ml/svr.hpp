@@ -1,0 +1,52 @@
+// Linear support vector regression with epsilon-insensitive loss, trained by
+// averaged stochastic subgradient descent. This is the paper's mobility
+// predictor of choice (linear-kernel SVR was both accurate and fast).
+#pragma once
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "ml/dataset.hpp"
+
+namespace perdnn::ml {
+
+struct SvrConfig {
+  double epsilon = 0.01;   ///< insensitivity tube half-width (scaled targets)
+  double lambda = 1e-4;    ///< L2 regularisation strength
+  int epochs = 40;
+  double learning_rate = 0.05;
+};
+
+class LinearSvr {
+ public:
+  explicit LinearSvr(SvrConfig config = {});
+
+  void fit(const Dataset& data, Rng& rng);
+  double predict(const Vector& features) const;
+  bool trained() const { return !weights_.empty(); }
+
+  const Vector& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+ private:
+  SvrConfig config_;
+  Vector weights_;
+  double bias_ = 0.0;
+};
+
+/// Independent LinearSvrs per output dimension — the paper's SVR outputs
+/// (x, y) coordinates of the next location.
+class MultiOutputSvr {
+ public:
+  MultiOutputSvr(std::size_t outputs, SvrConfig config = {});
+
+  /// targets[i] must have `outputs` entries for every row of features.
+  void fit(const std::vector<Vector>& features,
+           const std::vector<Vector>& targets, Rng& rng);
+  Vector predict(const Vector& features) const;
+  bool trained() const;
+
+ private:
+  std::vector<LinearSvr> models_;
+};
+
+}  // namespace perdnn::ml

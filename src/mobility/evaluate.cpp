@@ -1,0 +1,80 @@
+#include "mobility/evaluate.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace perdnn {
+
+double PredictorEvaluation::futile_ratio() const {
+  return total_predictions > 0
+             ? static_cast<double>(futile_predictions) / total_predictions
+             : 0.0;
+}
+
+double PredictorEvaluation::top1_accuracy() const {
+  return non_futile() > 0 ? static_cast<double>(top1_hits) / non_futile()
+                          : 0.0;
+}
+
+double PredictorEvaluation::top2_accuracy() const {
+  return non_futile() > 0 ? static_cast<double>(top2_hits) / non_futile()
+                          : 0.0;
+}
+
+PredictorEvaluation evaluate_predictor(const MobilityPredictor& predictor,
+                                       const std::vector<Trajectory>& test,
+                                       const ServerMap& servers) {
+  PERDNN_CHECK(!test.empty());
+  const auto n = static_cast<std::size_t>(predictor.trajectory_length());
+  const double search_radius = servers.grid().cell_radius() * 64.0;
+  const double service_range = servers.grid().cell_radius();
+
+  PredictorEvaluation eval;
+  double err_all = 0.0;
+  double err_nonfutile = 0.0;
+  int in_range = 0;
+  for (const auto& traj : test) {
+    if (traj.points.size() < n + 1) continue;
+    for (std::size_t i = n - 1; i + 1 < traj.points.size(); ++i) {
+      const std::span<const Point> recent(traj.points.data(), i + 1);
+      const Point actual = traj.points[i + 1];
+      const ServerId current =
+          servers.nearest_server(traj.points[i], search_radius);
+      const ServerId next = servers.nearest_server(actual, search_radius);
+
+      const Point predicted = predictor.predict(recent);
+      ++eval.total_predictions;
+      err_all += distance(predicted, actual);
+
+      if (next == current) {
+        ++eval.futile_predictions;
+        continue;
+      }
+      err_nonfutile += distance(predicted, actual);
+      const auto top2 = predictor.predict_servers(recent, 2, servers);
+      if (!top2.empty() && top2[0] == next) ++eval.top1_hits;
+      if (std::find(top2.begin(), top2.end(), next) != top2.end())
+        ++eval.top2_hits;
+      if (next != kNoServer &&
+          distance(predicted, servers.server_center(next)) <= service_range)
+        ++in_range;
+    }
+  }
+  if (eval.total_predictions > 0)
+    eval.mae_all_m = err_all / eval.total_predictions;
+  if (eval.non_futile() > 0) {
+    eval.mae_nonfutile_m = err_nonfutile / eval.non_futile();
+    eval.in_range_accuracy = static_cast<double>(in_range) / eval.non_futile();
+  }
+  return eval;
+}
+
+double benefit_cost_ratio(const PredictorEvaluation& eval) {
+  if (eval.total_predictions == 0) return 0.0;
+  const double benefit = eval.in_range_accuracy *
+                         static_cast<double>(eval.non_futile());
+  return benefit / static_cast<double>(eval.total_predictions);
+}
+
+}  // namespace perdnn

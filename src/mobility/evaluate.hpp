@@ -1,0 +1,46 @@
+// Mobility-prediction evaluation: the protocol behind Table III and Fig 6.
+//
+// Predictions are made at every trajectory step; a prediction is *futile*
+// when the user stays at its current edge server for the next step (futile
+// predictions burn resources but cannot help proactive migration, so the
+// paper excludes them from accuracy and reports their ratio separately).
+#pragma once
+
+#include <vector>
+
+#include "geo/server_map.hpp"
+#include "mobility/predictor.hpp"
+#include "mobility/trajectory.hpp"
+
+namespace perdnn {
+
+struct PredictorEvaluation {
+  int total_predictions = 0;
+  int futile_predictions = 0;   ///< actual next server == current server
+  int top1_hits = 0;            ///< over non-futile predictions
+  int top2_hits = 0;
+  /// Mean Euclidean error (m) of the predicted location, all predictions.
+  double mae_all_m = 0.0;
+  /// Mean Euclidean error (m) over non-futile predictions only.
+  double mae_nonfutile_m = 0.0;
+  /// Fraction of non-futile predictions whose predicted location fell inside
+  /// the service range of the actually-visited server (the `a` of the
+  /// benefit/cost model used to pick the time interval t).
+  double in_range_accuracy = 0.0;
+
+  int non_futile() const { return total_predictions - futile_predictions; }
+  double futile_ratio() const;
+  double top1_accuracy() const;  ///< over non-futile predictions
+  double top2_accuracy() const;
+};
+
+/// Runs the predictor over every window of the test trajectories.
+PredictorEvaluation evaluate_predictor(const MobilityPredictor& predictor,
+                                       const std::vector<Trajectory>& test,
+                                       const ServerMap& servers);
+
+/// Benefit-to-cost ratio of proactive migration for a time interval
+/// (Equation 1-2): benefit ∝ a * (p - f), cost ∝ p.
+double benefit_cost_ratio(const PredictorEvaluation& eval);
+
+}  // namespace perdnn

@@ -1,0 +1,216 @@
+#include "mobility/predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace perdnn {
+
+std::vector<ServerId> nearest_servers(const ServerMap& servers, Point p,
+                                      int k) {
+  PERDNN_CHECK(k >= 1);
+  // Expanding ring search; each iteration doubles the radius.
+  double radius = servers.grid().cell_radius() * 2.0;
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    std::vector<ServerId> found = servers.servers_within(p, radius);
+    if (static_cast<int>(found.size()) >= k ||
+        static_cast<int>(found.size()) == servers.num_servers()) {
+      std::sort(found.begin(), found.end(), [&](ServerId a, ServerId b) {
+        const double da = distance(servers.server_center(a), p);
+        const double db = distance(servers.server_center(b), p);
+        if (da != db) return da < db;
+        return a < b;
+      });
+      if (static_cast<int>(found.size()) > k)
+        found.resize(static_cast<std::size_t>(k));
+      return found;
+    }
+    radius *= 2.0;
+  }
+  return servers.servers_within(p, radius);
+}
+
+MobilityPredictor::MobilityPredictor(int trajectory_length)
+    : trajectory_length_(trajectory_length) {
+  PERDNN_CHECK(trajectory_length >= 1);
+}
+
+std::span<const Point> MobilityPredictor::window(
+    std::span<const Point> recent) const {
+  const auto n = static_cast<std::size_t>(trajectory_length_);
+  PERDNN_CHECK_MSG(recent.size() >= n,
+                   "need at least " << n << " recent locations, got "
+                                    << recent.size());
+  return recent.subspan(recent.size() - n, n);
+}
+
+std::vector<ServerId> MobilityPredictor::predict_servers(
+    std::span<const Point> recent, int top_k, const ServerMap& servers) const {
+  return nearest_servers(servers, predict(recent), top_k);
+}
+
+// ---------------------------------------------------------------- Markov
+
+MarkovPredictor::MarkovPredictor(int trajectory_length,
+                                 const ServerMap* servers,
+                                 ml::MarkovConfig config)
+    : MobilityPredictor(trajectory_length), servers_(servers), tree_(config) {
+  PERDNN_CHECK(servers != nullptr);
+}
+
+MarkovPredictor::MarkovPredictor(int trajectory_length,
+                                 std::shared_ptr<const ServerMap> servers,
+                                 ml::MarkovConfig config)
+    : MobilityPredictor(trajectory_length),
+      owned_servers_(std::move(servers)),
+      servers_(owned_servers_.get()),
+      tree_(config) {
+  PERDNN_CHECK(servers_ != nullptr);
+}
+
+std::vector<int> MarkovPredictor::discretize(
+    std::span<const Point> points) const {
+  std::vector<int> symbols;
+  symbols.reserve(points.size());
+  const double max_radius =
+      servers_->grid().cell_radius() * 64.0;  // generous search bound
+  for (Point p : points)
+    symbols.push_back(servers_->nearest_server(p, max_radius));
+  return symbols;
+}
+
+void MarkovPredictor::fit(const std::vector<Trajectory>& train, Rng& /*rng*/) {
+  PERDNN_CHECK(!train.empty());
+  for (const auto& traj : train) tree_.add_sequence(discretize(traj.points));
+}
+
+std::vector<ServerId> MarkovPredictor::predict_servers(
+    std::span<const Point> recent, int top_k,
+    const ServerMap& servers) const {
+  const auto symbols = discretize(window(recent));
+  std::vector<int> top = tree_.predict_top(symbols, top_k);
+  std::vector<ServerId> out(top.begin(), top.end());
+  if (out.empty()) {
+    // Unseen context: fall back to staying near the current location.
+    return nearest_servers(servers, recent.back(), top_k);
+  }
+  return out;
+}
+
+Point MarkovPredictor::predict(std::span<const Point> recent) const {
+  const auto top = predict_servers(recent, 1, *servers_);
+  if (top.empty() || top[0] == kNoServer) return recent.back();
+  return servers_->server_center(top[0]);
+}
+
+// ---------------------------------------------------------------- SVR
+
+SvrPredictor::SvrPredictor(int trajectory_length, ml::SvrConfig config)
+    : MobilityPredictor(trajectory_length), config_(config) {}
+
+Vector SvrPredictor::encode(std::span<const Point> recent) const {
+  PERDNN_CHECK(scaler_.fitted());
+  Vector features;
+  features.reserve(recent.size() * 2);
+  for (Point p : recent) {
+    const Vector scaled = scaler_.transform({p.x, p.y});
+    features.push_back(scaled[0]);
+    features.push_back(scaled[1]);
+  }
+  return features;
+}
+
+void SvrPredictor::fit(const std::vector<Trajectory>& train, Rng& rng) {
+  PERDNN_CHECK(!train.empty());
+  const auto n = static_cast<std::size_t>(trajectory_length());
+
+  // Standardise coordinates over the whole training corpus (paper: standard
+  // scores before SVR training).
+  std::vector<Vector> coords;
+  for (const auto& traj : train)
+    for (Point p : traj.points) coords.push_back({p.x, p.y});
+  PERDNN_CHECK(!coords.empty());
+  scaler_.fit(coords);
+
+  std::vector<Vector> features;
+  std::vector<Vector> targets;
+  for (const auto& traj : train) {
+    if (traj.points.size() < n + 1) continue;
+    for (std::size_t i = n; i < traj.points.size(); ++i) {
+      features.push_back(
+          encode(std::span<const Point>(traj.points).subspan(i - n, n)));
+      targets.push_back(
+          scaler_.transform({traj.points[i].x, traj.points[i].y}));
+    }
+  }
+  PERDNN_CHECK_MSG(!features.empty(), "no training windows of length n+1");
+  model_ = std::make_unique<ml::MultiOutputSvr>(2, config_);
+  model_->fit(features, targets, rng);
+}
+
+Point SvrPredictor::predict(std::span<const Point> recent) const {
+  PERDNN_CHECK_MSG(model_ != nullptr, "predict() before fit()");
+  const Vector scaled = model_->predict(encode(window(recent)));
+  return {scaler_.inverse_single(0, scaled[0]),
+          scaler_.inverse_single(1, scaled[1])};
+}
+
+// ---------------------------------------------------------------- RNN
+
+RnnPredictor::RnnPredictor(int trajectory_length, std::size_t hidden_dim,
+                           int epochs)
+    : MobilityPredictor(trajectory_length),
+      hidden_dim_(hidden_dim),
+      epochs_(epochs) {
+  PERDNN_CHECK(hidden_dim >= 1 && epochs >= 1);
+}
+
+std::vector<Vector> RnnPredictor::encode(std::span<const Point> recent) const {
+  PERDNN_CHECK(scaler_.fitted());
+  std::vector<Vector> sequence;
+  sequence.reserve(recent.size());
+  for (Point p : recent) sequence.push_back(scaler_.transform({p.x, p.y}));
+  return sequence;
+}
+
+void RnnPredictor::fit(const std::vector<Trajectory>& train, Rng& rng) {
+  PERDNN_CHECK(!train.empty());
+  const auto n = static_cast<std::size_t>(trajectory_length());
+
+  std::vector<Vector> coords;
+  for (const auto& traj : train)
+    for (Point p : traj.points) coords.push_back({p.x, p.y});
+  PERDNN_CHECK(!coords.empty());
+  scaler_.fit(coords);
+
+  std::vector<std::vector<Vector>> sequences;
+  std::vector<Vector> targets;
+  for (const auto& traj : train) {
+    if (traj.points.size() < n + 1) continue;
+    for (std::size_t i = n; i < traj.points.size(); ++i) {
+      sequences.push_back(
+          encode(std::span<const Point>(traj.points).subspan(i - n, n)));
+      targets.push_back(
+          scaler_.transform({traj.points[i].x, traj.points[i].y}));
+    }
+  }
+  PERDNN_CHECK_MSG(!sequences.empty(), "no training windows of length n+1");
+
+  ml::LstmConfig config;
+  config.input_dim = 2;
+  config.hidden_dim = hidden_dim_;
+  config.output_dim = 2;
+  config.epochs = epochs_;
+  model_ = std::make_unique<ml::LstmRegressor>(config, rng);
+  model_->fit(sequences, targets, rng);
+}
+
+Point RnnPredictor::predict(std::span<const Point> recent) const {
+  PERDNN_CHECK_MSG(model_ != nullptr, "predict() before fit()");
+  const Vector scaled = model_->predict(encode(window(recent)));
+  return {scaler_.inverse_single(0, scaled[0]),
+          scaler_.inverse_single(1, scaled[1])};
+}
+
+}  // namespace perdnn

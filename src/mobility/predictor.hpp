@@ -1,0 +1,118 @@
+// Mobility predictors (Section 3.D): Markov (prediction suffix tree over
+// edge-server ids), linear SVR, and LSTM RNN — each predicting a client's
+// location one time interval ahead from its n most recent locations.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geo/server_map.hpp"
+#include "ml/dataset.hpp"
+#include "ml/lstm.hpp"
+#include "ml/markov.hpp"
+#include "ml/svr.hpp"
+#include "mobility/trajectory.hpp"
+
+namespace perdnn {
+
+/// The k servers nearest to a point (expanding ring search over the grid).
+std::vector<ServerId> nearest_servers(const ServerMap& servers, Point p,
+                                      int k);
+
+class MobilityPredictor {
+ public:
+  explicit MobilityPredictor(int trajectory_length);
+  virtual ~MobilityPredictor() = default;
+
+  /// Trains on historical trajectories (the datasets' training split).
+  virtual void fit(const std::vector<Trajectory>& train, Rng& rng) = 0;
+
+  /// Predicted location one interval after the last of `recent`
+  /// (`recent.size() >= trajectory_length()`; only the last n are used).
+  virtual Point predict(std::span<const Point> recent) const = 0;
+
+  /// Top-k candidate next edge servers. Default: the k servers closest to
+  /// the predicted location (the paper's rule for SVR/RNN).
+  virtual std::vector<ServerId> predict_servers(std::span<const Point> recent,
+                                                int top_k,
+                                                const ServerMap& servers) const;
+
+  virtual std::string name() const = 0;
+
+  int trajectory_length() const { return trajectory_length_; }
+
+ protected:
+  /// Last n points of `recent` (checked).
+  std::span<const Point> window(std::span<const Point> recent) const;
+
+ private:
+  int trajectory_length_;
+};
+
+/// Variable-order Markov over discretised edge-server ids.
+class MarkovPredictor : public MobilityPredictor {
+ public:
+  /// Non-owning: `servers` must outlive the predictor.
+  MarkovPredictor(int trajectory_length, const ServerMap* servers,
+                  ml::MarkovConfig config = {});
+  /// Owning: keeps the map alive for the predictor's lifetime (used when
+  /// the surrounding world object may move).
+  MarkovPredictor(int trajectory_length,
+                  std::shared_ptr<const ServerMap> servers,
+                  ml::MarkovConfig config = {});
+
+  void fit(const std::vector<Trajectory>& train, Rng& rng) override;
+  Point predict(std::span<const Point> recent) const override;
+  std::vector<ServerId> predict_servers(std::span<const Point> recent,
+                                        int top_k,
+                                        const ServerMap& servers) const override;
+  std::string name() const override { return "Markov"; }
+
+ private:
+  std::vector<int> discretize(std::span<const Point> points) const;
+
+  std::shared_ptr<const ServerMap> owned_servers_;  // may be null
+  const ServerMap* servers_;
+  ml::PredictionSuffixTree tree_;
+};
+
+/// Linear SVR on standardised coordinates (the paper's deployed predictor).
+class SvrPredictor : public MobilityPredictor {
+ public:
+  explicit SvrPredictor(int trajectory_length, ml::SvrConfig config = {});
+
+  void fit(const std::vector<Trajectory>& train, Rng& rng) override;
+  Point predict(std::span<const Point> recent) const override;
+  std::string name() const override { return "SVR"; }
+
+ private:
+  Vector encode(std::span<const Point> recent) const;
+
+  ml::SvrConfig config_;
+  ml::StandardScaler scaler_;  // fit on (x, y) pairs
+  std::unique_ptr<ml::MultiOutputSvr> model_;
+};
+
+/// Single-cell LSTM over standardised coordinate sequences.
+class RnnPredictor : public MobilityPredictor {
+ public:
+  RnnPredictor(int trajectory_length, std::size_t hidden_dim = 16,
+               int epochs = 30);
+
+  void fit(const std::vector<Trajectory>& train, Rng& rng) override;
+  Point predict(std::span<const Point> recent) const override;
+  std::string name() const override { return "RNN"; }
+
+ private:
+  std::vector<Vector> encode(std::span<const Point> recent) const;
+
+  std::size_t hidden_dim_;
+  int epochs_;
+  ml::StandardScaler scaler_;
+  std::unique_ptr<ml::LstmRegressor> model_;
+};
+
+}  // namespace perdnn

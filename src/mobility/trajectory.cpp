@@ -1,0 +1,41 @@
+#include "mobility/trajectory.hpp"
+
+#include "common/check.hpp"
+
+namespace perdnn {
+
+Trajectory Trajectory::resampled(int stride) const {
+  PERDNN_CHECK(stride >= 1);
+  Trajectory out;
+  out.user = user;
+  out.interval = interval * stride;
+  out.points.reserve(points.size() / static_cast<std::size_t>(stride) + 1);
+  for (std::size_t i = 0; i < points.size();
+       i += static_cast<std::size_t>(stride))
+    out.points.push_back(points[i]);
+  return out;
+}
+
+double Trajectory::mean_speed() const {
+  if (points.size() < 2) return 0.0;
+  double dist = 0.0;
+  for (std::size_t i = 1; i < points.size(); ++i)
+    dist += distance(points[i - 1], points[i]);
+  return dist / (interval * static_cast<double>(points.size() - 1));
+}
+
+double mean_speed(const std::vector<Trajectory>& trajectories) {
+  if (trajectories.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& t : trajectories) total += t.mean_speed();
+  return total / static_cast<double>(trajectories.size());
+}
+
+std::vector<Point> all_points(const std::vector<Trajectory>& trajectories) {
+  std::vector<Point> out;
+  for (const auto& t : trajectories)
+    out.insert(out.end(), t.points.begin(), t.points.end());
+  return out;
+}
+
+}  // namespace perdnn

@@ -1,0 +1,34 @@
+// User trajectories: fixed-interval (x, y) samples on the metric plane.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "geo/point.hpp"
+
+namespace perdnn {
+
+struct Trajectory {
+  int user = 0;
+  Seconds interval = 30.0;  ///< seconds between consecutive points
+  std::vector<Point> points;
+
+  std::size_t size() const { return points.size(); }
+
+  /// Keeps every `stride`-th point, multiplying the interval accordingly —
+  /// how the paper derives datasets with different time intervals t from the
+  /// densely sampled Geolife traces.
+  Trajectory resampled(int stride) const;
+
+  /// Mean speed over the trajectory in m/s (0 for fewer than 2 points).
+  double mean_speed() const;
+};
+
+/// Mean of per-user mean speeds (the paper quotes ~0.5 m/s for KAIST and
+/// ~3.9 m/s for Geolife).
+double mean_speed(const std::vector<Trajectory>& trajectories);
+
+/// All points of all trajectories (for edge-server allocation).
+std::vector<Point> all_points(const std::vector<Trajectory>& trajectories);
+
+}  // namespace perdnn

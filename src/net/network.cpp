@@ -1,0 +1,146 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace perdnn {
+
+NetworkCondition lab_wifi() {
+  NetworkCondition net;
+  net.uplink_bytes_per_sec = mbps_to_bytes_per_sec(35.0);
+  net.downlink_bytes_per_sec = mbps_to_bytes_per_sec(50.0);
+  net.rtt = 5e-3;
+  return net;
+}
+
+TrafficAccountant::TrafficAccountant(int num_servers, Seconds interval_length)
+    : num_servers_(num_servers),
+      interval_length_(interval_length),
+      uplink_current_(static_cast<std::size_t>(num_servers), 0),
+      downlink_current_(static_cast<std::size_t>(num_servers), 0) {
+  PERDNN_CHECK(num_servers >= 1);
+  PERDNN_CHECK(interval_length > 0);
+}
+
+void TrafficAccountant::begin_interval() {
+  if (interval_open_) finish();
+  interval_open_ = true;
+}
+
+void TrafficAccountant::record_transfer(ServerId from, ServerId to,
+                                        Bytes bytes) {
+  PERDNN_CHECK(interval_open_);
+  PERDNN_CHECK(from >= 0 && from < num_servers_);
+  PERDNN_CHECK(to >= 0 && to < num_servers_);
+  PERDNN_CHECK(bytes >= 0);
+  if (from == to || bytes == 0) return;
+  uplink_current_[static_cast<std::size_t>(from)] += bytes;
+  downlink_current_[static_cast<std::size_t>(to)] += bytes;
+  total_bytes_ += bytes;
+}
+
+void TrafficAccountant::finish() {
+  if (!interval_open_) return;
+  uplink_history_.push_back(uplink_current_);
+  downlink_history_.push_back(downlink_current_);
+  std::fill(uplink_current_.begin(), uplink_current_.end(), 0);
+  std::fill(downlink_current_.begin(), downlink_current_.end(), 0);
+  interval_open_ = false;
+}
+
+namespace {
+
+double peak_mbps(const std::vector<std::vector<Bytes>>& history,
+                 ServerId server, Seconds interval) {
+  Bytes peak = 0;
+  for (const auto& snapshot : history)
+    peak = std::max(peak, snapshot[static_cast<std::size_t>(server)]);
+  return bytes_to_mbps(static_cast<double>(peak), interval);
+}
+
+}  // namespace
+
+double TrafficAccountant::peak_uplink_mbps(ServerId server) const {
+  PERDNN_CHECK(server >= 0 && server < num_servers_);
+  return peak_mbps(uplink_history_, server, interval_length_);
+}
+
+double TrafficAccountant::peak_downlink_mbps(ServerId server) const {
+  PERDNN_CHECK(server >= 0 && server < num_servers_);
+  return peak_mbps(downlink_history_, server, interval_length_);
+}
+
+double TrafficAccountant::global_peak_uplink_mbps() const {
+  double peak = 0.0;
+  for (ServerId s = 0; s < num_servers_; ++s)
+    peak = std::max(peak, peak_uplink_mbps(s));
+  return peak;
+}
+
+double TrafficAccountant::global_peak_downlink_mbps() const {
+  double peak = 0.0;
+  for (ServerId s = 0; s < num_servers_; ++s)
+    peak = std::max(peak, peak_downlink_mbps(s));
+  return peak;
+}
+
+double TrafficAccountant::fraction_servers_within(double mbps) const {
+  int within = 0;
+  for (ServerId s = 0; s < num_servers_; ++s)
+    if (peak_uplink_mbps(s) <= mbps && peak_downlink_mbps(s) <= mbps)
+      ++within;
+  return static_cast<double>(within) / num_servers_;
+}
+
+int TrafficAccountant::busiest_interval() const {
+  int best = -1;
+  Bytes best_total = -1;
+  for (int k = 0; k < num_intervals(); ++k) {
+    Bytes total = 0;
+    for (ServerId s = 0; s < num_servers_; ++s)
+      total += uplink_history_[static_cast<std::size_t>(k)]
+                              [static_cast<std::size_t>(s)];
+    if (total > best_total) {
+      best_total = total;
+      best = k;
+    }
+  }
+  return best;
+}
+
+double TrafficAccountant::fraction_servers_within_at_peak(double mbps) const {
+  const int k = busiest_interval();
+  if (k < 0) return 1.0;
+  int within = 0;
+  for (ServerId s = 0; s < num_servers_; ++s) {
+    const double up = bytes_to_mbps(
+        static_cast<double>(uplink_history_[static_cast<std::size_t>(k)]
+                                           [static_cast<std::size_t>(s)]),
+        interval_length_);
+    const double down = bytes_to_mbps(
+        static_cast<double>(downlink_history_[static_cast<std::size_t>(k)]
+                                             [static_cast<std::size_t>(s)]),
+        interval_length_);
+    if (up <= mbps && down <= mbps) ++within;
+  }
+  return static_cast<double>(within) / num_servers_;
+}
+
+std::vector<ServerId> TrafficAccountant::servers_by_peak_uplink() const {
+  std::vector<ServerId> order(static_cast<std::size_t>(num_servers_));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> peaks(order.size());
+  for (ServerId s = 0; s < num_servers_; ++s)
+    peaks[static_cast<std::size_t>(s)] = peak_uplink_mbps(s);
+  std::sort(order.begin(), order.end(), [&](ServerId a, ServerId b) {
+    const double pa = peaks[static_cast<std::size_t>(a)];
+    const double pb = peaks[static_cast<std::size_t>(b)];
+    if (pa != pb) return pa > pb;
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace perdnn

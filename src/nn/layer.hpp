@@ -1,0 +1,62 @@
+// DNN layer metadata. PerDNN never executes real tensor math: like the
+// paper's simulator, it operates on layer *metadata* — hyperparameters,
+// weight bytes, activation sizes, and FLOPs — from which execution and
+// transfer times are derived.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace perdnn {
+
+enum class LayerKind {
+  kInput,           // pseudo-layer holding the query input tensor
+  kConv,            // standard convolution
+  kDepthwiseConv,   // depthwise convolution (MobileNet)
+  kFullyConnected,  // dense / inner product
+  kPool,            // max or average pooling
+  kBatchNorm,       // batch normalisation (inference mode)
+  kScale,           // caffe-style scale/shift following BN
+  kActivation,      // ReLU etc.
+  kSoftmax,
+  kConcat,          // channel concatenation (Inception)
+  kEltwiseAdd,      // residual addition (ResNet)
+  kDropout,
+};
+
+/// Short lowercase name ("conv", "fc", ...) used in reports and as the key
+/// for per-layer-type execution-time estimators.
+const char* layer_kind_name(LayerKind kind);
+
+/// Static description of one layer: the "DNN profile" entry the client
+/// uploads to the master server (weights themselves are not included).
+struct LayerSpec {
+  std::string name;
+  LayerKind kind = LayerKind::kInput;
+  /// Predecessor layer ids; empty only for the input layer.
+  std::vector<LayerId> inputs;
+
+  // -- hyperparameters (fixed at training time) --
+  int in_channels = 0;
+  int out_channels = 0;
+  int kernel = 0;  // square kernel side; 0 for non-windowed layers
+  int stride = 1;
+  int out_height = 0;
+  int out_width = 0;
+
+  // -- derived static quantities --
+  Bytes weight_bytes = 0;   // bytes that must be deployed to run this layer
+  Bytes output_bytes = 0;   // activation tensor produced by this layer
+  Flops flops = 0;          // multiply-accumulate work, counted as 2*MACs
+
+  /// True for layers that carry (possibly zero-byte) trainable state and do
+  /// real compute; used by tests as a sanity predicate.
+  bool is_compute() const {
+    return kind == LayerKind::kConv || kind == LayerKind::kDepthwiseConv ||
+           kind == LayerKind::kFullyConnected;
+  }
+};
+
+}  // namespace perdnn

@@ -1,0 +1,96 @@
+#include "nn/model.hpp"
+
+#include "common/check.hpp"
+
+namespace perdnn {
+
+const char* layer_kind_name(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kInput: return "input";
+    case LayerKind::kConv: return "conv";
+    case LayerKind::kDepthwiseConv: return "dwconv";
+    case LayerKind::kFullyConnected: return "fc";
+    case LayerKind::kPool: return "pool";
+    case LayerKind::kBatchNorm: return "bn";
+    case LayerKind::kScale: return "scale";
+    case LayerKind::kActivation: return "relu";
+    case LayerKind::kSoftmax: return "softmax";
+    case LayerKind::kConcat: return "concat";
+    case LayerKind::kEltwiseAdd: return "add";
+    case LayerKind::kDropout: return "dropout";
+  }
+  return "unknown";
+}
+
+DnnModel::DnnModel(std::string name) : name_(std::move(name)) {}
+
+LayerId DnnModel::add_layer(LayerSpec spec) {
+  const auto id = static_cast<LayerId>(layers_.size());
+  if (id == 0) {
+    PERDNN_CHECK_MSG(spec.kind == LayerKind::kInput,
+                     "first layer must be the input layer");
+    PERDNN_CHECK(spec.inputs.empty());
+  } else {
+    PERDNN_CHECK_MSG(!spec.inputs.empty(),
+                     "non-input layer '" << spec.name << "' has no inputs");
+  }
+  for (LayerId in : spec.inputs) {
+    PERDNN_CHECK_MSG(in >= 0 && in < id,
+                     "layer '" << spec.name << "' references layer " << in
+                               << " which is not yet defined");
+  }
+  PERDNN_CHECK(spec.weight_bytes >= 0 && spec.output_bytes >= 0 &&
+               spec.flops >= 0);
+  layers_.push_back(std::move(spec));
+  successors_.emplace_back();
+  for (LayerId in : layers_.back().inputs)
+    successors_[static_cast<std::size_t>(in)].push_back(id);
+  return id;
+}
+
+const LayerSpec& DnnModel::layer(LayerId id) const {
+  PERDNN_CHECK(id >= 0 && id < num_layers());
+  return layers_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<LayerId>& DnnModel::successors(LayerId id) const {
+  PERDNN_CHECK(id >= 0 && id < num_layers());
+  return successors_[static_cast<std::size_t>(id)];
+}
+
+Bytes DnnModel::input_bytes(LayerId id) const {
+  const LayerSpec& spec = layer(id);
+  if (spec.inputs.empty()) return spec.output_bytes;
+  Bytes total = 0;
+  for (LayerId in : spec.inputs) total += layer(in).output_bytes;
+  return total;
+}
+
+Bytes DnnModel::total_weight_bytes() const {
+  Bytes total = 0;
+  for (const auto& l : layers_) total += l.weight_bytes;
+  return total;
+}
+
+Flops DnnModel::total_flops() const {
+  Flops total = 0;
+  for (const auto& l : layers_) total += l.flops;
+  return total;
+}
+
+void DnnModel::validate() const {
+  PERDNN_CHECK_MSG(num_layers() >= 2, "model needs an input and some layers");
+  PERDNN_CHECK(layers_[0].kind == LayerKind::kInput);
+  for (int i = 1; i < num_layers(); ++i)
+    PERDNN_CHECK_MSG(layers_[static_cast<std::size_t>(i)].kind !=
+                         LayerKind::kInput,
+                     "multiple input layers");
+  for (int i = 0; i + 1 < num_layers(); ++i)
+    PERDNN_CHECK_MSG(
+        !successors_[static_cast<std::size_t>(i)].empty(),
+        "layer " << i << " ('" << layers_[static_cast<std::size_t>(i)].name
+                 << "') is dead (no successors)");
+  PERDNN_CHECK_MSG(successors_.back().empty(), "last layer must be terminal");
+}
+
+}  // namespace perdnn

@@ -1,0 +1,45 @@
+// A DNN model as a validated DAG of LayerSpecs in topological order.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace perdnn {
+
+class DnnModel {
+ public:
+  explicit DnnModel(std::string name);
+
+  /// Appends a layer. Its `inputs` must reference already-added layers, which
+  /// keeps the layer list topologically ordered by construction.
+  LayerId add_layer(LayerSpec spec);
+
+  const std::string& name() const { return name_; }
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+  const LayerSpec& layer(LayerId id) const;
+  const std::vector<LayerSpec>& layers() const { return layers_; }
+
+  /// Layers that consume the output of `id`.
+  const std::vector<LayerId>& successors(LayerId id) const;
+
+  /// Total bytes of input activations feeding layer `id` (sum over preds;
+  /// for the input layer this is its own output size, i.e. the query tensor).
+  Bytes input_bytes(LayerId id) const;
+
+  Bytes total_weight_bytes() const;
+  Flops total_flops() const;
+
+  /// Structural invariants: exactly one input layer (id 0), every non-input
+  /// layer has predecessors, every layer except the last has a successor.
+  /// Throws std::logic_error on violation.
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::vector<LayerSpec> layers_;
+  std::vector<std::vector<LayerId>> successors_;
+};
+
+}  // namespace perdnn

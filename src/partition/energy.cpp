@@ -1,0 +1,151 @@
+#include "partition/energy.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace perdnn {
+
+EnergyProfile odroid_energy_profile() { return EnergyProfile{}; }
+
+namespace {
+
+void check_energy(const EnergyProfile& energy) {
+  PERDNN_CHECK(energy.compute_watts > 0 && energy.idle_watts > 0 &&
+               energy.tx_watts > 0 && energy.rx_watts > 0);
+}
+
+}  // namespace
+
+double plan_energy_joules(const PartitionContext& context,
+                          const PartitionPlan& plan,
+                          const EnergyProfile& energy) {
+  PERDNN_CHECK(context.model != nullptr && context.client_profile != nullptr);
+  check_energy(energy);
+  const DnnModel& model = *context.model;
+  const auto n = static_cast<std::size_t>(model.num_layers());
+  PERDNN_CHECK(plan.location.size() == n);
+  const std::vector<Bytes> live = live_cut_bytes(model);
+
+  double joules = 0.0;
+  ExecLocation at = ExecLocation::kClient;
+  for (std::size_t i = 1; i < n; ++i) {
+    const ExecLocation next = plan.location[i];
+    if (next != at) {
+      // Crossing the cut after layer i-1: the live set moves.
+      const double bytes = static_cast<double>(live[i - 1]);
+      if (next == ExecLocation::kServer) {
+        joules += (bytes / context.net.uplink_bytes_per_sec +
+                   context.net.rtt) *
+                  energy.tx_watts;
+      } else {
+        joules += (bytes / context.net.downlink_bytes_per_sec +
+                   context.net.rtt) *
+                  energy.rx_watts;
+      }
+      at = next;
+    }
+    joules += next == ExecLocation::kServer
+                  ? context.server_time[i] * energy.idle_watts
+                  : context.client_profile->client_time[i] *
+                        energy.compute_watts;
+  }
+  if (at == ExecLocation::kServer) {
+    const double bytes =
+        static_cast<double>(model.layer(model.num_layers() - 1).output_bytes);
+    joules += (bytes / context.net.downlink_bytes_per_sec + context.net.rtt) *
+              energy.rx_watts;
+  }
+  return joules;
+}
+
+PartitionPlan compute_energy_best_plan(const PartitionContext& context,
+                                       const EnergyProfile& energy,
+                                       const std::vector<bool>* uploadable) {
+  PERDNN_CHECK(context.model != nullptr && context.client_profile != nullptr);
+  check_energy(energy);
+  const DnnModel& model = *context.model;
+  const auto n = static_cast<std::size_t>(model.num_layers());
+  PERDNN_CHECK(context.server_time.size() == n);
+  if (uploadable) PERDNN_CHECK(uploadable->size() == n);
+  const std::vector<Bytes> live = live_cut_bytes(model);
+
+  const auto up_joules = [&](std::size_t cut) {
+    return (static_cast<double>(live[cut]) / context.net.uplink_bytes_per_sec +
+            context.net.rtt) *
+           energy.tx_watts;
+  };
+  const auto down_joules = [&](std::size_t cut) {
+    return (static_cast<double>(live[cut]) /
+                context.net.downlink_bytes_per_sec +
+            context.net.rtt) *
+           energy.rx_watts;
+  };
+
+  // Same two-row DP as compute_best_plan, with energy weights.
+  std::vector<double> at_client(n, kInfSeconds);
+  std::vector<double> at_server(n, kInfSeconds);
+  std::vector<std::uint8_t> client_from_server(n, 0);
+  std::vector<std::uint8_t> server_from_client(n, 0);
+  at_client[0] = 0.0;
+  at_server[0] = up_joules(0);
+  server_from_client[0] = 1;
+
+  for (std::size_t i = 1; i < n; ++i) {
+    const bool server_ok = uploadable == nullptr || (*uploadable)[i];
+    const double stay = at_client[i - 1];
+    const double cross = at_server[i - 1] == kInfSeconds
+                             ? kInfSeconds
+                             : at_server[i - 1] + down_joules(i - 1);
+    const double client_exec =
+        context.client_profile->client_time[i] * energy.compute_watts;
+    if (cross < stay) {
+      at_client[i] = cross + client_exec;
+      client_from_server[i] = 1;
+    } else {
+      at_client[i] = stay + client_exec;
+    }
+    if (server_ok) {
+      const double stay_server = at_server[i - 1];
+      const double cross_up = at_client[i - 1] + up_joules(i - 1);
+      const double server_wait = context.server_time[i] * energy.idle_watts;
+      if (cross_up < stay_server) {
+        at_server[i] = cross_up + server_wait;
+        server_from_client[i] = 1;
+      } else if (stay_server != kInfSeconds) {
+        at_server[i] = stay_server + server_wait;
+      }
+    }
+  }
+
+  const double final_rx =
+      (static_cast<double>(model.layer(model.num_layers() - 1).output_bytes) /
+           context.net.downlink_bytes_per_sec +
+       context.net.rtt) *
+      energy.rx_watts;
+  const double from_server = at_server[n - 1] == kInfSeconds
+                                 ? kInfSeconds
+                                 : at_server[n - 1] + final_rx;
+  const bool final_on_server = from_server < at_client[n - 1];
+
+  PartitionPlan plan;
+  plan.location.assign(n, ExecLocation::kClient);
+  bool on_server = final_on_server;
+  for (std::size_t i = n; i-- > 1;) {
+    plan.location[i] =
+        on_server ? ExecLocation::kServer : ExecLocation::kClient;
+    const bool switched =
+        on_server ? server_from_client[i] != 0 : client_from_server[i] != 0;
+    if (switched) on_server = !on_server;
+  }
+  plan.location[0] = ExecLocation::kClient;
+
+  // Report the plan's *time* so callers can see the latency trade-off.
+  std::vector<bool> mask(n, false);
+  for (std::size_t i = 0; i < n; ++i)
+    mask[i] = plan.location[i] == ExecLocation::kServer;
+  plan.latency = plan_latency(context, mask);
+  return plan;
+}
+
+}  // namespace perdnn

@@ -1,0 +1,42 @@
+// Client-side energy accounting and energy-optimal partitioning.
+//
+// The paper motivates offloading with "app performance and energy
+// consumption of wearable glasses"; NeuroSurgeon optimises either latency or
+// mobile energy with the same partitioning machinery. We model the client's
+// energy per query from four power states — computing, transmitting,
+// receiving, and idling while the server works — and reuse the shortest-path
+// DP with energy edge weights to find the energy-optimal plan.
+#pragma once
+
+#include "partition/partition.hpp"
+
+namespace perdnn {
+
+/// Power draw of the mobile client in each state, in watts.
+struct EnergyProfile {
+  double compute_watts = 5.5;  ///< SoC under full DNN load
+  double idle_watts = 1.2;     ///< waiting for the server's reply
+  double tx_watts = 1.8;       ///< Wi-Fi transmit (radio + SoC overhead)
+  double rx_watts = 1.3;       ///< Wi-Fi receive
+};
+
+/// ODROID-XU4-class board on Wi-Fi (big.LITTLE under load draws ~5-6 W).
+EnergyProfile odroid_energy_profile();
+
+/// Client energy (joules) to execute one query under the given contiguous
+/// plan: client layers burn compute power, cut crossings burn radio power
+/// for the live tensor set, and server segments burn idle power for their
+/// duration.
+double plan_energy_joules(const PartitionContext& context,
+                          const PartitionPlan& plan,
+                          const EnergyProfile& energy);
+
+/// Energy-optimal plan via the same two-row shortest-path DP with energy
+/// edge weights. `uploadable` as in compute_best_plan. The returned plan's
+/// `latency` field still reports *time*; query the energy with
+/// plan_energy_joules.
+PartitionPlan compute_energy_best_plan(
+    const PartitionContext& context, const EnergyProfile& energy,
+    const std::vector<bool>* uploadable = nullptr);
+
+}  // namespace perdnn

@@ -1,0 +1,192 @@
+#include "partition/mincut.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.hpp"
+
+namespace perdnn {
+
+namespace {
+
+/// Dinic max-flow on a small dense-ish graph of doubles.
+class Dinic {
+ public:
+  explicit Dinic(int num_nodes) : adj_(static_cast<std::size_t>(num_nodes)) {}
+
+  void add_edge(int from, int to, double capacity) {
+    PERDNN_CHECK(capacity >= 0.0);
+    adj_[static_cast<std::size_t>(from)].push_back(
+        {to, static_cast<int>(adj_[static_cast<std::size_t>(to)].size()),
+         capacity});
+    adj_[static_cast<std::size_t>(to)].push_back(
+        {from,
+         static_cast<int>(adj_[static_cast<std::size_t>(from)].size()) - 1,
+         0.0});
+  }
+
+  double max_flow(int source, int sink) {
+    double flow = 0.0;
+    while (bfs(source, sink)) {
+      iter_.assign(adj_.size(), 0);
+      while (true) {
+        const double pushed = dfs(source, sink, kInfSeconds);
+        if (pushed <= kEps) break;
+        flow += pushed;
+      }
+    }
+    return flow;
+  }
+
+  /// After max_flow: nodes reachable from source in the residual graph.
+  std::vector<bool> min_cut_source_side(int source) const {
+    std::vector<bool> visited(adj_.size(), false);
+    std::queue<int> queue;
+    queue.push(source);
+    visited[static_cast<std::size_t>(source)] = true;
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop();
+      for (const Edge& e : adj_[static_cast<std::size_t>(u)]) {
+        if (e.capacity > kEps && !visited[static_cast<std::size_t>(e.to)]) {
+          visited[static_cast<std::size_t>(e.to)] = true;
+          queue.push(e.to);
+        }
+      }
+    }
+    return visited;
+  }
+
+ private:
+  static constexpr double kEps = 1e-12;
+
+  struct Edge {
+    int to;
+    int reverse_index;
+    double capacity;
+  };
+
+  bool bfs(int source, int sink) {
+    level_.assign(adj_.size(), -1);
+    std::queue<int> queue;
+    queue.push(source);
+    level_[static_cast<std::size_t>(source)] = 0;
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop();
+      for (const Edge& e : adj_[static_cast<std::size_t>(u)]) {
+        if (e.capacity > kEps && level_[static_cast<std::size_t>(e.to)] < 0) {
+          level_[static_cast<std::size_t>(e.to)] =
+              level_[static_cast<std::size_t>(u)] + 1;
+          queue.push(e.to);
+        }
+      }
+    }
+    return level_[static_cast<std::size_t>(sink)] >= 0;
+  }
+
+  double dfs(int u, int sink, double limit) {
+    if (u == sink) return limit;
+    for (std::size_t& i = iter_[static_cast<std::size_t>(u)];
+         i < adj_[static_cast<std::size_t>(u)].size(); ++i) {
+      Edge& e = adj_[static_cast<std::size_t>(u)][i];
+      if (e.capacity <= kEps ||
+          level_[static_cast<std::size_t>(e.to)] !=
+              level_[static_cast<std::size_t>(u)] + 1)
+        continue;
+      const double pushed = dfs(e.to, sink, std::min(limit, e.capacity));
+      if (pushed > kEps) {
+        e.capacity -= pushed;
+        adj_[static_cast<std::size_t>(e.to)]
+            [static_cast<std::size_t>(e.reverse_index)]
+                .capacity += pushed;
+        return pushed;
+      }
+    }
+    return 0.0;
+  }
+
+  std::vector<std::vector<Edge>> adj_;
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+};
+
+constexpr double kPinCapacity = 1e12;  // effectively infinite
+
+}  // namespace
+
+PartitionPlan compute_mincut_plan(const PartitionContext& context) {
+  PERDNN_CHECK(context.model != nullptr && context.client_profile != nullptr);
+  const DnnModel& model = *context.model;
+  const int n = model.num_layers();
+  PERDNN_CHECK(context.server_time.size() == static_cast<std::size_t>(n));
+
+  const int source = n;      // server side
+  const int sink = n + 1;    // client side
+  Dinic dinic(n + 2);
+  for (LayerId i = 0; i < n; ++i) {
+    dinic.add_edge(source, i,
+                   context.client_profile->client_time
+                       [static_cast<std::size_t>(i)]);
+    dinic.add_edge(i, sink, context.server_time[static_cast<std::size_t>(i)]);
+    const double transfer =
+        static_cast<double>(model.layer(i).output_bytes) /
+            context.net.uplink_bytes_per_sec +
+        context.net.rtt;
+    for (LayerId succ : model.successors(i)) {
+      dinic.add_edge(i, succ, transfer);
+      dinic.add_edge(succ, i, transfer);
+    }
+  }
+  // Pin the input layer to the client.
+  dinic.add_edge(0, sink, kPinCapacity);
+
+  dinic.max_flow(source, sink);
+  const std::vector<bool> server_side = dinic.min_cut_source_side(source);
+
+  PartitionPlan plan;
+  plan.location.assign(static_cast<std::size_t>(n), ExecLocation::kClient);
+  for (LayerId i = 0; i < n; ++i)
+    if (server_side[static_cast<std::size_t>(i)])
+      plan.location[static_cast<std::size_t>(i)] = ExecLocation::kServer;
+  plan.location[0] = ExecLocation::kClient;
+  plan.latency = sum_model_latency(context, plan);
+  return plan;
+}
+
+Seconds sum_model_latency(const PartitionContext& context,
+                          const PartitionPlan& plan) {
+  PERDNN_CHECK(context.model != nullptr && context.client_profile != nullptr);
+  const DnnModel& model = *context.model;
+  const auto n = static_cast<std::size_t>(model.num_layers());
+  PERDNN_CHECK(plan.location.size() == n);
+
+  Seconds total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += plan.location[i] == ExecLocation::kServer
+                 ? context.server_time[i]
+                 : context.client_profile->client_time[i];
+  }
+  for (LayerId i = 0; i < static_cast<LayerId>(n); ++i) {
+    const ExecLocation from = plan.location[static_cast<std::size_t>(i)];
+    const Bytes bytes = model.layer(i).output_bytes;
+    for (LayerId succ : model.successors(i)) {
+      const ExecLocation to = plan.location[static_cast<std::size_t>(succ)];
+      if (from == to) continue;
+      const double rate = from == ExecLocation::kClient
+                              ? context.net.uplink_bytes_per_sec
+                              : context.net.downlink_bytes_per_sec;
+      total += static_cast<double>(bytes) / rate + context.net.rtt;
+    }
+  }
+  // The final output must reach the client.
+  if (plan.location[n - 1] == ExecLocation::kServer) {
+    total += static_cast<double>(model.layer(static_cast<LayerId>(n) - 1)
+                                     .output_bytes) /
+                 context.net.downlink_bytes_per_sec +
+             context.net.rtt;
+  }
+  return total;
+}
+
+}  // namespace perdnn

@@ -1,0 +1,33 @@
+// Min-cut DAG partitioner, after Hu et al. (INFOCOM'19, "DNN surgery").
+//
+// The paper cites this as the alternative partitioning family for DAG-shaped
+// models; we implement it as an extension and compare it with the IONN
+// shortest-path partitioner in the ablation bench. The objective is the
+// *sum model*: total latency = Σ execution times at the assigned locations +
+// Σ transfer times of tensors whose producer and consumer live on different
+// sides. Minimising that objective is exactly a minimum s-t cut:
+//
+//   source  = server side; sink = client side
+//   s -> i   capacity client_time(i)   (cut iff i executes on the client)
+//   i -> t   capacity server_time(i)   (cut iff i executes on the server)
+//   i <-> j  capacity transfer_time(output of i) for every data edge (i, j)
+//
+// The input layer is pinned to the client with an infinite-capacity edge.
+// Unlike the shortest-path partitioner, the resulting assignment need not be
+// contiguous in topological order.
+#pragma once
+
+#include "partition/partition.hpp"
+
+namespace perdnn {
+
+/// Optimal assignment under the sum model (Dinic max-flow on the graph
+/// above). `plan.latency` is the sum-model latency of the assignment.
+PartitionPlan compute_mincut_plan(const PartitionContext& context);
+
+/// Sum-model latency of an arbitrary assignment (works for non-contiguous
+/// plans, unlike the shortest-path DP).
+Seconds sum_model_latency(const PartitionContext& context,
+                          const PartitionPlan& plan);
+
+}  // namespace perdnn

@@ -1,0 +1,191 @@
+#include "partition/partition.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace perdnn {
+
+std::vector<LayerId> PartitionPlan::server_layers() const {
+  std::vector<LayerId> out;
+  for (std::size_t i = 0; i < location.size(); ++i)
+    if (location[i] == ExecLocation::kServer)
+      out.push_back(static_cast<LayerId>(i));
+  return out;
+}
+
+Bytes PartitionPlan::server_bytes(const DnnModel& model) const {
+  PERDNN_CHECK(static_cast<int>(location.size()) == model.num_layers());
+  Bytes total = 0;
+  for (std::size_t i = 0; i < location.size(); ++i)
+    if (location[i] == ExecLocation::kServer)
+      total += model.layer(static_cast<LayerId>(i)).weight_bytes;
+  return total;
+}
+
+int PartitionPlan::num_server_layers() const {
+  int n = 0;
+  for (ExecLocation loc : location)
+    if (loc == ExecLocation::kServer) ++n;
+  return n;
+}
+
+std::vector<Bytes> live_cut_bytes(const DnnModel& model) {
+  const int n = model.num_layers();
+  // difference array: tensor of layer j is live on cuts [j, last_consumer-1].
+  std::vector<Bytes> diff(static_cast<std::size_t>(n) + 1, 0);
+  for (LayerId j = 0; j < n; ++j) {
+    LayerId last = j;
+    for (LayerId succ : model.successors(j)) last = std::max(last, succ);
+    if (last == j) continue;  // terminal layer: output returns via the final hop
+    diff[static_cast<std::size_t>(j)] += model.layer(j).output_bytes;
+    diff[static_cast<std::size_t>(last)] -= model.layer(j).output_bytes;
+  }
+  std::vector<Bytes> live(static_cast<std::size_t>(n), 0);
+  Bytes acc = 0;
+  for (int i = 0; i < n; ++i) {
+    acc += diff[static_cast<std::size_t>(i)];
+    live[static_cast<std::size_t>(i)] = acc;
+  }
+  return live;
+}
+
+namespace {
+
+void check_context(const PartitionContext& context) {
+  PERDNN_CHECK(context.model != nullptr);
+  PERDNN_CHECK(context.client_profile != nullptr);
+  const auto n = static_cast<std::size_t>(context.model->num_layers());
+  PERDNN_CHECK(context.client_profile->client_time.size() == n);
+  PERDNN_CHECK(context.server_time.size() == n);
+  PERDNN_CHECK(context.net.uplink_bytes_per_sec > 0);
+  PERDNN_CHECK(context.net.downlink_bytes_per_sec > 0);
+}
+
+struct DpResult {
+  std::vector<Seconds> at_client;  // best time with layer i done, data at client
+  std::vector<Seconds> at_server;
+  // Backtracking: did state (i, row) come from the other row at cut i-1?
+  std::vector<std::uint8_t> client_from_server;
+  std::vector<std::uint8_t> server_from_client;
+  Seconds final_latency = kInfSeconds;
+  bool final_from_server = false;
+};
+
+DpResult run_dp(const PartitionContext& context,
+                const std::vector<bool>* uploadable, bool backtrack) {
+  const DnnModel& model = *context.model;
+  const auto n = static_cast<std::size_t>(model.num_layers());
+  const std::vector<Bytes> live = live_cut_bytes(model);
+  const auto& ct = context.client_profile->client_time;
+  const auto& st = context.server_time;
+  const auto up = [&](std::size_t cut) {
+    return static_cast<double>(live[cut]) / context.net.uplink_bytes_per_sec +
+           context.net.rtt;
+  };
+  const auto down = [&](std::size_t cut) {
+    return static_cast<double>(live[cut]) /
+               context.net.downlink_bytes_per_sec +
+           context.net.rtt;
+  };
+
+  DpResult dp;
+  dp.at_client.assign(n, kInfSeconds);
+  dp.at_server.assign(n, kInfSeconds);
+  if (backtrack) {
+    dp.client_from_server.assign(n, 0);
+    dp.server_from_client.assign(n, 0);
+  }
+
+  // Layer 0 is the input pseudo-layer: produced at the client for free.
+  dp.at_client[0] = 0.0;
+  dp.at_server[0] = up(0);
+  if (backtrack) dp.server_from_client[0] = 1;
+
+  for (std::size_t i = 1; i < n; ++i) {
+    const bool server_ok =
+        uploadable == nullptr || (*uploadable)[i];
+    // Reach "layer i done at client".
+    const Seconds stay_client = dp.at_client[i - 1];
+    const Seconds cross_down = dp.at_server[i - 1] == kInfSeconds
+                                   ? kInfSeconds
+                                   : dp.at_server[i - 1] + down(i - 1);
+    if (cross_down < stay_client) {
+      dp.at_client[i] = cross_down + ct[i];
+      if (backtrack) dp.client_from_server[i] = 1;
+    } else {
+      dp.at_client[i] = stay_client + ct[i];
+    }
+    // Reach "layer i done at server".
+    if (server_ok) {
+      const Seconds stay_server = dp.at_server[i - 1];
+      const Seconds cross_up = dp.at_client[i - 1] + up(i - 1);
+      if (cross_up < stay_server) {
+        dp.at_server[i] = cross_up + st[i];
+        if (backtrack) dp.server_from_client[i] = 1;
+      } else if (stay_server != kInfSeconds) {
+        dp.at_server[i] = stay_server + st[i];
+      }
+    }
+  }
+
+  // The result tensor must end at the client.
+  const Bytes result_bytes = model.layer(model.num_layers() - 1).output_bytes;
+  const Seconds from_server =
+      dp.at_server[n - 1] == kInfSeconds
+          ? kInfSeconds
+          : dp.at_server[n - 1] +
+                static_cast<double>(result_bytes) /
+                    context.net.downlink_bytes_per_sec +
+                context.net.rtt;
+  if (from_server < dp.at_client[n - 1]) {
+    dp.final_latency = from_server;
+    dp.final_from_server = true;
+  } else {
+    dp.final_latency = dp.at_client[n - 1];
+  }
+  PERDNN_CHECK(dp.final_latency != kInfSeconds);
+  return dp;
+}
+
+}  // namespace
+
+PartitionPlan compute_best_plan(const PartitionContext& context,
+                                const std::vector<bool>* uploadable) {
+  check_context(context);
+  const DnnModel& model = *context.model;
+  const auto n = static_cast<std::size_t>(model.num_layers());
+  if (uploadable) PERDNN_CHECK(uploadable->size() == n);
+
+  const DpResult dp = run_dp(context, uploadable, /*backtrack=*/true);
+
+  PartitionPlan plan;
+  plan.latency = dp.final_latency;
+  plan.location.assign(n, ExecLocation::kClient);
+  bool on_server = dp.final_from_server;
+  for (std::size_t i = n; i-- > 1;) {
+    plan.location[i] = on_server ? ExecLocation::kServer : ExecLocation::kClient;
+    const bool switched = on_server ? dp.server_from_client[i] != 0
+                                    : dp.client_from_server[i] != 0;
+    if (switched) on_server = !on_server;
+  }
+  plan.location[0] = ExecLocation::kClient;  // input originates at the client
+  return plan;
+}
+
+Seconds plan_latency(const PartitionContext& context,
+                     const std::vector<bool>& uploadable) {
+  check_context(context);
+  PERDNN_CHECK(uploadable.size() ==
+               static_cast<std::size_t>(context.model->num_layers()));
+  return run_dp(context, &uploadable, /*backtrack=*/false).final_latency;
+}
+
+Seconds local_only_latency(const PartitionContext& context) {
+  check_context(context);
+  Seconds total = 0;
+  for (Seconds t : context.client_profile->client_time) total += t;
+  return total;
+}
+
+}  // namespace perdnn

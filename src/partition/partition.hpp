@@ -1,0 +1,82 @@
+// Graph-based DNN partitioning (Section 3.C.2, after IONN).
+//
+// The model's layers are processed in topological order; a *cut* after
+// position i separates client-side from server-side execution. The execution
+// plan is the shortest path through a two-row DAG:
+//
+//    client_0 -> client_1 -> ... -> client_N
+//       |  ^        |  ^               |  ^
+//       v  |        v  |               v  |     (uplink / downlink edges,
+//    server_0 -> server_1 -> ... -> server_N     weighted by the *live*
+//                                                tensor set at that cut)
+//
+// Horizontal edges carry layer execution times (client profile / server
+// estimator); vertical edges carry the transfer time of every tensor that is
+// still live at that cut — which generalises IONN's chain formulation to
+// DAG-shaped models (Inception branches, ResNet shortcuts): whatever tensors
+// cross the cut must cross the network.
+//
+// A layer may execute on the server only if its weights are present there
+// (`uploadable`), which is how partial deployments during incremental
+// upload are planned with the same algorithm.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "device/device_profile.hpp"
+#include "nn/model.hpp"
+
+namespace perdnn {
+
+enum class ExecLocation : std::uint8_t { kClient, kServer };
+
+/// Runtime network state between the client and one edge server.
+struct NetworkCondition {
+  double uplink_bytes_per_sec = mbps_to_bytes_per_sec(35.0);
+  double downlink_bytes_per_sec = mbps_to_bytes_per_sec(50.0);
+  Seconds rtt = 5e-3;  ///< added once per direction switch
+};
+
+/// Everything the partitioner needs about one (client, server, model) triple.
+struct PartitionContext {
+  const DnnModel* model = nullptr;
+  const DnnProfile* client_profile = nullptr;
+  /// Estimated server execution time per layer (from the server's estimator
+  /// under its current GPU statistics).
+  std::vector<Seconds> server_time;
+  NetworkCondition net;
+};
+
+struct PartitionPlan {
+  /// Execution location per layer (input layer is always kClient).
+  std::vector<ExecLocation> location;
+  /// Predicted per-query latency of this plan.
+  Seconds latency = 0.0;
+
+  /// Ids of server-side layers, in topological order.
+  std::vector<LayerId> server_layers() const;
+  /// Total weight bytes that must reside on the server for this plan.
+  Bytes server_bytes(const DnnModel& model) const;
+  int num_server_layers() const;
+};
+
+/// Bytes of live activation tensors crossing the cut after each position
+/// (index i = cut between layer i and layer i+1). Size = num_layers.
+std::vector<Bytes> live_cut_bytes(const DnnModel& model);
+
+/// Shortest-path execution plan. `uploadable[i]` marks layers whose weights
+/// are available (or will be made available) at the server; pass nullptr to
+/// allow every layer (used when deriving the target partitioning plan).
+PartitionPlan compute_best_plan(const PartitionContext& context,
+                                const std::vector<bool>* uploadable = nullptr);
+
+/// Latency of executing with the given availability, without materialising
+/// the plan (used in tight loops: query simulation, upload-order search).
+Seconds plan_latency(const PartitionContext& context,
+                     const std::vector<bool>& uploadable);
+
+/// Latency when every layer runs on the client (no offloading at all).
+Seconds local_only_latency(const PartitionContext& context);
+
+}  // namespace perdnn

@@ -1,0 +1,153 @@
+#include "partition/upload_order.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace perdnn {
+
+std::size_t UploadSchedule::prefix_count(Bytes sent_bytes) const {
+  std::size_t count = 0;
+  while (count < cumulative_bytes.size() &&
+         cumulative_bytes[count] <= sent_bytes)
+    ++count;
+  return count;
+}
+
+std::vector<bool> UploadSchedule::uploaded_after(const DnnModel& model,
+                                                 Bytes sent_bytes) const {
+  return uploaded_prefix(model, prefix_count(sent_bytes));
+}
+
+std::vector<bool> UploadSchedule::uploaded_prefix(const DnnModel& model,
+                                                  std::size_t count) const {
+  PERDNN_CHECK(count <= order.size());
+  std::vector<bool> mask(static_cast<std::size_t>(model.num_layers()), false);
+  for (std::size_t i = 0; i < count; ++i)
+    mask[static_cast<std::size_t>(order[i])] = true;
+  return mask;
+}
+
+namespace {
+
+/// A contiguous run [first, last] of layer ids still awaiting upload.
+struct Run {
+  LayerId first;
+  LayerId last;
+};
+
+struct Candidate {
+  LayerId first = kNoLayer;
+  LayerId last = kNoLayer;
+  double efficiency = -kInfSeconds;
+  Seconds benefit = -kInfSeconds;
+  Bytes bytes = 0;
+
+  bool better_than(const Candidate& other) const {
+    if (efficiency != other.efficiency) return efficiency > other.efficiency;
+    if (benefit != other.benefit) return benefit > other.benefit;
+    return bytes < other.bytes;  // prefer cheaper on full ties
+  }
+};
+
+Bytes run_bytes(const DnnModel& model, LayerId first, LayerId last) {
+  Bytes total = 0;
+  for (LayerId id = first; id <= last; ++id)
+    total += model.layer(id).weight_bytes;
+  return total;
+}
+
+}  // namespace
+
+UploadSchedule plan_upload_order(const PartitionContext& context,
+                                 const PartitionPlan& target,
+                                 UploadPlannerConfig config) {
+  const DnnModel& model = *context.model;
+  const auto n = static_cast<std::size_t>(model.num_layers());
+  PERDNN_CHECK(target.location.size() == n);
+
+  // Maximal runs of consecutive server-side layers.
+  std::vector<Run> runs;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (target.location[i] != ExecLocation::kServer) continue;
+    const auto id = static_cast<LayerId>(i);
+    if (!runs.empty() && runs.back().last == id - 1) {
+      runs.back().last = id;
+    } else {
+      runs.push_back({id, id});
+    }
+  }
+
+  UploadSchedule schedule;
+  if (runs.empty()) return schedule;
+
+  std::vector<bool> uploaded(n, false);
+  Seconds current_latency = plan_latency(context, uploaded);
+  Bytes sent = 0;
+
+  auto score = [&](LayerId first, LayerId last) {
+    Candidate c;
+    c.first = first;
+    c.last = last;
+    c.bytes = run_bytes(model, first, last);
+    std::vector<bool> tentative = uploaded;
+    for (LayerId id = first; id <= last; ++id)
+      tentative[static_cast<std::size_t>(id)] = true;
+    c.benefit = current_latency - plan_latency(context, tentative);
+    // Zero-byte runs (activation-only stretches) are free to send; score by
+    // raw benefit against a one-byte floor.
+    c.efficiency = c.benefit / static_cast<double>(std::max<Bytes>(c.bytes, 1));
+    return c;
+  };
+
+  while (!runs.empty()) {
+    Candidate best;
+    for (const Run& run : runs) {
+      if (config.enumeration == UploadEnumeration::kExact) {
+        for (LayerId a = run.first; a <= run.last; ++a)
+          for (LayerId b = a; b <= run.last; ++b) {
+            const Candidate c = score(a, b);
+            if (c.better_than(best)) best = c;
+          }
+      } else {
+        // Anchored: prefixes and suffixes of the run.
+        for (LayerId b = run.first; b <= run.last; ++b) {
+          const Candidate c = score(run.first, b);
+          if (c.better_than(best)) best = c;
+        }
+        for (LayerId a = run.first + 1; a <= run.last; ++a) {
+          const Candidate c = score(a, run.last);
+          if (c.better_than(best)) best = c;
+        }
+      }
+    }
+    PERDNN_CHECK(best.first != kNoLayer);
+
+    // Commit the winning run to the schedule.
+    for (LayerId id = best.first; id <= best.last; ++id) {
+      schedule.order.push_back(id);
+      sent += model.layer(id).weight_bytes;
+      schedule.cumulative_bytes.push_back(sent);
+      uploaded[static_cast<std::size_t>(id)] = true;
+    }
+    current_latency = plan_latency(context, uploaded);
+
+    // Split/remove the runs the pick touched.
+    std::vector<Run> next;
+    next.reserve(runs.size() + 1);
+    for (const Run& run : runs) {
+      if (best.last < run.first || best.first > run.last) {
+        next.push_back(run);
+        continue;
+      }
+      if (run.first < best.first) next.push_back({run.first, best.first - 1});
+      if (best.last < run.last) next.push_back({best.last + 1, run.last});
+    }
+    runs = std::move(next);
+  }
+  PERDNN_CHECK(schedule.order.size() ==
+               static_cast<std::size_t>(target.num_server_layers()));
+  return schedule;
+}
+
+}  // namespace perdnn

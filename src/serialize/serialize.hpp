@@ -1,0 +1,48 @@
+// Plain-text persistence for the artifacts a PerDNN deployment moves around:
+// DNN profiles (layer metadata a client registers with the master server),
+// client-side execution profiles, mobility traces, and profiling records for
+// estimator training. The format is line-based, versioned, and
+// whitespace-delimited — diff-able and safe to hand-edit.
+//
+// All loaders validate as they parse and throw std::runtime_error with the
+// offending line number on malformed input; loaded models additionally pass
+// DnnModel::validate().
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "device/device_profile.hpp"
+#include "device/profiler.hpp"
+#include "mobility/trajectory.hpp"
+#include "nn/model.hpp"
+
+namespace perdnn {
+
+// -- DNN models (structure + per-layer metadata; no weights, as in the
+//    paper's DNN profile) --
+void save_model(const DnnModel& model, std::ostream& out);
+DnnModel load_model(std::istream& in);
+
+// -- client execution profiles --
+void save_profile(const DnnProfile& profile, std::ostream& out);
+DnnProfile load_profile(std::istream& in);
+
+// -- mobility traces --
+void save_traces(const std::vector<Trajectory>& traces, std::ostream& out);
+std::vector<Trajectory> load_traces(std::istream& in);
+
+// -- profiler records (estimator training sets) --
+void save_records(const std::vector<ProfileRecord>& records,
+                  std::ostream& out);
+std::vector<ProfileRecord> load_records(std::istream& in);
+
+// File-path convenience wrappers (throw std::runtime_error on I/O failure).
+void save_model_file(const DnnModel& model, const std::string& path);
+DnnModel load_model_file(const std::string& path);
+void save_traces_file(const std::vector<Trajectory>& traces,
+                      const std::string& path);
+std::vector<Trajectory> load_traces_file(const std::string& path);
+
+}  // namespace perdnn

@@ -1,0 +1,643 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/check.hpp"
+#include "device/device_profile.hpp"
+
+namespace perdnn {
+
+double SimulationMetrics::hit_ratio() const {
+  const int denom = hits + misses;
+  return denom > 0 ? static_cast<double>(hits) / denom : 0.0;
+}
+
+SimulationWorld build_world(const SimulationConfig& config,
+                            const std::vector<Trajectory>& train_traces,
+                            const std::vector<Trajectory>& test_traces) {
+  PERDNN_CHECK(!train_traces.empty() && !test_traces.empty());
+  Rng rng(config.seed);
+
+  SimulationWorld world{.model = build_model(config.model),
+                        .client_profile = {},
+                        .gpu = nullptr,
+                        .estimator = nullptr,
+                        .servers = ServerMap(config.cell_radius_m),
+                        .test_traces = test_traces,
+                        .predictor_kind = config.predictor,
+                        .predictor = nullptr,
+                        .canonical_schedule = {},
+                        .interval = test_traces.front().interval};
+  world.client_profile =
+      profile_on_client(world.model, odroid_xu4_profile());
+  world.gpu = std::make_shared<GpuContentionModel>(titan_xp_profile());
+
+  // Offline estimator training: concurrency sweep over this model's layers
+  // (the paper trains per-server estimators offline with perf_client).
+  ConcurrencyProfiler profiler(world.gpu.get(), rng.fork());
+  const DnnModel* models[] = {&world.model};
+  ProfilerConfig prof_config;
+  prof_config.max_clients = 12;
+  prof_config.samples_per_level = 4;
+  const auto records = profiler.profile_models(models, prof_config);
+  world.estimator = std::make_shared<RandomForestEstimator>();
+  Rng train_rng = rng.fork();
+  world.estimator->train(records, train_rng);
+
+  // Edge servers: one per cell visited by a replayed user.
+  world.servers.allocate_for_visits(all_points(test_traces));
+
+  // Mobility predictor trained on the held-out training split. The
+  // stationary and oracle baselines need no model — the simulator resolves
+  // them inline from the trace itself.
+  switch (config.predictor) {
+    case PredictorKind::kSvr:
+      world.predictor =
+          std::make_shared<SvrPredictor>(config.trajectory_length);
+      break;
+    case PredictorKind::kMarkov:
+      // Discretisation needs the server map; give the predictor its own
+      // copy since the world object may be moved after build_world returns.
+      world.predictor = std::make_shared<MarkovPredictor>(
+          config.trajectory_length,
+          std::make_shared<const ServerMap>(world.servers));
+      break;
+    case PredictorKind::kRnn:
+      world.predictor = std::make_shared<RnnPredictor>(
+          config.trajectory_length, /*hidden_dim=*/16, /*epochs=*/40);
+      break;
+    case PredictorKind::kStationary:
+    case PredictorKind::kOracle:
+      world.predictor = nullptr;
+      break;
+  }
+  if (world.predictor != nullptr) {
+    Rng predictor_rng = rng.fork();
+    world.predictor->fit(train_traces, predictor_rng);
+  }
+
+  // Canonical efficiency-ordered schedule (uncontended plan). The simulator
+  // sequences uploads and fractional cuts with this structural order; the
+  // exact per-plan order differs negligibly under load.
+  Rng stats_rng = rng.fork();
+  const GpuStats stats = world.gpu->stats_for_load(1, 1.0, stats_rng);
+  PartitionContext context;
+  context.model = &world.model;
+  context.client_profile = &world.client_profile;
+  context.net = config.wireless;
+  context.server_time.reserve(
+      static_cast<std::size_t>(world.model.num_layers()));
+  for (LayerId id = 0; id < world.model.num_layers(); ++id)
+    context.server_time.push_back(world.estimator->estimate(
+        world.model.layer(id), world.model.input_bytes(id), stats));
+  const PartitionPlan plan = compute_best_plan(context);
+  world.canonical_schedule = plan_upload_order(
+      context, plan, {.enumeration = UploadEnumeration::kAnchored});
+  return world;
+}
+
+namespace {
+
+struct ClientState {
+  const Trajectory* trace = nullptr;
+  ServerId current = kNoServer;
+  /// Layers still to upload to the current server, in canonical order.
+  std::vector<LayerId> pending;
+  /// Wireless bytes banked toward pending.front().
+  Bytes carry_bytes = 0;
+  /// Actual-vs-nominal wireless rate factor for the current attachment.
+  double link_factor = 1.0;
+};
+
+/// Per-load-level caches. GPU statistics, estimator outputs, plans and true
+/// layer times are deterministic per nominal load level, so the simulator
+/// computes them once per level instead of per client-interval.
+struct LoadLevelCache {
+  GpuStats stats;
+  std::vector<Seconds> estimated;  // estimator output, drives the plan
+  std::vector<Seconds> true_time;  // ground-truth expected latency
+  PartitionPlan plan;
+  std::vector<LayerId> needed;     // plan's server-side layers
+};
+
+class SimulatorImpl {
+ public:
+  SimulatorImpl(const SimulationConfig& config, const SimulationWorld& world)
+      : config_(config),
+        world_(world),
+        rng_(config.seed ^ 0x5eedf00dULL),
+        link_rng_(config.seed ^ 0x11bb77aaULL),
+        traffic_(world.servers.num_servers(), world.interval),
+        crowded_(static_cast<std::size_t>(world.servers.num_servers()),
+                 false) {
+    for (ServerId s : config.crowded_servers) {
+      PERDNN_CHECK(s >= 0 && s < world.servers.num_servers());
+      crowded_[static_cast<std::size_t>(s)] = true;
+    }
+    caches_.assign(static_cast<std::size_t>(world.servers.num_servers()),
+                   LayerCache(config.ttl_intervals));
+    attached_.assign(static_cast<std::size_t>(world.servers.num_servers()),
+                     0);
+    down_until_.assign(static_cast<std::size_t>(world.servers.num_servers()),
+                       -1);
+    clients_.reserve(world.test_traces.size());
+    for (const auto& trace : world.test_traces)
+      clients_.push_back({.trace = &trace,
+                          .current = kNoServer,
+                          .pending = {},
+                          .carry_bytes = 0,
+                          .link_factor = 1.0});
+    // Pre-size canonical order lookup: position of each layer in the order.
+    order_rank_.assign(
+        static_cast<std::size_t>(world.model.num_layers()), -1);
+    for (std::size_t i = 0; i < world.canonical_schedule.order.size(); ++i)
+      order_rank_[static_cast<std::size_t>(
+          world.canonical_schedule.order[i])] = static_cast<int>(i);
+  }
+
+  SimulationMetrics run();
+
+ private:
+  const LoadLevelCache& level(int load);
+  void handle_attach(ClientId c, ServerId sid, int interval_index);
+  void advance_uploads(int interval_index);
+  void proactive_migration(int interval_index);
+  void inject_failures(int interval_index);
+  bool is_down(ServerId sid, int interval_index) const;
+  /// Server the client should use at `pos`, honouring the selection policy
+  /// and skipping crashed servers; kNoServer if nothing is reachable.
+  /// `current` enables switching hysteresis under kBestVisible.
+  ServerId choose_server(Point pos, ServerId current, int interval_index);
+  /// Predicted next location per the configured predictor kind.
+  std::optional<Point> predict_next(const ClientState& client,
+                                    std::size_t history,
+                                    std::size_t interval_index) const;
+  /// Queries completed inside one cold-start window. `routed_latency` is the
+  /// alternative path through the previous server (kInfSeconds when routing
+  /// is off); queries taking it are tallied in `routed_out`.
+  long long cold_window_queries(const LoadLevelCache& lvl,
+                                const std::vector<bool>& initial_mask,
+                                const std::vector<LayerId>& pending,
+                                Seconds routed_latency, double link_factor,
+                                long long* routed_out) const;
+  /// Per-query latency of offloading to the previous server through the
+  /// backhaul; kInfSeconds when unavailable.
+  Seconds routed_path_latency(ClientId c, ServerId previous,
+                              int interval_index);
+  std::vector<LayerId> order_by_canonical(std::vector<LayerId> layers) const;
+
+  const SimulationConfig& config_;
+  const SimulationWorld& world_;
+  Rng rng_;
+  Rng link_rng_;  // dedicated stream: jitter draws must not shift the
+                  // stats/plan caches of non-jittered runs
+  TrafficAccountant traffic_;
+  std::vector<bool> crowded_;
+  std::vector<LayerCache> caches_;
+  std::vector<int> attached_;
+  std::vector<int> down_until_;  // interval until which a server is crashed
+  std::vector<ClientState> clients_;
+  std::vector<int> order_rank_;
+  std::unordered_map<int, LoadLevelCache> levels_;
+  SimulationMetrics metrics_;
+};
+
+const LoadLevelCache& SimulatorImpl::level(int load) {
+  load = std::max(1, load);
+  const auto it = levels_.find(load);
+  if (it != levels_.end()) return it->second;
+
+  LoadLevelCache lvl;
+  lvl.stats = world_.gpu->stats_for_load(
+      load, static_cast<double>(load), rng_);
+  const DnnModel& model = world_.model;
+  lvl.estimated.reserve(static_cast<std::size_t>(model.num_layers()));
+  lvl.true_time.reserve(static_cast<std::size_t>(model.num_layers()));
+  for (LayerId id = 0; id < model.num_layers(); ++id) {
+    const Bytes in_bytes = model.input_bytes(id);
+    lvl.estimated.push_back(
+        world_.estimator->estimate(model.layer(id), in_bytes, lvl.stats));
+    lvl.true_time.push_back(world_.gpu->expected_layer_time(
+        model.layer(id), in_bytes, static_cast<double>(load)));
+  }
+  PartitionContext context{.model = &model,
+                           .client_profile = &world_.client_profile,
+                           .server_time = lvl.estimated,
+                           .net = config_.wireless};
+  lvl.plan = compute_best_plan(context);
+  lvl.needed = lvl.plan.server_layers();
+  return levels_.emplace(load, std::move(lvl)).first->second;
+}
+
+std::vector<LayerId> SimulatorImpl::order_by_canonical(
+    std::vector<LayerId> layers) const {
+  std::sort(layers.begin(), layers.end(), [&](LayerId a, LayerId b) {
+    const int ra = order_rank_[static_cast<std::size_t>(a)];
+    const int rb = order_rank_[static_cast<std::size_t>(b)];
+    // Layers outside the canonical order go last, in id order.
+    if (ra >= 0 && rb >= 0) return ra < rb;
+    if (ra >= 0) return true;
+    if (rb >= 0) return false;
+    return a < b;
+  });
+  return layers;
+}
+
+Seconds SimulatorImpl::routed_path_latency(ClientId c, ServerId previous,
+                                           int interval_index) {
+  if (!config_.routing_fallback || previous == kNoServer ||
+      is_down(previous, interval_index))
+    return kInfSeconds;
+  const std::vector<bool> prev_mask =
+      caches_[static_cast<std::size_t>(previous)].mask(c, world_.model);
+  // The previous server still serves this client remotely, so it keeps the
+  // client's unit of load.
+  const LoadLevelCache& prev_lvl =
+      level(attached_[static_cast<std::size_t>(previous)] + 1);
+  PartitionContext routed{.model = &world_.model,
+                          .client_profile = &world_.client_profile,
+                          .server_time = prev_lvl.true_time,
+                          .net = config_.wireless};
+  // Wi-Fi to the new AP, then the backhaul hop: bottleneck bandwidth and
+  // summed round-trip time.
+  routed.net.uplink_bytes_per_sec = std::min(
+      config_.wireless.uplink_bytes_per_sec, config_.backhaul_bytes_per_sec);
+  routed.net.downlink_bytes_per_sec =
+      std::min(config_.wireless.downlink_bytes_per_sec,
+               config_.backhaul_bytes_per_sec);
+  routed.net.rtt = config_.wireless.rtt + config_.backhaul_rtt;
+  return plan_latency(routed, prev_mask);
+}
+
+long long SimulatorImpl::cold_window_queries(
+    const LoadLevelCache& lvl, const std::vector<bool>& initial_mask,
+    const std::vector<LayerId>& pending, Seconds routed_latency,
+    double link_factor, long long* routed_out) const {
+  const DnnModel& model = world_.model;
+  // Execution sees the *actual* wireless rate of this attachment; the
+  // master's plan was made against the nominal one.
+  PartitionContext context{.model = &model,
+                           .client_profile = &world_.client_profile,
+                           .server_time = lvl.true_time,
+                           .net = config_.wireless};
+  context.net.uplink_bytes_per_sec *= link_factor;
+  context.net.downlink_bytes_per_sec *= link_factor;
+  // Cumulative bytes of the pending upload sequence.
+  std::vector<Bytes> cumulative;
+  cumulative.reserve(pending.size());
+  Bytes acc = 0;
+  for (LayerId id : pending) {
+    acc += model.layer(id).weight_bytes;
+    cumulative.push_back(acc);
+  }
+
+  long long count = 0;
+  Seconds now = 0.0;
+  std::vector<bool> mask = initial_mask;
+  std::size_t arrived = 0;
+  while (true) {
+    const Bytes uploaded = static_cast<Bytes>(
+        now * context.net.uplink_bytes_per_sec);
+    while (arrived < pending.size() && cumulative[arrived] <= uploaded) {
+      mask[static_cast<std::size_t>(pending[arrived])] = true;
+      ++arrived;
+    }
+    Seconds latency = plan_latency(context, mask);
+    // Routing fallback: take the backhaul path to the previous server when
+    // it is faster than what the (still warming) new server offers.
+    if (routed_latency < latency) {
+      latency = routed_latency;
+      if (now + latency <= world_.interval && routed_out != nullptr)
+        ++*routed_out;
+    }
+    if (now + latency > world_.interval) break;
+    ++count;
+    now += latency + config_.query_gap;
+  }
+  return count;
+}
+
+void SimulatorImpl::handle_attach(ClientId c, ServerId sid,
+                                  int interval_index) {
+  ClientState& client = clients_[static_cast<std::size_t>(c)];
+  const ServerId previous = client.current;
+  if (client.current != kNoServer)
+    --attached_[static_cast<std::size_t>(client.current)];
+  client.current = sid;
+  ++attached_[static_cast<std::size_t>(sid)];
+  client.pending.clear();
+  client.carry_bytes = 0;
+  client.link_factor =
+      config_.bandwidth_jitter_sigma > 0.0
+          ? std::clamp(
+                std::exp(config_.bandwidth_jitter_sigma * link_rng_.normal()),
+                0.3, 2.0)
+          : 1.0;
+  ++metrics_.server_changes;
+
+  LayerCache& cache = caches_[static_cast<std::size_t>(sid)];
+  if (config_.policy == MigrationPolicy::kNone) {
+    // IONN baseline: always uploads from scratch.
+    cache.erase(c);
+  }
+  cache.touch(c, interval_index);
+
+  const LoadLevelCache& lvl =
+      level(attached_[static_cast<std::size_t>(sid)]);
+  const DnnModel& model = world_.model;
+
+  std::vector<bool> available =
+      config_.policy == MigrationPolicy::kOptimal
+          ? std::vector<bool>(static_cast<std::size_t>(model.num_layers()),
+                              true)
+          : cache.mask(c, model);
+
+  // Classify the cold start and collect the layers still to upload.
+  int present = 0;
+  std::vector<LayerId> missing;
+  for (LayerId id : lvl.needed) {
+    if (available[static_cast<std::size_t>(id)]) {
+      ++present;
+    } else {
+      missing.push_back(id);
+    }
+  }
+  if (missing.empty()) {
+    ++metrics_.hits;
+  } else if (present == 0) {
+    ++metrics_.misses;
+  } else {
+    ++metrics_.partials;
+  }
+
+  client.pending = order_by_canonical(std::move(missing));
+  // Mask the execution sees initially: any cached layer may be used, the
+  // plan decides. The routed path (if enabled) competes per query.
+  std::vector<bool> initial_mask = std::move(available);
+  const Seconds routed = routed_path_latency(c, previous, interval_index);
+  metrics_.cold_window_queries +=
+      cold_window_queries(lvl, initial_mask, client.pending, routed,
+                          client.link_factor, &metrics_.routed_queries);
+}
+
+void SimulatorImpl::advance_uploads(int interval_index) {
+  for (ClientId c = 0; c < static_cast<ClientId>(clients_.size()); ++c) {
+    ClientState& client = clients_[static_cast<std::size_t>(c)];
+    if (client.current == kNoServer) continue;
+    LayerCache& cache = caches_[static_cast<std::size_t>(client.current)];
+    if (!client.pending.empty()) {
+      client.carry_bytes += static_cast<Bytes>(
+          world_.interval * config_.wireless.uplink_bytes_per_sec *
+          client.link_factor);
+      std::vector<LayerId> arrived;
+      while (!client.pending.empty()) {
+        const Bytes need =
+            world_.model.layer(client.pending.front()).weight_bytes;
+        if (client.carry_bytes < need) break;
+        client.carry_bytes -= need;
+        arrived.push_back(client.pending.front());
+        client.pending.erase(client.pending.begin());
+      }
+      if (client.pending.empty()) client.carry_bytes = 0;
+      if (!arrived.empty()) cache.store(c, arrived, interval_index);
+    }
+    // The attached client keeps its entry alive.
+    cache.touch(c, interval_index);
+  }
+}
+
+bool SimulatorImpl::is_down(ServerId sid, int interval_index) const {
+  return down_until_[static_cast<std::size_t>(sid)] > interval_index;
+}
+
+void SimulatorImpl::inject_failures(int interval_index) {
+  if (config_.server_failure_rate <= 0.0) return;
+  for (ServerId s = 0; s < world_.servers.num_servers(); ++s) {
+    if (is_down(s, interval_index)) continue;
+    if (!rng_.bernoulli(config_.server_failure_rate)) continue;
+    ++metrics_.server_failures;
+    down_until_[static_cast<std::size_t>(s)] =
+        interval_index + config_.server_downtime_intervals;
+    // The crash loses every cached layer on the node...
+    caches_[static_cast<std::size_t>(s)] = LayerCache(config_.ttl_intervals);
+    // ...and drops its clients, who re-attach (cold) next placement pass.
+    for (auto& client : clients_) {
+      if (client.current != s) continue;
+      client.current = kNoServer;
+      client.pending.clear();
+      client.carry_bytes = 0;
+      --attached_[static_cast<std::size_t>(s)];
+      ++metrics_.failure_evictions;
+    }
+  }
+}
+
+ServerId SimulatorImpl::choose_server(Point pos, ServerId current,
+                                      int interval_index) {
+  const double fallback_radius = world_.servers.grid().cell_radius() * 64.0;
+  if (config_.selection == ServerSelection::kCurrentCell) {
+    ServerId sid = world_.servers.server_at(pos);
+    if (sid == kNoServer)
+      sid = world_.servers.nearest_server(pos, fallback_radius);
+    if (sid != kNoServer && !is_down(sid, interval_index)) return sid;
+    // Cell server down (or missing): any live neighbour within Wi-Fi range.
+    for (ServerId candidate :
+         world_.servers.servers_within(pos, config_.visibility_radius_m))
+      if (!is_down(candidate, interval_index)) return candidate;
+    return kNoServer;
+  }
+
+  // kBestVisible: minimise the GPU-aware plan latency over visible servers,
+  // assuming this client would add one unit of load.
+  std::vector<ServerId> candidates =
+      world_.servers.servers_within(pos, config_.visibility_radius_m);
+  if (candidates.empty()) {
+    const ServerId nearest =
+        world_.servers.nearest_server(pos, fallback_radius);
+    if (nearest != kNoServer) candidates.push_back(nearest);
+  }
+  ServerId best = kNoServer;
+  Seconds best_latency = kInfSeconds;
+  Seconds current_latency = kInfSeconds;
+  bool current_visible = false;
+  for (ServerId candidate : candidates) {
+    if (is_down(candidate, interval_index)) continue;
+    // For the already-attached server the client's own load is included.
+    const int extra = candidate == current ? 0 : 1;
+    const Seconds latency =
+        level(attached_[static_cast<std::size_t>(candidate)] + extra)
+            .plan.latency;
+    if (candidate == current) {
+      current_visible = true;
+      current_latency = latency;
+    }
+    if (latency < best_latency) {
+      best_latency = latency;
+      best = candidate;
+    }
+  }
+  // Hysteresis: keep the current server unless a visible alternative is
+  // meaningfully better — otherwise load ties cause attachment flapping and
+  // spurious cold starts.
+  if (current_visible && current_latency <= best_latency * 1.15)
+    return current;
+  return best;
+}
+
+std::optional<Point> SimulatorImpl::predict_next(
+    const ClientState& client, std::size_t history,
+    std::size_t interval_index) const {
+  const auto& points = client.trace->points;
+  switch (config_.predictor) {
+    case PredictorKind::kStationary:
+      return points[history - 1];
+    case PredictorKind::kOracle:
+      return points[std::min(interval_index + 1, points.size() - 1)];
+    default: {
+      PERDNN_CHECK_MSG(config_.predictor == world_.predictor_kind &&
+                           world_.predictor != nullptr,
+                       "model-based predictor kind must match the one the "
+                       "world was built with");
+      const auto n = static_cast<std::size_t>(config_.trajectory_length);
+      if (history < n) return std::nullopt;
+      return world_.predictor->predict(
+          std::span<const Point>(points.data(), history));
+    }
+  }
+}
+
+void SimulatorImpl::proactive_migration(int interval_index) {
+  for (ClientId c = 0; c < static_cast<ClientId>(clients_.size()); ++c) {
+    ClientState& client = clients_[static_cast<std::size_t>(c)];
+    const auto& points = client.trace->points;
+    const auto history =
+        std::min(points.size(), static_cast<std::size_t>(interval_index) + 1);
+    if (history == 0 || client.current == kNoServer) continue;
+
+    const std::optional<Point> predicted = predict_next(
+        client, history, static_cast<std::size_t>(interval_index));
+    if (!predicted) continue;
+    const std::vector<ServerId> targets =
+        world_.servers.servers_within(*predicted, config_.migration_radius_m);
+
+    LayerCache& source_cache =
+        caches_[static_cast<std::size_t>(client.current)];
+    const std::vector<bool> source_mask =
+        source_cache.mask(c, world_.model);
+
+    for (ServerId target : targets) {
+      if (target == client.current) continue;  // futile for migration
+      if (is_down(target, interval_index)) continue;
+      const LoadLevelCache& lvl =
+          level(attached_[static_cast<std::size_t>(target)] + 1);
+
+      // Send what the future plan needs and the source actually has.
+      std::vector<LayerId> sendable;
+      for (LayerId id : lvl.needed)
+        if (source_mask[static_cast<std::size_t>(id)]) sendable.push_back(id);
+      sendable = order_by_canonical(std::move(sendable));
+
+      // Fractional migration: crowded endpoints cap the migrated bytes to
+      // the highest-efficiency prefix.
+      const bool capped =
+          config_.crowded_byte_budget > 0 &&
+          (crowded_[static_cast<std::size_t>(target)] ||
+           crowded_[static_cast<std::size_t>(client.current)]);
+      if (capped) {
+        Bytes used = 0;
+        std::size_t keep = 0;
+        while (keep < sendable.size()) {
+          const Bytes w = world_.model.layer(sendable[keep]).weight_bytes;
+          if (used + w > config_.crowded_byte_budget) break;
+          used += w;
+          ++keep;
+        }
+        sendable.resize(keep);
+      }
+
+      // Store (deduplicating) and account only the bytes that actually
+      // crossed the backhaul. Even an empty effective send refreshes TTL
+      // (the paper's duplicate-transmission suppression).
+      const std::vector<LayerId> added =
+          caches_[static_cast<std::size_t>(target)].store(c, sendable,
+                                                          interval_index);
+      Bytes bytes = 0;
+      for (LayerId id : added) bytes += world_.model.layer(id).weight_bytes;
+      if (bytes > 0) {
+        traffic_.record_transfer(client.current, target, bytes);
+        metrics_.total_migrated_bytes += bytes;
+      }
+    }
+  }
+}
+
+SimulationMetrics SimulatorImpl::run() {
+  std::size_t num_intervals = 0;
+  for (const auto& client : clients_)
+    num_intervals = std::max(num_intervals, client.trace->points.size());
+
+  for (std::size_t k = 0; k < num_intervals; ++k) {
+    const int interval_index = static_cast<int>(k);
+    traffic_.begin_interval();
+
+    // 0) Failure injection (crashed servers lose caches and clients).
+    inject_failures(interval_index);
+
+    // 1) Movement and (re-)attachment.
+    for (ClientId c = 0; c < static_cast<ClientId>(clients_.size()); ++c) {
+      ClientState& client = clients_[static_cast<std::size_t>(c)];
+      if (k >= client.trace->points.size()) {
+        // Trace ended: the client leaves the system.
+        if (client.current != kNoServer) {
+          --attached_[static_cast<std::size_t>(client.current)];
+          client.current = kNoServer;
+          client.pending.clear();
+        }
+        continue;
+      }
+      const Point pos = client.trace->points[k];
+      const ServerId sid = choose_server(pos, client.current, interval_index);
+      if (sid == kNoServer) continue;  // nothing reachable (outage)
+      if (sid != client.current) handle_attach(c, sid, interval_index);
+    }
+
+    // 2) Incremental uploads progress; attached entries stay fresh.
+    advance_uploads(interval_index);
+
+    // 3) Prediction + proactive migration.
+    if (config_.policy == MigrationPolicy::kProactive)
+      proactive_migration(interval_index);
+
+    // 4) TTL expiry.
+    for (auto& cache : caches_) cache.expire(interval_index);
+  }
+  traffic_.finish();
+
+  metrics_.peak_uplink_mbps = traffic_.global_peak_uplink_mbps();
+  metrics_.peak_downlink_mbps = traffic_.global_peak_downlink_mbps();
+  metrics_.fraction_servers_within_100mbps =
+      traffic_.fraction_servers_within(100.0);
+  metrics_.fraction_servers_within_100mbps_at_peak =
+      traffic_.fraction_servers_within_at_peak(100.0);
+  metrics_.server_peak_uplink_mbps.resize(
+      static_cast<std::size_t>(world_.servers.num_servers()));
+  for (ServerId s = 0; s < world_.servers.num_servers(); ++s)
+    metrics_.server_peak_uplink_mbps[static_cast<std::size_t>(s)] =
+        traffic_.peak_uplink_mbps(s);
+  metrics_.num_servers = world_.servers.num_servers();
+  metrics_.num_clients = static_cast<int>(clients_.size());
+  metrics_.num_intervals = static_cast<int>(num_intervals);
+  return metrics_;
+}
+
+}  // namespace
+
+SimulationMetrics run_simulation(const SimulationConfig& config,
+                                 const SimulationWorld& world) {
+  SimulatorImpl impl(config, world);
+  return impl.run();
+}
+
+}  // namespace perdnn

@@ -1,0 +1,179 @@
+// Large-scale smart-city simulation (Section 4.B).
+//
+// Mobile users replay their trajectories over a hexagonal grid of edge
+// servers (one per visited cell). Every time interval:
+//
+//   1. clients move; a client whose cell's server changed re-attaches and
+//      suffers a *cold start*: the master derives a fresh partitioning plan
+//      from the new server's GPU statistics, and the client offloads
+//      whatever cached layers exist, uploading the rest incrementally —
+//      queries completed during this first interval are the Fig 9 metric;
+//   2. the master predicts every client's next location (linear SVR over the
+//      n most recent points) and proactively migrates the server-side layers
+//      of speculative plans to all servers within radius r of the predicted
+//      location, de-duplicated and TTL-refreshed at the receivers, with
+//      backhaul traffic accounted per server per interval;
+//   3. caches expire (TTL intervals), attached clients keep theirs alive.
+//
+// Time inside a cold-start window advances continuously (query latency +
+// 0.5 s gap, upload progressing at the wireless uplink rate), matching the
+// paper's workload.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "device/gpu_model.hpp"
+#include "device/profiler.hpp"
+#include "edge/layer_cache.hpp"
+#include "estimation/estimator.hpp"
+#include "geo/server_map.hpp"
+#include "mobility/predictor.hpp"
+#include "net/network.hpp"
+#include "nn/model_zoo.hpp"
+#include "partition/upload_order.hpp"
+
+namespace perdnn {
+
+enum class MigrationPolicy {
+  kNone,       ///< IONN baseline: never migrate; every re-attach is a miss
+  kProactive,  ///< PerDNN: predict + migrate within radius r
+  kOptimal,    ///< oracle: every layer available everywhere (hit ratio 100%)
+};
+
+/// How a client picks its offloading server when it moves (Section 3.C.2:
+/// "applying the algorithm to all edge servers visible to the client, the
+/// master server can find the best edge server").
+enum class ServerSelection {
+  /// Attach to the current cell's server (one AP in range).
+  kCurrentCell,
+  /// Evaluate every server within Wi-Fi range and pick the one whose
+  /// GPU-aware plan promises the lowest latency — crowded servers quote
+  /// longer times, so load balances automatically.
+  kBestVisible,
+};
+
+/// Which mobility predictor drives proactive migration.
+enum class PredictorKind {
+  kSvr,         ///< the paper's deployed predictor
+  kMarkov,      ///< prediction-suffix-tree baseline
+  kRnn,         ///< LSTM baseline
+  kStationary,  ///< predicts "stays where it is" (lower bound)
+  kOracle,      ///< reads the trace one step ahead (upper bound)
+};
+
+struct SimulationConfig {
+  ModelName model = ModelName::kInception;
+  MigrationPolicy policy = MigrationPolicy::kProactive;
+  double migration_radius_m = 50.0;  ///< the paper's r
+  int ttl_intervals = 5;
+  int trajectory_length = 5;  ///< n recent locations for prediction
+  Seconds query_gap = 0.5;
+  double cell_radius_m = 50.0;
+  NetworkCondition wireless{};  // defaults to lab Wi-Fi values
+
+  /// Wireless variability: each client's access link is scaled by a
+  /// lognormal factor exp(sigma * N(0,1)) drawn at every re-attachment
+  /// (clamped to [0.3, 2.0]). The master still *plans* with the nominal
+  /// rates — the realistic mismatch between assumed and actual bandwidth —
+  /// while execution and uploads run at the drawn rate. 0 disables.
+  double bandwidth_jitter_sigma = 0.0;
+
+  ServerSelection selection = ServerSelection::kCurrentCell;
+  /// Wi-Fi visibility range for kBestVisible (servers whose cell centre is
+  /// within this distance are candidates).
+  double visibility_radius_m = 100.0;
+
+  PredictorKind predictor = PredictorKind::kSvr;
+
+  /// Failure injection: per-interval probability that any given edge server
+  /// crashes (loses its layer cache and drops its clients) and the number of
+  /// intervals it stays down. 0 disables failures.
+  double server_failure_rate = 0.0;
+  int server_downtime_intervals = 3;
+
+  /// The paper's "alternative (2)", implemented as an option: during a cold
+  /// start a client may keep offloading to its *previous* server, with the
+  /// query routed through the new AP over the backhaul (extra RTT, capped
+  /// bandwidth), while the new server warms up. Each query picks whichever
+  /// path is faster at that moment.
+  bool routing_fallback = false;
+  double backhaul_bytes_per_sec = mbps_to_bytes_per_sec(1000.0);
+  Seconds backhaul_rtt = 10e-3;
+
+  /// Fractional migration (Fig 10): servers in `crowded_servers` send and
+  /// receive at most `crowded_byte_budget` bytes of any client's model
+  /// (highest-efficiency prefix). Empty set disables the mechanism.
+  std::vector<ServerId> crowded_servers;
+  Bytes crowded_byte_budget = 0;
+
+  std::uint64_t seed = 42;
+};
+
+struct SimulationMetrics {
+  /// Queries completed inside cold-start windows (the Fig 9 bar height).
+  long long cold_window_queries = 0;
+  int server_changes = 0;
+  int hits = 0;     ///< all server-side layers were already cached
+  int partials = 0; ///< some but not all
+  int misses = 0;   ///< nothing cached
+  int server_failures = 0;    ///< injected crash events
+  int failure_evictions = 0;  ///< clients dropped by a crashing server
+  /// Cold-window queries served through the routed-to-previous-server path
+  /// (only with routing_fallback).
+  long long routed_queries = 0;
+  /// hit / (hit + miss), the paper's hit-ratio definition.
+  double hit_ratio() const;
+
+  // Backhaul traffic (proactive policies only).
+  double peak_uplink_mbps = 0.0;
+  double peak_downlink_mbps = 0.0;
+  /// Share of servers whose all-time peaks stay under 100 Mbps.
+  double fraction_servers_within_100mbps = 0.0;
+  /// Share of servers under 100 Mbps during the single busiest interval.
+  double fraction_servers_within_100mbps_at_peak = 0.0;
+  Bytes total_migrated_bytes = 0;
+  /// Per-server peak uplink Mbps, for picking crowded servers.
+  std::vector<double> server_peak_uplink_mbps;
+
+  int num_servers = 0;
+  int num_clients = 0;
+  int num_intervals = 0;
+};
+
+/// Shared, expensive-to-build inputs reused across policy runs so that the
+/// IONN / PerDNN / Optimal bars of one figure see identical worlds.
+struct SimulationWorld {
+  DnnModel model;
+  DnnProfile client_profile;
+  std::shared_ptr<GpuContentionModel> gpu;
+  std::shared_ptr<RandomForestEstimator> estimator;
+  ServerMap servers;
+  std::vector<Trajectory> test_traces;
+  /// Trained predictor for the kind the world was built with (null for the
+  /// model-free kStationary/kOracle kinds). run_simulation may switch to
+  /// kStationary/kOracle freely, but a model-based kind must match the one
+  /// the world was built for.
+  PredictorKind predictor_kind = PredictorKind::kSvr;
+  std::shared_ptr<MobilityPredictor> predictor;
+  /// Canonical efficiency order for the full model (uncontended plan); the
+  /// simulator uses it for upload sequencing and fractional cuts.
+  UploadSchedule canonical_schedule;
+  Seconds interval = 20.0;
+};
+
+/// Builds a world: trains the estimator on a profiling sweep, trains the SVR
+/// predictor on `train_traces`, allocates servers for cells visited by
+/// `test_traces`.
+SimulationWorld build_world(const SimulationConfig& config,
+                            const std::vector<Trajectory>& train_traces,
+                            const std::vector<Trajectory>& test_traces);
+
+/// Runs one policy over a prebuilt world.
+SimulationMetrics run_simulation(const SimulationConfig& config,
+                                 const SimulationWorld& world);
+
+}  // namespace perdnn

@@ -1,0 +1,108 @@
+#include "common/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace perdnn {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+  EXPECT_THROW(m(3, 0), std::logic_error);
+  EXPECT_THROW(m(0, 2), std::logic_error);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::logic_error);
+}
+
+TEST(Matrix, Matmul) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  Matrix c = a.matmul(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MatmulShapeMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(a.matmul(b), std::logic_error);
+}
+
+TEST(Matrix, MatvecAndTransposedMatvecAgree) {
+  Rng rng(3);
+  Matrix m(5, 7);
+  for (double& x : m.data()) x = rng.normal();
+  Vector v(7), w(5);
+  for (double& x : v) x = rng.normal();
+  for (double& x : w) x = rng.normal();
+  // Property: w^T (M v) == (M^T w)^T v.
+  const double lhs = dot(w, m.matvec(v));
+  const double rhs = dot(m.transposed_matvec(w), v);
+  EXPECT_NEAR(lhs, rhs, 1e-9);
+  // And transposed_matvec equals the explicit transpose.
+  const Vector explicit_t = m.transposed().matvec(w);
+  const Vector implicit_t = m.transposed_matvec(w);
+  for (std::size_t i = 0; i < explicit_t.size(); ++i)
+    EXPECT_NEAR(explicit_t[i], implicit_t[i], 1e-12);
+}
+
+TEST(Matrix, CholeskySolveRecoversSolution) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 6;
+    // Random SPD matrix: A = B^T B + I.
+    Matrix b(n, n);
+    for (double& x : b.data()) x = rng.normal();
+    Matrix a = b.transposed().matmul(b);
+    for (std::size_t i = 0; i < n; ++i) a(i, i) += 1.0;
+    Vector x_true(n);
+    for (double& v : x_true) v = rng.normal();
+    const Vector rhs = a.matvec(x_true);
+    const Vector x = cholesky_solve(a, rhs);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+  }
+}
+
+TEST(Matrix, CholeskyRejectsIndefinite) {
+  Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_THROW(cholesky_solve(a, {1.0, 1.0}), std::logic_error);
+}
+
+TEST(Matrix, CholeskyRidgeRepairsNearSingular) {
+  Matrix a{{1.0, 1.0}, {1.0, 1.0}};  // rank 1
+  const Vector x = cholesky_solve(a, {2.0, 2.0}, /*ridge=*/1e-6);
+  EXPECT_NEAR(x[0] + x[1], 2.0, 1e-3);
+}
+
+TEST(Matrix, ElementwiseOps) {
+  Matrix a{{1.0, 2.0}};
+  Matrix b{{3.0, 4.0}};
+  a += b;
+  EXPECT_DOUBLE_EQ(a(0, 1), 6.0);
+  a -= b;
+  EXPECT_DOUBLE_EQ(a(0, 1), 2.0);
+  a *= 2.0;
+  EXPECT_DOUBLE_EQ(a(0, 0), 2.0);
+}
+
+TEST(Matrix, VectorHelpers) {
+  const Vector a = {1.0, 2.0};
+  const Vector b = {3.0, 5.0};
+  EXPECT_DOUBLE_EQ(vec_add(a, b)[1], 7.0);
+  EXPECT_DOUBLE_EQ(vec_sub(b, a)[0], 2.0);
+  EXPECT_DOUBLE_EQ(vec_mul(a, b)[1], 10.0);
+  EXPECT_DOUBLE_EQ(vec_scale(a, 3.0)[0], 3.0);
+  EXPECT_DOUBLE_EQ(dot(a, b), 13.0);
+  EXPECT_THROW(dot(a, {1.0}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace perdnn

@@ -1,0 +1,89 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace perdnn {
+namespace {
+
+TEST(Stats, MeanAndVariance) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(variance(xs), 1.25);
+  EXPECT_DOUBLE_EQ(stddev(xs), std::sqrt(1.25));
+}
+
+TEST(Stats, EmptyInputsAreZero) {
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(variance(empty), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(empty, 50.0), 0.0);
+}
+
+TEST(Stats, MaeAndRmse) {
+  const std::vector<double> pred = {1.0, 2.0, 4.0};
+  const std::vector<double> actual = {1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(mean_absolute_error(pred, actual), 1.0);
+  EXPECT_NEAR(root_mean_squared_error(pred, actual), std::sqrt(5.0 / 3.0),
+              1e-12);
+}
+
+TEST(Stats, MaeRejectsMismatchedLengths) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW(mean_absolute_error(a, b), std::logic_error);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+  EXPECT_THROW(percentile(xs, 101.0), std::logic_error);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  const std::vector<double> xs = {40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+}
+
+// Property: OnlineStats agrees with batch formulas on random data.
+TEST(Stats, OnlineMatchesBatch) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> xs;
+    OnlineStats online;
+    const int n = static_cast<int>(rng.uniform_int(2, 200));
+    for (int i = 0; i < n; ++i) {
+      const double x = rng.normal(3.0, 7.0);
+      xs.push_back(x);
+      online.add(x);
+    }
+    EXPECT_NEAR(online.mean(), mean(xs), 1e-9);
+    EXPECT_NEAR(online.variance(), variance(xs), 1e-7);
+    EXPECT_DOUBLE_EQ(online.min(), *std::min_element(xs.begin(), xs.end()));
+    EXPECT_DOUBLE_EQ(online.max(), *std::max_element(xs.begin(), xs.end()));
+    EXPECT_EQ(online.count(), xs.size());
+  }
+}
+
+TEST(Stats, OnlineEmptyIsZero) {
+  OnlineStats s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Stats, MaxValue) {
+  const std::vector<double> xs = {-5.0, -1.0, -9.0};
+  EXPECT_DOUBLE_EQ(max_value(xs), -1.0);
+}
+
+}  // namespace
+}  // namespace perdnn

@@ -1,0 +1,56 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace perdnn {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"beta", "22"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  // Header separator plus top/bottom rules.
+  EXPECT_NE(out.find("+--"), std::string::npos);
+}
+
+TEST(TextTable, RejectsArityMismatch) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::logic_error);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), std::logic_error);
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(static_cast<long long>(42)), "42");
+}
+
+TEST(TextTable, ColumnsPadToWidestCell) {
+  TextTable table({"x"});
+  table.add_row({"longest-cell"});
+  table.add_row({"s"});
+  const std::string out = table.to_string();
+  // Every data row renders at the same width.
+  std::size_t first_newline = out.find('\n');
+  ASSERT_NE(first_newline, std::string::npos);
+  const std::size_t width = first_newline;
+  std::size_t pos = 0;
+  int lines = 0;
+  while (pos < out.size()) {
+    const std::size_t next = out.find('\n', pos);
+    if (next == std::string::npos) break;
+    EXPECT_EQ(next - pos, width);
+    pos = next + 1;
+    ++lines;
+  }
+  EXPECT_GE(lines, 5);
+}
+
+}  // namespace
+}  // namespace perdnn

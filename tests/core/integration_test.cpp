@@ -1,0 +1,117 @@
+// End-to-end integration through the public library pieces, driven the way
+// a real deployment would wire them (no simulator): a client registers with
+// the MasterServer, streams its trajectory, the master predicts the move
+// and issues migration orders, edge caches receive the layers, and when the
+// client arrives its cold start is a hit.
+#include <gtest/gtest.h>
+
+#include "core/perdnn.hpp"
+#include "edge/layer_cache.hpp"
+#include "geo/server_map.hpp"
+#include "mobility/predictor.hpp"
+
+namespace perdnn {
+namespace {
+
+TEST(Integration, ProactiveMigrationTurnsColdStartIntoHit) {
+  // --- infrastructure: a corridor of edge servers every 100 m ---
+  auto servers = std::make_shared<ServerMap>(50.0);
+  for (double x = 0.0; x <= 1000.0; x += 100.0) servers->allocate_at({x, 0.0});
+
+  auto gpu = std::make_shared<GpuContentionModel>(titan_xp_profile());
+  DnnModel model = build_toy_model(4);
+  const DnnModel* models[] = {&model};
+  ConcurrencyProfiler profiler(gpu.get(), Rng(1));
+  ProfilerConfig prof_config;
+  prof_config.max_clients = 4;
+  prof_config.samples_per_level = 4;
+  auto estimator = std::make_shared<RandomForestEstimator>();
+  Rng train_rng(2);
+  estimator->train(profiler.profile_models(models, prof_config), train_rng);
+
+  // Mobility predictor trained on east-bound corridor walks.
+  std::vector<Trajectory> history;
+  Rng traj_rng(3);
+  for (int u = 0; u < 15; ++u) {
+    Trajectory traj;
+    traj.interval = 20.0;
+    Point pos{traj_rng.uniform(0.0, 200.0), 0.0};
+    const double speed = traj_rng.uniform(25.0, 35.0);
+    for (int t = 0; t < 15; ++t) {
+      traj.points.push_back(pos);
+      pos.x += speed;
+    }
+    history.push_back(std::move(traj));
+  }
+  auto predictor = std::make_shared<SvrPredictor>(3);
+  Rng fit_rng(4);
+  predictor->fit(history, fit_rng);
+
+  MasterServer::Config master_config;
+  master_config.migration_radius_m = 120.0;
+  MasterServer master(servers, estimator, predictor, master_config);
+
+  // --- the client registers and walks east ---
+  DnnProfile profile = profile_on_client(model, odroid_xu4_profile());
+  const ClientId client =
+      master.register_client(build_toy_model(4), std::move(profile));
+  for (int t = 0; t < 4; ++t)
+    master.report_location(client, {300.0 + 30.0 * t, 0.0});
+  const ServerId current = servers->server_at({390.0, 0.0});
+  ASSERT_NE(current, kNoServer);
+
+  // --- the master plans migrations toward the predicted next position ---
+  const auto n = static_cast<std::size_t>(model.num_layers());
+  const std::vector<bool> source_has_everything(n, true);
+  auto stats_of = [&](ServerId) {
+    Rng rng(7);
+    return gpu->stats_for_load(1, 1.0, rng);
+  };
+  const auto orders = master.plan_migrations(client, current,
+                                             source_has_everything, stats_of);
+  ASSERT_FALSE(orders.empty());
+
+  // --- edge servers apply the orders into their caches ---
+  std::vector<LayerCache> caches(
+      static_cast<std::size_t>(servers->num_servers()), LayerCache(5));
+  for (const auto& order : orders)
+    caches[static_cast<std::size_t>(order.target)].store(client, order.layers,
+                                                         /*now=*/0);
+
+  // --- the client arrives at one of the seeded servers ahead: the plan's
+  //     layers are already there
+  const ServerId next = orders.front().target;
+  ASSERT_NE(next, current);
+  const GpuStats arrival_stats = stats_of(next);
+  const PartitionPlan plan = master.current_plan(client, arrival_stats);
+  const auto mask =
+      caches[static_cast<std::size_t>(next)].mask(client, model);
+  for (LayerId id : plan.server_layers())
+    EXPECT_TRUE(mask[static_cast<std::size_t>(id)]) << "layer " << id;
+
+  // --- and the first query is a warm-start query, not a cold one ---
+  const UploadSchedule schedule =
+      master.upload_schedule(client, plan, arrival_stats);
+  PartitionContext context;
+  context.model = &model;
+  const DnnProfile stable_profile =
+      profile_on_client(model, odroid_xu4_profile());
+  context.client_profile = &stable_profile;
+  for (LayerId id = 0; id < model.num_layers(); ++id)
+    context.server_time.push_back(gpu->expected_layer_time(
+        model.layer(id), model.input_bytes(id), 1.0));
+
+  ReplayConfig replay_config;
+  replay_config.max_queries = 3;
+  const Bytes cached_bytes =
+      caches[static_cast<std::size_t>(next)].cached_bytes(client, model);
+  const ReplayResult warm =
+      replay_queries(context, schedule, cached_bytes, replay_config);
+  const ReplayResult cold = replay_queries(context, schedule, 0, replay_config);
+  EXPECT_LT(warm.queries.front().latency, cold.queries.front().latency);
+  EXPECT_NEAR(warm.queries.front().latency, plan.latency,
+              plan.latency * 0.5);  // same ballpark as the master's estimate
+}
+
+}  // namespace
+}  // namespace perdnn

@@ -1,0 +1,73 @@
+#include "core/perdnn.hpp"
+
+#include <gtest/gtest.h>
+
+namespace perdnn {
+namespace {
+
+OffloadingSession::Options fast_options(ModelName model = ModelName::kMobileNet,
+                                        int load = 1) {
+  OffloadingSession::Options options;
+  options.model = model;
+  options.server_load = load;
+  options.profiling.max_clients = 4;
+  options.profiling.samples_per_level = 3;
+  return options;
+}
+
+TEST(OffloadingSession, EndToEndMobileNet) {
+  OffloadingSession session(fast_options());
+  EXPECT_GT(session.local_latency(), 0.1);
+
+  const PartitionPlan plan = session.best_plan();
+  EXPECT_GT(plan.num_server_layers(), 0);
+  EXPECT_LT(plan.latency, session.local_latency());
+
+  const UploadSchedule schedule =
+      session.upload_schedule(plan, UploadEnumeration::kAnchored);
+  EXPECT_EQ(schedule.order.size(),
+            static_cast<std::size_t>(plan.num_server_layers()));
+
+  ReplayConfig config;
+  config.max_queries = 10;
+  const ReplayResult cold = session.replay(schedule, 0, config);
+  const ReplayResult warm =
+      session.replay(schedule, schedule.total_bytes(), config);
+  EXPECT_GT(cold.queries.front().latency, warm.queries.front().latency);
+}
+
+TEST(OffloadingSession, TrueAndEstimatedContextsAgreeRoughly) {
+  OffloadingSession session(fast_options());
+  const PartitionContext estimated = session.context(false);
+  const PartitionContext truth = session.context(true);
+  // The estimator should track ground truth well enough that the total
+  // server-side time differs by far less than the client/server gap.
+  Seconds est_total = 0, true_total = 0;
+  for (std::size_t i = 0; i < estimated.server_time.size(); ++i) {
+    est_total += estimated.server_time[i];
+    true_total += truth.server_time[i];
+  }
+  EXPECT_NEAR(est_total, true_total, 0.5 * true_total);
+}
+
+TEST(OffloadingSession, ServerLoadSlowsTheServerSide) {
+  OffloadingSession idle(fast_options(ModelName::kMobileNet, 1));
+  OffloadingSession busy(fast_options(ModelName::kMobileNet, 8));
+  Seconds idle_total = 0, busy_total = 0;
+  for (Seconds t : idle.context(true).server_time) idle_total += t;
+  for (Seconds t : busy.context(true).server_time) busy_total += t;
+  EXPECT_GT(busy_total, 2.0 * idle_total);
+  // The busy server's plan keeps latency sane by shifting work clientwards
+  // or accepting the slower server — never exceeding local execution.
+  EXPECT_LE(busy.best_plan().latency, busy.local_latency() + 1e-9);
+}
+
+TEST(OffloadingSession, StatsReflectConfiguredLoad) {
+  OffloadingSession session(fast_options(ModelName::kMobileNet, 5));
+  EXPECT_EQ(session.server_stats().num_clients, 5);
+  EXPECT_THROW(OffloadingSession(fast_options(ModelName::kMobileNet, 0)),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace perdnn

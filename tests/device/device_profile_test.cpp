@@ -1,0 +1,104 @@
+#include "device/device_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/model_zoo.hpp"
+
+namespace perdnn {
+namespace {
+
+LayerSpec make_conv(Flops flops, Bytes weight = 1000, Bytes output = 1000) {
+  LayerSpec spec;
+  spec.name = "conv";
+  spec.kind = LayerKind::kConv;
+  spec.inputs = {0};
+  spec.flops = flops;
+  spec.weight_bytes = weight;
+  spec.output_bytes = output;
+  return spec;
+}
+
+TEST(DeviceProfile, LayerTimeIsPositiveAndIncludesOverhead) {
+  const DeviceProfile client = odroid_xu4_profile();
+  const Seconds t = layer_time_on(client, make_conv(1e6), 1000);
+  EXPECT_GT(t, client.per_layer_overhead);
+}
+
+TEST(DeviceProfile, InputLayerIsFree) {
+  LayerSpec input;
+  input.kind = LayerKind::kInput;
+  input.output_bytes = 100;
+  EXPECT_DOUBLE_EQ(layer_time_on(odroid_xu4_profile(), input, 100), 0.0);
+}
+
+TEST(DeviceProfile, TimeMonotonicInFlops) {
+  const DeviceProfile client = odroid_xu4_profile();
+  const Seconds small = layer_time_on(client, make_conv(1e8), 1000);
+  const Seconds large = layer_time_on(client, make_conv(1e9), 1000);
+  EXPECT_LT(small, large);
+  EXPECT_NEAR(large / small, 10.0, 1.5);  // compute-bound regime
+}
+
+TEST(DeviceProfile, HugeFcIsMemoryBoundOnClient) {
+  // A 21k-way FC: tiny FLOPs, enormous weights. The memory term must
+  // dominate (this is what pushes the Inception head server-side).
+  LayerSpec fc;
+  fc.kind = LayerKind::kFullyConnected;
+  fc.inputs = {0};
+  fc.flops = 2.0 * 1024 * 21841;
+  fc.weight_bytes = static_cast<Bytes>(1024) * 21841 * 4;
+  fc.output_bytes = 21841 * 4;
+  const DeviceProfile client = odroid_xu4_profile();
+  const double flops_only = fc.flops / (client.gflops * 1e9);
+  const Seconds t = layer_time_on(client, fc, 1024 * 4);
+  EXPECT_GT(t, 3.0 * flops_only);
+}
+
+TEST(DeviceProfile, ServerMuchFasterThanClient) {
+  const LayerSpec conv = make_conv(1e9, 1 << 20, 1 << 20);
+  const Seconds client = layer_time_on(odroid_xu4_profile(), conv, 1 << 20);
+  const Seconds server = layer_time_on(titan_xp_profile(), conv, 1 << 20);
+  EXPECT_GT(client / server, 20.0);
+}
+
+TEST(DeviceProfile, DepthwiseLessEfficientThanDense) {
+  LayerSpec dw = make_conv(1e8);
+  dw.kind = LayerKind::kDepthwiseConv;
+  const LayerSpec dense = make_conv(1e8);
+  const DeviceProfile client = odroid_xu4_profile();
+  EXPECT_GT(layer_time_on(client, dw, 1000),
+            layer_time_on(client, dense, 1000));
+}
+
+TEST(DeviceProfile, ProfileOnClientCoversEveryLayer) {
+  const DnnModel model = build_toy_model(3);
+  const DnnProfile profile = profile_on_client(model, odroid_xu4_profile());
+  ASSERT_EQ(profile.client_time.size(),
+            static_cast<std::size_t>(model.num_layers()));
+  EXPECT_DOUBLE_EQ(profile.client_time[0], 0.0);  // input layer
+  for (std::size_t i = 1; i < profile.client_time.size(); ++i)
+    EXPECT_GT(profile.client_time[i], 0.0);
+  EXPECT_GT(total_client_time(profile), 0.0);
+}
+
+TEST(DeviceProfile, CalibrationLandsInPaperBallpark) {
+  // The paper's client (ODROID XU4 + caffe) runs Inception in roughly a
+  // second and change; our calibrated profile should stay in that regime.
+  const DnnModel inception = build_inception21k();
+  const Seconds local =
+      total_client_time(profile_on_client(inception, odroid_xu4_profile()));
+  EXPECT_GT(local, 0.6);
+  EXPECT_LT(local, 3.0);
+  const Seconds server =
+      total_client_time(profile_on_client(inception, titan_xp_profile()));
+  EXPECT_LT(server, 0.1);  // tens of ms on a Titan-class GPU
+}
+
+TEST(DeviceProfile, InvalidProfileRejected) {
+  DeviceProfile bad = odroid_xu4_profile();
+  bad.gflops = 0.0;
+  EXPECT_THROW(layer_time_on(bad, make_conv(1e6), 100), std::logic_error);
+}
+
+}  // namespace
+}  // namespace perdnn

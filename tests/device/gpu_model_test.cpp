@@ -1,0 +1,136 @@
+#include "device/gpu_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace perdnn {
+namespace {
+
+GpuContentionModel make_model() {
+  return GpuContentionModel(titan_xp_profile());
+}
+
+LayerSpec make_conv() {
+  LayerSpec spec;
+  spec.kind = LayerKind::kConv;
+  spec.inputs = {0};
+  spec.flops = 1e9;
+  spec.weight_bytes = 1 << 20;
+  spec.output_bytes = 1 << 20;
+  return spec;
+}
+
+TEST(GpuContention, UncontendedSlowdownIsOne) {
+  const auto gpu = make_model();
+  EXPECT_DOUBLE_EQ(gpu.slowdown(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(gpu.slowdown(0.5), 1.0);
+}
+
+TEST(GpuContention, SlowdownMonotonicAndSuperlinear) {
+  const auto gpu = make_model();
+  double prev = gpu.slowdown(1.0);
+  double prev_delta = 0.0;
+  for (int load = 2; load <= 16; ++load) {
+    const double s = gpu.slowdown(static_cast<double>(load));
+    EXPECT_GT(s, prev);
+    const double delta = s - prev;
+    EXPECT_GE(delta, prev_delta - 1e-9);  // convex in load
+    prev = s;
+    prev_delta = delta;
+  }
+}
+
+TEST(GpuContention, InvalidConfigRejected) {
+  GpuContentionConfig config;
+  config.slowdown_exponent = 0.5;
+  EXPECT_THROW(GpuContentionModel(titan_xp_profile(), config),
+               std::logic_error);
+}
+
+TEST(GpuContention, EffectiveLoadCentersOnNominal) {
+  const auto gpu = make_model();
+  Rng rng(3);
+  for (int nominal : {1, 4, 12}) {
+    std::vector<double> draws;
+    for (int i = 0; i < 4000; ++i)
+      draws.push_back(gpu.sample_effective_load(nominal, rng));
+    EXPECT_NEAR(mean(draws), static_cast<double>(nominal),
+                0.05 * nominal + 0.05);
+  }
+}
+
+// The causal root of Fig 4: load jitter grows with concurrency.
+TEST(GpuContention, LoadJitterGrowsWithClients) {
+  const auto gpu = make_model();
+  Rng rng(5);
+  std::vector<double> low, high;
+  for (int i = 0; i < 4000; ++i) {
+    low.push_back(gpu.sample_effective_load(2, rng));
+    high.push_back(gpu.sample_effective_load(12, rng));
+  }
+  EXPECT_GT(stddev(high) / 12.0, stddev(low) / 2.0);
+}
+
+TEST(GpuContention, ZeroClientsMeansIdle) {
+  const auto gpu = make_model();
+  Rng rng(7);
+  EXPECT_DOUBLE_EQ(gpu.sample_effective_load(0, rng), 0.0);
+  EXPECT_THROW(gpu.sample_effective_load(-1, rng), std::logic_error);
+}
+
+TEST(GpuStatsModel, StatsWithinPhysicalRanges) {
+  const auto gpu = make_model();
+  Rng rng(9);
+  for (int load = 1; load <= 16; ++load) {
+    for (int i = 0; i < 50; ++i) {
+      const GpuStats stats =
+          gpu.stats_for_load(load, static_cast<double>(load), rng);
+      EXPECT_EQ(stats.num_clients, load);
+      EXPECT_GE(stats.kernel_util, 0.0);
+      EXPECT_LE(stats.kernel_util, 100.0);
+      EXPECT_GE(stats.mem_util, 0.0);
+      EXPECT_LE(stats.mem_util, 100.0);
+      EXPECT_GE(stats.temperature_c, 30.0);
+      EXPECT_LE(stats.temperature_c, 92.0);
+      EXPECT_GT(stats.mem_usage_mb, 0.0);
+    }
+  }
+}
+
+TEST(GpuStatsModel, UtilisationIncreasesWithLoad) {
+  const auto gpu = make_model();
+  Rng rng(11);
+  auto mean_kernel_util = [&](int load) {
+    double total = 0.0;
+    for (int i = 0; i < 500; ++i)
+      total += gpu.stats_for_load(load, static_cast<double>(load), rng)
+                   .kernel_util;
+    return total / 500.0;
+  };
+  EXPECT_LT(mean_kernel_util(1), mean_kernel_util(4));
+  EXPECT_LT(mean_kernel_util(4), mean_kernel_util(12));
+}
+
+TEST(GpuLatency, ExpectedTimeScalesWithSlowdown) {
+  const auto gpu = make_model();
+  const LayerSpec conv = make_conv();
+  const Seconds base = gpu.expected_layer_time(conv, 1 << 20, 1.0);
+  const Seconds loaded = gpu.expected_layer_time(conv, 1 << 20, 8.0);
+  EXPECT_NEAR(loaded / base, gpu.slowdown(8.0), 1e-9);
+}
+
+TEST(GpuLatency, NoisySamplesCenterOnExpected) {
+  const auto gpu = make_model();
+  const LayerSpec conv = make_conv();
+  Rng rng(13);
+  const Seconds expected = gpu.expected_layer_time(conv, 1 << 20, 4.0);
+  std::vector<double> samples;
+  for (int i = 0; i < 3000; ++i)
+    samples.push_back(gpu.layer_time(conv, 1 << 20, 4.0, rng));
+  EXPECT_NEAR(mean(samples), expected, 0.02 * expected);
+  EXPECT_GT(stddev(samples), 0.0);
+}
+
+}  // namespace
+}  // namespace perdnn

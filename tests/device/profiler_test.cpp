@@ -1,0 +1,105 @@
+#include "device/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "nn/model_zoo.hpp"
+
+namespace perdnn {
+namespace {
+
+TEST(Profiler, RecordCountMatchesSweep) {
+  const GpuContentionModel gpu(titan_xp_profile());
+  ConcurrencyProfiler profiler(&gpu, Rng(1));
+  const DnnModel model = build_toy_model(2);
+  const DnnModel* models[] = {&model};
+  ProfilerConfig config;
+  config.max_clients = 3;
+  config.samples_per_level = 2;
+  config.include_pointwise = true;
+  const auto records = profiler.profile_models(models, config);
+  // Every non-input layer, 3 levels x 2 samples each.
+  EXPECT_EQ(records.size(),
+            static_cast<std::size_t>((model.num_layers() - 1) * 3 * 2));
+}
+
+TEST(Profiler, ComputeOnlyFilter) {
+  const GpuContentionModel gpu(titan_xp_profile());
+  ConcurrencyProfiler profiler(&gpu, Rng(1));
+  const DnnModel model = build_toy_model(2);
+  const DnnModel* models[] = {&model};
+  ProfilerConfig config;
+  config.max_clients = 2;
+  config.samples_per_level = 1;
+  config.include_pointwise = false;
+  const auto records = profiler.profile_models(models, config);
+  for (const auto& rec : records) EXPECT_TRUE(rec.layer.is_compute());
+  int compute_layers = 0;
+  for (const auto& layer : model.layers())
+    if (layer.is_compute()) ++compute_layers;
+  EXPECT_EQ(records.size(), static_cast<std::size_t>(compute_layers * 2));
+}
+
+TEST(Profiler, RecordsCarryConsistentState) {
+  const GpuContentionModel gpu(titan_xp_profile());
+  ConcurrencyProfiler profiler(&gpu, Rng(2));
+  const DnnModel model = build_toy_model(1);
+  const DnnModel* models[] = {&model};
+  ProfilerConfig config;
+  config.max_clients = 4;
+  config.samples_per_level = 3;
+  std::set<int> seen_levels;
+  for (const auto& rec : profiler.profile_models(models, config)) {
+    EXPECT_GT(rec.time, 0.0);
+    EXPECT_GT(rec.true_load, 0.0);
+    EXPECT_GE(rec.stats.num_clients, 1);
+    EXPECT_LE(rec.stats.num_clients, 4);
+    EXPECT_GE(rec.input_bytes, 0);
+    seen_levels.insert(rec.stats.num_clients);
+  }
+  EXPECT_EQ(seen_levels.size(), 4u);
+}
+
+TEST(Profiler, HigherConcurrencyMeansSlowerLayers) {
+  const GpuContentionModel gpu(titan_xp_profile());
+  ConcurrencyProfiler profiler(&gpu, Rng(3));
+  LayerSpec conv;
+  conv.kind = LayerKind::kConv;
+  conv.inputs = {0};
+  conv.flops = 5e9;
+  conv.output_bytes = 1 << 20;
+  conv.weight_bytes = 1 << 20;
+  double t1 = 0.0, t8 = 0.0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    t1 += profiler.profile_once(conv, 1 << 20, 1).time;
+    t8 += profiler.profile_once(conv, 1 << 20, 8).time;
+  }
+  EXPECT_GT(t8 / n, 2.0 * t1 / n);
+}
+
+TEST(Profiler, DeterministicWithSeed) {
+  const GpuContentionModel gpu(titan_xp_profile());
+  const DnnModel model = build_toy_model(1);
+  const DnnModel* models[] = {&model};
+  ProfilerConfig config;
+  config.max_clients = 2;
+  config.samples_per_level = 2;
+  ConcurrencyProfiler a(&gpu, Rng(42));
+  ConcurrencyProfiler b(&gpu, Rng(42));
+  const auto ra = a.profile_models(models, config);
+  const auto rb = b.profile_models(models, config);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ra[i].time, rb[i].time);
+    EXPECT_DOUBLE_EQ(ra[i].stats.kernel_util, rb[i].stats.kernel_util);
+  }
+}
+
+TEST(Profiler, NullGpuRejected) {
+  EXPECT_THROW(ConcurrencyProfiler(nullptr, Rng(1)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace perdnn

@@ -1,0 +1,99 @@
+#include "edge/layer_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/model_zoo.hpp"
+
+namespace perdnn {
+namespace {
+
+TEST(LayerCache, StoreReportsOnlyNewLayers) {
+  LayerCache cache(5);
+  const auto first = cache.store(1, {3, 4, 5}, 0);
+  EXPECT_EQ(first.size(), 3u);
+  const auto second = cache.store(1, {4, 5, 6}, 0);
+  EXPECT_EQ(second, std::vector<LayerId>{6});
+  EXPECT_EQ(cache.layers(1).size(), 4u);
+}
+
+TEST(LayerCache, EntriesExpireAfterTtl) {
+  LayerCache cache(3);
+  cache.store(1, {0}, /*now=*/10);
+  cache.expire(12);
+  EXPECT_TRUE(cache.has_entry(1));
+  cache.expire(13);  // 10 + 3 <= 13
+  EXPECT_FALSE(cache.has_entry(1));
+}
+
+TEST(LayerCache, TouchResetsTtl) {
+  LayerCache cache(3);
+  cache.store(1, {0}, 0);
+  cache.touch(1, 2);
+  cache.expire(3);  // would have expired at 3 without the touch
+  EXPECT_TRUE(cache.has_entry(1));
+  cache.expire(5);
+  EXPECT_FALSE(cache.has_entry(1));
+}
+
+TEST(LayerCache, DuplicateStoreAlsoResetsTtl) {
+  LayerCache cache(3);
+  cache.store(1, {0, 1}, 0);
+  // A duplicate-suppressed send still refreshes the TTL (paper §3.B.2).
+  const auto added = cache.store(1, {0, 1}, 2);
+  EXPECT_TRUE(added.empty());
+  cache.expire(4);
+  EXPECT_TRUE(cache.has_entry(1));
+}
+
+TEST(LayerCache, TouchUnknownClientIsNoop) {
+  LayerCache cache(3);
+  cache.touch(99, 0);
+  EXPECT_FALSE(cache.has_entry(99));
+}
+
+TEST(LayerCache, MaskAndBytesMatchModel) {
+  const DnnModel model = build_toy_model(2);
+  LayerCache cache(5);
+  cache.store(7, {1, 2}, 0);
+  const auto mask = cache.mask(7, model);
+  ASSERT_EQ(mask.size(), static_cast<std::size_t>(model.num_layers()));
+  EXPECT_TRUE(mask[1]);
+  EXPECT_TRUE(mask[2]);
+  EXPECT_FALSE(mask[0]);
+  EXPECT_EQ(cache.cached_bytes(7, model),
+            model.layer(1).weight_bytes + model.layer(2).weight_bytes);
+  // Unknown client: empty mask, zero bytes.
+  EXPECT_EQ(cache.cached_bytes(8, model), 0);
+  for (bool b : cache.mask(8, model)) EXPECT_FALSE(b);
+}
+
+TEST(LayerCache, MaskRejectsOutOfRangeLayers) {
+  const DnnModel model = build_toy_model(1);
+  LayerCache cache(5);
+  cache.store(1, {999}, 0);
+  EXPECT_THROW(cache.mask(1, model), std::logic_error);
+}
+
+TEST(LayerCache, EraseRemovesEntry) {
+  LayerCache cache(5);
+  cache.store(1, {0}, 0);
+  cache.erase(1);
+  EXPECT_FALSE(cache.has_entry(1));
+  EXPECT_EQ(cache.num_entries(), 0u);
+}
+
+TEST(LayerCache, EntriesAreIndependentPerClient) {
+  LayerCache cache(2);
+  cache.store(1, {0}, 0);
+  cache.store(2, {1}, 5);
+  cache.expire(3);
+  EXPECT_FALSE(cache.has_entry(1));
+  EXPECT_TRUE(cache.has_entry(2));
+}
+
+TEST(LayerCache, InvalidTtlRejected) {
+  EXPECT_THROW(LayerCache(0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace perdnn

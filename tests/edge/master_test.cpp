@@ -1,0 +1,201 @@
+#include "edge/master.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/model_zoo.hpp"
+
+namespace perdnn {
+namespace {
+
+/// Shared fixture: a small fleet of servers, a trained RF estimator over the
+/// toy model, an SVR predictor on straight-line traces.
+class MasterServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto servers = std::make_shared<ServerMap>(50.0);
+    for (double x = 0.0; x <= 800.0; x += 100.0)
+      servers->allocate_at({x, 0.0});
+
+    gpu_ = new GpuContentionModel(titan_xp_profile());
+    model_ = new DnnModel(build_toy_model(4));
+    ConcurrencyProfiler profiler(gpu_, Rng(1));
+    const DnnModel* models[] = {model_};
+    ProfilerConfig prof_config;
+    prof_config.max_clients = 6;
+    prof_config.samples_per_level = 4;
+    const auto records = profiler.profile_models(models, prof_config);
+    auto estimator = std::make_shared<RandomForestEstimator>();
+    Rng rng(2);
+    estimator->train(records, rng);
+
+    // Straight-line east-bound trajectories for SVR training.
+    std::vector<Trajectory> train;
+    Rng traj_rng(3);
+    for (int u = 0; u < 20; ++u) {
+      Trajectory traj;
+      traj.interval = 20.0;
+      Point pos{traj_rng.uniform(0.0, 100.0), 0.0};
+      const double v = traj_rng.uniform(20.0, 40.0);
+      for (int t = 0; t < 20; ++t) {
+        traj.points.push_back(pos);
+        pos.x += v;
+      }
+      train.push_back(std::move(traj));
+    }
+    auto predictor = std::make_shared<SvrPredictor>(3);
+    Rng fit_rng(4);
+    predictor->fit(train, fit_rng);
+
+    MasterServer::Config config;
+    config.migration_radius_m = 120.0;
+    master_ = new MasterServer(servers, estimator, predictor, config);
+    servers_ = new std::shared_ptr<const ServerMap>(servers);
+  }
+
+  static void TearDownTestSuite() {
+    delete master_;
+    delete gpu_;
+    delete model_;
+    delete servers_;
+    master_ = nullptr;
+    gpu_ = nullptr;
+    model_ = nullptr;
+    servers_ = nullptr;
+  }
+
+  static ClientId register_toy_client() {
+    DnnModel model = build_toy_model(4);
+    DnnProfile profile = profile_on_client(model, odroid_xu4_profile());
+    return master_->register_client(std::move(model), std::move(profile));
+  }
+
+  static GpuStats stats_at_load(int load) {
+    Rng rng(500 + load);
+    return gpu_->stats_for_load(load, static_cast<double>(load), rng);
+  }
+
+  static MasterServer* master_;
+  static GpuContentionModel* gpu_;
+  static DnnModel* model_;
+  static std::shared_ptr<const ServerMap>* servers_;
+};
+
+MasterServer* MasterServerTest::master_ = nullptr;
+GpuContentionModel* MasterServerTest::gpu_ = nullptr;
+DnnModel* MasterServerTest::model_ = nullptr;
+std::shared_ptr<const ServerMap>* MasterServerTest::servers_ = nullptr;
+
+TEST_F(MasterServerTest, RegistrationValidatesProfileArity) {
+  DnnModel model = build_toy_model(2);
+  DnnProfile bad;
+  bad.client_time = {0.0};  // wrong length
+  EXPECT_THROW(master_->register_client(std::move(model), std::move(bad)),
+               std::logic_error);
+  const ClientId id = register_toy_client();
+  EXPECT_GE(id, 0);
+  EXPECT_EQ(master_->client_model(id).name(), "Toy");
+  EXPECT_THROW(master_->client_model(9999), std::logic_error);
+}
+
+TEST_F(MasterServerTest, TrajectoryAccumulates) {
+  const ClientId id = register_toy_client();
+  master_->report_location(id, {1.0, 2.0});
+  master_->report_location(id, {3.0, 4.0});
+  const auto traj = master_->trajectory(id);
+  ASSERT_EQ(traj.size(), 2u);
+  EXPECT_DOUBLE_EQ(traj[1].x, 3.0);
+}
+
+TEST_F(MasterServerTest, CurrentPlanBeatsLocalExecution) {
+  const ClientId id = register_toy_client();
+  const PartitionPlan plan = master_->current_plan(id, stats_at_load(1));
+  EXPECT_GT(plan.num_server_layers(), 0);
+  const UploadSchedule schedule =
+      master_->upload_schedule(id, plan, stats_at_load(1));
+  EXPECT_EQ(schedule.order.size(),
+            static_cast<std::size_t>(plan.num_server_layers()));
+}
+
+TEST_F(MasterServerTest, SelectServerPrefersIdleOne) {
+  const ClientId id = register_toy_client();
+  const std::vector<ServerId> candidates = {0, 1, 2};
+  // Server 1 is idle; 0 and 2 are slammed.
+  const auto choice = master_->select_server(
+      id, candidates, [&](ServerId s) { return stats_at_load(s == 1 ? 1 : 6); });
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_EQ(choice->server, 1);
+  EXPECT_FALSE(master_->select_server(id, {}, [](ServerId) {
+    return GpuStats{};
+  }).has_value());
+}
+
+TEST_F(MasterServerTest, MigrationOrdersTargetPredictedNeighbourhood) {
+  const ClientId id = register_toy_client();
+  // East-bound at 30 m per interval near x=300: next location ~x=330.
+  for (int t = 0; t < 4; ++t)
+    master_->report_location(id, {240.0 + 30.0 * t, 0.0});
+
+  const auto n = static_cast<std::size_t>(
+      master_->client_model(id).num_layers());
+  const std::vector<bool> all(n, true);
+  const ServerId current = (*servers_)->server_at({330.0, 0.0});
+  const auto orders = master_->plan_migrations(
+      id, current, all, [&](ServerId) { return stats_at_load(1); });
+  ASSERT_FALSE(orders.empty());
+  for (const auto& order : orders) {
+    EXPECT_NE(order.target, current);
+    EXPECT_GT(order.bytes, 0);
+    EXPECT_FALSE(order.layers.empty());
+    // Targets cluster around the predicted position (~x=330, radius 120).
+    const Point center = (*servers_)->server_center(order.target);
+    EXPECT_NEAR(center.x, 330.0, 200.0);
+  }
+}
+
+TEST_F(MasterServerTest, MigrationRespectsSourceAvailabilityAndBudget) {
+  const ClientId id = register_toy_client();
+  for (int t = 0; t < 4; ++t)
+    master_->report_location(id, {240.0 + 30.0 * t, 0.0});
+
+  const auto n = static_cast<std::size_t>(
+      master_->client_model(id).num_layers());
+  // Source has nothing: nothing can be migrated.
+  const std::vector<bool> none(n, false);
+  for (const auto& order : master_->plan_migrations(
+           id, kNoServer, none, [&](ServerId) { return stats_at_load(1); })) {
+    EXPECT_TRUE(order.layers.empty());
+    EXPECT_EQ(order.bytes, 0);
+  }
+  // Byte budget caps each order.
+  const std::vector<bool> all(n, true);
+  const Bytes budget = 4096;
+  for (const auto& order : master_->plan_migrations(
+           id, kNoServer, all, [&](ServerId) { return stats_at_load(1); },
+           budget)) {
+    EXPECT_LE(order.bytes, budget);
+  }
+}
+
+TEST_F(MasterServerTest, MigrationNeedsEnoughTrajectory) {
+  const ClientId id = register_toy_client();
+  master_->report_location(id, {0.0, 0.0});  // shorter than n=3
+  const auto n = static_cast<std::size_t>(
+      master_->client_model(id).num_layers());
+  const std::vector<bool> all(n, true);
+  EXPECT_TRUE(master_
+                  ->plan_migrations(id, kNoServer, all,
+                                    [&](ServerId) { return stats_at_load(1); })
+                  .empty());
+}
+
+TEST(MasterServerConstruction, RejectsNullDependencies) {
+  auto servers = std::make_shared<ServerMap>(50.0);
+  auto estimator = std::make_shared<RandomForestEstimator>();
+  auto predictor = std::make_shared<SvrPredictor>(3);
+  EXPECT_THROW(MasterServer(nullptr, estimator, predictor), std::logic_error);
+  EXPECT_THROW(MasterServer(servers, nullptr, predictor), std::logic_error);
+  EXPECT_THROW(MasterServer(servers, estimator, nullptr), std::logic_error);
+}
+
+}  // namespace
+}  // namespace perdnn

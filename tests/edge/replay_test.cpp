@@ -1,0 +1,138 @@
+#include "edge/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "device/device_profile.hpp"
+#include "nn/model_zoo.hpp"
+
+namespace perdnn {
+namespace {
+
+struct Fixture {
+  DnnModel model;
+  DnnProfile client;
+  PartitionContext context;
+  PartitionPlan plan;
+  UploadSchedule schedule;
+
+  Fixture() : model(build_toy_model(4)) {
+    client = profile_on_client(model, odroid_xu4_profile());
+    const DnnProfile server = profile_on_client(model, titan_xp_profile());
+    context.model = &model;
+    context.client_profile = &client;
+    context.server_time = server.client_time;
+    plan = compute_best_plan(context);
+    schedule = plan_upload_order(context, plan);
+  }
+};
+
+TEST(Replay, FirstColdQueryRunsLocally) {
+  Fixture f;
+  ReplayConfig config;
+  config.max_queries = 1;
+  const ReplayResult result = replay_queries(f.context, f.schedule, 0, config);
+  ASSERT_EQ(result.queries.size(), 1u);
+  EXPECT_NEAR(result.queries[0].latency, local_only_latency(f.context), 1e-9);
+}
+
+TEST(Replay, WarmStartRunsAtPlanLatencyImmediately) {
+  Fixture f;
+  ReplayConfig config;
+  config.max_queries = 3;
+  const ReplayResult result =
+      replay_queries(f.context, f.schedule, f.schedule.total_bytes(), config);
+  for (const auto& q : result.queries)
+    EXPECT_NEAR(q.latency, f.plan.latency, 1e-9);
+  EXPECT_DOUBLE_EQ(result.upload_completed_at, 0.0);
+}
+
+TEST(Replay, LatencyImprovesMonotonicallyDuringUpload) {
+  Fixture f;
+  ReplayConfig config;
+  config.max_queries = 50;
+  const ReplayResult result = replay_queries(f.context, f.schedule, 0, config);
+  for (std::size_t i = 1; i < result.queries.size(); ++i)
+    EXPECT_LE(result.queries[i].latency,
+              result.queries[i - 1].latency + 1e-12);
+  // Eventually reaches the optimal plan latency.
+  EXPECT_NEAR(result.queries.back().latency, f.plan.latency, 1e-9);
+}
+
+TEST(Replay, QueriesSpacedByGapAfterCompletion) {
+  Fixture f;
+  ReplayConfig config;
+  config.max_queries = 5;
+  config.query_gap = 0.5;
+  const ReplayResult result = replay_queries(f.context, f.schedule, 0, config);
+  for (std::size_t i = 1; i < result.queries.size(); ++i) {
+    const auto& prev = result.queries[i - 1];
+    EXPECT_NEAR(result.queries[i].start, prev.start + prev.latency + 0.5,
+                1e-9);
+  }
+}
+
+TEST(Replay, UploadCompletionTimeMatchesBandwidth) {
+  Fixture f;
+  ReplayConfig config;
+  config.max_queries = 1;
+  const ReplayResult result = replay_queries(f.context, f.schedule, 0, config);
+  EXPECT_NEAR(result.upload_completed_at,
+              static_cast<double>(f.schedule.total_bytes()) /
+                  f.context.net.uplink_bytes_per_sec,
+              1e-9);
+  // Pre-migrated bytes shorten the upload proportionally.
+  const ReplayResult half = replay_queries(
+      f.context, f.schedule, f.schedule.total_bytes() / 2, config);
+  EXPECT_LT(half.upload_completed_at, result.upload_completed_at);
+}
+
+// Property: more pre-migrated bytes can only help every query.
+TEST(Replay, MonotoneInInitialBytes) {
+  Fixture f;
+  ReplayConfig config;
+  config.max_queries = 12;
+  const Bytes total = f.schedule.total_bytes();
+  ReplayResult prev = replay_queries(f.context, f.schedule, 0, config);
+  for (int k = 1; k <= 4; ++k) {
+    const ReplayResult more =
+        replay_queries(f.context, f.schedule, total * k / 4, config);
+    EXPECT_LE(more.queries.front().latency,
+              prev.queries.front().latency + 1e-12);
+    EXPECT_GE(more.queries_completed_by(10.0),
+              prev.queries_completed_by(10.0));
+    prev = more;
+  }
+}
+
+TEST(Replay, MaxTimeBoundsIssuedQueries) {
+  Fixture f;
+  ReplayConfig config;
+  config.max_time = 3.0;
+  const ReplayResult result = replay_queries(f.context, f.schedule, 0, config);
+  for (const auto& q : result.queries) EXPECT_LE(q.start, 3.0);
+}
+
+TEST(Replay, PeakLatencyAndCountHelpers) {
+  Fixture f;
+  ReplayConfig config;
+  config.max_queries = 10;
+  const ReplayResult result = replay_queries(f.context, f.schedule, 0, config);
+  EXPECT_NEAR(result.peak_latency(), result.queries.front().latency, 1e-12);
+  EXPECT_EQ(result.queries_completed_by(1e9),
+            static_cast<int>(result.queries.size()));
+  EXPECT_EQ(result.queries_completed_by(0.0), 0);
+}
+
+TEST(Replay, InvalidArgumentsRejected) {
+  Fixture f;
+  ReplayConfig config;
+  config.max_queries = 1;
+  EXPECT_THROW(replay_queries(f.context, f.schedule, -1, config),
+               std::logic_error);
+  config.query_gap = -0.1;
+  EXPECT_THROW(replay_queries(f.context, f.schedule, 0, config),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace perdnn

@@ -1,0 +1,120 @@
+#include "geo/hex_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace perdnn {
+namespace {
+
+TEST(HexGrid, RejectsNonPositiveRadius) {
+  EXPECT_THROW(HexGrid(0.0), std::logic_error);
+  EXPECT_THROW(HexGrid(-1.0), std::logic_error);
+}
+
+TEST(HexGrid, OriginCellIsZero) {
+  HexGrid grid(50.0);
+  const HexCoord cell = grid.cell_at({0.0, 0.0});
+  EXPECT_EQ(cell.q, 0);
+  EXPECT_EQ(cell.r, 0);
+}
+
+// Property: the centre of any cell maps back to that cell.
+TEST(HexGrid, CenterRoundTrips) {
+  HexGrid grid(50.0);
+  for (std::int32_t q = -20; q <= 20; q += 3) {
+    for (std::int32_t r = -20; r <= 20; r += 3) {
+      const HexCoord cell{q, r};
+      const HexCoord back = grid.cell_at(grid.center(cell));
+      EXPECT_EQ(back.q, cell.q);
+      EXPECT_EQ(back.r, cell.r);
+    }
+  }
+}
+
+// Property: every point lies within one circumradius of its cell's centre.
+TEST(HexGrid, PointsAreWithinCircumradiusOfTheirCell) {
+  HexGrid grid(50.0);
+  Rng rng(17);
+  for (int i = 0; i < 2000; ++i) {
+    const Point p{rng.uniform(-2000.0, 2000.0), rng.uniform(-2000.0, 2000.0)};
+    const HexCoord cell = grid.cell_at(p);
+    EXPECT_LE(distance(grid.center(cell), p), 50.0 + 1e-9);
+  }
+}
+
+// Property: the assigned cell is the nearest one (true for a hexagonal
+// Voronoi tessellation).
+TEST(HexGrid, CellAtIsNearestCenter) {
+  HexGrid grid(30.0);
+  Rng rng(23);
+  for (int i = 0; i < 500; ++i) {
+    const Point p{rng.uniform(-500.0, 500.0), rng.uniform(-500.0, 500.0)};
+    const HexCoord cell = grid.cell_at(p);
+    const double own = distance(grid.center(cell), p);
+    for (const HexCoord neighbor : HexGrid::neighbors(cell)) {
+      EXPECT_LE(own, distance(grid.center(neighbor), p) + 1e-9);
+    }
+  }
+}
+
+TEST(HexGrid, NeighborsAreAtDistanceOne) {
+  const HexCoord origin{4, -2};
+  const auto neighbors = HexGrid::neighbors(origin);
+  EXPECT_EQ(neighbors.size(), 6u);
+  std::set<std::pair<int, int>> unique;
+  for (const HexCoord n : neighbors) {
+    EXPECT_EQ(HexGrid::hex_distance(origin, n), 1);
+    unique.insert({n.q, n.r});
+  }
+  EXPECT_EQ(unique.size(), 6u);
+}
+
+TEST(HexGrid, HexDistanceSymmetricAndTriangle) {
+  Rng rng(29);
+  for (int i = 0; i < 200; ++i) {
+    const HexCoord a{static_cast<std::int32_t>(rng.uniform_int(-10, 10)),
+                     static_cast<std::int32_t>(rng.uniform_int(-10, 10))};
+    const HexCoord b{static_cast<std::int32_t>(rng.uniform_int(-10, 10)),
+                     static_cast<std::int32_t>(rng.uniform_int(-10, 10))};
+    const HexCoord c{static_cast<std::int32_t>(rng.uniform_int(-10, 10)),
+                     static_cast<std::int32_t>(rng.uniform_int(-10, 10))};
+    EXPECT_EQ(HexGrid::hex_distance(a, b), HexGrid::hex_distance(b, a));
+    EXPECT_LE(HexGrid::hex_distance(a, c),
+              HexGrid::hex_distance(a, b) + HexGrid::hex_distance(b, c));
+  }
+}
+
+// Property: cells_within returns exactly the cells whose centres fall inside
+// the disc (verified against a brute-force scan).
+TEST(HexGrid, CellsWithinMatchesBruteForce) {
+  HexGrid grid(50.0);
+  Rng rng(31);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Point p{rng.uniform(-300.0, 300.0), rng.uniform(-300.0, 300.0)};
+    const double radius = rng.uniform(0.0, 220.0);
+    std::set<std::pair<int, int>> got;
+    for (const HexCoord cell : grid.cells_within(p, radius))
+      got.insert({cell.q, cell.r});
+    const HexCoord origin = grid.cell_at(p);
+    for (std::int32_t dq = -10; dq <= 10; ++dq) {
+      for (std::int32_t dr = -10; dr <= 10; ++dr) {
+        const HexCoord cell{origin.q + dq, origin.r + dr};
+        const bool inside = distance(grid.center(cell), p) <= radius;
+        EXPECT_EQ(got.count({cell.q, cell.r}) > 0, inside)
+            << "cell (" << cell.q << "," << cell.r << ") radius " << radius;
+      }
+    }
+  }
+}
+
+TEST(HexGrid, ZeroRadiusReturnsAtMostOwnCell) {
+  HexGrid grid(50.0);
+  const auto cells = grid.cells_within({1.0, 1.0}, 0.0);
+  EXPECT_LE(cells.size(), 1u);
+}
+
+}  // namespace
+}  // namespace perdnn

@@ -1,0 +1,81 @@
+#include "geo/server_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace perdnn {
+namespace {
+
+TEST(ServerMap, AllocateIsIdempotentPerCell) {
+  ServerMap map(50.0);
+  const ServerId a = map.allocate_at({10.0, 10.0});
+  const ServerId b = map.allocate_at({12.0, 8.0});  // same cell
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(map.num_servers(), 1);
+}
+
+TEST(ServerMap, AllocateForVisitsCountsNewServers) {
+  ServerMap map(50.0);
+  const int created =
+      map.allocate_for_visits({{0.0, 0.0}, {500.0, 500.0}, {1.0, 1.0}});
+  EXPECT_EQ(created, 2);
+  EXPECT_EQ(map.num_servers(), 2);
+  EXPECT_EQ(map.allocate_for_visits({{0.0, 0.0}}), 0);
+}
+
+TEST(ServerMap, ServerAtReturnsNoServerForEmptyCell) {
+  ServerMap map(50.0);
+  map.allocate_at({0.0, 0.0});
+  EXPECT_EQ(map.server_at({0.0, 0.0}), 0);
+  EXPECT_EQ(map.server_at({5000.0, 5000.0}), kNoServer);
+}
+
+TEST(ServerMap, NearestServerFindsClosest) {
+  ServerMap map(50.0);
+  const ServerId near = map.allocate_at({0.0, 0.0});
+  const ServerId far = map.allocate_at({400.0, 0.0});
+  EXPECT_EQ(map.nearest_server({30.0, 0.0}, 1000.0), near);
+  EXPECT_EQ(map.nearest_server({380.0, 0.0}, 1000.0), far);
+  EXPECT_EQ(map.nearest_server({10000.0, 0.0}, 100.0), kNoServer);
+}
+
+TEST(ServerMap, ServersWithinRespectsRadius) {
+  ServerMap map(50.0);
+  map.allocate_at({0.0, 0.0});
+  map.allocate_at({150.0, 0.0});
+  map.allocate_at({3000.0, 3000.0});
+  const auto close = map.servers_within({0.0, 0.0}, 200.0);
+  EXPECT_EQ(close.size(), 2u);
+  const auto all = map.servers_within({0.0, 0.0}, 10000.0);
+  EXPECT_EQ(all.size(), 3u);
+  // Sorted by id.
+  EXPECT_TRUE(std::is_sorted(all.begin(), all.end()));
+}
+
+TEST(ServerMap, ServerCenterBoundsChecked) {
+  ServerMap map(50.0);
+  map.allocate_at({0.0, 0.0});
+  EXPECT_NO_THROW(map.server_center(0));
+  EXPECT_THROW(map.server_center(1), std::logic_error);
+  EXPECT_THROW(map.server_center(kNoServer), std::logic_error);
+}
+
+// Property: server_at(point) and nearest_server agree when the point's own
+// cell has a server.
+TEST(ServerMap, ServerAtAgreesWithNearest) {
+  ServerMap map(50.0);
+  Rng rng(7);
+  std::vector<Point> points;
+  for (int i = 0; i < 300; ++i)
+    points.push_back({rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)});
+  map.allocate_for_visits(points);
+  for (const Point p : points) {
+    const ServerId direct = map.server_at(p);
+    ASSERT_NE(direct, kNoServer);
+    EXPECT_EQ(direct, map.nearest_server(p, 60.0));
+  }
+}
+
+}  // namespace
+}  // namespace perdnn

@@ -1,0 +1,100 @@
+#include "ml/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace perdnn::ml {
+namespace {
+
+Dataset make_dataset(int n, Rng& rng) {
+  Dataset data;
+  for (int i = 0; i < n; ++i)
+    data.add({rng.normal(10.0, 3.0), rng.normal(-5.0, 0.5)}, rng.normal());
+  return data;
+}
+
+TEST(Dataset, AddRejectsArityChange) {
+  Dataset data;
+  data.add({1.0, 2.0}, 0.0);
+  EXPECT_THROW(data.add({1.0}, 0.0), std::logic_error);
+}
+
+TEST(Dataset, ToMatrixRoundTrips) {
+  Dataset data;
+  data.add({1.0, 2.0}, 0.0);
+  data.add({3.0, 4.0}, 1.0);
+  const Matrix m = data.to_matrix();
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Dataset, TrainTestSplitPartitions) {
+  Rng rng(1);
+  const Dataset data = make_dataset(100, rng);
+  const auto [train, test] = train_test_split(data, 0.25, rng);
+  EXPECT_EQ(test.size(), 25u);
+  EXPECT_EQ(train.size(), 75u);
+  // Together they hold exactly the original targets (as a multiset sum).
+  double total = 0.0;
+  for (double y : data.y) total += y;
+  double split_total = 0.0;
+  for (double y : train.y) split_total += y;
+  for (double y : test.y) split_total += y;
+  EXPECT_NEAR(total, split_total, 1e-9);
+}
+
+TEST(Dataset, SplitRejectsDegenerateFractions) {
+  Rng rng(2);
+  const Dataset data = make_dataset(10, rng);
+  EXPECT_THROW(train_test_split(data, 0.0, rng), std::logic_error);
+  EXPECT_THROW(train_test_split(data, 1.0, rng), std::logic_error);
+}
+
+TEST(Scaler, ProducesStandardScores) {
+  Rng rng(3);
+  const Dataset data = make_dataset(2000, rng);
+  StandardScaler scaler;
+  scaler.fit(data.rows);
+  const auto scaled = scaler.transform(data.rows);
+  // Column means ~0, variances ~1.
+  for (std::size_t c = 0; c < 2; ++c) {
+    double sum = 0.0, sq = 0.0;
+    for (const auto& row : scaled) {
+      sum += row[c];
+      sq += row[c] * row[c];
+    }
+    const double mean = sum / static_cast<double>(scaled.size());
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(sq / static_cast<double>(scaled.size()) - mean * mean, 1.0,
+                1e-6);
+  }
+}
+
+TEST(Scaler, InverseSingleRoundTrips) {
+  Rng rng(5);
+  const Dataset data = make_dataset(100, rng);
+  StandardScaler scaler;
+  scaler.fit(data.rows);
+  for (const auto& row : data.rows) {
+    const Vector t = scaler.transform(row);
+    EXPECT_NEAR(scaler.inverse_single(0, t[0]), row[0], 1e-9);
+    EXPECT_NEAR(scaler.inverse_single(1, t[1]), row[1], 1e-9);
+  }
+}
+
+TEST(Scaler, ConstantFeatureStaysFinite) {
+  StandardScaler scaler;
+  scaler.fit({{5.0, 1.0}, {5.0, 2.0}, {5.0, 3.0}});
+  const Vector t = scaler.transform({5.0, 2.0});
+  EXPECT_TRUE(std::isfinite(t[0]));
+  EXPECT_DOUBLE_EQ(t[0], 0.0);
+}
+
+TEST(Scaler, TransformBeforeFitThrows) {
+  StandardScaler scaler;
+  EXPECT_THROW(scaler.transform(Vector{1.0}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace perdnn::ml

@@ -1,0 +1,95 @@
+#include "ml/gbt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace perdnn::ml {
+namespace {
+
+Dataset nonlinear_data(Rng& rng, int n) {
+  Dataset data;
+  for (int i = 0; i < n; ++i) {
+    const double a = rng.uniform(-1.0, 1.0);
+    const double b = rng.uniform(-1.0, 1.0);
+    data.add({a, b}, std::sin(3.0 * a) * b + 0.5 * a);
+  }
+  return data;
+}
+
+TEST(GradientBoostedTrees, BeatsMeanBaseline) {
+  Rng rng(1);
+  const Dataset train = nonlinear_data(rng, 1200);
+  const Dataset test = nonlinear_data(rng, 300);
+  GradientBoostedTrees model;
+  model.fit(train, rng);
+
+  std::vector<double> pred, actual, baseline;
+  const double train_mean = mean(train.y);
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    pred.push_back(model.predict(test.rows[i]));
+    actual.push_back(test.y[i]);
+    baseline.push_back(train_mean);
+  }
+  EXPECT_LT(mean_absolute_error(pred, actual),
+            0.4 * mean_absolute_error(baseline, actual));
+}
+
+TEST(GradientBoostedTrees, MoreRoundsFitTighter) {
+  Rng rng(2);
+  const Dataset train = nonlinear_data(rng, 800);
+  GbtConfig few;
+  few.num_rounds = 5;
+  GbtConfig many;
+  many.num_rounds = 120;
+  GradientBoostedTrees small(few), large(many);
+  Rng rng_a(3), rng_b(3);
+  small.fit(train, rng_a);
+  large.fit(train, rng_b);
+  std::vector<double> pred_small, pred_large;
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    pred_small.push_back(small.predict(train.rows[i]));
+    pred_large.push_back(large.predict(train.rows[i]));
+  }
+  EXPECT_LT(mean_absolute_error(pred_large, train.y),
+            mean_absolute_error(pred_small, train.y));
+}
+
+TEST(GradientBoostedTrees, ConstantTargetIsExact) {
+  Rng rng(4);
+  Dataset data;
+  for (int i = 0; i < 50; ++i) data.add({rng.normal()}, 7.25);
+  GradientBoostedTrees model;
+  model.fit(data, rng);
+  EXPECT_NEAR(model.predict({0.0}), 7.25, 1e-9);
+}
+
+TEST(GradientBoostedTrees, DeterministicWithSeed) {
+  Rng data_rng(5);
+  const Dataset data = nonlinear_data(data_rng, 400);
+  GradientBoostedTrees a, b;
+  Rng ra(9), rb(9);
+  a.fit(data, ra);
+  b.fit(data, rb);
+  Rng probe(6);
+  for (int i = 0; i < 30; ++i) {
+    const Vector x = {probe.uniform(-1.0, 1.0), probe.uniform(-1.0, 1.0)};
+    EXPECT_DOUBLE_EQ(a.predict(x), b.predict(x));
+  }
+}
+
+TEST(GradientBoostedTrees, InvalidConfigAndUsageRejected) {
+  GbtConfig bad;
+  bad.learning_rate = 0.0;
+  EXPECT_THROW(GradientBoostedTrees{bad}, std::logic_error);
+  bad = GbtConfig{};
+  bad.subsample = 1.5;
+  EXPECT_THROW(GradientBoostedTrees{bad}, std::logic_error);
+  GradientBoostedTrees model;
+  EXPECT_THROW(model.predict({1.0}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace perdnn::ml

@@ -1,0 +1,92 @@
+#include "ml/linear_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace perdnn::ml {
+namespace {
+
+TEST(RidgeRegression, RecoversLinearFunction) {
+  Rng rng(1);
+  Dataset data;
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.uniform(-5.0, 5.0);
+    const double b = rng.uniform(-5.0, 5.0);
+    data.add({a, b}, 3.0 * a - 2.0 * b + 7.0);
+  }
+  RidgeRegression model;
+  model.fit(data);
+  for (int i = 0; i < 50; ++i) {
+    const double a = rng.uniform(-5.0, 5.0);
+    const double b = rng.uniform(-5.0, 5.0);
+    EXPECT_NEAR(model.predict({a, b}), 3.0 * a - 2.0 * b + 7.0, 1e-6);
+  }
+}
+
+TEST(RidgeRegression, HandlesNoisyData) {
+  Rng rng(2);
+  Dataset data;
+  for (int i = 0; i < 2000; ++i) {
+    const double a = rng.uniform(0.0, 10.0);
+    data.add({a}, 2.0 * a + 1.0 + rng.normal(0.0, 0.5));
+  }
+  RidgeRegression model;
+  model.fit(data);
+  EXPECT_NEAR(model.predict({4.0}), 9.0, 0.15);
+}
+
+TEST(RidgeRegression, LogFeaturesHelpMultiplicativeTargets) {
+  // y = log(1+x) is exactly representable with the log expansion but not
+  // with a plain linear model over a wide range.
+  Rng rng(3);
+  Dataset data;
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.uniform(0.0, 1000.0);
+    data.add({x}, std::log1p(x));
+  }
+  RidgeRegression plain({.ridge = 1e-6, .log_features = false});
+  RidgeRegression logged({.ridge = 1e-6, .log_features = true});
+  plain.fit(data);
+  logged.fit(data);
+  double err_plain = 0.0, err_logged = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.uniform(0.0, 1000.0);
+    err_plain += std::abs(plain.predict({x}) - std::log1p(x));
+    err_logged += std::abs(logged.predict({x}) - std::log1p(x));
+  }
+  EXPECT_LT(err_logged, 0.1 * err_plain);
+}
+
+TEST(RidgeRegression, PredictBeforeFitThrows) {
+  RidgeRegression model;
+  EXPECT_THROW(model.predict({1.0}), std::logic_error);
+}
+
+TEST(RidgeRegression, FeatureArityChecked) {
+  Rng rng(4);
+  Dataset data;
+  for (int i = 0; i < 10; ++i) data.add({rng.normal(), rng.normal()}, 1.0);
+  RidgeRegression model;
+  model.fit(data);
+  EXPECT_THROW(model.predict({1.0}), std::logic_error);
+}
+
+TEST(RidgeRegression, CollinearFeaturesStayStable) {
+  // Duplicate feature columns would make plain normal equations singular;
+  // the ridge floor must keep the solve finite.
+  Rng rng(5);
+  Dataset data;
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.uniform(0.0, 1.0);
+    data.add({x, x}, 5.0 * x);
+  }
+  RidgeRegression model({.ridge = 1e-6, .log_features = false});
+  EXPECT_NO_THROW(model.fit(data));
+  EXPECT_NEAR(model.predict({0.5, 0.5}), 2.5, 0.05);
+}
+
+}  // namespace
+}  // namespace perdnn::ml

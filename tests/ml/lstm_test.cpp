@@ -1,0 +1,98 @@
+#include "ml/lstm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace perdnn::ml {
+namespace {
+
+LstmConfig small_config() {
+  LstmConfig config;
+  config.input_dim = 2;
+  config.hidden_dim = 8;
+  config.output_dim = 2;
+  config.epochs = 60;
+  config.batch_size = 8;
+  return config;
+}
+
+TEST(Lstm, OutputShapeAndDeterminism) {
+  Rng rng(1);
+  LstmRegressor model(small_config(), rng);
+  const std::vector<Vector> seq = {{0.1, 0.2}, {0.3, 0.4}, {0.5, 0.6}};
+  const Vector a = model.predict(seq);
+  const Vector b = model.predict(seq);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_DOUBLE_EQ(a[0], b[0]);
+  EXPECT_DOUBLE_EQ(a[1], b[1]);
+}
+
+TEST(Lstm, RejectsWrongInputWidth) {
+  Rng rng(2);
+  LstmRegressor model(small_config(), rng);
+  EXPECT_THROW(model.predict({{1.0}}), std::logic_error);
+  EXPECT_THROW(model.predict({}), std::logic_error);
+}
+
+TEST(Lstm, LearnsLinearExtrapolation) {
+  // Sequences of points moving at constant velocity; target = next point.
+  // This is the structure mobility prediction exploits.
+  Rng rng(3);
+  std::vector<std::vector<Vector>> sequences;
+  std::vector<Vector> targets;
+  for (int i = 0; i < 400; ++i) {
+    const double x0 = rng.uniform(-1.0, 1.0);
+    const double y0 = rng.uniform(-1.0, 1.0);
+    const double vx = rng.uniform(-0.1, 0.1);
+    const double vy = rng.uniform(-0.1, 0.1);
+    std::vector<Vector> seq;
+    for (int t = 0; t < 5; ++t) seq.push_back({x0 + vx * t, y0 + vy * t});
+    sequences.push_back(std::move(seq));
+    targets.push_back({x0 + vx * 5, y0 + vy * 5});
+  }
+  LstmRegressor model(small_config(), rng);
+  const double before = model.evaluate_mae(sequences, targets);
+  model.fit(sequences, targets, rng);
+  const double after = model.evaluate_mae(sequences, targets);
+  EXPECT_LT(after, 0.5 * before);
+  EXPECT_LT(after, 0.08);
+}
+
+TEST(Lstm, TrainingReducesLossOnStationaryTask) {
+  // Target = last input element (the "copy" task).
+  Rng rng(4);
+  std::vector<std::vector<Vector>> sequences;
+  std::vector<Vector> targets;
+  for (int i = 0; i < 300; ++i) {
+    std::vector<Vector> seq;
+    for (int t = 0; t < 4; ++t)
+      seq.push_back({rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)});
+    targets.push_back(seq.back());
+    sequences.push_back(std::move(seq));
+  }
+  LstmRegressor model(small_config(), rng);
+  const double before = model.evaluate_mae(sequences, targets);
+  model.fit(sequences, targets, rng);
+  EXPECT_LT(model.evaluate_mae(sequences, targets), 0.6 * before);
+}
+
+TEST(Lstm, InvalidConfigRejected) {
+  LstmConfig config = small_config();
+  config.hidden_dim = 0;
+  Rng rng(5);
+  EXPECT_THROW(LstmRegressor(config, rng), std::logic_error);
+}
+
+TEST(Lstm, MismatchedFitInputsRejected) {
+  Rng rng(6);
+  LstmRegressor model(small_config(), rng);
+  std::vector<std::vector<Vector>> sequences = {{{0.0, 0.0}}};
+  std::vector<Vector> targets;  // size mismatch
+  EXPECT_THROW(model.fit(sequences, targets, rng), std::logic_error);
+}
+
+}  // namespace
+}  // namespace perdnn::ml

@@ -1,0 +1,96 @@
+#include "ml/markov.hpp"
+
+#include <gtest/gtest.h>
+
+namespace perdnn::ml {
+namespace {
+
+TEST(Markov, LearnsDeterministicCycle) {
+  PredictionSuffixTree tree;
+  // 1 -> 2 -> 3 -> 1 -> ...
+  tree.add_sequence({1, 2, 3, 1, 2, 3, 1, 2, 3, 1, 2, 3});
+  EXPECT_EQ(tree.predict_top({1}, 1), std::vector<int>{2});
+  EXPECT_EQ(tree.predict_top({2}, 1), std::vector<int>{3});
+  EXPECT_EQ(tree.predict_top({3, 1, 2}, 1), std::vector<int>{3});
+}
+
+TEST(Markov, DistributionReflectsFrequencies) {
+  PredictionSuffixTree tree;
+  // After 5: goes to 6 three times, to 7 once.
+  tree.add_sequence({5, 6, 5, 6, 5, 7, 5, 6});
+  const auto dist = tree.predict_distribution({5});
+  ASSERT_EQ(dist.size(), 2u);
+  EXPECT_EQ(dist[0].first, 6);
+  EXPECT_NEAR(dist[0].second, 0.75, 1e-9);
+  EXPECT_EQ(dist[1].first, 7);
+  EXPECT_NEAR(dist[1].second, 0.25, 1e-9);
+}
+
+TEST(Markov, TopNOrdering) {
+  PredictionSuffixTree tree;
+  tree.add_sequence({0, 1, 0, 1, 0, 2, 0, 1, 0, 3});
+  const auto top2 = tree.predict_top({0}, 2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0], 1);  // most frequent successor of 0
+}
+
+TEST(Markov, UnseenContextFallsBackToShorterSuffix) {
+  PredictionSuffixTree tree;
+  tree.add_sequence({1, 2, 3, 4});
+  // Context {9, 9, 3} has an unseen prefix but suffix {3} is known.
+  EXPECT_EQ(tree.predict_top({9, 9, 3}, 1), std::vector<int>{4});
+}
+
+TEST(Markov, CompletelyUnseenSymbolsYieldEmpty) {
+  PredictionSuffixTree tree;
+  tree.add_sequence({1, 2, 3});
+  EXPECT_TRUE(tree.predict_top({42}, 1).empty());
+  EXPECT_TRUE(tree.predict_distribution({}).empty());
+}
+
+TEST(Markov, VariableOrderDisambiguates) {
+  // Order-1 cannot separate these, order-2 can: after (1,2) comes 7;
+  // after (3,2) comes 8.
+  PredictionSuffixTree tree;
+  for (int i = 0; i < 5; ++i) {
+    tree.add_sequence({1, 2, 7});
+    tree.add_sequence({3, 2, 8});
+  }
+  // Subsequence ratio 0.7 keeps floor(2 * 0.7) = 1 symbol... use ratio 1.0
+  // to exercise the full context.
+  PredictionSuffixTree full_tree({.max_order = 5, .subsequence_ratio = 1.0});
+  for (int i = 0; i < 5; ++i) {
+    full_tree.add_sequence({1, 2, 7});
+    full_tree.add_sequence({3, 2, 8});
+  }
+  EXPECT_EQ(full_tree.predict_top({1, 2}, 1), std::vector<int>{7});
+  EXPECT_EQ(full_tree.predict_top({3, 2}, 1), std::vector<int>{8});
+}
+
+TEST(Markov, SubsequenceRatioShortensContext) {
+  // With ratio 0.5 a matched context of length 4 is cut to length 2.
+  PredictionSuffixTree tree({.max_order = 5, .subsequence_ratio = 0.5});
+  tree.add_sequence({1, 2, 3, 4, 5});
+  tree.add_sequence({9, 9, 3, 4, 6});  // same length-2 suffix (3, 4) -> 6
+  const auto dist = tree.predict_distribution({1, 2, 3, 4});
+  // Longest match is (1,2,3,4) -> cut to (3,4): both 5 and 6 seen.
+  ASSERT_EQ(dist.size(), 2u);
+}
+
+TEST(Markov, MaxOrderBoundsContexts) {
+  PredictionSuffixTree tree({.max_order = 2, .subsequence_ratio = 1.0});
+  tree.add_sequence({1, 2, 3, 4});
+  // Contexts of length up to 2 exist for positions in the sequence:
+  // {1},{2},{3},{1,2},{2,3}  -> 5 contexts total.
+  EXPECT_EQ(tree.num_contexts(), 5u);
+}
+
+TEST(Markov, InvalidConfigRejected) {
+  EXPECT_THROW(PredictionSuffixTree({.max_order = 0}), std::logic_error);
+  EXPECT_THROW(
+      PredictionSuffixTree({.max_order = 3, .subsequence_ratio = 0.0}),
+      std::logic_error);
+}
+
+}  // namespace
+}  // namespace perdnn::ml

@@ -1,0 +1,98 @@
+#include "ml/svr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace perdnn::ml {
+namespace {
+
+TEST(LinearSvr, FitsLinearFunction) {
+  Rng rng(1);
+  Dataset data;
+  for (int i = 0; i < 500; ++i) {
+    const double a = rng.uniform(-1.0, 1.0);
+    const double b = rng.uniform(-1.0, 1.0);
+    data.add({a, b}, 2.0 * a - b + 0.5);
+  }
+  LinearSvr model;
+  model.fit(data, rng);
+  double err = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double a = rng.uniform(-1.0, 1.0);
+    const double b = rng.uniform(-1.0, 1.0);
+    err += std::abs(model.predict({a, b}) - (2.0 * a - b + 0.5));
+  }
+  EXPECT_LT(err / 100.0, 0.05);
+}
+
+TEST(LinearSvr, EpsilonTubeIgnoresSmallNoise) {
+  Rng rng(2);
+  Dataset data;
+  for (int i = 0; i < 800; ++i) {
+    const double a = rng.uniform(-1.0, 1.0);
+    data.add({a}, a + rng.uniform(-0.05, 0.05));
+  }
+  SvrConfig config;
+  config.epsilon = 0.05;
+  LinearSvr model(config);
+  model.fit(data, rng);
+  EXPECT_NEAR(model.predict({0.5}), 0.5, 0.08);
+}
+
+TEST(LinearSvr, RobustToOutliersComparedToSquaredLoss) {
+  // The epsilon-insensitive (L1-like) loss should keep the slope near 1
+  // even with a handful of gross outliers.
+  Rng rng(3);
+  Dataset data;
+  for (int i = 0; i < 500; ++i) {
+    const double a = rng.uniform(-1.0, 1.0);
+    data.add({a}, a);
+  }
+  for (int i = 0; i < 10; ++i) data.add({0.5}, 50.0);  // outliers
+  LinearSvr model;
+  model.fit(data, rng);
+  EXPECT_NEAR(model.predict({-0.5}), -0.5, 0.2);
+}
+
+TEST(LinearSvr, PredictBeforeFitThrows) {
+  LinearSvr model;
+  EXPECT_THROW(model.predict({1.0}), std::logic_error);
+}
+
+TEST(LinearSvr, InvalidConfigRejected) {
+  SvrConfig config;
+  config.epochs = 0;
+  EXPECT_THROW(LinearSvr{config}, std::logic_error);
+}
+
+TEST(MultiOutputSvr, PredictsBothOutputs) {
+  Rng rng(4);
+  std::vector<Vector> features;
+  std::vector<Vector> targets;
+  for (int i = 0; i < 500; ++i) {
+    const double a = rng.uniform(-1.0, 1.0);
+    const double b = rng.uniform(-1.0, 1.0);
+    features.push_back({a, b});
+    targets.push_back({a + b, a - b});
+  }
+  MultiOutputSvr model(2);
+  EXPECT_FALSE(model.trained());
+  model.fit(features, targets, rng);
+  EXPECT_TRUE(model.trained());
+  const Vector out = model.predict({0.3, 0.1});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_NEAR(out[0], 0.4, 0.08);
+  EXPECT_NEAR(out[1], 0.2, 0.08);
+}
+
+TEST(MultiOutputSvr, RejectsMismatchedTargets) {
+  MultiOutputSvr model(2);
+  Rng rng(5);
+  std::vector<Vector> features = {{1.0}};
+  std::vector<Vector> targets = {{1.0}};  // needs 2 outputs
+  EXPECT_THROW(model.fit(features, targets, rng), std::logic_error);
+}
+
+}  // namespace
+}  // namespace perdnn::ml

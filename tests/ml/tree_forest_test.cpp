@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/random_forest.hpp"
+
+namespace perdnn::ml {
+namespace {
+
+Dataset step_function_data(Rng& rng, int n) {
+  // y = 1 if x0 > 0 else -1; x1 is pure noise.
+  Dataset data;
+  for (int i = 0; i < n; ++i) {
+    const double x0 = rng.uniform(-1.0, 1.0);
+    data.add({x0, rng.uniform(-1.0, 1.0)}, x0 > 0.0 ? 1.0 : -1.0);
+  }
+  return data;
+}
+
+TEST(RegressionTree, FitsStepFunctionExactly) {
+  Rng rng(1);
+  const Dataset data = step_function_data(rng, 400);
+  RegressionTree tree;
+  tree.fit(data, rng);
+  for (int i = 0; i < 100; ++i) {
+    const double x0 = rng.uniform(-1.0, 1.0);
+    if (std::abs(x0) < 0.05) continue;  // skip the boundary band
+    EXPECT_NEAR(tree.predict({x0, rng.uniform(-1.0, 1.0)}),
+                x0 > 0 ? 1.0 : -1.0, 0.2);
+  }
+}
+
+TEST(RegressionTree, ImportanceConcentratesOnInformativeFeature) {
+  Rng rng(2);
+  const Dataset data = step_function_data(rng, 400);
+  RegressionTree tree;
+  tree.fit(data, rng);
+  const Vector& imp = tree.impurity_importance();
+  ASSERT_EQ(imp.size(), 2u);
+  EXPECT_GT(imp[0], 10.0 * (imp[1] + 1e-12));
+}
+
+TEST(RegressionTree, RespectsMaxDepth) {
+  Rng rng(3);
+  Dataset data;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0.0, 1.0);
+    data.add({x}, std::sin(20.0 * x));
+  }
+  TreeConfig config;
+  config.max_depth = 2;
+  RegressionTree tree(config);
+  tree.fit(data, rng);
+  EXPECT_LE(tree.depth(), 2);
+  EXPECT_LE(tree.num_nodes(), 7u);
+}
+
+TEST(RegressionTree, ConstantTargetMakesSingleLeaf) {
+  Rng rng(4);
+  Dataset data;
+  for (int i = 0; i < 50; ++i) data.add({rng.normal()}, 3.5);
+  RegressionTree tree;
+  tree.fit(data, rng);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict({0.0}), 3.5);
+}
+
+TEST(RegressionTree, PredictBeforeFitThrows) {
+  RegressionTree tree;
+  EXPECT_THROW(tree.predict({1.0}), std::logic_error);
+}
+
+TEST(RegressionTree, InvalidConfigRejected) {
+  TreeConfig config;
+  config.min_samples_split = 1;  // must be >= 2 * min_samples_leaf
+  EXPECT_THROW(RegressionTree{config}, std::logic_error);
+}
+
+TEST(RandomForest, BeatsMeanBaselineOnNonlinearTarget) {
+  Rng rng(5);
+  auto target = [](double a, double b) { return std::sin(3.0 * a) * b; };
+  Dataset train, test;
+  for (int i = 0; i < 1500; ++i) {
+    const double a = rng.uniform(-1.0, 1.0);
+    const double b = rng.uniform(-1.0, 1.0);
+    (i < 1200 ? train : test).add({a, b}, target(a, b));
+  }
+  RandomForest forest;
+  forest.fit(train, rng);
+
+  std::vector<double> pred, actual, baseline;
+  const double train_mean = mean(train.y);
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    pred.push_back(forest.predict(test.rows[i]));
+    actual.push_back(test.y[i]);
+    baseline.push_back(train_mean);
+  }
+  EXPECT_LT(mean_absolute_error(pred, actual),
+            0.5 * mean_absolute_error(baseline, actual));
+}
+
+TEST(RandomForest, ImportanceNormalisedAndInformative) {
+  Rng rng(6);
+  const Dataset data = step_function_data(rng, 600);
+  RandomForest forest;
+  forest.fit(data, rng);
+  const Vector imp = forest.feature_importance();
+  ASSERT_EQ(imp.size(), 2u);
+  EXPECT_NEAR(imp[0] + imp[1], 1.0, 1e-9);
+  EXPECT_GT(imp[0], 0.9);
+}
+
+TEST(RandomForest, DeterministicWithSeed) {
+  Rng data_rng(7);
+  const Dataset data = step_function_data(data_rng, 300);
+  RandomForest a, b;
+  Rng rng_a(99), rng_b(99);
+  a.fit(data, rng_a);
+  b.fit(data, rng_b);
+  Rng probe(8);
+  for (int i = 0; i < 50; ++i) {
+    const Vector x = {probe.uniform(-1.0, 1.0), probe.uniform(-1.0, 1.0)};
+    EXPECT_DOUBLE_EQ(a.predict(x), b.predict(x));
+  }
+}
+
+TEST(RandomForest, RejectsTinyDatasets) {
+  RandomForest forest;
+  Dataset data;
+  data.add({1.0}, 1.0);
+  Rng rng(9);
+  EXPECT_THROW(forest.fit(data, rng), std::logic_error);
+}
+
+}  // namespace
+}  // namespace perdnn::ml

@@ -1,0 +1,115 @@
+#include "mobility/evaluate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace perdnn {
+namespace {
+
+/// Oracle predictor for protocol tests: always predicts the actual next
+/// location supplied at construction (keyed by the last point seen).
+class StubPredictor : public MobilityPredictor {
+ public:
+  StubPredictor(int n, Point answer) : MobilityPredictor(n), answer_(answer) {}
+
+  void fit(const std::vector<Trajectory>&, Rng&) override {}
+
+  Point predict(std::span<const Point> recent) const override {
+    window(recent);  // enforce history-length contract
+    return answer_;
+  }
+
+  std::string name() const override { return "stub"; }
+
+ private:
+  Point answer_;
+};
+
+/// World: two server cells at x=0 and x=200.
+struct EvalFixture {
+  ServerMap map{50.0};
+  Point cell_a{0.0, 0.0};
+  Point cell_b{200.0, 0.0};
+
+  EvalFixture() {
+    map.allocate_at(cell_a);
+    map.allocate_at(cell_b);
+  }
+};
+
+TEST(Evaluate, AllFutileWhenUserNeverMovesServers) {
+  EvalFixture f;
+  Trajectory traj;
+  traj.interval = 20.0;
+  for (int i = 0; i < 10; ++i) traj.points.push_back(f.cell_a);
+  StubPredictor predictor(2, f.cell_a);
+  const auto eval = evaluate_predictor(predictor, {traj}, f.map);
+  EXPECT_GT(eval.total_predictions, 0);
+  EXPECT_EQ(eval.futile_predictions, eval.total_predictions);
+  EXPECT_DOUBLE_EQ(eval.futile_ratio(), 1.0);
+  EXPECT_EQ(eval.non_futile(), 0);
+  EXPECT_DOUBLE_EQ(eval.top1_accuracy(), 0.0);  // no non-futile predictions
+}
+
+TEST(Evaluate, PerfectPredictorScoresFullAccuracy) {
+  EvalFixture f;
+  // User hops A -> B every step; predictor always says B's centre. Half the
+  // hops (A->B) are non-futile and predicted exactly; the B->A hops are
+  // non-futile but mispredicted.
+  Trajectory traj;
+  traj.interval = 20.0;
+  for (int i = 0; i < 12; ++i)
+    traj.points.push_back(i % 2 == 0 ? f.cell_a : f.cell_b);
+  StubPredictor to_b(2, f.cell_b);
+  const auto eval = evaluate_predictor(to_b, {traj}, f.map);
+  EXPECT_EQ(eval.futile_predictions, 0);  // server changes every step
+  EXPECT_GT(eval.non_futile(), 0);
+  // top-2 of a 2-server world always contains the answer.
+  EXPECT_DOUBLE_EQ(eval.top2_accuracy(), 1.0);
+  EXPECT_NEAR(eval.top1_accuracy(), 0.5, 0.15);
+}
+
+TEST(Evaluate, MaeMeasuresDistance) {
+  EvalFixture f;
+  Trajectory traj;
+  traj.interval = 20.0;
+  // Constant motion A->B->A->B...; stub predicts a point 30 m off B.
+  for (int i = 0; i < 8; ++i)
+    traj.points.push_back(i % 2 == 0 ? f.cell_a : f.cell_b);
+  StubPredictor off(2, Point{f.cell_b.x + 30.0, f.cell_b.y});
+  const auto eval = evaluate_predictor(off, {traj}, f.map);
+  // Errors alternate between 30 (target B) and ~230 (target A).
+  EXPECT_GT(eval.mae_all_m, 29.0);
+  EXPECT_LT(eval.mae_all_m, 231.0);
+}
+
+TEST(Evaluate, InRangeAccuracyFeedsBenefitCost) {
+  EvalFixture f;
+  Trajectory traj;
+  traj.interval = 20.0;
+  for (int i = 0; i < 8; ++i)
+    traj.points.push_back(i % 2 == 0 ? f.cell_a : f.cell_b);
+  StubPredictor exact(2, f.cell_b);
+  const auto eval = evaluate_predictor(exact, {traj}, f.map);
+  EXPECT_GT(eval.in_range_accuracy, 0.0);
+  EXPECT_GT(benefit_cost_ratio(eval), 0.0);
+  // Benefit/cost can never exceed the non-futile fraction.
+  EXPECT_LE(benefit_cost_ratio(eval), 1.0 - eval.futile_ratio() + 1e-12);
+}
+
+TEST(Evaluate, ShortTrajectoriesAreSkipped) {
+  EvalFixture f;
+  Trajectory tiny;
+  tiny.points = {f.cell_a, f.cell_b};  // shorter than n+1 for n=5
+  StubPredictor predictor(5, f.cell_a);
+  const auto eval = evaluate_predictor(predictor, {tiny}, f.map);
+  EXPECT_EQ(eval.total_predictions, 0);
+}
+
+TEST(Evaluate, RejectsEmptyTestSet) {
+  EvalFixture f;
+  StubPredictor predictor(2, f.cell_a);
+  EXPECT_THROW(evaluate_predictor(predictor, {}, f.map), std::logic_error);
+}
+
+}  // namespace
+}  // namespace perdnn

@@ -1,0 +1,159 @@
+#include "mobility/predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mobility/trace_gen.hpp"
+
+namespace perdnn {
+namespace {
+
+/// Straight-line trajectories: the ideal case for momentum-based predictors.
+std::vector<Trajectory> linear_trajectories(int count, Rng& rng) {
+  std::vector<Trajectory> out;
+  for (int i = 0; i < count; ++i) {
+    Trajectory traj;
+    traj.user = i;
+    traj.interval = 20.0;
+    Point pos{rng.uniform(100.0, 900.0), rng.uniform(100.0, 900.0)};
+    const Point velocity{rng.uniform(-15.0, 15.0), rng.uniform(-15.0, 15.0)};
+    for (int t = 0; t < 30; ++t) {
+      traj.points.push_back(pos);
+      pos = pos + velocity;
+    }
+    out.push_back(std::move(traj));
+  }
+  return out;
+}
+
+TEST(NearestServers, OrdersByDistance) {
+  // Property check against brute force: cell centres snap to the hex grid,
+  // so compare with the map's own centre geometry rather than raw inputs.
+  ServerMap map(50.0);
+  Rng rng(41);
+  for (int i = 0; i < 40; ++i)
+    map.allocate_at({rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)});
+  for (int trial = 0; trial < 20; ++trial) {
+    const Point p{rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)};
+    const auto nearest = nearest_servers(map, p, 3);
+    ASSERT_EQ(nearest.size(), 3u);
+    // Sorted by distance...
+    for (std::size_t i = 1; i < nearest.size(); ++i)
+      EXPECT_LE(distance(map.server_center(nearest[i - 1]), p),
+                distance(map.server_center(nearest[i]), p) + 1e-9);
+    // ...and no unlisted server is closer than the last listed one.
+    const double worst = distance(map.server_center(nearest.back()), p);
+    for (ServerId s = 0; s < map.num_servers(); ++s) {
+      if (std::find(nearest.begin(), nearest.end(), s) != nearest.end())
+        continue;
+      EXPECT_GE(distance(map.server_center(s), p), worst - 1e-9);
+    }
+  }
+}
+
+TEST(NearestServers, ExpandsSearchRadius) {
+  ServerMap map(50.0);
+  map.allocate_at({5000.0, 5000.0});  // far from the query point
+  const auto found = nearest_servers(map, {0.0, 0.0}, 1);
+  ASSERT_EQ(found.size(), 1u);
+}
+
+TEST(SvrPredictorTest, PredictsLinearMotionAccurately) {
+  Rng rng(1);
+  const auto train = linear_trajectories(40, rng);
+  const auto test = linear_trajectories(10, rng);
+  SvrPredictor predictor(5);
+  Rng fit_rng(2);
+  predictor.fit(train, fit_rng);
+  double err = 0.0;
+  int n = 0;
+  for (const auto& traj : test) {
+    for (std::size_t i = 5; i + 1 < traj.points.size(); i += 3) {
+      const std::span<const Point> recent(traj.points.data(), i + 1);
+      err += distance(predictor.predict(recent), traj.points[i + 1]);
+      ++n;
+    }
+  }
+  // Velocities are up to ~21 m/interval; linear extrapolation should land
+  // within a few metres on noiseless straight lines.
+  EXPECT_LT(err / n, 8.0);
+}
+
+TEST(SvrPredictorTest, RequiresEnoughHistory) {
+  Rng rng(3);
+  const auto train = linear_trajectories(5, rng);
+  SvrPredictor predictor(5);
+  Rng fit_rng(4);
+  predictor.fit(train, fit_rng);
+  const std::vector<Point> short_history = {{0.0, 0.0}, {1.0, 1.0}};
+  EXPECT_THROW(predictor.predict(short_history), std::logic_error);
+}
+
+TEST(SvrPredictorTest, PredictBeforeFitThrows) {
+  SvrPredictor predictor(2);
+  const std::vector<Point> pts = {{0.0, 0.0}, {1.0, 0.0}};
+  EXPECT_THROW(predictor.predict(pts), std::logic_error);
+}
+
+TEST(MarkovPredictorTest, LearnsRepeatedServerPath) {
+  ServerMap map(50.0);
+  // Three cells in a row, repeatedly visited left->right.
+  std::vector<Point> stations = {{0.0, 0.0}, {100.0, 0.0}, {200.0, 0.0}};
+  for (const Point p : stations) map.allocate_at(p);
+  Trajectory traj;
+  traj.interval = 20.0;
+  for (int rep = 0; rep < 10; ++rep)
+    for (const Point p : stations) traj.points.push_back(p);
+  MarkovPredictor predictor(2, &map);
+  Rng rng(5);
+  predictor.fit({traj}, rng);
+
+  const std::vector<Point> recent = {stations[0], stations[1]};
+  const auto top = predictor.predict_servers(recent, 1, map);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0], map.server_at(stations[2]));
+}
+
+TEST(MarkovPredictorTest, FallsBackNearCurrentOnUnseenContext) {
+  ServerMap map(50.0);
+  map.allocate_at({0.0, 0.0});
+  map.allocate_at({1000.0, 1000.0});
+  Trajectory traj;
+  traj.points = {{0.0, 0.0}, {0.0, 0.0}};
+  MarkovPredictor predictor(1, &map);
+  Rng rng(6);
+  predictor.fit({traj}, rng);
+  // Query from a region never seen in training.
+  const std::vector<Point> recent = {{1000.0, 1000.0}};
+  const auto top = predictor.predict_servers(recent, 1, map);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0], map.server_at({1000.0, 1000.0}));
+}
+
+TEST(RnnPredictorTest, TrainsAndBeatsStayPutBaselineOnLinearMotion) {
+  Rng rng(7);
+  const auto train = linear_trajectories(30, rng);
+  const auto test = linear_trajectories(8, rng);
+  RnnPredictor predictor(5, /*hidden_dim=*/8, /*epochs=*/200);
+  Rng fit_rng(8);
+  predictor.fit(train, fit_rng);
+  double err_rnn = 0.0, err_stay = 0.0;
+  int n = 0;
+  for (const auto& traj : test) {
+    for (std::size_t i = 5; i + 1 < traj.points.size(); i += 4) {
+      const std::span<const Point> recent(traj.points.data(), i + 1);
+      err_rnn += distance(predictor.predict(recent), traj.points[i + 1]);
+      err_stay += distance(traj.points[i], traj.points[i + 1]);
+      ++n;
+    }
+  }
+  EXPECT_LT(err_rnn, err_stay);  // beats "user stays put"
+}
+
+TEST(PredictorBase, InvalidTrajectoryLengthRejected) {
+  EXPECT_THROW(SvrPredictor(0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace perdnn

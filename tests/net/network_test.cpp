@@ -1,0 +1,120 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace perdnn {
+namespace {
+
+TEST(LabWifi, MatchesPaperNumbers) {
+  const NetworkCondition net = lab_wifi();
+  EXPECT_DOUBLE_EQ(net.uplink_bytes_per_sec, mbps_to_bytes_per_sec(35.0));
+  EXPECT_DOUBLE_EQ(net.downlink_bytes_per_sec, mbps_to_bytes_per_sec(50.0));
+}
+
+TEST(UnitHelpers, RoundTrip) {
+  EXPECT_DOUBLE_EQ(mbps_to_bytes_per_sec(8.0), 1e6);
+  EXPECT_DOUBLE_EQ(bytes_to_mbps(1e6, 1.0), 8.0);
+  EXPECT_DOUBLE_EQ(bytes_to_mbps(1e6, 0.0), 0.0);
+  EXPECT_EQ(mb_to_bytes(1.0), 1024 * 1024);
+  EXPECT_DOUBLE_EQ(bytes_to_mb(mb_to_bytes(128.0)), 128.0);
+}
+
+TEST(Traffic, AttributesUplinkAndDownlink) {
+  TrafficAccountant traffic(3, 20.0);
+  traffic.begin_interval();
+  traffic.record_transfer(0, 1, 1000);
+  traffic.record_transfer(0, 2, 500);
+  traffic.record_transfer(2, 1, 200);
+  traffic.finish();
+  EXPECT_EQ(traffic.total_bytes(), 1700);
+  EXPECT_GT(traffic.peak_uplink_mbps(0), traffic.peak_uplink_mbps(2));
+  EXPECT_DOUBLE_EQ(traffic.peak_uplink_mbps(1), 0.0);
+  EXPECT_GT(traffic.peak_downlink_mbps(1), 0.0);
+}
+
+TEST(Traffic, PeakIsMaxAcrossIntervals) {
+  TrafficAccountant traffic(2, 10.0);
+  traffic.begin_interval();
+  traffic.record_transfer(0, 1, 100);
+  traffic.begin_interval();  // implicitly closes the previous interval
+  traffic.record_transfer(0, 1, 900);
+  traffic.finish();
+  EXPECT_EQ(traffic.num_intervals(), 2);
+  EXPECT_DOUBLE_EQ(traffic.peak_uplink_mbps(0),
+                   bytes_to_mbps(900.0, 10.0));
+}
+
+TEST(Traffic, SelfAndZeroTransfersIgnored) {
+  TrafficAccountant traffic(2, 10.0);
+  traffic.begin_interval();
+  traffic.record_transfer(0, 0, 1000);
+  traffic.record_transfer(0, 1, 0);
+  traffic.finish();
+  EXPECT_EQ(traffic.total_bytes(), 0);
+  EXPECT_DOUBLE_EQ(traffic.global_peak_uplink_mbps(), 0.0);
+}
+
+TEST(Traffic, RecordOutsideIntervalThrows) {
+  TrafficAccountant traffic(2, 10.0);
+  EXPECT_THROW(traffic.record_transfer(0, 1, 10), std::logic_error);
+  traffic.begin_interval();
+  EXPECT_THROW(traffic.record_transfer(0, 5, 10), std::logic_error);
+  EXPECT_THROW(traffic.record_transfer(0, 1, -1), std::logic_error);
+}
+
+TEST(Traffic, FractionWithinThreshold) {
+  TrafficAccountant traffic(4, 1.0);
+  traffic.begin_interval();
+  // Server 0 sends 100 Mbps worth (12.5 MB over 1 s); others idle.
+  traffic.record_transfer(0, 1, static_cast<Bytes>(200e6 / 8));
+  traffic.finish();
+  // Server 0 exceeds 100 Mbps uplink; server 1's downlink also exceeds it.
+  EXPECT_DOUBLE_EQ(traffic.fraction_servers_within(100.0), 0.5);
+  EXPECT_DOUBLE_EQ(traffic.fraction_servers_within(1e9), 1.0);
+}
+
+TEST(Traffic, ServersByPeakUplinkDescending) {
+  TrafficAccountant traffic(3, 1.0);
+  traffic.begin_interval();
+  traffic.record_transfer(1, 0, 5000);
+  traffic.record_transfer(2, 0, 1000);
+  traffic.finish();
+  const auto ranked = traffic.servers_by_peak_uplink();
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0], 1);
+  EXPECT_EQ(ranked[1], 2);
+  EXPECT_EQ(ranked[2], 0);
+}
+
+TEST(Traffic, BusiestIntervalAndPeakSnapshot) {
+  TrafficAccountant traffic(3, 1.0);
+  traffic.begin_interval();  // interval 0: light
+  traffic.record_transfer(0, 1, 1000);
+  traffic.begin_interval();  // interval 1: heavy
+  traffic.record_transfer(0, 1, static_cast<Bytes>(200e6 / 8));
+  traffic.record_transfer(2, 1, 500);
+  traffic.finish();
+  EXPECT_EQ(traffic.busiest_interval(), 1);
+  // At the busiest interval, server 0 (uplink) and 1 (downlink) exceed
+  // 100 Mbps; server 2 stays under.
+  EXPECT_NEAR(traffic.fraction_servers_within_at_peak(100.0), 1.0 / 3.0,
+              1e-12);
+  EXPECT_DOUBLE_EQ(traffic.fraction_servers_within_at_peak(1e9), 1.0);
+}
+
+TEST(Traffic, EmptyAccountantPeakSnapshotIsVacuouslyFull) {
+  TrafficAccountant traffic(2, 1.0);
+  EXPECT_EQ(traffic.busiest_interval(), -1);
+  EXPECT_DOUBLE_EQ(traffic.fraction_servers_within_at_peak(1.0), 1.0);
+}
+
+TEST(Traffic, FinishIsIdempotent) {
+  TrafficAccountant traffic(1, 1.0);
+  traffic.begin_interval();
+  traffic.finish();
+  traffic.finish();
+  EXPECT_EQ(traffic.num_intervals(), 1);
+}
+
+}  // namespace
+}  // namespace perdnn

@@ -1,0 +1,110 @@
+#include "nn/model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace perdnn {
+namespace {
+
+LayerSpec input_layer(Bytes output_bytes = 1000) {
+  LayerSpec spec;
+  spec.name = "data";
+  spec.kind = LayerKind::kInput;
+  spec.output_bytes = output_bytes;
+  return spec;
+}
+
+LayerSpec conv_layer(const std::string& name, std::vector<LayerId> inputs,
+                     Bytes weight = 4000, Bytes output = 2000,
+                     Flops flops = 1e6) {
+  LayerSpec spec;
+  spec.name = name;
+  spec.kind = LayerKind::kConv;
+  spec.inputs = std::move(inputs);
+  spec.weight_bytes = weight;
+  spec.output_bytes = output;
+  spec.flops = flops;
+  return spec;
+}
+
+TEST(DnnModel, FirstLayerMustBeInput) {
+  DnnModel model("m");
+  EXPECT_THROW(model.add_layer(conv_layer("c", {})), std::logic_error);
+}
+
+TEST(DnnModel, NonInputLayerNeedsInputs) {
+  DnnModel model("m");
+  model.add_layer(input_layer());
+  EXPECT_THROW(model.add_layer(conv_layer("c", {})), std::logic_error);
+}
+
+TEST(DnnModel, ForwardReferenceRejected) {
+  DnnModel model("m");
+  model.add_layer(input_layer());
+  EXPECT_THROW(model.add_layer(conv_layer("c", {5})), std::logic_error);
+  EXPECT_THROW(model.add_layer(conv_layer("c", {1})), std::logic_error);
+  EXPECT_THROW(model.add_layer(conv_layer("c", {-1})), std::logic_error);
+}
+
+TEST(DnnModel, SuccessorsTracked) {
+  DnnModel model("m");
+  const LayerId in = model.add_layer(input_layer());
+  const LayerId a = model.add_layer(conv_layer("a", {in}));
+  const LayerId b = model.add_layer(conv_layer("b", {in}));
+  const LayerId c = model.add_layer(conv_layer("c", {a, b}));
+  EXPECT_EQ(model.successors(in).size(), 2u);
+  EXPECT_EQ(model.successors(a), std::vector<LayerId>{c});
+  EXPECT_TRUE(model.successors(c).empty());
+}
+
+TEST(DnnModel, InputBytesSumsPredecessors) {
+  DnnModel model("m");
+  const LayerId in = model.add_layer(input_layer(1000));
+  const LayerId a = model.add_layer(conv_layer("a", {in}, 0, 500));
+  const LayerId b = model.add_layer(conv_layer("b", {in}, 0, 300));
+  const LayerId c = model.add_layer(conv_layer("c", {a, b}));
+  EXPECT_EQ(model.input_bytes(in), 1000);  // input layer: its own tensor
+  EXPECT_EQ(model.input_bytes(a), 1000);
+  EXPECT_EQ(model.input_bytes(c), 800);
+}
+
+TEST(DnnModel, Totals) {
+  DnnModel model("m");
+  const LayerId in = model.add_layer(input_layer());
+  const LayerId a = model.add_layer(conv_layer("a", {in}, 100, 10, 5.0));
+  model.add_layer(conv_layer("b", {a}, 200, 10, 7.0));
+  EXPECT_EQ(model.total_weight_bytes(), 300);
+  EXPECT_DOUBLE_EQ(model.total_flops(), 12.0);
+}
+
+TEST(DnnModel, ValidateDetectsDeadLayer) {
+  DnnModel model("m");
+  const LayerId in = model.add_layer(input_layer());
+  model.add_layer(conv_layer("dead", {in}));
+  model.add_layer(conv_layer("live", {in}));
+  EXPECT_THROW(model.validate(), std::logic_error);
+}
+
+TEST(DnnModel, ValidateAcceptsChain) {
+  DnnModel model("m");
+  const LayerId in = model.add_layer(input_layer());
+  const LayerId a = model.add_layer(conv_layer("a", {in}));
+  model.add_layer(conv_layer("b", {a}));
+  EXPECT_NO_THROW(model.validate());
+}
+
+TEST(DnnModel, NegativeQuantitiesRejected) {
+  DnnModel model("m");
+  const LayerId in = model.add_layer(input_layer());
+  LayerSpec bad = conv_layer("bad", {in});
+  bad.weight_bytes = -1;
+  EXPECT_THROW(model.add_layer(bad), std::logic_error);
+}
+
+TEST(DnnModel, LayerKindNames) {
+  EXPECT_STREQ(layer_kind_name(LayerKind::kConv), "conv");
+  EXPECT_STREQ(layer_kind_name(LayerKind::kFullyConnected), "fc");
+  EXPECT_STREQ(layer_kind_name(LayerKind::kDepthwiseConv), "dwconv");
+}
+
+}  // namespace
+}  // namespace perdnn

@@ -1,0 +1,120 @@
+#include "partition/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "device/device_profile.hpp"
+#include "nn/model_zoo.hpp"
+
+namespace perdnn {
+namespace {
+
+struct Fixture {
+  DnnModel model;
+  DnnProfile client;
+  PartitionContext context;
+  EnergyProfile energy = odroid_energy_profile();
+
+  explicit Fixture(DnnModel model_in = build_toy_model(4))
+      : model(std::move(model_in)) {
+    client = profile_on_client(model, odroid_xu4_profile());
+    const DnnProfile server = profile_on_client(model, titan_xp_profile());
+    context.model = &model;
+    context.client_profile = &client;
+    context.server_time = server.client_time;
+  }
+};
+
+PartitionPlan all_client_plan(const DnnModel& model) {
+  PartitionPlan plan;
+  plan.location.assign(static_cast<std::size_t>(model.num_layers()),
+                       ExecLocation::kClient);
+  return plan;
+}
+
+TEST(Energy, LocalPlanEnergyIsComputeTimesTime) {
+  Fixture f;
+  const PartitionPlan local = all_client_plan(f.model);
+  const double joules = plan_energy_joules(f.context, local, f.energy);
+  EXPECT_NEAR(joules, local_only_latency(f.context) * f.energy.compute_watts,
+              1e-9);
+}
+
+TEST(Energy, OffloadingSavesEnergyForHeavyModels) {
+  // The classic result: for compute-heavy models, shipping a small tensor
+  // and idling beats burning the SoC.
+  Fixture f(build_resnet50());
+  const PartitionPlan latency_plan = compute_best_plan(f.context);
+  const double offloaded =
+      plan_energy_joules(f.context, latency_plan, f.energy);
+  const double local = plan_energy_joules(
+      f.context, all_client_plan(f.model), f.energy);
+  EXPECT_LT(offloaded, 0.5 * local);
+}
+
+TEST(Energy, EnergyPlanNeverUsesMoreEnergyThanLatencyPlan) {
+  for (ModelName name :
+       {ModelName::kMobileNet, ModelName::kInception, ModelName::kResNet}) {
+    Fixture f(build_model(name));
+    const PartitionPlan latency_plan = compute_best_plan(f.context);
+    const PartitionPlan energy_plan =
+        compute_energy_best_plan(f.context, f.energy);
+    EXPECT_LE(plan_energy_joules(f.context, energy_plan, f.energy),
+              plan_energy_joules(f.context, latency_plan, f.energy) + 1e-9)
+        << model_name_str(name);
+    // And conversely, it cannot beat the latency-optimal plan on time.
+    EXPECT_GE(energy_plan.latency, latency_plan.latency - 1e-9);
+  }
+}
+
+// Property: on small random chains, the energy DP matches brute force.
+TEST(Energy, DpMatchesBruteForceOnSmallChains) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int blocks = static_cast<int>(rng.uniform_int(1, 2));
+    Fixture f(build_toy_model(blocks));
+    // Randomise the cost structure so plans differ across trials.
+    for (std::size_t i = 1; i < f.context.server_time.size(); ++i) {
+      f.context.server_time[i] = rng.uniform(1e-5, 5e-3);
+      f.client.client_time[i] = rng.uniform(1e-4, 5e-2);
+    }
+    f.context.net.uplink_bytes_per_sec = rng.uniform(1e5, 1e7);
+    f.context.net.downlink_bytes_per_sec = rng.uniform(1e5, 1e7);
+
+    const auto n = static_cast<std::size_t>(f.model.num_layers());
+    double best = kInfSeconds;
+    for (std::uint32_t mask = 0; mask < (1u << (n - 1)); ++mask) {
+      PartitionPlan candidate = all_client_plan(f.model);
+      for (std::size_t bit = 0; bit + 1 < n; ++bit)
+        if (mask & (1u << bit))
+          candidate.location[bit + 1] = ExecLocation::kServer;
+      best = std::min(best,
+                      plan_energy_joules(f.context, candidate, f.energy));
+    }
+    const PartitionPlan plan = compute_energy_best_plan(f.context, f.energy);
+    EXPECT_NEAR(plan_energy_joules(f.context, plan, f.energy), best, 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(Energy, UploadableMaskRestrictsTheEnergyPlan) {
+  Fixture f;
+  const auto n = static_cast<std::size_t>(f.model.num_layers());
+  const std::vector<bool> nothing(n, false);
+  const PartitionPlan plan =
+      compute_energy_best_plan(f.context, f.energy, &nothing);
+  EXPECT_EQ(plan.num_server_layers(), 0);
+}
+
+TEST(Energy, InvalidProfileRejected) {
+  Fixture f;
+  EnergyProfile bad = f.energy;
+  bad.tx_watts = 0.0;
+  EXPECT_THROW(compute_energy_best_plan(f.context, bad), std::logic_error);
+  EXPECT_THROW(
+      plan_energy_joules(f.context, all_client_plan(f.model), bad),
+      std::logic_error);
+}
+
+}  // namespace
+}  // namespace perdnn

@@ -1,0 +1,104 @@
+#include "partition/mincut.hpp"
+
+#include <gtest/gtest.h>
+
+#include "device/device_profile.hpp"
+#include "nn/model_zoo.hpp"
+
+namespace perdnn {
+namespace {
+
+struct Fixture {
+  DnnModel model;
+  DnnProfile client;
+  PartitionContext context;
+
+  explicit Fixture(DnnModel model_in = build_toy_model(4))
+      : model(std::move(model_in)) {
+    client = profile_on_client(model, odroid_xu4_profile());
+    const DnnProfile server = profile_on_client(model, titan_xp_profile());
+    context.model = &model;
+    context.client_profile = &client;
+    context.server_time = server.client_time;
+  }
+};
+
+TEST(MinCut, InputPinnedToClient) {
+  Fixture f;
+  const PartitionPlan plan = compute_mincut_plan(f.context);
+  EXPECT_EQ(plan.location[0], ExecLocation::kClient);
+}
+
+TEST(MinCut, SumLatencyMatchesReportedLatency) {
+  Fixture f;
+  const PartitionPlan plan = compute_mincut_plan(f.context);
+  EXPECT_NEAR(plan.latency, sum_model_latency(f.context, plan), 1e-9);
+}
+
+// The min-cut objective value must not exceed any explicit assignment's.
+TEST(MinCut, BeatsAllSingleCutAssignments) {
+  Fixture f;
+  const PartitionPlan optimal = compute_mincut_plan(f.context);
+  const auto n = static_cast<std::size_t>(f.model.num_layers());
+  for (std::size_t cut = 1; cut <= n; ++cut) {
+    PartitionPlan candidate;
+    candidate.location.assign(n, ExecLocation::kClient);
+    for (std::size_t i = cut; i < n; ++i)
+      candidate.location[i] = ExecLocation::kServer;
+    EXPECT_LE(optimal.latency,
+              sum_model_latency(f.context, candidate) + 1e-9)
+        << "cut at " << cut;
+  }
+}
+
+TEST(MinCut, AllClientWhenServerUseless) {
+  Fixture f;
+  // Server as slow as client and a dreadful network: offloading can't win.
+  f.context.server_time = f.client.client_time;
+  f.context.net.uplink_bytes_per_sec = 1.0;
+  f.context.net.downlink_bytes_per_sec = 1.0;
+  const PartitionPlan plan = compute_mincut_plan(f.context);
+  EXPECT_EQ(plan.num_server_layers(), 0);
+}
+
+TEST(MinCut, MostlyServerWhenServerFastAndNetworkFast) {
+  Fixture f;
+  f.context.net.uplink_bytes_per_sec = mbps_to_bytes_per_sec(10000.0);
+  f.context.net.downlink_bytes_per_sec = mbps_to_bytes_per_sec(10000.0);
+  f.context.net.rtt = 0.0;
+  const PartitionPlan plan = compute_mincut_plan(f.context);
+  EXPECT_GT(plan.num_server_layers(), f.model.num_layers() / 2);
+}
+
+// On DAG models the min-cut handles non-contiguous assignments natively;
+// its sum-model objective should be no worse than the shortest-path plan's
+// assignment evaluated under the same sum model.
+TEST(MinCut, ObjectiveNoWorseThanShortestPathPlan) {
+  for (ModelName name : {ModelName::kInception, ModelName::kResNet}) {
+    Fixture f(build_model(name));
+    const PartitionPlan sp = compute_best_plan(f.context);
+    const PartitionPlan mc = compute_mincut_plan(f.context);
+    EXPECT_LE(mc.latency, sum_model_latency(f.context, sp) + 1e-6)
+        << model_name_str(name);
+  }
+}
+
+TEST(SumModelLatency, CountsCrossingsBothWays) {
+  Fixture f(build_toy_model(1));
+  const auto n = static_cast<std::size_t>(f.model.num_layers());
+  PartitionPlan plan;
+  plan.location.assign(n, ExecLocation::kClient);
+  // Alternate locations to force crossings on every edge.
+  for (std::size_t i = 1; i < n; i += 2)
+    plan.location[i] = ExecLocation::kServer;
+  const Seconds latency = sum_model_latency(f.context, plan);
+  Seconds exec_only = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    exec_only += plan.location[i] == ExecLocation::kServer
+                     ? f.context.server_time[i]
+                     : f.client.client_time[i];
+  EXPECT_GT(latency, exec_only);  // transfers add strictly positive time
+}
+
+}  // namespace
+}  // namespace perdnn

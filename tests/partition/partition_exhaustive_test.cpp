@@ -1,0 +1,136 @@
+// Exhaustive optimality checks: on small chains we can enumerate every
+// contiguous execution plan (client prefix -> server run -> client suffix,
+// including multi-segment shapes) and verify the DP's shortest path really
+// is the minimum. Randomised layer costs make this a property test of the
+// algorithm rather than of one hand-built example.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "partition/partition.hpp"
+
+namespace perdnn {
+namespace {
+
+/// Random chain model with `n` layers (plus input) and random costs.
+struct RandomChain {
+  DnnModel model;
+  DnnProfile client;
+  PartitionContext context;
+
+  RandomChain(int n, Rng& rng) : model("chain") {
+    LayerSpec input;
+    input.name = "data";
+    input.kind = LayerKind::kInput;
+    input.output_bytes = rng.uniform_int(1'000, 2'000'000);
+    LayerId prev = model.add_layer(input);
+    for (int i = 0; i < n; ++i) {
+      LayerSpec layer;
+      layer.name = "l" + std::to_string(i);
+      layer.kind = LayerKind::kConv;
+      layer.inputs = {prev};
+      layer.weight_bytes = rng.uniform_int(0, 1'000'000);
+      layer.output_bytes = rng.uniform_int(1'000, 2'000'000);
+      layer.flops = 1.0;
+      prev = model.add_layer(layer);
+    }
+    client.model_name = "chain";
+    context.model = &model;
+    context.client_profile = &client;
+    for (LayerId id = 0; id < model.num_layers(); ++id) {
+      client.client_time.push_back(id == 0 ? 0.0
+                                           : rng.uniform(0.001, 0.400));
+      context.server_time.push_back(id == 0 ? 0.0
+                                            : rng.uniform(0.0001, 0.050));
+    }
+    context.net.uplink_bytes_per_sec = rng.uniform(1e5, 1e7);
+    context.net.downlink_bytes_per_sec = rng.uniform(1e5, 1e7);
+    context.net.rtt = rng.uniform(0.0, 0.02);
+  }
+
+  /// Simulates executing with the given per-layer assignment (input always
+  /// at the client): walk the chain, paying transfer whenever the location
+  /// changes and a final hop home if needed.
+  Seconds simulate(const std::vector<ExecLocation>& where) const {
+    Seconds total = 0.0;
+    ExecLocation at = ExecLocation::kClient;
+    for (LayerId id = 1; id < model.num_layers(); ++id) {
+      const ExecLocation next = where[static_cast<std::size_t>(id)];
+      if (next != at) {
+        const Bytes moved = model.layer(id - 1).output_bytes;
+        const double rate = next == ExecLocation::kServer
+                                ? context.net.uplink_bytes_per_sec
+                                : context.net.downlink_bytes_per_sec;
+        total += static_cast<double>(moved) / rate + context.net.rtt;
+        at = next;
+      }
+      total += next == ExecLocation::kServer
+                   ? context.server_time[static_cast<std::size_t>(id)]
+                   : context.client_profile
+                         ->client_time[static_cast<std::size_t>(id)];
+    }
+    if (at == ExecLocation::kServer) {
+      total += static_cast<double>(
+                   model.layer(model.num_layers() - 1).output_bytes) /
+                   context.net.downlink_bytes_per_sec +
+               context.net.rtt;
+    }
+    return total;
+  }
+};
+
+TEST(PartitionExhaustive, DpMatchesBruteForceOnRandomChains) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(2, 9));
+    RandomChain chain(n, rng);
+
+    // Enumerate all 2^n assignments; the DP only considers chain walks, and
+    // on a chain every assignment IS a walk, so the minimum over all
+    // assignments must equal the DP's result.
+    const auto layers = static_cast<std::size_t>(chain.model.num_layers());
+    Seconds best = kInfSeconds;
+    for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+      std::vector<ExecLocation> where(layers, ExecLocation::kClient);
+      for (int bit = 0; bit < n; ++bit)
+        if (mask & (1u << bit))
+          where[static_cast<std::size_t>(bit) + 1] = ExecLocation::kServer;
+      best = std::min(best, chain.simulate(where));
+    }
+
+    const PartitionPlan plan = compute_best_plan(chain.context);
+    EXPECT_NEAR(plan.latency, best, 1e-9) << "trial " << trial;
+    // And the plan's own assignment simulates to its reported latency.
+    EXPECT_NEAR(chain.simulate(plan.location), plan.latency, 1e-9);
+  }
+}
+
+TEST(PartitionExhaustive, MaskedDpMatchesConstrainedBruteForce) {
+  Rng rng(77);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(2, 8));
+    RandomChain chain(n, rng);
+    const auto layers = static_cast<std::size_t>(chain.model.num_layers());
+    std::vector<bool> allowed(layers, false);
+    for (std::size_t i = 1; i < layers; ++i) allowed[i] = rng.bernoulli(0.5);
+
+    Seconds best = kInfSeconds;
+    for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+      std::vector<ExecLocation> where(layers, ExecLocation::kClient);
+      bool legal = true;
+      for (int bit = 0; bit < n; ++bit) {
+        if (!(mask & (1u << bit))) continue;
+        if (!allowed[static_cast<std::size_t>(bit) + 1]) {
+          legal = false;
+          break;
+        }
+        where[static_cast<std::size_t>(bit) + 1] = ExecLocation::kServer;
+      }
+      if (legal) best = std::min(best, chain.simulate(where));
+    }
+    EXPECT_NEAR(plan_latency(chain.context, allowed), best, 1e-9)
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace perdnn

@@ -1,0 +1,177 @@
+#include "partition/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "device/device_profile.hpp"
+#include "nn/model_zoo.hpp"
+
+namespace perdnn {
+namespace {
+
+/// Context over the toy model with uniform synthetic times.
+struct Fixture {
+  DnnModel model;
+  DnnProfile client;
+  PartitionContext context;
+
+  explicit Fixture(double server_speedup = 20.0,
+                   DnnModel model_in = build_toy_model(4))
+      : model(std::move(model_in)) {
+    client = profile_on_client(model, odroid_xu4_profile());
+    context.model = &model;
+    context.client_profile = &client;
+    for (Seconds t : client.client_time)
+      context.server_time.push_back(t / server_speedup);
+  }
+};
+
+TEST(LiveCutBytes, ChainEqualsLayerOutputs) {
+  const DnnModel model = build_toy_model(3);
+  const auto live = live_cut_bytes(model);
+  ASSERT_EQ(live.size(), static_cast<std::size_t>(model.num_layers()));
+  // On a pure chain, the live set at cut i is exactly layer i's output
+  // (except after the terminal layer, where nothing is live).
+  for (LayerId i = 0; i + 1 < model.num_layers(); ++i)
+    EXPECT_EQ(live[static_cast<std::size_t>(i)],
+              model.layer(i).output_bytes)
+        << "cut " << i;
+  EXPECT_EQ(live.back(), 0);
+}
+
+TEST(LiveCutBytes, SkipConnectionsStayLive) {
+  // input -> a -> b -> add(a-out, b-out): a's tensor is live across b.
+  DnnModel model("skip");
+  LayerSpec input;
+  input.kind = LayerKind::kInput;
+  input.output_bytes = 100;
+  const LayerId in = model.add_layer(input);
+  LayerSpec a;
+  a.kind = LayerKind::kConv;
+  a.inputs = {in};
+  a.output_bytes = 40;
+  a.weight_bytes = 1;
+  a.flops = 1;
+  const LayerId aid = model.add_layer(a);
+  LayerSpec b = a;
+  b.inputs = {aid};
+  b.output_bytes = 40;
+  const LayerId bid = model.add_layer(b);
+  LayerSpec add;
+  add.kind = LayerKind::kEltwiseAdd;
+  add.inputs = {aid, bid};
+  add.output_bytes = 40;
+  model.add_layer(add);
+
+  const auto live = live_cut_bytes(model);
+  EXPECT_EQ(live[0], 100);      // input tensor
+  EXPECT_EQ(live[1], 40);       // a's output
+  EXPECT_EQ(live[2], 40 + 40);  // both a's and b's outputs cross cut 2
+  EXPECT_EQ(live[3], 0);
+}
+
+TEST(Partitioner, FastServerPullsLayersToServer) {
+  Fixture f(/*server_speedup=*/50.0);
+  const PartitionPlan plan = compute_best_plan(f.context);
+  EXPECT_GT(plan.num_server_layers(), 0);
+  EXPECT_LT(plan.latency, local_only_latency(f.context));
+  EXPECT_EQ(plan.location[0], ExecLocation::kClient);  // input pinned
+}
+
+TEST(Partitioner, UselessServerKeepsEverythingLocal) {
+  Fixture f(/*server_speedup=*/1.0);
+  // Make the server pointless: same speed, terrible network.
+  f.context.net.uplink_bytes_per_sec = 1.0;
+  f.context.net.downlink_bytes_per_sec = 1.0;
+  const PartitionPlan plan = compute_best_plan(f.context);
+  EXPECT_EQ(plan.num_server_layers(), 0);
+  EXPECT_NEAR(plan.latency, local_only_latency(f.context), 1e-9);
+}
+
+TEST(Partitioner, PlanLatencyNeverExceedsLocal) {
+  Fixture f;
+  const PartitionPlan plan = compute_best_plan(f.context);
+  EXPECT_LE(plan.latency, local_only_latency(f.context) + 1e-12);
+}
+
+TEST(Partitioner, EmptyAvailabilityForcesLocal) {
+  Fixture f;
+  const std::vector<bool> nothing(
+      static_cast<std::size_t>(f.model.num_layers()), false);
+  EXPECT_NEAR(plan_latency(f.context, nothing), local_only_latency(f.context),
+              1e-12);
+}
+
+TEST(Partitioner, FullAvailabilityMatchesUnconstrainedPlan) {
+  Fixture f;
+  const std::vector<bool> everything(
+      static_cast<std::size_t>(f.model.num_layers()), true);
+  const PartitionPlan plan = compute_best_plan(f.context);
+  EXPECT_NEAR(plan_latency(f.context, everything), plan.latency, 1e-12);
+}
+
+// Property: adding availability can never make the best plan slower.
+TEST(Partitioner, LatencyMonotoneInAvailability) {
+  Fixture f;
+  Rng rng(7);
+  const auto n = static_cast<std::size_t>(f.model.num_layers());
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<bool> mask(n, false);
+    for (std::size_t i = 1; i < n; ++i) mask[i] = rng.bernoulli(0.4);
+    std::vector<bool> superset = mask;
+    for (std::size_t i = 1; i < n; ++i)
+      if (!superset[i] && rng.bernoulli(0.3)) superset[i] = true;
+    EXPECT_LE(plan_latency(f.context, superset),
+              plan_latency(f.context, mask) + 1e-12);
+  }
+}
+
+// Property: the plan's reported latency equals the latency of replaying its
+// own availability mask (self-consistency of DP and backtrace).
+TEST(Partitioner, BacktraceConsistentWithDp) {
+  for (ModelName name :
+       {ModelName::kMobileNet, ModelName::kInception, ModelName::kResNet}) {
+    Fixture f(20.0, build_model(name));
+    const PartitionPlan plan = compute_best_plan(f.context);
+    std::vector<bool> mask(static_cast<std::size_t>(f.model.num_layers()),
+                           false);
+    for (std::size_t i = 0; i < plan.location.size(); ++i)
+      mask[i] = plan.location[i] == ExecLocation::kServer;
+    EXPECT_NEAR(plan_latency(f.context, mask), plan.latency, 1e-9)
+        << model_name_str(name);
+  }
+}
+
+TEST(Partitioner, ServerBytesCountsOnlyServerLayers) {
+  Fixture f;
+  PartitionPlan plan = compute_best_plan(f.context);
+  Bytes expected = 0;
+  for (LayerId id : plan.server_layers())
+    expected += f.model.layer(id).weight_bytes;
+  EXPECT_EQ(plan.server_bytes(f.model), expected);
+}
+
+TEST(Partitioner, InvalidContextRejected) {
+  Fixture f;
+  PartitionContext broken = f.context;
+  broken.server_time.pop_back();
+  EXPECT_THROW(compute_best_plan(broken), std::logic_error);
+  broken = f.context;
+  broken.model = nullptr;
+  EXPECT_THROW(compute_best_plan(broken), std::logic_error);
+  broken = f.context;
+  broken.net.uplink_bytes_per_sec = 0.0;
+  EXPECT_THROW(compute_best_plan(broken), std::logic_error);
+}
+
+TEST(Partitioner, RttPenalisesChattyPlans) {
+  Fixture fast(50.0);
+  PartitionContext high_rtt = fast.context;
+  high_rtt.net.rtt = 0.5;
+  const PartitionPlan cheap = compute_best_plan(fast.context);
+  const PartitionPlan costly = compute_best_plan(high_rtt);
+  EXPECT_GE(costly.latency, cheap.latency);
+}
+
+}  // namespace
+}  // namespace perdnn

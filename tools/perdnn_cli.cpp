@@ -1,0 +1,212 @@
+// perdnn — command-line front end for the library.
+//
+//   perdnn models
+//       List the model zoo with sizes, FLOPs and device latencies.
+//   perdnn partition <model> [load] [uplink_mbps]
+//       Print the partitioning plan for a client/server pair.
+//   perdnn traces <campus|urban> <out.txt> [users] [minutes]
+//       Generate a synthetic mobility dataset and save it.
+//   perdnn simulate <model> <campus|urban|traces.txt> [ionn|perdnn|optimal]
+//       Run the smart-city simulation and print the summary.
+//   perdnn profile <model> <out.txt>
+//       Run the concurrency sweep and save estimator-training records.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "common/table.hpp"
+#include "core/perdnn.hpp"
+#include "mobility/trace_gen.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace perdnn;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  perdnn models\n"
+               "  perdnn partition <mobilenet|inception|resnet|alexnet|vgg16> "
+               "[load] [uplink_mbps]\n"
+               "  perdnn traces <campus|urban> <out.txt> [users] [minutes]\n"
+               "  perdnn simulate <model> <campus|urban|traces.txt> "
+               "[ionn|perdnn|optimal]\n"
+               "  perdnn profile <model> <out.txt>\n");
+  return 2;
+}
+
+DnnModel model_by_name(const std::string& name) {
+  if (name == "mobilenet") return build_mobilenet_v1();
+  if (name == "inception") return build_inception21k();
+  if (name == "resnet") return build_resnet50();
+  if (name == "alexnet") return build_alexnet();
+  if (name == "vgg16") return build_vgg16();
+  throw std::runtime_error("unknown model '" + name + "'");
+}
+
+int cmd_models() {
+  TextTable table({"model", "layers", "MB", "GFLOPs", "client s", "server s"});
+  for (const char* name :
+       {"mobilenet", "inception", "resnet", "alexnet", "vgg16"}) {
+    const DnnModel model = model_by_name(name);
+    table.add_row(
+        {model.name(),
+         TextTable::num(static_cast<long long>(model.num_layers())),
+         TextTable::num(bytes_to_mb(model.total_weight_bytes()), 1),
+         TextTable::num(model.total_flops() / 1e9, 2),
+         TextTable::num(total_client_time(
+                            profile_on_client(model, odroid_xu4_profile())),
+                        3),
+         TextTable::num(total_client_time(
+                            profile_on_client(model, titan_xp_profile())),
+                        3)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
+int cmd_partition(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const DnnModel model = model_by_name(argv[0]);
+  const int load = argc > 1 ? std::atoi(argv[1]) : 1;
+  const double uplink = argc > 2 ? std::atof(argv[2]) : 35.0;
+  if (load < 1 || uplink <= 0.0) return usage();
+
+  const DnnProfile client = profile_on_client(model, odroid_xu4_profile());
+  const GpuContentionModel gpu(titan_xp_profile());
+  PartitionContext context;
+  context.model = &model;
+  context.client_profile = &client;
+  context.net.uplink_bytes_per_sec = mbps_to_bytes_per_sec(uplink);
+  context.net.downlink_bytes_per_sec =
+      mbps_to_bytes_per_sec(uplink * 50.0 / 35.0);
+  for (LayerId id = 0; id < model.num_layers(); ++id)
+    context.server_time.push_back(gpu.expected_layer_time(
+        model.layer(id), model.input_bytes(id), static_cast<double>(load)));
+
+  const PartitionPlan plan = compute_best_plan(context);
+  std::printf("%s @ %d concurrent clients, %.0f Mbps uplink\n",
+              model.name().c_str(), load, uplink);
+  std::printf("  local latency:   %.3f s\n", local_only_latency(context));
+  std::printf("  plan latency:    %.3f s (%.1fx)\n", plan.latency,
+              local_only_latency(context) / plan.latency);
+  std::printf("  server layers:   %d / %d (%.1f MB to deploy)\n",
+              plan.num_server_layers(), model.num_layers(),
+              bytes_to_mb(plan.server_bytes(model)));
+  const UploadSchedule schedule = plan_upload_order(
+      context, plan, {.enumeration = UploadEnumeration::kAnchored});
+  std::printf("  upload duration: %.1f s at this uplink\n",
+              static_cast<double>(schedule.total_bytes()) /
+                  context.net.uplink_bytes_per_sec);
+  const EnergyProfile energy = odroid_energy_profile();
+  std::printf("  client energy:   %.2f J/query (local %.2f J)\n",
+              plan_energy_joules(context, plan, energy),
+              local_only_latency(context) * energy.compute_watts);
+  return 0;
+}
+
+std::vector<Trajectory> make_traces(const std::string& kind, int users,
+                                    double minutes, std::uint64_t seed) {
+  if (kind == "campus") {
+    CampusTraceConfig config;
+    if (users > 0) config.num_users = users;
+    config.duration = minutes * 60.0;
+    config.sample_interval = 20.0;
+    config.seed = seed;
+    return generate_campus_traces(config);
+  }
+  if (kind == "urban") {
+    UrbanTraceConfig config;
+    if (users > 0) config.num_users = users;
+    config.duration = minutes * 60.0;
+    config.sample_interval = 20.0;
+    config.seed = seed;
+    return generate_urban_traces(config);
+  }
+  return load_traces_file(kind);  // treat as a file path
+}
+
+int cmd_traces(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const int users = argc > 2 ? std::atoi(argv[2]) : 0;
+  const double minutes = argc > 3 ? std::atof(argv[3]) : 120.0;
+  const auto traces = make_traces(argv[0], users, minutes, 1);
+  save_traces_file(traces, argv[1]);
+  std::printf("wrote %zu trajectories (%.1f min at %.0f s sampling, mean "
+              "speed %.2f m/s) to %s\n",
+              traces.size(), minutes, traces.front().interval,
+              mean_speed(traces), argv[1]);
+  return 0;
+}
+
+int cmd_simulate(int argc, char** argv) {
+  if (argc < 2) return usage();
+  SimulationConfig config;
+  const std::string model_name = argv[0];
+  config.model = model_name == "mobilenet"  ? ModelName::kMobileNet
+                 : model_name == "resnet"   ? ModelName::kResNet
+                                            : ModelName::kInception;
+  if (argc > 2) {
+    const std::string policy = argv[2];
+    config.policy = policy == "ionn"      ? MigrationPolicy::kNone
+                    : policy == "optimal" ? MigrationPolicy::kOptimal
+                                          : MigrationPolicy::kProactive;
+  }
+  config.migration_radius_m = 100.0;
+
+  const auto test = make_traces(argv[1], 0, 120.0, 22);
+  const auto train = make_traces(argv[1], 0, 120.0, 11);
+  const SimulationWorld world = build_world(config, train, test);
+  const SimulationMetrics metrics = run_simulation(config, world);
+
+  std::printf("%d servers, %d clients, %d intervals\n", metrics.num_servers,
+              metrics.num_clients, metrics.num_intervals);
+  std::printf("cold-window queries: %lld   hit ratio: %.1f%%   server "
+              "changes: %d\n",
+              metrics.cold_window_queries, metrics.hit_ratio() * 100.0,
+              metrics.server_changes);
+  std::printf("migrated: %.0f MB   peak backhaul uplink: %.0f Mbps\n",
+              bytes_to_mb(metrics.total_migrated_bytes),
+              metrics.peak_uplink_mbps);
+  return 0;
+}
+
+int cmd_profile(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const DnnModel model = model_by_name(argv[0]);
+  const GpuContentionModel gpu(titan_xp_profile());
+  ConcurrencyProfiler profiler(&gpu, Rng(1));
+  const DnnModel* models[] = {&model};
+  ProfilerConfig config;
+  const auto records = profiler.profile_models(models, config);
+  std::ofstream out(argv[1]);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 1;
+  }
+  save_records(records, out);
+  std::printf("wrote %zu profiling records (1..%d clients) to %s\n",
+              records.size(), config.max_clients, argv[1]);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "models") return cmd_models();
+    if (command == "partition") return cmd_partition(argc - 2, argv + 2);
+    if (command == "traces") return cmd_traces(argc - 2, argv + 2);
+    if (command == "simulate") return cmd_simulate(argc - 2, argv + 2);
+    if (command == "profile") return cmd_profile(argc - 2, argv + 2);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
