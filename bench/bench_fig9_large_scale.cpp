@@ -2,10 +2,18 @@
 // and hit ratios, for the IONN baseline, PerDNN with migration radius
 // r=50 m and r=100 m, and the all-layers-everywhere Optimal, across both
 // datasets and all three models.
+//
+// With an output prefix argument (bench_fig9_large_scale /tmp/fig9), every
+// policy run additionally dumps its per-interval per-server timeseries to
+// <prefix>_<dataset>_<model>_<policy>.csv, so each bar of the figure can be
+// decomposed interval by interval.
 #include <cstdio>
+#include <fstream>
+#include <string>
 
 #include "common/table.hpp"
 #include "datasets.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/simulator.hpp"
 
 namespace {
@@ -13,7 +21,13 @@ namespace {
 using namespace perdnn;
 using namespace perdnn::bench;
 
-void run_dataset(const DatasetPair& data) {
+std::string sanitize(std::string s) {
+  for (char& c : s)
+    if (c == ' ' || c == '(' || c == ')' || c == '=') c = '-';
+  return s;
+}
+
+void run_dataset(const DatasetPair& data, const char* out_prefix) {
   std::printf("\n===== %s (%zu users) =====\n", data.name, data.test.size());
   for (ModelName model :
        {ModelName::kMobileNet, ModelName::kInception, ModelName::kResNet}) {
@@ -42,7 +56,22 @@ void run_dataset(const DatasetPair& data) {
       SimulationConfig run = config;
       run.policy = row.policy;
       if (row.radius > 0.0) run.migration_radius_m = row.radius;
-      const SimulationMetrics metrics = run_simulation(run, world);
+      obs::SimTimeseries timeseries;
+      obs::SimTimeseries* recorder =
+          out_prefix != nullptr ? &timeseries : nullptr;
+      const SimulationMetrics metrics = run_simulation(run, world, recorder);
+      if (recorder != nullptr) {
+        const std::string path = std::string(out_prefix) + "_" + data.name +
+                                 "_" + model_name_str(model) + "_" +
+                                 sanitize(row.label) + ".csv";
+        std::ofstream out(path);
+        if (!out) {
+          std::fprintf(stderr, "cannot open %s\n", path.c_str());
+          std::exit(1);
+        }
+        recorder->write_csv(out);
+        std::printf("timeseries -> %s\n", path.c_str());
+      }
       char hm[64];
       std::snprintf(hm, sizeof hm, "%d/%d/%d", metrics.hits, metrics.partials,
                     metrics.misses);
@@ -59,14 +88,15 @@ void run_dataset(const DatasetPair& data) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* out_prefix = argc > 1 ? argv[1] : nullptr;
   std::printf("=== Fig 9: executed queries and hit ratios during the "
               "large-scale simulation ===\n");
   std::printf("paper shape: IONN < PerDNN(r=50) < PerDNN(r=100) < Optimal;\n"
               "hit ratio grows with r; KAIST (slow users) hits more than "
               "Geolife (fast users);\nMobileNet gains little (tiny model), "
               "Inception/ResNet gain a lot\n");
-  run_dataset(kaist_like());
-  run_dataset(geolife_like());
+  run_dataset(kaist_like(), out_prefix);
+  run_dataset(geolife_like(), out_prefix);
   return 0;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace perdnn {
 
@@ -85,6 +87,8 @@ UploadSchedule MasterServer::upload_schedule(ClientId client,
 std::optional<MasterServer::ServerChoice> MasterServer::select_server(
     ClientId client, std::span<const ServerId> candidates,
     const StatsProvider& stats_of) const {
+  PERDNN_SPAN("master.select_server");
+  obs::count("master.server_selections");
   PERDNN_CHECK(stats_of != nullptr);
   const ClientRecord& rec = record(client);
   std::optional<ServerChoice> best;
@@ -101,6 +105,7 @@ std::vector<MasterServer::MigrationOrder> MasterServer::plan_migrations(
     ClientId client, ServerId current_server,
     const std::vector<bool>& source_available, const StatsProvider& stats_of,
     std::optional<Bytes> byte_budget) const {
+  PERDNN_SPAN("master.plan_migrations");
   PERDNN_CHECK(stats_of != nullptr);
   const ClientRecord& rec = record(client);
   PERDNN_CHECK(source_available.size() ==
@@ -133,6 +138,12 @@ std::vector<MasterServer::MigrationOrder> MasterServer::plan_migrations(
       order.bytes += weight;
     }
     orders.push_back(std::move(order));
+  }
+  if (obs::enabled() && !orders.empty()) {
+    Bytes bytes = 0;
+    for (const MigrationOrder& order : orders) bytes += order.bytes;
+    obs::count("master.migration_orders", static_cast<double>(orders.size()));
+    obs::count("master.migration_bytes", static_cast<double>(bytes));
   }
   return orders;
 }

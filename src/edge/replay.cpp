@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace perdnn {
 
@@ -22,6 +24,7 @@ Seconds ReplayResult::peak_latency() const {
 ReplayResult replay_queries(const PartitionContext& context,
                             const UploadSchedule& schedule,
                             Bytes initial_bytes, const ReplayConfig& config) {
+  PERDNN_SPAN("replay.run");
   PERDNN_CHECK(context.model != nullptr);
   PERDNN_CHECK(config.query_gap >= 0.0);
   PERDNN_CHECK(initial_bytes >= 0);
@@ -44,9 +47,11 @@ ReplayResult replay_queries(const PartitionContext& context,
     const std::vector<bool> mask = schedule.uploaded_after(
         *context.model, std::min(uploaded, total));
     const Seconds latency = plan_latency(context, mask);
+    obs::observe("replay.query_latency_s", latency);
     result.queries.push_back({now, latency});
     now += latency + config.query_gap;
   }
+  obs::count("replay.queries", static_cast<double>(result.queries.size()));
   return result;
 }
 

@@ -6,6 +6,8 @@
 
 #include "common/check.hpp"
 #include "common/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace perdnn {
 
@@ -118,6 +120,8 @@ RandomForestEstimator::RandomForestEstimator(
 
 void RandomForestEstimator::train(const std::vector<ProfileRecord>& records,
                                   Rng& rng) {
+  PERDNN_SPAN("estimator.train");
+  obs::count("estimator.train_records", static_cast<double>(records.size()));
   PERDNN_CHECK(!records.empty());
   models_.clear();
 
@@ -143,6 +147,7 @@ void RandomForestEstimator::train(const std::vector<ProfileRecord>& records,
 Seconds RandomForestEstimator::estimate(const LayerSpec& layer,
                                         Bytes input_bytes,
                                         const GpuStats& stats) const {
+  obs::count("estimator.estimates");
   PERDNN_CHECK_MSG(global_ != nullptr, "estimate() before train()");
   const Vector feats = combined_features(layer, input_bytes, stats);
   const auto it = models_.find(layer.kind);

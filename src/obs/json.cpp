@@ -1,0 +1,378 @@
+#include "obs/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace perdnn::obs {
+
+void json_escape(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value))
+    throw std::invalid_argument("JSON cannot represent NaN/Inf");
+  if (value == static_cast<double>(static_cast<std::int64_t>(value)) &&
+      std::abs(value) < 9.0e18) {
+    return std::to_string(static_cast<std::int64_t>(value));
+  }
+  // Shortest representation that round-trips a double.
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  double parsed = 0.0;
+  for (int precision = 15; precision <= 16; ++precision) {
+    char candidate[32];
+    std::snprintf(candidate, sizeof candidate, "%.*g", precision, value);
+    std::sscanf(candidate, "%lf", &parsed);
+    if (parsed == value) return candidate;
+  }
+  return buf;
+}
+
+JsonValue JsonValue::make_null() { return {}; }
+
+JsonValue JsonValue::make_bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::make_number(double n) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = n;
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.items_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::make_object(
+    std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.members_ = std::move(members);
+  return v;
+}
+
+namespace {
+[[noreturn]] void kind_error(const char* want) {
+  throw std::runtime_error(std::string("JSON value is not a ") + want);
+}
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) kind_error("bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (kind_ != Kind::kNumber) kind_error("number");
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::kString) kind_error("string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (kind_ != Kind::kArray) kind_error("array");
+  return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  if (kind_ != Kind::kObject) kind_error("object");
+  return members_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+std::string JsonValue::serialize() const {
+  std::string out;
+  switch (kind_) {
+    case Kind::kNull: out = "null"; break;
+    case Kind::kBool: out = bool_ ? "true" : "false"; break;
+    case Kind::kNumber: out = json_number(number_); break;
+    case Kind::kString: json_escape(out, string_); break;
+    case Kind::kArray: {
+      out.push_back('[');
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        out += items_[i].serialize();
+      }
+      out.push_back(']');
+      break;
+    }
+    case Kind::kObject: {
+      out.push_back('{');
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        json_escape(out, members_[i].first);
+        out.push_back(':');
+        out += members_[i].second.serialize();
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("JSON parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue::make_string(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return JsonValue::make_bool(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return JsonValue::make_bool(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue::make_null();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    std::vector<std::pair<std::string, JsonValue>> members;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue::make_object(std::move(members));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      members.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return JsonValue::make_object(std::move(members));
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue::make_array(std::move(items));
+    }
+    while (true) {
+      items.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return JsonValue::make_array(std::move(items));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("unescaped control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              fail("bad \\u escape digit");
+          }
+          // Our exports only escape control characters; encode the code
+          // point as UTF-8 (BMP only, surrogates rejected).
+          if (code >= 0xd800 && code <= 0xdfff)
+            fail("surrogate escapes unsupported");
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          } else {
+            out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          }
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (pos_ >= text_.size() || !std::isdigit(text_[pos_]))
+      fail("bad number");
+    while (pos_ < text_.size() && std::isdigit(text_[pos_])) ++pos_;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(text_[pos_]))
+        fail("bad fraction");
+      while (pos_ < text_.size() && std::isdigit(text_[pos_])) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(text_[pos_]))
+        fail("bad exponent");
+      while (pos_ < text_.size() && std::isdigit(text_[pos_])) ++pos_;
+    }
+    double value = 0.0;
+    // from_chars takes an explicit end: sscanf/strtod would scan (strlen!)
+    // from `start` to the end of the document on every number, turning the
+    // whole parse quadratic.
+    const auto [ptr, ec] = std::from_chars(text_.data() + start,
+                                           text_.data() + pos_, value);
+    if (ec != std::errc() || ptr != text_.data() + pos_)
+      fail("unparsable number");
+    return JsonValue::make_number(value);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+bool is_valid_json(const std::string& text) {
+  try {
+    parse_json(text);
+    return true;
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+}
+
+}  // namespace perdnn::obs

@@ -1,0 +1,75 @@
+// Minimal JSON support for the observability exports: a writer with correct
+// string escaping and deterministic number formatting, plus a small
+// recursive-descent parser used by the self-check tests to round-trip every
+// export (metrics registry, span traces, simulation timeseries) and prove
+// the emitted text is well-formed.
+//
+// This is deliberately not a general-purpose JSON library: no comments, no
+// NaN/Inf (rejected on write and on parse), objects keep insertion order so
+// serialize(parse(s)) is the identity on our own canonical output.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace perdnn::obs {
+
+/// Appends `s` as a JSON string literal (with quotes) to `out`.
+void json_escape(std::string& out, const std::string& s);
+
+/// Formats a double deterministically: integral values within int64 range
+/// print without a fraction, everything else with shortest round-trip
+/// precision. Throws std::invalid_argument on NaN/Inf (JSON has neither).
+std::string json_number(double value);
+
+/// Parsed JSON value. Objects preserve key order.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+  static JsonValue make_null();
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double n);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+
+  /// Canonical serialization (no whitespace, members in stored order).
+  std::string serialize() const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses a complete JSON document. Throws std::runtime_error with a byte
+/// offset on malformed input (trailing garbage included).
+JsonValue parse_json(const std::string& text);
+
+/// True iff `text` parses as JSON. Convenience for validation-only call
+/// sites that do not need the value.
+bool is_valid_json(const std::string& text);
+
+}  // namespace perdnn::obs

@@ -1,0 +1,289 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+#include "obs/json.hpp"
+
+namespace perdnn::obs {
+
+namespace {
+std::atomic<bool> g_enabled{false};
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+std::vector<double> Histogram::default_bounds() {
+  // 1 us .. 100 s, three buckets per decade (1, 2.5, 5 pattern).
+  std::vector<double> bounds;
+  for (double decade = 1e-6; decade < 1e2 * 1.5; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 2.5);
+    bounds.push_back(decade * 5.0);
+  }
+  return bounds;
+}
+
+Histogram::Histogram(std::vector<double> bounds,
+                     std::size_t max_exact_samples)
+    : bounds_(std::move(bounds)),
+      counts_(bounds_.size() + 1, 0),
+      max_exact_samples_(max_exact_samples) {
+  PERDNN_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                   "histogram bucket bounds must be sorted");
+}
+
+void Histogram::observe(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  if (samples_.size() < max_exact_samples_) {
+    samples_.push_back(v);
+  } else if (!samples_.empty() && count_ > max_exact_samples_) {
+    // Reservoir no longer covers the stream; exact quantiles are over.
+    samples_.clear();
+    samples_.shrink_to_fit();
+  }
+}
+
+std::uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double Histogram::quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quantile_locked(q);
+}
+
+double Histogram::quantile_locked(double q) const {
+  PERDNN_CHECK(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return 0.0;
+  if (count_ <= max_exact_samples_ && samples_.size() == count_)
+    return percentile(samples_, q * 100.0);
+
+  // Streaming path: linear interpolation inside the bucket holding the
+  // target rank, clamped to the observed min/max.
+  const double rank = q * static_cast<double>(count_ - 1);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const double lo_rank = static_cast<double>(seen);
+    seen += counts_[b];
+    const double hi_rank = static_cast<double>(seen - 1);
+    if (rank > hi_rank) continue;
+    const double lo =
+        b == 0 ? min_ : std::max(min_, bounds_[b - 1]);
+    const double hi =
+        b < bounds_.size() ? std::min(max_, bounds_[b]) : max_;
+    if (hi_rank <= lo_rank) return std::clamp(lo, min_, max_);
+    const double frac = (rank - lo_rank) / (hi_rank - lo_rank);
+    return std::clamp(lo + (hi - lo) * frac, min_, max_);
+  }
+  return max_;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts = counts_;
+  snap.count = count_;
+  snap.sum = sum_;
+  snap.min = min_;
+  snap.max = max_;
+  return snap;
+}
+
+Registry& Registry::global() {
+  static Registry* registry = new Registry;  // leaked: outlives all users
+  return *registry;
+}
+
+std::string label_key(const Labels& labels) {
+  Labels sorted = labels;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Label& a, const Label& b) { return a.key < b.key; });
+  std::string out;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += sorted[i].key;
+    out.push_back('=');
+    out += sorted[i].value;
+  }
+  return out;
+}
+
+Registry::Series& Registry::series(const std::string& name,
+                                   const Labels& labels, MetricKind kind,
+                                   std::vector<double>* bounds) {
+  std::string key = name;
+  key.push_back('\0');
+  key += label_key(labels);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = series_.find(key);
+  if (it != series_.end()) {
+    PERDNN_CHECK_MSG(it->second.kind == kind,
+                     "metric '" << name << "' re-registered as another kind");
+    return it->second;
+  }
+  Series s;
+  s.name = name;
+  s.labels = labels;
+  std::stable_sort(s.labels.begin(), s.labels.end(),
+                   [](const Label& a, const Label& b) { return a.key < b.key; });
+  s.kind = kind;
+  switch (kind) {
+    case MetricKind::kCounter: s.counter = std::make_unique<Counter>(); break;
+    case MetricKind::kGauge: s.gauge = std::make_unique<Gauge>(); break;
+    case MetricKind::kHistogram:
+      s.histogram = std::make_unique<Histogram>(
+          bounds != nullptr ? std::move(*bounds) : Histogram::default_bounds());
+      break;
+  }
+  return series_.emplace(std::move(key), std::move(s)).first->second;
+}
+
+Counter& Registry::counter(const std::string& name, const Labels& labels) {
+  return *series(name, labels, MetricKind::kCounter, nullptr).counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const Labels& labels) {
+  return *series(name, labels, MetricKind::kGauge, nullptr).gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name, const Labels& labels,
+                               std::vector<double> bounds) {
+  return *series(name, labels, MetricKind::kHistogram, &bounds).histogram;
+}
+
+namespace {
+
+JsonValue labels_json(const Labels& labels) {
+  std::vector<std::pair<std::string, JsonValue>> members;
+  members.reserve(labels.size());
+  for (const Label& l : labels)
+    members.emplace_back(l.key, JsonValue::make_string(l.value));
+  return JsonValue::make_object(std::move(members));
+}
+
+}  // namespace
+
+std::string Registry::to_json() const {
+  std::vector<JsonValue> counters, gauges, histograms;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // series_ is an ordered map keyed by (name, labels): iteration order is
+    // already the deterministic export order.
+    for (const auto& [key, s] : series_) {
+      std::vector<std::pair<std::string, JsonValue>> m;
+      m.emplace_back("name", JsonValue::make_string(s.name));
+      m.emplace_back("labels", labels_json(s.labels));
+      switch (s.kind) {
+        case MetricKind::kCounter:
+          m.emplace_back("value", JsonValue::make_number(s.counter->value()));
+          counters.push_back(JsonValue::make_object(std::move(m)));
+          break;
+        case MetricKind::kGauge:
+          m.emplace_back("value", JsonValue::make_number(s.gauge->value()));
+          gauges.push_back(JsonValue::make_object(std::move(m)));
+          break;
+        case MetricKind::kHistogram: {
+          const HistogramSnapshot snap = s.histogram->snapshot();
+          m.emplace_back("count", JsonValue::make_number(
+                                      static_cast<double>(snap.count)));
+          m.emplace_back("sum", JsonValue::make_number(snap.sum));
+          m.emplace_back("min", JsonValue::make_number(snap.min));
+          m.emplace_back("max", JsonValue::make_number(snap.max));
+          m.emplace_back("mean",
+                         JsonValue::make_number(
+                             snap.count ? snap.sum /
+                                              static_cast<double>(snap.count)
+                                        : 0.0));
+          m.emplace_back("p50",
+                         JsonValue::make_number(s.histogram->quantile(0.5)));
+          m.emplace_back("p90",
+                         JsonValue::make_number(s.histogram->quantile(0.9)));
+          m.emplace_back("p99",
+                         JsonValue::make_number(s.histogram->quantile(0.99)));
+          std::vector<JsonValue> buckets;
+          for (std::size_t b = 0; b < snap.counts.size(); ++b) {
+            if (snap.counts[b] == 0) continue;  // sparse export
+            std::vector<std::pair<std::string, JsonValue>> bucket;
+            bucket.emplace_back(
+                "le", b < snap.bounds.size()
+                          ? JsonValue::make_number(snap.bounds[b])
+                          : JsonValue::make_string("+inf"));
+            bucket.emplace_back("count",
+                                JsonValue::make_number(
+                                    static_cast<double>(snap.counts[b])));
+            buckets.push_back(JsonValue::make_object(std::move(bucket)));
+          }
+          m.emplace_back("buckets", JsonValue::make_array(std::move(buckets)));
+          histograms.push_back(JsonValue::make_object(std::move(m)));
+          break;
+        }
+      }
+    }
+  }
+  std::vector<std::pair<std::string, JsonValue>> doc;
+  doc.emplace_back("counters", JsonValue::make_array(std::move(counters)));
+  doc.emplace_back("gauges", JsonValue::make_array(std::move(gauges)));
+  doc.emplace_back("histograms",
+                   JsonValue::make_array(std::move(histograms)));
+  return JsonValue::make_object(std::move(doc)).serialize();
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  series_.clear();
+}
+
+void count(const char* name, double v) {
+  if (!enabled()) return;
+  Registry::global().counter(name).add(v);
+}
+
+void count(const char* name, double v, const Labels& labels) {
+  if (!enabled()) return;
+  Registry::global().counter(name, labels).add(v);
+}
+
+void set_gauge(const char* name, double v, const Labels& labels) {
+  if (!enabled()) return;
+  Registry::global().gauge(name, labels).set(v);
+}
+
+void observe(const char* name, double v) {
+  if (!enabled()) return;
+  Registry::global().histogram(name).observe(v);
+}
+
+void observe(const char* name, double v, const Labels& labels) {
+  if (!enabled()) return;
+  Registry::global().histogram(name, labels).observe(v);
+}
+
+}  // namespace perdnn::obs

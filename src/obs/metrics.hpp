@@ -1,0 +1,169 @@
+// Lightweight metric registry: named counters, gauges and histograms with
+// optional labels (server_id, model, policy, ...), designed so that
+// instrumented hot paths cost a single relaxed atomic load when collection
+// is disabled (the default).
+//
+// Usage at an instrumentation site:
+//
+//   obs::count("partition.plans");                       // counter += 1
+//   obs::observe("replay.query_latency_s", latency);     // histogram sample
+//   obs::count("sim.migration.bytes", bytes, {{"server", "12"}});
+//
+// Collection is opt-in: nothing is recorded until obs::set_enabled(true)
+// (the CLI's --metrics-out flag, the benches' dump modes, and the tests do
+// this). Handles returned by Registry::counter()/gauge()/histogram() stay
+// valid for the registry's lifetime, so call sites may cache them.
+//
+// Export is deterministic: metric families sorted by name, series within a
+// family sorted by their canonical label string, labels sorted by key —
+// two runs with the same seed produce byte-identical JSON.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace perdnn::obs {
+
+/// Global collection switch. Off by default; instrumented code paths are a
+/// relaxed atomic load + branch while off.
+bool enabled();
+void set_enabled(bool on);
+
+/// One metric label. Series are keyed by (metric name, sorted label set).
+struct Label {
+  std::string key;
+  std::string value;
+};
+using Labels = std::vector<Label>;
+
+/// Monotonically increasing sum. Thread-safe, lock-free.
+class Counter {
+ public:
+  void add(double v = 1.0) { value_.fetch_add(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Last-written value. Thread-safe, lock-free.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Point-in-time view of a histogram.
+struct HistogramSnapshot {
+  std::vector<double> bounds;         ///< inclusive upper bounds per bucket
+  std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 (+inf overflow)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Fixed-bucket histogram with exact small-sample quantiles: the first
+/// `max_exact_samples` observations are retained verbatim, so quantile()
+/// matches perdnn::percentile() bit-for-bit until the reservoir fills; past
+/// that it falls back to linear interpolation inside the fixed buckets
+/// (streaming, bounded memory). Thread-safe via an internal mutex.
+class Histogram {
+ public:
+  /// Default bounds suit span durations in seconds: 1 us .. ~100 s,
+  /// roughly 3 buckets per decade.
+  static std::vector<double> default_bounds();
+
+  explicit Histogram(std::vector<double> bounds = default_bounds(),
+                     std::size_t max_exact_samples = 4096);
+
+  void observe(double v);
+
+  std::uint64_t count() const;
+  double sum() const;
+  double mean() const;
+
+  /// q in [0, 1]. Exact while the sample reservoir holds every observation,
+  /// bucket-interpolated afterwards; 0 when empty.
+  double quantile(double q) const;
+
+  HistogramSnapshot snapshot() const;
+
+ private:
+  double quantile_locked(double q) const;
+
+  mutable std::mutex mu_;
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;  // bounds_.size() + 1
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::size_t max_exact_samples_;
+  std::vector<double> samples_;  // cleared once count_ > max_exact_samples_
+};
+
+/// Owns every metric series. Series are created on first touch and live as
+/// long as the registry; lookups are guarded by a mutex, the returned
+/// objects synchronize themselves.
+class Registry {
+ public:
+  /// The process-wide registry used by the obs::count/observe helpers and
+  /// the PERDNN_SPAN histograms.
+  static Registry& global();
+
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  /// `bounds` applies only on first creation of the series.
+  Histogram& histogram(const std::string& name, const Labels& labels = {},
+                       std::vector<double> bounds = Histogram::default_bounds());
+
+  /// Deterministic JSON document:
+  /// {"counters":[{name,labels,value}...],
+  ///  "gauges":[...],
+  ///  "histograms":[{name,labels,count,sum,min,max,mean,p50,p90,p99,
+  ///                 buckets:[{le,count}...]}...]}
+  std::string to_json() const;
+
+  /// Drops every series (tests; CLI before a run).
+  void reset();
+
+ private:
+  enum class MetricKind { kCounter, kGauge, kHistogram };
+  struct Series {
+    std::string name;
+    Labels labels;  // sorted by key
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Series& series(const std::string& name, const Labels& labels,
+                 MetricKind kind, std::vector<double>* bounds);
+
+  mutable std::mutex mu_;
+  // Key: name + '\0' + canonical label string — ordered, so export order is
+  // the iteration order.
+  std::map<std::string, Series> series_;
+};
+
+/// Canonical "k1=v1,k2=v2" form with keys sorted (stable label order).
+std::string label_key(const Labels& labels);
+
+/// Convenience recorders; no-ops while collection is disabled.
+void count(const char* name, double v = 1.0);
+void count(const char* name, double v, const Labels& labels);
+void set_gauge(const char* name, double v, const Labels& labels = {});
+void observe(const char* name, double v);
+void observe(const char* name, double v, const Labels& labels);
+
+}  // namespace perdnn::obs

@@ -1,0 +1,217 @@
+#include "obs/timeseries.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "obs/json.hpp"
+
+namespace perdnn::obs {
+
+void SimTimeseries::start(int num_servers, double interval_length_s) {
+  PERDNN_CHECK(num_servers >= 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  num_servers_ = num_servers;
+  interval_length_s_ = interval_length_s;
+  current_interval_ = -1;
+  interval_open_ = false;
+  current_.clear();
+  rows_.clear();
+}
+
+void SimTimeseries::begin_interval(int interval_index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PERDNN_CHECK_MSG(!interval_open_, "previous interval still open");
+  PERDNN_CHECK_MSG(interval_index == current_interval_ + 1,
+                   "intervals must be recorded in order");
+  current_interval_ = interval_index;
+  interval_open_ = true;
+  current_.assign(static_cast<std::size_t>(num_servers_), TimeseriesRow{});
+  for (int s = 0; s < num_servers_; ++s) {
+    current_[static_cast<std::size_t>(s)].interval = interval_index;
+    current_[static_cast<std::size_t>(s)].server = s;
+  }
+}
+
+namespace {
+TimeseriesRow& row_for(std::vector<TimeseriesRow>& current, int server) {
+  PERDNN_CHECK_MSG(
+      server >= 0 && server < static_cast<int>(current.size()),
+      "timeseries server id " << server << " out of range");
+  return current[static_cast<std::size_t>(server)];
+}
+}  // namespace
+
+void SimTimeseries::record_attach(int server, int hits, int partials,
+                                  int misses) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PERDNN_CHECK(interval_open_);
+  TimeseriesRow& row = row_for(current_, server);
+  row.hits += hits;
+  row.partials += partials;
+  row.misses += misses;
+}
+
+void SimTimeseries::record_cold_queries(int server, long long queries,
+                                        double latency_sum_s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PERDNN_CHECK(interval_open_);
+  TimeseriesRow& row = row_for(current_, server);
+  row.cold_window_queries += queries;
+  row.cold_latency_sum_s += latency_sum_s;
+}
+
+void SimTimeseries::record_migration(int from, int to, std::int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PERDNN_CHECK(interval_open_);
+  PERDNN_CHECK(bytes >= 0);
+  row_for(current_, from).migration_orders += 1;
+  row_for(current_, from).uplink_bytes += bytes;
+  row_for(current_, to).downlink_bytes += bytes;
+}
+
+void SimTimeseries::record_predictor_sample(int server, double abs_error_m) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PERDNN_CHECK(interval_open_);
+  TimeseriesRow& row = row_for(current_, server);
+  row.predictor_samples += 1;
+  row.predictor_error_sum_m += abs_error_m;
+}
+
+void SimTimeseries::set_attached(const std::vector<int>& attached_per_server) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PERDNN_CHECK(interval_open_);
+  PERDNN_CHECK(attached_per_server.size() ==
+               static_cast<std::size_t>(num_servers_));
+  for (int s = 0; s < num_servers_; ++s)
+    current_[static_cast<std::size_t>(s)].attached =
+        attached_per_server[static_cast<std::size_t>(s)];
+}
+
+void SimTimeseries::end_interval() {
+  std::lock_guard<std::mutex> lock(mu_);
+  PERDNN_CHECK(interval_open_);
+  interval_open_ = false;
+  rows_.insert(rows_.end(), current_.begin(), current_.end());
+  current_.clear();
+}
+
+int SimTimeseries::num_servers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_servers_;
+}
+
+int SimTimeseries::num_intervals() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_servers_ > 0
+             ? static_cast<int>(rows_.size()) / num_servers_
+             : 0;
+}
+
+double SimTimeseries::interval_length_s() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return interval_length_s_;
+}
+
+std::vector<TimeseriesRow> SimTimeseries::rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rows_;
+}
+
+#define PERDNN_TS_SUM(type, name, field)          \
+  type SimTimeseries::name() const {              \
+    std::lock_guard<std::mutex> lock(mu_);        \
+    type total = 0;                               \
+    for (const TimeseriesRow& r : rows_) total += r.field; \
+    return total;                                 \
+  }
+
+PERDNN_TS_SUM(long long, total_hits, hits)
+PERDNN_TS_SUM(long long, total_partials, partials)
+PERDNN_TS_SUM(long long, total_misses, misses)
+PERDNN_TS_SUM(long long, total_cold_window_queries, cold_window_queries)
+PERDNN_TS_SUM(std::int64_t, total_uplink_bytes, uplink_bytes)
+PERDNN_TS_SUM(std::int64_t, total_downlink_bytes, downlink_bytes)
+
+#undef PERDNN_TS_SUM
+
+const char* SimTimeseries::csv_header() {
+  return "interval,server,attached,hits,partials,misses,"
+         "cold_window_queries,cold_latency_sum_s,uplink_bytes,"
+         "downlink_bytes,migration_orders,predictor_samples,"
+         "predictor_error_sum_m";
+}
+
+void SimTimeseries::write_csv(std::ostream& out) const {
+  std::vector<TimeseriesRow> rows;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rows = rows_;
+  }
+  out << csv_header() << '\n';
+  for (const TimeseriesRow& r : rows) {
+    out << r.interval << ',' << r.server << ',' << r.attached << ','
+        << r.hits << ',' << r.partials << ',' << r.misses << ','
+        << r.cold_window_queries << ','
+        << json_number(r.cold_latency_sum_s) << ',' << r.uplink_bytes << ','
+        << r.downlink_bytes << ',' << r.migration_orders << ','
+        << r.predictor_samples << ','
+        << json_number(r.predictor_error_sum_m) << '\n';
+  }
+}
+
+std::string SimTimeseries::to_json() const {
+  std::vector<TimeseriesRow> rows;
+  int num_servers;
+  double interval_length;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rows = rows_;
+    num_servers = num_servers_;
+    interval_length = interval_length_s_;
+  }
+  std::vector<JsonValue> items;
+  items.reserve(rows.size());
+  for (const TimeseriesRow& r : rows) {
+    std::vector<std::pair<std::string, JsonValue>> m;
+    m.emplace_back("interval", JsonValue::make_number(r.interval));
+    m.emplace_back("server", JsonValue::make_number(r.server));
+    m.emplace_back("attached", JsonValue::make_number(r.attached));
+    m.emplace_back("hits", JsonValue::make_number(r.hits));
+    m.emplace_back("partials", JsonValue::make_number(r.partials));
+    m.emplace_back("misses", JsonValue::make_number(r.misses));
+    m.emplace_back("cold_window_queries",
+                   JsonValue::make_number(
+                       static_cast<double>(r.cold_window_queries)));
+    m.emplace_back("cold_latency_sum_s",
+                   JsonValue::make_number(r.cold_latency_sum_s));
+    m.emplace_back("uplink_bytes",
+                   JsonValue::make_number(
+                       static_cast<double>(r.uplink_bytes)));
+    m.emplace_back("downlink_bytes",
+                   JsonValue::make_number(
+                       static_cast<double>(r.downlink_bytes)));
+    m.emplace_back("migration_orders",
+                   JsonValue::make_number(r.migration_orders));
+    m.emplace_back("predictor_samples",
+                   JsonValue::make_number(r.predictor_samples));
+    m.emplace_back("predictor_error_sum_m",
+                   JsonValue::make_number(r.predictor_error_sum_m));
+    items.push_back(JsonValue::make_object(std::move(m)));
+  }
+  std::vector<std::pair<std::string, JsonValue>> doc;
+  doc.emplace_back("interval_length_s",
+                   JsonValue::make_number(interval_length));
+  doc.emplace_back("num_servers", JsonValue::make_number(num_servers));
+  doc.emplace_back("num_intervals",
+                   JsonValue::make_number(
+                       num_servers > 0
+                           ? static_cast<double>(rows.size()) / num_servers
+                           : 0.0));
+  doc.emplace_back("rows", JsonValue::make_array(std::move(items)));
+  return JsonValue::make_object(std::move(doc)).serialize();
+}
+
+void SimTimeseries::write_json(std::ostream& out) const { out << to_json(); }
+
+}  // namespace perdnn::obs

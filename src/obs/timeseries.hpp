@@ -1,0 +1,111 @@
+// Per-interval, per-server simulation timeseries (the data behind the
+// paper's Fig 9 / Fig 10 / Table II readings, before it is collapsed into
+// the flat SimulationMetrics aggregate).
+//
+// The simulator drives the recorder through begin_interval()/end_interval()
+// and the record_* hooks; after the run, rows() holds exactly
+// num_intervals * num_servers rows (including all-zero rows, so consumers
+// can reshape into a dense [interval][server] matrix), and the exports
+// reconcile with SimulationMetrics:
+//
+//   sum(hits/partials/misses)        == metrics.hits/partials/misses
+//   sum(cold_window_queries)         == metrics.cold_window_queries
+//   sum(uplink_bytes)                == metrics.total_migrated_bytes
+//   sum(uplink_bytes)                == sum(downlink_bytes)
+//
+// Export formats:
+//   CSV  — one header line, one line per (interval, server), rows ordered
+//          by interval then server (deterministic across runs).
+//   JSON — {"interval_length_s","num_servers","num_intervals","rows":[...]}
+//          with the same ordering.
+//
+// Thread-safe: the record hooks take an internal mutex (the simulator is
+// single-threaded today, but benches may parallelise policy runs).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace perdnn::obs {
+
+struct TimeseriesRow {
+  int interval = 0;
+  int server = 0;
+  /// Clients attached to this server at the end of the interval.
+  int attached = 0;
+  // Cold-start classifications of re-attachments to this server during the
+  // interval (hit: all plan layers cached; partial: some; miss: none).
+  int hits = 0;
+  int partials = 0;
+  int misses = 0;
+  /// Queries completed inside cold-start windows opened at this server.
+  long long cold_window_queries = 0;
+  /// Summed end-to-end latency of those queries (seconds).
+  double cold_latency_sum_s = 0.0;
+  /// Backhaul bytes sent from / received by this server (proactive
+  /// migration), attributed like TrafficAccountant.
+  std::int64_t uplink_bytes = 0;
+  std::int64_t downlink_bytes = 0;
+  /// Migration orders issued with this server as the source (including
+  /// orders fully deduplicated at the receiver, which move no bytes).
+  int migration_orders = 0;
+  /// Mobility-predictor error meters, attributed to the predicted client's
+  /// current server: |predicted - actual next position| in metres.
+  int predictor_samples = 0;
+  double predictor_error_sum_m = 0.0;
+};
+
+class SimTimeseries {
+ public:
+  /// Must be called before the first interval. Resets prior state.
+  void start(int num_servers, double interval_length_s);
+
+  void begin_interval(int interval_index);
+  void record_attach(int server, int hits, int partials, int misses);
+  void record_cold_queries(int server, long long queries,
+                           double latency_sum_s);
+  /// One migration order from `from` to `to`; `bytes` may be 0 when the
+  /// receiver already held every layer (TTL refresh only).
+  void record_migration(int from, int to, std::int64_t bytes);
+  void record_predictor_sample(int server, double abs_error_m);
+  /// Attached-client counts at the end of the open interval.
+  void set_attached(const std::vector<int>& attached_per_server);
+  void end_interval();
+
+  int num_servers() const;
+  int num_intervals() const;
+  double interval_length_s() const;
+
+  /// All finished rows, ordered by (interval, server); size is always
+  /// num_intervals() * num_servers().
+  std::vector<TimeseriesRow> rows() const;
+
+  // Whole-run aggregates (for reconciliation checks).
+  long long total_hits() const;
+  long long total_partials() const;
+  long long total_misses() const;
+  long long total_cold_window_queries() const;
+  std::int64_t total_uplink_bytes() const;
+  std::int64_t total_downlink_bytes() const;
+
+  /// Column order of write_csv, comma-joined in the header line.
+  static const char* csv_header();
+
+  void write_csv(std::ostream& out) const;
+  void write_json(std::ostream& out) const;
+  std::string to_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  int num_servers_ = 0;
+  double interval_length_s_ = 0.0;
+  int current_interval_ = -1;
+  bool interval_open_ = false;
+  std::vector<TimeseriesRow> current_;  // one per server
+  std::vector<TimeseriesRow> rows_;     // finished, (interval, server) order
+};
+
+}  // namespace perdnn::obs

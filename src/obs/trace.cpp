@@ -1,0 +1,137 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <thread>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace perdnn::obs {
+
+namespace {
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+thread_local int t_span_depth = 0;
+
+}  // namespace
+
+Tracer& Tracer::global() {
+  static Tracer* tracer = new Tracer;  // leaked: outlives all users
+  return *tracer;
+}
+
+void Tracer::start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+    thread_hashes_.clear();
+  }
+  origin_ns_.store(steady_ns(), std::memory_order_relaxed);
+  active_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::stop() { active_.store(false, std::memory_order_relaxed); }
+
+double Tracer::now_us() const {
+  const std::int64_t origin = origin_ns_.load(std::memory_order_relaxed);
+  if (origin == 0) return 0.0;
+  return static_cast<double>(steady_ns() - origin) / 1e3;
+}
+
+int Tracer::thread_index_locked() {
+  const std::uint64_t h =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  for (std::size_t i = 0; i < thread_hashes_.size(); ++i)
+    if (thread_hashes_[i] == h) return static_cast<int>(i);
+  thread_hashes_.push_back(h);
+  return static_cast<int>(thread_hashes_.size() - 1);
+}
+
+void Tracer::record(const std::string& name, double ts_us, double dur_us,
+                    int depth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(
+      {name, ts_us, dur_us, thread_index_locked(), depth});
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::size_t Tracer::num_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  thread_hashes_.clear();
+}
+
+std::string Tracer::to_chrome_json() const {
+  std::vector<TraceEvent> sorted = events();
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                     return a.name < b.name;
+                   });
+  std::vector<JsonValue> items;
+  items.reserve(sorted.size());
+  for (const TraceEvent& e : sorted) {
+    std::vector<std::pair<std::string, JsonValue>> m;
+    m.emplace_back("name", JsonValue::make_string(e.name));
+    m.emplace_back("cat", JsonValue::make_string("perdnn"));
+    m.emplace_back("ph", JsonValue::make_string("X"));
+    m.emplace_back("ts", JsonValue::make_number(e.ts_us));
+    m.emplace_back("dur", JsonValue::make_number(e.dur_us));
+    m.emplace_back("pid", JsonValue::make_number(0));
+    m.emplace_back("tid", JsonValue::make_number(e.tid));
+    std::vector<std::pair<std::string, JsonValue>> args;
+    args.emplace_back("depth",
+                      JsonValue::make_number(static_cast<double>(e.depth)));
+    m.emplace_back("args", JsonValue::make_object(std::move(args)));
+    items.push_back(JsonValue::make_object(std::move(m)));
+  }
+  std::vector<std::pair<std::string, JsonValue>> doc;
+  doc.emplace_back("traceEvents", JsonValue::make_array(std::move(items)));
+  doc.emplace_back("displayTimeUnit", JsonValue::make_string("ms"));
+  return JsonValue::make_object(std::move(doc)).serialize();
+}
+
+Span::Span(const char* name) {
+  const bool tracing = Tracer::global().active();
+  if (!tracing && !enabled()) return;  // fully dark: no clock read
+  armed_ = true;
+  name_ = name;
+  depth_ = ++t_span_depth;
+  start_ns_ = steady_ns();
+}
+
+Span::~Span() {
+  if (!armed_) return;
+  const std::int64_t end_ns = steady_ns();
+  const double dur_s = static_cast<double>(end_ns - start_ns_) / 1e9;
+  --t_span_depth;
+  // Duration histogram (metrics enabled) — seconds, default bounds.
+  if (enabled())
+    Registry::global().histogram(std::string("span.") + name_)
+        .observe(dur_s);
+  // Chrome trace event (tracer started).
+  Tracer& tracer = Tracer::global();
+  if (tracer.active()) {
+    const double dur_us = dur_s * 1e6;
+    const double end_us = tracer.now_us();
+    tracer.record(name_, end_us - dur_us, dur_us, depth_);
+  }
+}
+
+}  // namespace perdnn::obs

@@ -1,0 +1,99 @@
+// Zero-overhead-when-disabled span tracing.
+//
+//   void compute() {
+//     PERDNN_SPAN("partition.shortest_path");
+//     ...work...
+//   }
+//
+// A span measures the wall-clock duration of its scope. While neither the
+// tracer nor metric collection is active, constructing a span is two relaxed
+// atomic loads and a branch — safe in per-query hot paths. When active, a
+// finished span:
+//   * records a duration sample into the global registry histogram
+//     "span.<name>" (seconds), and
+//   * if the Tracer is started, appends a complete ("ph":"X") event for the
+//     chrome://tracing / Perfetto JSON export, with per-thread nesting depth.
+//
+// Thread-safe: spans may open and close concurrently on many threads; each
+// thread keeps its own nesting depth.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace perdnn::obs {
+
+/// One completed span, in microseconds since Tracer::start().
+struct TraceEvent {
+  std::string name;
+  double ts_us = 0.0;   ///< start timestamp
+  double dur_us = 0.0;  ///< duration
+  int tid = 0;          ///< dense per-process thread index
+  int depth = 0;        ///< nesting depth at the time the span opened (1 = top)
+};
+
+class Tracer {
+ public:
+  /// Process-wide tracer driving PERDNN_SPAN.
+  static Tracer& global();
+
+  /// Starts collection; resets the clock origin and drops prior events.
+  void start();
+  /// Stops collection; recorded events remain readable.
+  void stop();
+  bool active() const { return active_.load(std::memory_order_relaxed); }
+
+  /// Monotonic microseconds since start() (0 when never started).
+  double now_us() const;
+
+  /// Appends one completed event (called by Span's destructor).
+  void record(const std::string& name, double ts_us, double dur_us,
+              int depth);
+
+  std::vector<TraceEvent> events() const;
+  std::size_t num_events() const;
+  void clear();
+
+  /// Chrome trace-event JSON: {"traceEvents":[{"name","cat","ph":"X","ts",
+  /// "dur","pid","tid","args":{"depth"}}...]}. Events sorted by (ts, name)
+  /// so exports diff cleanly across identical runs.
+  std::string to_chrome_json() const;
+
+ private:
+  int thread_index_locked();
+
+  std::atomic<bool> active_{false};
+  std::atomic<std::int64_t> origin_ns_{0};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::vector<std::uint64_t> thread_hashes_;  // dense tid assignment
+};
+
+/// RAII span; see the file comment. Prefer the PERDNN_SPAN macro.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  int depth() const { return depth_; }
+
+ private:
+  const char* name_ = nullptr;
+  std::int64_t start_ns_ = 0;
+  int depth_ = 0;
+  bool armed_ = false;
+};
+
+#define PERDNN_SPAN_CONCAT2(a, b) a##b
+#define PERDNN_SPAN_CONCAT(a, b) PERDNN_SPAN_CONCAT2(a, b)
+/// Opens a span covering the rest of the enclosing scope.
+#define PERDNN_SPAN(name) \
+  ::perdnn::obs::Span PERDNN_SPAN_CONCAT(perdnn_span_, __LINE__)(name)
+
+}  // namespace perdnn::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace perdnn {
 
@@ -152,6 +154,8 @@ DpResult run_dp(const PartitionContext& context,
 
 PartitionPlan compute_best_plan(const PartitionContext& context,
                                 const std::vector<bool>* uploadable) {
+  PERDNN_SPAN("partition.shortest_path");
+  obs::count("partition.plans");
   check_context(context);
   const DnnModel& model = *context.model;
   const auto n = static_cast<std::size_t>(model.num_layers());
@@ -175,6 +179,7 @@ PartitionPlan compute_best_plan(const PartitionContext& context,
 
 Seconds plan_latency(const PartitionContext& context,
                      const std::vector<bool>& uploadable) {
+  obs::count("partition.plan_latency_calls");
   check_context(context);
   PERDNN_CHECK(uploadable.size() ==
                static_cast<std::size_t>(context.model->num_layers()));

@@ -6,6 +6,9 @@
 
 #include "common/check.hpp"
 #include "device/device_profile.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
 
 namespace perdnn {
 
@@ -17,6 +20,7 @@ double SimulationMetrics::hit_ratio() const {
 SimulationWorld build_world(const SimulationConfig& config,
                             const std::vector<Trajectory>& train_traces,
                             const std::vector<Trajectory>& test_traces) {
+  PERDNN_SPAN("sim.build_world");
   PERDNN_CHECK(!train_traces.empty() && !test_traces.empty());
   Rng rng(config.seed);
 
@@ -124,9 +128,11 @@ struct LoadLevelCache {
 
 class SimulatorImpl {
  public:
-  SimulatorImpl(const SimulationConfig& config, const SimulationWorld& world)
+  SimulatorImpl(const SimulationConfig& config, const SimulationWorld& world,
+                obs::SimTimeseries* timeseries)
       : config_(config),
         world_(world),
+        timeseries_(timeseries),
         rng_(config.seed ^ 0x5eedf00dULL),
         link_rng_(config.seed ^ 0x11bb77aaULL),
         traffic_(world.servers.num_servers(), world.interval),
@@ -181,7 +187,8 @@ class SimulatorImpl {
                                 const std::vector<bool>& initial_mask,
                                 const std::vector<LayerId>& pending,
                                 Seconds routed_latency, double link_factor,
-                                long long* routed_out) const;
+                                long long* routed_out,
+                                Seconds* latency_sum_out) const;
   /// Per-query latency of offloading to the previous server through the
   /// backhaul; kInfSeconds when unavailable.
   Seconds routed_path_latency(ClientId c, ServerId previous,
@@ -190,6 +197,7 @@ class SimulatorImpl {
 
   const SimulationConfig& config_;
   const SimulationWorld& world_;
+  obs::SimTimeseries* timeseries_;  // may be null (recording disabled)
   Rng rng_;
   Rng link_rng_;  // dedicated stream: jitter draws must not shift the
                   // stats/plan caches of non-jittered runs
@@ -274,7 +282,8 @@ Seconds SimulatorImpl::routed_path_latency(ClientId c, ServerId previous,
 long long SimulatorImpl::cold_window_queries(
     const LoadLevelCache& lvl, const std::vector<bool>& initial_mask,
     const std::vector<LayerId>& pending, Seconds routed_latency,
-    double link_factor, long long* routed_out) const {
+    double link_factor, long long* routed_out,
+    Seconds* latency_sum_out) const {
   const DnnModel& model = world_.model;
   // Execution sees the *actual* wireless rate of this attachment; the
   // master's plan was made against the nominal one.
@@ -314,6 +323,8 @@ long long SimulatorImpl::cold_window_queries(
     }
     if (now + latency > world_.interval) break;
     ++count;
+    if (latency_sum_out != nullptr) *latency_sum_out += latency;
+    obs::observe("sim.cold_window.query_latency_s", latency);
     now += latency + config_.query_gap;
   }
   return count;
@@ -364,22 +375,36 @@ void SimulatorImpl::handle_attach(ClientId c, ServerId sid,
       missing.push_back(id);
     }
   }
-  if (missing.empty()) {
+  const bool is_hit = missing.empty();
+  const bool is_miss = !is_hit && present == 0;
+  if (is_hit) {
     ++metrics_.hits;
-  } else if (present == 0) {
+    obs::count("sim.attach.hits");
+  } else if (is_miss) {
     ++metrics_.misses;
+    obs::count("sim.attach.misses");
   } else {
     ++metrics_.partials;
+    obs::count("sim.attach.partials");
   }
+  if (timeseries_ != nullptr)
+    timeseries_->record_attach(sid, is_hit ? 1 : 0,
+                               (!is_hit && !is_miss) ? 1 : 0,
+                               is_miss ? 1 : 0);
 
   client.pending = order_by_canonical(std::move(missing));
   // Mask the execution sees initially: any cached layer may be used, the
   // plan decides. The routed path (if enabled) competes per query.
   std::vector<bool> initial_mask = std::move(available);
   const Seconds routed = routed_path_latency(c, previous, interval_index);
-  metrics_.cold_window_queries +=
+  Seconds latency_sum = 0.0;
+  const long long queries =
       cold_window_queries(lvl, initial_mask, client.pending, routed,
-                          client.link_factor, &metrics_.routed_queries);
+                          client.link_factor, &metrics_.routed_queries,
+                          &latency_sum);
+  metrics_.cold_window_queries += queries;
+  if (timeseries_ != nullptr)
+    timeseries_->record_cold_queries(sid, queries, latency_sum);
 }
 
 void SimulatorImpl::advance_uploads(int interval_index) {
@@ -509,6 +534,7 @@ std::optional<Point> SimulatorImpl::predict_next(
 }
 
 void SimulatorImpl::proactive_migration(int interval_index) {
+  PERDNN_SPAN("sim.migrate");
   for (ClientId c = 0; c < static_cast<ClientId>(clients_.size()); ++c) {
     ClientState& client = clients_[static_cast<std::size_t>(c)];
     const auto& points = client.trace->points;
@@ -519,6 +545,16 @@ void SimulatorImpl::proactive_migration(int interval_index) {
     const std::optional<Point> predicted = predict_next(
         client, history, static_cast<std::size_t>(interval_index));
     if (!predicted) continue;
+    // Predictor error meter: the trace itself knows the actual next
+    // position, so every prediction yields one |predicted - actual| sample,
+    // attributed to the client's current server.
+    if (static_cast<std::size_t>(interval_index) + 1 < points.size()) {
+      const double error_m = distance(
+          *predicted, points[static_cast<std::size_t>(interval_index) + 1]);
+      obs::observe("sim.predictor.abs_error_m", error_m);
+      if (timeseries_ != nullptr)
+        timeseries_->record_predictor_sample(client.current, error_m);
+    }
     const std::vector<ServerId> targets =
         world_.servers.servers_within(*predicted, config_.migration_radius_m);
 
@@ -568,19 +604,31 @@ void SimulatorImpl::proactive_migration(int interval_index) {
       if (bytes > 0) {
         traffic_.record_transfer(client.current, target, bytes);
         metrics_.total_migrated_bytes += bytes;
+        obs::count("sim.migration.bytes", static_cast<double>(bytes));
       }
+      obs::count("sim.migration.orders");
+      // Recorded even when fully deduplicated (bytes == 0): the order was
+      // still issued, only the transfer was suppressed.
+      if (timeseries_ != nullptr)
+        timeseries_->record_migration(client.current, target, bytes);
     }
   }
 }
 
 SimulationMetrics SimulatorImpl::run() {
+  PERDNN_SPAN("sim.run");
   std::size_t num_intervals = 0;
   for (const auto& client : clients_)
     num_intervals = std::max(num_intervals, client.trace->points.size());
 
+  if (timeseries_ != nullptr)
+    timeseries_->start(world_.servers.num_servers(), world_.interval);
+
   for (std::size_t k = 0; k < num_intervals; ++k) {
+    PERDNN_SPAN("sim.interval");
     const int interval_index = static_cast<int>(k);
     traffic_.begin_interval();
+    if (timeseries_ != nullptr) timeseries_->begin_interval(interval_index);
 
     // 0) Failure injection (crashed servers lose caches and clients).
     inject_failures(interval_index);
@@ -612,6 +660,11 @@ SimulationMetrics SimulatorImpl::run() {
 
     // 4) TTL expiry.
     for (auto& cache : caches_) cache.expire(interval_index);
+
+    if (timeseries_ != nullptr) {
+      timeseries_->set_attached(attached_);
+      timeseries_->end_interval();
+    }
   }
   traffic_.finish();
 
@@ -636,7 +689,13 @@ SimulationMetrics SimulatorImpl::run() {
 
 SimulationMetrics run_simulation(const SimulationConfig& config,
                                  const SimulationWorld& world) {
-  SimulatorImpl impl(config, world);
+  return run_simulation(config, world, nullptr);
+}
+
+SimulationMetrics run_simulation(const SimulationConfig& config,
+                                 const SimulationWorld& world,
+                                 obs::SimTimeseries* timeseries) {
+  SimulatorImpl impl(config, world, timeseries);
   return impl.run();
 }
 

@@ -38,6 +38,10 @@
 
 namespace perdnn {
 
+namespace obs {
+class SimTimeseries;
+}  // namespace obs
+
 enum class MigrationPolicy {
   kNone,       ///< IONN baseline: never migrate; every re-attach is a miss
   kProactive,  ///< PerDNN: predict + migrate within radius r
@@ -125,7 +129,10 @@ struct SimulationMetrics {
   /// Cold-window queries served through the routed-to-previous-server path
   /// (only with routing_fallback).
   long long routed_queries = 0;
-  /// hit / (hit + miss), the paper's hit-ratio definition.
+  /// hit / (hit + miss), the paper's hit-ratio definition. When no cold
+  /// start was ever classified (hits + misses == 0 — e.g. a run with no
+  /// server changes, or a pure-partial run), the ratio is defined as 0.0
+  /// rather than 0/0.
   double hit_ratio() const;
 
   // Backhaul traffic (proactive policies only).
@@ -175,5 +182,14 @@ SimulationWorld build_world(const SimulationConfig& config,
 /// Runs one policy over a prebuilt world.
 SimulationMetrics run_simulation(const SimulationConfig& config,
                                  const SimulationWorld& world);
+
+/// Same, additionally streaming per-interval, per-server rows (cold-start
+/// classifications, cold-window query counts and latencies, backhaul bytes,
+/// migration orders, predictor error meters) into `timeseries` — the data
+/// behind the Fig 9/10 curves. Pass nullptr to disable recording; the
+/// simulation itself is identical either way.
+SimulationMetrics run_simulation(const SimulationConfig& config,
+                                 const SimulationWorld& world,
+                                 obs::SimTimeseries* timeseries);
 
 }  // namespace perdnn

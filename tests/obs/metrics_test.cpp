@@ -1,0 +1,188 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "obs/json.hpp"
+
+namespace perdnn::obs {
+namespace {
+
+/// Every test gets a clean, enabled registry and restores the disabled
+/// default on exit so the obs state never leaks across test binaries.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Registry::global().reset();
+    set_enabled(true);
+  }
+  void TearDown() override {
+    set_enabled(false);
+    Registry::global().reset();
+  }
+};
+
+TEST_F(MetricsTest, CounterAccumulates) {
+  Counter& c = Registry::global().counter("test.counter");
+  c.add();
+  c.add(2.5);
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+  // Same (name, labels) resolves to the same series.
+  EXPECT_EQ(&Registry::global().counter("test.counter"), &c);
+}
+
+TEST_F(MetricsTest, LabelsCreateDistinctSeries) {
+  Counter& a = Registry::global().counter("test.labeled",
+                                          {{"server", "1"}});
+  Counter& b = Registry::global().counter("test.labeled",
+                                          {{"server", "2"}});
+  EXPECT_NE(&a, &b);
+  a.add(1.0);
+  b.add(2.0);
+  EXPECT_DOUBLE_EQ(a.value(), 1.0);
+  EXPECT_DOUBLE_EQ(b.value(), 2.0);
+  // Label order must not matter: {a,b} and {b,a} are the same series.
+  Counter& fwd = Registry::global().counter(
+      "test.order", {{"model", "resnet"}, {"policy", "perdnn"}});
+  Counter& rev = Registry::global().counter(
+      "test.order", {{"policy", "perdnn"}, {"model", "resnet"}});
+  EXPECT_EQ(&fwd, &rev);
+}
+
+TEST_F(MetricsTest, LabelKeyIsSortedAndCanonical) {
+  EXPECT_EQ(label_key({}), "");
+  EXPECT_EQ(label_key({{"b", "2"}, {"a", "1"}}), "a=1,b=2");
+}
+
+TEST_F(MetricsTest, GaugeKeepsLastValue) {
+  Gauge& g = Registry::global().gauge("test.gauge");
+  g.set(4.0);
+  g.set(-1.5);
+  EXPECT_DOUBLE_EQ(g.value(), -1.5);
+}
+
+TEST_F(MetricsTest, HelpersAreNoOpsWhileDisabled) {
+  set_enabled(false);
+  count("test.dark");
+  observe("test.dark_histo", 1.0);
+  set_gauge("test.dark_gauge", 7.0);
+  set_enabled(true);
+  // The no-op helpers must not even have created the series: the export
+  // contains none of the names.
+  const std::string json = Registry::global().to_json();
+  EXPECT_EQ(json.find("test.dark"), std::string::npos);
+}
+
+TEST_F(MetricsTest, CounterIsThreadSafe) {
+  Counter& c = Registry::global().counter("test.mt");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_DOUBLE_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST_F(MetricsTest, HistogramQuantilesMatchPercentileExactly) {
+  // While the reservoir holds every sample, quantile() must agree
+  // bit-for-bit with the repo's reference percentile().
+  Histogram& h = Registry::global().histogram("test.quantiles");
+  Rng rng(7);
+  std::vector<double> samples;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(1e-6, 10.0);
+    samples.push_back(v);
+    h.observe(v);
+  }
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), percentile(samples, q * 100.0))
+        << "q=" << q;
+  }
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_DOUBLE_EQ(h.mean(), mean(samples));
+}
+
+TEST_F(MetricsTest, HistogramStreamingFallbackStaysBounded) {
+  // Past the reservoir cap the histogram switches to bucket interpolation;
+  // quantiles must stay within the observed range and monotone in q.
+  Histogram h({1.0, 2.0, 4.0, 8.0}, /*max_exact_samples=*/16);
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) h.observe(rng.uniform(0.5, 10.0));
+  double prev = h.quantile(0.0);
+  for (double q : {0.1, 0.5, 0.9, 0.99, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_GE(h.quantile(0.0), 0.5);
+  EXPECT_LE(h.quantile(1.0), 10.0);
+}
+
+TEST_F(MetricsTest, HistogramSnapshotBucketCountsSum) {
+  Histogram& h = Registry::global().histogram("test.snapshot");
+  for (int i = 0; i < 100; ++i) h.observe(0.001 * (i + 1));
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.counts.size(), snap.bounds.size() + 1);
+  std::uint64_t total = 0;
+  for (std::uint64_t c : snap.counts) total += c;
+  EXPECT_EQ(total, snap.count);
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_DOUBLE_EQ(snap.min, 0.001);
+  EXPECT_DOUBLE_EQ(snap.max, 0.1);
+}
+
+TEST_F(MetricsTest, KindMismatchThrows) {
+  Registry::global().counter("test.kind");
+  EXPECT_THROW(Registry::global().gauge("test.kind"), std::logic_error);
+}
+
+TEST_F(MetricsTest, ExportIsDeterministicAndSorted) {
+  // Touch series in deliberately unsorted order.
+  count("z.last");
+  count("a.first");
+  count("m.mid", 1.0, {{"server", "2"}});
+  count("m.mid", 1.0, {{"server", "1"}});
+  set_gauge("g.gauge", 3.0);
+  observe("h.histo", 0.01);
+
+  const std::string json1 = Registry::global().to_json();
+  const std::string json2 = Registry::global().to_json();
+  EXPECT_EQ(json1, json2);
+
+  const JsonValue doc = parse_json(json1);
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_NE(doc.find("counters"), nullptr);
+  ASSERT_NE(doc.find("gauges"), nullptr);
+  ASSERT_NE(doc.find("histograms"), nullptr);
+  const auto& counters = doc.find("counters")->items();
+  ASSERT_EQ(counters.size(), 4u);
+  EXPECT_EQ(doc.find("gauges")->items().size(), 1u);
+  EXPECT_EQ(doc.find("histograms")->items().size(), 1u);
+
+  // Families sorted by name; series within a family sorted by label string.
+  EXPECT_EQ(counters[0].find("name")->as_string(), "a.first");
+  EXPECT_EQ(counters[1].find("name")->as_string(), "m.mid");
+  EXPECT_EQ(counters[1].find("labels")->find("server")->as_string(), "1");
+  EXPECT_EQ(counters[2].find("name")->as_string(), "m.mid");
+  EXPECT_EQ(counters[2].find("labels")->find("server")->as_string(), "2");
+  EXPECT_EQ(counters[3].find("name")->as_string(), "z.last");
+}
+
+TEST_F(MetricsTest, ResetDropsEverything) {
+  count("test.reset");
+  Registry::global().reset();
+  const JsonValue doc = parse_json(Registry::global().to_json());
+  EXPECT_TRUE(doc.find("counters")->items().empty());
+}
+
+}  // namespace
+}  // namespace perdnn::obs

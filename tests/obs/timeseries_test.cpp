@@ -1,0 +1,226 @@
+#include "obs/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "mobility/trace_gen.hpp"
+#include "obs/json.hpp"
+#include "sim/simulator.hpp"
+
+namespace perdnn {
+namespace {
+
+using obs::SimTimeseries;
+using obs::TimeseriesRow;
+
+// ---------------------------------------------------------------------------
+// Unit-level recorder behaviour.
+
+TEST(SimTimeseriesUnit, DenseRowsAndAggregates) {
+  SimTimeseries ts;
+  ts.start(/*num_servers=*/3, /*interval_length_s=*/20.0);
+
+  ts.begin_interval(0);
+  ts.record_attach(1, /*hits=*/1, /*partials=*/0, /*misses=*/0);
+  ts.record_cold_queries(1, 10, 2.5);
+  ts.record_migration(/*from=*/0, /*to=*/2, /*bytes=*/1000);
+  ts.record_migration(/*from=*/0, /*to=*/1, /*bytes=*/0);  // dedup'd order
+  ts.record_predictor_sample(1, 12.5);
+  ts.set_attached({0, 2, 1});
+  ts.end_interval();
+
+  ts.begin_interval(1);
+  ts.end_interval();  // an all-quiet interval still emits zero rows
+
+  EXPECT_EQ(ts.num_servers(), 3);
+  EXPECT_EQ(ts.num_intervals(), 2);
+  const std::vector<TimeseriesRow> rows = ts.rows();
+  ASSERT_EQ(rows.size(), 6u);  // 2 intervals x 3 servers, dense
+
+  const TimeseriesRow& r0 = rows[0];  // interval 0, server 0
+  EXPECT_EQ(r0.uplink_bytes, 1000);
+  EXPECT_EQ(r0.downlink_bytes, 0);
+  EXPECT_EQ(r0.migration_orders, 2);  // the 0-byte order still counts
+
+  const TimeseriesRow& r1 = rows[1];  // interval 0, server 1
+  EXPECT_EQ(r1.hits, 1);
+  EXPECT_EQ(r1.cold_window_queries, 10);
+  EXPECT_DOUBLE_EQ(r1.cold_latency_sum_s, 2.5);
+  EXPECT_EQ(r1.attached, 2);
+  EXPECT_EQ(r1.predictor_samples, 1);
+  EXPECT_DOUBLE_EQ(r1.predictor_error_sum_m, 12.5);
+
+  const TimeseriesRow& r2 = rows[2];  // interval 0, server 2
+  EXPECT_EQ(r2.downlink_bytes, 1000);
+  EXPECT_EQ(r2.uplink_bytes, 0);
+
+  // Interval-1 rows are all zero but present.
+  for (std::size_t i = 3; i < 6; ++i) {
+    EXPECT_EQ(rows[i].interval, 1);
+    EXPECT_EQ(rows[i].cold_window_queries, 0);
+    EXPECT_EQ(rows[i].uplink_bytes, 0);
+  }
+
+  EXPECT_EQ(ts.total_hits(), 1);
+  EXPECT_EQ(ts.total_cold_window_queries(), 10);
+  EXPECT_EQ(ts.total_uplink_bytes(), 1000);
+  EXPECT_EQ(ts.total_downlink_bytes(), 1000);
+}
+
+TEST(SimTimeseriesUnit, OutOfOrderIntervalsThrow) {
+  SimTimeseries ts;
+  ts.start(1, 20.0);
+  ts.begin_interval(0);
+  EXPECT_THROW(ts.begin_interval(1), std::logic_error);  // still open
+  ts.end_interval();
+  EXPECT_THROW(ts.begin_interval(0), std::logic_error);  // not monotone
+  EXPECT_THROW(ts.begin_interval(2), std::logic_error);  // gap
+}
+
+TEST(SimTimeseriesUnit, CsvShapeMatchesHeader) {
+  SimTimeseries ts;
+  ts.start(2, 20.0);
+  ts.begin_interval(0);
+  ts.record_migration(0, 1, 42);
+  ts.end_interval();
+
+  std::ostringstream out;
+  ts.write_csv(out);
+  const std::string csv = out.str();
+
+  std::istringstream lines(csv);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, SimTimeseries::csv_header());
+  const std::size_t columns =
+      static_cast<std::size_t>(
+          std::count(line.begin(), line.end(), ',')) + 1;
+  int data_lines = 0;
+  while (std::getline(lines, line)) {
+    ++data_lines;
+    EXPECT_EQ(static_cast<std::size_t>(
+                  std::count(line.begin(), line.end(), ',')) + 1,
+              columns)
+        << line;
+  }
+  EXPECT_EQ(data_lines, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Simulator integration: the recorder must reconcile exactly with the
+// aggregate SimulationMetrics of the same run.
+
+class TimeseriesSimTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CampusTraceConfig train_config;
+    train_config.num_users = 10;
+    train_config.duration = 1.5 * 3600.0;
+    train_config.sample_interval = 20.0;
+    train_config.seed = 100;
+    CampusTraceConfig test_config = train_config;
+    test_config.num_users = 6;
+    test_config.seed = 200;
+
+    config_ = new SimulationConfig;
+    config_->model = ModelName::kMobileNet;
+    config_->policy = MigrationPolicy::kProactive;
+    config_->migration_radius_m = 100.0;
+    config_->seed = 5;
+
+    world_ = new SimulationWorld(
+        build_world(*config_, generate_campus_traces(train_config),
+                    generate_campus_traces(test_config)));
+  }
+
+  static void TearDownTestSuite() {
+    delete world_;
+    delete config_;
+    world_ = nullptr;
+    config_ = nullptr;
+  }
+
+  static SimulationConfig* config_;
+  static SimulationWorld* world_;
+};
+
+SimulationConfig* TimeseriesSimTest::config_ = nullptr;
+SimulationWorld* TimeseriesSimTest::world_ = nullptr;
+
+TEST_F(TimeseriesSimTest, RowsAreDenseAndReconcileWithMetrics) {
+  SimTimeseries ts;
+  const SimulationMetrics metrics = run_simulation(*config_, *world_, &ts);
+
+  EXPECT_EQ(ts.num_servers(), metrics.num_servers);
+  EXPECT_EQ(ts.num_intervals(), metrics.num_intervals);
+  EXPECT_EQ(ts.rows().size(),
+            static_cast<std::size_t>(metrics.num_intervals) *
+                static_cast<std::size_t>(metrics.num_servers));
+  EXPECT_DOUBLE_EQ(ts.interval_length_s(), world_->interval);
+
+  // Cold-start classifications and query counts sum to the aggregates.
+  EXPECT_EQ(ts.total_hits(), metrics.hits);
+  EXPECT_EQ(ts.total_partials(), metrics.partials);
+  EXPECT_EQ(ts.total_misses(), metrics.misses);
+  EXPECT_EQ(ts.total_cold_window_queries(), metrics.cold_window_queries);
+
+  // Backhaul bytes: uplink attributed at senders, downlink at receivers,
+  // both summing to the total the simulator reports.
+  EXPECT_EQ(ts.total_uplink_bytes(),
+            static_cast<std::int64_t>(metrics.total_migrated_bytes));
+  EXPECT_EQ(ts.total_downlink_bytes(), ts.total_uplink_bytes());
+  EXPECT_GT(ts.total_uplink_bytes(), 0);
+}
+
+TEST_F(TimeseriesSimTest, RecorderDoesNotPerturbTheSimulation) {
+  SimTimeseries ts;
+  const SimulationMetrics with = run_simulation(*config_, *world_, &ts);
+  const SimulationMetrics without = run_simulation(*config_, *world_);
+  EXPECT_EQ(with.cold_window_queries, without.cold_window_queries);
+  EXPECT_EQ(with.hits, without.hits);
+  EXPECT_EQ(with.misses, without.misses);
+  EXPECT_EQ(with.server_changes, without.server_changes);
+  EXPECT_EQ(with.total_migrated_bytes, without.total_migrated_bytes);
+}
+
+TEST_F(TimeseriesSimTest, ExportsAreDeterministicAcrossRuns) {
+  SimTimeseries a, b;
+  run_simulation(*config_, *world_, &a);
+  run_simulation(*config_, *world_, &b);
+
+  std::ostringstream csv_a, csv_b;
+  a.write_csv(csv_a);
+  b.write_csv(csv_b);
+  EXPECT_EQ(csv_a.str(), csv_b.str());
+  EXPECT_EQ(a.to_json(), b.to_json());
+}
+
+TEST_F(TimeseriesSimTest, CsvHasHeaderPlusOneLinePerRow) {
+  SimTimeseries ts;
+  run_simulation(*config_, *world_, &ts);
+  std::ostringstream out;
+  ts.write_csv(out);
+  const std::string csv = out.str();
+  const long lines = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(lines, static_cast<long>(ts.rows().size()) + 1);
+}
+
+TEST_F(TimeseriesSimTest, JsonExportIsValidAndShaped) {
+  SimTimeseries ts;
+  run_simulation(*config_, *world_, &ts);
+  const obs::JsonValue doc = obs::parse_json(ts.to_json());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_DOUBLE_EQ(doc.find("interval_length_s")->as_number(),
+                   world_->interval);
+  EXPECT_EQ(doc.find("num_servers")->as_number(), ts.num_servers());
+  EXPECT_EQ(doc.find("num_intervals")->as_number(), ts.num_intervals());
+  const obs::JsonValue* rows = doc.find("rows");
+  ASSERT_NE(rows, nullptr);
+  EXPECT_EQ(rows->items().size(), ts.rows().size());
+}
+
+}  // namespace
+}  // namespace perdnn

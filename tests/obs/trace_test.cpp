@@ -1,0 +1,144 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace perdnn::obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Registry::global().reset();
+    set_enabled(false);
+    Tracer::global().stop();
+    Tracer::global().clear();
+  }
+  void TearDown() override {
+    Tracer::global().stop();
+    Tracer::global().clear();
+    set_enabled(false);
+    Registry::global().reset();
+  }
+
+  static void spin_us(int us) {
+    const auto start = std::chrono::steady_clock::now();
+    while (std::chrono::steady_clock::now() - start <
+           std::chrono::microseconds(us)) {
+    }
+  }
+};
+
+TEST_F(TraceTest, InactiveTracerRecordsNothing) {
+  { PERDNN_SPAN("trace_test.dark"); }
+  EXPECT_EQ(Tracer::global().num_events(), 0u);
+  // And no metrics either while collection is off.
+  const std::string json = Registry::global().to_json();
+  EXPECT_EQ(json.find("trace_test.dark"), std::string::npos);
+}
+
+TEST_F(TraceTest, SpansNestWithDepths) {
+  Tracer::global().start();
+  {
+    PERDNN_SPAN("trace_test.outer");
+    spin_us(50);
+    {
+      PERDNN_SPAN("trace_test.inner");
+      spin_us(50);
+    }
+  }
+  Tracer::global().stop();
+
+  // events() is in completion order: the inner span closes first.
+  const std::vector<TraceEvent> events = Tracer::global().events();
+  ASSERT_EQ(events.size(), 2u);
+  const TraceEvent& inner = events[0];
+  const TraceEvent& outer = events[1];
+  EXPECT_EQ(inner.name, "trace_test.inner");
+  EXPECT_EQ(inner.depth, 2);
+  EXPECT_EQ(outer.name, "trace_test.outer");
+  EXPECT_EQ(outer.depth, 1);
+  // The inner span is contained within the outer one.
+  EXPECT_GE(inner.ts_us, outer.ts_us);
+  EXPECT_LE(inner.ts_us + inner.dur_us,
+            outer.ts_us + outer.dur_us + 1.0 /*rounding slack*/);
+  EXPECT_GT(outer.dur_us, inner.dur_us);
+}
+
+TEST_F(TraceTest, SpanFeedsRegistryHistogram) {
+  set_enabled(true);
+  {
+    PERDNN_SPAN("trace_test.timed");
+    spin_us(100);
+  }
+  Histogram& h = Registry::global().histogram("span.trace_test.timed");
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.sum(), 50e-6);  // at least ~half the spin, in seconds
+  EXPECT_LT(h.sum(), 1.0);
+  // Metrics alone do not populate the tracer.
+  EXPECT_EQ(Tracer::global().num_events(), 0u);
+}
+
+TEST_F(TraceTest, ChromeJsonIsValidAndComplete) {
+  Tracer::global().start();
+  {
+    PERDNN_SPAN("trace_test.a");
+    { PERDNN_SPAN("trace_test.b"); }
+  }
+  Tracer::global().stop();
+
+  const std::string json = Tracer::global().to_chrome_json();
+  const JsonValue doc = parse_json(json);
+  ASSERT_TRUE(doc.is_object());
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->items().size(), 2u);
+  for (const JsonValue& e : events->items()) {
+    EXPECT_EQ(e.find("ph")->as_string(), "X");
+    EXPECT_EQ(e.find("cat")->as_string(), "perdnn");
+    EXPECT_GE(e.find("dur")->as_number(), 0.0);
+    ASSERT_NE(e.find("args"), nullptr);
+    EXPECT_GE(e.find("args")->find("depth")->as_number(), 1.0);
+  }
+}
+
+TEST_F(TraceTest, StartResetsPriorEvents) {
+  Tracer::global().start();
+  { PERDNN_SPAN("trace_test.first"); }
+  EXPECT_EQ(Tracer::global().num_events(), 1u);
+  Tracer::global().start();  // restart drops the old events
+  EXPECT_EQ(Tracer::global().num_events(), 0u);
+  { PERDNN_SPAN("trace_test.second"); }
+  Tracer::global().stop();
+  ASSERT_EQ(Tracer::global().num_events(), 1u);
+  EXPECT_EQ(Tracer::global().events()[0].name, "trace_test.second");
+}
+
+TEST_F(TraceTest, ThreadsGetDenseDistinctIds) {
+  Tracer::global().start();
+  std::thread worker([] { PERDNN_SPAN("trace_test.worker"); });
+  worker.join();
+  { PERDNN_SPAN("trace_test.main"); }
+  Tracer::global().stop();
+
+  const std::vector<TraceEvent> events = Tracer::global().events();
+  ASSERT_EQ(events.size(), 2u);
+  int worker_tid = -1, main_tid = -1;
+  for (const TraceEvent& e : events) {
+    if (e.name == "trace_test.worker") worker_tid = e.tid;
+    if (e.name == "trace_test.main") main_tid = e.tid;
+  }
+  EXPECT_NE(worker_tid, main_tid);
+  EXPECT_GE(worker_tid, 0);
+  EXPECT_GE(main_tid, 0);
+  EXPECT_LE(worker_tid, 1);
+  EXPECT_LE(main_tid, 1);
+}
+
+}  // namespace
+}  // namespace perdnn::obs

@@ -51,6 +51,18 @@ class SimulatorTest : public ::testing::Test {
 SimulationConfig* SimulatorTest::config_ = nullptr;
 SimulationWorld* SimulatorTest::world_ = nullptr;
 
+TEST(SimulationMetricsTest, HitRatioIsZeroWhenNothingClassified) {
+  // 0/0 guard: a run with no cold starts (hits + misses == 0) defines the
+  // ratio as 0.0 instead of NaN, and partials alone do not change that.
+  SimulationMetrics metrics;
+  EXPECT_DOUBLE_EQ(metrics.hit_ratio(), 0.0);
+  metrics.partials = 3;
+  EXPECT_DOUBLE_EQ(metrics.hit_ratio(), 0.0);
+  metrics.hits = 1;
+  metrics.misses = 1;
+  EXPECT_DOUBLE_EQ(metrics.hit_ratio(), 0.5);
+}
+
 TEST_F(SimulatorTest, WorldBuildsSaneComponents) {
   EXPECT_GT(world_->servers.num_servers(), 3);
   EXPECT_EQ(world_->test_traces.size(), 6u);

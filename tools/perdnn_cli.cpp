@@ -7,18 +7,33 @@
 //   perdnn traces <campus|urban> <out.txt> [users] [minutes]
 //       Generate a synthetic mobility dataset and save it.
 //   perdnn simulate <model> <campus|urban|traces.txt> [ionn|perdnn|optimal]
-//       Run the smart-city simulation and print the summary.
+//                   [--timeseries-out FILE] [--metrics-out FILE]
+//                   [--trace-out FILE]
+//       Run the smart-city simulation and print the summary. The
+//       observability flags export, respectively: the per-interval
+//       per-server timeseries (CSV, or JSON when FILE ends in .json), the
+//       metric registry (counters/gauges/histograms, JSON), and a span
+//       trace loadable in chrome://tracing / Perfetto (JSON).
 //   perdnn profile <model> <out.txt>
 //       Run the concurrency sweep and save estimator-training records.
+//
+// Unknown commands, flags, model names and policy names are hard errors:
+// they print to stderr and exit non-zero instead of silently falling back
+// to defaults.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "common/table.hpp"
 #include "core/perdnn.hpp"
 #include "mobility/trace_gen.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace {
@@ -32,8 +47,10 @@ int usage() {
                "  perdnn partition <mobilenet|inception|resnet|alexnet|vgg16> "
                "[load] [uplink_mbps]\n"
                "  perdnn traces <campus|urban> <out.txt> [users] [minutes]\n"
-               "  perdnn simulate <model> <campus|urban|traces.txt> "
-               "[ionn|perdnn|optimal]\n"
+               "  perdnn simulate <mobilenet|inception|resnet> "
+               "<campus|urban|traces.txt> [ionn|perdnn|optimal]\n"
+               "                  [--timeseries-out FILE] [--metrics-out "
+               "FILE] [--trace-out FILE]\n"
                "  perdnn profile <model> <out.txt>\n");
   return 2;
 }
@@ -142,25 +159,123 @@ int cmd_traces(int argc, char** argv) {
   return 0;
 }
 
-int cmd_simulate(int argc, char** argv) {
-  if (argc < 2) return usage();
-  SimulationConfig config;
-  const std::string model_name = argv[0];
-  config.model = model_name == "mobilenet"  ? ModelName::kMobileNet
-                 : model_name == "resnet"   ? ModelName::kResNet
-                                            : ModelName::kInception;
-  if (argc > 2) {
-    const std::string policy = argv[2];
-    config.policy = policy == "ionn"      ? MigrationPolicy::kNone
-                    : policy == "optimal" ? MigrationPolicy::kOptimal
-                                          : MigrationPolicy::kProactive;
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Writes `text` to `path`, throwing on I/O failure.
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << text;
+  if (!out) throw std::runtime_error("error writing " + path);
+}
+
+struct SimulateArgs {
+  ModelName model = ModelName::kInception;
+  std::string traces;
+  MigrationPolicy policy = MigrationPolicy::kProactive;
+  std::string timeseries_out;
+  std::string metrics_out;
+  std::string trace_out;
+};
+
+/// Strict parser for `simulate`: positional model/traces/[policy] plus the
+/// observability flags (either `--flag value` or `--flag=value`). Returns
+/// nullopt after printing the offending token to stderr.
+std::optional<SimulateArgs> parse_simulate_args(int argc, char** argv) {
+  SimulateArgs args;
+  std::vector<std::string> positional;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      std::string name = arg;
+      std::string value;
+      bool have_value = false;
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        name = arg.substr(0, eq);
+        value = arg.substr(eq + 1);
+        have_value = true;
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+        have_value = true;
+      }
+      std::string* target = nullptr;
+      if (name == "--timeseries-out") target = &args.timeseries_out;
+      else if (name == "--metrics-out") target = &args.metrics_out;
+      else if (name == "--trace-out") target = &args.trace_out;
+      if (target == nullptr) {
+        std::fprintf(stderr, "error: unknown flag '%s'\n", name.c_str());
+        return std::nullopt;
+      }
+      if (!have_value || value.empty()) {
+        std::fprintf(stderr, "error: flag '%s' needs a file argument\n",
+                     name.c_str());
+        return std::nullopt;
+      }
+      *target = value;
+      continue;
+    }
+    positional.push_back(std::move(arg));
   }
+  if (positional.size() < 2 || positional.size() > 3) {
+    std::fprintf(stderr,
+                 "error: simulate needs <model> <traces> [policy]\n");
+    return std::nullopt;
+  }
+  const std::string& model = positional[0];
+  if (model == "mobilenet") args.model = ModelName::kMobileNet;
+  else if (model == "inception") args.model = ModelName::kInception;
+  else if (model == "resnet") args.model = ModelName::kResNet;
+  else {
+    std::fprintf(stderr,
+                 "error: unknown model '%s' (simulate supports "
+                 "mobilenet|inception|resnet)\n",
+                 model.c_str());
+    return std::nullopt;
+  }
+  args.traces = positional[1];
+  if (positional.size() > 2) {
+    const std::string& policy = positional[2];
+    if (policy == "ionn") args.policy = MigrationPolicy::kNone;
+    else if (policy == "perdnn") args.policy = MigrationPolicy::kProactive;
+    else if (policy == "optimal") args.policy = MigrationPolicy::kOptimal;
+    else {
+      std::fprintf(stderr,
+                   "error: unknown policy '%s' (expected "
+                   "ionn|perdnn|optimal)\n",
+                   policy.c_str());
+      return std::nullopt;
+    }
+  }
+  return args;
+}
+
+int cmd_simulate(int argc, char** argv) {
+  const std::optional<SimulateArgs> parsed = parse_simulate_args(argc, argv);
+  if (!parsed) return 2;
+
+  SimulationConfig config;
+  config.model = parsed->model;
+  config.policy = parsed->policy;
   config.migration_radius_m = 100.0;
 
-  const auto test = make_traces(argv[1], 0, 120.0, 22);
-  const auto train = make_traces(argv[1], 0, 120.0, 11);
+  if (!parsed->metrics_out.empty()) {
+    obs::Registry::global().reset();
+    obs::set_enabled(true);
+  }
+  if (!parsed->trace_out.empty()) obs::Tracer::global().start();
+
+  const auto test = make_traces(parsed->traces, 0, 120.0, 22);
+  const auto train = make_traces(parsed->traces, 0, 120.0, 11);
   const SimulationWorld world = build_world(config, train, test);
-  const SimulationMetrics metrics = run_simulation(config, world);
+
+  obs::SimTimeseries timeseries;
+  obs::SimTimeseries* recorder =
+      parsed->timeseries_out.empty() ? nullptr : &timeseries;
+  const SimulationMetrics metrics = run_simulation(config, world, recorder);
 
   std::printf("%d servers, %d clients, %d intervals\n", metrics.num_servers,
               metrics.num_clients, metrics.num_intervals);
@@ -171,6 +286,32 @@ int cmd_simulate(int argc, char** argv) {
   std::printf("migrated: %.0f MB   peak backhaul uplink: %.0f Mbps\n",
               bytes_to_mb(metrics.total_migrated_bytes),
               metrics.peak_uplink_mbps);
+
+  if (recorder != nullptr) {
+    std::ofstream out(parsed->timeseries_out);
+    if (!out)
+      throw std::runtime_error("cannot open " + parsed->timeseries_out);
+    if (ends_with(parsed->timeseries_out, ".json"))
+      recorder->write_json(out);
+    else
+      recorder->write_csv(out);
+    if (!out) throw std::runtime_error("error writing " +
+                                       parsed->timeseries_out);
+    std::printf("timeseries: %d intervals x %d servers -> %s\n",
+                recorder->num_intervals(), recorder->num_servers(),
+                parsed->timeseries_out.c_str());
+  }
+  if (!parsed->metrics_out.empty()) {
+    write_file(parsed->metrics_out, obs::Registry::global().to_json());
+    std::printf("metrics: %s\n", parsed->metrics_out.c_str());
+  }
+  if (!parsed->trace_out.empty()) {
+    obs::Tracer& tracer = obs::Tracer::global();
+    tracer.stop();
+    write_file(parsed->trace_out, tracer.to_chrome_json());
+    std::printf("trace: %zu spans -> %s (load in chrome://tracing)\n",
+                tracer.num_events(), parsed->trace_out.c_str());
+  }
   return 0;
 }
 
@@ -208,5 +349,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
+  std::fprintf(stderr, "error: unknown command '%s'\n", command.c_str());
   return usage();
 }
