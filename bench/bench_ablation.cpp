@@ -9,7 +9,11 @@
 //  3. Shortest-path vs min-cut partitioners across server loads.
 #include <algorithm>
 #include <cstdio>
+#include <iterator>
+#include <string>
+#include <vector>
 
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "core/perdnn.hpp"
 
@@ -42,38 +46,46 @@ void estimator_ablation() {
   rf.train(records, rng);
 
   TextTable table({"server load", "oracle", "RF+load", "LL+load", "LL"});
-  for (int load : {1, 4, 8, 12, 16}) {
-    Rng stats_rng(9000 + load);
-    const GpuStats stats =
-        gpu.stats_for_load(load, static_cast<double>(load), stats_rng);
+  // Estimators are trained; each load level is an independent read-only
+  // sweep over them. Fan the rows out, print in load order.
+  const int loads[] = {1, 4, 8, 12, 16};
+  const auto row_cells =
+      par::parallel_map(std::size(loads), [&](std::size_t l) {
+        const int load = loads[l];
+        Rng stats_rng(9000 + load);
+        const GpuStats stats =
+            gpu.stats_for_load(load, static_cast<double>(load), stats_rng);
 
-    PartitionContext truth;
-    truth.model = &model;
-    truth.client_profile = &client;
-    for (LayerId id = 0; id < model.num_layers(); ++id)
-      truth.server_time.push_back(gpu.expected_layer_time(
-          model.layer(id), model.input_bytes(id), static_cast<double>(load)));
-
-    auto cell = [&](const LayerTimeEstimator* estimator) {
-      PartitionContext ctx = truth;
-      if (estimator != nullptr) {
-        ctx.server_time.clear();
+        PartitionContext truth;
+        truth.model = &model;
+        truth.client_profile = &client;
         for (LayerId id = 0; id < model.num_layers(); ++id)
-          ctx.server_time.push_back(estimator->estimate(
-              model.layer(id), model.input_bytes(id), stats));
-      }
-      const PartitionPlan plan = compute_best_plan(ctx);
-      std::vector<bool> mask(plan.location.size());
-      for (std::size_t i = 0; i < mask.size(); ++i)
-        mask[i] = plan.location[i] == ExecLocation::kServer;
-      const Seconds true_latency = plan_latency(truth, mask);
-      return TextTable::num(true_latency, 3) + " | " +
-             TextTable::num(plan.latency, 3);
-    };
+          truth.server_time.push_back(
+              gpu.expected_layer_time(model.layer(id), model.input_bytes(id),
+                                      static_cast<double>(load)));
 
-    table.add_row({TextTable::num(static_cast<long long>(load)),
-                   cell(nullptr), cell(&rf), cell(&ll_load), cell(&ll)});
-  }
+        auto cell = [&](const LayerTimeEstimator* estimator) {
+          PartitionContext ctx = truth;
+          if (estimator != nullptr) {
+            ctx.server_time.clear();
+            for (LayerId id = 0; id < model.num_layers(); ++id)
+              ctx.server_time.push_back(estimator->estimate(
+                  model.layer(id), model.input_bytes(id), stats));
+          }
+          const PartitionPlan plan = compute_best_plan(ctx);
+          std::vector<bool> mask(plan.location.size());
+          for (std::size_t i = 0; i < mask.size(); ++i)
+            mask[i] = plan.location[i] == ExecLocation::kServer;
+          const Seconds true_latency = plan_latency(truth, mask);
+          return TextTable::num(true_latency, 3) + " | " +
+                 TextTable::num(plan.latency, 3);
+        };
+
+        return std::vector<std::string>{
+            TextTable::num(static_cast<long long>(load)), cell(nullptr),
+            cell(&rf), cell(&ll_load), cell(&ll)};
+      });
+  for (const auto& cells : row_cells) table.add_row(cells);
   std::printf("%s", table.to_string().c_str());
   std::printf("(reading: plans are robust here, but LL's predicted latency "
               "diverges under load,\n which corrupts the master's choice "
@@ -135,27 +147,37 @@ void partitioner_ablation() {
               "(sum-model objective) ---\n");
   TextTable table({"model", "load", "shortest-path (s)", "min-cut (s)",
                    "server layers sp/mc"});
+  // Every (model, load) combination builds its own session: embarrassingly
+  // parallel, printed in sweep order.
+  struct Combo {
+    ModelName name;
+    int load;
+  };
+  std::vector<Combo> combos;
   for (ModelName name :
-       {ModelName::kMobileNet, ModelName::kInception, ModelName::kResNet}) {
-    for (int load : {1, 8, 16}) {
-      OffloadingSession::Options options;
-      options.model = name;
-      options.server_load = load;
-      options.profiling.max_clients = 16;
-      options.profiling.samples_per_level = 2;
-      OffloadingSession session(options);
-      const PartitionContext context = session.context(true);
-      const PartitionPlan sp = compute_best_plan(context);
-      const PartitionPlan mc = compute_mincut_plan(context);
-      char counts[32];
-      std::snprintf(counts, sizeof counts, "%d/%d", sp.num_server_layers(),
-                    mc.num_server_layers());
-      table.add_row({model_name_str(name),
-                     TextTable::num(static_cast<long long>(load)),
-                     TextTable::num(sum_model_latency(context, sp), 3),
-                     TextTable::num(mc.latency, 3), counts});
-    }
-  }
+       {ModelName::kMobileNet, ModelName::kInception, ModelName::kResNet})
+    for (int load : {1, 8, 16}) combos.push_back({name, load});
+  const auto row_cells =
+      par::parallel_map(combos.size(), [&](std::size_t c) {
+        OffloadingSession::Options options;
+        options.model = combos[c].name;
+        options.server_load = combos[c].load;
+        options.profiling.max_clients = 16;
+        options.profiling.samples_per_level = 2;
+        OffloadingSession session(options);
+        const PartitionContext context = session.context(true);
+        const PartitionPlan sp = compute_best_plan(context);
+        const PartitionPlan mc = compute_mincut_plan(context);
+        char counts[32];
+        std::snprintf(counts, sizeof counts, "%d/%d", sp.num_server_layers(),
+                      mc.num_server_layers());
+        return std::vector<std::string>{
+            model_name_str(combos[c].name),
+            TextTable::num(static_cast<long long>(combos[c].load)),
+            TextTable::num(sum_model_latency(context, sp), 3),
+            TextTable::num(mc.latency, 3), counts};
+      });
+  for (const auto& cells : row_cells) table.add_row(cells);
   std::printf("%s", table.to_string().c_str());
 }
 
@@ -167,22 +189,27 @@ void zoo_plan_shapes() {
   const DnnModel models[] = {build_mobilenet_v1(), build_inception21k(),
                              build_resnet50(), build_alexnet(),
                              build_vgg16()};
-  for (const DnnModel& model : models) {
-    const DnnProfile client = profile_on_client(model, odroid_xu4_profile());
-    const DnnProfile server = profile_on_client(model, titan_xp_profile());
-    PartitionContext context;
-    context.model = &model;
-    context.client_profile = &client;
-    context.server_time = server.client_time;
-    const PartitionPlan plan = compute_best_plan(context);
-    const Seconds local = local_only_latency(context);
-    table.add_row({model.name(),
-                   TextTable::num(bytes_to_mb(model.total_weight_bytes()), 0),
-                   TextTable::num(model.total_flops() / 1e9, 1),
-                   TextTable::num(local, 3), TextTable::num(plan.latency, 3),
-                   TextTable::num(local / plan.latency, 1) + "x",
-                   TextTable::num(bytes_to_mb(plan.server_bytes(model)), 0)});
-  }
+  const auto row_cells =
+      par::parallel_map(std::size(models), [&](std::size_t m) {
+        const DnnModel& model = models[m];
+        const DnnProfile client =
+            profile_on_client(model, odroid_xu4_profile());
+        const DnnProfile server = profile_on_client(model, titan_xp_profile());
+        PartitionContext context;
+        context.model = &model;
+        context.client_profile = &client;
+        context.server_time = server.client_time;
+        const PartitionPlan plan = compute_best_plan(context);
+        const Seconds local = local_only_latency(context);
+        return std::vector<std::string>{
+            model.name(),
+            TextTable::num(bytes_to_mb(model.total_weight_bytes()), 0),
+            TextTable::num(model.total_flops() / 1e9, 1),
+            TextTable::num(local, 3), TextTable::num(plan.latency, 3),
+            TextTable::num(local / plan.latency, 1) + "x",
+            TextTable::num(bytes_to_mb(plan.server_bytes(model)), 0)};
+      });
+  for (const auto& cells : row_cells) table.add_row(cells);
   std::printf("%s", table.to_string().c_str());
 }
 
@@ -195,28 +222,34 @@ void energy_ablation() {
                    "latency plan s", "energy plan s"});
   const DnnModel models[] = {build_mobilenet_v1(), build_inception21k(),
                              build_resnet50(), build_vgg16()};
-  for (const DnnModel& model : models) {
-    const DnnProfile client = profile_on_client(model, odroid_xu4_profile());
-    const DnnProfile server = profile_on_client(model, titan_xp_profile());
-    PartitionContext context;
-    context.model = &model;
-    context.client_profile = &client;
-    context.server_time = server.client_time;
+  const auto row_cells =
+      par::parallel_map(std::size(models), [&](std::size_t m) {
+        const DnnModel& model = models[m];
+        const DnnProfile client =
+            profile_on_client(model, odroid_xu4_profile());
+        const DnnProfile server = profile_on_client(model, titan_xp_profile());
+        PartitionContext context;
+        context.model = &model;
+        context.client_profile = &client;
+        context.server_time = server.client_time;
 
-    PartitionPlan local;
-    local.location.assign(static_cast<std::size_t>(model.num_layers()),
-                          ExecLocation::kClient);
-    const PartitionPlan latency_plan = compute_best_plan(context);
-    const PartitionPlan energy_plan =
-        compute_energy_best_plan(context, energy);
-    table.add_row(
-        {model.name(),
-         TextTable::num(plan_energy_joules(context, local, energy), 2),
-         TextTable::num(plan_energy_joules(context, latency_plan, energy), 2),
-         TextTable::num(plan_energy_joules(context, energy_plan, energy), 2),
-         TextTable::num(latency_plan.latency, 3),
-         TextTable::num(energy_plan.latency, 3)});
-  }
+        PartitionPlan local;
+        local.location.assign(static_cast<std::size_t>(model.num_layers()),
+                              ExecLocation::kClient);
+        const PartitionPlan latency_plan = compute_best_plan(context);
+        const PartitionPlan energy_plan =
+            compute_energy_best_plan(context, energy);
+        return std::vector<std::string>{
+            model.name(),
+            TextTable::num(plan_energy_joules(context, local, energy), 2),
+            TextTable::num(plan_energy_joules(context, latency_plan, energy),
+                           2),
+            TextTable::num(plan_energy_joules(context, energy_plan, energy),
+                           2),
+            TextTable::num(latency_plan.latency, 3),
+            TextTable::num(energy_plan.latency, 3)};
+      });
+  for (const auto& cells : row_cells) table.add_row(cells);
   std::printf("%s", table.to_string().c_str());
   std::printf("(offloading saves the wearable's battery as well as time; "
               "the two objectives pick\n nearly the same cut here, as in "
@@ -225,7 +258,8 @@ void energy_ablation() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  par::init_threads_from_cli(argc, argv);
   std::printf("=== Ablation benches (design choices called out in DESIGN.md) "
               "===\n");
   estimator_ablation();

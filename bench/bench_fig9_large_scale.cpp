@@ -9,8 +9,11 @@
 // decomposed interval by interval.
 #include <cstdio>
 #include <fstream>
+#include <iterator>
+#include <sstream>
 #include <string>
 
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "datasets.hpp"
 #include "obs/timeseries.hpp"
@@ -52,15 +55,35 @@ void run_dataset(const DatasetPair& data, const char* out_prefix) {
                 data.name, world.servers.num_servers());
     TextTable table({"policy", "cold-window queries", "hit ratio %",
                      "hits/partials/misses", "server changes"});
-    for (const Row& row : rows) {
-      SimulationConfig run = config;
-      run.policy = row.policy;
-      if (row.radius > 0.0) run.migration_radius_m = row.radius;
-      obs::SimTimeseries timeseries;
-      obs::SimTimeseries* recorder =
-          out_prefix != nullptr ? &timeseries : nullptr;
-      const SimulationMetrics metrics = run_simulation(run, world, recorder);
-      if (recorder != nullptr) {
+    // The four policy runs share the (read-only) world and are independent:
+    // fan them out, collect metrics plus the rendered timeseries CSV, then
+    // write files and rows serially in policy order so the output is stable
+    // at any thread count.
+    struct RowResult {
+      SimulationMetrics metrics;
+      std::string csv;
+    };
+    const auto results =
+        par::parallel_map(std::size(rows), [&](std::size_t r) {
+          SimulationConfig run = config;
+          run.policy = rows[r].policy;
+          if (rows[r].radius > 0.0) run.migration_radius_m = rows[r].radius;
+          RowResult result;
+          obs::SimTimeseries timeseries;
+          obs::SimTimeseries* recorder =
+              out_prefix != nullptr ? &timeseries : nullptr;
+          result.metrics = run_simulation(run, world, recorder);
+          if (recorder != nullptr) {
+            std::ostringstream csv;
+            recorder->write_csv(csv);
+            result.csv = csv.str();
+          }
+          return result;
+        });
+    for (std::size_t r = 0; r < results.size(); ++r) {
+      const Row& row = rows[r];
+      const SimulationMetrics& metrics = results[r].metrics;
+      if (out_prefix != nullptr) {
         const std::string path = std::string(out_prefix) + "_" + data.name +
                                  "_" + model_name_str(model) + "_" +
                                  sanitize(row.label) + ".csv";
@@ -69,7 +92,7 @@ void run_dataset(const DatasetPair& data, const char* out_prefix) {
           std::fprintf(stderr, "cannot open %s\n", path.c_str());
           std::exit(1);
         }
-        recorder->write_csv(out);
+        out << results[r].csv;
         std::printf("timeseries -> %s\n", path.c_str());
       }
       char hm[64];
@@ -89,6 +112,7 @@ void run_dataset(const DatasetPair& data, const char* out_prefix) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  argc = par::init_threads_from_cli(argc, argv);
   const char* out_prefix = argc > 1 ? argv[1] : nullptr;
   std::printf("=== Fig 9: executed queries and hit ratios during the "
               "large-scale simulation ===\n");

@@ -1,11 +1,27 @@
 // Google-benchmark microbenchmarks for the hot algorithmic paths: the
 // partitioning DP (runs per query in the simulator), upload-order planning
 // (runs per server change), min-cut, and the mobility predictors.
+//
+// `bench_micro --json <path>` switches to the parallel-runtime comparison
+// harness instead: it times the simulator, random-forest training, and the
+// profiler sweep once serially (--threads 1) and once with the configured
+// pool, and writes serial/parallel wall-clock plus speedup as JSON (the
+// BENCH_parallel.json artifact). `--threads N` / PERDNN_THREADS pick the
+// pool size for the parallel leg.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+
+#include "common/parallel.hpp"
 #include "core/perdnn.hpp"
+#include "datasets.hpp"
 #include "mobility/predictor.hpp"
 #include "mobility/trace_gen.hpp"
+#include "sim/simulator.hpp"
 
 namespace {
 
@@ -96,6 +112,101 @@ void BM_LiveCutBytes(benchmark::State& state) {
 }
 BENCHMARK(BM_LiveCutBytes);
 
+// ------------------------------------------- parallel-runtime comparison
+
+double wall_seconds(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count();
+}
+
+int run_parallel_bench(const char* json_path, int threads) {
+  struct Workload {
+    const char* name;
+    std::function<void()> run;
+  };
+  const bench::DatasetPair data = bench::kaist_like(20.0, 3600.0);
+  const GpuContentionModel gpu(titan_xp_profile());
+  const DnnModel inception = build_inception21k();
+  const DnnModel* models[] = {&inception};
+  ProfilerConfig prof_config;
+  prof_config.max_clients = 8;
+  prof_config.samples_per_level = 4;
+  ConcurrencyProfiler record_profiler(&gpu, Rng(5));
+  const auto records = record_profiler.profile_models(models, prof_config);
+
+  const Workload workloads[] = {
+      {"simulator",
+       [&] {
+         SimulationConfig config;
+         config.model = ModelName::kMobileNet;
+         config.seed = 97;
+         const SimulationWorld world =
+             build_world(config, data.train, data.test);
+         run_simulation(config, world, nullptr);
+       }},
+      {"forest_train",
+       [&] {
+         Rng rng(7);
+         RandomForestEstimator forest;
+         forest.train(records, rng);
+       }},
+      {"profiler_sweep", [&] {
+         ConcurrencyProfiler profiler(&gpu, Rng(5));
+         profiler.profile_models(models, prof_config);
+       }}};
+
+  std::FILE* out = std::fopen(json_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(out, "{\"hardware_threads\":%d,\"threads\":%d,\"benches\":[",
+               par::hardware_threads(), threads);
+  bool first = true;
+  for (const Workload& w : workloads) {
+    par::set_num_threads(1);
+    const double serial_s = wall_seconds(w.run);
+    par::set_num_threads(threads);
+    const double parallel_s = wall_seconds(w.run);
+    const double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+    std::fprintf(out,
+                 "%s{\"name\":\"%s\",\"serial_s\":%.6f,\"parallel_s\":%.6f,"
+                 "\"speedup\":%.3f}",
+                 first ? "" : ",", w.name, serial_s, parallel_s, speedup);
+    std::printf("%-16s serial %.3fs  %d threads %.3fs  speedup %.2fx\n",
+                w.name, serial_s, threads, parallel_s, speedup);
+    first = false;
+  }
+  std::fprintf(out, "]}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path);
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  argc = perdnn::par::init_threads_from_cli(argc, argv);
+  const char* json_path = nullptr;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  if (json_path != nullptr)
+    return run_parallel_bench(json_path, perdnn::par::num_threads());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "device/profiler.hpp"
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 
 namespace perdnn {
 
@@ -13,20 +14,37 @@ ConcurrencyProfiler::ConcurrencyProfiler(const GpuContentionModel* gpu,
 ProfileRecord ConcurrencyProfiler::profile_once(const LayerSpec& layer,
                                                 Bytes input_bytes,
                                                 int num_clients) {
+  return profile_once(layer, input_bytes, num_clients, rng_);
+}
+
+ProfileRecord ConcurrencyProfiler::profile_once(const LayerSpec& layer,
+                                                Bytes input_bytes,
+                                                int num_clients,
+                                                Rng& rng) const {
   PERDNN_CHECK(num_clients >= 1);
   ProfileRecord rec;
   rec.layer = layer;
   rec.input_bytes = input_bytes;
-  rec.true_load = gpu_->sample_effective_load(num_clients, rng_);
-  rec.stats = gpu_->stats_for_load(num_clients, rec.true_load, rng_);
-  rec.time = gpu_->layer_time(layer, input_bytes, rec.true_load, rng_);
+  rec.true_load = gpu_->sample_effective_load(num_clients, rng);
+  rec.stats = gpu_->stats_for_load(num_clients, rec.true_load, rng);
+  rec.time = gpu_->layer_time(layer, input_bytes, rec.true_load, rng);
   return rec;
 }
 
 std::vector<ProfileRecord> ConcurrencyProfiler::profile_models(
     std::span<const DnnModel* const> models, const ProfilerConfig& config) {
   PERDNN_CHECK(config.max_clients >= 1 && config.samples_per_level >= 1);
-  std::vector<ProfileRecord> records;
+
+  // Pass 1 (serial): enumerate the sweep and fork one Rng stream per record
+  // in sweep order. The fork sequence depends only on the sweep shape, so
+  // the records are reproducible regardless of how pass 2 is scheduled.
+  struct Job {
+    const LayerSpec* layer;
+    Bytes input_bytes;
+    int num_clients;
+    Rng rng;
+  };
+  std::vector<Job> jobs;
   for (const DnnModel* model : models) {
     PERDNN_CHECK(model != nullptr);
     for (LayerId id = 0; id < model->num_layers(); ++id) {
@@ -36,10 +54,15 @@ std::vector<ProfileRecord> ConcurrencyProfiler::profile_models(
       const Bytes in_bytes = model->input_bytes(id);
       for (int n = 1; n <= config.max_clients; ++n)
         for (int s = 0; s < config.samples_per_level; ++s)
-          records.push_back(profile_once(layer, in_bytes, n));
+          jobs.push_back({&layer, in_bytes, n, rng_.fork()});
     }
   }
-  return records;
+
+  // Pass 2 (parallel): execute the sweep; results merge in sweep order.
+  return par::parallel_map(jobs.size(), [&](std::size_t i) {
+    Job& job = jobs[i];
+    return profile_once(*job.layer, job.input_bytes, job.num_clients, job.rng);
+  });
 }
 
 }  // namespace perdnn

@@ -43,9 +43,17 @@ class ConcurrencyProfiler {
   std::vector<ProfileRecord> profile_models(
       std::span<const DnnModel* const> models, const ProfilerConfig& config);
 
-  /// Profiles a single layer at one nominal concurrency level.
+  /// Profiles a single layer at one nominal concurrency level, drawing from
+  /// the profiler's own stream.
   ProfileRecord profile_once(const LayerSpec& layer, Bytes input_bytes,
                              int num_clients);
+
+  /// Same, drawing from an explicit stream. profile_models() forks one
+  /// stream per (layer, level, sample) record — serially, in record order —
+  /// and then executes the records in parallel, so the sweep output is
+  /// identical at any thread count.
+  ProfileRecord profile_once(const LayerSpec& layer, Bytes input_bytes,
+                             int num_clients, Rng& rng) const;
 
  private:
   const GpuContentionModel* gpu_;

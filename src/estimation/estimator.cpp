@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "common/stats.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -18,6 +19,17 @@ constexpr Seconds kMinEstimate = 1e-7;
 Seconds clamp_estimate(double value) { return std::max(kMinEstimate, value); }
 
 }  // namespace
+
+std::vector<Seconds> LayerTimeEstimator::estimate_model(
+    const DnnModel& model, const GpuStats& stats) const {
+  const auto n = static_cast<std::size_t>(model.num_layers());
+  std::vector<Seconds> times(n);
+  par::parallel_for(n, [&](std::size_t i) {
+    const auto id = static_cast<LayerId>(i);
+    times[i] = estimate(model.layer(id), model.input_bytes(id), stats);
+  });
+  return times;
+}
 
 // ---------------------------------------------------------------- LL
 

@@ -38,6 +38,15 @@ class LayerTimeEstimator {
   virtual Seconds estimate(const LayerSpec& layer, Bytes input_bytes,
                            const GpuStats& stats) const = 0;
 
+  /// Batch estimate for every layer of a model under one GPU state — the
+  /// shape every plan-building call site needs. Layers are independent, so
+  /// the loop fans out across the parallel runtime; results are positional
+  /// and bit-identical to calling estimate() serially. estimate() must be
+  /// const-thread-safe (all built-in estimators are: trained models are
+  /// immutable after train()).
+  std::vector<Seconds> estimate_model(const DnnModel& model,
+                                      const GpuStats& stats) const;
+
   virtual std::string name() const = 0;
 };
 

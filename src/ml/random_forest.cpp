@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 
 namespace perdnn::ml {
 
@@ -16,8 +17,6 @@ void RandomForest::fit(const Dataset& data, Rng& rng) {
   data.check();
   PERDNN_CHECK(data.size() >= 4);
   num_features_ = data.num_features();
-  trees_.clear();
-  trees_.reserve(static_cast<std::size_t>(config_.num_trees));
 
   TreeConfig tree_config = config_.tree;
   if (tree_config.max_features == 0) {
@@ -34,13 +33,23 @@ void RandomForest::fit(const Dataset& data, Rng& rng) {
   const auto bootstrap_n = static_cast<std::size_t>(std::max(
       1.0, std::round(config_.bootstrap_fraction *
                       static_cast<double>(data.size()))));
-  for (int t = 0; t < config_.num_trees; ++t) {
-    std::vector<std::size_t> sample(bootstrap_n);
-    for (auto& s : sample) s = rng.index(data.size());
-    RegressionTree tree(tree_config);
-    tree.fit(data, sample, rng);
-    trees_.push_back(std::move(tree));
+  // Bootstrap samples and per-tree Rng streams are drawn serially, in tree
+  // order, from the caller's generator; the tree fits themselves are then
+  // independent, so the forest is identical at any thread count.
+  const auto num_trees = static_cast<std::size_t>(config_.num_trees);
+  std::vector<std::vector<std::size_t>> samples(num_trees);
+  std::vector<Rng> tree_rngs;
+  tree_rngs.reserve(num_trees);
+  for (std::size_t t = 0; t < num_trees; ++t) {
+    samples[t].resize(bootstrap_n);
+    for (auto& s : samples[t]) s = rng.index(data.size());
+    tree_rngs.push_back(rng.fork());
   }
+  trees_ = par::parallel_map(num_trees, [&](std::size_t t) {
+    RegressionTree tree(tree_config);
+    tree.fit(data, samples[t], tree_rngs[t]);
+    return tree;
+  });
 }
 
 double RandomForest::predict(const Vector& features) const {

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 
 namespace perdnn::ml {
 
@@ -75,14 +76,19 @@ void MultiOutputSvr::fit(const std::vector<Vector>& features,
                          const std::vector<Vector>& targets, Rng& rng) {
   PERDNN_CHECK(features.size() == targets.size());
   PERDNN_CHECK(!features.empty());
-  for (std::size_t out = 0; out < models_.size(); ++out) {
+  for (const Vector& t : targets) PERDNN_CHECK(t.size() == models_.size());
+  // One forked stream per output head, in output order, so the heads can
+  // train concurrently with reproducible shuffles.
+  std::vector<Rng> head_rngs;
+  head_rngs.reserve(models_.size());
+  for (std::size_t out = 0; out < models_.size(); ++out)
+    head_rngs.push_back(rng.fork());
+  par::parallel_for(models_.size(), [&](std::size_t out) {
     Dataset data;
-    for (std::size_t i = 0; i < features.size(); ++i) {
-      PERDNN_CHECK(targets[i].size() == models_.size());
+    for (std::size_t i = 0; i < features.size(); ++i)
       data.add(features[i], targets[i][out]);
-    }
-    models_[out].fit(data, rng);
-  }
+    models_[out].fit(data, head_rngs[out]);
+  });
 }
 
 Vector MultiOutputSvr::predict(const Vector& features) const {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 
 namespace perdnn {
 
@@ -30,12 +31,23 @@ PredictorEvaluation evaluate_predictor(const MobilityPredictor& predictor,
   const double search_radius = servers.grid().cell_radius() * 64.0;
   const double service_range = servers.grid().cell_radius();
 
-  PredictorEvaluation eval;
-  double err_all = 0.0;
-  double err_nonfutile = 0.0;
-  int in_range = 0;
-  for (const auto& traj : test) {
-    if (traj.points.size() < n + 1) continue;
+  // Traces are independent: tally each one in parallel, then merge the
+  // partial tallies in trace order. The merge order is fixed by the test
+  // set alone, so the floating-point error sums are identical at any thread
+  // count (the determinism contract of the parallel runtime).
+  struct Tally {
+    int total = 0;
+    int futile = 0;
+    int top1 = 0;
+    int top2 = 0;
+    double err_all = 0.0;
+    double err_nonfutile = 0.0;
+    int in_range = 0;
+  };
+  const auto tallies = par::parallel_map(test.size(), [&](std::size_t t) {
+    Tally tally;
+    const auto& traj = test[t];
+    if (traj.points.size() < n + 1) return tally;
     for (std::size_t i = n - 1; i + 1 < traj.points.size(); ++i) {
       const std::span<const Point> recent(traj.points.data(), i + 1);
       const Point actual = traj.points[i + 1];
@@ -44,22 +56,37 @@ PredictorEvaluation evaluate_predictor(const MobilityPredictor& predictor,
       const ServerId next = servers.nearest_server(actual, search_radius);
 
       const Point predicted = predictor.predict(recent);
-      ++eval.total_predictions;
-      err_all += distance(predicted, actual);
+      ++tally.total;
+      tally.err_all += distance(predicted, actual);
 
       if (next == current) {
-        ++eval.futile_predictions;
+        ++tally.futile;
         continue;
       }
-      err_nonfutile += distance(predicted, actual);
+      tally.err_nonfutile += distance(predicted, actual);
       const auto top2 = predictor.predict_servers(recent, 2, servers);
-      if (!top2.empty() && top2[0] == next) ++eval.top1_hits;
+      if (!top2.empty() && top2[0] == next) ++tally.top1;
       if (std::find(top2.begin(), top2.end(), next) != top2.end())
-        ++eval.top2_hits;
+        ++tally.top2;
       if (next != kNoServer &&
           distance(predicted, servers.server_center(next)) <= service_range)
-        ++in_range;
+        ++tally.in_range;
     }
+    return tally;
+  });
+
+  PredictorEvaluation eval;
+  double err_all = 0.0;
+  double err_nonfutile = 0.0;
+  int in_range = 0;
+  for (const Tally& tally : tallies) {
+    eval.total_predictions += tally.total;
+    eval.futile_predictions += tally.futile;
+    eval.top1_hits += tally.top1;
+    eval.top2_hits += tally.top2;
+    err_all += tally.err_all;
+    err_nonfutile += tally.err_nonfutile;
+    in_range += tally.in_range;
   }
   if (eval.total_predictions > 0)
     eval.mae_all_m = err_all / eval.total_predictions;

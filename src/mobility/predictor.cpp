@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 
 namespace perdnn {
 
@@ -82,7 +83,13 @@ std::vector<int> MarkovPredictor::discretize(
 
 void MarkovPredictor::fit(const std::vector<Trajectory>& train, Rng& /*rng*/) {
   PERDNN_CHECK(!train.empty());
-  for (const auto& traj : train) tree_.add_sequence(discretize(traj.points));
+  // Discretisation (nearest-server lookups) dominates and is independent per
+  // trace; the suffix tree itself is order-sensitive, so sequences are added
+  // serially in trace order.
+  const auto sequences = par::parallel_map(train.size(), [&](std::size_t i) {
+    return discretize(train[i].points);
+  });
+  for (const auto& symbols : sequences) tree_.add_sequence(symbols);
 }
 
 std::vector<ServerId> MarkovPredictor::predict_servers(
@@ -133,16 +140,29 @@ void SvrPredictor::fit(const std::vector<Trajectory>& train, Rng& rng) {
   PERDNN_CHECK(!coords.empty());
   scaler_.fit(coords);
 
-  std::vector<Vector> features;
-  std::vector<Vector> targets;
-  for (const auto& traj : train) {
-    if (traj.points.size() < n + 1) continue;
+  // Sliding-window encoding is independent per trace: encode in parallel,
+  // concatenate in trace order (identical layout to the serial loop).
+  struct Windows {
+    std::vector<Vector> features;
+    std::vector<Vector> targets;
+  };
+  const auto per_trace = par::parallel_map(train.size(), [&](std::size_t t) {
+    Windows w;
+    const auto& traj = train[t];
+    if (traj.points.size() < n + 1) return w;
     for (std::size_t i = n; i < traj.points.size(); ++i) {
-      features.push_back(
+      w.features.push_back(
           encode(std::span<const Point>(traj.points).subspan(i - n, n)));
-      targets.push_back(
+      w.targets.push_back(
           scaler_.transform({traj.points[i].x, traj.points[i].y}));
     }
+    return w;
+  });
+  std::vector<Vector> features;
+  std::vector<Vector> targets;
+  for (const Windows& w : per_trace) {
+    features.insert(features.end(), w.features.begin(), w.features.end());
+    targets.insert(targets.end(), w.targets.begin(), w.targets.end());
   }
   PERDNN_CHECK_MSG(!features.empty(), "no training windows of length n+1");
   model_ = std::make_unique<ml::MultiOutputSvr>(2, config_);
@@ -184,16 +204,29 @@ void RnnPredictor::fit(const std::vector<Trajectory>& train, Rng& rng) {
   PERDNN_CHECK(!coords.empty());
   scaler_.fit(coords);
 
-  std::vector<std::vector<Vector>> sequences;
-  std::vector<Vector> targets;
-  for (const auto& traj : train) {
-    if (traj.points.size() < n + 1) continue;
+  // As in SvrPredictor::fit: per-trace windows in parallel, merged in trace
+  // order.
+  struct Windows {
+    std::vector<std::vector<Vector>> sequences;
+    std::vector<Vector> targets;
+  };
+  const auto per_trace = par::parallel_map(train.size(), [&](std::size_t t) {
+    Windows w;
+    const auto& traj = train[t];
+    if (traj.points.size() < n + 1) return w;
     for (std::size_t i = n; i < traj.points.size(); ++i) {
-      sequences.push_back(
+      w.sequences.push_back(
           encode(std::span<const Point>(traj.points).subspan(i - n, n)));
-      targets.push_back(
+      w.targets.push_back(
           scaler_.transform({traj.points[i].x, traj.points[i].y}));
     }
+    return w;
+  });
+  std::vector<std::vector<Vector>> sequences;
+  std::vector<Vector> targets;
+  for (const Windows& w : per_trace) {
+    sequences.insert(sequences.end(), w.sequences.begin(), w.sequences.end());
+    targets.insert(targets.end(), w.targets.begin(), w.targets.end());
   }
   PERDNN_CHECK_MSG(!sequences.empty(), "no training windows of length n+1");
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <thread>
 
 #include "common/check.hpp"
 #include "common/stats.hpp"
@@ -29,92 +31,120 @@ std::vector<double> Histogram::default_bounds() {
 
 Histogram::Histogram(std::vector<double> bounds,
                      std::size_t max_exact_samples)
-    : bounds_(std::move(bounds)),
-      counts_(bounds_.size() + 1, 0),
-      max_exact_samples_(max_exact_samples) {
+    : bounds_(std::move(bounds)), max_exact_samples_(max_exact_samples) {
   PERDNN_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
                    "histogram bucket bounds must be sorted");
+  for (Shard& shard : shards_) shard.counts.assign(bounds_.size() + 1, 0);
+}
+
+Histogram::Shard& Histogram::local_shard() const {
+  // Each thread sticks to one shard, so a lone recording thread sees the
+  // exact unsharded behaviour and concurrent recorders rarely contend.
+  static thread_local const std::size_t shard =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kNumShards;
+  return shards_[shard];
 }
 
 void Histogram::observe(double v) {
-  std::lock_guard<std::mutex> lock(mu_);
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(shard.mu);
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
-  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
-  if (count_ == 0) {
-    min_ = max_ = v;
+  ++shard.counts[static_cast<std::size_t>(it - bounds_.begin())];
+  if (shard.count == 0) {
+    shard.min = shard.max = v;
   } else {
-    min_ = std::min(min_, v);
-    max_ = std::max(max_, v);
+    shard.min = std::min(shard.min, v);
+    shard.max = std::max(shard.max, v);
   }
-  ++count_;
-  sum_ += v;
-  if (samples_.size() < max_exact_samples_) {
-    samples_.push_back(v);
-  } else if (!samples_.empty() && count_ > max_exact_samples_) {
-    // Reservoir no longer covers the stream; exact quantiles are over.
-    samples_.clear();
-    samples_.shrink_to_fit();
+  ++shard.count;
+  shard.sum += v;
+  if (shard.samples.size() < max_exact_samples_) {
+    shard.samples.push_back(v);
+  } else if (!shard.samples.empty() && shard.count > max_exact_samples_) {
+    // Reservoir no longer covers this shard's stream; exact quantiles are
+    // over for the whole histogram (merge() notices the shortfall).
+    shard.samples.clear();
+    shard.samples.shrink_to_fit();
   }
+}
+
+Histogram::Merged Histogram::merge() const {
+  Merged m;
+  m.snap.bounds = bounds_;
+  m.snap.counts.assign(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.count == 0) continue;
+    for (std::size_t b = 0; b < shard.counts.size(); ++b)
+      m.snap.counts[b] += shard.counts[b];
+    if (m.snap.count == 0) {
+      m.snap.min = shard.min;
+      m.snap.max = shard.max;
+    } else {
+      m.snap.min = std::min(m.snap.min, shard.min);
+      m.snap.max = std::max(m.snap.max, shard.max);
+    }
+    m.snap.count += shard.count;
+    m.snap.sum += shard.sum;
+    m.samples.insert(m.samples.end(), shard.samples.begin(),
+                     shard.samples.end());
+  }
+  m.exact = m.samples.size() == m.snap.count;
+  return m;
 }
 
 std::uint64_t Histogram::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return count_;
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.count;
+  }
+  return total;
 }
 
 double Histogram::sum() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return sum_;
+  double total = 0.0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.sum;
+  }
+  return total;
 }
 
 double Histogram::mean() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  const Merged m = merge();
+  return m.snap.count ? m.snap.sum / static_cast<double>(m.snap.count) : 0.0;
 }
 
 double Histogram::quantile(double q) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return quantile_locked(q);
-}
-
-double Histogram::quantile_locked(double q) const {
   PERDNN_CHECK(q >= 0.0 && q <= 1.0);
-  if (count_ == 0) return 0.0;
-  if (count_ <= max_exact_samples_ && samples_.size() == count_)
-    return percentile(samples_, q * 100.0);
+  const Merged m = merge();
+  if (m.snap.count == 0) return 0.0;
+  // percentile() sorts, so the exact path is independent of shard order.
+  if (m.exact) return percentile(m.samples, q * 100.0);
 
   // Streaming path: linear interpolation inside the bucket holding the
   // target rank, clamped to the observed min/max.
-  const double rank = q * static_cast<double>(count_ - 1);
+  const double rank = q * static_cast<double>(m.snap.count - 1);
   std::uint64_t seen = 0;
-  for (std::size_t b = 0; b < counts_.size(); ++b) {
-    if (counts_[b] == 0) continue;
+  for (std::size_t b = 0; b < m.snap.counts.size(); ++b) {
+    if (m.snap.counts[b] == 0) continue;
     const double lo_rank = static_cast<double>(seen);
-    seen += counts_[b];
+    seen += m.snap.counts[b];
     const double hi_rank = static_cast<double>(seen - 1);
     if (rank > hi_rank) continue;
     const double lo =
-        b == 0 ? min_ : std::max(min_, bounds_[b - 1]);
+        b == 0 ? m.snap.min : std::max(m.snap.min, bounds_[b - 1]);
     const double hi =
-        b < bounds_.size() ? std::min(max_, bounds_[b]) : max_;
-    if (hi_rank <= lo_rank) return std::clamp(lo, min_, max_);
+        b < bounds_.size() ? std::min(m.snap.max, bounds_[b]) : m.snap.max;
+    if (hi_rank <= lo_rank) return std::clamp(lo, m.snap.min, m.snap.max);
     const double frac = (rank - lo_rank) / (hi_rank - lo_rank);
-    return std::clamp(lo + (hi - lo) * frac, min_, max_);
+    return std::clamp(lo + (hi - lo) * frac, m.snap.min, m.snap.max);
   }
-  return max_;
+  return m.snap.max;
 }
 
-HistogramSnapshot Histogram::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  HistogramSnapshot snap;
-  snap.bounds = bounds_;
-  snap.counts = counts_;
-  snap.count = count_;
-  snap.sum = sum_;
-  snap.min = min_;
-  snap.max = max_;
-  return snap;
-}
+HistogramSnapshot Histogram::snapshot() const { return merge().snap; }
 
 Registry& Registry::global() {
   static Registry* registry = new Registry;  // leaked: outlives all users

@@ -19,6 +19,7 @@
 // two runs with the same seed produce byte-identical JSON.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -71,11 +72,18 @@ struct HistogramSnapshot {
   double max = 0.0;
 };
 
-/// Fixed-bucket histogram with exact small-sample quantiles: the first
-/// `max_exact_samples` observations are retained verbatim, so quantile()
-/// matches perdnn::percentile() bit-for-bit until the reservoir fills; past
-/// that it falls back to linear interpolation inside the fixed buckets
-/// (streaming, bounded memory). Thread-safe via an internal mutex.
+/// Fixed-bucket histogram with exact small-sample quantiles: observations
+/// are retained verbatim while they all fit in the sample reservoirs, so
+/// quantile() matches perdnn::percentile() bit-for-bit on small streams;
+/// past that it falls back to linear interpolation inside the fixed buckets
+/// (streaming, bounded memory).
+///
+/// Thread-safe and sharded: each recording thread hashes to one of a small
+/// fixed number of shards (own mutex, counts, sum, min/max, reservoir), so
+/// concurrent observe() calls from the parallel runtime's workers do not
+/// serialise on a single lock. Readers merge every shard under its lock;
+/// with one recording thread the behaviour is identical to the unsharded
+/// histogram.
 class Histogram {
  public:
   /// Default bounds suit span durations in seconds: 1 us .. ~100 s,
@@ -91,24 +99,37 @@ class Histogram {
   double sum() const;
   double mean() const;
 
-  /// q in [0, 1]. Exact while the sample reservoir holds every observation,
+  /// q in [0, 1]. Exact while the sample reservoirs hold every observation,
   /// bucket-interpolated afterwards; 0 when empty.
   double quantile(double q) const;
 
   HistogramSnapshot snapshot() const;
 
  private:
-  double quantile_locked(double q) const;
+  static constexpr std::size_t kNumShards = 8;
 
-  mutable std::mutex mu_;
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<std::uint64_t> counts;  // bounds_.size() + 1
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::vector<double> samples;  // cleared once count > max_exact_samples_
+  };
+
+  struct Merged {
+    HistogramSnapshot snap;
+    std::vector<double> samples;  // all retained samples, every shard
+    bool exact = false;           // samples covers the full stream
+  };
+
+  Shard& local_shard() const;
+  Merged merge() const;
+
   std::vector<double> bounds_;
-  std::vector<std::uint64_t> counts_;  // bounds_.size() + 1
-  std::uint64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
   std::size_t max_exact_samples_;
-  std::vector<double> samples_;  // cleared once count_ > max_exact_samples_
+  mutable std::array<Shard, kNumShards> shards_;
 };
 
 /// Owns every metric series. Series are created on first touch and live as

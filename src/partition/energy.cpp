@@ -25,7 +25,7 @@ double plan_energy_joules(const PartitionContext& context,
   const DnnModel& model = *context.model;
   const auto n = static_cast<std::size_t>(model.num_layers());
   PERDNN_CHECK(plan.location.size() == n);
-  const std::vector<Bytes> live = live_cut_bytes(model);
+  const std::vector<Bytes>& live = context.live_bytes();
 
   double joules = 0.0;
   ExecLocation at = ExecLocation::kClient;
@@ -68,7 +68,7 @@ PartitionPlan compute_energy_best_plan(const PartitionContext& context,
   const auto n = static_cast<std::size_t>(model.num_layers());
   PERDNN_CHECK(context.server_time.size() == n);
   if (uploadable) PERDNN_CHECK(uploadable->size() == n);
-  const std::vector<Bytes> live = live_cut_bytes(model);
+  const std::vector<Bytes>& live = context.live_bytes();
 
   const auto up_joules = [&](std::size_t cut) {
     return (static_cast<double>(live[cut]) / context.net.uplink_bytes_per_sec +

@@ -52,6 +52,15 @@ std::vector<Bytes> live_cut_bytes(const DnnModel& model) {
   return live;
 }
 
+const std::vector<Bytes>& PartitionContext::live_bytes() const {
+  PERDNN_CHECK(model != nullptr);
+  if (live_bytes_for != model) {
+    live_bytes_cache = live_cut_bytes(*model);
+    live_bytes_for = model;
+  }
+  return live_bytes_cache;
+}
+
 namespace {
 
 void check_context(const PartitionContext& context) {
@@ -78,7 +87,7 @@ DpResult run_dp(const PartitionContext& context,
                 const std::vector<bool>* uploadable, bool backtrack) {
   const DnnModel& model = *context.model;
   const auto n = static_cast<std::size_t>(model.num_layers());
-  const std::vector<Bytes> live = live_cut_bytes(model);
+  const std::vector<Bytes>& live = context.live_bytes();
   const auto& ct = context.client_profile->client_time;
   const auto& st = context.server_time;
   const auto up = [&](std::size_t cut) {

@@ -46,6 +46,18 @@ struct PartitionContext {
   /// under its current GPU statistics).
   std::vector<Seconds> server_time;
   NetworkCondition net;
+
+  /// `live_cut_bytes(*model)`, computed once per context and reused by every
+  /// DP run on it (`plan_latency` is called in tight per-query loops, and the
+  /// live set only depends on the model graph). The cache is keyed on the
+  /// model pointer: copying a warmed context keeps it warm, swapping `model`
+  /// invalidates it. Filling is lazy and not synchronised — when sharing one
+  /// context across threads, warm it (call `live_bytes()`) first.
+  const std::vector<Bytes>& live_bytes() const;
+
+  /// Cache backing for live_bytes(); treat as private.
+  mutable std::vector<Bytes> live_bytes_cache;
+  mutable const DnnModel* live_bytes_for = nullptr;
 };
 
 struct PartitionPlan {

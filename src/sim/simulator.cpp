@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "device/device_profile.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeseries.hpp"
@@ -91,11 +92,7 @@ SimulationWorld build_world(const SimulationConfig& config,
   context.model = &world.model;
   context.client_profile = &world.client_profile;
   context.net = config.wireless;
-  context.server_time.reserve(
-      static_cast<std::size_t>(world.model.num_layers()));
-  for (LayerId id = 0; id < world.model.num_layers(); ++id)
-    context.server_time.push_back(world.estimator->estimate(
-        world.model.layer(id), world.model.input_bytes(id), stats));
+  context.server_time = world.estimator->estimate_model(world.model, stats);
   const PartitionPlan plan = compute_best_plan(context);
   world.canonical_schedule = plan_upload_order(
       context, plan, {.enumeration = UploadEnumeration::kAnchored});
@@ -166,8 +163,29 @@ class SimulatorImpl {
   SimulationMetrics run();
 
  private:
+  /// One deferred cold-start window: every input is frozen at attach time,
+  /// the (expensive, pure) query-loop evaluation runs later in a parallel
+  /// region, and its results merge back in attach order.
+  struct ColdJob {
+    ServerId sid = kNoServer;
+    const LoadLevelCache* lvl = nullptr;  // stable: map values never move
+    std::vector<bool> initial_mask;
+    std::vector<LayerId> pending;
+    Seconds routed_latency = kInfSeconds;
+    double link_factor = 1.0;
+  };
+  struct ColdResult {
+    long long queries = 0;
+    long long routed = 0;
+    Seconds latency_sum = 0.0;
+  };
+
   const LoadLevelCache& level(int load);
   void handle_attach(ClientId c, ServerId sid, int interval_index);
+  /// Evaluates every ColdJob queued by this interval's attach pass in
+  /// parallel and folds the results into metrics_/timeseries_ in submission
+  /// (client) order — bit-identical to the serial interleaving.
+  void flush_cold_jobs();
   void advance_uploads(int interval_index);
   void proactive_migration(int interval_index);
   void inject_failures(int interval_index);
@@ -180,15 +198,10 @@ class SimulatorImpl {
   std::optional<Point> predict_next(const ClientState& client,
                                     std::size_t history,
                                     std::size_t interval_index) const;
-  /// Queries completed inside one cold-start window. `routed_latency` is the
-  /// alternative path through the previous server (kInfSeconds when routing
-  /// is off); queries taking it are tallied in `routed_out`.
-  long long cold_window_queries(const LoadLevelCache& lvl,
-                                const std::vector<bool>& initial_mask,
-                                const std::vector<LayerId>& pending,
-                                Seconds routed_latency, double link_factor,
-                                long long* routed_out,
-                                Seconds* latency_sum_out) const;
+  /// Queries completed inside one cold-start window. Pure given the job
+  /// (reads only immutable world/config state), so it is safe to evaluate
+  /// from worker threads.
+  ColdResult cold_window_queries(const ColdJob& job) const;
   /// Per-query latency of offloading to the previous server through the
   /// backhaul; kInfSeconds when unavailable.
   Seconds routed_path_latency(ClientId c, ServerId previous,
@@ -209,6 +222,7 @@ class SimulatorImpl {
   std::vector<ClientState> clients_;
   std::vector<int> order_rank_;
   std::unordered_map<int, LoadLevelCache> levels_;
+  std::vector<ColdJob> cold_jobs_;  // this interval's deferred windows
   SimulationMetrics metrics_;
 };
 
@@ -221,19 +235,25 @@ const LoadLevelCache& SimulatorImpl::level(int load) {
   lvl.stats = world_.gpu->stats_for_load(
       load, static_cast<double>(load), rng_);
   const DnnModel& model = world_.model;
-  lvl.estimated.reserve(static_cast<std::size_t>(model.num_layers()));
-  lvl.true_time.reserve(static_cast<std::size_t>(model.num_layers()));
-  for (LayerId id = 0; id < model.num_layers(); ++id) {
+  // Per-layer estimator and ground-truth fills are independent; fan them
+  // out. Each index writes only its own slot, so the cache is identical at
+  // any thread count.
+  const auto n = static_cast<std::size_t>(model.num_layers());
+  lvl.estimated.resize(n);
+  lvl.true_time.resize(n);
+  par::parallel_for(n, [&](std::size_t i) {
+    const auto id = static_cast<LayerId>(i);
     const Bytes in_bytes = model.input_bytes(id);
-    lvl.estimated.push_back(
-        world_.estimator->estimate(model.layer(id), in_bytes, lvl.stats));
-    lvl.true_time.push_back(world_.gpu->expected_layer_time(
-        model.layer(id), in_bytes, static_cast<double>(load)));
-  }
-  PartitionContext context{.model = &model,
-                           .client_profile = &world_.client_profile,
-                           .server_time = lvl.estimated,
-                           .net = config_.wireless};
+    lvl.estimated[i] =
+        world_.estimator->estimate(model.layer(id), in_bytes, lvl.stats);
+    lvl.true_time[i] = world_.gpu->expected_layer_time(
+        model.layer(id), in_bytes, static_cast<double>(load));
+  });
+  PartitionContext context;
+  context.model = &model;
+  context.client_profile = &world_.client_profile;
+  context.server_time = lvl.estimated;
+  context.net = config_.wireless;
   lvl.plan = compute_best_plan(context);
   lvl.needed = lvl.plan.server_layers();
   return levels_.emplace(load, std::move(lvl)).first->second;
@@ -264,10 +284,11 @@ Seconds SimulatorImpl::routed_path_latency(ClientId c, ServerId previous,
   // client's unit of load.
   const LoadLevelCache& prev_lvl =
       level(attached_[static_cast<std::size_t>(previous)] + 1);
-  PartitionContext routed{.model = &world_.model,
-                          .client_profile = &world_.client_profile,
-                          .server_time = prev_lvl.true_time,
-                          .net = config_.wireless};
+  PartitionContext routed;
+  routed.model = &world_.model;
+  routed.client_profile = &world_.client_profile;
+  routed.server_time = prev_lvl.true_time;
+  routed.net = config_.wireless;
   // Wi-Fi to the new AP, then the backhaul hop: bottleneck bandwidth and
   // summed round-trip time.
   routed.net.uplink_bytes_per_sec = std::min(
@@ -279,55 +300,68 @@ Seconds SimulatorImpl::routed_path_latency(ClientId c, ServerId previous,
   return plan_latency(routed, prev_mask);
 }
 
-long long SimulatorImpl::cold_window_queries(
-    const LoadLevelCache& lvl, const std::vector<bool>& initial_mask,
-    const std::vector<LayerId>& pending, Seconds routed_latency,
-    double link_factor, long long* routed_out,
-    Seconds* latency_sum_out) const {
+SimulatorImpl::ColdResult SimulatorImpl::cold_window_queries(
+    const ColdJob& job) const {
   const DnnModel& model = world_.model;
   // Execution sees the *actual* wireless rate of this attachment; the
   // master's plan was made against the nominal one.
-  PartitionContext context{.model = &model,
-                           .client_profile = &world_.client_profile,
-                           .server_time = lvl.true_time,
-                           .net = config_.wireless};
-  context.net.uplink_bytes_per_sec *= link_factor;
-  context.net.downlink_bytes_per_sec *= link_factor;
+  PartitionContext context;
+  context.model = &model;
+  context.client_profile = &world_.client_profile;
+  context.server_time = job.lvl->true_time;
+  context.net = config_.wireless;
+  context.net.uplink_bytes_per_sec *= job.link_factor;
+  context.net.downlink_bytes_per_sec *= job.link_factor;
   // Cumulative bytes of the pending upload sequence.
   std::vector<Bytes> cumulative;
-  cumulative.reserve(pending.size());
+  cumulative.reserve(job.pending.size());
   Bytes acc = 0;
-  for (LayerId id : pending) {
+  for (LayerId id : job.pending) {
     acc += model.layer(id).weight_bytes;
     cumulative.push_back(acc);
   }
 
-  long long count = 0;
+  ColdResult result;
   Seconds now = 0.0;
-  std::vector<bool> mask = initial_mask;
+  std::vector<bool> mask = job.initial_mask;
   std::size_t arrived = 0;
   while (true) {
     const Bytes uploaded = static_cast<Bytes>(
         now * context.net.uplink_bytes_per_sec);
-    while (arrived < pending.size() && cumulative[arrived] <= uploaded) {
-      mask[static_cast<std::size_t>(pending[arrived])] = true;
+    while (arrived < job.pending.size() && cumulative[arrived] <= uploaded) {
+      mask[static_cast<std::size_t>(job.pending[arrived])] = true;
       ++arrived;
     }
     Seconds latency = plan_latency(context, mask);
     // Routing fallback: take the backhaul path to the previous server when
     // it is faster than what the (still warming) new server offers.
-    if (routed_latency < latency) {
-      latency = routed_latency;
-      if (now + latency <= world_.interval && routed_out != nullptr)
-        ++*routed_out;
+    if (job.routed_latency < latency) {
+      latency = job.routed_latency;
+      if (now + latency <= world_.interval) ++result.routed;
     }
     if (now + latency > world_.interval) break;
-    ++count;
-    if (latency_sum_out != nullptr) *latency_sum_out += latency;
+    ++result.queries;
+    result.latency_sum += latency;
     obs::observe("sim.cold_window.query_latency_s", latency);
     now += latency + config_.query_gap;
   }
-  return count;
+  return result;
+}
+
+void SimulatorImpl::flush_cold_jobs() {
+  if (cold_jobs_.empty()) return;
+  const auto results =
+      par::parallel_map(cold_jobs_.size(), [&](std::size_t i) {
+        return cold_window_queries(cold_jobs_[i]);
+      });
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    metrics_.cold_window_queries += results[i].queries;
+    metrics_.routed_queries += results[i].routed;
+    if (timeseries_ != nullptr)
+      timeseries_->record_cold_queries(cold_jobs_[i].sid, results[i].queries,
+                                       results[i].latency_sum);
+  }
+  cold_jobs_.clear();
 }
 
 void SimulatorImpl::handle_attach(ClientId c, ServerId sid,
@@ -394,17 +428,16 @@ void SimulatorImpl::handle_attach(ClientId c, ServerId sid,
 
   client.pending = order_by_canonical(std::move(missing));
   // Mask the execution sees initially: any cached layer may be used, the
-  // plan decides. The routed path (if enabled) competes per query.
-  std::vector<bool> initial_mask = std::move(available);
-  const Seconds routed = routed_path_latency(c, previous, interval_index);
-  Seconds latency_sum = 0.0;
-  const long long queries =
-      cold_window_queries(lvl, initial_mask, client.pending, routed,
-                          client.link_factor, &metrics_.routed_queries,
-                          &latency_sum);
-  metrics_.cold_window_queries += queries;
-  if (timeseries_ != nullptr)
-    timeseries_->record_cold_queries(sid, queries, latency_sum);
+  // plan decides. The routed path (if enabled) competes per query. The
+  // query-window evaluation itself is deferred: it is pure given the state
+  // frozen here, so flush_cold_jobs() fans it out after the attach pass.
+  cold_jobs_.push_back({.sid = sid,
+                        .lvl = &lvl,
+                        .initial_mask = std::move(available),
+                        .pending = client.pending,
+                        .routed_latency =
+                            routed_path_latency(c, previous, interval_index),
+                        .link_factor = client.link_factor});
 }
 
 void SimulatorImpl::advance_uploads(int interval_index) {
@@ -650,6 +683,9 @@ SimulationMetrics SimulatorImpl::run() {
       if (sid == kNoServer) continue;  // nothing reachable (outage)
       if (sid != client.current) handle_attach(c, sid, interval_index);
     }
+    // 1b) Evaluate this interval's cold-start windows in parallel; results
+    //     merge in attach order.
+    flush_cold_jobs();
 
     // 2) Incremental uploads progress; attached entries stay fresh.
     advance_uploads(interval_index);

@@ -1,0 +1,131 @@
+// Tier-1 determinism gate for the parallel runtime: the same seeded
+// simulation must produce byte-identical metrics and per-interval
+// timeseries at --threads 1, 2 and 8. This is the contract that makes the
+// thread count a pure performance knob (docs: "Parallel runtime" in
+// DESIGN.md).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "common/parallel.hpp"
+#include "mobility/trace_gen.hpp"
+#include "obs/timeseries.hpp"
+#include "sim/simulator.hpp"
+
+namespace perdnn {
+namespace {
+
+/// Every SimulationMetrics field rendered with full precision, so any
+/// drifting bit — including in the floating-point aggregates — flips the
+/// comparison.
+std::string metrics_fingerprint(const SimulationMetrics& m) {
+  std::string out;
+  char buf[128];
+  const auto add = [&](const char* name, double v) {
+    std::snprintf(buf, sizeof buf, "%s=%.17g\n", name, v);
+    out += buf;
+  };
+  add("cold_window_queries", static_cast<double>(m.cold_window_queries));
+  add("server_changes", m.server_changes);
+  add("hits", m.hits);
+  add("partials", m.partials);
+  add("misses", m.misses);
+  add("server_failures", m.server_failures);
+  add("failure_evictions", m.failure_evictions);
+  add("routed_queries", static_cast<double>(m.routed_queries));
+  add("peak_uplink_mbps", m.peak_uplink_mbps);
+  add("peak_downlink_mbps", m.peak_downlink_mbps);
+  add("fraction_servers_within_100mbps", m.fraction_servers_within_100mbps);
+  add("fraction_servers_within_100mbps_at_peak",
+      m.fraction_servers_within_100mbps_at_peak);
+  add("total_migrated_bytes", static_cast<double>(m.total_migrated_bytes));
+  add("num_servers", m.num_servers);
+  add("num_clients", m.num_clients);
+  add("num_intervals", m.num_intervals);
+  for (std::size_t s = 0; s < m.server_peak_uplink_mbps.size(); ++s) {
+    std::snprintf(buf, sizeof buf, "server_peak[%zu]=%.17g\n", s,
+                  m.server_peak_uplink_mbps[s]);
+    out += buf;
+  }
+  return out;
+}
+
+class ParallelDeterminismTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CampusTraceConfig train_config;
+    train_config.num_users = 8;
+    train_config.duration = 1.0 * 3600.0;
+    train_config.sample_interval = 20.0;
+    train_config.seed = 100;
+    CampusTraceConfig test_config = train_config;
+    test_config.num_users = 5;
+    test_config.seed = 200;
+
+    config_ = new SimulationConfig;
+    config_->model = ModelName::kMobileNet;
+    config_->policy = MigrationPolicy::kProactive;
+    config_->migration_radius_m = 100.0;
+    config_->routing_fallback = true;
+    config_->bandwidth_jitter_sigma = 0.3;
+    config_->seed = 5;
+
+    world_ = new SimulationWorld(
+        build_world(*config_, generate_campus_traces(train_config),
+                    generate_campus_traces(test_config)));
+  }
+
+  static void TearDownTestSuite() {
+    delete world_;
+    delete config_;
+    world_ = nullptr;
+    config_ = nullptr;
+    par::set_num_threads(0);
+  }
+
+  struct RunResult {
+    std::string metrics;
+    std::string timeseries_csv;
+  };
+
+  static RunResult run_at(int threads) {
+    par::set_num_threads(threads);
+    obs::SimTimeseries timeseries;
+    const SimulationMetrics metrics =
+        run_simulation(*config_, *world_, &timeseries);
+    std::ostringstream csv;
+    timeseries.write_csv(csv);
+    return {metrics_fingerprint(metrics), csv.str()};
+  }
+
+  static SimulationConfig* config_;
+  static SimulationWorld* world_;
+};
+
+SimulationConfig* ParallelDeterminismTest::config_ = nullptr;
+SimulationWorld* ParallelDeterminismTest::world_ = nullptr;
+
+TEST_F(ParallelDeterminismTest, MetricsAndTimeseriesIdenticalAt1_2_8Threads) {
+  const RunResult serial = run_at(1);
+  const RunResult two = run_at(2);
+  const RunResult eight = run_at(8);
+
+  ASSERT_FALSE(serial.metrics.empty());
+  ASSERT_FALSE(serial.timeseries_csv.empty());
+  EXPECT_EQ(serial.metrics, two.metrics);
+  EXPECT_EQ(serial.metrics, eight.metrics);
+  EXPECT_EQ(serial.timeseries_csv, two.timeseries_csv);
+  EXPECT_EQ(serial.timeseries_csv, eight.timeseries_csv);
+}
+
+TEST_F(ParallelDeterminismTest, RepeatedParallelRunsAreStable) {
+  const RunResult a = run_at(8);
+  const RunResult b = run_at(8);
+  EXPECT_EQ(a.metrics, b.metrics);
+  EXPECT_EQ(a.timeseries_csv, b.timeseries_csv);
+}
+
+}  // namespace
+}  // namespace perdnn

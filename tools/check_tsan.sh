@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Builds the repo with ThreadSanitizer (-DPERDNN_SANITIZE=thread) and runs
+# the tests that exercise the parallel runtime under a real thread pool:
+# the parallel_for/parallel_map unit tests, the simulator (including the
+# 1/2/8-thread determinism gate), and the multi-threaded metrics tests.
+#
+# Usage: tools/check_tsan.sh [build-dir]     (default: build-tsan)
+# PERDNN_THREADS is forced to 4 so every parallel region actually fans out.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DPERDNN_SANITIZE=thread
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+export PERDNN_THREADS=4
+# halt_on_error makes any race fail the ctest invocation instead of just
+# printing a report.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure \
+  -R 'Parallel|Simulator|Metrics'
+
+echo "TSan check passed (build dir: $BUILD_DIR)"

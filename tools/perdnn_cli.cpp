@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "core/perdnn.hpp"
 #include "mobility/trace_gen.hpp"
@@ -51,7 +52,9 @@ int usage() {
                "<campus|urban|traces.txt> [ionn|perdnn|optimal]\n"
                "                  [--timeseries-out FILE] [--metrics-out "
                "FILE] [--trace-out FILE]\n"
-               "  perdnn profile <model> <out.txt>\n");
+               "  perdnn profile <model> <out.txt>\n"
+               "global flags: --threads N (worker pool size; 1 = serial, "
+               "default PERDNN_THREADS or hardware)\n");
   return 2;
 }
 
@@ -337,6 +340,8 @@ int cmd_profile(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip --threads N / --threads=N (any position) and size the pool.
+  argc = par::init_threads_from_cli(argc, argv);
   if (argc < 2) return usage();
   const std::string command = argv[1];
   try {
