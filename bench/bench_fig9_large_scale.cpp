@@ -7,12 +7,20 @@
 // policy run additionally dumps its per-interval per-server timeseries to
 // <prefix>_<dataset>_<model>_<policy>.csv, so each bar of the figure can be
 // decomposed interval by interval.
+//
+// `--no-fastpath` disables the single-query fast path (flattened-forest
+// estimator, memoised estimates, incremental upload scoring) so the
+// end-to-end wall-clock printed at exit can be compared fast path on vs
+// off; the figures themselves are byte-identical either way.
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iterator>
 #include <sstream>
 #include <string>
 
+#include "common/fastpath.hpp"
 #include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "datasets.hpp"
@@ -113,14 +121,26 @@ void run_dataset(const DatasetPair& data, const char* out_prefix) {
 
 int main(int argc, char** argv) {
   argc = par::init_threads_from_cli(argc, argv);
-  const char* out_prefix = argc > 1 ? argv[1] : nullptr;
+  const char* out_prefix = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-fastpath") == 0)
+      perdnn::fastpath::set_enabled(false);
+    else
+      out_prefix = argv[i];
+  }
   std::printf("=== Fig 9: executed queries and hit ratios during the "
               "large-scale simulation ===\n");
   std::printf("paper shape: IONN < PerDNN(r=50) < PerDNN(r=100) < Optimal;\n"
               "hit ratio grows with r; KAIST (slow users) hits more than "
               "Geolife (fast users);\nMobileNet gains little (tiny model), "
               "Inception/ResNet gain a lot\n");
+  const auto start = std::chrono::steady_clock::now();
   run_dataset(kaist_like(), out_prefix);
   run_dataset(geolife_like(), out_prefix);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  std::printf("\ntotal wall-clock %.3fs (fast path %s, %d threads)\n",
+              elapsed.count(), perdnn::fastpath::enabled() ? "on" : "off",
+              par::num_threads());
   return 0;
 }

@@ -2,12 +2,16 @@
 // partitioning DP (runs per query in the simulator), upload-order planning
 // (runs per server change), min-cut, and the mobility predictors.
 //
-// `bench_micro --json <path>` switches to the parallel-runtime comparison
-// harness instead: it times the simulator, random-forest training, and the
-// profiler sweep once serially (--threads 1) and once with the configured
-// pool, and writes serial/parallel wall-clock plus speedup as JSON (the
-// BENCH_parallel.json artifact). `--threads N` / PERDNN_THREADS pick the
-// pool size for the parallel leg.
+// `bench_micro --json <path>` switches to the comparison harness instead:
+// it times the simulator, random-forest training, and the profiler sweep
+// once serially (--threads 1) and once with the configured pool
+// ("benches", the BENCH_parallel.json shape), then times the single-query
+// fast path against its reference implementations ("fastpath", the
+// BENCH_fastpath.json artifact): flattened-forest estimator batches vs
+// pointer-walking ensembles, and incremental upload-order scoring vs the
+// full-replan reference. `--threads N` / PERDNN_THREADS pick the pool size
+// for the parallel leg; the fast-path legs always run serially so the
+// numbers isolate the algorithmic change.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -16,6 +20,7 @@
 #include <functional>
 #include <string>
 
+#include "common/fastpath.hpp"
 #include "common/parallel.hpp"
 #include "core/perdnn.hpp"
 #include "datasets.hpp"
@@ -180,6 +185,97 @@ int run_parallel_bench(const char* json_path, int threads) {
                 w.name, serial_s, threads, parallel_s, speedup);
     first = false;
   }
+
+  // --------------------------------- single-query fast-path comparison
+  // Baseline legs run the reference implementations (pointer-walking
+  // ensembles, full-replan upload scoring); fast legs run the fast path
+  // (FlatForest, incremental DP scoring). Both serial, so the ratio is the
+  // algorithmic speedup alone (docs: "Single-query fast path" in DESIGN.md).
+  par::set_num_threads(1);
+  const bool fastpath_was_enabled = fastpath::enabled();
+
+  RandomForestEstimator estimator;
+  {
+    Rng rng(7);
+    estimator.train(records, rng);
+  }
+  DnnProfile client = profile_on_client(inception, odroid_xu4_profile());
+  const DnnProfile server = profile_on_client(inception, titan_xp_profile());
+  PartitionContext context;
+  context.model = &inception;
+  context.client_profile = &client;
+  context.server_time = server.client_time;
+  const PartitionPlan plan = compute_best_plan(context);
+
+  // Distinct GpuStats per repetition so no cache could short-circuit the
+  // sweep: this measures the estimator itself, not memoisation.
+  const auto estimate_sweep = [&] {
+    GpuStats stats;
+    double sink = 0.0;
+    for (int i = 0; i < 200; ++i) {
+      stats.num_clients = i % 8 + 1;
+      stats.kernel_util = 0.1 + 0.001 * i;
+      for (const Seconds s : estimator.estimate_model(inception, stats))
+        sink += s;
+    }
+    benchmark::DoNotOptimize(sink);
+  };
+  const auto upload_sweep = [&](UploadEnumeration enumeration,
+                                UploadScoring scoring) {
+    for (int i = 0; i < 3; ++i)
+      benchmark::DoNotOptimize(plan_upload_order(
+          context, plan,
+          {.enumeration = enumeration, .scoring = scoring}));
+  };
+
+  struct FastBench {
+    const char* name;
+    std::function<void()> baseline;
+    std::function<void()> fast;
+  };
+  const FastBench fast_benches[] = {
+      {"estimator_batch",
+       [&] {
+         fastpath::set_enabled(false);
+         estimate_sweep();
+       },
+       [&] {
+         fastpath::set_enabled(true);
+         estimate_sweep();
+       }},
+      {"upload_order_exact",
+       [&] {
+         upload_sweep(UploadEnumeration::kExact, UploadScoring::kReference);
+       },
+       [&] {
+         upload_sweep(UploadEnumeration::kExact, UploadScoring::kIncremental);
+       }},
+      {"upload_order_anchored",
+       [&] {
+         upload_sweep(UploadEnumeration::kAnchored, UploadScoring::kReference);
+       },
+       [&] {
+         upload_sweep(UploadEnumeration::kAnchored,
+                      UploadScoring::kIncremental);
+       }}};
+
+  std::fprintf(out, "],\"fastpath\":[");
+  first = true;
+  for (const FastBench& b : fast_benches) {
+    b.fast();  // warm-up: touches every code path and scratch buffer once
+    const double baseline_s = wall_seconds(b.baseline);
+    const double fast_s = wall_seconds(b.fast);
+    const double speedup = fast_s > 0.0 ? baseline_s / fast_s : 0.0;
+    std::fprintf(out,
+                 "%s{\"name\":\"%s\",\"baseline_s\":%.6f,\"fast_s\":%.6f,"
+                 "\"speedup\":%.3f}",
+                 first ? "" : ",", b.name, baseline_s, fast_s, speedup);
+    std::printf("%-22s baseline %.3fs  fast %.3fs  speedup %.2fx\n", b.name,
+                baseline_s, fast_s, speedup);
+    first = false;
+  }
+  fastpath::set_enabled(fastpath_was_enabled);
+
   std::fprintf(out, "]}\n");
   std::fclose(out);
   std::printf("wrote %s\n", json_path);

@@ -1,0 +1,29 @@
+#include "common/fastpath.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace perdnn::fastpath {
+
+namespace {
+
+bool initial_state() {
+  const char* env = std::getenv("PERDNN_NO_FASTPATH");
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "0") == 0)
+    return true;
+  return false;
+}
+
+std::atomic<bool>& flag() {
+  static std::atomic<bool> state{initial_state()};
+  return state;
+}
+
+}  // namespace
+
+bool enabled() { return flag().load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { flag().store(on, std::memory_order_relaxed); }
+
+}  // namespace perdnn::fastpath

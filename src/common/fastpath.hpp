@@ -1,0 +1,25 @@
+// Process-wide switch for the estimation/partitioning fast path (flattened
+// forest inference, estimate memoisation, incremental upload-order DP).
+//
+// The fast path is a pure performance optimisation: every consumer is
+// required to produce byte-identical results with the flag on or off (the
+// determinism contract tested by tests/sim/parallel_determinism_test.cpp and
+// the flat-forest / upload-order equivalence tests). The flag therefore
+// exists only as an escape hatch for debugging and for measuring the win
+// (`bench_micro --json`, `bench_fig9_large_scale --no-fastpath`).
+//
+// Resolution: enabled by default; the PERDNN_NO_FASTPATH environment
+// variable (any non-empty value other than "0") disables it at startup;
+// set_enabled() overrides either way. Reads are lock-free; toggling while
+// parallel regions are running estimator or planner code is not supported.
+#pragma once
+
+namespace perdnn::fastpath {
+
+/// True when fast-path implementations should be used.
+bool enabled();
+
+/// Explicit override (e.g. from a `--no-fastpath` CLI flag).
+void set_enabled(bool on);
+
+}  // namespace perdnn::fastpath

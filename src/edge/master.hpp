@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "estimation/estimate_cache.hpp"
 #include "estimation/estimator.hpp"
 #include "geo/server_map.hpp"
 #include "mobility/predictor.hpp"
@@ -94,6 +95,13 @@ class MasterServer {
       const StatsProvider& stats_of,
       std::optional<Bytes> byte_budget = std::nullopt) const;
 
+  /// Drops the memoised layer estimates. Call when a statistics interval
+  /// rolls over (stale GpuStats keys would only waste cache space — exact
+  /// keying already prevents stale hits) or after retraining the estimator
+  /// in place. register_client() invalidates internally because growing the
+  /// client table can reallocate the models the cache keys by address.
+  void invalidate_estimates();
+
  private:
   struct ClientRecord {
     DnnModel model;
@@ -110,6 +118,11 @@ class MasterServer {
   std::shared_ptr<const MobilityPredictor> predictor_;
   Config config_;
   std::vector<ClientRecord> clients_;
+  /// Memoised estimator output, shared by every planning entry point (they
+  /// are all const). Co-located candidate servers and repeated pings within
+  /// one statistics interval report identical GpuStats, so select_server and
+  /// plan_migrations hit instead of re-running the estimator per layer.
+  mutable EstimateCache estimate_cache_;
 };
 
 }  // namespace perdnn

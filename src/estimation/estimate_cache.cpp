@@ -1,0 +1,58 @@
+#include "estimation/estimate_cache.hpp"
+
+#include <bit>
+
+#include "common/check.hpp"
+#include "obs/metrics.hpp"
+
+namespace perdnn {
+
+EstimateCache::EstimateCache(std::size_t max_entries)
+    : max_entries_(max_entries) {
+  PERDNN_CHECK(max_entries_ >= 1);
+}
+
+std::size_t EstimateCache::KeyHash::operator()(const Key& key) const {
+  // FNV-1a over the key's 64-bit words; quality is plenty for a memo table.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      h ^= (v >> shift) & 0xffULL;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(reinterpret_cast<std::uintptr_t>(key.model));
+  mix(key.generation);
+  for (std::uint64_t bits : key.stats_bits) mix(bits);
+  return static_cast<std::size_t>(h);
+}
+
+const std::vector<Seconds>& EstimateCache::estimates(
+    const LayerTimeEstimator& estimator, const DnnModel& model,
+    const GpuStats& stats) {
+  Key key;
+  key.model = &model;
+  key.generation = estimator.generation();
+  key.stats_bits = {static_cast<std::uint64_t>(
+                        static_cast<std::uint32_t>(stats.num_clients)),
+                    std::bit_cast<std::uint64_t>(stats.kernel_util),
+                    std::bit_cast<std::uint64_t>(stats.mem_util),
+                    std::bit_cast<std::uint64_t>(stats.mem_usage_mb),
+                    std::bit_cast<std::uint64_t>(stats.temperature_c)};
+
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++hits_;
+    obs::count("estimate_cache.hits");
+    return it->second;
+  }
+  ++misses_;
+  obs::count("estimate_cache.misses");
+  if (entries_.size() >= max_entries_) entries_.clear();
+  return entries_.emplace(key, estimator.estimate_model(model, stats))
+      .first->second;
+}
+
+void EstimateCache::invalidate() { entries_.clear(); }
+
+}  // namespace perdnn

@@ -1,0 +1,77 @@
+// Memoised per-layer server-time estimates (the fast path's interval-scoped
+// estimate cache).
+//
+// The control plane evaluates the same estimator on the same (model, GPU
+// state) pair over and over: the master re-plans for every candidate server
+// a client can see, and co-located candidates — or repeated pings within one
+// statistics interval — report identical GpuStats. The cache keys the full
+// estimate_model() output vector by
+//
+//     (model identity, estimator generation, exact GpuStats bit pattern)
+//
+// so a hit returns the previously computed vector without touching the
+// estimator. Keying rules:
+//   * model identity is the DnnModel address — owners whose model storage
+//     can move (e.g. MasterServer's client table) must invalidate() on any
+//     mutation that may reallocate;
+//   * the estimator generation (bumped by every train()) makes entries from
+//     before a retrain unreachable, so retraining needs no explicit flush;
+//   * GpuStats are compared bit-exactly — the cache only ever short-circuits
+//     calls that would have produced byte-identical outputs, which is what
+//     keeps fast-path-on and fast-path-off runs indistinguishable.
+// invalidate() is the explicit hook for per-interval statistics refreshes
+// (and is also called internally when the entry count exceeds the soft cap).
+//
+// Not thread-safe: callers use it from the serial control-plane sections
+// (the simulator's level fill, the master's planning calls).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "estimation/estimator.hpp"
+
+namespace perdnn {
+
+class EstimateCache {
+ public:
+  /// `max_entries` bounds growth: exceeding it clears the cache (simple and
+  /// deterministic; an LRU would add bookkeeping to the hit path).
+  explicit EstimateCache(std::size_t max_entries = 4096);
+
+  /// Memoised `estimator.estimate_model(model, stats)`. The returned
+  /// reference stays valid until the next invalidate() (or cap-triggered
+  /// clear on a later miss).
+  const std::vector<Seconds>& estimates(const LayerTimeEstimator& estimator,
+                                        const DnnModel& model,
+                                        const GpuStats& stats);
+
+  /// Drops every entry (per-interval statistics refresh, model reallocation).
+  void invalidate();
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Key {
+    const void* model = nullptr;
+    std::uint64_t generation = 0;
+    /// num_clients plus the four doubles of GpuStats, bit-cast.
+    std::array<std::uint64_t, 5> stats_bits{};
+
+    bool operator==(const Key& other) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const;
+  };
+
+  std::size_t max_entries_;
+  std::unordered_map<Key, std::vector<Seconds>, KeyHash> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace perdnn

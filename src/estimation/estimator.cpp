@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/check.hpp"
+#include "common/fastpath.hpp"
 #include "common/parallel.hpp"
 #include "common/stats.hpp"
 #include "obs/metrics.hpp"
@@ -17,6 +18,15 @@ namespace {
 constexpr Seconds kMinEstimate = 1e-7;
 
 Seconds clamp_estimate(double value) { return std::max(kMinEstimate, value); }
+
+// Reusable per-thread feature buffer: estimate() is const-thread-safe and
+// runs under par::parallel_for, so the scratch must be thread-local. After
+// the first call on a thread the resize is a no-op and the estimate path
+// performs no heap allocation for feature assembly.
+Vector& feature_scratch() {
+  thread_local Vector scratch;
+  return scratch;
+}
 
 }  // namespace
 
@@ -36,8 +46,10 @@ std::vector<Seconds> LayerTimeEstimator::estimate_model(
 void NeurosurgeonEstimator::train(const std::vector<ProfileRecord>& records,
                                   Rng& /*rng*/) {
   PERDNN_CHECK(!records.empty());
+  bump_generation();
   models_.clear();
   kind_fallback_.clear();
+  count_index_.clear();
 
   std::map<std::pair<LayerKind, int>, ml::Dataset> buckets;
   std::map<LayerKind, ml::Dataset> kind_buckets;
@@ -61,27 +73,42 @@ void NeurosurgeonEstimator::train(const std::vector<ProfileRecord>& records,
   }
   PERDNN_CHECK_MSG(!models_.empty() || !kind_fallback_.empty(),
                    "no bucket had enough samples to train");
+  // models_ iterates in (kind, count) order, so per-kind vectors come out
+  // already sorted by client count — ready for binary search in estimate().
+  for (const auto& [key, model] : models_)
+    count_index_[key.first].emplace_back(key.second, &model);
 }
 
 Seconds NeurosurgeonEstimator::estimate(const LayerSpec& layer,
                                         Bytes input_bytes,
                                         const GpuStats& stats) const {
-  const Vector feats = layer_features(layer, input_bytes);
+  Vector& feats = feature_scratch();
+  layer_features_into(layer, input_bytes, feats);
   // Exact (kind, clients) bucket if we have it...
-  auto it = models_.find({layer.kind, stats.num_clients});
-  if (it == models_.end()) {
-    // ... else the nearest trained client count for this kind.
-    int best_delta = std::numeric_limits<int>::max();
-    for (const auto& [key, model] : models_) {
-      if (key.first != layer.kind) continue;
-      const int delta = std::abs(key.second - stats.num_clients);
-      if (delta < best_delta) {
-        best_delta = delta;
-        it = models_.find(key);
-      }
+  const ml::RidgeRegression* model = nullptr;
+  const auto it = models_.find({layer.kind, stats.num_clients});
+  if (it != models_.end()) {
+    model = &it->second;
+  } else if (const auto idx = count_index_.find(layer.kind);
+             idx != count_index_.end()) {
+    // ... else the nearest trained client count for this kind; ties go to
+    // the lower count, matching the original ascending scan.
+    const auto& counts = idx->second;
+    const auto hi = std::lower_bound(
+        counts.begin(), counts.end(), stats.num_clients,
+        [](const auto& entry, int value) { return entry.first < value; });
+    if (hi == counts.begin()) {
+      model = hi->second;
+    } else if (hi == counts.end()) {
+      model = std::prev(hi)->second;
+    } else {
+      const auto lo = std::prev(hi);
+      const int delta_lo = stats.num_clients - lo->first;
+      const int delta_hi = hi->first - stats.num_clients;
+      model = delta_lo <= delta_hi ? lo->second : hi->second;
     }
   }
-  if (it != models_.end()) return clamp_estimate(it->second.predict(feats));
+  if (model != nullptr) return clamp_estimate(model->predict(feats));
   const auto fb = kind_fallback_.find(layer.kind);
   if (fb != kind_fallback_.end())
     return clamp_estimate(fb->second.predict(feats));
@@ -93,6 +120,7 @@ Seconds NeurosurgeonEstimator::estimate(const LayerSpec& layer,
 void LoadAwareLinearEstimator::train(const std::vector<ProfileRecord>& records,
                                      Rng& /*rng*/) {
   PERDNN_CHECK(!records.empty());
+  bump_generation();
   models_.clear();
 
   std::map<LayerKind, ml::Dataset> buckets;
@@ -118,7 +146,8 @@ Seconds LoadAwareLinearEstimator::estimate(const LayerSpec& layer,
                                            Bytes input_bytes,
                                            const GpuStats& stats) const {
   PERDNN_CHECK_MSG(global_ != nullptr, "estimate() before train()");
-  const Vector feats = combined_features(layer, input_bytes, stats);
+  Vector& feats = feature_scratch();
+  combined_features_into(layer, input_bytes, stats, feats);
   const auto it = models_.find(layer.kind);
   if (it != models_.end()) return clamp_estimate(it->second.predict(feats));
   return clamp_estimate(global_->predict(feats));
@@ -135,7 +164,9 @@ void RandomForestEstimator::train(const std::vector<ProfileRecord>& records,
   PERDNN_SPAN("estimator.train");
   obs::count("estimator.train_records", static_cast<double>(records.size()));
   PERDNN_CHECK(!records.empty());
+  bump_generation();
   models_.clear();
+  flat_.clear();
 
   std::map<LayerKind, ml::Dataset> buckets;
   ml::Dataset all;
@@ -149,6 +180,7 @@ void RandomForestEstimator::train(const std::vector<ProfileRecord>& records,
     if (data.size() < 16) continue;
     ml::RandomForest forest(config_.forest);
     forest.fit(data, rng);
+    flat_.emplace(kind, ml::FlatForest::compile(forest));
     models_.emplace(kind, std::move(forest));
   }
   const ml::RidgeConfig linear_config{.ridge = 1e-4, .log_features = true};
@@ -161,9 +193,15 @@ Seconds RandomForestEstimator::estimate(const LayerSpec& layer,
                                         const GpuStats& stats) const {
   obs::count("estimator.estimates");
   PERDNN_CHECK_MSG(global_ != nullptr, "estimate() before train()");
-  const Vector feats = combined_features(layer, input_bytes, stats);
-  const auto it = models_.find(layer.kind);
-  if (it != models_.end()) return clamp_estimate(it->second.predict(feats));
+  Vector& feats = feature_scratch();
+  combined_features_into(layer, input_bytes, stats, feats);
+  if (fastpath::enabled()) {
+    const auto it = flat_.find(layer.kind);
+    if (it != flat_.end()) return clamp_estimate(it->second.predict(feats));
+  } else {
+    const auto it = models_.find(layer.kind);
+    if (it != models_.end()) return clamp_estimate(it->second.predict(feats));
+  }
   return clamp_estimate(global_->predict(feats));
 }
 
@@ -181,7 +219,9 @@ GradientBoostedEstimator::GradientBoostedEstimator(ml::GbtConfig config)
 void GradientBoostedEstimator::train(const std::vector<ProfileRecord>& records,
                                      Rng& rng) {
   PERDNN_CHECK(!records.empty());
+  bump_generation();
   models_.clear();
+  flat_.clear();
 
   std::map<LayerKind, ml::Dataset> buckets;
   ml::Dataset all;
@@ -195,6 +235,7 @@ void GradientBoostedEstimator::train(const std::vector<ProfileRecord>& records,
     if (data.size() < 16) continue;
     ml::GradientBoostedTrees model(config_);
     model.fit(data, rng);
+    flat_.emplace(kind, ml::FlatForest::compile(model));
     models_.emplace(kind, std::move(model));
   }
   const ml::RidgeConfig linear_config{.ridge = 1e-4, .log_features = true};
@@ -206,9 +247,15 @@ Seconds GradientBoostedEstimator::estimate(const LayerSpec& layer,
                                            Bytes input_bytes,
                                            const GpuStats& stats) const {
   PERDNN_CHECK_MSG(global_ != nullptr, "estimate() before train()");
-  const Vector feats = combined_features(layer, input_bytes, stats);
-  const auto it = models_.find(layer.kind);
-  if (it != models_.end()) return clamp_estimate(it->second.predict(feats));
+  Vector& feats = feature_scratch();
+  combined_features_into(layer, input_bytes, stats, feats);
+  if (fastpath::enabled()) {
+    const auto it = flat_.find(layer.kind);
+    if (it != flat_.end()) return clamp_estimate(it->second.predict(feats));
+  } else {
+    const auto it = models_.find(layer.kind);
+    if (it != models_.end()) return clamp_estimate(it->second.predict(feats));
+  }
   return clamp_estimate(global_->predict(feats));
 }
 
@@ -219,6 +266,8 @@ double estimator_mae(const LayerTimeEstimator& estimator,
                      int num_clients, LayerKind kind) {
   std::vector<double> predicted;
   std::vector<double> actual;
+  predicted.reserve(records.size());
+  actual.reserve(records.size());
   for (const auto& rec : records) {
     if (num_clients >= 0 && rec.stats.num_clients != num_clients) continue;
     if (kind != LayerKind::kInput && rec.layer.kind != kind) continue;

@@ -20,6 +20,7 @@
 #include "common/rng.hpp"
 #include "device/profiler.hpp"
 #include "estimation/features.hpp"
+#include "ml/flat_forest.hpp"
 #include "ml/gbt.hpp"
 #include "ml/linear_model.hpp"
 #include "ml/random_forest.hpp"
@@ -48,6 +49,17 @@ class LayerTimeEstimator {
                                       const GpuStats& stats) const;
 
   virtual std::string name() const = 0;
+
+  /// Monotonic train() counter. EstimateCache keys include it, so entries
+  /// computed before a retrain become unreachable without an explicit flush.
+  /// Every train() implementation must call bump_generation().
+  std::uint64_t generation() const { return generation_; }
+
+ protected:
+  void bump_generation() { ++generation_; }
+
+ private:
+  std::uint64_t generation_ = 0;
 };
 
 /// NeuroSurgeon-style baseline: per (layer kind, #clients) linear/log model
@@ -63,6 +75,12 @@ class NeurosurgeonEstimator : public LayerTimeEstimator {
  private:
   std::map<std::pair<LayerKind, int>, ml::RidgeRegression> models_;
   std::map<LayerKind, ml::RidgeRegression> kind_fallback_;
+  /// Train-time index for the nearest-client-count fallback: per kind, the
+  /// trained client counts with their models, sorted by count (map nodes are
+  /// stable, so the pointers survive). Replaces a linear scan of `models_`
+  /// on every estimate() whose exact (kind, count) bucket is missing.
+  std::map<LayerKind, std::vector<std::pair<int, const ml::RidgeRegression*>>>
+      count_index_;
 };
 
 /// LL augmented with GPU load features (the paper's "LL w/ server load
@@ -101,6 +119,9 @@ class RandomForestEstimator : public LayerTimeEstimator {
  private:
   RandomForestEstimatorConfig config_;
   std::map<LayerKind, ml::RandomForest> models_;
+  /// Forests compiled to the SoA layout at train time; estimate() walks
+  /// these when the fast path is enabled (bit-identical predictions).
+  std::map<LayerKind, ml::FlatForest> flat_;
   std::unique_ptr<ml::RidgeRegression> global_;
 };
 
@@ -118,6 +139,7 @@ class GradientBoostedEstimator : public LayerTimeEstimator {
  private:
   ml::GbtConfig config_;
   std::map<LayerKind, ml::GradientBoostedTrees> models_;
+  std::map<LayerKind, ml::FlatForest> flat_;  // fast-path compiled ensembles
   std::unique_ptr<ml::RidgeRegression> global_;
 };
 

@@ -2,18 +2,44 @@
 
 namespace perdnn {
 
+namespace {
+
+constexpr std::size_t kNumLayerFeatures = 9;
+constexpr std::size_t kNumLoadFeatures = 5;
+
+void write_layer_features(const LayerSpec& layer, Bytes input_bytes,
+                          double* out) {
+  out[0] = layer.flops / 1e9;  // GFLOPs
+  out[1] = static_cast<double>(input_bytes) / 1e6;  // MB in
+  out[2] = static_cast<double>(layer.output_bytes) / 1e6;
+  out[3] = static_cast<double>(layer.weight_bytes) / 1e6;
+  out[4] = static_cast<double>(layer.in_channels);
+  out[5] = static_cast<double>(layer.out_channels);
+  out[6] = static_cast<double>(layer.kernel);
+  out[7] = static_cast<double>(layer.stride);
+  out[8] = static_cast<double>(layer.out_height);
+}
+
+void write_load_features(const GpuStats& stats, double* out) {
+  out[0] = static_cast<double>(stats.num_clients);
+  out[1] = stats.kernel_util;
+  out[2] = stats.mem_util;
+  out[3] = stats.mem_usage_mb / 1e3;  // GB
+  out[4] = stats.temperature_c;
+}
+
+}  // namespace
+
+void layer_features_into(const LayerSpec& layer, Bytes input_bytes,
+                         Vector& out) {
+  out.resize(kNumLayerFeatures);
+  write_layer_features(layer, input_bytes, out.data());
+}
+
 Vector layer_features(const LayerSpec& layer, Bytes input_bytes) {
-  return {
-      layer.flops / 1e9,                            // GFLOPs
-      static_cast<double>(input_bytes) / 1e6,       // MB in
-      static_cast<double>(layer.output_bytes) / 1e6,
-      static_cast<double>(layer.weight_bytes) / 1e6,
-      static_cast<double>(layer.in_channels),
-      static_cast<double>(layer.out_channels),
-      static_cast<double>(layer.kernel),
-      static_cast<double>(layer.stride),
-      static_cast<double>(layer.out_height),
-  };
+  Vector out;
+  layer_features_into(layer, input_bytes, out);
+  return out;
 }
 
 const std::vector<std::string>& layer_feature_names() {
@@ -24,13 +50,9 @@ const std::vector<std::string>& layer_feature_names() {
 }
 
 Vector load_features(const GpuStats& stats) {
-  return {
-      static_cast<double>(stats.num_clients),
-      stats.kernel_util,
-      stats.mem_util,
-      stats.mem_usage_mb / 1e3,  // GB
-      stats.temperature_c,
-  };
+  Vector out(kNumLoadFeatures);
+  write_load_features(stats, out.data());
+  return out;
 }
 
 const std::vector<std::string>& load_feature_names() {
@@ -40,11 +62,17 @@ const std::vector<std::string>& load_feature_names() {
   return names;
 }
 
+void combined_features_into(const LayerSpec& layer, Bytes input_bytes,
+                            const GpuStats& stats, Vector& out) {
+  out.resize(kNumLayerFeatures + kNumLoadFeatures);
+  write_layer_features(layer, input_bytes, out.data());
+  write_load_features(stats, out.data() + kNumLayerFeatures);
+}
+
 Vector combined_features(const LayerSpec& layer, Bytes input_bytes,
                          const GpuStats& stats) {
-  Vector out = layer_features(layer, input_bytes);
-  const Vector load = load_features(stats);
-  out.insert(out.end(), load.begin(), load.end());
+  Vector out;
+  combined_features_into(layer, input_bytes, stats, out);
   return out;
 }
 

@@ -31,6 +31,14 @@ const std::vector<std::string>& load_feature_names();
 Vector combined_features(const LayerSpec& layer, Bytes input_bytes,
                          const GpuStats& stats);
 
+// Allocation-free variants: overwrite `out` (resized once, then reused), so
+// per-query estimator calls touch no allocator after warm-up. Values are
+// bit-identical to the allocating functions above.
+void layer_features_into(const LayerSpec& layer, Bytes input_bytes,
+                         Vector& out);
+void combined_features_into(const LayerSpec& layer, Bytes input_bytes,
+                            const GpuStats& stats, Vector& out);
+
 /// Names aligned with combined_features().
 std::vector<std::string> combined_feature_names();
 

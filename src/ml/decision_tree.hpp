@@ -21,6 +21,17 @@ struct TreeConfig {
 
 class RegressionTree {
  public:
+  /// One node of the fitted tree. Exposed (read-only) so FlatForest can
+  /// compile trees into its contiguous SoA layout.
+  struct Node {
+    // Leaf iff feature < 0.
+    int feature = -1;
+    double threshold = 0.0;
+    double value = 0.0;  // leaf prediction (mean of samples)
+    int left = -1;
+    int right = -1;
+  };
+
   explicit RegressionTree(TreeConfig config = {});
 
   /// Fits on the subset of `data` given by `sample_indices` (bootstrap
@@ -38,17 +49,12 @@ class RegressionTree {
 
   std::size_t num_nodes() const { return nodes_.size(); }
   int depth() const { return depth_; }
+  std::size_t num_features() const { return num_features_; }
+
+  /// Fitted nodes in build (preorder) layout; nodes()[0] is the root.
+  const std::vector<Node>& nodes() const { return nodes_; }
 
  private:
-  struct Node {
-    // Leaf iff feature < 0.
-    int feature = -1;
-    double threshold = 0.0;
-    double value = 0.0;  // leaf prediction (mean of samples)
-    int left = -1;
-    int right = -1;
-  };
-
   int build(const Dataset& data, std::vector<std::size_t>& idx,
             std::size_t begin, std::size_t end, int depth, Rng& rng);
 

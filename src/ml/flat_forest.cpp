@@ -1,0 +1,97 @@
+#include "ml/flat_forest.hpp"
+
+#include "common/check.hpp"
+
+namespace perdnn::ml {
+
+void FlatForest::append_tree(const RegressionTree& tree) {
+  PERDNN_CHECK_MSG(tree.trained(), "cannot compile an unfitted tree");
+  const auto offset = static_cast<std::int32_t>(feature_.size());
+  roots_.push_back(offset);
+  const auto& nodes = tree.nodes();
+  feature_.reserve(feature_.size() + nodes.size());
+  threshold_.reserve(threshold_.size() + nodes.size());
+  left_.reserve(left_.size() + nodes.size());
+  right_.reserve(right_.size() + nodes.size());
+  for (const RegressionTree::Node& node : nodes) {
+    feature_.push_back(node.feature);
+    // Leaves carry their prediction in the threshold slot; inner nodes keep
+    // the split threshold.
+    threshold_.push_back(node.feature < 0 ? node.value : node.threshold);
+    left_.push_back(node.left < 0 ? -1 : node.left + offset);
+    right_.push_back(node.right < 0 ? -1 : node.right + offset);
+  }
+}
+
+FlatForest FlatForest::compile(const RegressionTree& tree) {
+  FlatForest flat;
+  flat.combine_ = Combine::kSingle;
+  flat.num_features_ = tree.num_features();
+  flat.append_tree(tree);
+  return flat;
+}
+
+FlatForest FlatForest::compile(const RandomForest& forest) {
+  PERDNN_CHECK_MSG(forest.trained(), "cannot compile an unfitted forest");
+  FlatForest flat;
+  flat.combine_ = Combine::kAverage;
+  flat.num_features_ = forest.trees().front().num_features();
+  for (const RegressionTree& tree : forest.trees()) flat.append_tree(tree);
+  return flat;
+}
+
+FlatForest FlatForest::compile(const GradientBoostedTrees& gbt) {
+  PERDNN_CHECK_MSG(gbt.trained(), "cannot compile an unfitted GBT");
+  FlatForest flat;
+  flat.combine_ = Combine::kBoosted;
+  flat.base_ = gbt.base();
+  flat.shrinkage_ = gbt.learning_rate();
+  flat.num_features_ = gbt.trees().front().num_features();
+  for (const RegressionTree& tree : gbt.trees()) flat.append_tree(tree);
+  return flat;
+}
+
+double FlatForest::predict_row(const double* features) const {
+  // Per-tree accumulation mirrors the source ensembles exactly:
+  //   RandomForest: total += tree.predict(); total / num_trees
+  //   GBT:          out = base; out += lr * tree.predict() per round
+  // so the result is bit-identical, not merely close.
+  double sum = combine_ == Combine::kBoosted ? base_ : 0.0;
+  const std::int32_t* feat = feature_.data();
+  const double* thr = threshold_.data();
+  const std::int32_t* lt = left_.data();
+  const std::int32_t* rt = right_.data();
+  for (std::int32_t root : roots_) {
+    std::int32_t node = root;
+    std::int32_t f = feat[node];
+    while (f >= 0) {
+      node = features[f] <= thr[node] ? lt[node] : rt[node];
+      f = feat[node];
+    }
+    if (combine_ == Combine::kBoosted) {
+      sum += shrinkage_ * thr[node];
+    } else {
+      sum += thr[node];
+    }
+  }
+  if (combine_ == Combine::kAverage)
+    return sum / static_cast<double>(roots_.size());
+  return sum;
+}
+
+double FlatForest::predict(const Vector& features) const {
+  PERDNN_CHECK_MSG(!empty(), "predict() on an empty FlatForest");
+  PERDNN_CHECK(features.size() == num_features_);
+  return predict_row(features.data());
+}
+
+Vector FlatForest::predict_batch(const Matrix& rows) const {
+  PERDNN_CHECK_MSG(!empty(), "predict_batch() on an empty FlatForest");
+  PERDNN_CHECK(rows.cols() == num_features_);
+  Vector out(rows.rows());
+  for (std::size_t r = 0; r < rows.rows(); ++r)
+    out[r] = predict_row(rows.row_data(r));
+  return out;
+}
+
+}  // namespace perdnn::ml

@@ -1,0 +1,68 @@
+// Flattened tree-ensemble inference: RegressionTree / RandomForest /
+// GradientBoostedTrees compiled into one contiguous structure-of-arrays node
+// pool. The pointer-walking originals chase std::vector<Node> allocations
+// per tree; the flat layout keeps every field of every node of every tree in
+// five dense arrays, which is what the estimator's per-query hot loop wants.
+//
+// Determinism contract: predict() reproduces the source ensemble's output
+// *bit for bit* — same traversal comparisons, same per-tree accumulation
+// order, same combine arithmetic (mean for forests, base + lr * value per
+// round for GBT). predict_batch() is positionally bit-identical to calling
+// predict() per row. Verified by tests/ml/flat_forest_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/gbt.hpp"
+#include "ml/random_forest.hpp"
+
+namespace perdnn::ml {
+
+class FlatForest {
+ public:
+  FlatForest() = default;
+
+  static FlatForest compile(const RegressionTree& tree);
+  static FlatForest compile(const RandomForest& forest);
+  static FlatForest compile(const GradientBoostedTrees& gbt);
+
+  bool empty() const { return roots_.empty(); }
+  std::size_t num_trees() const { return roots_.size(); }
+  std::size_t num_nodes() const { return feature_.size(); }
+  std::size_t num_features() const { return num_features_; }
+
+  /// Ensemble prediction; bit-identical to the source model's predict().
+  double predict(const Vector& features) const;
+
+  /// One prediction per row of `rows` (rows.cols() must equal the feature
+  /// count); entry i is bit-identical to predict(row i).
+  Vector predict_batch(const Matrix& rows) const;
+
+ private:
+  /// How per-tree leaf values combine into the ensemble output.
+  enum class Combine : std::uint8_t {
+    kSingle,   ///< one tree, its value verbatim
+    kAverage,  ///< running sum in tree order, divided by the tree count
+    kBoosted,  ///< base + learning_rate * value, accumulated in round order
+  };
+
+  void append_tree(const RegressionTree& tree);
+  double predict_row(const double* features) const;
+
+  // SoA node pool: all trees concatenated; roots_[t] is tree t's root index.
+  // Leaves have feature_ < 0 and keep their prediction in threshold_.
+  std::vector<std::int32_t> feature_;
+  std::vector<double> threshold_;
+  std::vector<std::int32_t> left_;
+  std::vector<std::int32_t> right_;
+  std::vector<std::int32_t> roots_;
+  Combine combine_ = Combine::kSingle;
+  double base_ = 0.0;       // kBoosted initial prediction
+  double shrinkage_ = 1.0;  // kBoosted learning rate
+  std::size_t num_features_ = 0;
+};
+
+}  // namespace perdnn::ml

@@ -32,6 +32,12 @@ class GradientBoostedTrees {
 
   int num_trees() const { return static_cast<int>(trees_.size()); }
 
+  /// Fitted rounds in boosting order, plus the quantities predict() combines
+  /// them with (for FlatForest compilation).
+  const std::vector<RegressionTree>& trees() const { return trees_; }
+  double base() const { return base_; }
+  double learning_rate() const { return config_.learning_rate; }
+
  private:
   GbtConfig config_;
   double base_ = 0.0;  // initial prediction (target mean)

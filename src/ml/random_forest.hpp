@@ -29,6 +29,9 @@ class RandomForest {
 
   int num_trees() const { return static_cast<int>(trees_.size()); }
 
+  /// Fitted trees, in the order predict() averages them (for FlatForest).
+  const std::vector<RegressionTree>& trees() const { return trees_; }
+
  private:
   ForestConfig config_;
   std::vector<RegressionTree> trees_;

@@ -10,6 +10,7 @@ namespace perdnn {
 
 std::vector<LayerId> PartitionPlan::server_layers() const {
   std::vector<LayerId> out;
+  out.reserve(location.size());
   for (std::size_t i = 0; i < location.size(); ++i)
     if (location[i] == ExecLocation::kServer)
       out.push_back(static_cast<LayerId>(i));
@@ -193,6 +194,19 @@ Seconds plan_latency(const PartitionContext& context,
   PERDNN_CHECK(uploadable.size() ==
                static_cast<std::size_t>(context.model->num_layers()));
   return run_dp(context, &uploadable, /*backtrack=*/false).final_latency;
+}
+
+ForwardDp plan_forward_dp(const PartitionContext& context,
+                          const std::vector<bool>& uploadable) {
+  check_context(context);
+  PERDNN_CHECK(uploadable.size() ==
+               static_cast<std::size_t>(context.model->num_layers()));
+  DpResult dp = run_dp(context, &uploadable, /*backtrack=*/false);
+  ForwardDp out;
+  out.at_client = std::move(dp.at_client);
+  out.at_server = std::move(dp.at_server);
+  out.latency = dp.final_latency;
+  return out;
 }
 
 Seconds local_only_latency(const PartitionContext& context) {

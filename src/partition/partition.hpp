@@ -88,6 +88,22 @@ PartitionPlan compute_best_plan(const PartitionContext& context,
 Seconds plan_latency(const PartitionContext& context,
                      const std::vector<bool>& uploadable);
 
+/// The forward rows of the two-row shortest-path DP: at_client[i] /
+/// at_server[i] are the earliest completion times of layer i with the live
+/// tensors residing at the client / server (kInfSeconds when unreachable).
+/// `latency` equals plan_latency() for the same availability — including the
+/// final result-downlink hop. Exposed for the incremental upload-order
+/// planner, which refreshes these rows once per greedy round instead of
+/// re-running the full DP once per candidate.
+struct ForwardDp {
+  std::vector<Seconds> at_client;
+  std::vector<Seconds> at_server;
+  Seconds latency = 0.0;
+};
+
+ForwardDp plan_forward_dp(const PartitionContext& context,
+                          const std::vector<bool>& uploadable);
+
 /// Latency when every layer runs on the client (no offloading at all).
 Seconds local_only_latency(const PartitionContext& context);
 

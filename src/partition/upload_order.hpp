@@ -29,8 +29,24 @@ enum class UploadEnumeration {
   kAnchored,
 };
 
+/// How candidates are scored in each greedy round.
+enum class UploadScoring {
+  /// Follow the global fast-path toggle (fastpath::enabled()).
+  kAuto,
+  /// A full forward DP (`plan_latency`) per candidate — the original
+  /// O(layers) cost per candidate.
+  kReference,
+  /// Forward/backward DP decomposition: the forward and backward rows are
+  /// refreshed once per greedy round (O(layers)) and each candidate is then
+  /// approximated in O(1); near-best contenders are exactly re-scored with
+  /// `plan_latency`, so the committed schedule is byte-identical to
+  /// kReference (see DESIGN.md, "Single-query fast path").
+  kIncremental,
+};
+
 struct UploadPlannerConfig {
   UploadEnumeration enumeration = UploadEnumeration::kExact;
+  UploadScoring scoring = UploadScoring::kAuto;
 };
 
 /// The committed upload order plus byte bookkeeping.

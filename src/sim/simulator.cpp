@@ -5,8 +5,10 @@
 #include <unordered_map>
 
 #include "common/check.hpp"
+#include "common/fastpath.hpp"
 #include "common/parallel.hpp"
 #include "device/device_profile.hpp"
+#include "estimation/estimate_cache.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
@@ -222,6 +224,11 @@ class SimulatorImpl {
   std::vector<ClientState> clients_;
   std::vector<int> order_rank_;
   std::unordered_map<int, LoadLevelCache> levels_;
+  /// Interval-scoped estimator memo behind levels_: invalidated every
+  /// interval, so its counters expose how often one interval re-requests the
+  /// same (model, stats) estimate. levels_ persists across intervals, so
+  /// misses here are rare once the load levels are warm.
+  EstimateCache estimate_cache_;
   std::vector<ColdJob> cold_jobs_;  // this interval's deferred windows
   SimulationMetrics metrics_;
 };
@@ -241,14 +248,26 @@ const LoadLevelCache& SimulatorImpl::level(int load) {
   const auto n = static_cast<std::size_t>(model.num_layers());
   lvl.estimated.resize(n);
   lvl.true_time.resize(n);
-  par::parallel_for(n, [&](std::size_t i) {
-    const auto id = static_cast<LayerId>(i);
-    const Bytes in_bytes = model.input_bytes(id);
-    lvl.estimated[i] =
-        world_.estimator->estimate(model.layer(id), in_bytes, lvl.stats);
-    lvl.true_time[i] = world_.gpu->expected_layer_time(
-        model.layer(id), in_bytes, static_cast<double>(load));
-  });
+  if (fastpath::enabled()) {
+    // Memoised batch estimate (bit-identical to the per-index fill below);
+    // the ground-truth fill stays a private parallel loop.
+    lvl.estimated =
+        estimate_cache_.estimates(*world_.estimator, model, lvl.stats);
+    par::parallel_for(n, [&](std::size_t i) {
+      const auto id = static_cast<LayerId>(i);
+      lvl.true_time[i] = world_.gpu->expected_layer_time(
+          model.layer(id), model.input_bytes(id), static_cast<double>(load));
+    });
+  } else {
+    par::parallel_for(n, [&](std::size_t i) {
+      const auto id = static_cast<LayerId>(i);
+      const Bytes in_bytes = model.input_bytes(id);
+      lvl.estimated[i] =
+          world_.estimator->estimate(model.layer(id), in_bytes, lvl.stats);
+      lvl.true_time[i] = world_.gpu->expected_layer_time(
+          model.layer(id), in_bytes, static_cast<double>(load));
+    });
+  }
   PartitionContext context;
   context.model = &model;
   context.client_profile = &world_.client_profile;
@@ -662,6 +681,9 @@ SimulationMetrics SimulatorImpl::run() {
     const int interval_index = static_cast<int>(k);
     traffic_.begin_interval();
     if (timeseries_ != nullptr) timeseries_->begin_interval(interval_index);
+    // The estimate memo is scoped to one statistics interval; levels_ keeps
+    // the long-lived per-load results.
+    estimate_cache_.invalidate();
 
     // 0) Failure injection (crashed servers lose caches and clients).
     inject_failures(interval_index);

@@ -1,0 +1,99 @@
+#include "estimation/estimate_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "device/profiler.hpp"
+#include "nn/model_zoo.hpp"
+
+namespace perdnn {
+namespace {
+
+class EstimateCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    gpu_ = std::make_unique<GpuContentionModel>(titan_xp_profile());
+    model_ = std::make_unique<DnnModel>(build_toy_model(4));
+    ConcurrencyProfiler profiler(gpu_.get(), Rng(3));
+    const DnnModel* models[] = {model_.get()};
+    ProfilerConfig config;
+    config.max_clients = 4;
+    config.samples_per_level = 8;
+    records_ = profiler.profile_models(models, config);
+    Rng rng(1);
+    estimator_.train(records_, rng);
+  }
+
+  std::unique_ptr<GpuContentionModel> gpu_;
+  std::unique_ptr<DnnModel> model_;
+  std::vector<ProfileRecord> records_;
+  RandomForestEstimator estimator_;
+};
+
+TEST_F(EstimateCacheTest, HitReturnsIdenticalVectorWithoutRecompute) {
+  EstimateCache cache;
+  GpuStats stats;
+  stats.num_clients = 2;
+  stats.kernel_util = 0.4;
+  const std::vector<Seconds> first =
+      cache.estimates(estimator_, *model_, stats);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  const std::vector<Seconds>& second =
+      cache.estimates(estimator_, *model_, stats);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(second, estimator_.estimate_model(*model_, stats));
+}
+
+TEST_F(EstimateCacheTest, DifferentStatsBitsMiss) {
+  EstimateCache cache;
+  GpuStats a;
+  a.num_clients = 2;
+  GpuStats b = a;
+  b.kernel_util += 1e-12;  // any bit difference is a different key
+  cache.estimates(estimator_, *model_, a);
+  cache.estimates(estimator_, *model_, b);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST_F(EstimateCacheTest, RetrainInvalidatesViaGeneration) {
+  EstimateCache cache;
+  GpuStats stats;
+  stats.num_clients = 1;
+  cache.estimates(estimator_, *model_, stats);
+  const std::uint64_t gen_before = estimator_.generation();
+  Rng rng(2);
+  estimator_.train(records_, rng);
+  EXPECT_GT(estimator_.generation(), gen_before);
+  cache.estimates(estimator_, *model_, stats);
+  EXPECT_EQ(cache.misses(), 2u);  // old entry unreachable, no stale hit
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST_F(EstimateCacheTest, InvalidateClears) {
+  EstimateCache cache;
+  GpuStats stats;
+  stats.num_clients = 3;
+  cache.estimates(estimator_, *model_, stats);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.invalidate();
+  EXPECT_EQ(cache.size(), 0u);
+  cache.estimates(estimator_, *model_, stats);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST_F(EstimateCacheTest, CapTriggersClearNotGrowth) {
+  EstimateCache cache(/*max_entries=*/2);
+  GpuStats stats;
+  for (int i = 0; i < 5; ++i) {
+    stats.num_clients = i + 1;
+    cache.estimates(estimator_, *model_, stats);
+  }
+  EXPECT_LE(cache.size(), 2u);
+  EXPECT_EQ(cache.misses(), 5u);
+}
+
+}  // namespace
+}  // namespace perdnn

@@ -1,7 +1,8 @@
 // Tier-1 determinism gate for the parallel runtime: the same seeded
 // simulation must produce byte-identical metrics and per-interval
-// timeseries at --threads 1, 2 and 8. This is the contract that makes the
-// thread count a pure performance knob (docs: "Parallel runtime" in
+// timeseries at --threads 1, 2 and 8 — and with the single-query fast path
+// on or off. Both the thread count and the fast path are pure performance
+// knobs (docs: "Parallel runtime" and "Single-query fast path" in
 // DESIGN.md).
 #include <gtest/gtest.h>
 
@@ -9,6 +10,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/fastpath.hpp"
 #include "common/parallel.hpp"
 #include "mobility/trace_gen.hpp"
 #include "obs/timeseries.hpp"
@@ -52,17 +54,36 @@ std::string metrics_fingerprint(const SimulationMetrics& m) {
   return out;
 }
 
+/// Restores the fast-path toggle even when an EXPECT fails mid-test.
+struct FastPathGuard {
+  explicit FastPathGuard(bool enable) : previous(fastpath::enabled()) {
+    fastpath::set_enabled(enable);
+  }
+  ~FastPathGuard() { fastpath::set_enabled(previous); }
+  bool previous;
+};
+
 class ParallelDeterminismTest : public ::testing::Test {
  protected:
-  static void SetUpTestSuite() {
+  static CampusTraceConfig train_trace_config() {
     CampusTraceConfig train_config;
     train_config.num_users = 8;
     train_config.duration = 1.0 * 3600.0;
     train_config.sample_interval = 20.0;
     train_config.seed = 100;
-    CampusTraceConfig test_config = train_config;
+    return train_config;
+  }
+
+  static CampusTraceConfig test_trace_config() {
+    CampusTraceConfig test_config = train_trace_config();
     test_config.num_users = 5;
     test_config.seed = 200;
+    return test_config;
+  }
+
+  static void SetUpTestSuite() {
+    const CampusTraceConfig train_config = train_trace_config();
+    const CampusTraceConfig test_config = test_trace_config();
 
     config_ = new SimulationConfig;
     config_->model = ModelName::kMobileNet;
@@ -125,6 +146,46 @@ TEST_F(ParallelDeterminismTest, RepeatedParallelRunsAreStable) {
   const RunResult b = run_at(8);
   EXPECT_EQ(a.metrics, b.metrics);
   EXPECT_EQ(a.timeseries_csv, b.timeseries_csv);
+}
+
+TEST_F(ParallelDeterminismTest, FastPathOffMatchesOnAt1And8Threads) {
+  RunResult on1, on8, off1, off8;
+  {
+    FastPathGuard guard(true);
+    on1 = run_at(1);
+    on8 = run_at(8);
+  }
+  {
+    FastPathGuard guard(false);
+    off1 = run_at(1);
+    off8 = run_at(8);
+  }
+  ASSERT_FALSE(on1.metrics.empty());
+  EXPECT_EQ(on1.metrics, off1.metrics);
+  EXPECT_EQ(on1.metrics, off8.metrics);
+  EXPECT_EQ(on1.metrics, on8.metrics);
+  EXPECT_EQ(on1.timeseries_csv, off1.timeseries_csv);
+  EXPECT_EQ(on1.timeseries_csv, off8.timeseries_csv);
+  EXPECT_EQ(on1.timeseries_csv, on8.timeseries_csv);
+}
+
+TEST_F(ParallelDeterminismTest, WorldBuildIdenticalWithFastPathOff) {
+  // build_world trains the estimator and derives the canonical upload
+  // schedule through plan_upload_order — the two pieces the fast path
+  // replaces (flattened trees, incremental scoring). The resulting world
+  // must be indistinguishable.
+  SimulationWorld off_world = [&] {
+    FastPathGuard guard(false);
+    return build_world(*config_, generate_campus_traces(train_trace_config()),
+                       generate_campus_traces(test_trace_config()));
+  }();
+  ASSERT_FALSE(world_->canonical_schedule.order.empty());
+  EXPECT_EQ(world_->canonical_schedule.order,
+            off_world.canonical_schedule.order);
+  EXPECT_EQ(world_->canonical_schedule.cumulative_bytes,
+            off_world.canonical_schedule.cumulative_bytes);
+  EXPECT_EQ(world_->client_profile.client_time,
+            off_world.client_profile.client_time);
 }
 
 }  // namespace

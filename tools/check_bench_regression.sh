@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Fast-path performance regression gate.
+#
+# Runs `bench_micro --json`, extracts one representative wall-clock per
+# micro-bench (serial_s for the parallel-harness entries, fast_s for the
+# fast-path entries) and compares them against the committed baseline
+# BENCH_fastpath.json at the repo root:
+#   * any micro more than 25% slower than its baseline fails the check
+#     (plus a 2ms absolute slack so sub-millisecond entries aren't flaky);
+#   * the upload-order fast-path speedups must stay >= 2x regardless of the
+#     machine — that floor is the acceptance criterion of the fast path
+#     itself, not a relative comparison.
+# When no baseline exists the current run becomes the baseline (commit it).
+#
+# Usage: tools/check_bench_regression.sh [--update] [path/to/bench_micro]
+#   --update   rewrite the baseline with the current run, then exit 0.
+#
+# Plain bash + awk on the harness's own one-line JSON; no python/jq needed.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BASELINE="$ROOT/BENCH_fastpath.json"
+
+update=0
+bench_micro="${BENCH_MICRO:-$ROOT/build/bench/bench_micro}"
+for arg in "$@"; do
+  case "$arg" in
+    --update) update=1 ;;
+    *) bench_micro="$arg" ;;
+  esac
+done
+
+if [ ! -x "$bench_micro" ]; then
+  echo "error: bench_micro not found at '$bench_micro'" >&2
+  echo "build it (cmake --build build --target bench_micro) or pass its path" >&2
+  exit 2
+fi
+
+current="$(mktemp)"
+trap 'rm -f "$current"' EXIT
+echo "running $bench_micro --json ..."
+"$bench_micro" --json "$current" >/dev/null
+
+if [ "$update" -eq 1 ] || [ ! -f "$BASELINE" ]; then
+  cp "$current" "$BASELINE"
+  echo "baseline written to $BASELINE — commit it"
+  exit 0
+fi
+
+# Emits "name time speedup" per bench object. The harness writes its JSON on
+# one line; splitting records on '{' isolates each bench object.
+extract() {
+  awk 'BEGIN { RS = "{" }
+  /"name":"/ {
+    name = ""; t = ""; sp = "-"
+    if (match($0, /"name":"[^"]*"/)) name = substr($0, RSTART + 8, RLENGTH - 9)
+    if (match($0, /"fast_s":[0-9.eE+-]+/)) t = substr($0, RSTART + 9, RLENGTH - 9)
+    else if (match($0, /"serial_s":[0-9.eE+-]+/)) t = substr($0, RSTART + 11, RLENGTH - 11)
+    if (match($0, /"speedup":[0-9.eE+-]+/)) sp = substr($0, RSTART + 10, RLENGTH - 10)
+    if (name != "" && t != "") print name, t, sp
+  }' "$1"
+}
+
+base_rows="$(extract "$BASELINE")"
+fail=0
+while read -r name t sp; do
+  bt="$(printf '%s\n' "$base_rows" | awk -v n="$name" '$1 == n { print $2 }')"
+  if [ -z "$bt" ]; then
+    echo "note: '$name' has no baseline entry (new bench — rerun with --update)"
+    continue
+  fi
+  if awk -v c="$t" -v b="$bt" 'BEGIN { exit !(c > b * 1.25 + 0.002) }'; then
+    echo "REGRESSION: $name ${t}s vs baseline ${bt}s (>25% slower)"
+    fail=1
+  else
+    echo "ok: $name ${t}s (baseline ${bt}s)"
+  fi
+  case "$name" in
+    upload_order_*)
+      if awk -v s="$sp" 'BEGIN { exit !(s < 2.0) }'; then
+        echo "REGRESSION: $name speedup ${sp}x below the 2x acceptance floor"
+        fail=1
+      fi ;;
+  esac
+done <<< "$(extract "$current")"
+
+if [ "$fail" -ne 0 ]; then
+  echo "bench regression check FAILED (refresh with --update only if the"
+  echo "slowdown is intended and explained in the commit message)"
+  exit 1
+fi
+echo "bench regression check passed"
