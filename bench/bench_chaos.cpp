@@ -1,0 +1,264 @@
+// Chaos sweep: graceful degradation under scripted fault schedules.
+//
+// Builds one KAIST-like world, then replays the PerDNN policy under seeded
+// random fault plans of increasing intensity (crashes, backhaul outages,
+// telemetry dropouts, client churn — all four classes scaled together) and
+// reports how availability, the offloaded-query share, query latency and
+// the deferred-migration backlog degrade. Intensity 0 is the fault-free
+// baseline and must match a plain run exactly.
+//
+//   bench_chaos [--model mobilenet|inception|resnet] [--seed N]
+//               [--plan FILE] [--json] [--threads N]
+//
+// --plan replaces the sweep with a single run of the scripted JSON plan.
+// --json emits machine-readable rows instead of the text table. Unknown
+// flags are hard errors (exit 2).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/table.hpp"
+#include "datasets.hpp"
+#include "faults/fault_plan.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace perdnn;
+using namespace perdnn::bench;
+
+struct Args {
+  ModelName model = ModelName::kMobileNet;
+  std::uint64_t seed = 97;
+  std::string plan_file;
+  bool json = false;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_chaos [--model mobilenet|inception|resnet] "
+               "[--seed N] [--plan FILE] [--json] [--threads N]\n");
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string name = argv[i];
+    const auto next_value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (name == "--json") {
+      args->json = true;
+    } else if (name == "--model") {
+      const char* value = next_value();
+      if (value == nullptr) {
+        std::fprintf(stderr, "error: --model needs a value\n");
+        return false;
+      }
+      if (std::strcmp(value, "mobilenet") == 0)
+        args->model = ModelName::kMobileNet;
+      else if (std::strcmp(value, "inception") == 0)
+        args->model = ModelName::kInception;
+      else if (std::strcmp(value, "resnet") == 0)
+        args->model = ModelName::kResNet;
+      else {
+        std::fprintf(stderr, "error: unknown model '%s'\n", value);
+        return false;
+      }
+    } else if (name == "--seed") {
+      const char* value = next_value();
+      char* end = nullptr;
+      const unsigned long long seed =
+          value != nullptr ? std::strtoull(value, &end, 10) : 0;
+      if (value == nullptr || end == value || *end != '\0') {
+        std::fprintf(stderr, "error: --seed needs an integer\n");
+        return false;
+      }
+      args->seed = seed;
+    } else if (name == "--plan") {
+      const char* value = next_value();
+      if (value == nullptr) {
+        std::fprintf(stderr, "error: --plan needs a file\n");
+        return false;
+      }
+      args->plan_file = value;
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", name.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+struct ScenarioResult {
+  std::string label;
+  std::size_t events = 0;
+  SimulationMetrics metrics;
+  double p50_latency_s = 0.0;
+  double p99_latency_s = 0.0;
+};
+
+ScenarioResult run_scenario(const std::string& label,
+                            const SimulationConfig& base,
+                            const SimulationWorld& world,
+                            const FaultPlan& plan) {
+  SimulationConfig config = base;
+  config.fault_plan = plan;
+  obs::Registry::global().reset();
+  obs::set_enabled(true);
+  ScenarioResult result;
+  result.label = label;
+  result.events = plan.size();
+  result.metrics = run_simulation(config, world);
+  obs::Histogram& latency =
+      obs::Registry::global().histogram("sim.cold_window.query_latency_s");
+  result.p50_latency_s = latency.quantile(0.50);
+  result.p99_latency_s = latency.quantile(0.99);
+  obs::set_enabled(false);
+  return result;
+}
+
+obs::JsonValue to_json(const ScenarioResult& r) {
+  using obs::JsonValue;
+  std::vector<std::pair<std::string, JsonValue>> m;
+  m.emplace_back("scenario", JsonValue::make_string(r.label));
+  m.emplace_back("events",
+                 JsonValue::make_number(static_cast<double>(r.events)));
+  m.emplace_back("availability",
+                 JsonValue::make_number(r.metrics.availability()));
+  m.emplace_back("offload_ratio",
+                 JsonValue::make_number(r.metrics.offload_ratio()));
+  m.emplace_back("p50_query_latency_s",
+                 JsonValue::make_number(r.p50_latency_s));
+  m.emplace_back("p99_query_latency_s",
+                 JsonValue::make_number(r.p99_latency_s));
+  m.emplace_back("cold_window_queries",
+                 JsonValue::make_number(
+                     static_cast<double>(r.metrics.cold_window_queries)));
+  m.emplace_back("local_fallback_queries",
+                 JsonValue::make_number(
+                     static_cast<double>(r.metrics.local_fallback_queries)));
+  m.emplace_back("server_failures",
+                 JsonValue::make_number(r.metrics.server_failures));
+  m.emplace_back("client_disconnects",
+                 JsonValue::make_number(r.metrics.client_disconnect_events));
+  m.emplace_back("degraded_attaches",
+                 JsonValue::make_number(r.metrics.degraded_attaches));
+  m.emplace_back("migrations_deferred",
+                 JsonValue::make_number(r.metrics.migrations_deferred));
+  m.emplace_back(
+      "deferred_migration_bytes",
+      JsonValue::make_number(
+          static_cast<double>(r.metrics.deferred_migration_bytes)));
+  m.emplace_back(
+      "peak_deferred_backlog_bytes",
+      JsonValue::make_number(
+          static_cast<double>(r.metrics.peak_deferred_backlog_bytes)));
+  m.emplace_back("migrations_abandoned",
+                 JsonValue::make_number(r.metrics.migrations_abandoned));
+  return JsonValue::make_object(std::move(m));
+}
+
+void print_table(const std::vector<ScenarioResult>& results) {
+  TextTable table({"scenario", "events", "avail %", "offload %", "p50 ms",
+                   "p99 ms", "local queries", "deferred MB", "peak backlog MB",
+                   "abandoned"});
+  for (const ScenarioResult& r : results) {
+    table.add_row(
+        {r.label, TextTable::num(static_cast<long long>(r.events)),
+         TextTable::num(r.metrics.availability() * 100.0, 2),
+         TextTable::num(r.metrics.offload_ratio() * 100.0, 2),
+         TextTable::num(r.p50_latency_s * 1e3, 1),
+         TextTable::num(r.p99_latency_s * 1e3, 1),
+         TextTable::num(
+             static_cast<long long>(r.metrics.local_fallback_queries)),
+         TextTable::num(bytes_to_mb(r.metrics.deferred_migration_bytes), 1),
+         TextTable::num(bytes_to_mb(r.metrics.peak_deferred_backlog_bytes),
+                        1),
+         TextTable::num(
+             static_cast<long long>(r.metrics.migrations_abandoned))});
+  }
+  std::printf("%s", table.to_string().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  argc = par::init_threads_from_cli(argc, argv);
+  Args args;
+  if (!parse_args(argc, argv, &args)) return usage();
+
+  if (!args.json)
+    std::printf("=== Chaos sweep: fault intensity vs graceful degradation "
+                "===\n");
+  const DatasetPair data = kaist_like(20.0, 1.5 * 3600.0);
+
+  SimulationConfig config;
+  config.model = args.model;
+  config.policy = MigrationPolicy::kProactive;
+  config.migration_radius_m = 100.0;
+  config.seed = args.seed;
+  config.migration_retry = {.max_attempts = 6,
+                            .initial_backoff_intervals = 1,
+                            .max_backoff_intervals = 8};
+  const SimulationWorld world = build_world(config, data.train, data.test);
+
+  int num_intervals = 0;
+  for (const Trajectory& t : data.test)
+    num_intervals = std::max(num_intervals, static_cast<int>(t.size()));
+
+  std::vector<ScenarioResult> results;
+  if (!args.plan_file.empty()) {
+    std::ifstream in(args.plan_file);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open %s\n", args.plan_file.c_str());
+      return 1;
+    }
+    const std::string text((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    results.push_back(
+        run_scenario(args.plan_file, config, world, FaultPlan::from_json(text)));
+  } else {
+    for (const double intensity : {0.0, 0.002, 0.01, 0.03}) {
+      RandomFaultConfig faults;
+      faults.seed = args.seed + 1;  // plan stream independent of the sim seed
+      faults.num_servers = world.servers.num_servers();
+      faults.num_clients = static_cast<int>(data.test.size());
+      faults.num_intervals = num_intervals;
+      faults.server_crash_rate = intensity;
+      faults.crash_downtime_intervals = 4;
+      faults.backhaul_degrade_rate = intensity;
+      faults.backhaul_outage_intervals = 3;
+      faults.telemetry_dropout_rate = intensity;
+      faults.client_disconnect_rate = intensity;
+      char label[32];
+      std::snprintf(label, sizeof label, "intensity %.3f", intensity);
+      results.push_back(run_scenario(
+          label, config, world, FaultPlan::random_schedule(faults)));
+    }
+  }
+
+  if (args.json) {
+    std::vector<obs::JsonValue> rows;
+    rows.reserve(results.size());
+    for (const ScenarioResult& r : results) rows.push_back(to_json(r));
+    std::printf("%s\n",
+                obs::JsonValue::make_array(std::move(rows)).serialize().c_str());
+    return 0;
+  }
+  print_table(results);
+  std::printf(
+      "(availability counts client-intervals attached to a live server; the "
+      "offloaded share\n falls as clients ride out outages on the local "
+      "fallback; deferred migrations drain\n through retry-with-backoff once "
+      "links heal — 'abandoned' is what outlived the budget)\n");
+  return 0;
+}

@@ -29,6 +29,13 @@ struct GpuStats {
   double mem_util = 0.0;      ///< % time memory ops active
   double mem_usage_mb = 0.0;  ///< allocated device memory
   double temperature_c = 0.0; ///< GPU core temperature
+  /// Statistics intervals since this snapshot was taken. 0 = fresh (the
+  /// normal case); a positive age marks a snapshot the control plane kept
+  /// because newer telemetry never arrived (fault: telemetry dropout).
+  /// Consumers that care about freshness (MasterServer's degraded-estimation
+  /// path) compare it against their staleness budget; the estimators
+  /// themselves never read it as a feature.
+  int age_intervals = 0;
 };
 
 struct GpuContentionConfig {

@@ -44,6 +44,11 @@ ClientId MasterServer::register_client(DnnModel model, DnnProfile profile) {
 
 void MasterServer::invalidate_estimates() { estimate_cache_.invalidate(); }
 
+void MasterServer::set_fallback_estimator(
+    std::shared_ptr<const LayerTimeEstimator> fallback) {
+  fallback_estimator_ = std::move(fallback);
+}
+
 const MasterServer::ClientRecord& MasterServer::record(
     ClientId client) const {
   PERDNN_CHECK_MSG(client >= 0 && client < num_clients(),
@@ -66,6 +71,16 @@ std::span<const Point> MasterServer::trajectory(ClientId client) const {
 
 PartitionContext MasterServer::context_for(const ClientRecord& rec,
                                            const GpuStats& stats) const {
+  // Degraded-mode estimation: stale telemetry means the load-aware features
+  // describe a GPU state that no longer exists, so route the plan through
+  // the load-free fallback instead of trusting them.
+  const bool stale = stats.age_intervals > config_.max_stats_age_intervals;
+  const LayerTimeEstimator* estimator = estimator_.get();
+  if (stale && fallback_estimator_ != nullptr) {
+    estimator = fallback_estimator_.get();
+    ++degraded_estimates_;
+    obs::count("estimation.degraded");
+  }
   PartitionContext context;
   context.model = &rec.model;
   context.client_profile = &rec.profile;
@@ -75,12 +90,12 @@ PartitionContext MasterServer::context_for(const ClientRecord& rec,
     // (estimate() is positional and deterministic), but repeated plans for
     // the same (model, stats) pair skip the estimator entirely.
     context.server_time =
-        estimate_cache_.estimates(*estimator_, rec.model, stats);
+        estimate_cache_.estimates(*estimator, rec.model, stats);
   } else {
     context.server_time.reserve(
         static_cast<std::size_t>(rec.model.num_layers()));
     for (LayerId id = 0; id < rec.model.num_layers(); ++id)
-      context.server_time.push_back(estimator_->estimate(
+      context.server_time.push_back(estimator->estimate(
           rec.model.layer(id), rec.model.input_bytes(id), stats));
   }
   return context;

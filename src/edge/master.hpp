@@ -30,6 +30,14 @@ class MasterServer {
     double migration_radius_m = 50.0;  ///< r around the predicted location
     NetworkCondition wireless{};       ///< client <-> edge access link
     UploadEnumeration upload_enumeration = UploadEnumeration::kAnchored;
+    /// Degraded-mode estimation: GpuStats older than this many statistics
+    /// intervals (GpuStats::age_intervals) are considered stale. When a
+    /// fallback estimator is installed (set_fallback_estimator), stale or
+    /// missing telemetry routes planning through it — the load-free baseline
+    /// — instead of feeding the load-aware model fiction; each degraded plan
+    /// bumps the `estimation.degraded` counter. Without a fallback the
+    /// primary estimator is used regardless (back-compat).
+    int max_stats_age_intervals = 0;
   };
 
   /// Callback answering "what does server s report right now" (nvml ping).
@@ -95,6 +103,17 @@ class MasterServer {
       const StatsProvider& stats_of,
       std::optional<Bytes> byte_budget = std::nullopt) const;
 
+  /// Installs the load-free estimator used when a server's GPU telemetry is
+  /// stale or missing (see Config::max_stats_age_intervals). Pass nullptr to
+  /// remove it. Invalidate-free: the estimate cache keys by estimator
+  /// identity, so switching routes can never serve a stale vector.
+  void set_fallback_estimator(
+      std::shared_ptr<const LayerTimeEstimator> fallback);
+
+  /// Number of plans built in degraded mode (stale telemetry routed to the
+  /// fallback estimator) since construction.
+  std::uint64_t degraded_estimates() const { return degraded_estimates_; }
+
   /// Drops the memoised layer estimates. Call when a statistics interval
   /// rolls over (stale GpuStats keys would only waste cache space — exact
   /// keying already prevents stale hits) or after retraining the estimator
@@ -115,8 +134,10 @@ class MasterServer {
 
   std::shared_ptr<const ServerMap> servers_;
   std::shared_ptr<const LayerTimeEstimator> estimator_;
+  std::shared_ptr<const LayerTimeEstimator> fallback_estimator_;
   std::shared_ptr<const MobilityPredictor> predictor_;
   Config config_;
+  mutable std::uint64_t degraded_estimates_ = 0;
   std::vector<ClientRecord> clients_;
   /// Memoised estimator output, shared by every planning entry point (they
   /// are all const). Co-located candidate servers and repeated pings within

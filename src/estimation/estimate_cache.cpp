@@ -22,6 +22,7 @@ std::size_t EstimateCache::KeyHash::operator()(const Key& key) const {
     }
   };
   mix(reinterpret_cast<std::uintptr_t>(key.model));
+  mix(reinterpret_cast<std::uintptr_t>(key.estimator));
   mix(key.generation);
   for (std::uint64_t bits : key.stats_bits) mix(bits);
   return static_cast<std::size_t>(h);
@@ -32,9 +33,13 @@ const std::vector<Seconds>& EstimateCache::estimates(
     const GpuStats& stats) {
   Key key;
   key.model = &model;
+  key.estimator = &estimator;
   key.generation = estimator.generation();
   key.stats_bits = {static_cast<std::uint64_t>(
-                        static_cast<std::uint32_t>(stats.num_clients)),
+                        static_cast<std::uint32_t>(stats.num_clients)) |
+                        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                             stats.age_intervals))
+                         << 32),
                     std::bit_cast<std::uint64_t>(stats.kernel_util),
                     std::bit_cast<std::uint64_t>(stats.mem_util),
                     std::bit_cast<std::uint64_t>(stats.mem_usage_mb),

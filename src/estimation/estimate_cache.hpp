@@ -58,8 +58,14 @@ class EstimateCache {
  private:
   struct Key {
     const void* model = nullptr;
+    /// Estimator identity: one cache may now serve several estimators (the
+    /// master's primary and its degraded-mode fallback share the cache), and
+    /// generation counters are per-instance, so the address disambiguates.
+    const void* estimator = nullptr;
     std::uint64_t generation = 0;
-    /// num_clients plus the four doubles of GpuStats, bit-cast.
+    /// num_clients and age_intervals packed, plus the four doubles of
+    /// GpuStats bit-cast — a stale snapshot whose values happen to equal a
+    /// fresh one must not collide.
     std::array<std::uint64_t, 5> stats_bits{};
 
     bool operator==(const Key& other) const = default;

@@ -1,0 +1,113 @@
+#include "faults/fault_timeline.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace perdnn {
+
+FaultTimeline::FaultTimeline(const FaultPlan& plan, int num_servers,
+                             int num_clients) {
+  plan.check_bounds(num_servers, num_clients);
+  empty_ = plan.empty();
+  server_down_.resize(static_cast<std::size_t>(num_servers));
+  telemetry_down_.resize(static_cast<std::size_t>(num_servers));
+  backhaul_.resize(static_cast<std::size_t>(num_servers));
+  client_offline_.resize(static_cast<std::size_t>(num_clients));
+
+  for (const FaultEvent& e : plan.events()) {
+    const Window window{e.at_interval, e.at_interval + e.duration_intervals};
+    switch (e.kind) {
+      case FaultKind::kServerCrash:
+        server_down_[static_cast<std::size_t>(e.server)].push_back(window);
+        crash_starts_.push_back({e.at_interval, e.server});
+        break;
+      case FaultKind::kTelemetryDropout:
+        telemetry_down_[static_cast<std::size_t>(e.server)].push_back(window);
+        break;
+      case FaultKind::kBackhaulDegrade: {
+        const LinkWindow link{window.start, window.end, e.peer,
+                              1.0 - e.severity};
+        backhaul_[static_cast<std::size_t>(e.server)].push_back(link);
+        if (e.peer != kAllServers) {
+          // Mirror onto the other endpoint so factor lookups only need to
+          // scan one endpoint's windows.
+          LinkWindow mirrored = link;
+          mirrored.peer = e.server;
+          backhaul_[static_cast<std::size_t>(e.peer)].push_back(mirrored);
+        }
+        backhaul_active_.push_back(window);
+        break;
+      }
+      case FaultKind::kClientDisconnect:
+        client_offline_[static_cast<std::size_t>(e.client)].push_back(window);
+        disconnect_starts_.push_back({e.at_interval, e.client});
+        break;
+    }
+  }
+  // FaultPlan events are already time-sorted; the per-entity buckets and the
+  // start lists inherit that order, so the binary searches below are valid.
+  std::sort(crash_starts_.begin(), crash_starts_.end());
+  std::sort(disconnect_starts_.begin(), disconnect_starts_.end());
+}
+
+bool FaultTimeline::in_any(const std::vector<Window>& windows, int interval) {
+  for (const Window& w : windows)
+    if (w.start <= interval && interval < w.end) return true;
+  return false;
+}
+
+std::vector<ServerId> FaultTimeline::crashes_starting_at(int interval) const {
+  std::vector<ServerId> out;
+  const auto lo = std::lower_bound(crash_starts_.begin(), crash_starts_.end(),
+                                   std::make_pair(interval, ServerId{-1}));
+  for (auto it = lo; it != crash_starts_.end() && it->first == interval; ++it)
+    if (out.empty() || out.back() != it->second) out.push_back(it->second);
+  return out;
+}
+
+std::vector<ClientId> FaultTimeline::disconnects_starting_at(
+    int interval) const {
+  std::vector<ClientId> out;
+  const auto lo =
+      std::lower_bound(disconnect_starts_.begin(), disconnect_starts_.end(),
+                       std::make_pair(interval, ClientId{-1}));
+  for (auto it = lo; it != disconnect_starts_.end() && it->first == interval;
+       ++it)
+    if (out.empty() || out.back() != it->second) out.push_back(it->second);
+  return out;
+}
+
+bool FaultTimeline::server_down(ServerId server, int interval) const {
+  if (empty_) return false;
+  return in_any(server_down_[static_cast<std::size_t>(server)], interval);
+}
+
+bool FaultTimeline::telemetry_down(ServerId server, int interval) const {
+  if (empty_) return false;
+  return in_any(telemetry_down_[static_cast<std::size_t>(server)], interval);
+}
+
+bool FaultTimeline::client_offline(ClientId client, int interval) const {
+  if (empty_) return false;
+  return in_any(client_offline_[static_cast<std::size_t>(client)], interval);
+}
+
+double FaultTimeline::backhaul_factor(ServerId a, ServerId b,
+                                      int interval) const {
+  if (empty_) return 1.0;
+  double factor = 1.0;
+  for (const LinkWindow& w : backhaul_[static_cast<std::size_t>(a)]) {
+    if (w.start > interval || interval >= w.end) continue;
+    if (w.peer != kAllServers && w.peer != b) continue;
+    factor = std::min(factor, w.factor);
+  }
+  return factor;
+}
+
+bool FaultTimeline::any_backhaul_fault(int interval) const {
+  if (empty_) return false;
+  return in_any(backhaul_active_, interval);
+}
+
+}  // namespace perdnn

@@ -1,0 +1,72 @@
+// Compiled runtime view of a FaultPlan: the per-interval queries the
+// simulator (and any other consumer driving a fleet through time) asks while
+// the clock advances. Events are bucketed per entity into sorted windows at
+// construction, so every query is a binary search over that entity's own
+// windows — O(log k) with k the number of faults scripted for it.
+//
+// The timeline is immutable and answers purely from the plan; consumers own
+// any *state* consequences (wiping a crashed server's cache, detaching its
+// clients) by iterating crashes_starting_at / disconnects_starting_at once
+// per interval.
+#pragma once
+
+#include <vector>
+
+#include "faults/fault_plan.hpp"
+
+namespace perdnn {
+
+class FaultTimeline {
+ public:
+  /// Compiles `plan` for a world of the given size; bounds-checks every
+  /// event id (throws std::logic_error on an out-of-range entity).
+  FaultTimeline(const FaultPlan& plan, int num_servers, int num_clients);
+  /// Empty timeline: every query reports "healthy".
+  FaultTimeline() = default;
+
+  bool empty() const { return empty_; }
+
+  /// Crash events whose window opens exactly at `interval` (deduplicated,
+  /// sorted by server id) — the moment the cache is lost and clients drop.
+  std::vector<ServerId> crashes_starting_at(int interval) const;
+  /// Clients whose disconnect window opens exactly at `interval`.
+  std::vector<ClientId> disconnects_starting_at(int interval) const;
+
+  bool server_down(ServerId server, int interval) const;
+  bool telemetry_down(ServerId server, int interval) const;
+  bool client_offline(ClientId client, int interval) const;
+
+  /// Remaining backhaul capacity fraction on the (unordered) link between
+  /// `a` and `b` during `interval`: 1.0 = healthy, 0.0 = outage. When
+  /// several events overlap the link, the worst (minimum) factor applies.
+  double backhaul_factor(ServerId a, ServerId b, int interval) const;
+
+  /// True if any backhaul event at all is active during `interval` — lets
+  /// consumers skip per-link accounting entirely on healthy intervals.
+  bool any_backhaul_fault(int interval) const;
+
+ private:
+  struct Window {
+    int start = 0;
+    int end = 0;  // exclusive
+  };
+  struct LinkWindow {
+    int start = 0;
+    int end = 0;
+    ServerId peer = kAllServers;  // kAllServers = wildcard
+    double factor = 0.0;          // remaining capacity = 1 - severity
+  };
+
+  static bool in_any(const std::vector<Window>& windows, int interval);
+
+  bool empty_ = true;
+  std::vector<std::vector<Window>> server_down_;      // per server
+  std::vector<std::vector<Window>> telemetry_down_;   // per server
+  std::vector<std::vector<Window>> client_offline_;   // per client
+  std::vector<std::vector<LinkWindow>> backhaul_;     // per server endpoint
+  std::vector<std::pair<int, ServerId>> crash_starts_;       // sorted
+  std::vector<std::pair<int, ClientId>> disconnect_starts_;  // sorted
+  std::vector<Window> backhaul_active_;  // union-ish: any event window
+};
+
+}  // namespace perdnn

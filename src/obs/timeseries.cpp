@@ -78,6 +78,28 @@ void SimTimeseries::record_predictor_sample(int server, double abs_error_m) {
   row.predictor_error_sum_m += abs_error_m;
 }
 
+void SimTimeseries::record_local_queries(int server, long long queries,
+                                         double latency_sum_s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PERDNN_CHECK(interval_open_);
+  TimeseriesRow& row = row_for(current_, server);
+  row.local_queries += queries;
+  row.local_latency_sum_s += latency_sum_s;
+}
+
+void SimTimeseries::record_deferred(int server, std::int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PERDNN_CHECK(interval_open_);
+  PERDNN_CHECK(bytes >= 0);
+  row_for(current_, server).deferred_bytes += bytes;
+}
+
+void SimTimeseries::record_degraded(int server) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PERDNN_CHECK(interval_open_);
+  row_for(current_, server).degraded += 1;
+}
+
 void SimTimeseries::set_attached(const std::vector<int>& attached_per_server) {
   std::lock_guard<std::mutex> lock(mu_);
   PERDNN_CHECK(interval_open_);
@@ -132,6 +154,9 @@ PERDNN_TS_SUM(long long, total_misses, misses)
 PERDNN_TS_SUM(long long, total_cold_window_queries, cold_window_queries)
 PERDNN_TS_SUM(std::int64_t, total_uplink_bytes, uplink_bytes)
 PERDNN_TS_SUM(std::int64_t, total_downlink_bytes, downlink_bytes)
+PERDNN_TS_SUM(long long, total_local_queries, local_queries)
+PERDNN_TS_SUM(std::int64_t, total_deferred_bytes, deferred_bytes)
+PERDNN_TS_SUM(long long, total_degraded, degraded)
 
 #undef PERDNN_TS_SUM
 
@@ -139,7 +164,8 @@ const char* SimTimeseries::csv_header() {
   return "interval,server,attached,hits,partials,misses,"
          "cold_window_queries,cold_latency_sum_s,uplink_bytes,"
          "downlink_bytes,migration_orders,predictor_samples,"
-         "predictor_error_sum_m";
+         "predictor_error_sum_m,local_queries,local_latency_sum_s,"
+         "deferred_bytes,degraded";
 }
 
 void SimTimeseries::write_csv(std::ostream& out) const {
@@ -156,7 +182,10 @@ void SimTimeseries::write_csv(std::ostream& out) const {
         << json_number(r.cold_latency_sum_s) << ',' << r.uplink_bytes << ','
         << r.downlink_bytes << ',' << r.migration_orders << ','
         << r.predictor_samples << ','
-        << json_number(r.predictor_error_sum_m) << '\n';
+        << json_number(r.predictor_error_sum_m) << ','
+        << r.local_queries << ','
+        << json_number(r.local_latency_sum_s) << ','
+        << r.deferred_bytes << ',' << r.degraded << '\n';
   }
 }
 
@@ -197,6 +226,15 @@ std::string SimTimeseries::to_json() const {
                    JsonValue::make_number(r.predictor_samples));
     m.emplace_back("predictor_error_sum_m",
                    JsonValue::make_number(r.predictor_error_sum_m));
+    m.emplace_back("local_queries",
+                   JsonValue::make_number(
+                       static_cast<double>(r.local_queries)));
+    m.emplace_back("local_latency_sum_s",
+                   JsonValue::make_number(r.local_latency_sum_s));
+    m.emplace_back("deferred_bytes",
+                   JsonValue::make_number(
+                       static_cast<double>(r.deferred_bytes)));
+    m.emplace_back("degraded", JsonValue::make_number(r.degraded));
     items.push_back(JsonValue::make_object(std::move(m)));
   }
   std::vector<std::pair<std::string, JsonValue>> doc;

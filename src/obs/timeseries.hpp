@@ -56,6 +56,15 @@ struct TimeseriesRow {
   /// current server: |predicted - actual next position| in metres.
   int predictor_samples = 0;
   double predictor_error_sum_m = 0.0;
+  /// Fault-model columns (all zero for fault-free runs). Local-execution
+  /// fallback queries are attributed to the nearest (unreachable) server so
+  /// the rows still reconcile with SimulationMetrics.
+  long long local_queries = 0;
+  double local_latency_sum_s = 0.0;
+  /// Migration bytes parked in the retry queue this interval (source side).
+  std::int64_t deferred_bytes = 0;
+  /// Attaches planned in degraded mode (stale GPU telemetry at this server).
+  int degraded = 0;
 };
 
 class SimTimeseries {
@@ -71,6 +80,15 @@ class SimTimeseries {
   /// receiver already held every layer (TTL refresh only).
   void record_migration(int from, int to, std::int64_t bytes);
   void record_predictor_sample(int server, double abs_error_m);
+  /// Local-execution fallback queries by a client whose nearest server is
+  /// `server` (unreachable this interval).
+  void record_local_queries(int server, long long queries,
+                            double latency_sum_s);
+  /// Migration bytes deferred into the retry queue, attributed to `server`
+  /// as the transfer source.
+  void record_deferred(int server, std::int64_t bytes);
+  /// One attach whose plan was built in degraded (stale-telemetry) mode.
+  void record_degraded(int server);
   /// Attached-client counts at the end of the open interval.
   void set_attached(const std::vector<int>& attached_per_server);
   void end_interval();
@@ -90,6 +108,9 @@ class SimTimeseries {
   long long total_cold_window_queries() const;
   std::int64_t total_uplink_bytes() const;
   std::int64_t total_downlink_bytes() const;
+  long long total_local_queries() const;
+  std::int64_t total_deferred_bytes() const;
+  long long total_degraded() const;
 
   /// Column order of write_csv, comma-joined in the header line.
   static const char* csv_header();

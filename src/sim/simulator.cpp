@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <unordered_map>
 
 #include "common/check.hpp"
@@ -9,6 +10,7 @@
 #include "common/parallel.hpp"
 #include "device/device_profile.hpp"
 #include "estimation/estimate_cache.hpp"
+#include "faults/fault_timeline.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
@@ -20,10 +22,79 @@ double SimulationMetrics::hit_ratio() const {
   return denom > 0 ? static_cast<double>(hits) / denom : 0.0;
 }
 
+double SimulationMetrics::availability() const {
+  const long long denom =
+      attached_client_intervals + unreachable_client_intervals;
+  return denom > 0
+             ? static_cast<double>(attached_client_intervals) / denom
+             : 1.0;
+}
+
+double SimulationMetrics::offload_ratio() const {
+  const long long denom = cold_window_queries + local_fallback_queries;
+  return denom > 0 ? static_cast<double>(cold_window_queries) / denom : 1.0;
+}
+
+void SimulationConfig::validate() const {
+  PERDNN_CHECK_MSG(ttl_intervals >= 1,
+                   "ttl_intervals must be >= 1 (got " << ttl_intervals << ")");
+  PERDNN_CHECK_MSG(trajectory_length >= 1,
+                   "trajectory_length must be >= 1 (got " << trajectory_length
+                                                          << ")");
+  PERDNN_CHECK_MSG(query_gap >= 0.0,
+                   "query_gap must be >= 0 (got " << query_gap << ")");
+  PERDNN_CHECK_MSG(migration_radius_m >= 0.0,
+                   "migration_radius_m must be >= 0 (got "
+                       << migration_radius_m << ")");
+  PERDNN_CHECK_MSG(cell_radius_m > 0.0,
+                   "cell_radius_m must be > 0 (got " << cell_radius_m << ")");
+  PERDNN_CHECK_MSG(visibility_radius_m >= 0.0,
+                   "visibility_radius_m must be >= 0 (got "
+                       << visibility_radius_m << ")");
+  PERDNN_CHECK_MSG(bandwidth_jitter_sigma >= 0.0,
+                   "bandwidth_jitter_sigma must be >= 0 (got "
+                       << bandwidth_jitter_sigma << ")");
+  PERDNN_CHECK_MSG(wireless.uplink_bytes_per_sec > 0.0 &&
+                       wireless.downlink_bytes_per_sec > 0.0,
+                   "wireless rates must be > 0");
+  PERDNN_CHECK_MSG(wireless.rtt >= 0.0,
+                   "wireless.rtt must be >= 0 (got " << wireless.rtt << ")");
+  PERDNN_CHECK_MSG(server_failure_rate >= 0.0 && server_failure_rate <= 1.0,
+                   "server_failure_rate must be a probability in [0, 1] (got "
+                       << server_failure_rate << ")");
+  PERDNN_CHECK_MSG(server_downtime_intervals >= 1,
+                   "server_downtime_intervals must be >= 1 (got "
+                       << server_downtime_intervals << ")");
+  PERDNN_CHECK_MSG(backhaul_bytes_per_sec > 0.0,
+                   "backhaul_bytes_per_sec must be > 0 (got "
+                       << backhaul_bytes_per_sec << ")");
+  PERDNN_CHECK_MSG(backhaul_rtt >= 0.0,
+                   "backhaul_rtt must be >= 0 (got " << backhaul_rtt << ")");
+  PERDNN_CHECK_MSG(crowded_byte_budget >= 0,
+                   "crowded_byte_budget must be >= 0 (got "
+                       << crowded_byte_budget << ")");
+  PERDNN_CHECK_MSG(migration_retry.max_attempts >= 1,
+                   "migration_retry.max_attempts must be >= 1 (got "
+                       << migration_retry.max_attempts << ")");
+  PERDNN_CHECK_MSG(
+      migration_retry.initial_backoff_intervals >= 1,
+      "migration_retry.initial_backoff_intervals must be >= 1 (got "
+          << migration_retry.initial_backoff_intervals << ")");
+  PERDNN_CHECK_MSG(migration_retry.max_backoff_intervals >=
+                       migration_retry.initial_backoff_intervals,
+                   "migration_retry.max_backoff_intervals must be >= the "
+                   "initial backoff");
+  PERDNN_CHECK_MSG(
+      fault_plan.empty() || server_failure_rate == 0.0,
+      "a scripted fault_plan and the legacy server_failure_rate knob cannot "
+      "be combined; script the crashes (or use FaultPlan::legacy_crashes)");
+}
+
 SimulationWorld build_world(const SimulationConfig& config,
                             const std::vector<Trajectory>& train_traces,
                             const std::vector<Trajectory>& test_traces) {
   PERDNN_SPAN("sim.build_world");
+  config.validate();
   PERDNN_CHECK(!train_traces.empty() && !test_traces.empty());
   Rng rng(config.seed);
 
@@ -31,6 +102,7 @@ SimulationWorld build_world(const SimulationConfig& config,
                         .client_profile = {},
                         .gpu = nullptr,
                         .estimator = nullptr,
+                        .fallback_estimator = nullptr,
                         .servers = ServerMap(config.cell_radius_m),
                         .test_traces = test_traces,
                         .predictor_kind = config.predictor,
@@ -98,6 +170,14 @@ SimulationWorld build_world(const SimulationConfig& config,
   const PartitionPlan plan = compute_best_plan(context);
   world.canonical_schedule = plan_upload_order(
       context, plan, {.enumeration = UploadEnumeration::kAnchored});
+
+  // Degraded-mode fallback: the load-free LL baseline, trained on the same
+  // sweep. Trained last, with a fresh fork, so every pre-existing stream
+  // (profiler, forest, predictor, canonical stats) draws exactly the numbers
+  // it always did — fault-free runs stay byte-identical.
+  world.fallback_estimator = std::make_shared<NeurosurgeonEstimator>();
+  Rng fallback_rng = rng.fork();
+  world.fallback_estimator->train(records, fallback_rng);
   return world;
 }
 
@@ -136,7 +216,8 @@ class SimulatorImpl {
         link_rng_(config.seed ^ 0x11bb77aaULL),
         traffic_(world.servers.num_servers(), world.interval),
         crowded_(static_cast<std::size_t>(world.servers.num_servers()),
-                 false) {
+                 false),
+        dispatcher_(config.migration_retry) {
     for (ServerId s : config.crowded_servers) {
       PERDNN_CHECK(s >= 0 && s < world.servers.num_servers());
       crowded_[static_cast<std::size_t>(s)] = true;
@@ -145,8 +226,6 @@ class SimulatorImpl {
                    LayerCache(config.ttl_intervals));
     attached_.assign(static_cast<std::size_t>(world.servers.num_servers()),
                      0);
-    down_until_.assign(static_cast<std::size_t>(world.servers.num_servers()),
-                       -1);
     clients_.reserve(world.test_traces.size());
     for (const auto& trace : world.test_traces)
       clients_.push_back({.trace = &trace,
@@ -154,6 +233,20 @@ class SimulatorImpl {
                           .pending = {},
                           .carry_bytes = 0,
                           .link_factor = 1.0});
+    for (const auto& client : clients_)
+      num_intervals_ = std::max(
+          num_intervals_, static_cast<int>(client.trace->points.size()));
+    // One fault source: a scripted plan replays as-is; the legacy failure
+    // knobs compile to an equivalent plan (validate() rejects mixing them).
+    // Either way the draws come from a dedicated seeded stream, so rng_ sees
+    // exactly the sequence it sees in a fault-free run.
+    FaultPlan plan = config.fault_plan;
+    if (plan.empty() && config.server_failure_rate > 0.0)
+      plan = FaultPlan::legacy_crashes(
+          config.server_failure_rate, config.server_downtime_intervals,
+          world.servers.num_servers(), num_intervals_, config.seed);
+    timeline_ = FaultTimeline(plan, world.servers.num_servers(),
+                              static_cast<int>(clients_.size()));
     // Pre-size canonical order lookup: position of each layer in the order.
     order_rank_.assign(
         static_cast<std::size_t>(world.model.num_layers()), -1);
@@ -183,6 +276,10 @@ class SimulatorImpl {
   };
 
   const LoadLevelCache& level(int load);
+  /// Like level(), but planned as the master sees it under a telemetry
+  /// dropout: the load-free fallback estimator over the stale snapshot.
+  /// Ground truth (true_time) is unaffected — only the *plan* degrades.
+  const LoadLevelCache& degraded_level(int load);
   void handle_attach(ClientId c, ServerId sid, int interval_index);
   /// Evaluates every ColdJob queued by this interval's attach pass in
   /// parallel and folds the results into metrics_/timeseries_ in submission
@@ -190,8 +287,33 @@ class SimulatorImpl {
   void flush_cold_jobs();
   void advance_uploads(int interval_index);
   void proactive_migration(int interval_index);
-  void inject_failures(int interval_index);
+  /// Opens this interval's scripted fault windows: crashes wipe caches and
+  /// drop clients, disconnects detach their client.
+  void apply_faults(int interval_index);
   bool is_down(ServerId sid, int interval_index) const;
+  /// Outcome of one attempted layer push across the (possibly degraded)
+  /// backhaul.
+  struct PushResult {
+    bool delivered = false;  ///< the order reached the target (TTL refreshed)
+    Bytes sent_bytes = 0;    ///< bytes that actually crossed (post-dedup)
+    std::vector<LayerId> overflow;  ///< layers that could not cross
+  };
+  /// Ships `layers` from `source` to `target` for client `c`, honouring the
+  /// backhaul fault state: an outage delivers nothing (and crucially does
+  /// NOT refresh the receiver's TTL), a degraded link ships the prefix that
+  /// fits the remaining per-link capacity this interval. Stores + accounts
+  /// the delivered part.
+  PushResult push_layers(ClientId c, ServerId source, ServerId target,
+                         std::vector<LayerId> layers, int interval_index);
+  /// Parks `layers` in the retry queue.
+  void defer_layers(ClientId c, ServerId source, ServerId target,
+                    std::vector<LayerId> layers, int interval_index);
+  /// Re-attempts every parked order whose backoff elapsed.
+  void retry_deferred_migrations(int interval_index);
+  /// Local-execution fallback: the client runs every query on its own
+  /// hardware for this interval (no reachable live server).
+  void run_local_fallback(ClientId c, Point pos, int interval_index);
+  Seconds local_query_latency();
   /// Server the client should use at `pos`, honouring the selection policy
   /// and skipping crashed servers; kNoServer if nothing is reachable.
   /// `current` enables switching hysteresis under kBestVisible.
@@ -218,12 +340,23 @@ class SimulatorImpl {
                   // stats/plan caches of non-jittered runs
   TrafficAccountant traffic_;
   std::vector<bool> crowded_;
+  FaultTimeline timeline_;
+  MigrationDispatcher dispatcher_;
+  int num_intervals_ = 0;
   std::vector<LayerCache> caches_;
   std::vector<int> attached_;
-  std::vector<int> down_until_;  // interval until which a server is crashed
   std::vector<ClientState> clients_;
   std::vector<int> order_rank_;
   std::unordered_map<int, LoadLevelCache> levels_;
+  /// Degraded twins of levels_ (telemetry-dropout planning); same stability
+  /// guarantees (ColdJob keeps pointers into the map values).
+  std::unordered_map<int, LoadLevelCache> degraded_levels_;
+  /// Bytes already shipped per degraded link this interval (capacity caps).
+  /// Only populated while a backhaul fault is active; cleared per interval.
+  std::unordered_map<std::uint64_t, Bytes> link_used_;
+  /// Lazily computed per-query latency of fully local execution (< 0 until
+  /// first needed; fault-only path, so clean runs never compute it).
+  Seconds local_latency_ = -1.0;
   /// Interval-scoped estimator memo behind levels_: invalidated every
   /// interval, so its counters expose how often one interval re-requests the
   /// same (model, stats) estimate. levels_ persists across intervals, so
@@ -276,6 +409,43 @@ const LoadLevelCache& SimulatorImpl::level(int load) {
   lvl.plan = compute_best_plan(context);
   lvl.needed = lvl.plan.server_layers();
   return levels_.emplace(load, std::move(lvl)).first->second;
+}
+
+const LoadLevelCache& SimulatorImpl::degraded_level(int load) {
+  load = std::max(1, load);
+  const auto it = degraded_levels_.find(load);
+  if (it != degraded_levels_.end()) return it->second;
+
+  // Ground truth comes from the ordinary level — execution does not care
+  // what the master believed. Building it first also keeps the rng_ draw
+  // order identical whether or not the dropout window exists.
+  const LoadLevelCache& base = level(load);
+  LoadLevelCache lvl;
+  lvl.stats = base.stats;
+  lvl.stats.age_intervals = 1;  // telemetry stopped arriving: snapshot stale
+  lvl.true_time = base.true_time;
+  const LayerTimeEstimator& fallback =
+      world_.fallback_estimator != nullptr
+          ? static_cast<const LayerTimeEstimator&>(*world_.fallback_estimator)
+          : static_cast<const LayerTimeEstimator&>(*world_.estimator);
+  const DnnModel& model = world_.model;
+  if (fastpath::enabled()) {
+    lvl.estimated = estimate_cache_.estimates(fallback, model, lvl.stats);
+  } else {
+    lvl.estimated.reserve(static_cast<std::size_t>(model.num_layers()));
+    for (LayerId id = 0; id < model.num_layers(); ++id)
+      lvl.estimated.push_back(
+          fallback.estimate(model.layer(id), model.input_bytes(id),
+                            lvl.stats));
+  }
+  PartitionContext context;
+  context.model = &model;
+  context.client_profile = &world_.client_profile;
+  context.server_time = lvl.estimated;
+  context.net = config_.wireless;
+  lvl.plan = compute_best_plan(context);
+  lvl.needed = lvl.plan.server_layers();
+  return degraded_levels_.emplace(load, std::move(lvl)).first->second;
 }
 
 std::vector<LayerId> SimulatorImpl::order_by_canonical(
@@ -408,8 +578,17 @@ void SimulatorImpl::handle_attach(ClientId c, ServerId sid,
   }
   cache.touch(c, interval_index);
 
+  // Telemetry dropout at this server: the master plans blind, through the
+  // load-free fallback estimator over the stale snapshot.
+  const bool degraded = timeline_.telemetry_down(sid, interval_index);
   const LoadLevelCache& lvl =
-      level(attached_[static_cast<std::size_t>(sid)]);
+      degraded ? degraded_level(attached_[static_cast<std::size_t>(sid)])
+               : level(attached_[static_cast<std::size_t>(sid)]);
+  if (degraded) {
+    ++metrics_.degraded_attaches;
+    obs::count("sim.attach.degraded");
+    if (timeseries_ != nullptr) timeseries_->record_degraded(sid);
+  }
   const DnnModel& model = world_.model;
 
   std::vector<bool> available =
@@ -486,17 +665,14 @@ void SimulatorImpl::advance_uploads(int interval_index) {
 }
 
 bool SimulatorImpl::is_down(ServerId sid, int interval_index) const {
-  return down_until_[static_cast<std::size_t>(sid)] > interval_index;
+  return timeline_.server_down(sid, interval_index);
 }
 
-void SimulatorImpl::inject_failures(int interval_index) {
-  if (config_.server_failure_rate <= 0.0) return;
-  for (ServerId s = 0; s < world_.servers.num_servers(); ++s) {
-    if (is_down(s, interval_index)) continue;
-    if (!rng_.bernoulli(config_.server_failure_rate)) continue;
+void SimulatorImpl::apply_faults(int interval_index) {
+  if (timeline_.empty()) return;
+  for (ServerId s : timeline_.crashes_starting_at(interval_index)) {
     ++metrics_.server_failures;
-    down_until_[static_cast<std::size_t>(s)] =
-        interval_index + config_.server_downtime_intervals;
+    obs::count("sim.fault.server_crashes");
     // The crash loses every cached layer on the node...
     caches_[static_cast<std::size_t>(s)] = LayerCache(config_.ttl_intervals);
     // ...and drops its clients, who re-attach (cold) next placement pass.
@@ -508,6 +684,177 @@ void SimulatorImpl::inject_failures(int interval_index) {
       --attached_[static_cast<std::size_t>(s)];
       ++metrics_.failure_evictions;
     }
+  }
+  for (ClientId c : timeline_.disconnects_starting_at(interval_index)) {
+    ++metrics_.client_disconnect_events;
+    obs::count("sim.fault.client_disconnects");
+    ClientState& client = clients_[static_cast<std::size_t>(c)];
+    if (client.current == kNoServer) continue;
+    --attached_[static_cast<std::size_t>(client.current)];
+    client.current = kNoServer;
+    client.pending.clear();
+    client.carry_bytes = 0;
+  }
+}
+
+namespace {
+/// Unordered link id: the capacity of a degraded backhaul link is shared by
+/// both directions.
+std::uint64_t link_key(ServerId a, ServerId b) {
+  const auto lo =
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(std::min(a, b)));
+  const auto hi =
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(std::max(a, b)));
+  return (hi << 32) | lo;
+}
+}  // namespace
+
+SimulatorImpl::PushResult SimulatorImpl::push_layers(
+    ClientId c, ServerId source, ServerId target,
+    std::vector<LayerId> layers, int interval_index) {
+  const DnnModel& model = world_.model;
+  LayerCache& target_cache = caches_[static_cast<std::size_t>(target)];
+  const double factor =
+      timeline_.any_backhaul_fault(interval_index)
+          ? timeline_.backhaul_factor(source, target, interval_index)
+          : 1.0;
+  PushResult result;
+  if (factor <= 0.0) {
+    // Outage: no packet crosses — not even a TTL-refresh order.
+    result.overflow = std::move(layers);
+    return result;
+  }
+  std::vector<LayerId> send;
+  if (factor >= 1.0) {
+    send = std::move(layers);
+  } else {
+    // Degraded link: the prefix (canonical efficiency order) that fits the
+    // remaining shared per-link capacity this interval. Layers the target
+    // already holds cost no capacity (dedup suppresses the transfer).
+    const std::vector<bool> present = target_cache.mask(c, model);
+    const Bytes cap = static_cast<Bytes>(
+        factor * config_.backhaul_bytes_per_sec * world_.interval);
+    Bytes& used = link_used_[link_key(source, target)];
+    bool full = false;
+    for (LayerId id : layers) {
+      const Bytes w = present[static_cast<std::size_t>(id)]
+                          ? 0
+                          : model.layer(id).weight_bytes;
+      if (full || used + w > cap) {
+        full = true;
+        result.overflow.push_back(id);
+        continue;
+      }
+      used += w;
+      send.push_back(id);
+    }
+    if (send.empty() && !result.overflow.empty()) return result;  // capacity gone
+  }
+  // Delivered (an empty `send` is a pure TTL-refresh order): store dedups
+  // and refreshes the receiver's TTL; only bytes that actually crossed are
+  // accounted.
+  result.delivered = true;
+  const std::vector<LayerId> added =
+      target_cache.store(c, send, interval_index);
+  for (LayerId id : added) result.sent_bytes += model.layer(id).weight_bytes;
+  if (result.sent_bytes > 0) {
+    traffic_.record_transfer(source, target, result.sent_bytes);
+    metrics_.total_migrated_bytes += result.sent_bytes;
+    obs::count("sim.migration.bytes",
+               static_cast<double>(result.sent_bytes));
+  }
+  return result;
+}
+
+void SimulatorImpl::defer_layers(ClientId c, ServerId source, ServerId target,
+                                 std::vector<LayerId> layers,
+                                 int interval_index) {
+  Bytes bytes = 0;
+  for (LayerId id : layers) bytes += world_.model.layer(id).weight_bytes;
+  if (timeseries_ != nullptr) timeseries_->record_deferred(source, bytes);
+  dispatcher_.defer(c, source, target, std::move(layers), bytes,
+                    interval_index);
+}
+
+void SimulatorImpl::retry_deferred_migrations(int interval_index) {
+  for (DeferredMigration& order : dispatcher_.due(interval_index)) {
+    // A crashed endpoint can't take part: the target lost its radio, the
+    // source lost the cache it was supposed to ship from.
+    if (timeline_.server_down(order.source, interval_index) ||
+        timeline_.server_down(order.target, interval_index)) {
+      dispatcher_.fail(std::move(order), interval_index);
+      continue;
+    }
+    // Only what the source still holds is sendable (TTL expiry or a crash
+    // wipe may have eaten the order since it was parked).
+    const std::vector<bool> source_mask =
+        caches_[static_cast<std::size_t>(order.source)].mask(order.client,
+                                                             world_.model);
+    std::vector<LayerId> layers;
+    for (LayerId id : order.layers)
+      if (source_mask[static_cast<std::size_t>(id)]) layers.push_back(id);
+    if (layers.empty()) {
+      // Nothing left to send: the order dissolves without a transfer.
+      dispatcher_.succeed(order);
+      continue;
+    }
+    PushResult result = push_layers(order.client, order.source, order.target,
+                                    std::move(layers), interval_index);
+    if (!result.delivered) {
+      dispatcher_.fail(std::move(order), interval_index);
+      continue;
+    }
+    dispatcher_.succeed(order);
+    obs::count("sim.migration.orders");
+    if (timeseries_ != nullptr)
+      timeseries_->record_migration(order.source, order.target,
+                                    result.sent_bytes);
+    if (!result.overflow.empty())
+      defer_layers(order.client, order.source, order.target,
+                   std::move(result.overflow), interval_index);
+  }
+}
+
+Seconds SimulatorImpl::local_query_latency() {
+  if (local_latency_ < 0.0) {
+    PartitionContext context;
+    context.model = &world_.model;
+    context.client_profile = &world_.client_profile;
+    context.server_time.assign(
+        static_cast<std::size_t>(world_.model.num_layers()), 0.0);
+    context.net = config_.wireless;
+    local_latency_ = local_only_latency(context);
+    PERDNN_CHECK_MSG(local_latency_ > 0.0,
+                     "local-only execution latency must be positive");
+  }
+  return local_latency_;
+}
+
+void SimulatorImpl::run_local_fallback(ClientId c, Point pos,
+                                       int interval_index) {
+  (void)c;
+  const Seconds latency = local_query_latency();
+  long long queries = 0;
+  Seconds now = 0.0;
+  while (now + latency <= world_.interval) {
+    ++queries;
+    now += latency + config_.query_gap;
+  }
+  if (queries == 0) return;  // a single local query outlasts the interval
+  const Seconds latency_sum = static_cast<double>(queries) * latency;
+  metrics_.local_fallback_queries += queries;
+  metrics_.local_latency_sum_s += latency_sum;
+  obs::count("sim.local.queries", static_cast<double>(queries));
+  if (timeseries_ != nullptr) {
+    // Attribute to the nearest server (the one the client *would* use) so
+    // the rows keep reconciling with the aggregate metrics.
+    ServerId sid = world_.servers.server_at(pos);
+    if (sid == kNoServer) {
+      sid = world_.servers.nearest_server(
+          pos, world_.servers.grid().cell_radius() * 64.0);
+    }
+    if (sid == kNoServer) sid = 0;
+    timeseries_->record_local_queries(sid, queries, latency_sum);
   }
 }
 
@@ -543,8 +890,13 @@ ServerId SimulatorImpl::choose_server(Point pos, ServerId current,
     if (is_down(candidate, interval_index)) continue;
     // For the already-attached server the client's own load is included.
     const int extra = candidate == current ? 0 : 1;
+    const int load = attached_[static_cast<std::size_t>(candidate)] + extra;
+    // The master compares the latencies it can *predict*: a telemetry-dark
+    // candidate is judged by its degraded (load-free) plan.
     const Seconds latency =
-        level(attached_[static_cast<std::size_t>(candidate)] + extra)
+        (timeline_.telemetry_down(candidate, interval_index)
+             ? degraded_level(load)
+             : level(load))
             .plan.latency;
     if (candidate == current) {
       current_visible = true;
@@ -618,8 +970,11 @@ void SimulatorImpl::proactive_migration(int interval_index) {
     for (ServerId target : targets) {
       if (target == client.current) continue;  // futile for migration
       if (is_down(target, interval_index)) continue;
+      const int load = attached_[static_cast<std::size_t>(target)] + 1;
       const LoadLevelCache& lvl =
-          level(attached_[static_cast<std::size_t>(target)] + 1);
+          timeline_.telemetry_down(target, interval_index)
+              ? degraded_level(load)
+              : level(load);
 
       // Send what the future plan needs and the source actually has.
       std::vector<LayerId> sendable;
@@ -645,37 +1000,33 @@ void SimulatorImpl::proactive_migration(int interval_index) {
         sendable.resize(keep);
       }
 
-      // Store (deduplicating) and account only the bytes that actually
-      // crossed the backhaul. Even an empty effective send refreshes TTL
-      // (the paper's duplicate-transmission suppression).
-      const std::vector<LayerId> added =
-          caches_[static_cast<std::size_t>(target)].store(c, sendable,
-                                                          interval_index);
-      Bytes bytes = 0;
-      for (LayerId id : added) bytes += world_.model.layer(id).weight_bytes;
-      if (bytes > 0) {
-        traffic_.record_transfer(client.current, target, bytes);
-        metrics_.total_migrated_bytes += bytes;
-        obs::count("sim.migration.bytes", static_cast<double>(bytes));
-      }
+      // Fault-aware delivery. On a healthy link this stores (deduplicating)
+      // and accounts only the bytes that actually crossed the backhaul; even
+      // an empty effective send refreshes TTL (the paper's duplicate-
+      // transmission suppression). A backhaul outage defers the whole order
+      // into the retry queue — and crucially does NOT refresh the receiver's
+      // TTL; a degraded link ships what fits and defers the overflow.
+      PushResult result = push_layers(
+          c, client.current, target, std::move(sendable), interval_index);
+      if (!result.overflow.empty())
+        defer_layers(c, client.current, target, std::move(result.overflow),
+                     interval_index);
       obs::count("sim.migration.orders");
       // Recorded even when fully deduplicated (bytes == 0): the order was
       // still issued, only the transfer was suppressed.
       if (timeseries_ != nullptr)
-        timeseries_->record_migration(client.current, target, bytes);
+        timeseries_->record_migration(client.current, target,
+                                      result.sent_bytes);
     }
   }
 }
 
 SimulationMetrics SimulatorImpl::run() {
   PERDNN_SPAN("sim.run");
-  std::size_t num_intervals = 0;
-  for (const auto& client : clients_)
-    num_intervals = std::max(num_intervals, client.trace->points.size());
-
   if (timeseries_ != nullptr)
     timeseries_->start(world_.servers.num_servers(), world_.interval);
 
+  const auto num_intervals = static_cast<std::size_t>(num_intervals_);
   for (std::size_t k = 0; k < num_intervals; ++k) {
     PERDNN_SPAN("sim.interval");
     const int interval_index = static_cast<int>(k);
@@ -685,8 +1036,9 @@ SimulationMetrics SimulatorImpl::run() {
     // the long-lived per-load results.
     estimate_cache_.invalidate();
 
-    // 0) Failure injection (crashed servers lose caches and clients).
-    inject_failures(interval_index);
+    // 0) Scripted fault windows open (crashed servers lose caches and
+    //    clients, disconnecting clients detach).
+    apply_faults(interval_index);
 
     // 1) Movement and (re-)attachment.
     for (ClientId c = 0; c < static_cast<ClientId>(clients_.size()); ++c) {
@@ -700,9 +1052,28 @@ SimulationMetrics SimulatorImpl::run() {
         }
         continue;
       }
+      if (timeline_.client_offline(c, interval_index)) {
+        // Scripted disconnect: radio off, nothing happens this interval
+        // (apply_faults already detached the client at the window start).
+        ++metrics_.offline_client_intervals;
+        continue;
+      }
       const Point pos = client.trace->points[k];
       const ServerId sid = choose_server(pos, client.current, interval_index);
-      if (sid == kNoServer) continue;  // nothing reachable (outage)
+      if (sid == kNoServer) {
+        // No reachable live server (outage): graceful degradation to fully
+        // local execution for this interval.
+        if (client.current != kNoServer) {
+          --attached_[static_cast<std::size_t>(client.current)];
+          client.current = kNoServer;
+          client.pending.clear();
+          client.carry_bytes = 0;
+        }
+        ++metrics_.unreachable_client_intervals;
+        run_local_fallback(c, pos, interval_index);
+        continue;
+      }
+      ++metrics_.attached_client_intervals;
       if (sid != client.current) handle_attach(c, sid, interval_index);
     }
     // 1b) Evaluate this interval's cold-start windows in parallel; results
@@ -712,19 +1083,31 @@ SimulationMetrics SimulatorImpl::run() {
     // 2) Incremental uploads progress; attached entries stay fresh.
     advance_uploads(interval_index);
 
-    // 3) Prediction + proactive migration.
-    if (config_.policy == MigrationPolicy::kProactive)
+    // 3) Parked migration orders retry first (oldest backlog gets freed
+    //    capacity), then prediction + proactive migration.
+    if (config_.policy == MigrationPolicy::kProactive) {
+      link_used_.clear();
+      retry_deferred_migrations(interval_index);
       proactive_migration(interval_index);
+    }
 
     // 4) TTL expiry.
     for (auto& cache : caches_) cache.expire(interval_index);
 
+    metrics_.peak_deferred_backlog_bytes = std::max(
+        metrics_.peak_deferred_backlog_bytes, dispatcher_.backlog_bytes());
     if (timeseries_ != nullptr) {
       timeseries_->set_attached(attached_);
       timeseries_->end_interval();
     }
   }
   traffic_.finish();
+
+  metrics_.migrations_deferred = dispatcher_.deferred_orders();
+  metrics_.migration_retries = dispatcher_.retries();
+  metrics_.migrations_abandoned = dispatcher_.abandoned_orders();
+  metrics_.deferred_migration_bytes = dispatcher_.total_deferred_bytes();
+  metrics_.abandoned_migration_bytes = dispatcher_.abandoned_bytes();
 
   metrics_.peak_uplink_mbps = traffic_.global_peak_uplink_mbps();
   metrics_.peak_downlink_mbps = traffic_.global_peak_downlink_mbps();
@@ -753,6 +1136,7 @@ SimulationMetrics run_simulation(const SimulationConfig& config,
 SimulationMetrics run_simulation(const SimulationConfig& config,
                                  const SimulationWorld& world,
                                  obs::SimTimeseries* timeseries) {
+  config.validate();
   SimulatorImpl impl(config, world, timeseries);
   return impl.run();
 }

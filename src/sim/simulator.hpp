@@ -29,7 +29,9 @@
 #include "device/gpu_model.hpp"
 #include "device/profiler.hpp"
 #include "edge/layer_cache.hpp"
+#include "edge/migration_dispatcher.hpp"
 #include "estimation/estimator.hpp"
+#include "faults/fault_plan.hpp"
 #include "geo/server_map.hpp"
 #include "mobility/predictor.hpp"
 #include "net/network.hpp"
@@ -93,11 +95,22 @@ struct SimulationConfig {
 
   PredictorKind predictor = PredictorKind::kSvr;
 
-  /// Failure injection: per-interval probability that any given edge server
-  /// crashes (loses its layer cache and drops its clients) and the number of
-  /// intervals it stays down. 0 disables failures.
+  /// Legacy failure injection: per-interval probability that any given edge
+  /// server crashes (loses its layer cache and drops its clients) and the
+  /// number of intervals it stays down. 0 disables failures. Internally
+  /// mapped onto FaultPlan::legacy_crashes(); mutually exclusive with a
+  /// non-empty `fault_plan` (validate() rejects the combination).
   double server_failure_rate = 0.0;
   int server_downtime_intervals = 3;
+
+  /// Scripted fault schedule (crashes, backhaul degradation, telemetry
+  /// dropouts, client churn); see src/faults/fault_plan.hpp. Empty = no
+  /// faults (unless the legacy knobs above are set).
+  FaultPlan fault_plan;
+
+  /// Retry-with-backoff policy for migration pushes that could not be
+  /// delivered (backhaul outage / capacity exhausted / target down).
+  MigrationRetryConfig migration_retry{};
 
   /// The paper's "alternative (2)", implemented as an option: during a cold
   /// start a client may keep offloading to its *previous* server, with the
@@ -115,6 +128,13 @@ struct SimulationConfig {
   Bytes crowded_byte_budget = 0;
 
   std::uint64_t seed = 42;
+
+  /// Structural validation of every knob: rates/probabilities inside their
+  /// domains, durations and TTLs positive, retry budgets sane, and the
+  /// scripted-plan/legacy-knob exclusivity. Throws std::logic_error naming
+  /// the offending field. build_world() and run_simulation() call this up
+  /// front so misconfigurations fail loudly instead of skewing results.
+  void validate() const;
 };
 
 struct SimulationMetrics {
@@ -129,6 +149,39 @@ struct SimulationMetrics {
   /// Cold-window queries served through the routed-to-previous-server path
   /// (only with routing_fallback).
   long long routed_queries = 0;
+
+  // Fault model / graceful degradation (all zero on fault-free runs).
+  int client_disconnect_events = 0;  ///< scripted disconnect windows opened
+  /// Queries executed fully on the client because no live server was
+  /// reachable, and their summed latency (the local-fallback path).
+  long long local_fallback_queries = 0;
+  double local_latency_sum_s = 0.0;
+  /// Client-interval occupancy: intervals spent attached to a live server /
+  /// active but with no reachable server (local fallback) / scripted
+  /// offline. attached + unreachable + offline == active client-intervals.
+  long long attached_client_intervals = 0;
+  long long unreachable_client_intervals = 0;
+  long long offline_client_intervals = 0;
+  /// Re-attachments whose partitioning plan was built in degraded mode
+  /// (stale GPU telemetry at the chosen server).
+  int degraded_attaches = 0;
+  // Migration retry/backoff accounting (mirrors MigrationDispatcher).
+  int migrations_deferred = 0;   ///< orders parked at least once
+  int migration_retries = 0;     ///< delivery re-attempts popped from the queue
+  int migrations_abandoned = 0;  ///< orders dropped after the attempt budget
+  Bytes deferred_migration_bytes = 0;   ///< bytes ever parked in the queue
+  Bytes abandoned_migration_bytes = 0;  ///< bytes of abandoned orders
+  Bytes peak_deferred_backlog_bytes = 0;  ///< max parked bytes at interval end
+
+  /// Share of active, online client-intervals spent attached to a live
+  /// server: attached / (attached + unreachable). Scripted client
+  /// disconnects are the client's own outage, so they do not count against
+  /// the system. 1.0 when no client was ever active.
+  double availability() const;
+  /// Share of simulated queries that ran offloaded rather than through the
+  /// local fallback: cold_window / (cold_window + local_fallback). 1.0 when
+  /// no query was simulated.
+  double offload_ratio() const;
   /// hit / (hit + miss), the paper's hit-ratio definition. When no cold
   /// start was ever classified (hits + misses == 0 — e.g. a run with no
   /// server changes, or a pure-partial run), the ratio is defined as 0.0
@@ -158,6 +211,10 @@ struct SimulationWorld {
   DnnProfile client_profile;
   std::shared_ptr<GpuContentionModel> gpu;
   std::shared_ptr<RandomForestEstimator> estimator;
+  /// Load-free baseline estimator (LL) used when a server's GPU telemetry is
+  /// stale or missing: the load-aware forest would otherwise be fed a GPU
+  /// state that no longer exists. Trained on the same profiling sweep.
+  std::shared_ptr<NeurosurgeonEstimator> fallback_estimator;
   ServerMap servers;
   std::vector<Trajectory> test_traces;
   /// Trained predictor for the kind the world was built with (null for the

@@ -45,6 +45,45 @@ TEST(LayerCache, DuplicateStoreAlsoResetsTtl) {
   EXPECT_TRUE(cache.has_entry(1));
 }
 
+TEST(LayerCache, ExpiryHappensExactlyAtTheBoundaryInterval) {
+  // An entry stored at interval k with TTL t is alive through k + t - 1 and
+  // dies the moment expire(k + t) runs — `expires_at <= now` is inclusive.
+  LayerCache cache(4);
+  cache.store(1, {0}, /*now=*/7);
+  cache.expire(7);  // same interval: a fresh entry never dies immediately
+  EXPECT_TRUE(cache.has_entry(1));
+  cache.expire(10);  // k + t - 1
+  EXPECT_TRUE(cache.has_entry(1));
+  cache.expire(11);  // k + t, exactly
+  EXPECT_FALSE(cache.has_entry(1));
+}
+
+TEST(LayerCache, TouchAtTheBoundaryMovesIt) {
+  LayerCache cache(3);
+  cache.store(1, {0}, 0);
+  cache.touch(1, 3);  // touched at the interval it would have died
+  cache.expire(3);
+  EXPECT_TRUE(cache.has_entry(1));
+  cache.expire(6);
+  EXPECT_FALSE(cache.has_entry(1));
+}
+
+TEST(LayerCache, ReadsAndFailedSendsDoNotRefreshTtl) {
+  // Only store() and touch() reset the clock. Queries don't — and a failed
+  // or deferred migration send performs neither, so the receiver's TTL must
+  // keep running as if the send never happened.
+  LayerCache cache(3);
+  cache.store(1, {0, 1}, 0);
+  (void)cache.layers(1);
+  (void)cache.has_entry(1);
+  const DnnModel model = build_toy_model(1);
+  (void)cache.mask(1, model);
+  (void)cache.cached_bytes(1, model);
+  cache.expire(2);  // repeated sweeps are not touches either
+  cache.expire(3);
+  EXPECT_FALSE(cache.has_entry(1));
+}
+
 TEST(LayerCache, TouchUnknownClientIsNoop) {
   LayerCache cache(3);
   cache.touch(99, 0);

@@ -12,6 +12,7 @@
 
 #include "common/fastpath.hpp"
 #include "common/parallel.hpp"
+#include "faults/fault_plan.hpp"
 #include "mobility/trace_gen.hpp"
 #include "obs/timeseries.hpp"
 #include "sim/simulator.hpp"
@@ -37,6 +38,26 @@ std::string metrics_fingerprint(const SimulationMetrics& m) {
   add("server_failures", m.server_failures);
   add("failure_evictions", m.failure_evictions);
   add("routed_queries", static_cast<double>(m.routed_queries));
+  add("client_disconnect_events", m.client_disconnect_events);
+  add("local_fallback_queries",
+      static_cast<double>(m.local_fallback_queries));
+  add("local_latency_sum_s", m.local_latency_sum_s);
+  add("attached_client_intervals",
+      static_cast<double>(m.attached_client_intervals));
+  add("unreachable_client_intervals",
+      static_cast<double>(m.unreachable_client_intervals));
+  add("offline_client_intervals",
+      static_cast<double>(m.offline_client_intervals));
+  add("degraded_attaches", m.degraded_attaches);
+  add("migrations_deferred", m.migrations_deferred);
+  add("migration_retries", m.migration_retries);
+  add("migrations_abandoned", m.migrations_abandoned);
+  add("deferred_migration_bytes",
+      static_cast<double>(m.deferred_migration_bytes));
+  add("abandoned_migration_bytes",
+      static_cast<double>(m.abandoned_migration_bytes));
+  add("peak_deferred_backlog_bytes",
+      static_cast<double>(m.peak_deferred_backlog_bytes));
   add("peak_uplink_mbps", m.peak_uplink_mbps);
   add("peak_downlink_mbps", m.peak_downlink_mbps);
   add("fraction_servers_within_100mbps", m.fraction_servers_within_100mbps);
@@ -112,13 +133,54 @@ class ParallelDeterminismTest : public ::testing::Test {
   };
 
   static RunResult run_at(int threads) {
+    return run_config_at(*config_, threads);
+  }
+
+  static RunResult run_config_at(const SimulationConfig& config, int threads) {
     par::set_num_threads(threads);
     obs::SimTimeseries timeseries;
     const SimulationMetrics metrics =
-        run_simulation(*config_, *world_, &timeseries);
+        run_simulation(config, *world_, &timeseries);
     std::ostringstream csv;
     timeseries.write_csv(csv);
     return {metrics_fingerprint(metrics), csv.str()};
+  }
+
+  /// A plan that exercises every fault kind at once: a crash, a total
+  /// wildcard backhaul outage, a partial pair degradation, a telemetry
+  /// dropout and a client disconnect.
+  static SimulationConfig faulted_config() {
+    SimulationConfig config = *config_;
+    config.fault_plan = FaultPlan({
+        {.kind = FaultKind::kServerCrash,
+         .at_interval = 2,
+         .duration_intervals = 3,
+         .server = 0},
+        {.kind = FaultKind::kBackhaulDegrade,
+         .at_interval = 1,
+         .duration_intervals = 4,
+         .server = 1,
+         .peer = kAllServers,
+         .severity = 1.0},
+        {.kind = FaultKind::kBackhaulDegrade,
+         .at_interval = 3,
+         .duration_intervals = 5,
+         .server = 0,
+         .peer = 2,
+         .severity = 0.7},
+        {.kind = FaultKind::kTelemetryDropout,
+         .at_interval = 0,
+         .duration_intervals = 8,
+         .server = 2},
+        {.kind = FaultKind::kClientDisconnect,
+         .at_interval = 4,
+         .duration_intervals = 2,
+         .client = 1},
+    });
+    config.migration_retry = {.max_attempts = 5,
+                              .initial_backoff_intervals = 1,
+                              .max_backoff_intervals = 8};
+    return config;
   }
 
   static SimulationConfig* config_;
@@ -167,6 +229,33 @@ TEST_F(ParallelDeterminismTest, FastPathOffMatchesOnAt1And8Threads) {
   EXPECT_EQ(on1.timeseries_csv, off1.timeseries_csv);
   EXPECT_EQ(on1.timeseries_csv, off8.timeseries_csv);
   EXPECT_EQ(on1.timeseries_csv, on8.timeseries_csv);
+}
+
+TEST_F(ParallelDeterminismTest, FaultPlanRunsAreDeterministicAcrossThreads) {
+  // The robustness machinery (scripted faults, retry queue, degraded-mode
+  // estimation, local fallback) sits under the same determinism gate as the
+  // clean path: byte-identical at 1/2/8 threads and with the fast path off.
+  const SimulationConfig config = faulted_config();
+  const RunResult serial = run_config_at(config, 1);
+  const RunResult two = run_config_at(config, 2);
+  const RunResult eight = run_config_at(config, 8);
+  ASSERT_FALSE(serial.metrics.empty());
+  EXPECT_EQ(serial.metrics, two.metrics);
+  EXPECT_EQ(serial.metrics, eight.metrics);
+  EXPECT_EQ(serial.timeseries_csv, two.timeseries_csv);
+  EXPECT_EQ(serial.timeseries_csv, eight.timeseries_csv);
+
+  const RunResult off = [&] {
+    FastPathGuard guard(false);
+    return run_config_at(config, 8);
+  }();
+  EXPECT_EQ(serial.metrics, off.metrics);
+  EXPECT_EQ(serial.timeseries_csv, off.timeseries_csv);
+
+  // The plan actually bit: this is not vacuous determinism.
+  EXPECT_NE(serial.metrics.find("server_failures=1"), std::string::npos);
+  EXPECT_NE(serial.metrics.find("client_disconnect_events=1"),
+            std::string::npos);
 }
 
 TEST_F(ParallelDeterminismTest, WorldBuildIdenticalWithFastPathOff) {

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Builds the repo with ASan+UBSan (-DPERDNN_SANITIZE=address) and runs the
+# robustness surface under it: the fault-plan/timeline unit tests, the
+# migration-dispatcher retry tests, the end-to-end fault simulations, the
+# fault-plan determinism gate, and a bench_chaos smoke run (sweep + scripted
+# plan + strict-flag rejection). Any sanitizer report fails the script.
+#
+# Usage: tools/check_chaos.sh [build-dir]     (default: build-chaos)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-chaos}"
+
+cmake -B "$BUILD_DIR" -S . -DPERDNN_SANITIZE=address
+cmake --build "$BUILD_DIR" -j"$(nproc)" \
+  --target test_faults test_edge test_sim bench_chaos
+
+export PERDNN_THREADS=4
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure \
+  -R 'FaultPlan|FaultTimeline|FaultSim|MigrationDispatcher|LayerCache|ParallelDeterminism|SimulationConfigValidate|SimulationMetricsFault'
+
+# Smoke: the chaos sweep runs end-to-end and the strict CLI rejects junk.
+"$BUILD_DIR"/bench/bench_chaos --model mobilenet --seed 7 --threads 4
+
+PLAN_FILE="$(mktemp)"
+trap 'rm -f "$PLAN_FILE"' EXIT
+cat > "$PLAN_FILE" <<'EOF'
+{"events":[
+  {"kind":"server_crash","at":2,"duration":4,"server":0},
+  {"kind":"backhaul_degrade","at":1,"duration":5,"server":1,"peer":-2,"severity":1.0},
+  {"kind":"telemetry_dropout","at":0,"duration":10,"server":2},
+  {"kind":"client_disconnect","at":3,"duration":2,"client":0}
+]}
+EOF
+"$BUILD_DIR"/bench/bench_chaos --plan "$PLAN_FILE" --json --threads 4 > /dev/null
+
+if "$BUILD_DIR"/bench/bench_chaos --definitely-not-a-flag 2> /dev/null; then
+  echo "error: bench_chaos accepted an unknown flag" >&2
+  exit 1
+fi
+
+echo "Chaos check passed (build dir: $BUILD_DIR)"

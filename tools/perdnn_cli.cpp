@@ -8,12 +8,17 @@
 //       Generate a synthetic mobility dataset and save it.
 //   perdnn simulate <model> <campus|urban|traces.txt> [ionn|perdnn|optimal]
 //                   [--timeseries-out FILE] [--metrics-out FILE]
-//                   [--trace-out FILE]
+//                   [--trace-out FILE] [--fault-plan FILE]
+//                   [--failure-rate R] [--downtime N]
 //       Run the smart-city simulation and print the summary. The
 //       observability flags export, respectively: the per-interval
 //       per-server timeseries (CSV, or JSON when FILE ends in .json), the
 //       metric registry (counters/gauges/histograms, JSON), and a span
-//       trace loadable in chrome://tracing / Perfetto (JSON).
+//       trace loadable in chrome://tracing / Perfetto (JSON). Fault flags:
+//       --fault-plan loads a scripted JSON fault schedule (see
+//       src/faults/fault_plan.hpp); --failure-rate/--downtime drive the
+//       legacy per-interval random crash model. The two are mutually
+//       exclusive.
 //   perdnn profile <model> <out.txt>
 //       Run the concurrency sweep and save estimator-training records.
 //
@@ -24,6 +29,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <optional>
 #include <string>
 #include <vector>
@@ -52,6 +58,8 @@ int usage() {
                "<campus|urban|traces.txt> [ionn|perdnn|optimal]\n"
                "                  [--timeseries-out FILE] [--metrics-out "
                "FILE] [--trace-out FILE]\n"
+               "                  [--fault-plan FILE] [--failure-rate R] "
+               "[--downtime N]\n"
                "  perdnn profile <model> <out.txt>\n"
                "global flags: --threads N (worker pool size; 1 = serial, "
                "default PERDNN_THREADS or hardware)\n");
@@ -182,7 +190,27 @@ struct SimulateArgs {
   std::string timeseries_out;
   std::string metrics_out;
   std::string trace_out;
+  std::string fault_plan_file;
+  double failure_rate = 0.0;
+  int downtime = 3;
 };
+
+/// Strict numeric parses: the whole token must be consumed.
+bool parse_double(const std::string& text, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool parse_int(const std::string& text, int* out) {
+  char* end = nullptr;
+  const long v = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') return false;
+  *out = static_cast<int>(v);
+  return true;
+}
 
 /// Strict parser for `simulate`: positional model/traces/[policy] plus the
 /// observability flags (either `--flag value` or `--flag=value`). Returns
@@ -205,10 +233,27 @@ std::optional<SimulateArgs> parse_simulate_args(int argc, char** argv) {
         value = argv[++i];
         have_value = true;
       }
+      if (name == "--failure-rate" || name == "--downtime") {
+        if (!have_value || value.empty()) {
+          std::fprintf(stderr, "error: flag '%s' needs a numeric argument\n",
+                       name.c_str());
+          return std::nullopt;
+        }
+        const bool ok = name == "--failure-rate"
+                            ? parse_double(value, &args.failure_rate)
+                            : parse_int(value, &args.downtime);
+        if (!ok) {
+          std::fprintf(stderr, "error: flag '%s' got non-numeric value '%s'\n",
+                       name.c_str(), value.c_str());
+          return std::nullopt;
+        }
+        continue;
+      }
       std::string* target = nullptr;
       if (name == "--timeseries-out") target = &args.timeseries_out;
       else if (name == "--metrics-out") target = &args.metrics_out;
       else if (name == "--trace-out") target = &args.trace_out;
+      else if (name == "--fault-plan") target = &args.fault_plan_file;
       if (target == nullptr) {
         std::fprintf(stderr, "error: unknown flag '%s'\n", name.c_str());
         return std::nullopt;
@@ -253,6 +298,24 @@ std::optional<SimulateArgs> parse_simulate_args(int argc, char** argv) {
       return std::nullopt;
     }
   }
+  if (!args.fault_plan_file.empty() && args.failure_rate != 0.0) {
+    std::fprintf(stderr,
+                 "error: --fault-plan and --failure-rate are mutually "
+                 "exclusive\n");
+    return std::nullopt;
+  }
+  if (args.failure_rate < 0.0 || args.failure_rate > 1.0) {
+    std::fprintf(stderr,
+                 "error: --failure-rate must be a probability in [0, 1] "
+                 "(got %g)\n",
+                 args.failure_rate);
+    return std::nullopt;
+  }
+  if (args.downtime < 1) {
+    std::fprintf(stderr, "error: --downtime must be >= 1 (got %d)\n",
+                 args.downtime);
+    return std::nullopt;
+  }
   return args;
 }
 
@@ -264,6 +327,18 @@ int cmd_simulate(int argc, char** argv) {
   config.model = parsed->model;
   config.policy = parsed->policy;
   config.migration_radius_m = 100.0;
+  config.server_failure_rate = parsed->failure_rate;
+  config.server_downtime_intervals = parsed->downtime;
+  if (!parsed->fault_plan_file.empty()) {
+    std::ifstream in(parsed->fault_plan_file);
+    if (!in)
+      throw std::runtime_error("cannot open " + parsed->fault_plan_file);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    config.fault_plan = FaultPlan::from_json(text);
+    std::printf("fault plan: %zu scripted events from %s\n",
+                config.fault_plan.size(), parsed->fault_plan_file.c_str());
+  }
 
   if (!parsed->metrics_out.empty()) {
     obs::Registry::global().reset();
@@ -289,6 +364,19 @@ int cmd_simulate(int argc, char** argv) {
   std::printf("migrated: %.0f MB   peak backhaul uplink: %.0f Mbps\n",
               bytes_to_mb(metrics.total_migrated_bytes),
               metrics.peak_uplink_mbps);
+  if (!config.fault_plan.empty() || config.server_failure_rate > 0.0) {
+    std::printf("faults: %d crashes, %d evictions, %d disconnects   "
+                "availability: %.1f%%   offloaded: %.1f%%\n",
+                metrics.server_failures, metrics.failure_evictions,
+                metrics.client_disconnect_events,
+                metrics.availability() * 100.0,
+                metrics.offload_ratio() * 100.0);
+    std::printf("local fallback queries: %lld   migrations deferred: %d "
+                "(%.0f MB, %d retries, %d abandoned)\n",
+                metrics.local_fallback_queries, metrics.migrations_deferred,
+                bytes_to_mb(metrics.deferred_migration_bytes),
+                metrics.migration_retries, metrics.migrations_abandoned);
+  }
 
   if (recorder != nullptr) {
     std::ofstream out(parsed->timeseries_out);
