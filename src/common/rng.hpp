@@ -8,6 +8,7 @@
 // distributions are not portable across standard libraries.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -23,7 +24,21 @@ class Rng {
  public:
   using result_type = std::uint64_t;
 
+  /// Complete generator state, exposed for checkpointing: the four xoshiro
+  /// words plus the Box-Muller spare. restore()ing a captured State resumes
+  /// the stream mid-draw-sequence bit-for-bit.
+  struct State {
+    std::array<std::uint64_t, 4> s{};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+
+    bool operator==(const State&) const = default;
+  };
+
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  State state() const;
+  void restore(const State& state);
 
   /// Raw 64-bit draw (UniformRandomBitGenerator interface).
   std::uint64_t operator()();

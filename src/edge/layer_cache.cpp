@@ -1,5 +1,7 @@
 #include "edge/layer_cache.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 
 namespace perdnn {
@@ -11,6 +13,15 @@ LayerCache::LayerCache(int ttl_intervals) : ttl_(ttl_intervals) {
 std::vector<LayerId> LayerCache::store(ClientId client,
                                        const std::vector<LayerId>& layers,
                                        int now_interval) {
+  if (layers.empty()) {
+    // An empty (fully-deduplicated) send must not manufacture a zero-layer
+    // entry for a client that never received anything — that would make
+    // has_entry()/occupancy stats count phantom clients. Existing entries
+    // still get their TTL refreshed, matching duplicate-suppression
+    // semantics (Section 3.B.2).
+    touch(client, now_interval);
+    return {};
+  }
   Entry& entry = entries_[client];
   entry.expires_at = now_interval + ttl_;
   std::vector<LayerId> added;
@@ -56,6 +67,32 @@ std::vector<bool> LayerCache::mask(ClientId client,
     out[static_cast<std::size_t>(id)] = true;
   }
   return out;
+}
+
+std::vector<LayerCache::EntrySnapshot> LayerCache::export_entries() const {
+  std::vector<EntrySnapshot> out;
+  out.reserve(entries_.size());
+  for (const auto& [client, entry] : entries_) {
+    EntrySnapshot snap;
+    snap.client = client;
+    snap.layers.assign(entry.layers.begin(), entry.layers.end());
+    snap.expires_at = entry.expires_at;
+    out.push_back(std::move(snap));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const EntrySnapshot& a, const EntrySnapshot& b) {
+              return a.client < b.client;
+            });
+  return out;
+}
+
+void LayerCache::restore_entries(const std::vector<EntrySnapshot>& entries) {
+  entries_.clear();
+  for (const EntrySnapshot& snap : entries) {
+    Entry& entry = entries_[snap.client];
+    entry.layers.insert(snap.layers.begin(), snap.layers.end());
+    entry.expires_at = snap.expires_at;
+  }
 }
 
 Bytes LayerCache::cached_bytes(ClientId client, const DnnModel& model) const {

@@ -50,6 +50,22 @@ class LayerCache {
 
   std::size_t num_entries() const { return entries_.size(); }
 
+  /// One cache entry in checkpoint form.
+  struct EntrySnapshot {
+    ClientId client = 0;
+    std::vector<LayerId> layers;
+    int expires_at = 0;
+
+    bool operator==(const EntrySnapshot&) const = default;
+  };
+
+  /// All entries, sorted by client id so snapshots are byte-stable
+  /// regardless of hash-map iteration order.
+  std::vector<EntrySnapshot> export_entries() const;
+
+  /// Replaces the cache contents with previously exported entries.
+  void restore_entries(const std::vector<EntrySnapshot>& entries);
+
  private:
   struct Entry {
     std::set<LayerId> layers;

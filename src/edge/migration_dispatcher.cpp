@@ -80,6 +80,28 @@ std::vector<DeferredMigration> MigrationDispatcher::due(int now_interval) {
   return ready;
 }
 
+MigrationDispatcher::State MigrationDispatcher::state() const {
+  State st;
+  st.queue.assign(queue_.begin(), queue_.end());
+  st.backlog_bytes = backlog_bytes_;
+  st.total_deferred_bytes = total_deferred_bytes_;
+  st.abandoned_bytes = abandoned_bytes_;
+  st.deferred_orders = deferred_orders_;
+  st.abandoned_orders = abandoned_orders_;
+  st.retries = retries_;
+  return st;
+}
+
+void MigrationDispatcher::restore(const State& state) {
+  queue_.assign(state.queue.begin(), state.queue.end());
+  backlog_bytes_ = state.backlog_bytes;
+  total_deferred_bytes_ = state.total_deferred_bytes;
+  abandoned_bytes_ = state.abandoned_bytes;
+  deferred_orders_ = state.deferred_orders;
+  abandoned_orders_ = state.abandoned_orders;
+  retries_ = state.retries;
+}
+
 void MigrationDispatcher::succeed(const DeferredMigration& order) {
   obs::count("migration.retry_success");
   obs::count("migration.retry_success_bytes", static_cast<double>(order.bytes));

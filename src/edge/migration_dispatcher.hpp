@@ -81,6 +81,21 @@ class MigrationDispatcher {
 
   const MigrationRetryConfig& config() const { return config_; }
 
+  /// Complete dispatcher state for checkpointing: the parked queue in FIFO
+  /// order plus the whole-run byte/order tallies.
+  struct State {
+    std::vector<DeferredMigration> queue;
+    Bytes backlog_bytes = 0;
+    Bytes total_deferred_bytes = 0;
+    Bytes abandoned_bytes = 0;
+    int deferred_orders = 0;
+    int abandoned_orders = 0;
+    int retries = 0;
+  };
+
+  State state() const;
+  void restore(const State& state);
+
  private:
   int backoff_after(int attempts) const;
 

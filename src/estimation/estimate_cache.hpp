@@ -55,6 +55,14 @@ class EstimateCache {
   std::uint64_t misses() const { return misses_; }
   std::size_t size() const { return entries_.size(); }
 
+  /// Restores the whole-run hit/miss tallies from a checkpoint. Entries are
+  /// never checkpointed — they are invalidated at every interval start, so a
+  /// resumed run rebuilds them identically.
+  void set_counters(std::uint64_t hits, std::uint64_t misses) {
+    hits_ = hits;
+    misses_ = misses;
+  }
+
  private:
   struct Key {
     const void* model = nullptr;

@@ -19,7 +19,9 @@ TrafficAccountant::TrafficAccountant(int num_servers, Seconds interval_length)
     : num_servers_(num_servers),
       interval_length_(interval_length),
       uplink_current_(static_cast<std::size_t>(num_servers), 0),
-      downlink_current_(static_cast<std::size_t>(num_servers), 0) {
+      downlink_current_(static_cast<std::size_t>(num_servers), 0),
+      uplink_peak_(static_cast<std::size_t>(num_servers), 0),
+      downlink_peak_(static_cast<std::size_t>(num_servers), 0) {
   PERDNN_CHECK(num_servers >= 1);
   PERDNN_CHECK(interval_length > 0);
 }
@@ -43,6 +45,10 @@ void TrafficAccountant::record_transfer(ServerId from, ServerId to,
 
 void TrafficAccountant::finish() {
   if (!interval_open_) return;
+  for (std::size_t s = 0; s < uplink_current_.size(); ++s) {
+    uplink_peak_[s] = std::max(uplink_peak_[s], uplink_current_[s]);
+    downlink_peak_[s] = std::max(downlink_peak_[s], downlink_current_[s]);
+  }
   uplink_history_.push_back(uplink_current_);
   downlink_history_.push_back(downlink_current_);
   std::fill(uplink_current_.begin(), uplink_current_.end(), 0);
@@ -50,26 +56,18 @@ void TrafficAccountant::finish() {
   interval_open_ = false;
 }
 
-namespace {
-
-double peak_mbps(const std::vector<std::vector<Bytes>>& history,
-                 ServerId server, Seconds interval) {
-  Bytes peak = 0;
-  for (const auto& snapshot : history)
-    peak = std::max(peak, snapshot[static_cast<std::size_t>(server)]);
-  return bytes_to_mbps(static_cast<double>(peak), interval);
-}
-
-}  // namespace
-
 double TrafficAccountant::peak_uplink_mbps(ServerId server) const {
   PERDNN_CHECK(server >= 0 && server < num_servers_);
-  return peak_mbps(uplink_history_, server, interval_length_);
+  return bytes_to_mbps(
+      static_cast<double>(uplink_peak_[static_cast<std::size_t>(server)]),
+      interval_length_);
 }
 
 double TrafficAccountant::peak_downlink_mbps(ServerId server) const {
   PERDNN_CHECK(server >= 0 && server < num_servers_);
-  return peak_mbps(downlink_history_, server, interval_length_);
+  return bytes_to_mbps(
+      static_cast<double>(downlink_peak_[static_cast<std::size_t>(server)]),
+      interval_length_);
 }
 
 double TrafficAccountant::global_peak_uplink_mbps() const {
@@ -126,6 +124,40 @@ double TrafficAccountant::fraction_servers_within_at_peak(double mbps) const {
     if (up <= mbps && down <= mbps) ++within;
   }
   return static_cast<double>(within) / num_servers_;
+}
+
+TrafficAccountant::State TrafficAccountant::state() const {
+  State st;
+  st.uplink_history = uplink_history_;
+  st.downlink_history = downlink_history_;
+  st.uplink_current = uplink_current_;
+  st.downlink_current = downlink_current_;
+  st.interval_open = interval_open_;
+  st.total_bytes = total_bytes_;
+  return st;
+}
+
+void TrafficAccountant::restore(const State& state) {
+  const auto servers = static_cast<std::size_t>(num_servers_);
+  PERDNN_CHECK(state.uplink_current.size() == servers);
+  PERDNN_CHECK(state.downlink_current.size() == servers);
+  PERDNN_CHECK(state.uplink_history.size() == state.downlink_history.size());
+  uplink_history_ = state.uplink_history;
+  downlink_history_ = state.downlink_history;
+  uplink_current_ = state.uplink_current;
+  downlink_current_ = state.downlink_current;
+  interval_open_ = state.interval_open;
+  total_bytes_ = state.total_bytes;
+  std::fill(uplink_peak_.begin(), uplink_peak_.end(), 0);
+  std::fill(downlink_peak_.begin(), downlink_peak_.end(), 0);
+  for (std::size_t k = 0; k < uplink_history_.size(); ++k) {
+    PERDNN_CHECK(uplink_history_[k].size() == servers);
+    PERDNN_CHECK(downlink_history_[k].size() == servers);
+    for (std::size_t s = 0; s < servers; ++s) {
+      uplink_peak_[s] = std::max(uplink_peak_[s], uplink_history_[k][s]);
+      downlink_peak_[s] = std::max(downlink_peak_[s], downlink_history_[k][s]);
+    }
+  }
 }
 
 std::vector<ServerId> TrafficAccountant::servers_by_peak_uplink() const {

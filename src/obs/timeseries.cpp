@@ -19,6 +19,23 @@ void SimTimeseries::start(int num_servers, double interval_length_s) {
   rows_.clear();
 }
 
+void SimTimeseries::restore(int num_servers, double interval_length_s,
+                            std::vector<TimeseriesRow> rows,
+                            int next_interval) {
+  PERDNN_CHECK(num_servers >= 0);
+  PERDNN_CHECK(next_interval >= 0);
+  PERDNN_CHECK_MSG(
+      num_servers == 0 || rows.size() % static_cast<std::size_t>(num_servers) == 0,
+      "restored timeseries rows must cover whole intervals");
+  std::lock_guard<std::mutex> lock(mu_);
+  num_servers_ = num_servers;
+  interval_length_s_ = interval_length_s;
+  current_interval_ = next_interval - 1;
+  interval_open_ = false;
+  current_.clear();
+  rows_ = std::move(rows);
+}
+
 void SimTimeseries::begin_interval(int interval_index) {
   std::lock_guard<std::mutex> lock(mu_);
   PERDNN_CHECK_MSG(!interval_open_, "previous interval still open");

@@ -72,6 +72,14 @@ class SimTimeseries {
   /// Must be called before the first interval. Resets prior state.
   void start(int num_servers, double interval_length_s);
 
+  /// Re-primes the recorder from checkpointed rows so a resumed simulation
+  /// can append interval `next_interval` as if the run never stopped.
+  /// `rows` must hold complete intervals only (size divisible by
+  /// num_servers); pass an empty vector when the original run recorded no
+  /// timeseries up to the checkpoint.
+  void restore(int num_servers, double interval_length_s,
+               std::vector<TimeseriesRow> rows, int next_interval);
+
   void begin_interval(int interval_index);
   void record_attach(int server, int hits, int partials, int misses);
   void record_cold_queries(int server, long long queries,

@@ -14,6 +14,7 @@
 #include "obs/metrics.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace perdnn {
 
@@ -255,7 +256,7 @@ class SimulatorImpl {
           world.canonical_schedule.order[i])] = static_cast<int>(i);
   }
 
-  SimulationMetrics run();
+  SimulationMetrics run(const SimulationRunOptions& options);
 
  private:
   /// One deferred cold-start window: every input is frozen at attach time,
@@ -280,6 +281,15 @@ class SimulatorImpl {
   /// dropout: the load-free fallback estimator over the stale snapshot.
   /// Ground truth (true_time) is unaffected — only the *plan* degrades.
   const LoadLevelCache& degraded_level(int load);
+  /// Rebuilds one levels_ entry from checkpointed GPU statistics — the same
+  /// fill as level() minus the RNG draw (the stats ARE the draw).
+  void rebuild_level(int load, const GpuStats& stats);
+  /// Re-primes every mutable field from a checkpoint; throws
+  /// snapshot::SnapshotError on fingerprint/shape mismatch.
+  void restore_from(const snapshot::SimSnapshot& snap);
+  /// Captures the complete state at an interval boundary, where
+  /// `next_interval` is the first interval still to run.
+  snapshot::SimSnapshot capture(int next_interval) const;
   void handle_attach(ClientId c, ServerId sid, int interval_index);
   /// Evaluates every ColdJob queued by this interval's attach pass in
   /// parallel and folds the results into metrics_/timeseries_ in submission
@@ -364,7 +374,59 @@ class SimulatorImpl {
   EstimateCache estimate_cache_;
   std::vector<ColdJob> cold_jobs_;  // this interval's deferred windows
   SimulationMetrics metrics_;
+  /// First interval run() executes; nonzero only after restore_from().
+  int start_interval_ = 0;
 };
+
+namespace {
+/// Fills estimated/true_time/plan/needed for a level whose `stats` are
+/// already set — shared by the normal fill (stats freshly drawn) and the
+/// checkpoint-restore rebuild (stats read back from the snapshot). Both
+/// paths are bit-identical for equal stats.
+struct LevelFiller {
+  const SimulationConfig& config;
+  const SimulationWorld& world;
+  EstimateCache& estimate_cache;
+
+  void fill(LoadLevelCache& lvl, int load) const {
+    const DnnModel& model = world.model;
+    // Per-layer estimator and ground-truth fills are independent; fan them
+    // out. Each index writes only its own slot, so the cache is identical
+    // at any thread count.
+    const auto n = static_cast<std::size_t>(model.num_layers());
+    lvl.estimated.resize(n);
+    lvl.true_time.resize(n);
+    if (fastpath::enabled()) {
+      // Memoised batch estimate (bit-identical to the per-index fill
+      // below); the ground-truth fill stays a private parallel loop.
+      lvl.estimated =
+          estimate_cache.estimates(*world.estimator, model, lvl.stats);
+      par::parallel_for(n, [&](std::size_t i) {
+        const auto id = static_cast<LayerId>(i);
+        lvl.true_time[i] = world.gpu->expected_layer_time(
+            model.layer(id), model.input_bytes(id),
+            static_cast<double>(load));
+      });
+    } else {
+      par::parallel_for(n, [&](std::size_t i) {
+        const auto id = static_cast<LayerId>(i);
+        const Bytes in_bytes = model.input_bytes(id);
+        lvl.estimated[i] =
+            world.estimator->estimate(model.layer(id), in_bytes, lvl.stats);
+        lvl.true_time[i] = world.gpu->expected_layer_time(
+            model.layer(id), in_bytes, static_cast<double>(load));
+      });
+    }
+    PartitionContext context;
+    context.model = &model;
+    context.client_profile = &world.client_profile;
+    context.server_time = lvl.estimated;
+    context.net = config.wireless;
+    lvl.plan = compute_best_plan(context);
+    lvl.needed = lvl.plan.server_layers();
+  }
+};
+}  // namespace
 
 const LoadLevelCache& SimulatorImpl::level(int load) {
   load = std::max(1, load);
@@ -374,41 +436,15 @@ const LoadLevelCache& SimulatorImpl::level(int load) {
   LoadLevelCache lvl;
   lvl.stats = world_.gpu->stats_for_load(
       load, static_cast<double>(load), rng_);
-  const DnnModel& model = world_.model;
-  // Per-layer estimator and ground-truth fills are independent; fan them
-  // out. Each index writes only its own slot, so the cache is identical at
-  // any thread count.
-  const auto n = static_cast<std::size_t>(model.num_layers());
-  lvl.estimated.resize(n);
-  lvl.true_time.resize(n);
-  if (fastpath::enabled()) {
-    // Memoised batch estimate (bit-identical to the per-index fill below);
-    // the ground-truth fill stays a private parallel loop.
-    lvl.estimated =
-        estimate_cache_.estimates(*world_.estimator, model, lvl.stats);
-    par::parallel_for(n, [&](std::size_t i) {
-      const auto id = static_cast<LayerId>(i);
-      lvl.true_time[i] = world_.gpu->expected_layer_time(
-          model.layer(id), model.input_bytes(id), static_cast<double>(load));
-    });
-  } else {
-    par::parallel_for(n, [&](std::size_t i) {
-      const auto id = static_cast<LayerId>(i);
-      const Bytes in_bytes = model.input_bytes(id);
-      lvl.estimated[i] =
-          world_.estimator->estimate(model.layer(id), in_bytes, lvl.stats);
-      lvl.true_time[i] = world_.gpu->expected_layer_time(
-          model.layer(id), in_bytes, static_cast<double>(load));
-    });
-  }
-  PartitionContext context;
-  context.model = &model;
-  context.client_profile = &world_.client_profile;
-  context.server_time = lvl.estimated;
-  context.net = config_.wireless;
-  lvl.plan = compute_best_plan(context);
-  lvl.needed = lvl.plan.server_layers();
+  LevelFiller{config_, world_, estimate_cache_}.fill(lvl, load);
   return levels_.emplace(load, std::move(lvl)).first->second;
+}
+
+void SimulatorImpl::rebuild_level(int load, const GpuStats& stats) {
+  LoadLevelCache lvl;
+  lvl.stats = stats;
+  LevelFiller{config_, world_, estimate_cache_}.fill(lvl, load);
+  levels_.emplace(load, std::move(lvl));
 }
 
 const LoadLevelCache& SimulatorImpl::degraded_level(int load) {
@@ -980,6 +1016,10 @@ void SimulatorImpl::proactive_migration(int interval_index) {
       std::vector<LayerId> sendable;
       for (LayerId id : lvl.needed)
         if (source_mask[static_cast<std::size_t>(id)]) sendable.push_back(id);
+      // Futile order: the source holds nothing the future plan needs, so no
+      // layer could ever ship. Don't issue (or count, or record) an order
+      // that cannot move a byte.
+      if (sendable.empty()) continue;
       sendable = order_by_canonical(std::move(sendable));
 
       // Fractional migration: crowded endpoints cap the migrated bytes to
@@ -996,6 +1036,14 @@ void SimulatorImpl::proactive_migration(int interval_index) {
           if (used + w > config_.crowded_byte_budget) break;
           used += w;
           ++keep;
+        }
+        if (keep == 0) {
+          // The budget is smaller than every candidate layer: the order
+          // would truncate to nothing. Count it instead of silently issuing
+          // an empty send.
+          ++metrics_.migrations_truncated;
+          obs::count("sim.migration.truncated");
+          continue;
         }
         sendable.resize(keep);
       }
@@ -1021,13 +1069,113 @@ void SimulatorImpl::proactive_migration(int interval_index) {
   }
 }
 
-SimulationMetrics SimulatorImpl::run() {
+snapshot::SimSnapshot SimulatorImpl::capture(int next_interval) const {
+  snapshot::SimSnapshot snap;
+  snap.config_fingerprint = snapshot::config_fingerprint(config_, world_);
+  snap.next_interval = next_interval;
+  snap.num_intervals = num_intervals_;
+  snap.rng = rng_.state();
+  snap.link_rng = link_rng_.state();
+  snap.caches.reserve(caches_.size());
+  for (const LayerCache& cache : caches_)
+    snap.caches.push_back(cache.export_entries());
+  snap.dispatcher = dispatcher_.state();
+  snap.traffic = traffic_.state();
+  snap.attached = attached_;
+  snap.clients.reserve(clients_.size());
+  for (const ClientState& client : clients_)
+    snap.clients.push_back({.current = client.current,
+                            .pending = client.pending,
+                            .carry_bytes = client.carry_bytes,
+                            .link_factor = client.link_factor});
+  // Only the stats survive: they carry the RNG draw, and everything else in
+  // a level is a deterministic function of them (rebuilt on restore).
+  // Sorted by load so the snapshot bytes don't depend on hash-map order.
+  for (const auto& [load, lvl] : levels_)
+    snap.levels.push_back({.load = load, .stats = lvl.stats});
+  std::sort(snap.levels.begin(), snap.levels.end(),
+            [](const auto& a, const auto& b) { return a.load < b.load; });
+  for (const auto& [load, lvl] : degraded_levels_)
+    snap.degraded_levels.push_back({.load = load, .stats = lvl.stats});
+  std::sort(snap.degraded_levels.begin(), snap.degraded_levels.end(),
+            [](const auto& a, const auto& b) { return a.load < b.load; });
+  snap.estimate_cache_hits = estimate_cache_.hits();
+  snap.estimate_cache_misses = estimate_cache_.misses();
+  snap.metrics = metrics_;
+  if (timeseries_ != nullptr) {
+    snap.has_timeseries = true;
+    snap.timeseries_rows = timeseries_->rows();
+  }
+  return snap;
+}
+
+void SimulatorImpl::restore_from(const snapshot::SimSnapshot& snap) {
+  const auto servers = static_cast<std::size_t>(world_.servers.num_servers());
+  if (snap.config_fingerprint != snapshot::config_fingerprint(config_, world_))
+    throw snapshot::SnapshotError(
+        "snapshot: config fingerprint mismatch — this checkpoint belongs to "
+        "a different scenario (config, fault plan, traces, or world)");
+  if (snap.num_intervals != num_intervals_ ||
+      snap.next_interval < 0 || snap.next_interval > num_intervals_ ||
+      snap.caches.size() != servers || snap.attached.size() != servers ||
+      snap.clients.size() != clients_.size())
+    throw snapshot::SnapshotError(
+        "snapshot: state shape does not match the world");
+  rng_.restore(snap.rng);
+  link_rng_.restore(snap.link_rng);
+  for (std::size_t s = 0; s < servers; ++s)
+    caches_[s].restore_entries(snap.caches[s]);
+  dispatcher_.restore(snap.dispatcher);
+  traffic_.restore(snap.traffic);
+  attached_ = snap.attached;
+  for (std::size_t c = 0; c < clients_.size(); ++c) {
+    const snapshot::ClientSnapshot& cs = snap.clients[c];
+    if (cs.current != kNoServer &&
+        (cs.current < 0 || cs.current >= world_.servers.num_servers()))
+      throw snapshot::SnapshotError(
+          "snapshot: client attached to an out-of-range server");
+    clients_[c].current = cs.current;
+    clients_[c].pending = cs.pending;
+    clients_[c].carry_bytes = cs.carry_bytes;
+    clients_[c].link_factor = cs.link_factor;
+  }
+  // Rebuild the level caches from the checkpointed GPU statistics: base
+  // levels first (degraded ones read their ground truth from them). Neither
+  // rebuild touches rng_ — the stats are the only draw, and they came from
+  // the snapshot. The estimate-cache counters are restored afterwards
+  // because the rebuilds go through the cache and would inflate them.
+  levels_.clear();
+  degraded_levels_.clear();
+  for (const snapshot::LoadLevelSnapshot& lvl : snap.levels)
+    rebuild_level(lvl.load, lvl.stats);
+  for (const snapshot::LoadLevelSnapshot& lvl : snap.degraded_levels) {
+    if (levels_.find(std::max(1, lvl.load)) == levels_.end())
+      throw snapshot::SnapshotError(
+          "snapshot: degraded level without its base level");
+    degraded_level(lvl.load);
+  }
+  estimate_cache_.invalidate();
+  estimate_cache_.set_counters(snap.estimate_cache_hits,
+                               snap.estimate_cache_misses);
+  metrics_ = snap.metrics;
+  start_interval_ = snap.next_interval;
+}
+
+SimulationMetrics SimulatorImpl::run(const SimulationRunOptions& options) {
   PERDNN_SPAN("sim.run");
-  if (timeseries_ != nullptr)
+  if (options.resume_from != nullptr) {
+    restore_from(*options.resume_from);
+    if (timeseries_ != nullptr)
+      timeseries_->restore(world_.servers.num_servers(), world_.interval,
+                           options.resume_from->timeseries_rows,
+                           start_interval_);
+  } else if (timeseries_ != nullptr) {
     timeseries_->start(world_.servers.num_servers(), world_.interval);
+  }
 
   const auto num_intervals = static_cast<std::size_t>(num_intervals_);
-  for (std::size_t k = 0; k < num_intervals; ++k) {
+  for (std::size_t k = static_cast<std::size_t>(start_interval_);
+       k < num_intervals; ++k) {
     PERDNN_SPAN("sim.interval");
     const int interval_index = static_cast<int>(k);
     traffic_.begin_interval();
@@ -1100,6 +1248,24 @@ SimulationMetrics SimulatorImpl::run() {
       timeseries_->set_attached(attached_);
       timeseries_->end_interval();
     }
+
+    // Interval boundary: the checkpoint hook. Everything transient is
+    // settled here (cold_jobs_ flushed, the timeseries interval closed), so
+    // a snapshot taken now resumes byte-identically.
+    const int next_interval = interval_index + 1;
+    const bool stop_here = options.stop_after_interval == interval_index;
+    const bool periodic = options.checkpoint_every > 0 &&
+                          next_interval % options.checkpoint_every == 0 &&
+                          next_interval < num_intervals_;
+    if (stop_here || periodic) {
+      snapshot::SimSnapshot snap = capture(next_interval);
+      if (!options.checkpoint_path.empty())
+        snapshot::save(snap, options.checkpoint_path);
+      if (options.capture_out != nullptr)
+        *options.capture_out = std::move(snap);
+      obs::count("sim.snapshot.captured");
+    }
+    if (stop_here) return metrics_;  // partial: caller resumes later
   }
   traffic_.finish();
 
@@ -1130,15 +1296,22 @@ SimulationMetrics SimulatorImpl::run() {
 
 SimulationMetrics run_simulation(const SimulationConfig& config,
                                  const SimulationWorld& world) {
-  return run_simulation(config, world, nullptr);
+  return run_simulation(config, world, nullptr, {});
 }
 
 SimulationMetrics run_simulation(const SimulationConfig& config,
                                  const SimulationWorld& world,
                                  obs::SimTimeseries* timeseries) {
+  return run_simulation(config, world, timeseries, {});
+}
+
+SimulationMetrics run_simulation(const SimulationConfig& config,
+                                 const SimulationWorld& world,
+                                 obs::SimTimeseries* timeseries,
+                                 const SimulationRunOptions& options) {
   config.validate();
   SimulatorImpl impl(config, world, timeseries);
-  return impl.run();
+  return impl.run(options);
 }
 
 }  // namespace perdnn

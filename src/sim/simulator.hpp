@@ -44,6 +44,10 @@ namespace obs {
 class SimTimeseries;
 }  // namespace obs
 
+namespace snapshot {
+struct SimSnapshot;
+}  // namespace snapshot
+
 enum class MigrationPolicy {
   kNone,       ///< IONN baseline: never migrate; every re-attach is a miss
   kProactive,  ///< PerDNN: predict + migrate within radius r
@@ -169,6 +173,10 @@ struct SimulationMetrics {
   int migrations_deferred = 0;   ///< orders parked at least once
   int migration_retries = 0;     ///< delivery re-attempts popped from the queue
   int migrations_abandoned = 0;  ///< orders dropped after the attempt budget
+  /// Fractional-cap truncations to nothing: a crowded endpoint's byte budget
+  /// was smaller than every candidate layer, so an otherwise-sendable order
+  /// shipped zero layers and was dropped instead of silently issued.
+  int migrations_truncated = 0;
   Bytes deferred_migration_bytes = 0;   ///< bytes ever parked in the queue
   Bytes abandoned_migration_bytes = 0;  ///< bytes of abandoned orders
   Bytes peak_deferred_backlog_bytes = 0;  ///< max parked bytes at interval end
@@ -248,5 +256,34 @@ SimulationMetrics run_simulation(const SimulationConfig& config,
 SimulationMetrics run_simulation(const SimulationConfig& config,
                                  const SimulationWorld& world,
                                  obs::SimTimeseries* timeseries);
+
+/// Checkpoint/resume controls for run_simulation. Snapshots are captured at
+/// interval boundaries (after interval k fully finishes, before k+1 starts)
+/// and a resumed run is byte-identical — metrics, timeseries, traffic — to
+/// the uninterrupted one, at any thread count and fastpath setting.
+struct SimulationRunOptions {
+  /// Resume from this snapshot instead of interval 0. The snapshot's config
+  /// fingerprint must match (config, world); snapshot::SnapshotError
+  /// otherwise. When resuming with a timeseries recorder, the recorder is
+  /// re-primed from the snapshot's rows so exports cover the whole run.
+  const snapshot::SimSnapshot* resume_from = nullptr;
+  /// Capture a checkpoint whenever (interval_index + 1) is a positive
+  /// multiple of this. 0 disables periodic checkpoints.
+  int checkpoint_every = 0;
+  /// Stop after completing this interval index (capturing a checkpoint),
+  /// returning the partial metrics accumulated so far. -1 runs to the end.
+  int stop_after_interval = -1;
+  /// Where periodic / stop checkpoints are save()d (atomic tmp + rename).
+  /// Empty disables file output — captures still go to capture_out.
+  std::string checkpoint_path;
+  /// In-memory destination for the most recent capture (tests, embedding).
+  snapshot::SimSnapshot* capture_out = nullptr;
+};
+
+/// Full-control variant: recording plus checkpoint/resume.
+SimulationMetrics run_simulation(const SimulationConfig& config,
+                                 const SimulationWorld& world,
+                                 obs::SimTimeseries* timeseries,
+                                 const SimulationRunOptions& options);
 
 }  // namespace perdnn

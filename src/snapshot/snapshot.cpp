@@ -1,0 +1,711 @@
+#include "snapshot/snapshot.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "faults/fault_plan.hpp"
+#include "obs/json.hpp"
+
+namespace perdnn::snapshot {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'D', 'N', 'N', 'S', 'N', 'P', '1'};
+
+std::uint64_t fnv1a(const char* data, std::size_t size) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+// -- little-endian fixed-width writer ---------------------------------------
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void count(std::size_t n) { u64(static_cast<std::uint64_t>(n)); }
+
+  const std::string& bytes() const { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+// -- bounds-checked reader ---------------------------------------------------
+
+class Reader {
+ public:
+  Reader(const char* data, std::size_t size) : data_(data), size_(size) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(data_[pos_ + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(data_[pos_ + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  bool boolean() {
+    const std::uint8_t v = u8();
+    if (v > 1) throw SnapshotError("snapshot: boolean field out of range");
+    return v == 1;
+  }
+  /// Reads a vector length and sanity-checks it against the bytes left:
+  /// each element needs at least `min_elem_bytes`, so a length the payload
+  /// cannot possibly hold is rejected before any allocation.
+  std::size_t count(std::size_t min_elem_bytes) {
+    const std::uint64_t n = u64();
+    const std::size_t remaining = size_ - pos_;
+    if (min_elem_bytes > 0 && n > remaining / min_elem_bytes)
+      throw SnapshotError("snapshot: length field exceeds payload size");
+    return static_cast<std::size_t>(n);
+  }
+  bool done() const { return pos_ == size_; }
+
+ private:
+  void need(std::size_t n) {
+    if (size_ - pos_ < n) throw SnapshotError("snapshot: truncated payload");
+  }
+
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+// -- field-group codecs ------------------------------------------------------
+
+void write_rng(Writer& w, const Rng::State& s) {
+  for (std::uint64_t word : s.s) w.u64(word);
+  w.f64(s.cached_normal);
+  w.boolean(s.has_cached_normal);
+}
+
+Rng::State read_rng(Reader& r) {
+  Rng::State s;
+  for (auto& word : s.s) word = r.u64();
+  s.cached_normal = r.f64();
+  s.has_cached_normal = r.boolean();
+  return s;
+}
+
+void write_stats(Writer& w, const GpuStats& s) {
+  w.i32(s.num_clients);
+  w.f64(s.kernel_util);
+  w.f64(s.mem_util);
+  w.f64(s.mem_usage_mb);
+  w.f64(s.temperature_c);
+  w.i32(s.age_intervals);
+}
+
+GpuStats read_stats(Reader& r) {
+  GpuStats s;
+  s.num_clients = r.i32();
+  s.kernel_util = r.f64();
+  s.mem_util = r.f64();
+  s.mem_usage_mb = r.f64();
+  s.temperature_c = r.f64();
+  s.age_intervals = r.i32();
+  return s;
+}
+
+void write_levels(Writer& w, const std::vector<LoadLevelSnapshot>& levels) {
+  w.count(levels.size());
+  for (const LoadLevelSnapshot& lvl : levels) {
+    w.i32(lvl.load);
+    write_stats(w, lvl.stats);
+  }
+}
+
+std::vector<LoadLevelSnapshot> read_levels(Reader& r) {
+  std::vector<LoadLevelSnapshot> levels(r.count(44));
+  for (LoadLevelSnapshot& lvl : levels) {
+    lvl.load = r.i32();
+    lvl.stats = read_stats(r);
+  }
+  return levels;
+}
+
+void write_metrics(Writer& w, const SimulationMetrics& m) {
+  w.i64(m.cold_window_queries);
+  w.i32(m.server_changes);
+  w.i32(m.hits);
+  w.i32(m.partials);
+  w.i32(m.misses);
+  w.i32(m.server_failures);
+  w.i32(m.failure_evictions);
+  w.i64(m.routed_queries);
+  w.i32(m.client_disconnect_events);
+  w.i64(m.local_fallback_queries);
+  w.f64(m.local_latency_sum_s);
+  w.i64(m.attached_client_intervals);
+  w.i64(m.unreachable_client_intervals);
+  w.i64(m.offline_client_intervals);
+  w.i32(m.degraded_attaches);
+  w.i32(m.migrations_deferred);
+  w.i32(m.migration_retries);
+  w.i32(m.migrations_abandoned);
+  w.i32(m.migrations_truncated);
+  w.i64(m.deferred_migration_bytes);
+  w.i64(m.abandoned_migration_bytes);
+  w.i64(m.peak_deferred_backlog_bytes);
+  w.f64(m.peak_uplink_mbps);
+  w.f64(m.peak_downlink_mbps);
+  w.f64(m.fraction_servers_within_100mbps);
+  w.f64(m.fraction_servers_within_100mbps_at_peak);
+  w.i64(m.total_migrated_bytes);
+  w.count(m.server_peak_uplink_mbps.size());
+  for (double v : m.server_peak_uplink_mbps) w.f64(v);
+  w.i32(m.num_servers);
+  w.i32(m.num_clients);
+  w.i32(m.num_intervals);
+}
+
+SimulationMetrics read_metrics(Reader& r) {
+  SimulationMetrics m;
+  m.cold_window_queries = r.i64();
+  m.server_changes = r.i32();
+  m.hits = r.i32();
+  m.partials = r.i32();
+  m.misses = r.i32();
+  m.server_failures = r.i32();
+  m.failure_evictions = r.i32();
+  m.routed_queries = r.i64();
+  m.client_disconnect_events = r.i32();
+  m.local_fallback_queries = r.i64();
+  m.local_latency_sum_s = r.f64();
+  m.attached_client_intervals = r.i64();
+  m.unreachable_client_intervals = r.i64();
+  m.offline_client_intervals = r.i64();
+  m.degraded_attaches = r.i32();
+  m.migrations_deferred = r.i32();
+  m.migration_retries = r.i32();
+  m.migrations_abandoned = r.i32();
+  m.migrations_truncated = r.i32();
+  m.deferred_migration_bytes = r.i64();
+  m.abandoned_migration_bytes = r.i64();
+  m.peak_deferred_backlog_bytes = r.i64();
+  m.peak_uplink_mbps = r.f64();
+  m.peak_downlink_mbps = r.f64();
+  m.fraction_servers_within_100mbps = r.f64();
+  m.fraction_servers_within_100mbps_at_peak = r.f64();
+  m.total_migrated_bytes = r.i64();
+  m.server_peak_uplink_mbps.resize(r.count(8));
+  for (double& v : m.server_peak_uplink_mbps) v = r.f64();
+  m.num_servers = r.i32();
+  m.num_clients = r.i32();
+  m.num_intervals = r.i32();
+  return m;
+}
+
+void write_row(Writer& w, const obs::TimeseriesRow& row) {
+  w.i32(row.interval);
+  w.i32(row.server);
+  w.i32(row.attached);
+  w.i32(row.hits);
+  w.i32(row.partials);
+  w.i32(row.misses);
+  w.i64(row.cold_window_queries);
+  w.f64(row.cold_latency_sum_s);
+  w.i64(row.uplink_bytes);
+  w.i64(row.downlink_bytes);
+  w.i32(row.migration_orders);
+  w.i32(row.predictor_samples);
+  w.f64(row.predictor_error_sum_m);
+  w.i64(row.local_queries);
+  w.f64(row.local_latency_sum_s);
+  w.i64(row.deferred_bytes);
+  w.i32(row.degraded);
+}
+
+obs::TimeseriesRow read_row(Reader& r) {
+  obs::TimeseriesRow row;
+  row.interval = r.i32();
+  row.server = r.i32();
+  row.attached = r.i32();
+  row.hits = r.i32();
+  row.partials = r.i32();
+  row.misses = r.i32();
+  row.cold_window_queries = r.i64();
+  row.cold_latency_sum_s = r.f64();
+  row.uplink_bytes = r.i64();
+  row.downlink_bytes = r.i64();
+  row.migration_orders = r.i32();
+  row.predictor_samples = r.i32();
+  row.predictor_error_sum_m = r.f64();
+  row.local_queries = r.i64();
+  row.local_latency_sum_s = r.f64();
+  row.deferred_bytes = r.i64();
+  row.degraded = r.i32();
+  return row;
+}
+
+void write_bytes_matrix(Writer& w,
+                        const std::vector<std::vector<Bytes>>& matrix) {
+  w.count(matrix.size());
+  for (const auto& row : matrix) {
+    w.count(row.size());
+    for (Bytes b : row) w.i64(b);
+  }
+}
+
+std::vector<std::vector<Bytes>> read_bytes_matrix(Reader& r) {
+  std::vector<std::vector<Bytes>> matrix(r.count(8));
+  for (auto& row : matrix) {
+    row.resize(r.count(8));
+    for (Bytes& b : row) b = r.i64();
+  }
+  return matrix;
+}
+
+}  // namespace
+
+// -- config fingerprint ------------------------------------------------------
+
+namespace {
+
+class FingerprintHasher {
+ public:
+  void mix(std::uint64_t v) {
+    state_ ^= v;
+    digest_ ^= splitmix64(state_);
+  }
+  void mix_double(double v) { mix(std::bit_cast<std::uint64_t>(v)); }
+  void mix_string(const std::string& s) {
+    mix(s.size());
+    mix(fnv1a(s.data(), s.size()));
+  }
+  std::uint64_t digest() const { return digest_; }
+
+ private:
+  std::uint64_t state_ = 0x50e1f1ed5eedULL;
+  std::uint64_t digest_ = 0;
+};
+
+}  // namespace
+
+std::uint64_t config_fingerprint(const SimulationConfig& config,
+                                 const SimulationWorld& world) {
+  // Chained splitmix64 over every knob that can change the simulation's
+  // byte-level behaviour, plus the world's shape. Thread count and the
+  // fastpath toggle are excluded on purpose: both are proven
+  // byte-identity-neutral by the tier-1 determinism gate, so a checkpoint
+  // moves freely across them.
+  FingerprintHasher h;
+  h.mix(static_cast<std::uint64_t>(config.model));
+  h.mix(static_cast<std::uint64_t>(config.policy));
+  h.mix_double(config.migration_radius_m);
+  h.mix(static_cast<std::uint64_t>(config.ttl_intervals));
+  h.mix(static_cast<std::uint64_t>(config.trajectory_length));
+  h.mix_double(config.query_gap);
+  h.mix_double(config.cell_radius_m);
+  h.mix_double(config.wireless.uplink_bytes_per_sec);
+  h.mix_double(config.wireless.downlink_bytes_per_sec);
+  h.mix_double(config.wireless.rtt);
+  h.mix_double(config.bandwidth_jitter_sigma);
+  h.mix(static_cast<std::uint64_t>(config.selection));
+  h.mix_double(config.visibility_radius_m);
+  h.mix(static_cast<std::uint64_t>(config.predictor));
+  h.mix_double(config.server_failure_rate);
+  h.mix(static_cast<std::uint64_t>(config.server_downtime_intervals));
+  h.mix_string(config.fault_plan.to_json());
+  h.mix(static_cast<std::uint64_t>(config.migration_retry.max_attempts));
+  h.mix(static_cast<std::uint64_t>(
+      config.migration_retry.initial_backoff_intervals));
+  h.mix(static_cast<std::uint64_t>(
+      config.migration_retry.max_backoff_intervals));
+  h.mix(config.routing_fallback ? 1 : 0);
+  h.mix_double(config.backhaul_bytes_per_sec);
+  h.mix_double(config.backhaul_rtt);
+  h.mix(config.crowded_servers.size());
+  for (ServerId s : config.crowded_servers)
+    h.mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(s)));
+  h.mix(static_cast<std::uint64_t>(config.crowded_byte_budget));
+  h.mix(config.seed);
+  h.mix(static_cast<std::uint64_t>(world.servers.num_servers()));
+  h.mix(world.test_traces.size());
+  for (const Trajectory& trace : world.test_traces)
+    h.mix(trace.points.size());
+  h.mix_double(world.interval);
+  h.mix(static_cast<std::uint64_t>(world.model.num_layers()));
+  return h.digest();
+}
+
+// -- encode / decode ---------------------------------------------------------
+
+std::string encode(const SimSnapshot& snap) {
+  Writer payload;
+  payload.u64(snap.config_fingerprint);
+  payload.i32(snap.next_interval);
+  payload.i32(snap.num_intervals);
+  write_rng(payload, snap.rng);
+  write_rng(payload, snap.link_rng);
+
+  payload.count(snap.caches.size());
+  for (const auto& entries : snap.caches) {
+    payload.count(entries.size());
+    for (const LayerCache::EntrySnapshot& e : entries) {
+      payload.i32(e.client);
+      payload.i32(e.expires_at);
+      payload.count(e.layers.size());
+      for (LayerId id : e.layers) payload.i32(id);
+    }
+  }
+
+  payload.count(snap.dispatcher.queue.size());
+  for (const DeferredMigration& order : snap.dispatcher.queue) {
+    payload.i32(order.client);
+    payload.i32(order.source);
+    payload.i32(order.target);
+    payload.count(order.layers.size());
+    for (LayerId id : order.layers) payload.i32(id);
+    payload.i64(order.bytes);
+    payload.i32(order.attempts);
+    payload.i32(order.next_attempt_interval);
+  }
+  payload.i64(snap.dispatcher.backlog_bytes);
+  payload.i64(snap.dispatcher.total_deferred_bytes);
+  payload.i64(snap.dispatcher.abandoned_bytes);
+  payload.i32(snap.dispatcher.deferred_orders);
+  payload.i32(snap.dispatcher.abandoned_orders);
+  payload.i32(snap.dispatcher.retries);
+
+  write_bytes_matrix(payload, snap.traffic.uplink_history);
+  write_bytes_matrix(payload, snap.traffic.downlink_history);
+  payload.count(snap.traffic.uplink_current.size());
+  for (Bytes b : snap.traffic.uplink_current) payload.i64(b);
+  payload.count(snap.traffic.downlink_current.size());
+  for (Bytes b : snap.traffic.downlink_current) payload.i64(b);
+  payload.boolean(snap.traffic.interval_open);
+  payload.i64(snap.traffic.total_bytes);
+
+  payload.count(snap.attached.size());
+  for (int a : snap.attached) payload.i32(a);
+
+  payload.count(snap.clients.size());
+  for (const ClientSnapshot& c : snap.clients) {
+    payload.i32(c.current);
+    payload.count(c.pending.size());
+    for (LayerId id : c.pending) payload.i32(id);
+    payload.i64(c.carry_bytes);
+    payload.f64(c.link_factor);
+  }
+
+  write_levels(payload, snap.levels);
+  write_levels(payload, snap.degraded_levels);
+  payload.u64(snap.estimate_cache_hits);
+  payload.u64(snap.estimate_cache_misses);
+  write_metrics(payload, snap.metrics);
+
+  payload.boolean(snap.has_timeseries);
+  payload.count(snap.timeseries_rows.size());
+  for (const obs::TimeseriesRow& row : snap.timeseries_rows)
+    write_row(payload, row);
+
+  Writer out;
+  for (char c : kMagic) out.u8(static_cast<std::uint8_t>(c));
+  out.u32(kSnapshotVersion);
+  out.u64(payload.bytes().size());
+  std::string bytes = out.bytes();
+  bytes += payload.bytes();
+  Writer checksum;
+  checksum.u64(fnv1a(payload.bytes().data(), payload.bytes().size()));
+  bytes += checksum.bytes();
+  return bytes;
+}
+
+SimSnapshot decode(const std::string& bytes) {
+  constexpr std::size_t kHeaderSize = 8 + 4 + 8;  // magic + version + size
+  if (bytes.size() < kHeaderSize + 8)
+    throw SnapshotError("snapshot: file too small to hold a header");
+  for (std::size_t i = 0; i < 8; ++i)
+    if (bytes[i] != kMagic[i])
+      throw SnapshotError("snapshot: bad magic (not a PerDNN snapshot)");
+  Reader header(bytes.data() + 8, kHeaderSize - 8);
+  const std::uint32_t version = header.u32();
+  if (version != kSnapshotVersion) {
+    std::ostringstream msg;
+    msg << "snapshot: unsupported version " << version << " (expected "
+        << kSnapshotVersion << ")";
+    throw SnapshotError(msg.str());
+  }
+  const std::uint64_t payload_size = header.u64();
+  if (payload_size != bytes.size() - kHeaderSize - 8)
+    throw SnapshotError("snapshot: payload size mismatch (truncated file?)");
+
+  const char* payload = bytes.data() + kHeaderSize;
+  Reader trailer(bytes.data() + kHeaderSize + payload_size, 8);
+  const std::uint64_t expected_checksum = trailer.u64();
+  if (fnv1a(payload, payload_size) != expected_checksum)
+    throw SnapshotError("snapshot: checksum mismatch (corrupted payload)");
+
+  Reader r(payload, static_cast<std::size_t>(payload_size));
+  SimSnapshot snap;
+  snap.config_fingerprint = r.u64();
+  snap.next_interval = r.i32();
+  snap.num_intervals = r.i32();
+  snap.rng = read_rng(r);
+  snap.link_rng = read_rng(r);
+
+  snap.caches.resize(r.count(8));
+  for (auto& entries : snap.caches) {
+    entries.resize(r.count(16));
+    for (LayerCache::EntrySnapshot& e : entries) {
+      e.client = r.i32();
+      e.expires_at = r.i32();
+      e.layers.resize(r.count(4));
+      for (LayerId& id : e.layers) id = r.i32();
+    }
+  }
+
+  snap.dispatcher.queue.resize(r.count(28));
+  for (DeferredMigration& order : snap.dispatcher.queue) {
+    order.client = r.i32();
+    order.source = r.i32();
+    order.target = r.i32();
+    order.layers.resize(r.count(4));
+    for (LayerId& id : order.layers) id = r.i32();
+    order.bytes = r.i64();
+    order.attempts = r.i32();
+    order.next_attempt_interval = r.i32();
+  }
+  snap.dispatcher.backlog_bytes = r.i64();
+  snap.dispatcher.total_deferred_bytes = r.i64();
+  snap.dispatcher.abandoned_bytes = r.i64();
+  snap.dispatcher.deferred_orders = r.i32();
+  snap.dispatcher.abandoned_orders = r.i32();
+  snap.dispatcher.retries = r.i32();
+
+  snap.traffic.uplink_history = read_bytes_matrix(r);
+  snap.traffic.downlink_history = read_bytes_matrix(r);
+  snap.traffic.uplink_current.resize(r.count(8));
+  for (Bytes& b : snap.traffic.uplink_current) b = r.i64();
+  snap.traffic.downlink_current.resize(r.count(8));
+  for (Bytes& b : snap.traffic.downlink_current) b = r.i64();
+  snap.traffic.interval_open = r.boolean();
+  snap.traffic.total_bytes = r.i64();
+
+  snap.attached.resize(r.count(4));
+  for (int& a : snap.attached) a = r.i32();
+
+  snap.clients.resize(r.count(24));
+  for (ClientSnapshot& c : snap.clients) {
+    c.current = r.i32();
+    c.pending.resize(r.count(4));
+    for (LayerId& id : c.pending) id = r.i32();
+    c.carry_bytes = r.i64();
+    c.link_factor = r.f64();
+  }
+
+  snap.levels = read_levels(r);
+  snap.degraded_levels = read_levels(r);
+  snap.estimate_cache_hits = r.u64();
+  snap.estimate_cache_misses = r.u64();
+  snap.metrics = read_metrics(r);
+
+  snap.has_timeseries = r.boolean();
+  snap.timeseries_rows.resize(r.count(100));
+  for (obs::TimeseriesRow& row : snap.timeseries_rows) row = read_row(r);
+
+  if (!r.done())
+    throw SnapshotError("snapshot: trailing bytes after the last field");
+  return snap;
+}
+
+// -- file I/O ----------------------------------------------------------------
+
+void save(const SimSnapshot& snap, const std::string& path) {
+  const std::string bytes = encode(snap);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw SnapshotError("snapshot: cannot open " + tmp);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) throw SnapshotError("snapshot: write failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw SnapshotError("snapshot: rename to " + path + " failed");
+  }
+}
+
+SimSnapshot load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw SnapshotError("snapshot: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in.good() && !in.eof())
+    throw SnapshotError("snapshot: read failed for " + path);
+  return decode(buf.str());
+}
+
+// -- metrics JSON ------------------------------------------------------------
+
+std::string metrics_to_json(const SimulationMetrics& m) {
+  using obs::JsonValue;
+  std::vector<std::pair<std::string, JsonValue>> doc;
+  const auto num = [&](const char* key, double value) {
+    doc.emplace_back(key, JsonValue::make_number(value));
+  };
+  num("cold_window_queries", static_cast<double>(m.cold_window_queries));
+  num("server_changes", m.server_changes);
+  num("hits", m.hits);
+  num("partials", m.partials);
+  num("misses", m.misses);
+  num("server_failures", m.server_failures);
+  num("failure_evictions", m.failure_evictions);
+  num("routed_queries", static_cast<double>(m.routed_queries));
+  num("client_disconnect_events", m.client_disconnect_events);
+  num("local_fallback_queries",
+      static_cast<double>(m.local_fallback_queries));
+  num("local_latency_sum_s", m.local_latency_sum_s);
+  num("attached_client_intervals",
+      static_cast<double>(m.attached_client_intervals));
+  num("unreachable_client_intervals",
+      static_cast<double>(m.unreachable_client_intervals));
+  num("offline_client_intervals",
+      static_cast<double>(m.offline_client_intervals));
+  num("degraded_attaches", m.degraded_attaches);
+  num("migrations_deferred", m.migrations_deferred);
+  num("migration_retries", m.migration_retries);
+  num("migrations_abandoned", m.migrations_abandoned);
+  num("migrations_truncated", m.migrations_truncated);
+  num("deferred_migration_bytes",
+      static_cast<double>(m.deferred_migration_bytes));
+  num("abandoned_migration_bytes",
+      static_cast<double>(m.abandoned_migration_bytes));
+  num("peak_deferred_backlog_bytes",
+      static_cast<double>(m.peak_deferred_backlog_bytes));
+  num("peak_uplink_mbps", m.peak_uplink_mbps);
+  num("peak_downlink_mbps", m.peak_downlink_mbps);
+  num("fraction_servers_within_100mbps", m.fraction_servers_within_100mbps);
+  num("fraction_servers_within_100mbps_at_peak",
+      m.fraction_servers_within_100mbps_at_peak);
+  num("total_migrated_bytes", static_cast<double>(m.total_migrated_bytes));
+  std::vector<JsonValue> peaks;
+  peaks.reserve(m.server_peak_uplink_mbps.size());
+  for (double v : m.server_peak_uplink_mbps)
+    peaks.push_back(JsonValue::make_number(v));
+  doc.emplace_back("server_peak_uplink_mbps",
+                   JsonValue::make_array(std::move(peaks)));
+  num("num_servers", m.num_servers);
+  num("num_clients", m.num_clients);
+  num("num_intervals", m.num_intervals);
+  return JsonValue::make_object(std::move(doc)).serialize();
+}
+
+namespace {
+
+double require_number(const obs::JsonValue& doc, const char* key) {
+  const obs::JsonValue* value = doc.find(key);
+  if (value == nullptr)
+    throw SnapshotError(std::string("metrics json: missing field ") + key);
+  return value->as_number();
+}
+
+}  // namespace
+
+SimulationMetrics metrics_from_json(const std::string& json) {
+  obs::JsonValue doc;
+  try {
+    doc = obs::parse_json(json);
+  } catch (const std::exception& e) {
+    throw SnapshotError(std::string("metrics json: ") + e.what());
+  }
+  if (!doc.is_object())
+    throw SnapshotError("metrics json: document is not an object");
+  SimulationMetrics m;
+  m.cold_window_queries =
+      static_cast<long long>(require_number(doc, "cold_window_queries"));
+  m.server_changes = static_cast<int>(require_number(doc, "server_changes"));
+  m.hits = static_cast<int>(require_number(doc, "hits"));
+  m.partials = static_cast<int>(require_number(doc, "partials"));
+  m.misses = static_cast<int>(require_number(doc, "misses"));
+  m.server_failures =
+      static_cast<int>(require_number(doc, "server_failures"));
+  m.failure_evictions =
+      static_cast<int>(require_number(doc, "failure_evictions"));
+  m.routed_queries =
+      static_cast<long long>(require_number(doc, "routed_queries"));
+  m.client_disconnect_events =
+      static_cast<int>(require_number(doc, "client_disconnect_events"));
+  m.local_fallback_queries =
+      static_cast<long long>(require_number(doc, "local_fallback_queries"));
+  m.local_latency_sum_s = require_number(doc, "local_latency_sum_s");
+  m.attached_client_intervals = static_cast<long long>(
+      require_number(doc, "attached_client_intervals"));
+  m.unreachable_client_intervals = static_cast<long long>(
+      require_number(doc, "unreachable_client_intervals"));
+  m.offline_client_intervals = static_cast<long long>(
+      require_number(doc, "offline_client_intervals"));
+  m.degraded_attaches =
+      static_cast<int>(require_number(doc, "degraded_attaches"));
+  m.migrations_deferred =
+      static_cast<int>(require_number(doc, "migrations_deferred"));
+  m.migration_retries =
+      static_cast<int>(require_number(doc, "migration_retries"));
+  m.migrations_abandoned =
+      static_cast<int>(require_number(doc, "migrations_abandoned"));
+  m.migrations_truncated =
+      static_cast<int>(require_number(doc, "migrations_truncated"));
+  m.deferred_migration_bytes =
+      static_cast<Bytes>(require_number(doc, "deferred_migration_bytes"));
+  m.abandoned_migration_bytes =
+      static_cast<Bytes>(require_number(doc, "abandoned_migration_bytes"));
+  m.peak_deferred_backlog_bytes =
+      static_cast<Bytes>(require_number(doc, "peak_deferred_backlog_bytes"));
+  m.peak_uplink_mbps = require_number(doc, "peak_uplink_mbps");
+  m.peak_downlink_mbps = require_number(doc, "peak_downlink_mbps");
+  m.fraction_servers_within_100mbps =
+      require_number(doc, "fraction_servers_within_100mbps");
+  m.fraction_servers_within_100mbps_at_peak =
+      require_number(doc, "fraction_servers_within_100mbps_at_peak");
+  m.total_migrated_bytes =
+      static_cast<Bytes>(require_number(doc, "total_migrated_bytes"));
+  const obs::JsonValue* peaks = doc.find("server_peak_uplink_mbps");
+  if (peaks == nullptr || !peaks->is_array())
+    throw SnapshotError(
+        "metrics json: missing or non-array server_peak_uplink_mbps");
+  for (const obs::JsonValue& v : peaks->items())
+    m.server_peak_uplink_mbps.push_back(v.as_number());
+  m.num_servers = static_cast<int>(require_number(doc, "num_servers"));
+  m.num_clients = static_cast<int>(require_number(doc, "num_clients"));
+  m.num_intervals = static_cast<int>(require_number(doc, "num_intervals"));
+  return m;
+}
+
+}  // namespace perdnn::snapshot

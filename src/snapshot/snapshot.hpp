@@ -1,0 +1,128 @@
+// Versioned binary checkpoints of the complete large-scale-simulation state.
+//
+// A SimSnapshot captures everything the simulator needs to continue a run
+// from an interval boundary and still produce byte-identical metrics,
+// timeseries, and traffic output: the interval index, every salted RNG
+// stream (including the Box-Muller spare), per-server LayerCache entries
+// and TTLs, the MigrationDispatcher retry queue and backoff deadlines,
+// client attachment/upload state, the TrafficAccountant histories, the
+// per-load GPU statistics behind the level caches (the only RNG-derived
+// planning state — estimates and plans are rebuilt deterministically on
+// resume), the EstimateCache hit/miss tallies, the accumulated
+// SimulationMetrics, and (optionally) the finished SimTimeseries rows.
+//
+// Wire format (little-endian, fixed-width):
+//
+//   magic "PDNNSNP1" (8 bytes)
+//   version        u32   (kSnapshotVersion)
+//   payload_size   u64
+//   payload        payload_size bytes (field layout in snapshot.cpp)
+//   checksum       u64   FNV-1a over the payload
+//
+// Readers validate magic, version, size, and checksum before touching the
+// payload, bound every vector length against the remaining bytes, and throw
+// SnapshotError on any mismatch — a corrupted or truncated file is rejected,
+// never crashed on. save() writes atomically (tmp file + rename) so a kill
+// mid-checkpoint leaves the previous checkpoint intact.
+//
+// A config fingerprint (hash of the SimulationConfig knobs that affect the
+// simulation plus the world's shape) is embedded so a snapshot cannot be
+// resumed against a different scenario. Thread count and the fastpath toggle
+// are deliberately excluded: both are byte-identity-neutral, so a checkpoint
+// taken at 8 threads resumes fine at 1 (and vice versa).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "device/gpu_model.hpp"
+#include "edge/layer_cache.hpp"
+#include "edge/migration_dispatcher.hpp"
+#include "net/network.hpp"
+#include "obs/timeseries.hpp"
+#include "sim/simulator.hpp"
+
+namespace perdnn::snapshot {
+
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Thrown for every malformed-snapshot condition: bad magic, unknown
+/// version, truncation, checksum mismatch, out-of-range lengths, fingerprint
+/// mismatch, or I/O failure. CLI consumers map it to exit code 2.
+class SnapshotError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One client's attachment/upload state.
+struct ClientSnapshot {
+  ServerId current = kNoServer;
+  std::vector<LayerId> pending;
+  Bytes carry_bytes = 0;
+  double link_factor = 1.0;
+};
+
+/// One per-load level-cache entry. Only the GPU statistics are stored: they
+/// are the one RNG draw in the level fill, and everything downstream
+/// (estimates, plan, needed set) is a deterministic function of them.
+struct LoadLevelSnapshot {
+  int load = 0;
+  GpuStats stats;
+};
+
+struct SimSnapshot {
+  std::uint64_t config_fingerprint = 0;
+  /// First interval the resumed run executes (the checkpointed run finished
+  /// intervals [0, next_interval)).
+  int next_interval = 0;
+  int num_intervals = 0;
+  Rng::State rng;
+  Rng::State link_rng;
+  /// Per-server cache entries, indexed by server id, entries sorted by
+  /// client id.
+  std::vector<std::vector<LayerCache::EntrySnapshot>> caches;
+  MigrationDispatcher::State dispatcher;
+  TrafficAccountant::State traffic;
+  std::vector<int> attached;
+  std::vector<ClientSnapshot> clients;
+  std::vector<LoadLevelSnapshot> levels;           // sorted by load
+  std::vector<LoadLevelSnapshot> degraded_levels;  // sorted by load
+  std::uint64_t estimate_cache_hits = 0;
+  std::uint64_t estimate_cache_misses = 0;
+  SimulationMetrics metrics;
+  /// Timeseries rows finished before the checkpoint. has_timeseries marks
+  /// whether the checkpointed run recorded at all — resuming a recorded run
+  /// without these rows could not reproduce the full CSV.
+  bool has_timeseries = false;
+  std::vector<obs::TimeseriesRow> timeseries_rows;
+};
+
+/// Hash of every simulation-affecting config knob plus the world's shape
+/// (server/client/interval counts, model size). Resuming a snapshot whose
+/// fingerprint differs is rejected.
+std::uint64_t config_fingerprint(const SimulationConfig& config,
+                                 const SimulationWorld& world);
+
+/// Serialises to the wire format described above.
+std::string encode(const SimSnapshot& snap);
+
+/// Parses and validates a wire-format snapshot; throws SnapshotError.
+SimSnapshot decode(const std::string& bytes);
+
+/// encode() + atomic write (tmp file in the same directory, then rename).
+void save(const SimSnapshot& snap, const std::string& path);
+
+/// Reads and decode()s a snapshot file; throws SnapshotError on I/O or
+/// format problems.
+SimSnapshot load(const std::string& path);
+
+/// Flat JSON object of every SimulationMetrics field (shard outputs the
+/// scenario runner merges; parseable back via metrics_from_json).
+std::string metrics_to_json(const SimulationMetrics& metrics);
+SimulationMetrics metrics_from_json(const std::string& json);
+
+}  // namespace perdnn::snapshot

@@ -84,6 +84,70 @@ TEST(LayerCache, ReadsAndFailedSendsDoNotRefreshTtl) {
   EXPECT_FALSE(cache.has_entry(1));
 }
 
+TEST(LayerCache, EmptyStoreNeverCreatesAnEntry) {
+  // Regression: a fully-deduplicated (empty) send to a client the cache has
+  // never seen used to manufacture a phantom zero-layer entry with a live
+  // TTL, inflating num_entries() and surviving expiry sweeps.
+  LayerCache cache(3);
+  const auto added = cache.store(1, {}, 0);
+  EXPECT_TRUE(added.empty());
+  EXPECT_FALSE(cache.has_entry(1));
+  EXPECT_EQ(cache.num_entries(), 0u);
+}
+
+TEST(LayerCache, EmptyStoreStillRefreshesAnExistingEntry) {
+  // The duplicate-transmission-suppression semantics must survive the
+  // phantom-entry fix: an empty send to a client that *does* have an entry
+  // is a TTL touch (paper §3.B.2).
+  LayerCache cache(3);
+  cache.store(1, {0, 1}, 0);
+  const auto added = cache.store(1, {}, 2);
+  EXPECT_TRUE(added.empty());
+  cache.expire(4);  // would have died at 3 without the refresh
+  EXPECT_TRUE(cache.has_entry(1));
+  EXPECT_EQ(cache.layers(1).size(), 2u);  // and no layers appeared
+  cache.expire(5);
+  EXPECT_FALSE(cache.has_entry(1));
+}
+
+TEST(LayerCache, CrashWipeThenTtlBoundaryBehaviour) {
+  // A server crash wipes its cache mid-TTL (fault plans do this via
+  // erase()); re-stored entries restart the TTL clock from the re-store
+  // interval, not the original one.
+  LayerCache cache(4);
+  cache.store(1, {0, 1}, 0);
+  cache.store(2, {2}, 1);
+  cache.erase(1);  // crash at interval 2 wipes client 1
+  cache.erase(2);
+  EXPECT_EQ(cache.num_entries(), 0u);
+  cache.store(1, {0}, /*now=*/3);  // re-migrated after the server recovers
+  cache.expire(6);                 // 3 + 4 - 1: still alive
+  EXPECT_TRUE(cache.has_entry(1));
+  cache.expire(7);  // 3 + 4: dies exactly at the boundary
+  EXPECT_FALSE(cache.has_entry(1));
+}
+
+TEST(LayerCache, ExportRestoreRoundTripPreservesTtl) {
+  LayerCache cache(3);
+  cache.store(5, {1, 2}, 4);
+  cache.store(2, {0}, 6);
+  cache.touch(5, 7);  // TTL now runs from 7
+
+  const auto entries = cache.export_entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].client, 2);  // sorted by client id
+  EXPECT_EQ(entries[1].client, 5);
+
+  LayerCache other(3);
+  other.restore_entries(entries);
+  EXPECT_EQ(other.export_entries(), entries);
+  other.expire(9);  // client 2 died at 9; client 5 touched at 7 lives to 10
+  EXPECT_FALSE(other.has_entry(2));
+  EXPECT_TRUE(other.has_entry(5));
+  other.expire(10);
+  EXPECT_FALSE(other.has_entry(5));
+}
+
 TEST(LayerCache, TouchUnknownClientIsNoop) {
   LayerCache cache(3);
   cache.touch(99, 0);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace perdnn {
 namespace {
 
@@ -106,6 +108,81 @@ TEST(Traffic, EmptyAccountantPeakSnapshotIsVacuouslyFull) {
   TrafficAccountant traffic(2, 1.0);
   EXPECT_EQ(traffic.busiest_interval(), -1);
   EXPECT_DOUBLE_EQ(traffic.fraction_servers_within_at_peak(1.0), 1.0);
+}
+
+TEST(Traffic, LastIntervalBytesAreInThePeaks) {
+  // Regression: the peaks are maintained incrementally at finish() now; the
+  // final (possibly busiest) interval must be folded in before queries.
+  TrafficAccountant traffic(2, 10.0);
+  traffic.begin_interval();
+  traffic.record_transfer(0, 1, 100);
+  traffic.begin_interval();
+  traffic.record_transfer(0, 1, 9000);  // busiest interval is the last one
+  traffic.finish();
+  EXPECT_DOUBLE_EQ(traffic.peak_uplink_mbps(0), bytes_to_mbps(9000.0, 10.0));
+  EXPECT_DOUBLE_EQ(traffic.peak_downlink_mbps(1),
+                   bytes_to_mbps(9000.0, 10.0));
+  EXPECT_DOUBLE_EQ(traffic.global_peak_uplink_mbps(),
+                   bytes_to_mbps(9000.0, 10.0));
+}
+
+TEST(Traffic, RunningPeaksMatchFullHistoryScan) {
+  // The O(1) running peaks must agree with a from-scratch scan of the
+  // per-interval history for every server and both directions.
+  TrafficAccountant traffic(3, 5.0);
+  const Bytes sends[][3] = {{0, 1, 700}, {1, 2, 300}, {2, 0, 900},
+                            {0, 2, 100}, {1, 0, 800}, {2, 1, 50}};
+  for (int interval = 0; interval < 4; ++interval) {
+    traffic.begin_interval();
+    for (const auto& s : sends)
+      traffic.record_transfer(static_cast<ServerId>(s[0]),
+                              static_cast<ServerId>(s[1]),
+                              s[2] * (interval + 1));
+  }
+  traffic.finish();
+  const TrafficAccountant::State state = traffic.state();
+  for (ServerId sid = 0; sid < 3; ++sid) {
+    // History is [interval][server]: scan every interval's row by hand.
+    Bytes up = 0, down = 0;
+    for (const auto& interval : state.uplink_history)
+      up = std::max(up, interval[static_cast<std::size_t>(sid)]);
+    for (const auto& interval : state.downlink_history)
+      down = std::max(down, interval[static_cast<std::size_t>(sid)]);
+    EXPECT_DOUBLE_EQ(traffic.peak_uplink_mbps(sid),
+                     bytes_to_mbps(static_cast<double>(up), 5.0));
+    EXPECT_DOUBLE_EQ(traffic.peak_downlink_mbps(sid),
+                     bytes_to_mbps(static_cast<double>(down), 5.0));
+  }
+}
+
+TEST(Traffic, StateRoundTripPreservesPeaksAndTotals) {
+  TrafficAccountant traffic(2, 10.0);
+  traffic.begin_interval();
+  traffic.record_transfer(0, 1, 4000);
+  traffic.begin_interval();
+  traffic.record_transfer(1, 0, 2500);  // open interval, not yet finished
+
+  TrafficAccountant resumed(2, 10.0);
+  resumed.restore(traffic.state());
+  traffic.finish();
+  resumed.finish();
+  EXPECT_EQ(resumed.total_bytes(), traffic.total_bytes());
+  EXPECT_EQ(resumed.num_intervals(), traffic.num_intervals());
+  for (ServerId sid = 0; sid < 2; ++sid) {
+    EXPECT_DOUBLE_EQ(resumed.peak_uplink_mbps(sid),
+                     traffic.peak_uplink_mbps(sid));
+    EXPECT_DOUBLE_EQ(resumed.peak_downlink_mbps(sid),
+                     traffic.peak_downlink_mbps(sid));
+  }
+  EXPECT_EQ(resumed.busiest_interval(), traffic.busiest_interval());
+}
+
+TEST(Traffic, RestoreRejectsMismatchedServerCount) {
+  TrafficAccountant traffic(2, 10.0);
+  traffic.begin_interval();
+  traffic.record_transfer(0, 1, 10);
+  TrafficAccountant other(3, 10.0);
+  EXPECT_THROW(other.restore(traffic.state()), std::logic_error);
 }
 
 TEST(Traffic, FinishIsIdempotent) {

@@ -52,6 +52,7 @@ std::string metrics_fingerprint(const SimulationMetrics& m) {
   add("migrations_deferred", m.migrations_deferred);
   add("migration_retries", m.migration_retries);
   add("migrations_abandoned", m.migrations_abandoned);
+  add("migrations_truncated", m.migrations_truncated);
   add("deferred_migration_bytes",
       static_cast<double>(m.deferred_migration_bytes));
   add("abandoned_migration_bytes",

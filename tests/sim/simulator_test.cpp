@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "mobility/trace_gen.hpp"
+#include "obs/timeseries.hpp"
 
 namespace perdnn {
 namespace {
@@ -264,6 +265,55 @@ TEST_F(SimulatorTest, RoutingNeverExceedsOptimal) {
   const auto with = run_simulation(routed, *world_);
   const auto optimal = run_policy(MigrationPolicy::kOptimal);
   EXPECT_LE(with.cold_window_queries, optimal.cold_window_queries);
+}
+
+TEST_F(SimulatorTest, TinyByteBudgetTruncatesInsteadOfEmptySends) {
+  // A crowded-byte budget smaller than every layer cannot ship anything:
+  // each affected order is counted as truncated instead of being issued as
+  // an empty send (which used to inflate sim.migration.orders and, via the
+  // empty store, refresh TTLs a real system would never have refreshed).
+  SimulationConfig config = *config_;
+  config.policy = MigrationPolicy::kProactive;
+  for (ServerId s = 0; s < world_->servers.num_servers(); ++s)
+    config.crowded_servers.push_back(s);
+  config.crowded_byte_budget = 1;  // below the smallest MobileNet layer
+  const auto metrics = run_simulation(config, *world_);
+  EXPECT_GT(metrics.migrations_truncated, 0);
+  EXPECT_EQ(metrics.total_migrated_bytes, 0);
+  const auto baseline = run_policy(MigrationPolicy::kProactive);
+  EXPECT_EQ(baseline.migrations_truncated, 0);
+}
+
+TEST_F(SimulatorTest, FutileOrdersAreNeverIssued) {
+  // Regression: with a near-zero wireless link, every partition plan keeps
+  // the whole model on the client, so no future plan ever *needs* a layer —
+  // the source can contribute nothing and every would-be order is futile.
+  // Such orders used to be issued anyway (counting into
+  // sim.migration.orders, the timeseries, and TTL refreshes via the empty
+  // store); now they are skipped before they exist.
+  SimulationConfig config = *config_;
+  config.policy = MigrationPolicy::kProactive;
+  config.wireless.uplink_bytes_per_sec = mbps_to_bytes_per_sec(0.001);
+  config.wireless.downlink_bytes_per_sec = mbps_to_bytes_per_sec(0.001);
+  obs::SimTimeseries timeseries;
+  const auto metrics = run_simulation(config, *world_, &timeseries);
+  EXPECT_GT(metrics.server_changes, 0);  // clients still move and re-attach
+  EXPECT_EQ(metrics.total_migrated_bytes, 0);
+  long long orders = 0;
+  for (const auto& row : timeseries.rows()) orders += row.migration_orders;
+  EXPECT_EQ(orders, 0);
+
+  // Sanity: the healthy-link world does issue (non-futile) orders, and they
+  // reconcile with real migrated bytes.
+  obs::SimTimeseries healthy_ts;
+  SimulationConfig healthy = *config_;
+  healthy.policy = MigrationPolicy::kProactive;
+  const auto healthy_metrics = run_simulation(healthy, *world_, &healthy_ts);
+  long long healthy_orders = 0;
+  for (const auto& row : healthy_ts.rows())
+    healthy_orders += row.migration_orders;
+  EXPECT_GT(healthy_orders, 0);
+  EXPECT_GT(healthy_metrics.total_migrated_bytes, 0);
 }
 
 TEST_F(SimulatorTest, InvalidCrowdedServerRejected) {

@@ -1,0 +1,353 @@
+// Tier-1 coverage for the checkpoint/resume subsystem: byte-identity of a
+// resumed run against the uninterrupted one (across thread counts, the
+// fastpath toggle, and fault plans), wire-format round-trips, and strict
+// rejection of corrupted/truncated/mismatched snapshots.
+#include "snapshot/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/fastpath.hpp"
+#include "common/parallel.hpp"
+#include "faults/fault_plan.hpp"
+#include "mobility/trace_gen.hpp"
+#include "obs/timeseries.hpp"
+#include "sim/simulator.hpp"
+
+namespace perdnn {
+namespace {
+
+struct RunResult {
+  std::string metrics_json;
+  std::string timeseries_csv;
+};
+
+/// Restores the fast-path toggle even when an EXPECT fails mid-test.
+struct FastPathGuard {
+  explicit FastPathGuard(bool enable) : previous(fastpath::enabled()) {
+    fastpath::set_enabled(enable);
+  }
+  ~FastPathGuard() { fastpath::set_enabled(previous); }
+  bool previous;
+};
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CampusTraceConfig train_config;
+    train_config.num_users = 8;
+    train_config.duration = 1.0 * 3600.0;
+    train_config.sample_interval = 20.0;
+    train_config.seed = 100;
+    CampusTraceConfig test_config = train_config;
+    test_config.num_users = 5;
+    test_config.seed = 200;
+
+    config_ = new SimulationConfig;
+    config_->model = ModelName::kMobileNet;
+    config_->policy = MigrationPolicy::kProactive;
+    config_->migration_radius_m = 100.0;
+    config_->routing_fallback = true;
+    config_->bandwidth_jitter_sigma = 0.3;
+    config_->seed = 5;
+
+    world_ = new SimulationWorld(
+        build_world(*config_, generate_campus_traces(train_config),
+                    generate_campus_traces(test_config)));
+  }
+
+  static void TearDownTestSuite() {
+    delete world_;
+    delete config_;
+    world_ = nullptr;
+    config_ = nullptr;
+    par::set_num_threads(0);
+  }
+
+  /// Fault plan with a total backhaul outage so the dispatcher queue is
+  /// non-empty at the checkpoint, plus a crash, a telemetry dropout and a
+  /// client disconnect.
+  static SimulationConfig faulted_config() {
+    SimulationConfig config = *config_;
+    config.fault_plan = FaultPlan({
+        {.kind = FaultKind::kServerCrash,
+         .at_interval = 2,
+         .duration_intervals = 3,
+         .server = 0},
+        {.kind = FaultKind::kBackhaulDegrade,
+         .at_interval = 1,
+         .duration_intervals = 6,
+         .server = 1,
+         .peer = kAllServers,
+         .severity = 1.0},
+        {.kind = FaultKind::kTelemetryDropout,
+         .at_interval = 0,
+         .duration_intervals = 8,
+         .server = 2},
+        {.kind = FaultKind::kClientDisconnect,
+         .at_interval = 4,
+         .duration_intervals = 2,
+         .client = 1},
+    });
+    config.migration_retry = {.max_attempts = 6,
+                              .initial_backoff_intervals = 1,
+                              .max_backoff_intervals = 8};
+    return config;
+  }
+
+  static RunResult full_run(const SimulationConfig& config, int threads) {
+    par::set_num_threads(threads);
+    obs::SimTimeseries timeseries;
+    const SimulationMetrics metrics =
+        run_simulation(config, *world_, &timeseries, {});
+    std::ostringstream csv;
+    timeseries.write_csv(csv);
+    return {snapshot::metrics_to_json(metrics), csv.str()};
+  }
+
+  /// Runs intervals [0, stop_after], capturing the checkpoint in memory.
+  static snapshot::SimSnapshot checkpoint_at(const SimulationConfig& config,
+                                             int stop_after, int threads) {
+    par::set_num_threads(threads);
+    obs::SimTimeseries timeseries;
+    snapshot::SimSnapshot snap;
+    SimulationRunOptions options;
+    options.stop_after_interval = stop_after;
+    options.capture_out = &snap;
+    run_simulation(config, *world_, &timeseries, options);
+    return snap;
+  }
+
+  static RunResult resume_from(const SimulationConfig& config,
+                               const snapshot::SimSnapshot& snap,
+                               int threads) {
+    par::set_num_threads(threads);
+    obs::SimTimeseries timeseries;
+    SimulationRunOptions options;
+    options.resume_from = &snap;
+    const SimulationMetrics metrics =
+        run_simulation(config, *world_, &timeseries, options);
+    std::ostringstream csv;
+    timeseries.write_csv(csv);
+    return {snapshot::metrics_to_json(metrics), csv.str()};
+  }
+
+  static SimulationConfig* config_;
+  static SimulationWorld* world_;
+};
+
+SimulationConfig* SnapshotTest::config_ = nullptr;
+SimulationWorld* SnapshotTest::world_ = nullptr;
+
+TEST_F(SnapshotTest, ResumeIsByteIdenticalAcrossThreadsAndFastpath) {
+  const RunResult reference = full_run(*config_, 2);
+  const snapshot::SimSnapshot snap = checkpoint_at(*config_, 5, 2);
+  ASSERT_GT(snap.next_interval, 0);
+  ASSERT_TRUE(snap.has_timeseries);
+
+  for (const int threads : {1, 2, 8}) {
+    for (const bool fast : {true, false}) {
+      FastPathGuard guard(fast);
+      const RunResult resumed = resume_from(*config_, snap, threads);
+      EXPECT_EQ(resumed.metrics_json, reference.metrics_json)
+          << "threads=" << threads << " fastpath=" << fast;
+      EXPECT_EQ(resumed.timeseries_csv, reference.timeseries_csv)
+          << "threads=" << threads << " fastpath=" << fast;
+    }
+  }
+}
+
+TEST_F(SnapshotTest, ResumeUnderFaultPlanIsByteIdentical) {
+  const SimulationConfig config = faulted_config();
+  const RunResult reference = full_run(config, 2);
+  // Checkpoint at a boundary inside the total backhaul outage (intervals
+  // 1..6) where the retry queue is actually non-empty, so the snapshot
+  // must carry live mid-backoff dispatcher state. Which boundary that is
+  // depends on when a migration first crosses the dead link, so probe.
+  snapshot::SimSnapshot snap;
+  bool queued = false;
+  for (int stop = 1; stop <= 7 && !queued; ++stop) {
+    snap = checkpoint_at(config, stop, 2);
+    queued = !snap.dispatcher.queue.empty();
+  }
+  ASSERT_TRUE(queued)
+      << "outage never deferred a migration; the scenario lost its bite";
+  EXPECT_GT(snap.dispatcher.backlog_bytes, 0);
+
+  for (const int threads : {1, 2, 8}) {
+    const RunResult resumed = resume_from(config, snap, threads);
+    EXPECT_EQ(resumed.metrics_json, reference.metrics_json)
+        << "threads=" << threads;
+    EXPECT_EQ(resumed.timeseries_csv, reference.timeseries_csv)
+        << "threads=" << threads;
+  }
+  const RunResult no_fast = [&] {
+    FastPathGuard guard(false);
+    return resume_from(config, snap, 8);
+  }();
+  EXPECT_EQ(no_fast.metrics_json, reference.metrics_json);
+  EXPECT_EQ(no_fast.timeseries_csv, reference.timeseries_csv);
+}
+
+TEST_F(SnapshotTest, EveryCheckpointIntervalResumesIdentically) {
+  // Not just one lucky interval: a checkpoint taken at *any* boundary of a
+  // short faulted run must resume byte-identically (this sweeps boundaries
+  // where the retry queue is empty, mid-backoff, and drained).
+  const SimulationConfig config = faulted_config();
+  const RunResult reference = full_run(config, 2);
+  for (const int stop : {0, 1, 4, 8}) {
+    const snapshot::SimSnapshot snap = checkpoint_at(config, stop, 2);
+    EXPECT_EQ(snap.next_interval, stop + 1);
+    const RunResult resumed = resume_from(config, snap, 2);
+    EXPECT_EQ(resumed.metrics_json, reference.metrics_json) << "stop=" << stop;
+    EXPECT_EQ(resumed.timeseries_csv, reference.timeseries_csv)
+        << "stop=" << stop;
+  }
+}
+
+TEST_F(SnapshotTest, WireFormatRoundTripsExactly) {
+  const snapshot::SimSnapshot snap = checkpoint_at(faulted_config(), 3, 2);
+  const std::string bytes = snapshot::encode(snap);
+  const snapshot::SimSnapshot decoded = snapshot::decode(bytes);
+  // Field-level spot checks...
+  EXPECT_EQ(decoded.config_fingerprint, snap.config_fingerprint);
+  EXPECT_EQ(decoded.next_interval, snap.next_interval);
+  EXPECT_EQ(decoded.num_intervals, snap.num_intervals);
+  EXPECT_EQ(decoded.rng, snap.rng);
+  EXPECT_EQ(decoded.link_rng, snap.link_rng);
+  EXPECT_EQ(decoded.caches, snap.caches);
+  EXPECT_EQ(decoded.attached, snap.attached);
+  EXPECT_EQ(decoded.dispatcher.queue.size(), snap.dispatcher.queue.size());
+  EXPECT_EQ(decoded.estimate_cache_hits, snap.estimate_cache_hits);
+  EXPECT_EQ(decoded.timeseries_rows.size(), snap.timeseries_rows.size());
+  // ...and the strong form: re-encoding reproduces the exact bytes.
+  EXPECT_EQ(snapshot::encode(decoded), bytes);
+}
+
+TEST_F(SnapshotTest, SaveLoadRoundTripsThroughAFile) {
+  const snapshot::SimSnapshot snap = checkpoint_at(*config_, 2, 1);
+  const std::string path = ::testing::TempDir() + "perdnn_snapshot_test.ckpt";
+  snapshot::save(snap, path);
+  const snapshot::SimSnapshot loaded = snapshot::load(path);
+  EXPECT_EQ(snapshot::encode(loaded), snapshot::encode(snap));
+  std::remove(path.c_str());
+}
+
+TEST_F(SnapshotTest, CorruptedInputsAreRejectedNotCrashed) {
+  const std::string bytes = snapshot::encode(checkpoint_at(*config_, 2, 1));
+
+  // Truncations at every structurally interesting length.
+  for (const std::size_t len :
+       {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{8},
+        std::size_t{12}, std::size_t{19}, std::size_t{20},
+        bytes.size() / 2, bytes.size() - 9, bytes.size() - 1}) {
+    EXPECT_THROW(snapshot::decode(bytes.substr(0, len)),
+                 snapshot::SnapshotError)
+        << "truncated to " << len << " bytes";
+  }
+  // Trailing garbage.
+  EXPECT_THROW(snapshot::decode(bytes + "x"), snapshot::SnapshotError);
+  // Bad magic.
+  {
+    std::string bad = bytes;
+    bad[0] = 'X';
+    EXPECT_THROW(snapshot::decode(bad), snapshot::SnapshotError);
+  }
+  // Unknown version.
+  {
+    std::string bad = bytes;
+    bad[8] = static_cast<char>(0x7f);
+    EXPECT_THROW(snapshot::decode(bad), snapshot::SnapshotError);
+  }
+  // Byte flips throughout the payload and in the checksum.
+  for (const std::size_t off :
+       {std::size_t{21}, std::size_t{40}, bytes.size() / 3, bytes.size() / 2,
+        bytes.size() - 4}) {
+    std::string bad = bytes;
+    bad[off] = static_cast<char>(bad[off] ^ 0x5a);
+    EXPECT_THROW(snapshot::decode(bad), snapshot::SnapshotError)
+        << "byte flip at " << off;
+  }
+  // A claimed payload size larger than the file must not allocate wildly.
+  {
+    std::string bad = bytes;
+    for (int i = 0; i < 8; ++i) bad[12 + i] = static_cast<char>(0xff);
+    EXPECT_THROW(snapshot::decode(bad), snapshot::SnapshotError);
+  }
+}
+
+TEST_F(SnapshotTest, LoadOfMissingFileThrows) {
+  EXPECT_THROW(snapshot::load("/nonexistent/dir/nothing.ckpt"),
+               snapshot::SnapshotError);
+}
+
+TEST_F(SnapshotTest, FingerprintMismatchIsRejectedOnResume) {
+  const snapshot::SimSnapshot snap = checkpoint_at(*config_, 2, 1);
+  SimulationConfig other = *config_;
+  other.seed = config_->seed + 1;  // a different scenario
+  obs::SimTimeseries timeseries;
+  SimulationRunOptions options;
+  options.resume_from = &snap;
+  EXPECT_THROW(run_simulation(other, *world_, &timeseries, options),
+               snapshot::SnapshotError);
+  EXPECT_NE(snapshot::config_fingerprint(other, *world_),
+            snap.config_fingerprint);
+}
+
+TEST_F(SnapshotTest, FingerprintIgnoresPerformanceKnobs) {
+  // Thread count and the fastpath toggle are byte-identity-neutral, so they
+  // must not be part of the fingerprint: a checkpoint taken at 8 threads
+  // with the fastpath on resumes at 1 thread with it off.
+  const std::uint64_t fp = snapshot::config_fingerprint(*config_, *world_);
+  par::set_num_threads(8);
+  EXPECT_EQ(snapshot::config_fingerprint(*config_, *world_), fp);
+  {
+    FastPathGuard guard(false);
+    EXPECT_EQ(snapshot::config_fingerprint(*config_, *world_), fp);
+  }
+  SimulationConfig tweaked = *config_;
+  tweaked.ttl_intervals += 1;
+  EXPECT_NE(snapshot::config_fingerprint(tweaked, *world_), fp);
+}
+
+TEST_F(SnapshotTest, MetricsJsonRoundTripsEveryField) {
+  obs::SimTimeseries timeseries;
+  const SimulationMetrics metrics =
+      run_simulation(faulted_config(), *world_, &timeseries, {});
+  const std::string json = snapshot::metrics_to_json(metrics);
+  const SimulationMetrics parsed = snapshot::metrics_from_json(json);
+  EXPECT_EQ(snapshot::metrics_to_json(parsed), json);
+  EXPECT_EQ(parsed.cold_window_queries, metrics.cold_window_queries);
+  EXPECT_EQ(parsed.migrations_deferred, metrics.migrations_deferred);
+  EXPECT_EQ(parsed.server_peak_uplink_mbps, metrics.server_peak_uplink_mbps);
+  EXPECT_THROW(snapshot::metrics_from_json("{}"), snapshot::SnapshotError);
+}
+
+TEST_F(SnapshotTest, PeriodicCheckpointingIsOutputNeutral) {
+  const RunResult reference = full_run(*config_, 2);
+  par::set_num_threads(2);
+  obs::SimTimeseries timeseries;
+  const std::string path =
+      ::testing::TempDir() + "perdnn_snapshot_periodic.ckpt";
+  SimulationRunOptions options;
+  options.checkpoint_every = 3;
+  options.checkpoint_path = path;
+  const SimulationMetrics metrics =
+      run_simulation(*config_, *world_, &timeseries, options);
+  std::ostringstream csv;
+  timeseries.write_csv(csv);
+  EXPECT_EQ(snapshot::metrics_to_json(metrics), reference.metrics_json);
+  EXPECT_EQ(csv.str(), reference.timeseries_csv);
+  // The last periodic checkpoint is on disk and loadable.
+  const snapshot::SimSnapshot last = snapshot::load(path);
+  EXPECT_EQ(last.num_intervals, metrics.num_intervals);
+  EXPECT_LT(last.next_interval, last.num_intervals);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace perdnn

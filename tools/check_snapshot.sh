@@ -1,0 +1,162 @@
+#!/usr/bin/env bash
+# Checkpoint/resume byte-identity gate.
+#
+# Proves, end-to-end through the real binaries, that
+#   1. a run checkpointed at interval K and resumed reproduces the
+#      uninterrupted run's timeseries CSV and SimulationMetrics JSON
+#      byte-for-byte — at 1/2/8 threads, with the fastpath disabled, and
+#      under a scripted fault plan;
+#   2. a sharded sweep killed mid-flight (SIGKILL to the whole process
+#      group) and re-run produces merged outputs byte-identical to an
+#      uninterrupted sweep;
+#   3. truncated/corrupted/garbage snapshots are *rejected* with exit code
+#      2 — never a crash (SIGSEGV/SIGABRT would surface as exit >= 128).
+#
+# Usage: tools/check_snapshot.sh <perdnn-binary> <perdnn_runner-binary>
+# (CMake registers this via -DPERDNN_SNAPSHOT_CHECK=ON.)
+set -uo pipefail
+
+PERDNN="${1:?usage: check_snapshot.sh <perdnn-binary> <perdnn_runner-binary>}"
+RUNNER="${2:?usage: check_snapshot.sh <perdnn-binary> <perdnn_runner-binary>}"
+PERDNN="$(readlink -f "$PERDNN")"
+RUNNER="$(readlink -f "$RUNNER")"
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+FAIL=0
+fail() { echo "FAIL: $*" >&2; FAIL=1; }
+
+SIM_ARGS=(inception campus perdnn --users 14 --minutes 25 --seed 9)
+PLAN_FILE="$WORK/plan.json"
+cat > "$PLAN_FILE" <<'EOF'
+{"events":[
+  {"kind":"server_crash","at":3,"duration":4,"server":0},
+  {"kind":"backhaul_degrade","at":4,"duration":6,"server":1,"peer":-2,"severity":1.0},
+  {"kind":"telemetry_dropout","at":2,"duration":8,"server":2},
+  {"kind":"client_disconnect","at":5,"duration":2,"client":0}
+]}
+EOF
+
+# --- 1. CLI checkpoint/resume byte-identity -------------------------------
+for variant in clean faulted; do
+  EXTRA=()
+  [ "$variant" = faulted ] && EXTRA=(--fault-plan "$PLAN_FILE")
+  "$PERDNN" simulate "${SIM_ARGS[@]}" "${EXTRA[@]}" --threads 2 \
+    --timeseries-out "full_$variant.csv" \
+    --sim-metrics-out "full_$variant.json" > /dev/null \
+    || fail "$variant: uninterrupted run failed"
+  "$PERDNN" simulate "${SIM_ARGS[@]}" "${EXTRA[@]}" --threads 2 \
+    --snapshot-save "$variant.ckpt" --snapshot-at 6 > /dev/null \
+    || fail "$variant: checkpoint run failed"
+  for resume_opts in "--threads 1" "--threads 2" "--threads 8" \
+                     "NOFP --threads 2"; do
+    env=()
+    opts="$resume_opts"
+    if [ "${resume_opts%% *}" = NOFP ]; then
+      env=(PERDNN_NO_FASTPATH=1)
+      opts="${resume_opts#NOFP }"
+    fi
+    # shellcheck disable=SC2086
+    env "${env[@]}" "$PERDNN" simulate "${SIM_ARGS[@]}" "${EXTRA[@]}" $opts \
+      --snapshot-resume "$variant.ckpt" \
+      --timeseries-out r.csv --sim-metrics-out r.json > /dev/null \
+      || fail "$variant [$resume_opts]: resumed run failed"
+    cmp -s "full_$variant.csv" r.csv \
+      || fail "$variant [$resume_opts]: resumed timeseries differs"
+    cmp -s "full_$variant.json" r.json \
+      || fail "$variant [$resume_opts]: resumed metrics differ"
+  done
+  echo "ok: CLI resume byte-identical ($variant, 1/2/8 threads + no-fastpath)"
+done
+
+# Periodic checkpointing must not perturb the run it rides along with.
+"$PERDNN" simulate "${SIM_ARGS[@]}" --threads 2 \
+  --snapshot-save periodic.ckpt --snapshot-every 4 \
+  --timeseries-out periodic.csv --sim-metrics-out periodic.json > /dev/null \
+  || fail "periodic checkpoint run failed"
+cmp -s full_clean.csv periodic.csv || fail "periodic run timeseries differs"
+cmp -s full_clean.json periodic.json || fail "periodic run metrics differ"
+echo "ok: periodic checkpointing is output-neutral"
+
+# --- 2. Sharded sweep: kill -9 mid-flight, resume, merge ------------------
+cat > manifest.json <<'EOF'
+{
+  "model": "inception",
+  "trace": "campus",
+  "users": 12,
+  "minutes": 20,
+  "checkpoint_every": 3,
+  "policies": ["perdnn", "ionn"],
+  "seeds": [1, 2],
+  "fault_intensities": [0, 0.02]
+}
+EOF
+mkdir sweep_full sweep_killed
+"$RUNNER" run manifest.json sweep_full --workers 3 > /dev/null \
+  || fail "uninterrupted sweep failed"
+
+setsid "$RUNNER" run manifest.json sweep_killed --workers 3 \
+  > /dev/null 2>&1 < /dev/null &
+RUNNER_PID=$!
+sleep 3
+PGID="$(ps -o pgid= "$RUNNER_PID" 2> /dev/null | tr -d ' ' || true)"
+if [ -n "$PGID" ]; then
+  kill -9 -- "-$PGID" 2> /dev/null
+else
+  kill -9 "$RUNNER_PID" 2> /dev/null
+fi
+wait "$RUNNER_PID" 2> /dev/null
+"$RUNNER" status manifest.json sweep_killed | tail -1
+"$RUNNER" run manifest.json sweep_killed --workers 3 > /dev/null \
+  || fail "resumed sweep failed"
+cmp -s sweep_full/merged_metrics.json sweep_killed/merged_metrics.json \
+  || fail "merged metrics differ after kill/resume"
+cmp -s sweep_full/merged_timeseries.csv sweep_killed/merged_timeseries.csv \
+  || fail "merged timeseries differ after kill/resume"
+echo "ok: killed sweep resumed to byte-identical merged outputs"
+
+# --- 3. Corruption fuzz: reject with exit 2, never crash ------------------
+check_rejects() {
+  local file="$1" what="$2"
+  "$RUNNER" inspect "$file" > /dev/null 2>&1
+  local code=$?
+  if [ "$code" -ne 2 ]; then
+    fail "inspect of $what exited $code (want 2)"
+  fi
+}
+
+REF=clean.ckpt
+SIZE=$(wc -c < "$REF")
+for len in 0 1 7 8 12 20 100 $((SIZE / 2)) $((SIZE - 1)); do
+  head -c "$len" "$REF" > "cut_$len.ckpt"
+  check_rejects "cut_$len.ckpt" "truncation to $len bytes"
+done
+for off in 0 4 8 16 40 200 $((SIZE / 2)) $((SIZE - 9)) $((SIZE - 1)); do
+  cp "$REF" flip.ckpt
+  printf '\xa5' | dd of=flip.ckpt bs=1 seek="$off" conv=notrunc 2> /dev/null
+  cmp -s "$REF" flip.ckpt && continue  # flip was a no-op at this offset
+  check_rejects flip.ckpt "byte flip at offset $off"
+done
+head -c "$SIZE" /dev/urandom > noise.ckpt
+check_rejects noise.ckpt "random noise"
+cat "$REF" <(printf 'xx') > padded.ckpt
+check_rejects padded.ckpt "trailing garbage"
+echo "ok: corrupted snapshots rejected with exit 2 (no crashes)"
+
+# The CLI front end must map the same failures to exit 2.
+"$PERDNN" simulate "${SIM_ARGS[@]}" --snapshot-resume noise.ckpt \
+  > /dev/null 2>&1
+[ $? -eq 2 ] || fail "CLI resume from corrupt snapshot did not exit 2"
+# A valid snapshot resumed against a different scenario must be refused.
+"$PERDNN" simulate inception campus perdnn --users 14 --minutes 25 --seed 10 \
+  --snapshot-resume clean.ckpt > /dev/null 2>&1
+[ $? -eq 2 ] || fail "CLI resume against wrong scenario did not exit 2"
+echo "ok: CLI maps snapshot failures to exit 2"
+
+if [ "$FAIL" -ne 0 ]; then
+  echo "snapshot check FAILED" >&2
+  exit 1
+fi
+echo "snapshot check passed"

@@ -10,6 +10,9 @@
 //                   [--timeseries-out FILE] [--metrics-out FILE]
 //                   [--trace-out FILE] [--fault-plan FILE]
 //                   [--failure-rate R] [--downtime N]
+//                   [--users N] [--minutes M] [--seed S]
+//                   [--snapshot-save FILE] [--snapshot-every N]
+//                   [--snapshot-at K] [--snapshot-resume FILE]
 //       Run the smart-city simulation and print the summary. The
 //       observability flags export, respectively: the per-interval
 //       per-server timeseries (CSV, or JSON when FILE ends in .json), the
@@ -18,7 +21,11 @@
 //       --fault-plan loads a scripted JSON fault schedule (see
 //       src/faults/fault_plan.hpp); --failure-rate/--downtime drive the
 //       legacy per-interval random crash model. The two are mutually
-//       exclusive.
+//       exclusive. Snapshot flags: --snapshot-save names the checkpoint
+//       file, written every --snapshot-every intervals and/or once after
+//       interval --snapshot-at (which then stops the run);
+//       --snapshot-resume continues a run from a checkpoint — byte-identical
+//       to the uninterrupted run. A corrupt/mismatched snapshot exits 2.
 //   perdnn profile <model> <out.txt>
 //       Run the concurrency sweep and save estimator-training records.
 //
@@ -42,6 +49,7 @@
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "sim/simulator.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace {
 
@@ -60,6 +68,10 @@ int usage() {
                "FILE] [--trace-out FILE]\n"
                "                  [--fault-plan FILE] [--failure-rate R] "
                "[--downtime N]\n"
+               "                  [--users N] [--minutes M] [--seed S]\n"
+               "                  [--snapshot-save FILE] [--snapshot-every N]"
+               " [--snapshot-at K]\n"
+               "                  [--snapshot-resume FILE] [--sim-metrics-out FILE]\n"
                "  perdnn profile <model> <out.txt>\n"
                "global flags: --threads N (worker pool size; 1 = serial, "
                "default PERDNN_THREADS or hardware)\n");
@@ -193,6 +205,14 @@ struct SimulateArgs {
   std::string fault_plan_file;
   double failure_rate = 0.0;
   int downtime = 3;
+  int users = 0;          // 0 = trace-kind default
+  double minutes = 120.0;
+  int seed = 42;          // SimulationConfig::seed
+  std::string snapshot_save;
+  std::string snapshot_resume;
+  int snapshot_every = 0;
+  int snapshot_at = -1;
+  std::string sim_metrics_out;  // deterministic SimulationMetrics JSON
 };
 
 /// Strict numeric parses: the whole token must be consumed.
@@ -233,15 +253,24 @@ std::optional<SimulateArgs> parse_simulate_args(int argc, char** argv) {
         value = argv[++i];
         have_value = true;
       }
-      if (name == "--failure-rate" || name == "--downtime") {
+      double* double_target = nullptr;
+      int* int_target = nullptr;
+      if (name == "--failure-rate") double_target = &args.failure_rate;
+      else if (name == "--minutes") double_target = &args.minutes;
+      else if (name == "--downtime") int_target = &args.downtime;
+      else if (name == "--users") int_target = &args.users;
+      else if (name == "--seed") int_target = &args.seed;
+      else if (name == "--snapshot-every") int_target = &args.snapshot_every;
+      else if (name == "--snapshot-at") int_target = &args.snapshot_at;
+      if (double_target != nullptr || int_target != nullptr) {
         if (!have_value || value.empty()) {
           std::fprintf(stderr, "error: flag '%s' needs a numeric argument\n",
                        name.c_str());
           return std::nullopt;
         }
-        const bool ok = name == "--failure-rate"
-                            ? parse_double(value, &args.failure_rate)
-                            : parse_int(value, &args.downtime);
+        const bool ok = double_target != nullptr
+                            ? parse_double(value, double_target)
+                            : parse_int(value, int_target);
         if (!ok) {
           std::fprintf(stderr, "error: flag '%s' got non-numeric value '%s'\n",
                        name.c_str(), value.c_str());
@@ -254,6 +283,9 @@ std::optional<SimulateArgs> parse_simulate_args(int argc, char** argv) {
       else if (name == "--metrics-out") target = &args.metrics_out;
       else if (name == "--trace-out") target = &args.trace_out;
       else if (name == "--fault-plan") target = &args.fault_plan_file;
+      else if (name == "--snapshot-save") target = &args.snapshot_save;
+      else if (name == "--snapshot-resume") target = &args.snapshot_resume;
+      else if (name == "--sim-metrics-out") target = &args.sim_metrics_out;
       if (target == nullptr) {
         std::fprintf(stderr, "error: unknown flag '%s'\n", name.c_str());
         return std::nullopt;
@@ -323,12 +355,20 @@ int cmd_simulate(int argc, char** argv) {
   const std::optional<SimulateArgs> parsed = parse_simulate_args(argc, argv);
   if (!parsed) return 2;
 
+  if ((parsed->snapshot_every > 0 || parsed->snapshot_at >= 0) &&
+      parsed->snapshot_save.empty()) {
+    std::fprintf(stderr, "error: --snapshot-every/--snapshot-at require "
+                         "--snapshot-save FILE\n");
+    return 2;
+  }
+
   SimulationConfig config;
   config.model = parsed->model;
   config.policy = parsed->policy;
   config.migration_radius_m = 100.0;
   config.server_failure_rate = parsed->failure_rate;
   config.server_downtime_intervals = parsed->downtime;
+  config.seed = static_cast<std::uint64_t>(parsed->seed);
   if (!parsed->fault_plan_file.empty()) {
     std::ifstream in(parsed->fault_plan_file);
     if (!in)
@@ -346,14 +386,56 @@ int cmd_simulate(int argc, char** argv) {
   }
   if (!parsed->trace_out.empty()) obs::Tracer::global().start();
 
-  const auto test = make_traces(parsed->traces, 0, 120.0, 22);
-  const auto train = make_traces(parsed->traces, 0, 120.0, 11);
+  // Load any resume snapshot before the (expensive) world build so a
+  // corrupt file fails fast with exit 2.
+  snapshot::SimSnapshot resume_snapshot;
+  bool resuming = false;
+  if (!parsed->snapshot_resume.empty()) {
+    try {
+      resume_snapshot = snapshot::load(parsed->snapshot_resume);
+      resuming = true;
+    } catch (const snapshot::SnapshotError& e) {
+      std::fprintf(stderr, "error: bad snapshot %s: %s\n",
+                   parsed->snapshot_resume.c_str(), e.what());
+      return 2;
+    }
+    std::printf("resuming from %s at interval %d\n",
+                parsed->snapshot_resume.c_str(), resume_snapshot.next_interval);
+  }
+
+  const auto test = make_traces(parsed->traces, parsed->users,
+                                parsed->minutes, 22);
+  const auto train = make_traces(parsed->traces, parsed->users,
+                                 parsed->minutes, 11);
   const SimulationWorld world = build_world(config, train, test);
 
+  // Record the timeseries whenever we may write a checkpoint: the snapshot
+  // carries the row prefix so a resumed run can emit the full series.
   obs::SimTimeseries timeseries;
   obs::SimTimeseries* recorder =
-      parsed->timeseries_out.empty() ? nullptr : &timeseries;
-  const SimulationMetrics metrics = run_simulation(config, world, recorder);
+      parsed->timeseries_out.empty() && parsed->snapshot_save.empty()
+          ? nullptr
+          : &timeseries;
+
+  SimulationRunOptions run_options;
+  if (resuming) run_options.resume_from = &resume_snapshot;
+  run_options.checkpoint_every = parsed->snapshot_every;
+  run_options.stop_after_interval = parsed->snapshot_at;
+  run_options.checkpoint_path = parsed->snapshot_save;
+
+  SimulationMetrics metrics;
+  try {
+    metrics = run_simulation(config, world, recorder, run_options);
+  } catch (const snapshot::SnapshotError& e) {
+    std::fprintf(stderr, "error: snapshot: %s\n", e.what());
+    return 2;
+  }
+
+  if (parsed->snapshot_at >= 0) {
+    std::printf("checkpoint saved: %s (stopped after interval %d)\n",
+                parsed->snapshot_save.c_str(), parsed->snapshot_at);
+    return 0;  // partial run: outputs come from the resumed run
+  }
 
   std::printf("%d servers, %d clients, %d intervals\n", metrics.num_servers,
               metrics.num_clients, metrics.num_intervals);
@@ -378,7 +460,7 @@ int cmd_simulate(int argc, char** argv) {
                 metrics.migration_retries, metrics.migrations_abandoned);
   }
 
-  if (recorder != nullptr) {
+  if (recorder != nullptr && !parsed->timeseries_out.empty()) {
     std::ofstream out(parsed->timeseries_out);
     if (!out)
       throw std::runtime_error("cannot open " + parsed->timeseries_out);
@@ -395,6 +477,10 @@ int cmd_simulate(int argc, char** argv) {
   if (!parsed->metrics_out.empty()) {
     write_file(parsed->metrics_out, obs::Registry::global().to_json());
     std::printf("metrics: %s\n", parsed->metrics_out.c_str());
+  }
+  if (!parsed->sim_metrics_out.empty()) {
+    write_file(parsed->sim_metrics_out, snapshot::metrics_to_json(metrics));
+    std::printf("sim metrics: %s\n", parsed->sim_metrics_out.c_str());
   }
   if (!parsed->trace_out.empty()) {
     obs::Tracer& tracer = obs::Tracer::global();

@@ -1,0 +1,553 @@
+// perdnn_runner — sharded scenario sweeps with checkpoint/resume.
+//
+//   perdnn_runner run <manifest.json> <out_dir> [--workers N]
+//       Expand the manifest's policies x seeds x fault_intensities grid into
+//       shards, fan them out across N forked worker processes (default 2),
+//       and merge the per-shard outputs once every shard is done. Shards
+//       whose metrics file already exists are skipped; shards with a
+//       checkpoint resume from it, so re-running after a crash or kill
+//       completes only the remaining work and reproduces the exact outputs
+//       of an uninterrupted sweep.
+//   perdnn_runner worker <manifest.json> <out_dir> <index> <count>
+//       Run the shards assigned to worker `index` of `count` in-process
+//       (what `run` forks internally; exposed for debugging).
+//   perdnn_runner status <manifest.json> <out_dir>
+//       Print per-shard progress: done / checkpointed / pending.
+//   perdnn_runner merge <manifest.json> <out_dir>
+//       Merge completed shard outputs into merged_metrics.json and
+//       merged_timeseries.csv. Fails if any shard is incomplete.
+//   perdnn_runner inspect <file.ckpt>
+//       Validate and summarise a checkpoint. Corrupt, truncated or
+//       version-mismatched files exit 2 (never crash).
+//
+// Per-shard files in <out_dir>:
+//   shard_NNN.ckpt            checkpoint (deleted once the shard finishes)
+//   shard_NNN.metrics.json    deterministic SimulationMetrics (done marker)
+//   shard_NNN.timeseries.csv  per-interval per-server rows
+// All files are written atomically (tmp + rename), so a kill can never
+// leave a half-written done-marker or checkpoint behind.
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/perdnn.hpp"
+#include "mobility/trace_gen.hpp"
+#include "obs/json.hpp"
+#include "obs/timeseries.hpp"
+#include "sim/simulator.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace {
+
+using namespace perdnn;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  perdnn_runner run <manifest.json> <out_dir> [--workers N]\n"
+               "  perdnn_runner worker <manifest.json> <out_dir> <index> "
+               "<count>\n"
+               "  perdnn_runner status <manifest.json> <out_dir>\n"
+               "  perdnn_runner merge <manifest.json> <out_dir>\n"
+               "  perdnn_runner inspect <file.ckpt>\n");
+  return 2;
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+
+struct Manifest {
+  std::string model = "inception";
+  std::string trace = "campus";
+  int users = 0;  // 0 = trace-kind default
+  double minutes = 120.0;
+  int checkpoint_every = 4;
+  int downtime = 3;
+  std::vector<std::string> policies;
+  std::vector<int> seeds;
+  std::vector<double> fault_intensities;
+};
+
+struct Shard {
+  int index = 0;
+  std::string policy;
+  int seed = 0;
+  double fault_intensity = 0.0;
+
+  std::string name() const {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "shard_%03d", index);
+    return buf;
+  }
+};
+
+ModelName model_by_name(const std::string& name) {
+  if (name == "mobilenet") return ModelName::kMobileNet;
+  if (name == "inception") return ModelName::kInception;
+  if (name == "resnet") return ModelName::kResNet;
+  throw std::runtime_error("manifest: unknown model '" + name + "'");
+}
+
+MigrationPolicy policy_by_name(const std::string& name) {
+  if (name == "ionn") return MigrationPolicy::kNone;
+  if (name == "perdnn") return MigrationPolicy::kProactive;
+  if (name == "optimal") return MigrationPolicy::kOptimal;
+  throw std::runtime_error("manifest: unknown policy '" + name + "'");
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+// Atomic write: a reader either sees the complete file or no file.
+void write_file_atomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot open " + tmp);
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    if (!out) throw std::runtime_error("error writing " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot rename " + tmp + " -> " + path);
+  }
+}
+
+bool file_exists(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return static_cast<bool>(in);
+}
+
+void ensure_dir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) return;
+  throw std::runtime_error("cannot create directory " + path + ": " +
+                           std::strerror(errno));
+}
+
+double require_number(const obs::JsonValue& doc, const std::string& key) {
+  const obs::JsonValue* v = doc.find(key);
+  if (v == nullptr || v->kind() != obs::JsonValue::Kind::kNumber)
+    throw std::runtime_error("manifest: missing numeric field '" + key + "'");
+  return v->as_number();
+}
+
+Manifest parse_manifest(const std::string& path) {
+  const obs::JsonValue doc = obs::parse_json(read_file(path));
+  if (!doc.is_object()) throw std::runtime_error("manifest: not an object");
+  Manifest m;
+  if (const auto* v = doc.find("model")) m.model = v->as_string();
+  if (const auto* v = doc.find("trace")) m.trace = v->as_string();
+  if (doc.find("users")) m.users = static_cast<int>(require_number(doc, "users"));
+  if (doc.find("minutes")) m.minutes = require_number(doc, "minutes");
+  if (doc.find("checkpoint_every"))
+    m.checkpoint_every = static_cast<int>(require_number(doc, "checkpoint_every"));
+  if (doc.find("downtime"))
+    m.downtime = static_cast<int>(require_number(doc, "downtime"));
+
+  const obs::JsonValue* policies = doc.find("policies");
+  if (policies == nullptr || !policies->is_array() || policies->items().empty())
+    throw std::runtime_error("manifest: 'policies' must be a non-empty array");
+  for (const auto& p : policies->items()) {
+    policy_by_name(p.as_string());  // validate early
+    m.policies.push_back(p.as_string());
+  }
+  const obs::JsonValue* seeds = doc.find("seeds");
+  if (seeds == nullptr || !seeds->is_array() || seeds->items().empty())
+    throw std::runtime_error("manifest: 'seeds' must be a non-empty array");
+  for (const auto& s : seeds->items())
+    m.seeds.push_back(static_cast<int>(s.as_number()));
+  if (const obs::JsonValue* fi = doc.find("fault_intensities")) {
+    if (!fi->is_array())
+      throw std::runtime_error("manifest: 'fault_intensities' must be an array");
+    for (const auto& f : fi->items())
+      m.fault_intensities.push_back(f.as_number());
+  }
+  if (m.fault_intensities.empty()) m.fault_intensities.push_back(0.0);
+  model_by_name(m.model);  // validate early
+  return m;
+}
+
+std::vector<Shard> expand_shards(const Manifest& m) {
+  std::vector<Shard> shards;
+  for (const std::string& policy : m.policies)
+    for (int seed : m.seeds)
+      for (double intensity : m.fault_intensities) {
+        Shard s;
+        s.index = static_cast<int>(shards.size());
+        s.policy = policy;
+        s.seed = seed;
+        s.fault_intensity = intensity;
+        shards.push_back(std::move(s));
+      }
+  return shards;
+}
+
+std::string ckpt_path(const std::string& out_dir, const Shard& s) {
+  return out_dir + "/" + s.name() + ".ckpt";
+}
+std::string metrics_path(const std::string& out_dir, const Shard& s) {
+  return out_dir + "/" + s.name() + ".metrics.json";
+}
+std::string timeseries_path(const std::string& out_dir, const Shard& s) {
+  return out_dir + "/" + s.name() + ".timeseries.csv";
+}
+
+// ---------------------------------------------------------------------------
+// Shard execution
+
+std::vector<Trajectory> make_traces(const std::string& kind, int users,
+                                    double minutes, std::uint64_t seed) {
+  if (kind == "campus") {
+    CampusTraceConfig config;
+    if (users > 0) config.num_users = users;
+    config.duration = minutes * 60.0;
+    config.sample_interval = 20.0;
+    config.seed = seed;
+    return generate_campus_traces(config);
+  }
+  if (kind == "urban") {
+    UrbanTraceConfig config;
+    if (users > 0) config.num_users = users;
+    config.duration = minutes * 60.0;
+    config.sample_interval = 20.0;
+    config.seed = seed;
+    return generate_urban_traces(config);
+  }
+  return load_traces_file(kind);  // treat as a file path
+}
+
+void run_shard(const Manifest& m, const Shard& shard,
+               const std::string& out_dir) {
+  const std::string ckpt = ckpt_path(out_dir, shard);
+
+  SimulationConfig config;
+  config.model = model_by_name(m.model);
+  config.policy = policy_by_name(shard.policy);
+  config.migration_radius_m = 100.0;
+  config.seed = static_cast<std::uint64_t>(shard.seed);
+  config.server_failure_rate = shard.fault_intensity;
+  config.server_downtime_intervals = m.downtime;
+
+  // A stale or corrupt checkpoint (scenario changed under it, torn file
+  // copied in from elsewhere) is discarded with a warning: the shard is
+  // always recomputable from the manifest alone.
+  snapshot::SimSnapshot resume;
+  bool resuming = false;
+  if (file_exists(ckpt)) {
+    try {
+      resume = snapshot::load(ckpt);
+      resuming = true;
+    } catch (const snapshot::SnapshotError& e) {
+      std::fprintf(stderr, "[%s] discarding unusable checkpoint: %s\n",
+                   shard.name().c_str(), e.what());
+      std::remove(ckpt.c_str());
+    }
+  }
+
+  const auto test = make_traces(m.trace, m.users, m.minutes, 22);
+  const auto train = make_traces(m.trace, m.users, m.minutes, 11);
+  const SimulationWorld world = build_world(config, train, test);
+
+  obs::SimTimeseries timeseries;
+  SimulationRunOptions options;
+  if (resuming) options.resume_from = &resume;
+  options.checkpoint_every = m.checkpoint_every;
+  options.checkpoint_path = ckpt;
+
+  SimulationMetrics metrics;
+  try {
+    metrics = run_simulation(config, world, &timeseries, options);
+  } catch (const snapshot::SnapshotError& e) {
+    // Fingerprint mismatch: the checkpoint belongs to a different scenario
+    // (manifest edited between runs). Recompute from scratch.
+    std::fprintf(stderr, "[%s] checkpoint rejected (%s); restarting shard\n",
+                 shard.name().c_str(), e.what());
+    std::remove(ckpt.c_str());
+    // run_simulation() restarts the recorder via start(), which resets it.
+    SimulationRunOptions fresh = options;
+    fresh.resume_from = nullptr;
+    metrics = run_simulation(config, world, &timeseries, fresh);
+  }
+
+  std::string csv;
+  {
+    std::ostringstream out;
+    timeseries.write_csv(out);
+    csv = out.str();
+  }
+  write_file_atomic(timeseries_path(out_dir, shard), csv);
+  // The metrics file is the done-marker, so it lands last.
+  write_file_atomic(metrics_path(out_dir, shard),
+                    snapshot::metrics_to_json(metrics));
+  std::remove(ckpt.c_str());
+}
+
+int worker_main(const Manifest& m, const std::string& out_dir, int index,
+                int count) {
+  ensure_dir(out_dir);
+  const std::vector<Shard> shards = expand_shards(m);
+  int ran = 0, skipped = 0;
+  for (const Shard& shard : shards) {
+    if (shard.index % count != index) continue;
+    if (file_exists(metrics_path(out_dir, shard))) {
+      ++skipped;
+      continue;
+    }
+    const bool resumed = file_exists(ckpt_path(out_dir, shard));
+    run_shard(m, shard, out_dir);
+    std::printf("[worker %d] %s done (policy=%s seed=%d fault=%s%s)\n", index,
+                shard.name().c_str(), shard.policy.c_str(), shard.seed,
+                obs::json_number(shard.fault_intensity).c_str(),
+                resumed ? ", resumed" : "");
+    std::fflush(stdout);
+    ++ran;
+  }
+  std::printf("[worker %d] finished: %d shard(s) run, %d already done\n",
+              index, ran, skipped);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Merge
+
+int cmd_merge(const Manifest& m, const std::string& out_dir) {
+  const std::vector<Shard> shards = expand_shards(m);
+  std::string metrics_json = "{\"shards\":[";
+  std::string csv = "shard,policy,seed,fault_intensity,";
+  csv += obs::SimTimeseries::csv_header();
+  csv += "\n";
+  bool first = true;
+  for (const Shard& shard : shards) {
+    const std::string mpath = metrics_path(out_dir, shard);
+    if (!file_exists(mpath)) {
+      std::fprintf(stderr, "merge: %s incomplete (no %s)\n",
+                   shard.name().c_str(), mpath.c_str());
+      return 1;
+    }
+    // Embed the shard's metrics document verbatim: it is already canonical
+    // JSON, so the merged file is byte-stable across reruns.
+    std::string metrics = read_file(mpath);
+    while (!metrics.empty() &&
+           (metrics.back() == '\n' || metrics.back() == ' '))
+      metrics.pop_back();
+    if (!first) metrics_json += ",";
+    first = false;
+    metrics_json += "{\"shard\":\"" + shard.name() + "\",\"policy\":\"" +
+                    shard.policy +
+                    "\",\"seed\":" + std::to_string(shard.seed) +
+                    ",\"fault_intensity\":" +
+                    obs::json_number(shard.fault_intensity) +
+                    ",\"metrics\":" + metrics + "}";
+
+    const std::string prefix = shard.name() + "," + shard.policy + "," +
+                               std::to_string(shard.seed) + "," +
+                               obs::json_number(shard.fault_intensity) + ",";
+    const std::string shard_csv = read_file(timeseries_path(out_dir, shard));
+    size_t pos = shard_csv.find('\n');  // skip the per-shard header line
+    if (pos == std::string::npos)
+      throw std::runtime_error("malformed timeseries for " + shard.name());
+    ++pos;
+    while (pos < shard_csv.size()) {
+      size_t end = shard_csv.find('\n', pos);
+      if (end == std::string::npos) end = shard_csv.size();
+      if (end > pos) {
+        csv += prefix;
+        csv.append(shard_csv, pos, end - pos);
+        csv += "\n";
+      }
+      pos = end + 1;
+    }
+  }
+  metrics_json += "]}\n";
+  write_file_atomic(out_dir + "/merged_metrics.json", metrics_json);
+  write_file_atomic(out_dir + "/merged_timeseries.csv", csv);
+  std::printf("merged %zu shard(s) -> %s/merged_metrics.json, "
+              "%s/merged_timeseries.csv\n",
+              shards.size(), out_dir.c_str(), out_dir.c_str());
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Subcommands
+
+int cmd_run(const Manifest& m, const std::string& out_dir, int workers) {
+  ensure_dir(out_dir);
+  const std::vector<Shard> shards = expand_shards(m);
+  const int count =
+      std::max(1, std::min(workers, static_cast<int>(shards.size())));
+  std::printf("sweep: %zu shard(s) (%zu policies x %zu seeds x %zu fault "
+              "intensities), %d worker process(es)\n",
+              shards.size(), m.policies.size(), m.seeds.size(),
+              m.fault_intensities.size(), count);
+
+  // Fork before any simulation work so no worker inherits a thread pool.
+  std::vector<pid_t> pids;
+  for (int i = 0; i < count; ++i) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::fprintf(stderr, "fork failed: %s\n", std::strerror(errno));
+      return 1;
+    }
+    if (pid == 0) {
+      int status = 1;
+      try {
+        status = worker_main(m, out_dir, i, count);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "[worker %d] error: %s\n", i, e.what());
+      }
+      std::fflush(nullptr);
+      _exit(status);
+    }
+    pids.push_back(pid);
+  }
+
+  bool ok = true;
+  for (const pid_t pid : pids) {
+    int status = 0;
+    if (waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      std::fprintf(stderr, "worker pid %d failed (status %d)\n",
+                   static_cast<int>(pid), status);
+      ok = false;
+    }
+  }
+  if (!ok) {
+    std::fprintf(stderr,
+                 "sweep incomplete; re-run the same command to resume\n");
+    return 1;
+  }
+  return cmd_merge(m, out_dir);
+}
+
+int cmd_status(const Manifest& m, const std::string& out_dir) {
+  const std::vector<Shard> shards = expand_shards(m);
+  int done = 0, checkpointed = 0, pending = 0;
+  for (const Shard& shard : shards) {
+    std::string state = "pending";
+    if (file_exists(metrics_path(out_dir, shard))) {
+      state = "done";
+      ++done;
+    } else if (file_exists(ckpt_path(out_dir, shard))) {
+      try {
+        const snapshot::SimSnapshot snap =
+            snapshot::load(ckpt_path(out_dir, shard));
+        state = "checkpointed @ interval " +
+                std::to_string(snap.next_interval) + "/" +
+                std::to_string(snap.num_intervals);
+      } catch (const snapshot::SnapshotError&) {
+        state = "checkpoint unreadable";
+      }
+      ++checkpointed;
+    } else {
+      ++pending;
+    }
+    std::printf("%s  policy=%-7s seed=%-3d fault=%-5s  %s\n",
+                shard.name().c_str(), shard.policy.c_str(), shard.seed,
+                obs::json_number(shard.fault_intensity).c_str(),
+                state.c_str());
+  }
+  std::printf("%d done, %d checkpointed, %d pending of %zu\n", done,
+              checkpointed, pending, shards.size());
+  return 0;
+}
+
+int cmd_inspect(const std::string& path) {
+  try {
+    const snapshot::SimSnapshot snap = snapshot::load(path);
+    std::int64_t cached_entries = 0;
+    for (const auto& server : snap.caches)
+      cached_entries += static_cast<std::int64_t>(server.size());
+    std::printf("%s: valid snapshot (version %u)\n", path.c_str(),
+                snapshot::kSnapshotVersion);
+    std::printf("  interval:        %d / %d\n", snap.next_interval,
+                snap.num_intervals);
+    std::printf("  fingerprint:     %016llx\n",
+                static_cast<unsigned long long>(snap.config_fingerprint));
+    std::printf("  servers:         %zu (%lld cache entries)\n",
+                snap.caches.size(),
+                static_cast<long long>(cached_entries));
+    std::printf("  clients:         %zu\n", snap.clients.size());
+    std::printf("  load levels:     %zu base, %zu degraded\n",
+                snap.levels.size(), snap.degraded_levels.size());
+    std::printf("  deferred queue:  %zu order(s), %lld bytes backlog\n",
+                snap.dispatcher.queue.size(),
+                static_cast<long long>(snap.dispatcher.backlog_bytes));
+    std::printf("  timeseries rows: %zu%s\n", snap.timeseries_rows.size(),
+                snap.has_timeseries ? "" : " (not recorded)");
+    return 0;
+  } catch (const snapshot::SnapshotError& e) {
+    std::fprintf(stderr, "%s: rejected: %s\n", path.c_str(), e.what());
+    return 2;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) return usage();
+    const std::string command = argv[1];
+    if (command == "inspect") {
+      if (argc != 3) return usage();
+      return cmd_inspect(argv[2]);
+    }
+    if (command == "run") {
+      if (argc < 4) return usage();
+      int workers = 2;
+      for (int i = 4; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--workers" && i + 1 < argc) {
+          workers = std::atoi(argv[++i]);
+        } else if (arg.rfind("--workers=", 0) == 0) {
+          workers = std::atoi(arg.c_str() + 10);
+        } else {
+          std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+          return 2;
+        }
+      }
+      if (workers < 1) {
+        std::fprintf(stderr, "--workers must be >= 1\n");
+        return 2;
+      }
+      return cmd_run(parse_manifest(argv[2]), argv[3], workers);
+    }
+    if (command == "worker") {
+      if (argc != 6) return usage();
+      const int index = std::atoi(argv[4]);
+      const int count = std::atoi(argv[5]);
+      if (count < 1 || index < 0 || index >= count) {
+        std::fprintf(stderr, "worker index out of range\n");
+        return 2;
+      }
+      return worker_main(parse_manifest(argv[2]), argv[3], index, count);
+    }
+    if (command == "status") {
+      if (argc != 4) return usage();
+      return cmd_status(parse_manifest(argv[2]), argv[3]);
+    }
+    if (command == "merge") {
+      if (argc != 4) return usage();
+      return cmd_merge(parse_manifest(argv[2]), argv[3]);
+    }
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
