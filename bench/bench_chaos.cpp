@@ -8,11 +8,14 @@
 // baseline and must match a plain run exactly.
 //
 //   bench_chaos [--model mobilenet|inception|resnet] [--seed N]
-//               [--plan FILE] [--json] [--threads N]
+//               [--plan FILE] [--journal-out FILE] [--json] [--threads N]
 //
 // --plan replaces the sweep with a single run of the scripted JSON plan.
-// --json emits machine-readable rows instead of the text table. Unknown
-// flags are hard errors (exit 2).
+// --journal-out (requires --plan) writes that run's event journal as JSONL
+// (binary when FILE ends in .jnl) so tools/perdnn_obs can reconstruct any
+// client's causal chain through the scripted faults. --json emits
+// machine-readable rows instead of the text table. Unknown flags are hard
+// errors (exit 2).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +30,7 @@
 #include "datasets.hpp"
 #include "faults/fault_plan.hpp"
 #include "obs/json.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 
@@ -39,13 +43,15 @@ struct Args {
   ModelName model = ModelName::kMobileNet;
   std::uint64_t seed = 97;
   std::string plan_file;
+  std::string journal_out;
   bool json = false;
 };
 
 int usage() {
   std::fprintf(stderr,
                "usage: bench_chaos [--model mobilenet|inception|resnet] "
-               "[--seed N] [--plan FILE] [--json] [--threads N]\n");
+               "[--seed N] [--plan FILE] [--journal-out FILE] [--json] "
+               "[--threads N]\n");
   return 2;
 }
 
@@ -90,6 +96,13 @@ bool parse_args(int argc, char** argv, Args* args) {
         return false;
       }
       args->plan_file = value;
+    } else if (name == "--journal-out") {
+      const char* value = next_value();
+      if (value == nullptr) {
+        std::fprintf(stderr, "error: --journal-out needs a file\n");
+        return false;
+      }
+      args->journal_out = value;
     } else {
       std::fprintf(stderr, "error: unknown flag '%s'\n", name.c_str());
       return false;
@@ -109,7 +122,8 @@ struct ScenarioResult {
 ScenarioResult run_scenario(const std::string& label,
                             const SimulationConfig& base,
                             const SimulationWorld& world,
-                            const FaultPlan& plan) {
+                            const FaultPlan& plan,
+                            obs::Journal* journal = nullptr) {
   SimulationConfig config = base;
   config.fault_plan = plan;
   obs::Registry::global().reset();
@@ -117,11 +131,17 @@ ScenarioResult run_scenario(const std::string& label,
   ScenarioResult result;
   result.label = label;
   result.events = plan.size();
-  result.metrics = run_simulation(config, world);
+  SimulationRunOptions options;
+  options.journal = journal;
+  result.metrics = run_simulation(config, world, nullptr, options);
   obs::Histogram& latency =
       obs::Registry::global().histogram("sim.cold_window.query_latency_s");
-  result.p50_latency_s = latency.quantile(0.50);
-  result.p99_latency_s = latency.quantile(0.99);
+  if (latency.count() > 0) {
+    // quantile() is NaN on an empty histogram (a total-outage scenario can
+    // serve zero edge queries); keep the JSON emittable with 0.0.
+    result.p50_latency_s = latency.quantile(0.50);
+    result.p99_latency_s = latency.quantile(0.99);
+  }
   obs::set_enabled(false);
   return result;
 }
@@ -195,6 +215,10 @@ int main(int argc, char** argv) {
   argc = par::init_threads_from_cli(argc, argv);
   Args args;
   if (!parse_args(argc, argv, &args)) return usage();
+  if (!args.journal_out.empty() && args.plan_file.empty()) {
+    std::fprintf(stderr, "error: --journal-out requires --plan\n");
+    return 2;
+  }
 
   if (!args.json)
     std::printf("=== Chaos sweep: fault intensity vs graceful degradation "
@@ -224,8 +248,30 @@ int main(int argc, char** argv) {
     }
     const std::string text((std::istreambuf_iterator<char>(in)),
                            std::istreambuf_iterator<char>());
-    results.push_back(
-        run_scenario(args.plan_file, config, world, FaultPlan::from_json(text)));
+    obs::Journal journal;
+    results.push_back(run_scenario(args.plan_file, config, world,
+                                   FaultPlan::from_json(text),
+                                   args.journal_out.empty() ? nullptr
+                                                            : &journal));
+    if (!args.journal_out.empty()) {
+      const bool binary = args.journal_out.size() >= 4 &&
+                          args.journal_out.compare(
+                              args.journal_out.size() - 4, 4, ".jnl") == 0;
+      std::ofstream out(args.journal_out,
+                        std::ios::binary | std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot open %s\n",
+                     args.journal_out.c_str());
+        return 1;
+      }
+      const std::string bytes = binary
+                                    ? journal.encode()
+                                    : obs::journal_to_jsonl(journal.events());
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+      if (!args.json)
+        std::printf("journal: %zu events -> %s\n", journal.size(),
+                    args.journal_out.c_str());
+    }
   } else {
     for (const double intensity : {0.0, 0.002, 0.01, 0.03}) {
       RandomFaultConfig faults;

@@ -12,6 +12,11 @@
 // estimator, memoised estimates, incremental upload scoring) so the
 // end-to-end wall-clock printed at exit can be compared fast path on vs
 // off; the figures themselves are byte-identical either way.
+//
+// `--journal-out PREFIX` journals every policy run to
+// <prefix>_<dataset>_<model>_<policy>.journal.jsonl (tools/perdnn_obs reads
+// them). Comparing total wall-clock with and without the flag measures the
+// journaling overhead on the paper's largest workload.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -24,6 +29,7 @@
 #include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "datasets.hpp"
+#include "obs/journal.hpp"
 #include "obs/timeseries.hpp"
 #include "sim/simulator.hpp"
 
@@ -38,7 +44,8 @@ std::string sanitize(std::string s) {
   return s;
 }
 
-void run_dataset(const DatasetPair& data, const char* out_prefix) {
+void run_dataset(const DatasetPair& data, const char* out_prefix,
+                 const char* journal_prefix) {
   std::printf("\n===== %s (%zu users) =====\n", data.name, data.test.size());
   for (ModelName model :
        {ModelName::kMobileNet, ModelName::kInception, ModelName::kResNet}) {
@@ -70,6 +77,7 @@ void run_dataset(const DatasetPair& data, const char* out_prefix) {
     struct RowResult {
       SimulationMetrics metrics;
       std::string csv;
+      std::string journal;
     };
     const auto results =
         par::parallel_map(std::size(rows), [&](std::size_t r) {
@@ -78,14 +86,20 @@ void run_dataset(const DatasetPair& data, const char* out_prefix) {
           if (rows[r].radius > 0.0) run.migration_radius_m = rows[r].radius;
           RowResult result;
           obs::SimTimeseries timeseries;
+          timeseries.set_model(model_name_str(model));
           obs::SimTimeseries* recorder =
               out_prefix != nullptr ? &timeseries : nullptr;
-          result.metrics = run_simulation(run, world, recorder);
+          obs::Journal journal;
+          SimulationRunOptions options;
+          if (journal_prefix != nullptr) options.journal = &journal;
+          result.metrics = run_simulation(run, world, recorder, options);
           if (recorder != nullptr) {
             std::ostringstream csv;
             recorder->write_csv(csv);
             result.csv = csv.str();
           }
+          if (journal_prefix != nullptr)
+            result.journal = obs::journal_to_jsonl(journal.events());
           return result;
         });
     for (std::size_t r = 0; r < results.size(); ++r) {
@@ -102,6 +116,18 @@ void run_dataset(const DatasetPair& data, const char* out_prefix) {
         }
         out << results[r].csv;
         std::printf("timeseries -> %s\n", path.c_str());
+      }
+      if (journal_prefix != nullptr) {
+        const std::string path = std::string(journal_prefix) + "_" +
+                                 data.name + "_" + model_name_str(model) +
+                                 "_" + sanitize(row.label) + ".journal.jsonl";
+        std::ofstream out(path);
+        if (!out) {
+          std::fprintf(stderr, "cannot open %s\n", path.c_str());
+          std::exit(1);
+        }
+        out << results[r].journal;
+        std::printf("journal -> %s\n", path.c_str());
       }
       char hm[64];
       std::snprintf(hm, sizeof hm, "%d/%d/%d", metrics.hits, metrics.partials,
@@ -122,9 +148,12 @@ void run_dataset(const DatasetPair& data, const char* out_prefix) {
 int main(int argc, char** argv) {
   argc = par::init_threads_from_cli(argc, argv);
   const char* out_prefix = nullptr;
+  const char* journal_prefix = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--no-fastpath") == 0)
       perdnn::fastpath::set_enabled(false);
+    else if (std::strcmp(argv[i], "--journal-out") == 0 && i + 1 < argc)
+      journal_prefix = argv[++i];
     else
       out_prefix = argv[i];
   }
@@ -135,8 +164,8 @@ int main(int argc, char** argv) {
               "Geolife (fast users);\nMobileNet gains little (tiny model), "
               "Inception/ResNet gain a lot\n");
   const auto start = std::chrono::steady_clock::now();
-  run_dataset(kaist_like(), out_prefix);
-  run_dataset(geolife_like(), out_prefix);
+  run_dataset(kaist_like(), out_prefix, journal_prefix);
+  run_dataset(geolife_like(), out_prefix, journal_prefix);
   const std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - start;
   std::printf("\ntotal wall-clock %.3fs (fast path %s, %d threads)\n",

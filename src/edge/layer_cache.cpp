@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "obs/journal.hpp"
 
 namespace perdnn {
 
@@ -27,21 +28,49 @@ std::vector<LayerId> LayerCache::store(ClientId client,
   std::vector<LayerId> added;
   for (LayerId id : layers)
     if (entry.layers.insert(id).second) added.push_back(id);
+  if (journal_ != nullptr)
+    journal_->record({.interval = now_interval,
+                      .kind = obs::JournalEventKind::kCacheStore,
+                      .client = client,
+                      .server = self_,
+                      .aux = static_cast<std::int32_t>(added.size())});
   return added;
 }
 
 void LayerCache::touch(ClientId client, int now_interval) {
   const auto it = entries_.find(client);
-  if (it != entries_.end()) it->second.expires_at = now_interval + ttl_;
+  if (it == entries_.end()) return;
+  it->second.expires_at = now_interval + ttl_;
+  if (journal_ != nullptr)
+    journal_->record({.interval = now_interval,
+                      .kind = obs::JournalEventKind::kCacheTouch,
+                      .client = client,
+                      .server = self_});
 }
 
 void LayerCache::expire(int now_interval) {
+  // Expired (client, #layers) pairs are collected and journalled in client
+  // order: map iteration order depends on insertion history, which differs
+  // between an uninterrupted run and a restore_entries() re-load.
+  std::vector<std::pair<ClientId, std::int32_t>> expired;
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->second.expires_at <= now_interval) {
+      if (journal_ != nullptr)
+        expired.emplace_back(it->first,
+                             static_cast<std::int32_t>(it->second.layers.size()));
       it = entries_.erase(it);
     } else {
       ++it;
     }
+  }
+  if (journal_ != nullptr && !expired.empty()) {
+    std::sort(expired.begin(), expired.end());
+    for (const auto& [client, num_layers] : expired)
+      journal_->record({.interval = now_interval,
+                        .kind = obs::JournalEventKind::kCacheExpire,
+                        .client = client,
+                        .server = self_,
+                        .aux = num_layers});
   }
 }
 

@@ -16,9 +16,23 @@
 
 namespace perdnn {
 
+namespace obs {
+class Journal;
+}  // namespace obs
+
 class LayerCache {
  public:
   explicit LayerCache(int ttl_intervals);
+
+  /// Attaches an event journal: store/touch/TTL-expiry decisions are
+  /// recorded as this server's cache events (obs/journal.hpp). `self` is
+  /// the owning server's id, stamped on every event. nullptr disables
+  /// recording. Expiry events are emitted in client-id order (not map
+  /// order) so journals stay byte-identical across checkpoint/resume.
+  void set_journal(obs::Journal* journal, ServerId self) {
+    journal_ = journal;
+    self_ = self;
+  }
 
   /// Merges `layers` into the client's entry and resets its TTL.
   /// Returns the ids that were actually new (not already cached) — the
@@ -73,6 +87,8 @@ class LayerCache {
   };
 
   int ttl_;
+  obs::Journal* journal_ = nullptr;
+  ServerId self_ = kNoServer;
   std::unordered_map<ClientId, Entry> entries_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 
 namespace perdnn {
@@ -54,8 +55,26 @@ void MigrationDispatcher::defer(ClientId client, ServerId source,
     abandoned_bytes_ += bytes;
     ++abandoned_orders_;
     obs::count("migration.abandoned_orders");
+    if (journal_ != nullptr)
+      journal_->record({.interval = now_interval,
+                        .kind = obs::JournalEventKind::kMigrationDropped,
+                        .client = client,
+                        .server = source,
+                        .peer = target,
+                        .bytes = bytes,
+                        .detail = order.attempts,
+                        .aux = obs::kDropRetryBudget});
     return;
   }
+  if (journal_ != nullptr)
+    journal_->record({.interval = now_interval,
+                      .kind = obs::JournalEventKind::kMigrationDeferred,
+                      .client = client,
+                      .server = source,
+                      .peer = target,
+                      .bytes = bytes,
+                      .detail = order.attempts,
+                      .aux = order.next_attempt_interval});
   queue_.push_back(std::move(order));
 }
 
@@ -74,6 +93,14 @@ std::vector<DeferredMigration> MigrationDispatcher::due(int now_interval) {
     backlog_bytes_ -= order.bytes;
     ++retries_;
     ++order.attempts;
+    if (journal_ != nullptr)
+      journal_->record({.interval = now_interval,
+                        .kind = obs::JournalEventKind::kMigrationRetried,
+                        .client = order.client,
+                        .server = order.source,
+                        .peer = order.target,
+                        .bytes = order.bytes,
+                        .detail = order.attempts});
   }
   if (!ready.empty())
     obs::count("migration.retries", static_cast<double>(ready.size()));
@@ -113,10 +140,28 @@ bool MigrationDispatcher::fail(DeferredMigration order, int now_interval) {
     ++abandoned_orders_;
     obs::count("migration.abandoned_orders");
     obs::count("migration.abandoned_bytes", static_cast<double>(order.bytes));
+    if (journal_ != nullptr)
+      journal_->record({.interval = now_interval,
+                        .kind = obs::JournalEventKind::kMigrationDropped,
+                        .client = order.client,
+                        .server = order.source,
+                        .peer = order.target,
+                        .bytes = order.bytes,
+                        .detail = order.attempts,
+                        .aux = obs::kDropRetryBudget});
     return false;
   }
   order.next_attempt_interval = now_interval + backoff_after(order.attempts);
   backlog_bytes_ += order.bytes;
+  if (journal_ != nullptr)
+    journal_->record({.interval = now_interval,
+                      .kind = obs::JournalEventKind::kMigrationDeferred,
+                      .client = order.client,
+                      .server = order.source,
+                      .peer = order.target,
+                      .bytes = order.bytes,
+                      .detail = order.attempts,
+                      .aux = order.next_attempt_interval});
   queue_.push_back(std::move(order));
   return true;
 }

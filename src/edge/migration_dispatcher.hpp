@@ -25,6 +25,10 @@
 
 namespace perdnn {
 
+namespace obs {
+class Journal;
+}  // namespace obs
+
 struct MigrationRetryConfig {
   /// Total delivery attempts per order, the initial send included. 1 means
   /// "never retry"; must be >= 1.
@@ -49,6 +53,12 @@ struct DeferredMigration {
 class MigrationDispatcher {
  public:
   explicit MigrationDispatcher(MigrationRetryConfig config = {});
+
+  /// Attaches an event journal: defer/retry/abandon decisions are recorded
+  /// with their backoff state and byte accounting (obs/journal.hpp).
+  /// nullptr (the default) disables recording. The dispatcher runs on the
+  /// serial control path, so recording keeps the determinism contract.
+  void set_journal(obs::Journal* journal) { journal_ = journal; }
 
   /// Parks a freshly failed first attempt. The order's bytes enter the
   /// deferred backlog; the first retry is due after the initial backoff.
@@ -100,6 +110,7 @@ class MigrationDispatcher {
   int backoff_after(int attempts) const;
 
   MigrationRetryConfig config_;
+  obs::Journal* journal_ = nullptr;
   std::deque<DeferredMigration> queue_;
   Bytes backlog_bytes_ = 0;
   Bytes total_deferred_bytes_ = 0;

@@ -1,0 +1,334 @@
+#include "obs/journal.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "common/wire.hpp"
+#include "obs/json.hpp"
+
+namespace perdnn::obs {
+
+namespace {
+
+constexpr char kJournalMagic[8] = {'P', 'D', 'N', 'N', 'J', 'N', 'L', '1'};
+constexpr std::uint32_t kJournalVersion = 1;
+
+struct KindName {
+  JournalEventKind kind;
+  const char* name;
+};
+
+constexpr KindName kKindNames[] = {
+    {JournalEventKind::kAttach, "attach"},
+    {JournalEventKind::kDetach, "detach"},
+    {JournalEventKind::kPlan, "plan"},
+    {JournalEventKind::kDegradedPlan, "degraded_plan"},
+    {JournalEventKind::kColdServe, "cold_serve"},
+    {JournalEventKind::kLocalFallback, "local_fallback"},
+    {JournalEventKind::kMigrationPlanned, "migration_planned"},
+    {JournalEventKind::kMigrationPushed, "migration_pushed"},
+    {JournalEventKind::kMigrationDeferred, "migration_deferred"},
+    {JournalEventKind::kMigrationRetried, "migration_retried"},
+    {JournalEventKind::kMigrationDropped, "migration_dropped"},
+    {JournalEventKind::kFaultApplied, "fault_applied"},
+    {JournalEventKind::kFaultCleared, "fault_cleared"},
+    {JournalEventKind::kCacheStore, "cache_store"},
+    {JournalEventKind::kCacheTouch, "cache_touch"},
+    {JournalEventKind::kCacheEvict, "cache_evict"},
+    {JournalEventKind::kCacheExpire, "cache_expire"},
+    {JournalEventKind::kCheckpointSave, "checkpoint_save"},
+    {JournalEventKind::kCheckpointResume, "checkpoint_resume"},
+};
+
+// Integer fields go straight through std::to_chars into a stack buffer:
+// json_number() allocates a std::string per call, and at ten fields per
+// event that dominates the serialization cost of a multi-million-event
+// journal. Digits are identical to the json_number() integer path.
+template <typename Int>
+void append_int(std::string& out, Int v) {
+  char buf[24];
+  const std::to_chars_result res = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, static_cast<std::size_t>(res.ptr - buf));
+}
+
+void append_event_json(std::string& out, const JournalEvent& e) {
+  out += "{\"interval\":";
+  append_int(out, e.interval);
+  out += ",\"kind\":\"";
+  out += journal_kind_name(e.kind);
+  out += "\",\"chain\":";
+  append_int(out, e.chain);
+  out += ",\"client\":";
+  append_int(out, e.client);
+  out += ",\"server\":";
+  append_int(out, e.server);
+  out += ",\"peer\":";
+  append_int(out, e.peer);
+  out += ",\"bytes\":";
+  append_int(out, e.bytes);
+  out += ",\"detail\":";
+  append_int(out, e.detail);
+  out += ",\"aux\":";
+  append_int(out, e.aux);
+  out += ",\"value\":";
+  // json_number()'s integer branch prints through std::to_string, so this
+  // fast path is digit-identical for the dominant value == 0.0 case.
+  if (e.value == static_cast<double>(static_cast<std::int64_t>(e.value)) &&
+      std::abs(e.value) < 9.0e18) {
+    append_int(out, static_cast<std::int64_t>(e.value));
+  } else {
+    out += json_number(e.value);
+  }
+  out += "}";
+}
+
+double require_number(const JsonValue& doc, const char* key,
+                      std::size_t line) {
+  const JsonValue* value = doc.find(key);
+  if (value == nullptr) {
+    std::ostringstream msg;
+    msg << "journal jsonl line " << line << ": missing field " << key;
+    throw JournalError(msg.str());
+  }
+  return value->as_number();
+}
+
+}  // namespace
+
+const char* journal_kind_name(JournalEventKind kind) {
+  for (const KindName& entry : kKindNames)
+    if (entry.kind == kind) return entry.name;
+  return "unknown";
+}
+
+bool journal_kind_from_name(const std::string& name, JournalEventKind* out) {
+  for (const KindName& entry : kKindNames) {
+    if (name == entry.name) {
+      *out = entry.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+Journal::Journal(std::size_t capacity) : capacity_(capacity) {}
+
+std::uint64_t Journal::begin_chain(ClientId client) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t chain = next_chain_++;
+  const auto it = std::lower_bound(
+      client_chains_.begin(), client_chains_.end(), client,
+      [](const auto& entry, ClientId c) { return entry.first < c; });
+  if (it != client_chains_.end() && it->first == client)
+    it->second = chain;
+  else
+    client_chains_.insert(it, {client, chain});
+  return chain;
+}
+
+std::uint64_t Journal::chain_of(ClientId client) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = std::lower_bound(
+      client_chains_.begin(), client_chains_.end(), client,
+      [](const auto& entry, ClientId c) { return entry.first < c; });
+  if (it != client_chains_.end() && it->first == client) return it->second;
+  return 0;
+}
+
+void Journal::record(JournalEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (event.chain == 0 && event.client >= 0) {
+    const auto it = std::lower_bound(
+        client_chains_.begin(), client_chains_.end(), event.client,
+        [](const auto& entry, ClientId c) { return entry.first < c; });
+    if (it != client_chains_.end() && it->first == event.client)
+      event.chain = it->second;
+  }
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(event);
+}
+
+void Journal::record_meta(JournalEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  meta_events_.push_back(event);
+}
+
+std::size_t Journal::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::uint64_t Journal::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::vector<JournalEvent> Journal::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::vector<JournalEvent> Journal::meta_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return meta_events_;
+}
+
+JournalState Journal::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JournalState state;
+  state.events = events_;
+  state.next_chain = next_chain_;
+  state.dropped = dropped_;
+  state.client_chains = client_chains_;
+  return state;
+}
+
+void Journal::restore(const JournalState& state) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_ = state.events;
+  next_chain_ = state.next_chain;
+  dropped_ = state.dropped;
+  client_chains_ = state.client_chains;
+  meta_events_.clear();
+}
+
+void Journal::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  meta_events_.clear();
+  next_chain_ = 1;
+  dropped_ = 0;
+  client_chains_.clear();
+}
+
+void Journal::write_jsonl(std::ostream& out) const {
+  const std::string text = journal_to_jsonl(events());
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+}
+
+std::string Journal::encode() const { return journal_encode(events()); }
+
+std::string journal_to_jsonl(const std::vector<JournalEvent>& events) {
+  std::string out;
+  out.reserve(events.size() * 144);  // measured mean line is ~134 bytes
+  for (const JournalEvent& e : events) {
+    append_event_json(out, e);
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<JournalEvent> journal_from_jsonl(const std::string& text) {
+  std::vector<JournalEvent> events;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    JsonValue doc;
+    try {
+      doc = parse_json(line);
+    } catch (const std::exception& e) {
+      std::ostringstream msg;
+      msg << "journal jsonl line " << line_no << ": " << e.what();
+      throw JournalError(msg.str());
+    }
+    if (!doc.is_object()) {
+      std::ostringstream msg;
+      msg << "journal jsonl line " << line_no << ": not an object";
+      throw JournalError(msg.str());
+    }
+    JournalEvent e;
+    e.interval = static_cast<int>(require_number(doc, "interval", line_no));
+    const JsonValue* kind = doc.find("kind");
+    if (kind == nullptr) {
+      std::ostringstream msg;
+      msg << "journal jsonl line " << line_no << ": missing field kind";
+      throw JournalError(msg.str());
+    }
+    if (!journal_kind_from_name(kind->as_string(), &e.kind)) {
+      std::ostringstream msg;
+      msg << "journal jsonl line " << line_no << ": unknown kind '"
+          << kind->as_string() << "'";
+      throw JournalError(msg.str());
+    }
+    e.chain =
+        static_cast<std::uint64_t>(require_number(doc, "chain", line_no));
+    e.client = static_cast<ClientId>(require_number(doc, "client", line_no));
+    e.server = static_cast<ServerId>(require_number(doc, "server", line_no));
+    e.peer = static_cast<ServerId>(require_number(doc, "peer", line_no));
+    e.bytes = static_cast<Bytes>(require_number(doc, "bytes", line_no));
+    e.detail =
+        static_cast<std::int32_t>(require_number(doc, "detail", line_no));
+    e.aux = static_cast<std::int32_t>(require_number(doc, "aux", line_no));
+    e.value = require_number(doc, "value", line_no);
+    events.push_back(e);
+  }
+  return events;
+}
+
+std::string journal_encode(const std::vector<JournalEvent>& events) {
+  wire::Writer payload;
+  payload.count(events.size());
+  for (const JournalEvent& e : events) {
+    payload.i32(e.interval);
+    payload.u8(static_cast<std::uint8_t>(e.kind));
+    payload.u64(e.chain);
+    payload.i32(e.client);
+    payload.i32(e.server);
+    payload.i32(e.peer);
+    payload.i64(e.bytes);
+    payload.i32(e.detail);
+    payload.i32(e.aux);
+    payload.f64(e.value);
+  }
+  return wire::frame(kJournalMagic, kJournalVersion, payload.bytes());
+}
+
+std::vector<JournalEvent> journal_decode(const std::string& bytes) {
+  try {
+    wire::Reader r =
+        wire::unframe(bytes, kJournalMagic, kJournalVersion, "journal");
+    // Per-event wire size: 4+1+8+4+4+4+8+4+4+8 bytes.
+    std::vector<JournalEvent> events(r.count(49));
+    for (JournalEvent& e : events) {
+      e.interval = r.i32();
+      const std::uint8_t kind = r.u8();
+      if (kind > static_cast<std::uint8_t>(JournalEventKind::kCheckpointResume))
+        throw wire::WireError("journal: event kind out of range");
+      e.kind = static_cast<JournalEventKind>(kind);
+      e.chain = r.u64();
+      e.client = r.i32();
+      e.server = r.i32();
+      e.peer = r.i32();
+      e.bytes = r.i64();
+      e.detail = r.i32();
+      e.aux = r.i32();
+      e.value = r.f64();
+    }
+    if (!r.done())
+      throw wire::WireError("journal: trailing bytes after the last event");
+    return events;
+  } catch (const wire::WireError& e) {
+    throw JournalError(e.what());
+  }
+}
+
+bool journal_is_binary(const std::string& bytes) {
+  if (bytes.size() < 8) return false;
+  for (std::size_t i = 0; i < 8; ++i)
+    if (bytes[i] != kJournalMagic[i]) return false;
+  return true;
+}
+
+}  // namespace perdnn::obs

@@ -1,0 +1,191 @@
+// Bounded, deterministic structured event journal: the explainability layer
+// under the simulator. Components on the serial control path record typed
+// events — attach/detach, the migration lifecycle, fault apply/clear, cache
+// churn, degraded-estimation and local-fallback decisions — each stamped
+// with the sim interval (never wall clock) and a causal chain id linking
+// one client's attach -> plan -> upload -> serve path end to end.
+//
+// Determinism contract: every record() call sits on the serial control path
+// of the simulation (worker threads never record), so the journal is
+// byte-identical across thread counts and the fastpath toggle, and its
+// state travels through checkpoints so a resumed run reproduces the
+// uninterrupted journal exactly. Checkpoint save/resume markers would break
+// that identity (an uninterrupted run has no resume marker), so they live
+// in a separate meta-event list excluded from export and snapshots.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace perdnn::obs {
+
+enum class JournalEventKind : std::uint8_t {
+  kAttach = 0,         // client attached to server (starts a new chain)
+  kDetach,             // detail: DetachReason
+  kPlan,               // upload plan computed; detail: PlanClass, aux: #pending
+  kDegradedPlan,       // plan computed from stale telemetry; aux: #pending
+  kColdServe,          // cold-window queries served; aux: #queries, value: latency_s
+  kLocalFallback,      // queries ran on-device; aux: #queries, value: latency_s
+  kMigrationPlanned,   // proactive push decided; peer: target, aux: #layers
+  kMigrationPushed,    // bytes delivered to peer; aux: #layers delivered
+  kMigrationDeferred,  // parked for retry; detail: attempts, aux: next attempt
+  kMigrationRetried,   // came up for retry; detail: attempts
+  kMigrationDropped,   // abandoned; detail: attempts, aux: DropReason
+  kFaultApplied,       // detail: FaultCode, aux: duration, value: severity
+  kFaultCleared,       // detail: FaultCode
+  kCacheStore,         // layers added on server; aux: #new layers
+  kCacheTouch,         // TTL refreshed for a client's entry
+  kCacheEvict,         // entry erased (crash wipe); aux: #layers
+  kCacheExpire,        // entry aged out of TTL; aux: #layers
+  kCheckpointSave,     // meta only: checkpoint captured after this interval
+  kCheckpointResume,   // meta only: run resumed at this interval
+};
+
+/// Stable lower_snake_case name used in JSONL and by perdnn_obs filters.
+const char* journal_kind_name(JournalEventKind kind);
+
+/// Inverse of journal_kind_name; returns false on an unknown name.
+bool journal_kind_from_name(const std::string& name, JournalEventKind* out);
+
+/// `detail` codes for kDetach.
+enum DetachReason : std::int32_t {
+  kDetachMoved = 0,        // handover to another server
+  kDetachTraceEnd = 1,     // trajectory ended
+  kDetachCrash = 2,        // attached server crashed
+  kDetachDisconnect = 3,   // scripted client disconnect
+  kDetachUnreachable = 4,  // no server in range
+};
+
+/// `detail` codes for kPlan (the cache-outcome class of the attach).
+enum PlanClass : std::int32_t {
+  kPlanHit = 0,      // every needed layer cached
+  kPlanPartial = 1,  // some layers cached
+  kPlanMiss = 2,     // nothing cached
+};
+
+/// `detail` codes for kFaultApplied / kFaultCleared.
+enum FaultCode : std::int32_t {
+  kFaultServerCrash = 0,
+  kFaultBackhaulDegrade = 1,
+  kFaultTelemetryDropout = 2,
+  kFaultClientDisconnect = 3,
+};
+
+/// `aux` codes for kMigrationDropped.
+enum DropReason : std::int32_t {
+  kDropRetryBudget = 0,  // outlived max_attempts
+  kDropDissolved = 1,    // layers arrived by other means; nothing left to send
+};
+
+/// One journal record. Fixed shape: unused fields keep their defaults so
+/// the wire and JSONL encodings stay uniform. `detail`/`aux` are
+/// kind-specific discriminants (see the per-kind comments above); `value`
+/// carries latencies, severities and link factors.
+struct JournalEvent {
+  int interval = 0;
+  JournalEventKind kind = JournalEventKind::kAttach;
+  std::uint64_t chain = 0;  // 0 = not part of any client chain
+  ClientId client = -1;
+  ServerId server = kNoServer;
+  ServerId peer = kNoServer;
+  Bytes bytes = 0;
+  std::int32_t detail = 0;
+  std::int32_t aux = 0;
+  double value = 0.0;
+
+  bool operator==(const JournalEvent&) const = default;
+};
+
+/// Checkpointable journal state (core events only — meta markers excluded
+/// by design; see the header comment).
+struct JournalState {
+  std::vector<JournalEvent> events;
+  std::uint64_t next_chain = 1;
+  std::uint64_t dropped = 0;
+  /// Client -> chain id of its most recent attach, sorted by client so the
+  /// snapshot encoding is canonical.
+  std::vector<std::pair<ClientId, std::uint64_t>> client_chains;
+};
+
+/// Thrown by the binary decoder and the JSONL parser on malformed input.
+class JournalError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Journal {
+ public:
+  /// Keep-first bound: once `capacity` events are stored, further records
+  /// are counted in dropped() but not stored. The early events are the
+  /// ones that explain later state, so they win.
+  static constexpr std::size_t kDefaultCapacity = 1 << 20;
+
+  explicit Journal(std::size_t capacity = kDefaultCapacity);
+
+  /// Starts a new causal chain for `client` (chains are numbered from 1 in
+  /// record order) and remembers it as the client's current chain.
+  std::uint64_t begin_chain(ClientId client);
+
+  /// Current chain of `client`, or 0 if it never attached. The binding
+  /// survives detach so fallback events still link to the last attach.
+  std::uint64_t chain_of(ClientId client) const;
+
+  /// Appends a core event. If `event.chain` is 0 and `event.client` is a
+  /// real client, the chain is auto-filled from the client's current chain.
+  void record(JournalEvent event);
+
+  /// Appends a meta event (checkpoint save/resume markers). Meta events
+  /// are excluded from events(), write_jsonl(), encode() and state().
+  void record_meta(JournalEvent event);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t dropped() const;
+
+  std::vector<JournalEvent> events() const;
+  std::vector<JournalEvent> meta_events() const;
+
+  JournalState state() const;
+  void restore(const JournalState& state);
+  void clear();
+
+  /// One JSON object per line, every field always present, kind by name.
+  void write_jsonl(std::ostream& out) const;
+
+  /// Compact binary form: PDNNJNL1-framed (common/wire.hpp).
+  std::string encode() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::vector<JournalEvent> events_;
+  std::vector<JournalEvent> meta_events_;
+  std::uint64_t next_chain_ = 1;
+  std::uint64_t dropped_ = 0;
+  std::vector<std::pair<ClientId, std::uint64_t>> client_chains_;
+};
+
+/// Serializes `events` as JSONL (the exact format write_jsonl streams).
+std::string journal_to_jsonl(const std::vector<JournalEvent>& events);
+
+/// Parses JSONL produced by write_jsonl / journal_to_jsonl. Blank lines
+/// and `#` comment lines are skipped. Throws JournalError with the line
+/// number on malformed input.
+std::vector<JournalEvent> journal_from_jsonl(const std::string& text);
+
+/// Binary codec over the shared wire framing (magic PDNNJNL1).
+std::string journal_encode(const std::vector<JournalEvent>& events);
+std::vector<JournalEvent> journal_decode(const std::string& bytes);
+
+/// True when `bytes` starts with the binary journal magic — used by
+/// perdnn_obs to auto-detect binary vs JSONL inputs.
+bool journal_is_binary(const std::string& bytes);
+
+}  // namespace perdnn::obs

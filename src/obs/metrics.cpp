@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <functional>
+#include <limits>
 #include <thread>
 
 #include "common/check.hpp"
@@ -119,7 +121,9 @@ double Histogram::mean() const {
 double Histogram::quantile(double q) const {
   PERDNN_CHECK(q >= 0.0 && q <= 1.0);
   const Merged m = merge();
-  if (m.snap.count == 0) return 0.0;
+  // An empty distribution has no quantiles; 0.0 would be indistinguishable
+  // from a real all-zero sample stream.
+  if (m.snap.count == 0) return std::numeric_limits<double>::quiet_NaN();
   // percentile() sorts, so the exact path is independent of shard order.
   if (m.exact) return percentile(m.samples, q * 100.0);
 
@@ -252,12 +256,17 @@ std::string Registry::to_json() const {
                              snap.count ? snap.sum /
                                               static_cast<double>(snap.count)
                                         : 0.0));
-          m.emplace_back("p50",
-                         JsonValue::make_number(s.histogram->quantile(0.5)));
-          m.emplace_back("p90",
-                         JsonValue::make_number(s.histogram->quantile(0.9)));
-          m.emplace_back("p99",
-                         JsonValue::make_number(s.histogram->quantile(0.99)));
+          // JSON has no NaN literal: an empty histogram exports 0.0 for the
+          // quantile fields (count==0 already marks them as meaningless).
+          m.emplace_back("p50", JsonValue::make_number(
+                                    snap.count ? s.histogram->quantile(0.5)
+                                               : 0.0));
+          m.emplace_back("p90", JsonValue::make_number(
+                                    snap.count ? s.histogram->quantile(0.9)
+                                               : 0.0));
+          m.emplace_back("p99", JsonValue::make_number(
+                                    snap.count ? s.histogram->quantile(0.99)
+                                               : 0.0));
           std::vector<JsonValue> buckets;
           for (std::size_t b = 0; b < snap.counts.size(); ++b) {
             if (snap.counts[b] == 0) continue;  // sparse export
@@ -284,6 +293,117 @@ std::string Registry::to_json() const {
   doc.emplace_back("histograms",
                    JsonValue::make_array(std::move(histograms)));
   return JsonValue::make_object(std::move(doc)).serialize();
+}
+
+namespace {
+
+/// `perdnn_` + the metric name with every character outside [a-zA-Z0-9_]
+/// replaced by '_' (Prometheus metric names cannot contain '.').
+std::string prom_name(const std::string& name) {
+  std::string out = "perdnn_";
+  for (const char ch : name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_';
+    out.push_back(ok ? ch : '_');
+  }
+  return out;
+}
+
+/// Label-value escaping per the text exposition format: backslash, double
+/// quote and newline.
+std::string prom_escape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char ch : value) {
+    switch (ch) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(ch);
+    }
+  }
+  return out;
+}
+
+/// `{k1="v1",k2="v2"}` (labels already sorted by key), plus an optional
+/// trailing `le` label for histogram buckets. Empty when there is nothing
+/// to render.
+std::string prom_labels(const Labels& labels, const std::string& le = {}) {
+  if (labels.empty() && le.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const Label& l : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += l.key;
+    out += "=\"";
+    out += prom_escape(l.value);
+    out.push_back('"');
+  }
+  if (!le.empty()) {
+    if (!first) out.push_back(',');
+    out += "le=\"";
+    out += le;
+    out.push_back('"');
+  }
+  out.push_back('}');
+  return out;
+}
+
+std::string prom_number(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string Registry::to_prometheus() const {
+  std::string out;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string last_family;  // one # TYPE line per family, series are sorted
+  for (const auto& [key, s] : series_) {
+    const std::string family = prom_name(s.name);
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        if (family != last_family)
+          out += "# TYPE " + family + " counter\n";
+        out += family + prom_labels(s.labels) + " " +
+               prom_number(s.counter->value()) + "\n";
+        break;
+      case MetricKind::kGauge:
+        if (family != last_family)
+          out += "# TYPE " + family + " gauge\n";
+        out += family + prom_labels(s.labels) + " " +
+               prom_number(s.gauge->value()) + "\n";
+        break;
+      case MetricKind::kHistogram: {
+        if (family != last_family)
+          out += "# TYPE " + family + " histogram\n";
+        const HistogramSnapshot snap = s.histogram->snapshot();
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < snap.counts.size(); ++b) {
+          cumulative += snap.counts[b];
+          if (snap.counts[b] == 0 && b + 1 < snap.counts.size())
+            continue;  // sparse: always emit the +Inf terminator
+          const std::string le = b < snap.bounds.size()
+                                     ? prom_number(snap.bounds[b])
+                                     : std::string("+Inf");
+          out += family + "_bucket" + prom_labels(s.labels, le) + " " +
+                 prom_number(static_cast<double>(cumulative)) + "\n";
+        }
+        out += family + "_sum" + prom_labels(s.labels) + " " +
+               prom_number(snap.sum) + "\n";
+        out += family + "_count" + prom_labels(s.labels) + " " +
+               prom_number(static_cast<double>(snap.count)) + "\n";
+        break;
+      }
+    }
+    last_family = family;
+  }
+  return out;
 }
 
 void Registry::reset() {

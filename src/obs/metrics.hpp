@@ -100,7 +100,11 @@ class Histogram {
   double mean() const;
 
   /// q in [0, 1]. Exact while the sample reservoirs hold every observation,
-  /// bucket-interpolated afterwards; 0 when empty.
+  /// bucket-interpolated afterwards. NaN when the histogram is empty — an
+  /// empty distribution has no quantiles, and 0 is a legitimate sample
+  /// value (the previous behaviour made the two indistinguishable). Shards
+  /// that never recorded are skipped by the merge, so a histogram touched
+  /// by only some threads still answers exactly.
   double quantile(double q) const;
 
   HistogramSnapshot snapshot() const;
@@ -153,6 +157,14 @@ class Registry {
   ///  "histograms":[{name,labels,count,sum,min,max,mean,p50,p90,p99,
   ///                 buckets:[{le,count}...]}...]}
   std::string to_json() const;
+
+  /// Prometheus text exposition format (version 0.0.4): one `# TYPE` line
+  /// per family, then one sample line per series. Metric names are mangled
+  /// to `perdnn_<name with non-alphanumerics as '_'>`; label values are
+  /// escaped per the format rules. Histograms export cumulative
+  /// `_bucket{le=...}` series (ending at `le="+Inf"`) plus `_sum` and
+  /// `_count`. Deterministic: same ordering contract as to_json().
+  std::string to_prometheus() const;
 
   /// Drops every series (tests; CLI before a run).
   void reset();

@@ -36,6 +36,16 @@ void SimTimeseries::restore(int num_servers, double interval_length_s,
   rows_ = std::move(rows);
 }
 
+void SimTimeseries::set_model(std::string model_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  model_ = std::move(model_name);
+}
+
+std::string SimTimeseries::model() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return model_;
+}
+
 void SimTimeseries::begin_interval(int interval_index) {
   std::lock_guard<std::mutex> lock(mu_);
   PERDNN_CHECK_MSG(!interval_open_, "previous interval still open");
@@ -185,12 +195,33 @@ const char* SimTimeseries::csv_header() {
          "deferred_bytes,degraded";
 }
 
+std::string SimTimeseries::csv_quote(const std::string& value) {
+  bool needs_quotes = false;
+  for (const char ch : value)
+    if (ch == ',' || ch == '"' || ch == '\n' || ch == '\r' || ch == '#')
+      needs_quotes = true;
+  if (!value.empty() && (value.front() == ' ' || value.back() == ' '))
+    needs_quotes = true;
+  if (!needs_quotes) return value;
+  std::string out = "\"";
+  for (const char ch : value) {
+    if (ch == '"') out.push_back('"');  // RFC 4180: double embedded quotes
+    out.push_back(ch);
+  }
+  out.push_back('"');
+  return out;
+}
+
 void SimTimeseries::write_csv(std::ostream& out) const {
   std::vector<TimeseriesRow> rows;
+  std::string model;
   {
     std::lock_guard<std::mutex> lock(mu_);
     rows = rows_;
+    model = model_;
   }
+  out << "# schema=" << kCsvSchemaVersion << '\n';
+  if (!model.empty()) out << "# model=" << csv_quote(model) << '\n';
   out << csv_header() << '\n';
   for (const TimeseriesRow& r : rows) {
     out << r.interval << ',' << r.server << ',' << r.attached << ','
@@ -208,11 +239,13 @@ void SimTimeseries::write_csv(std::ostream& out) const {
 
 std::string SimTimeseries::to_json() const {
   std::vector<TimeseriesRow> rows;
+  std::string model;
   int num_servers;
   double interval_length;
   {
     std::lock_guard<std::mutex> lock(mu_);
     rows = rows_;
+    model = model_;
     num_servers = num_servers_;
     interval_length = interval_length_s_;
   }
@@ -255,6 +288,8 @@ std::string SimTimeseries::to_json() const {
     items.push_back(JsonValue::make_object(std::move(m)));
   }
   std::vector<std::pair<std::string, JsonValue>> doc;
+  doc.emplace_back("schema", JsonValue::make_number(kCsvSchemaVersion));
+  doc.emplace_back("model", JsonValue::make_string(model));
   doc.emplace_back("interval_length_s",
                    JsonValue::make_number(interval_length));
   doc.emplace_back("num_servers", JsonValue::make_number(num_servers));

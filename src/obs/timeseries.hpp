@@ -14,10 +14,13 @@
 //   sum(uplink_bytes)                == sum(downlink_bytes)
 //
 // Export formats:
-//   CSV  — one header line, one line per (interval, server), rows ordered
-//          by interval then server (deterministic across runs).
-//   JSON — {"interval_length_s","num_servers","num_intervals","rows":[...]}
-//          with the same ordering.
+//   CSV  — `# schema=N` (and `# model=...` when set) comment lines, one
+//          header line, one line per (interval, server), rows ordered by
+//          interval then server (deterministic across runs). String
+//          metadata (model/server names) is RFC-4180-quoted so names with
+//          commas or quotes cannot misalign downstream column parsers.
+//   JSON — {"schema","model","interval_length_s","num_servers",
+//          "num_intervals","rows":[...]} with the same ordering.
 //
 // Thread-safe: the record hooks take an internal mutex (the simulator is
 // single-threaded today, but benches may parallelise policy runs).
@@ -69,8 +72,19 @@ struct TimeseriesRow {
 
 class SimTimeseries {
  public:
+  /// Bumped whenever the CSV column set or header layout changes, and
+  /// announced by the `# schema=N` comment line so downstream parsers can
+  /// refuse rather than silently misalign columns.
+  static constexpr int kCsvSchemaVersion = 2;
+
   /// Must be called before the first interval. Resets prior state.
   void start(int num_servers, double interval_length_s);
+
+  /// Optional metadata: the DNN model name the run simulated. Survives
+  /// start()/restore() so it can be set once before the run; exported as a
+  /// quoted `# model=` comment line and a JSON field.
+  void set_model(std::string model_name);
+  std::string model() const;
 
   /// Re-primes the recorder from checkpointed rows so a resumed simulation
   /// can append interval `next_interval` as if the run never stopped.
@@ -123,12 +137,19 @@ class SimTimeseries {
   /// Column order of write_csv, comma-joined in the header line.
   static const char* csv_header();
 
+  /// RFC-4180 quoting for string fields in CSV output (model and server
+  /// names): wraps the value in double quotes and doubles embedded quotes
+  /// whenever it contains a comma, quote, newline, '#' or leading/trailing
+  /// space — plain identifiers pass through untouched.
+  static std::string csv_quote(const std::string& value);
+
   void write_csv(std::ostream& out) const;
   void write_json(std::ostream& out) const;
   std::string to_json() const;
 
  private:
   mutable std::mutex mu_;
+  std::string model_;  // optional; not reset by start()/restore()
   int num_servers_ = 0;
   double interval_length_s_ = 0.0;
   int current_interval_ = -1;

@@ -11,6 +11,7 @@
 #include "device/device_profile.hpp"
 #include "estimation/estimate_cache.hpp"
 #include "faults/fault_timeline.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
@@ -209,10 +210,11 @@ struct LoadLevelCache {
 class SimulatorImpl {
  public:
   SimulatorImpl(const SimulationConfig& config, const SimulationWorld& world,
-                obs::SimTimeseries* timeseries)
+                obs::SimTimeseries* timeseries, obs::Journal* journal)
       : config_(config),
         world_(world),
         timeseries_(timeseries),
+        journal_(journal),
         rng_(config.seed ^ 0x5eedf00dULL),
         link_rng_(config.seed ^ 0x11bb77aaULL),
         traffic_(world.servers.num_servers(), world.interval),
@@ -248,6 +250,12 @@ class SimulatorImpl {
           world.servers.num_servers(), num_intervals_, config.seed);
     timeline_ = FaultTimeline(plan, world.servers.num_servers(),
                               static_cast<int>(clients_.size()));
+    fault_plan_ = std::move(plan);
+    if (journal_ != nullptr) {
+      dispatcher_.set_journal(journal_);
+      for (ServerId s = 0; s < world.servers.num_servers(); ++s)
+        caches_[static_cast<std::size_t>(s)].set_journal(journal_, s);
+    }
     // Pre-size canonical order lookup: position of each layer in the order.
     order_rank_.assign(
         static_cast<std::size_t>(world.model.num_layers()), -1);
@@ -263,6 +271,7 @@ class SimulatorImpl {
   /// the (expensive, pure) query-loop evaluation runs later in a parallel
   /// region, and its results merge back in attach order.
   struct ColdJob {
+    ClientId client = -1;
     ServerId sid = kNoServer;
     const LoadLevelCache* lvl = nullptr;  // stable: map values never move
     std::vector<bool> initial_mask;
@@ -292,9 +301,11 @@ class SimulatorImpl {
   snapshot::SimSnapshot capture(int next_interval) const;
   void handle_attach(ClientId c, ServerId sid, int interval_index);
   /// Evaluates every ColdJob queued by this interval's attach pass in
-  /// parallel and folds the results into metrics_/timeseries_ in submission
-  /// (client) order — bit-identical to the serial interleaving.
-  void flush_cold_jobs();
+  /// parallel and folds the results into metrics_/timeseries_/journal_ in
+  /// submission (client) order — bit-identical to the serial interleaving.
+  /// Journal events are emitted here, in the serial fold, never from the
+  /// worker threads.
+  void flush_cold_jobs(int interval_index);
   void advance_uploads(int interval_index);
   void proactive_migration(int interval_index);
   /// Opens this interval's scripted fault windows: crashes wipe caches and
@@ -345,6 +356,10 @@ class SimulatorImpl {
   const SimulationConfig& config_;
   const SimulationWorld& world_;
   obs::SimTimeseries* timeseries_;  // may be null (recording disabled)
+  obs::Journal* journal_;           // may be null (journaling disabled)
+  /// The effective fault schedule (scripted plan or compiled legacy
+  /// crashes), kept for journaling fault apply/clear events.
+  FaultPlan fault_plan_;
   Rng rng_;
   Rng link_rng_;  // dedicated stream: jitter draws must not shift the
                   // stats/plan caches of non-jittered runs
@@ -573,7 +588,7 @@ SimulatorImpl::ColdResult SimulatorImpl::cold_window_queries(
   return result;
 }
 
-void SimulatorImpl::flush_cold_jobs() {
+void SimulatorImpl::flush_cold_jobs(int interval_index) {
   if (cold_jobs_.empty()) return;
   const auto results =
       par::parallel_map(cold_jobs_.size(), [&](std::size_t i) {
@@ -585,6 +600,14 @@ void SimulatorImpl::flush_cold_jobs() {
     if (timeseries_ != nullptr)
       timeseries_->record_cold_queries(cold_jobs_[i].sid, results[i].queries,
                                        results[i].latency_sum);
+    if (journal_ != nullptr)
+      journal_->record({.interval = interval_index,
+                        .kind = obs::JournalEventKind::kColdServe,
+                        .client = cold_jobs_[i].client,
+                        .server = cold_jobs_[i].sid,
+                        .detail = static_cast<std::int32_t>(results[i].routed),
+                        .aux = static_cast<std::int32_t>(results[i].queries),
+                        .value = results[i].latency_sum});
   }
   cold_jobs_.clear();
 }
@@ -606,6 +629,22 @@ void SimulatorImpl::handle_attach(ClientId c, ServerId sid,
                 0.3, 2.0)
           : 1.0;
   ++metrics_.server_changes;
+  if (journal_ != nullptr) {
+    if (previous != kNoServer)
+      journal_->record({.interval = interval_index,
+                        .kind = obs::JournalEventKind::kDetach,
+                        .client = c,
+                        .server = previous,
+                        .detail = obs::kDetachMoved});
+    // Every attach opens a fresh causal chain; all later events stamped
+    // with this client's id join it until the next attach.
+    journal_->begin_chain(c);
+    journal_->record({.interval = interval_index,
+                      .kind = obs::JournalEventKind::kAttach,
+                      .client = c,
+                      .server = sid,
+                      .value = client.link_factor});
+  }
 
   LayerCache& cache = caches_[static_cast<std::size_t>(sid)];
   if (config_.policy == MigrationPolicy::kNone) {
@@ -661,11 +700,28 @@ void SimulatorImpl::handle_attach(ClientId c, ServerId sid,
                                is_miss ? 1 : 0);
 
   client.pending = order_by_canonical(std::move(missing));
+  if (journal_ != nullptr) {
+    Bytes plan_bytes = 0;
+    for (LayerId id : client.pending)
+      plan_bytes += model.layer(id).weight_bytes;
+    journal_->record({.interval = interval_index,
+                      .kind = degraded
+                                  ? obs::JournalEventKind::kDegradedPlan
+                                  : obs::JournalEventKind::kPlan,
+                      .client = c,
+                      .server = sid,
+                      .bytes = plan_bytes,
+                      .detail = is_hit ? obs::kPlanHit
+                                       : (is_miss ? obs::kPlanMiss
+                                                  : obs::kPlanPartial),
+                      .aux = static_cast<std::int32_t>(client.pending.size())});
+  }
   // Mask the execution sees initially: any cached layer may be used, the
   // plan decides. The routed path (if enabled) competes per query. The
   // query-window evaluation itself is deferred: it is pure given the state
   // frozen here, so flush_cold_jobs() fans it out after the attach pass.
-  cold_jobs_.push_back({.sid = sid,
+  cold_jobs_.push_back({.client = c,
+                        .sid = sid,
                         .lvl = &lvl,
                         .initial_mask = std::move(available),
                         .pending = client.pending,
@@ -706,14 +762,55 @@ bool SimulatorImpl::is_down(ServerId sid, int interval_index) const {
 
 void SimulatorImpl::apply_faults(int interval_index) {
   if (timeline_.empty()) return;
+  if (journal_ != nullptr) {
+    // The plan is sorted by (at_interval, ...); its size is tiny relative
+    // to the interval count, so a linear scan per interval is fine.
+    for (const FaultEvent& ev : fault_plan_.events()) {
+      const auto code = static_cast<std::int32_t>(ev.kind);
+      if (ev.at_interval == interval_index)
+        journal_->record({.interval = interval_index,
+                          .kind = obs::JournalEventKind::kFaultApplied,
+                          .client = ev.client,
+                          .server = ev.server,
+                          .peer = ev.peer,
+                          .detail = code,
+                          .aux = ev.duration_intervals,
+                          .value = ev.severity});
+      if (ev.at_interval + ev.duration_intervals == interval_index)
+        journal_->record({.interval = interval_index,
+                          .kind = obs::JournalEventKind::kFaultCleared,
+                          .client = ev.client,
+                          .server = ev.server,
+                          .peer = ev.peer,
+                          .detail = code});
+    }
+  }
   for (ServerId s : timeline_.crashes_starting_at(interval_index)) {
     ++metrics_.server_failures;
     obs::count("sim.fault.server_crashes");
     // The crash loses every cached layer on the node...
+    if (journal_ != nullptr) {
+      for (const LayerCache::EntrySnapshot& e :
+           caches_[static_cast<std::size_t>(s)].export_entries())
+        journal_->record({.interval = interval_index,
+                          .kind = obs::JournalEventKind::kCacheEvict,
+                          .client = e.client,
+                          .server = s,
+                          .aux = static_cast<std::int32_t>(e.layers.size())});
+    }
     caches_[static_cast<std::size_t>(s)] = LayerCache(config_.ttl_intervals);
+    if (journal_ != nullptr)
+      caches_[static_cast<std::size_t>(s)].set_journal(journal_, s);
     // ...and drops its clients, who re-attach (cold) next placement pass.
-    for (auto& client : clients_) {
+    for (ClientId c = 0; c < static_cast<ClientId>(clients_.size()); ++c) {
+      ClientState& client = clients_[static_cast<std::size_t>(c)];
       if (client.current != s) continue;
+      if (journal_ != nullptr)
+        journal_->record({.interval = interval_index,
+                          .kind = obs::JournalEventKind::kDetach,
+                          .client = c,
+                          .server = s,
+                          .detail = obs::kDetachCrash});
       client.current = kNoServer;
       client.pending.clear();
       client.carry_bytes = 0;
@@ -726,6 +823,12 @@ void SimulatorImpl::apply_faults(int interval_index) {
     obs::count("sim.fault.client_disconnects");
     ClientState& client = clients_[static_cast<std::size_t>(c)];
     if (client.current == kNoServer) continue;
+    if (journal_ != nullptr)
+      journal_->record({.interval = interval_index,
+                        .kind = obs::JournalEventKind::kDetach,
+                        .client = c,
+                        .server = client.current,
+                        .detail = obs::kDetachDisconnect});
     --attached_[static_cast<std::size_t>(client.current)];
     client.current = kNoServer;
     client.pending.clear();
@@ -790,9 +893,18 @@ SimulatorImpl::PushResult SimulatorImpl::push_layers(
   // and refreshes the receiver's TTL; only bytes that actually crossed are
   // accounted.
   result.delivered = true;
+  const auto num_sent = static_cast<std::int32_t>(send.size());
   const std::vector<LayerId> added =
       target_cache.store(c, send, interval_index);
   for (LayerId id : added) result.sent_bytes += model.layer(id).weight_bytes;
+  if (journal_ != nullptr)
+    journal_->record({.interval = interval_index,
+                      .kind = obs::JournalEventKind::kMigrationPushed,
+                      .client = c,
+                      .server = source,
+                      .peer = target,
+                      .bytes = result.sent_bytes,
+                      .aux = num_sent});
   if (result.sent_bytes > 0) {
     traffic_.record_transfer(source, target, result.sent_bytes);
     metrics_.total_migrated_bytes += result.sent_bytes;
@@ -831,6 +943,15 @@ void SimulatorImpl::retry_deferred_migrations(int interval_index) {
       if (source_mask[static_cast<std::size_t>(id)]) layers.push_back(id);
     if (layers.empty()) {
       // Nothing left to send: the order dissolves without a transfer.
+      if (journal_ != nullptr)
+        journal_->record({.interval = interval_index,
+                          .kind = obs::JournalEventKind::kMigrationDropped,
+                          .client = order.client,
+                          .server = order.source,
+                          .peer = order.target,
+                          .bytes = order.bytes,
+                          .detail = order.attempts,
+                          .aux = obs::kDropDissolved});
       dispatcher_.succeed(order);
       continue;
     }
@@ -868,7 +989,6 @@ Seconds SimulatorImpl::local_query_latency() {
 
 void SimulatorImpl::run_local_fallback(ClientId c, Point pos,
                                        int interval_index) {
-  (void)c;
   const Seconds latency = local_query_latency();
   long long queries = 0;
   Seconds now = 0.0;
@@ -881,7 +1001,7 @@ void SimulatorImpl::run_local_fallback(ClientId c, Point pos,
   metrics_.local_fallback_queries += queries;
   metrics_.local_latency_sum_s += latency_sum;
   obs::count("sim.local.queries", static_cast<double>(queries));
-  if (timeseries_ != nullptr) {
+  if (timeseries_ != nullptr || journal_ != nullptr) {
     // Attribute to the nearest server (the one the client *would* use) so
     // the rows keep reconciling with the aggregate metrics.
     ServerId sid = world_.servers.server_at(pos);
@@ -890,7 +1010,15 @@ void SimulatorImpl::run_local_fallback(ClientId c, Point pos,
           pos, world_.servers.grid().cell_radius() * 64.0);
     }
     if (sid == kNoServer) sid = 0;
-    timeseries_->record_local_queries(sid, queries, latency_sum);
+    if (timeseries_ != nullptr)
+      timeseries_->record_local_queries(sid, queries, latency_sum);
+    if (journal_ != nullptr)
+      journal_->record({.interval = interval_index,
+                        .kind = obs::JournalEventKind::kLocalFallback,
+                        .client = c,
+                        .server = sid,
+                        .aux = static_cast<std::int32_t>(queries),
+                        .value = latency_sum});
   }
 }
 
@@ -1021,6 +1149,18 @@ void SimulatorImpl::proactive_migration(int interval_index) {
       // that cannot move a byte.
       if (sendable.empty()) continue;
       sendable = order_by_canonical(std::move(sendable));
+      if (journal_ != nullptr) {
+        Bytes planned_bytes = 0;
+        for (LayerId id : sendable)
+          planned_bytes += world_.model.layer(id).weight_bytes;
+        journal_->record({.interval = interval_index,
+                          .kind = obs::JournalEventKind::kMigrationPlanned,
+                          .client = c,
+                          .server = client.current,
+                          .peer = target,
+                          .bytes = planned_bytes,
+                          .aux = static_cast<std::int32_t>(sendable.size())});
+      }
 
       // Fractional migration: crowded endpoints cap the migrated bytes to
       // the highest-efficiency prefix.
@@ -1106,6 +1246,10 @@ snapshot::SimSnapshot SimulatorImpl::capture(int next_interval) const {
     snap.has_timeseries = true;
     snap.timeseries_rows = timeseries_->rows();
   }
+  if (journal_ != nullptr) {
+    snap.has_journal = true;
+    snap.journal = journal_->state();
+  }
   return snap;
 }
 
@@ -1159,6 +1303,7 @@ void SimulatorImpl::restore_from(const snapshot::SimSnapshot& snap) {
                                snap.estimate_cache_misses);
   metrics_ = snap.metrics;
   start_interval_ = snap.next_interval;
+  if (journal_ != nullptr && snap.has_journal) journal_->restore(snap.journal);
 }
 
 SimulationMetrics SimulatorImpl::run(const SimulationRunOptions& options) {
@@ -1169,6 +1314,12 @@ SimulationMetrics SimulatorImpl::run(const SimulationRunOptions& options) {
       timeseries_->restore(world_.servers.num_servers(), world_.interval,
                            options.resume_from->timeseries_rows,
                            start_interval_);
+    // Meta event: excluded from the main stream (and from snapshots), so a
+    // resumed journal stays byte-identical to an uninterrupted one.
+    if (journal_ != nullptr)
+      journal_->record_meta(
+          {.interval = start_interval_,
+           .kind = obs::JournalEventKind::kCheckpointResume});
   } else if (timeseries_ != nullptr) {
     timeseries_->start(world_.servers.num_servers(), world_.interval);
   }
@@ -1194,6 +1345,12 @@ SimulationMetrics SimulatorImpl::run(const SimulationRunOptions& options) {
       if (k >= client.trace->points.size()) {
         // Trace ended: the client leaves the system.
         if (client.current != kNoServer) {
+          if (journal_ != nullptr)
+            journal_->record({.interval = interval_index,
+                              .kind = obs::JournalEventKind::kDetach,
+                              .client = c,
+                              .server = client.current,
+                              .detail = obs::kDetachTraceEnd});
           --attached_[static_cast<std::size_t>(client.current)];
           client.current = kNoServer;
           client.pending.clear();
@@ -1212,6 +1369,12 @@ SimulationMetrics SimulatorImpl::run(const SimulationRunOptions& options) {
         // No reachable live server (outage): graceful degradation to fully
         // local execution for this interval.
         if (client.current != kNoServer) {
+          if (journal_ != nullptr)
+            journal_->record({.interval = interval_index,
+                              .kind = obs::JournalEventKind::kDetach,
+                              .client = c,
+                              .server = client.current,
+                              .detail = obs::kDetachUnreachable});
           --attached_[static_cast<std::size_t>(client.current)];
           client.current = kNoServer;
           client.pending.clear();
@@ -1226,7 +1389,7 @@ SimulationMetrics SimulatorImpl::run(const SimulationRunOptions& options) {
     }
     // 1b) Evaluate this interval's cold-start windows in parallel; results
     //     merge in attach order.
-    flush_cold_jobs();
+    flush_cold_jobs(interval_index);
 
     // 2) Incremental uploads progress; attached entries stay fresh.
     advance_uploads(interval_index);
@@ -1264,6 +1427,10 @@ SimulationMetrics SimulatorImpl::run(const SimulationRunOptions& options) {
       if (options.capture_out != nullptr)
         *options.capture_out = std::move(snap);
       obs::count("sim.snapshot.captured");
+      if (journal_ != nullptr)
+        journal_->record_meta({.interval = interval_index,
+                               .kind = obs::JournalEventKind::kCheckpointSave,
+                               .aux = next_interval});
     }
     if (stop_here) return metrics_;  // partial: caller resumes later
   }
@@ -1310,7 +1477,7 @@ SimulationMetrics run_simulation(const SimulationConfig& config,
                                  obs::SimTimeseries* timeseries,
                                  const SimulationRunOptions& options) {
   config.validate();
-  SimulatorImpl impl(config, world, timeseries);
+  SimulatorImpl impl(config, world, timeseries, options.journal);
   return impl.run(options);
 }
 

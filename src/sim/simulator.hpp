@@ -41,6 +41,7 @@
 namespace perdnn {
 
 namespace obs {
+class Journal;
 class SimTimeseries;
 }  // namespace obs
 
@@ -278,6 +279,12 @@ struct SimulationRunOptions {
   std::string checkpoint_path;
   /// In-memory destination for the most recent capture (tests, embedding).
   snapshot::SimSnapshot* capture_out = nullptr;
+  /// Structured event journal (obs/journal.hpp). Every event is recorded on
+  /// the serial control path, so the journal is byte-identical across
+  /// thread counts, the fastpath toggle, and a checkpoint/resume split
+  /// (journal state travels through snapshots). nullptr disables journaling
+  /// and is byte-identical to a build without it.
+  obs::Journal* journal = nullptr;
 };
 
 /// Full-control variant: recording plus checkpoint/resume.

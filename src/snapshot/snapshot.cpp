@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/wire.hpp"
 #include "faults/fault_plan.hpp"
 #include "obs/json.hpp"
 
@@ -14,97 +15,11 @@ namespace {
 
 constexpr char kMagic[8] = {'P', 'D', 'N', 'N', 'S', 'N', 'P', '1'};
 
-std::uint64_t fnv1a(const char* data, std::size_t size) {
-  std::uint64_t hash = 0xcbf29ce484222325ULL;
-  for (std::size_t i = 0; i < size; ++i) {
-    hash ^= static_cast<unsigned char>(data[i]);
-    hash *= 0x100000001b3ULL;
-  }
-  return hash;
-}
-
-// -- little-endian fixed-width writer ---------------------------------------
-
-class Writer {
- public:
-  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
-  void u32(std::uint32_t v) {
-    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-  void u64(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
-  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
-  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
-  void boolean(bool v) { u8(v ? 1 : 0); }
-  void count(std::size_t n) { u64(static_cast<std::uint64_t>(n)); }
-
-  const std::string& bytes() const { return buf_; }
-
- private:
-  std::string buf_;
-};
-
-// -- bounds-checked reader ---------------------------------------------------
-
-class Reader {
- public:
-  Reader(const char* data, std::size_t size) : data_(data), size_(size) {}
-
-  std::uint8_t u8() {
-    need(1);
-    return static_cast<std::uint8_t>(data_[pos_++]);
-  }
-  std::uint32_t u32() {
-    need(4);
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i)
-      v |= static_cast<std::uint32_t>(
-               static_cast<unsigned char>(data_[pos_ + static_cast<std::size_t>(i)]))
-           << (8 * i);
-    pos_ += 4;
-    return v;
-  }
-  std::uint64_t u64() {
-    need(8);
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i)
-      v |= static_cast<std::uint64_t>(
-               static_cast<unsigned char>(data_[pos_ + static_cast<std::size_t>(i)]))
-           << (8 * i);
-    pos_ += 8;
-    return v;
-  }
-  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
-  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
-  double f64() { return std::bit_cast<double>(u64()); }
-  bool boolean() {
-    const std::uint8_t v = u8();
-    if (v > 1) throw SnapshotError("snapshot: boolean field out of range");
-    return v == 1;
-  }
-  /// Reads a vector length and sanity-checks it against the bytes left:
-  /// each element needs at least `min_elem_bytes`, so a length the payload
-  /// cannot possibly hold is rejected before any allocation.
-  std::size_t count(std::size_t min_elem_bytes) {
-    const std::uint64_t n = u64();
-    const std::size_t remaining = size_ - pos_;
-    if (min_elem_bytes > 0 && n > remaining / min_elem_bytes)
-      throw SnapshotError("snapshot: length field exceeds payload size");
-    return static_cast<std::size_t>(n);
-  }
-  bool done() const { return pos_ == size_; }
-
- private:
-  void need(std::size_t n) {
-    if (size_ - pos_ < n) throw SnapshotError("snapshot: truncated payload");
-  }
-
-  const char* data_;
-  std::size_t size_;
-  std::size_t pos_ = 0;
-};
+// The fixed-width encoding and the magic|version|size|payload|checksum
+// frame live in common/wire.hpp, shared with the event-journal codec.
+using wire::fnv1a;
+using wire::Reader;
+using wire::Writer;
 
 // -- field-group codecs ------------------------------------------------------
 
@@ -291,6 +206,59 @@ std::vector<std::vector<Bytes>> read_bytes_matrix(Reader& r) {
   return matrix;
 }
 
+void write_journal(Writer& w, const obs::JournalState& j) {
+  w.count(j.events.size());
+  for (const obs::JournalEvent& e : j.events) {
+    w.i32(e.interval);
+    w.u8(static_cast<std::uint8_t>(e.kind));
+    w.u64(e.chain);
+    w.i32(e.client);
+    w.i32(e.server);
+    w.i32(e.peer);
+    w.i64(e.bytes);
+    w.i32(e.detail);
+    w.i32(e.aux);
+    w.f64(e.value);
+  }
+  w.u64(j.next_chain);
+  w.u64(j.dropped);
+  w.count(j.client_chains.size());
+  for (const auto& [client, chain] : j.client_chains) {
+    w.i32(client);
+    w.u64(chain);
+  }
+}
+
+obs::JournalState read_journal(Reader& r) {
+  obs::JournalState j;
+  // Per-event wire size: 4+1+8+4+4+4+8+4+4+8 bytes.
+  j.events.resize(r.count(49));
+  for (obs::JournalEvent& e : j.events) {
+    e.interval = r.i32();
+    const std::uint8_t kind = r.u8();
+    if (kind >
+        static_cast<std::uint8_t>(obs::JournalEventKind::kCheckpointResume))
+      throw SnapshotError("snapshot: journal event kind out of range");
+    e.kind = static_cast<obs::JournalEventKind>(kind);
+    e.chain = r.u64();
+    e.client = r.i32();
+    e.server = r.i32();
+    e.peer = r.i32();
+    e.bytes = r.i64();
+    e.detail = r.i32();
+    e.aux = r.i32();
+    e.value = r.f64();
+  }
+  j.next_chain = r.u64();
+  j.dropped = r.u64();
+  j.client_chains.resize(r.count(12));
+  for (auto& [client, chain] : j.client_chains) {
+    client = r.i32();
+    chain = r.u64();
+  }
+  return j;
+}
+
 }  // namespace
 
 // -- config fingerprint ------------------------------------------------------
@@ -435,44 +403,14 @@ std::string encode(const SimSnapshot& snap) {
   for (const obs::TimeseriesRow& row : snap.timeseries_rows)
     write_row(payload, row);
 
-  Writer out;
-  for (char c : kMagic) out.u8(static_cast<std::uint8_t>(c));
-  out.u32(kSnapshotVersion);
-  out.u64(payload.bytes().size());
-  std::string bytes = out.bytes();
-  bytes += payload.bytes();
-  Writer checksum;
-  checksum.u64(fnv1a(payload.bytes().data(), payload.bytes().size()));
-  bytes += checksum.bytes();
-  return bytes;
+  payload.boolean(snap.has_journal);
+  write_journal(payload, snap.journal);
+
+  return wire::frame(kMagic, kSnapshotVersion, payload.bytes());
 }
 
-SimSnapshot decode(const std::string& bytes) {
-  constexpr std::size_t kHeaderSize = 8 + 4 + 8;  // magic + version + size
-  if (bytes.size() < kHeaderSize + 8)
-    throw SnapshotError("snapshot: file too small to hold a header");
-  for (std::size_t i = 0; i < 8; ++i)
-    if (bytes[i] != kMagic[i])
-      throw SnapshotError("snapshot: bad magic (not a PerDNN snapshot)");
-  Reader header(bytes.data() + 8, kHeaderSize - 8);
-  const std::uint32_t version = header.u32();
-  if (version != kSnapshotVersion) {
-    std::ostringstream msg;
-    msg << "snapshot: unsupported version " << version << " (expected "
-        << kSnapshotVersion << ")";
-    throw SnapshotError(msg.str());
-  }
-  const std::uint64_t payload_size = header.u64();
-  if (payload_size != bytes.size() - kHeaderSize - 8)
-    throw SnapshotError("snapshot: payload size mismatch (truncated file?)");
-
-  const char* payload = bytes.data() + kHeaderSize;
-  Reader trailer(bytes.data() + kHeaderSize + payload_size, 8);
-  const std::uint64_t expected_checksum = trailer.u64();
-  if (fnv1a(payload, payload_size) != expected_checksum)
-    throw SnapshotError("snapshot: checksum mismatch (corrupted payload)");
-
-  Reader r(payload, static_cast<std::size_t>(payload_size));
+SimSnapshot decode(const std::string& bytes) try {
+  Reader r = wire::unframe(bytes, kMagic, kSnapshotVersion, "snapshot");
   SimSnapshot snap;
   snap.config_fingerprint = r.u64();
   snap.next_interval = r.i32();
@@ -540,9 +478,14 @@ SimSnapshot decode(const std::string& bytes) {
   snap.timeseries_rows.resize(r.count(100));
   for (obs::TimeseriesRow& row : snap.timeseries_rows) row = read_row(r);
 
+  snap.has_journal = r.boolean();
+  snap.journal = read_journal(r);
+
   if (!r.done())
     throw SnapshotError("snapshot: trailing bytes after the last field");
   return snap;
+} catch (const wire::WireError& e) {
+  throw SnapshotError(e.what());
 }
 
 // -- file I/O ----------------------------------------------------------------

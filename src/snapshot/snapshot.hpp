@@ -43,12 +43,15 @@
 #include "edge/layer_cache.hpp"
 #include "edge/migration_dispatcher.hpp"
 #include "net/network.hpp"
+#include "obs/journal.hpp"
 #include "obs/timeseries.hpp"
 #include "sim/simulator.hpp"
 
 namespace perdnn::snapshot {
 
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// Version 2 appended the event-journal state (has_journal + JournalState)
+/// so a resumed run's journal is byte-identical to the uninterrupted one.
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 /// Thrown for every malformed-snapshot condition: bad magic, unknown
 /// version, truncation, checksum mismatch, out-of-range lengths, fingerprint
@@ -99,6 +102,12 @@ struct SimSnapshot {
   /// without these rows could not reproduce the full CSV.
   bool has_timeseries = false;
   std::vector<obs::TimeseriesRow> timeseries_rows;
+  /// Event-journal state at the checkpoint (core events, chain counter,
+  /// client->chain bindings). has_journal marks whether the checkpointed
+  /// run journaled at all; checkpoint markers themselves are meta events
+  /// and deliberately never stored (journal.hpp explains why).
+  bool has_journal = false;
+  obs::JournalState journal;
 };
 
 /// Hash of every simulation-affecting config knob plus the world's shape

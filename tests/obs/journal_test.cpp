@@ -1,0 +1,199 @@
+#include "obs/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+namespace perdnn::obs {
+namespace {
+
+JournalEvent make_event(int interval, JournalEventKind kind,
+                        ClientId client = 7) {
+  JournalEvent e;
+  e.interval = interval;
+  e.kind = kind;
+  e.client = client;
+  e.server = 3;
+  e.peer = 4;
+  e.bytes = 123456789;
+  e.detail = 2;
+  e.aux = 5;
+  e.value = 0.25;
+  return e;
+}
+
+TEST(JournalEventKindNames, RoundTripEveryKind) {
+  for (int k = 0; k <= static_cast<int>(JournalEventKind::kCheckpointResume);
+       ++k) {
+    const auto kind = static_cast<JournalEventKind>(k);
+    JournalEventKind parsed;
+    ASSERT_TRUE(journal_kind_from_name(journal_kind_name(kind), &parsed))
+        << journal_kind_name(kind);
+    EXPECT_EQ(parsed, kind);
+  }
+  JournalEventKind unused;
+  EXPECT_FALSE(journal_kind_from_name("no_such_event", &unused));
+  EXPECT_FALSE(journal_kind_from_name("", &unused));
+}
+
+TEST(JournalUnit, ChainsAreMonotoneAndAutoFilled) {
+  Journal j;
+  EXPECT_EQ(j.begin_chain(1), 1u);
+  EXPECT_EQ(j.begin_chain(2), 2u);
+  EXPECT_EQ(j.chain_of(1), 1u);
+  EXPECT_EQ(j.chain_of(2), 2u);
+  EXPECT_EQ(j.chain_of(99), 0u);  // never attached
+
+  // record() stamps the client's open chain when none is given.
+  j.record(make_event(0, JournalEventKind::kAttach, /*client=*/2));
+  EXPECT_EQ(j.events().back().chain, 2u);
+
+  // An explicit chain wins over the binding.
+  JournalEvent explicit_chain = make_event(0, JournalEventKind::kPlan, 2);
+  explicit_chain.chain = 77;
+  j.record(explicit_chain);
+  EXPECT_EQ(j.events().back().chain, 77u);
+
+  // Clientless events stay chainless.
+  j.record(make_event(1, JournalEventKind::kFaultApplied, /*client=*/-1));
+  EXPECT_EQ(j.events().back().chain, 0u);
+
+  // Re-attaching opens a fresh chain; the binding follows it.
+  EXPECT_EQ(j.begin_chain(2), 3u);
+  j.record(make_event(2, JournalEventKind::kDetach, 2));
+  EXPECT_EQ(j.events().back().chain, 3u);
+}
+
+TEST(JournalUnit, BoundedKeepsFirstEventsAndCountsDrops) {
+  Journal j(/*capacity=*/3);
+  for (int i = 0; i < 5; ++i)
+    j.record(make_event(i, JournalEventKind::kCacheTouch));
+  EXPECT_EQ(j.size(), 3u);
+  EXPECT_EQ(j.dropped(), 2u);
+  EXPECT_EQ(j.events().front().interval, 0);
+  EXPECT_EQ(j.events().back().interval, 2);  // first three kept, not last
+}
+
+TEST(JournalUnit, MetaEventsStayOutOfTheStream) {
+  // Checkpoint markers must not contaminate events()/exports/state(), or a
+  // resumed run's journal could never be byte-identical to an uninterrupted
+  // one.
+  Journal j;
+  j.record(make_event(0, JournalEventKind::kAttach));
+  j.record_meta(make_event(1, JournalEventKind::kCheckpointSave, -1));
+  j.record(make_event(1, JournalEventKind::kDetach));
+
+  EXPECT_EQ(j.size(), 2u);
+  EXPECT_EQ(j.meta_events().size(), 1u);
+  EXPECT_EQ(j.state().events.size(), 2u);
+  std::ostringstream out;
+  j.write_jsonl(out);
+  EXPECT_EQ(out.str().find("checkpoint_save"), std::string::npos);
+}
+
+TEST(JournalUnit, StateRestoreRoundTrips) {
+  Journal j;
+  j.begin_chain(1);
+  j.record(make_event(0, JournalEventKind::kAttach, 1));
+  j.record(make_event(3, JournalEventKind::kCacheStore, 1));
+  const JournalState state = j.state();
+
+  Journal restored;
+  restored.restore(state);
+  EXPECT_EQ(restored.events(), j.events());
+  EXPECT_EQ(restored.chain_of(1), j.chain_of(1));
+  // The chain counter resumes where it left off — no id reuse.
+  EXPECT_EQ(restored.begin_chain(2), 2u);
+
+  // restore() replaces prior content entirely.
+  Journal dirty;
+  dirty.begin_chain(5);
+  dirty.record(make_event(9, JournalEventKind::kDetach, 5));
+  dirty.restore(state);
+  EXPECT_EQ(dirty.events(), j.events());
+  EXPECT_EQ(dirty.chain_of(5), 0u);
+}
+
+TEST(JournalUnit, ClearResetsEverything) {
+  Journal j;
+  j.begin_chain(1);
+  j.record(make_event(0, JournalEventKind::kAttach, 1));
+  j.clear();
+  EXPECT_EQ(j.size(), 0u);
+  EXPECT_EQ(j.dropped(), 0u);
+  EXPECT_EQ(j.chain_of(1), 0u);
+  EXPECT_EQ(j.begin_chain(1), 1u);  // counter restarts
+}
+
+TEST(JournalCodec, JsonlRoundTripsEveryKind) {
+  std::vector<JournalEvent> events;
+  for (int k = 0; k <= static_cast<int>(JournalEventKind::kCheckpointResume);
+       ++k)
+    events.push_back(make_event(k, static_cast<JournalEventKind>(k)));
+  events.front().chain = 42;
+  events.front().value = -1.5e-9;  // exercise the float formatter
+
+  const std::string text = journal_to_jsonl(events);
+  EXPECT_EQ(journal_from_jsonl(text), events);
+}
+
+TEST(JournalCodec, JsonlSkipsBlankAndCommentLines) {
+  const std::vector<JournalEvent> one = {
+      make_event(0, JournalEventKind::kAttach)};
+  const std::string text =
+      "# produced by a test\n\n" + journal_to_jsonl(one) + "\n# trailer\n";
+  EXPECT_EQ(journal_from_jsonl(text), one);
+}
+
+TEST(JournalCodec, JsonlErrorsCarryLineNumbers) {
+  const std::string valid = journal_to_jsonl(
+      {make_event(0, JournalEventKind::kAttach)});  // one full line
+  try {
+    journal_from_jsonl("# fine\n" + valid + "not json\n");
+    FAIL() << "expected JournalError";
+  } catch (const JournalError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+  // Partial events and unknown kinds are rejected too.
+  EXPECT_THROW(journal_from_jsonl("{\"interval\":0,\"kind\":\"attach\"}\n"),
+               JournalError);
+  EXPECT_THROW(journal_from_jsonl("{\"interval\":0,\"kind\":\"bogus\"}\n"),
+               JournalError);
+}
+
+TEST(JournalCodec, BinaryRoundTripsAndRejectsCorruption) {
+  std::vector<JournalEvent> events;
+  for (int i = 0; i < 100; ++i)
+    events.push_back(make_event(
+        i, static_cast<JournalEventKind>(
+               i % (static_cast<int>(JournalEventKind::kCheckpointResume) +
+                    1))));
+  const std::string bytes = journal_encode(events);
+  ASSERT_TRUE(journal_is_binary(bytes));
+  EXPECT_FALSE(journal_is_binary(journal_to_jsonl(events)));
+  EXPECT_EQ(journal_decode(bytes), events);
+
+  // Truncation and bit flips must be rejected, not misparsed.
+  EXPECT_THROW(journal_decode(bytes.substr(0, bytes.size() - 1)),
+               JournalError);
+  EXPECT_THROW(journal_decode(bytes.substr(0, 10)), JournalError);
+  std::string flipped = bytes;
+  flipped[flipped.size() / 2] =
+      static_cast<char>(flipped[flipped.size() / 2] ^ 0x40);
+  EXPECT_THROW(journal_decode(flipped), JournalError);
+}
+
+TEST(JournalCodec, EncodeMatchesMemberEncode) {
+  Journal j;
+  j.begin_chain(1);
+  j.record(make_event(0, JournalEventKind::kAttach, 1));
+  EXPECT_EQ(j.encode(), journal_encode(j.events()));
+  std::ostringstream out;
+  j.write_jsonl(out);
+  EXPECT_EQ(out.str(), journal_to_jsonl(j.events()));
+}
+
+}  // namespace
+}  // namespace perdnn::obs

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -236,6 +237,81 @@ TEST_F(MetricsTest, ExportIsDeterministicAndSorted) {
   EXPECT_EQ(counters[2].find("name")->as_string(), "m.mid");
   EXPECT_EQ(counters[2].find("labels")->find("server")->as_string(), "2");
   EXPECT_EQ(counters[3].find("name")->as_string(), "z.last");
+}
+
+TEST_F(MetricsTest, EmptyHistogramQuantileIsNaN) {
+  // An empty histogram has no order statistics: every quantile is NaN,
+  // consistently across the exact-reservoir and streaming paths.
+  Histogram& fresh = Registry::global().histogram("test.empty");
+  for (double q : {0.0, 0.5, 0.99, 1.0})
+    EXPECT_TRUE(std::isnan(fresh.quantile(q))) << "q=" << q;
+  Histogram streaming({1.0, 2.0}, /*max_exact_samples=*/0);
+  EXPECT_TRUE(std::isnan(streaming.quantile(0.5)));
+  // ...but count/sum/mean stay well-defined zeros.
+  EXPECT_EQ(fresh.count(), 0u);
+  EXPECT_DOUBLE_EQ(fresh.sum(), 0.0);
+}
+
+TEST_F(MetricsTest, MergeOnReadHandlesEmptyShards) {
+  // Observations from one thread land on that thread's shard; the other
+  // shards stay empty, and the merge must ignore them rather than fold
+  // their sentinel min/max into the aggregates.
+  Histogram& h = Registry::global().histogram("test.one_shard");
+  h.observe(0.004);
+  h.observe(0.006);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.010);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_DOUBLE_EQ(snap.min, 0.004);
+  EXPECT_DOUBLE_EQ(snap.max, 0.006);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.004);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.006);
+}
+
+TEST_F(MetricsTest, EmptyHistogramExportsFiniteJson) {
+  // to_json must keep emitting parseable output (no bare NaN tokens) even
+  // when a histogram family exists but never saw a sample.
+  Registry::global().histogram("test.empty_json");
+  const JsonValue doc = parse_json(Registry::global().to_json());
+  const auto& histos = doc.find("histograms")->items();
+  ASSERT_EQ(histos.size(), 1u);
+  EXPECT_EQ(histos[0].find("count")->as_number(), 0.0);
+  EXPECT_EQ(histos[0].find("p50")->as_number(), 0.0);
+}
+
+TEST_F(MetricsTest, PrometheusExportShapesAllKinds) {
+  count("sim.attaches", 3.0);
+  count("sim.attaches", 2.0, {{"server", "1"}});
+  set_gauge("sim.load", 0.5, {{"server", "a\"b\\c"}});
+  Histogram& h = Registry::global().histogram(
+      "sim.latency", {}, {0.001, 0.01, 0.1});
+  h.observe(0.005);
+  h.observe(0.005);
+  h.observe(0.05);
+
+  const std::string text = Registry::global().to_prometheus();
+  // Names are prefixed and sanitised; one TYPE line per family.
+  EXPECT_NE(text.find("# TYPE perdnn_sim_attaches counter\n"),
+            std::string::npos);
+  EXPECT_EQ(text.find("# TYPE perdnn_sim_attaches counter",
+                      text.find("# TYPE perdnn_sim_attaches counter") + 1),
+            std::string::npos);
+  EXPECT_NE(text.find("perdnn_sim_attaches 3\n"), std::string::npos);
+  EXPECT_NE(text.find("perdnn_sim_attaches{server=\"1\"} 2\n"),
+            std::string::npos);
+  // Label values escape backslash and quote.
+  EXPECT_NE(text.find("perdnn_sim_load{server=\"a\\\"b\\\\c\"} 0.5\n"),
+            std::string::npos);
+  // Histogram: cumulative buckets ending at +Inf, plus _sum and _count.
+  EXPECT_NE(text.find("# TYPE perdnn_sim_latency histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("perdnn_sim_latency_bucket{le=\"0.01\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("perdnn_sim_latency_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("perdnn_sim_latency_count 3\n"), std::string::npos);
+  // Deterministic output.
+  EXPECT_EQ(text, Registry::global().to_prometheus());
 }
 
 TEST_F(MetricsTest, ResetDropsEverything) {

@@ -93,7 +93,11 @@ TEST(SimTimeseriesUnit, CsvShapeMatchesHeader) {
 
   std::istringstream lines(csv);
   std::string line;
+  // Comment lines (schema/model metadata) precede the header.
   ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, "# schema=2");
+  while (!line.empty() && line.front() == '#')
+    ASSERT_TRUE(std::getline(lines, line));
   EXPECT_EQ(line, SimTimeseries::csv_header());
   const std::size_t columns =
       static_cast<std::size_t>(
@@ -205,7 +209,44 @@ TEST_F(TimeseriesSimTest, CsvHasHeaderPlusOneLinePerRow) {
   ts.write_csv(out);
   const std::string csv = out.str();
   const long lines = std::count(csv.begin(), csv.end(), '\n');
-  EXPECT_EQ(lines, static_cast<long>(ts.rows().size()) + 1);
+  // schema comment + header + one line per row (no model set here).
+  EXPECT_EQ(lines, static_cast<long>(ts.rows().size()) + 2);
+}
+
+TEST(SimTimeseriesUnit, CsvQuoteFollowsRfc4180) {
+  // Plain identifiers pass through untouched.
+  EXPECT_EQ(SimTimeseries::csv_quote("mobilenet"), "mobilenet");
+  EXPECT_EQ(SimTimeseries::csv_quote(""), "");
+  // Commas, quotes, newlines, '#' and edge whitespace force quoting, with
+  // embedded quotes doubled.
+  EXPECT_EQ(SimTimeseries::csv_quote("a,b"), "\"a,b\"");
+  EXPECT_EQ(SimTimeseries::csv_quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(SimTimeseries::csv_quote("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(SimTimeseries::csv_quote("#comment"), "\"#comment\"");
+  EXPECT_EQ(SimTimeseries::csv_quote(" padded "), "\" padded \"");
+}
+
+TEST(SimTimeseriesUnit, ModelMetadataSurvivesStartAndExports) {
+  SimTimeseries ts;
+  ts.set_model("mobile,net \"v2\"");
+  ts.start(1, 20.0);  // must NOT clear the model
+  ts.begin_interval(0);
+  ts.end_interval();
+
+  EXPECT_EQ(ts.model(), "mobile,net \"v2\"");
+  std::ostringstream out;
+  ts.write_csv(out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("# model=\"mobile,net \"\"v2\"\"\"\n"),
+            std::string::npos);
+
+  const obs::JsonValue doc = obs::parse_json(ts.to_json());
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_NE(doc.find("model"), nullptr);
+  EXPECT_EQ(doc.find("model")->as_string(), "mobile,net \"v2\"");
+  ASSERT_NE(doc.find("schema"), nullptr);
+  EXPECT_EQ(doc.find("schema")->as_number(),
+            SimTimeseries::kCsvSchemaVersion);
 }
 
 TEST_F(TimeseriesSimTest, JsonExportIsValidAndShaped) {

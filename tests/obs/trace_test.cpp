@@ -2,9 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <set>
 #include <thread>
+#include <vector>
 
+#include "common/parallel.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 
@@ -138,6 +143,85 @@ TEST_F(TraceTest, ThreadsGetDenseDistinctIds) {
   EXPECT_GE(main_tid, 0);
   EXPECT_LE(worker_tid, 1);
   EXPECT_LE(main_tid, 1);
+}
+
+TEST_F(TraceTest, ParallelPoolSpansCarryPoolThreadTids) {
+  // Spans opened inside parallel_map workers must be attributed to the pool
+  // threads that ran them: every event carries a valid dense tid, and with
+  // more tasks than threads the pool threads (not just the caller) show up.
+  par::set_num_threads(4);
+  Tracer::global().start();
+  // Each task holds its span open until a second thread has entered one,
+  // forcing at least two pool threads to participate (a fast worker could
+  // otherwise drain the whole queue alone). The deadline keeps a broken
+  // pool from hanging the test instead of failing it.
+  std::atomic<int> participants{0};
+  const std::vector<int> out =
+      par::parallel_map(64, [&participants](std::size_t i) {
+        PERDNN_SPAN("trace_test.pool_task");
+        thread_local bool counted = false;
+        if (!counted) {
+          counted = true;
+          participants.fetch_add(1);
+        }
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(2);
+        while (participants.load() < 2 &&
+               std::chrono::steady_clock::now() < deadline) {
+        }
+        return static_cast<int>(i);
+      });
+  Tracer::global().stop();
+  par::set_num_threads(0);
+
+  ASSERT_EQ(out.size(), 64u);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    ASSERT_EQ(out[i], static_cast<int>(i));  // submission-order merge
+
+  const std::vector<TraceEvent> events = Tracer::global().events();
+  ASSERT_EQ(events.size(), 64u);
+  std::set<int> tids;
+  for (const TraceEvent& e : events) {
+    EXPECT_EQ(e.name, "trace_test.pool_task");
+    EXPECT_GE(e.tid, 0);
+    tids.insert(e.tid);
+  }
+  // Two workers were held in spans concurrently, so two distinct pool
+  // thread ids must appear — and ids stay dense (registration order, no
+  // raw OS tids).
+  EXPECT_GE(participants.load(), 2);
+  EXPECT_GE(tids.size(), 2u);
+  EXPECT_LT(*tids.rbegin(), 8);
+}
+
+TEST_F(TraceTest, ParallelChromeJsonRoundTripsThroughParser) {
+  par::set_num_threads(4);
+  Tracer::global().start();
+  par::parallel_map(16, [](std::size_t i) {
+    PERDNN_SPAN("trace_test.par_json");
+    return i;
+  });
+  Tracer::global().stop();
+  par::set_num_threads(0);
+
+  const std::string json = Tracer::global().to_chrome_json();
+  const JsonValue doc = parse_json(json);  // throws on malformed output
+  ASSERT_TRUE(doc.is_object());
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->items().size(), 16u);
+  std::set<double> json_tids;
+  for (const JsonValue& e : events->items()) {
+    EXPECT_EQ(e.find("ph")->as_string(), "X");
+    EXPECT_EQ(e.find("name")->as_string(), "trace_test.par_json");
+    ASSERT_NE(e.find("tid"), nullptr);
+    json_tids.insert(e.find("tid")->as_number());
+  }
+  // The tids that reach the JSON match the recorded events exactly.
+  std::set<double> event_tids;
+  for (const TraceEvent& e : Tracer::global().events())
+    event_tids.insert(static_cast<double>(e.tid));
+  EXPECT_EQ(json_tids, event_tids);
 }
 
 }  // namespace

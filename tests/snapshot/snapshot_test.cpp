@@ -15,6 +15,7 @@
 #include "common/parallel.hpp"
 #include "faults/fault_plan.hpp"
 #include "mobility/trace_gen.hpp"
+#include "obs/journal.hpp"
 #include "obs/timeseries.hpp"
 #include "sim/simulator.hpp"
 
@@ -226,6 +227,38 @@ TEST_F(SnapshotTest, WireFormatRoundTripsExactly) {
   EXPECT_EQ(decoded.timeseries_rows.size(), snap.timeseries_rows.size());
   // ...and the strong form: re-encoding reproduces the exact bytes.
   EXPECT_EQ(snapshot::encode(decoded), bytes);
+}
+
+TEST_F(SnapshotTest, JournalStateRoundTripsThroughTheWire) {
+  // A checkpoint taken while journaling carries the journal prefix; the
+  // wire codec must reproduce it exactly (events, chain counter, bindings).
+  par::set_num_threads(2);
+  obs::Journal journal;
+  snapshot::SimSnapshot snap;
+  SimulationRunOptions options;
+  options.journal = &journal;
+  options.stop_after_interval = 3;
+  options.capture_out = &snap;
+  run_simulation(faulted_config(), *world_, nullptr, options);
+
+  ASSERT_TRUE(snap.has_journal);
+  ASSERT_GT(snap.journal.events.size(), 0u);
+  EXPECT_EQ(snap.journal.events, journal.events());
+  EXPECT_FALSE(snap.journal.client_chains.empty());
+
+  const std::string bytes = snapshot::encode(snap);
+  const snapshot::SimSnapshot decoded = snapshot::decode(bytes);
+  EXPECT_TRUE(decoded.has_journal);
+  EXPECT_EQ(decoded.journal.events, snap.journal.events);
+  EXPECT_EQ(decoded.journal.next_chain, snap.journal.next_chain);
+  EXPECT_EQ(decoded.journal.dropped, snap.journal.dropped);
+  EXPECT_EQ(decoded.journal.client_chains, snap.journal.client_chains);
+  EXPECT_EQ(snapshot::encode(decoded), bytes);
+
+  // Journal-free snapshots keep the flag off end to end.
+  const snapshot::SimSnapshot bare = checkpoint_at(*config_, 2, 1);
+  EXPECT_FALSE(bare.has_journal);
+  EXPECT_FALSE(snapshot::decode(snapshot::encode(bare)).has_journal);
 }
 
 TEST_F(SnapshotTest, SaveLoadRoundTripsThroughAFile) {

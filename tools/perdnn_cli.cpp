@@ -8,6 +8,7 @@
 //       Generate a synthetic mobility dataset and save it.
 //   perdnn simulate <model> <campus|urban|traces.txt> [ionn|perdnn|optimal]
 //                   [--timeseries-out FILE] [--metrics-out FILE]
+//                   [--metrics-prom-out FILE] [--journal-out FILE]
 //                   [--trace-out FILE] [--fault-plan FILE]
 //                   [--failure-rate R] [--downtime N]
 //                   [--users N] [--minutes M] [--seed S]
@@ -16,8 +17,11 @@
 //       Run the smart-city simulation and print the summary. The
 //       observability flags export, respectively: the per-interval
 //       per-server timeseries (CSV, or JSON when FILE ends in .json), the
-//       metric registry (counters/gauges/histograms, JSON), and a span
-//       trace loadable in chrome://tracing / Perfetto (JSON). Fault flags:
+//       metric registry (counters/gauges/histograms; JSON, or Prometheus
+//       text format via --metrics-prom-out), the deterministic event
+//       journal (JSONL, or the compact binary form when FILE ends in
+//       .jnl — see tools/perdnn_obs to query it), and a span trace
+//       loadable in chrome://tracing / Perfetto (JSON). Fault flags:
 //       --fault-plan loads a scripted JSON fault schedule (see
 //       src/faults/fault_plan.hpp); --failure-rate/--downtime drive the
 //       legacy per-interval random crash model. The two are mutually
@@ -45,6 +49,7 @@
 #include "common/table.hpp"
 #include "core/perdnn.hpp"
 #include "mobility/trace_gen.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
@@ -66,6 +71,8 @@ int usage() {
                "<campus|urban|traces.txt> [ionn|perdnn|optimal]\n"
                "                  [--timeseries-out FILE] [--metrics-out "
                "FILE] [--trace-out FILE]\n"
+               "                  [--metrics-prom-out FILE] [--journal-out "
+               "FILE]\n"
                "                  [--fault-plan FILE] [--failure-rate R] "
                "[--downtime N]\n"
                "                  [--users N] [--minutes M] [--seed S]\n"
@@ -201,6 +208,8 @@ struct SimulateArgs {
   MigrationPolicy policy = MigrationPolicy::kProactive;
   std::string timeseries_out;
   std::string metrics_out;
+  std::string metrics_prom_out;  // Prometheus text exposition format
+  std::string journal_out;       // JSONL, or binary when it ends in .jnl
   std::string trace_out;
   std::string fault_plan_file;
   double failure_rate = 0.0;
@@ -281,6 +290,8 @@ std::optional<SimulateArgs> parse_simulate_args(int argc, char** argv) {
       std::string* target = nullptr;
       if (name == "--timeseries-out") target = &args.timeseries_out;
       else if (name == "--metrics-out") target = &args.metrics_out;
+      else if (name == "--metrics-prom-out") target = &args.metrics_prom_out;
+      else if (name == "--journal-out") target = &args.journal_out;
       else if (name == "--trace-out") target = &args.trace_out;
       else if (name == "--fault-plan") target = &args.fault_plan_file;
       else if (name == "--snapshot-save") target = &args.snapshot_save;
@@ -380,7 +391,7 @@ int cmd_simulate(int argc, char** argv) {
                 config.fault_plan.size(), parsed->fault_plan_file.c_str());
   }
 
-  if (!parsed->metrics_out.empty()) {
+  if (!parsed->metrics_out.empty() || !parsed->metrics_prom_out.empty()) {
     obs::Registry::global().reset();
     obs::set_enabled(true);
   }
@@ -416,12 +427,22 @@ int cmd_simulate(int argc, char** argv) {
       parsed->timeseries_out.empty() && parsed->snapshot_save.empty()
           ? nullptr
           : &timeseries;
+  if (recorder != nullptr)
+    recorder->set_model(model_name_str(parsed->model));
+  // Like the timeseries: journal whenever a checkpoint may be written, so
+  // the snapshot carries the event prefix for byte-identical resumes.
+  obs::Journal journal;
+  obs::Journal* journal_recorder =
+      parsed->journal_out.empty() && parsed->snapshot_save.empty()
+          ? nullptr
+          : &journal;
 
   SimulationRunOptions run_options;
   if (resuming) run_options.resume_from = &resume_snapshot;
   run_options.checkpoint_every = parsed->snapshot_every;
   run_options.stop_after_interval = parsed->snapshot_at;
   run_options.checkpoint_path = parsed->snapshot_save;
+  run_options.journal = journal_recorder;
 
   SimulationMetrics metrics;
   try {
@@ -477,6 +498,32 @@ int cmd_simulate(int argc, char** argv) {
   if (!parsed->metrics_out.empty()) {
     write_file(parsed->metrics_out, obs::Registry::global().to_json());
     std::printf("metrics: %s\n", parsed->metrics_out.c_str());
+  }
+  if (!parsed->metrics_prom_out.empty()) {
+    write_file(parsed->metrics_prom_out,
+               obs::Registry::global().to_prometheus());
+    std::printf("metrics (prometheus): %s\n",
+                parsed->metrics_prom_out.c_str());
+  }
+  if (journal_recorder != nullptr && !parsed->journal_out.empty()) {
+    if (ends_with(parsed->journal_out, ".jnl")) {
+      std::ofstream out(parsed->journal_out, std::ios::binary);
+      if (!out) throw std::runtime_error("cannot open " + parsed->journal_out);
+      const std::string bytes = journal_recorder->encode();
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+      if (!out)
+        throw std::runtime_error("error writing " + parsed->journal_out);
+    } else {
+      std::ofstream out(parsed->journal_out);
+      if (!out) throw std::runtime_error("cannot open " + parsed->journal_out);
+      journal_recorder->write_jsonl(out);
+      if (!out)
+        throw std::runtime_error("error writing " + parsed->journal_out);
+    }
+    std::printf("journal: %zu events (%llu dropped) -> %s\n",
+                journal_recorder->size(),
+                static_cast<unsigned long long>(journal_recorder->dropped()),
+                parsed->journal_out.c_str());
   }
   if (!parsed->sim_metrics_out.empty()) {
     write_file(parsed->sim_metrics_out, snapshot::metrics_to_json(metrics));

@@ -24,8 +24,11 @@
 //   shard_NNN.ckpt            checkpoint (deleted once the shard finishes)
 //   shard_NNN.metrics.json    deterministic SimulationMetrics (done marker)
 //   shard_NNN.timeseries.csv  per-interval per-server rows
+//   shard_NNN.journal.jsonl   event journal (manifest "journal": true only)
 // All files are written atomically (tmp + rename), so a kill can never
-// leave a half-written done-marker or checkpoint behind.
+// leave a half-written done-marker or checkpoint behind. Journal state
+// rides inside the checkpoint, so a killed-and-resumed shard produces a
+// journal byte-identical to an uninterrupted run's.
 #include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -43,6 +46,7 @@
 
 #include "core/perdnn.hpp"
 #include "mobility/trace_gen.hpp"
+#include "obs/journal.hpp"
 #include "obs/json.hpp"
 #include "obs/timeseries.hpp"
 #include "sim/simulator.hpp"
@@ -74,6 +78,7 @@ struct Manifest {
   double minutes = 120.0;
   int checkpoint_every = 4;
   int downtime = 3;
+  bool journal = false;  // record per-shard event journals
   std::vector<std::string> policies;
   std::vector<int> seeds;
   std::vector<double> fault_intensities;
@@ -158,6 +163,7 @@ Manifest parse_manifest(const std::string& path) {
     m.checkpoint_every = static_cast<int>(require_number(doc, "checkpoint_every"));
   if (doc.find("downtime"))
     m.downtime = static_cast<int>(require_number(doc, "downtime"));
+  if (const auto* v = doc.find("journal")) m.journal = v->as_bool();
 
   const obs::JsonValue* policies = doc.find("policies");
   if (policies == nullptr || !policies->is_array() || policies->items().empty())
@@ -205,6 +211,15 @@ std::string metrics_path(const std::string& out_dir, const Shard& s) {
 }
 std::string timeseries_path(const std::string& out_dir, const Shard& s) {
   return out_dir + "/" + s.name() + ".timeseries.csv";
+}
+std::string journal_path(const std::string& out_dir, const Shard& s) {
+  return out_dir + "/" + s.name() + ".journal.jsonl";
+}
+
+std::optional<long long> file_size(const std::string& path) {
+  struct ::stat st{};
+  if (::stat(path.c_str(), &st) != 0) return std::nullopt;
+  return static_cast<long long>(st.st_size);
 }
 
 // ---------------------------------------------------------------------------
@@ -264,10 +279,13 @@ void run_shard(const Manifest& m, const Shard& shard,
   const SimulationWorld world = build_world(config, train, test);
 
   obs::SimTimeseries timeseries;
+  timeseries.set_model(m.model);
+  obs::Journal journal;
   SimulationRunOptions options;
   if (resuming) options.resume_from = &resume;
   options.checkpoint_every = m.checkpoint_every;
   options.checkpoint_path = ckpt;
+  if (m.journal) options.journal = &journal;
 
   SimulationMetrics metrics;
   try {
@@ -278,7 +296,9 @@ void run_shard(const Manifest& m, const Shard& shard,
     std::fprintf(stderr, "[%s] checkpoint rejected (%s); restarting shard\n",
                  shard.name().c_str(), e.what());
     std::remove(ckpt.c_str());
-    // run_simulation() restarts the recorder via start(), which resets it.
+    // run_simulation() restarts the recorder via start(), which resets it;
+    // the journal has no equivalent hook, so clear it explicitly.
+    journal.clear();
     SimulationRunOptions fresh = options;
     fresh.resume_from = nullptr;
     metrics = run_simulation(config, world, &timeseries, fresh);
@@ -291,6 +311,11 @@ void run_shard(const Manifest& m, const Shard& shard,
     csv = out.str();
   }
   write_file_atomic(timeseries_path(out_dir, shard), csv);
+  if (m.journal) {
+    std::ostringstream out;
+    journal.write_jsonl(out);
+    write_file_atomic(journal_path(out_dir, shard), out.str());
+  }
   // The metrics file is the done-marker, so it lands last.
   write_file_atomic(metrics_path(out_dir, shard),
                     snapshot::metrics_to_json(metrics));
@@ -328,9 +353,14 @@ int worker_main(const Manifest& m, const std::string& out_dir, int index,
 int cmd_merge(const Manifest& m, const std::string& out_dir) {
   const std::vector<Shard> shards = expand_shards(m);
   std::string metrics_json = "{\"shards\":[";
-  std::string csv = "shard,policy,seed,fault_intensity,";
+  std::string csv = "# schema=";
+  csv += std::to_string(obs::SimTimeseries::kCsvSchemaVersion);
+  csv += "\n# model=";
+  csv += obs::SimTimeseries::csv_quote(m.model);
+  csv += "\nshard,policy,seed,fault_intensity,";
   csv += obs::SimTimeseries::csv_header();
   csv += "\n";
+  std::string merged_journal;  // shard order == canonical grid order
   bool first = true;
   for (const Shard& shard : shards) {
     const std::string mpath = metrics_path(out_dir, shard);
@@ -358,27 +388,41 @@ int cmd_merge(const Manifest& m, const std::string& out_dir) {
                                std::to_string(shard.seed) + "," +
                                obs::json_number(shard.fault_intensity) + ",";
     const std::string shard_csv = read_file(timeseries_path(out_dir, shard));
-    size_t pos = shard_csv.find('\n');  // skip the per-shard header line
-    if (pos == std::string::npos)
-      throw std::runtime_error("malformed timeseries for " + shard.name());
-    ++pos;
+    // Skip `# ...` schema/metadata comment lines and the one header line;
+    // everything after is data rows.
+    bool header_skipped = false;
+    size_t pos = 0;
     while (pos < shard_csv.size()) {
       size_t end = shard_csv.find('\n', pos);
       if (end == std::string::npos) end = shard_csv.size();
       if (end > pos) {
-        csv += prefix;
-        csv.append(shard_csv, pos, end - pos);
-        csv += "\n";
+        if (shard_csv[pos] == '#') {
+          // metadata comment: per-shard only
+        } else if (!header_skipped) {
+          header_skipped = true;
+        } else {
+          csv += prefix;
+          csv.append(shard_csv, pos, end - pos);
+          csv += "\n";
+        }
       }
       pos = end + 1;
     }
+    if (!header_skipped)
+      throw std::runtime_error("malformed timeseries for " + shard.name());
+
+    if (m.journal)
+      merged_journal += read_file(journal_path(out_dir, shard));
   }
   metrics_json += "]}\n";
   write_file_atomic(out_dir + "/merged_metrics.json", metrics_json);
   write_file_atomic(out_dir + "/merged_timeseries.csv", csv);
+  if (m.journal)
+    write_file_atomic(out_dir + "/merged_journal.jsonl", merged_journal);
   std::printf("merged %zu shard(s) -> %s/merged_metrics.json, "
-              "%s/merged_timeseries.csv\n",
-              shards.size(), out_dir.c_str(), out_dir.c_str());
+              "%s/merged_timeseries.csv%s\n",
+              shards.size(), out_dir.c_str(), out_dir.c_str(),
+              m.journal ? ", merged_journal.jsonl" : "");
   return 0;
 }
 
@@ -456,10 +500,17 @@ int cmd_status(const Manifest& m, const std::string& out_dir) {
     } else {
       ++pending;
     }
-    std::printf("%s  policy=%-7s seed=%-3d fault=%-5s  %s\n",
+    std::string journal_note;
+    if (m.journal) {
+      if (const auto size = file_size(journal_path(out_dir, shard)))
+        journal_note = "  journal=" + std::to_string(*size) + "B";
+      else
+        journal_note = "  journal=-";
+    }
+    std::printf("%s  policy=%-7s seed=%-3d fault=%-5s  %s%s\n",
                 shard.name().c_str(), shard.policy.c_str(), shard.seed,
                 obs::json_number(shard.fault_intensity).c_str(),
-                state.c_str());
+                state.c_str(), journal_note.c_str());
   }
   std::printf("%d done, %d checkpointed, %d pending of %zu\n", done,
               checkpointed, pending, shards.size());
@@ -489,6 +540,8 @@ int cmd_inspect(const std::string& path) {
                 static_cast<long long>(snap.dispatcher.backlog_bytes));
     std::printf("  timeseries rows: %zu%s\n", snap.timeseries_rows.size(),
                 snap.has_timeseries ? "" : " (not recorded)");
+    std::printf("  journal events:  %zu%s\n", snap.journal.events.size(),
+                snap.has_journal ? "" : " (not recorded)");
     return 0;
   } catch (const snapshot::SnapshotError& e) {
     std::fprintf(stderr, "%s: rejected: %s\n", path.c_str(), e.what());
