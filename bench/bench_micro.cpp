@@ -11,13 +11,21 @@
 // pointer-walking ensembles, and incremental upload-order scoring vs the
 // full-replan reference. `--threads N` / PERDNN_THREADS pick the pool size
 // for the parallel leg; the fast-path legs always run serially so the
-// numbers isolate the algorithmic change.
+// numbers isolate the algorithmic change. The harness finishes with an
+// allocation audit ("allocations"): a global operator-new counter times two
+// simulator runs at different horizons, and the difference per extra
+// interval is the steady-state heap-allocation rate — the number the
+// scratch-buffer reuse in the migration-order loop is meant to keep flat.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <new>
 #include <string>
 
 #include "common/fastpath.hpp"
@@ -27,6 +35,76 @@
 #include "mobility/predictor.hpp"
 #include "mobility/trace_gen.hpp"
 #include "sim/simulator.hpp"
+
+// ------------------------------------------------ allocation counter
+// Replaces the global allocator for this binary only: every operator new
+// bumps a relaxed atomic, so the --json harness can difference counts
+// around simulator runs. free() handles both malloc and aligned_alloc
+// pointers on this platform, so one delete family suffices.
+
+namespace {
+std::atomic<std::uint64_t> g_allocation_count{0};
+
+void* counted_alloc(std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  // aligned_alloc wants size to be a multiple of the alignment.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  return std::aligned_alloc(align, rounded == 0 ? align : rounded);
+}
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (void* p = counted_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  if (void* p =
+          counted_aligned_alloc(size, static_cast<std::size_t>(align)))
+    return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t, std::size_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t, std::size_t) noexcept {
+  std::free(p);
+}
 
 namespace {
 
@@ -276,7 +354,46 @@ int run_parallel_bench(const char* json_path, int threads) {
   }
   fastpath::set_enabled(fastpath_was_enabled);
 
-  std::fprintf(out, "]}\n");
+  // ------------------------------------- steady-state allocation audit
+  // Same world shape at two horizons: differencing the operator-new counts
+  // cancels the fixed startup allocations (world build happens outside the
+  // counted window; initial simulator state is identical), leaving the
+  // per-interval heap-allocation rate of the steady-state path.
+  const auto count_run = [](const bench::DatasetPair& data_pair) {
+    SimulationConfig config;
+    config.model = ModelName::kMobileNet;
+    config.seed = 97;
+    const SimulationWorld world =
+        build_world(config, data_pair.train, data_pair.test);
+    int intervals = 0;
+    for (const auto& t : data_pair.test)
+      intervals = std::max(intervals, static_cast<int>(t.points.size()));
+    const std::uint64_t before =
+        g_allocation_count.load(std::memory_order_relaxed);
+    run_simulation(config, world, nullptr);
+    const std::uint64_t allocs =
+        g_allocation_count.load(std::memory_order_relaxed) - before;
+    return std::pair<std::uint64_t, int>{allocs, intervals};
+  };
+  const auto [short_allocs, short_intervals] =
+      count_run(bench::kaist_like(20.0, 1800.0));
+  const auto [long_allocs, long_intervals] =
+      count_run(bench::kaist_like(20.0, 3600.0));
+  const double per_interval =
+      static_cast<double>(long_allocs - short_allocs) /
+      static_cast<double>(std::max(1, long_intervals - short_intervals));
+  std::fprintf(out,
+               "],\"allocations\":{\"short_intervals\":%d,"
+               "\"short_total\":%llu,\"long_intervals\":%d,"
+               "\"long_total\":%llu,\"per_interval\":%.1f}}\n",
+               short_intervals,
+               static_cast<unsigned long long>(short_allocs), long_intervals,
+               static_cast<unsigned long long>(long_allocs), per_interval);
+  std::printf("allocations: %d intervals -> %llu, %d intervals -> %llu "
+              "(%.1f allocs/interval steady-state)\n",
+              short_intervals,
+              static_cast<unsigned long long>(short_allocs), long_intervals,
+              static_cast<unsigned long long>(long_allocs), per_interval);
   std::fclose(out);
   std::printf("wrote %s\n", json_path);
   return 0;

@@ -1,0 +1,183 @@
+// City-scale throughput bench for the sharded engine (the BENCH_scale.json
+// artifact): one machine, a 1M-client x 10k-server x 50-interval run with
+// the timeseries streamed to disk — nothing O(clients x intervals) resident.
+//
+//   bench_scale [--clients N] [--tiles-x N] [--tiles-y N] [--intervals N]
+//               [--shards N] [--threads N] [--model name]
+//               [--timeseries path] [--json path]
+//
+// Reported: clients/sec (clients x intervals / total wall), peak RSS
+// (VmHWM), and the per-interval wall-time distribution (mean/p99/max).
+// tools/check_bench_regression.sh gates the JSON against the committed
+// baseline: a clients/sec floor and a peak-RSS ceiling.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/stats.hpp"
+#include "obs/resource.hpp"
+#include "sim/shard_sim.hpp"
+#include "sim/shard_world.hpp"
+
+namespace {
+
+using namespace perdnn;
+
+struct Args {
+  int clients = 1'000'000;
+  int tiles_x = 100;
+  int tiles_y = 100;
+  int intervals = 50;
+  int shards = 16;
+  std::string model = "inception";
+  std::string timeseries = "BENCH_scale_timeseries.csv";
+  std::string json;
+};
+
+[[noreturn]] void usage_error(const char* what) {
+  std::fprintf(stderr,
+               "bench_scale: %s\n"
+               "usage: bench_scale [--clients N] [--tiles-x N] [--tiles-y N]\n"
+               "                   [--intervals N] [--shards N] [--threads N]\n"
+               "                   [--model mobilenet|inception|resnet]\n"
+               "                   [--timeseries path] [--json path]\n",
+               what);
+  std::exit(2);
+}
+
+int int_flag(int argc, char** argv, int& i, const char* name) {
+  if (i + 1 >= argc) usage_error(name);
+  const long v = std::strtol(argv[++i], nullptr, 10);
+  if (v <= 0) usage_error(name);
+  return static_cast<int>(v);
+}
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--clients") == 0) {
+      args.clients = int_flag(argc, argv, i, a);
+    } else if (std::strcmp(a, "--tiles-x") == 0) {
+      args.tiles_x = int_flag(argc, argv, i, a);
+    } else if (std::strcmp(a, "--tiles-y") == 0) {
+      args.tiles_y = int_flag(argc, argv, i, a);
+    } else if (std::strcmp(a, "--intervals") == 0) {
+      args.intervals = int_flag(argc, argv, i, a);
+    } else if (std::strcmp(a, "--shards") == 0) {
+      args.shards = int_flag(argc, argv, i, a);
+    } else if (std::strcmp(a, "--model") == 0 && i + 1 < argc) {
+      args.model = argv[++i];
+    } else if (std::strcmp(a, "--timeseries") == 0 && i + 1 < argc) {
+      args.timeseries = argv[++i];
+    } else if (std::strcmp(a, "--json") == 0 && i + 1 < argc) {
+      args.json = argv[++i];
+    } else {
+      usage_error(a);
+    }
+  }
+  return args;
+}
+
+ModelName model_from_name(const std::string& name) {
+  if (name == "mobilenet") return ModelName::kMobileNet;
+  if (name == "inception") return ModelName::kInception;
+  if (name == "resnet") return ModelName::kResNet;
+  usage_error("unknown --model");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Strips --threads/--threads=N and returns the compacted argc; iterating
+  // with the old argc would walk off the end of the compacted argv.
+  argc = par::init_threads_from_cli(argc, argv);
+  const Args args = parse_args(argc, argv);
+
+  ShardWorldConfig config;
+  config.model = model_from_name(args.model);
+  config.tiles_x = args.tiles_x;
+  config.tiles_y = args.tiles_y;
+  config.num_clients = args.clients;
+  config.num_intervals = args.intervals;
+  config.offline_probability = 0.02;
+  config.seed = 42;
+
+  std::printf("building world: %d clients, %d servers (%dx%d tiles), "
+              "%d intervals, %d shards, %d threads\n",
+              config.num_clients, config.num_servers(), config.tiles_x,
+              config.tiles_y, config.num_intervals, args.shards,
+              par::num_threads());
+  const auto build_start = std::chrono::steady_clock::now();
+  const ShardWorld world = build_shard_world(config);
+  const std::chrono::duration<double> build_wall =
+      std::chrono::steady_clock::now() - build_start;
+  std::printf("world built in %.2fs (canonical order: %zu layers)\n",
+              build_wall.count(), world.canonical_order.size());
+
+  std::vector<double> interval_wall_s;
+  ShardRunOptions options;
+  options.num_shards = args.shards;
+  options.timeseries_path = args.timeseries;
+  options.interval_wall_s = &interval_wall_s;
+
+  const auto run_start = std::chrono::steady_clock::now();
+  const SimulationMetrics metrics = run_sharded_simulation(world, options);
+  const std::chrono::duration<double> run_wall =
+      std::chrono::steady_clock::now() - run_start;
+
+  const double client_intervals =
+      static_cast<double>(config.num_clients) * config.num_intervals;
+  const double clients_per_sec =
+      run_wall.count() > 0 ? client_intervals / run_wall.count() : 0.0;
+  const double p99_s = percentile(interval_wall_s, 99.0);
+  const double max_s = max_value(interval_wall_s);
+  const double mean_s =
+      interval_wall_s.empty()
+          ? 0.0
+          : run_wall.count() / static_cast<double>(interval_wall_s.size());
+  const std::uint64_t peak_rss = obs::peak_rss_bytes();
+
+  std::printf("run: %.2fs total, %.3g client-intervals/sec\n",
+              run_wall.count(), clients_per_sec);
+  std::printf("interval wall: mean %.3fs  p99 %.3fs  max %.3fs\n", mean_s,
+              p99_s, max_s);
+  std::printf("peak RSS: %.1f MiB\n",
+              static_cast<double>(peak_rss) / (1024.0 * 1024.0));
+  std::printf("metrics: %d server changes, %lld cold queries, hit ratio "
+              "%.3f, %lld migrated bytes\n",
+              metrics.server_changes, metrics.cold_window_queries,
+              metrics.hit_ratio(),
+              static_cast<long long>(metrics.total_migrated_bytes));
+
+  if (!args.json.empty()) {
+    std::FILE* out = std::fopen(args.json.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", args.json.c_str());
+      return 1;
+    }
+    std::fprintf(
+        out,
+        "{\"clients\":%d,\"servers\":%d,\"intervals\":%d,\"shards\":%d,"
+        "\"threads\":%d,\"model\":\"%s\","
+        "\"build_wall_s\":%.6g,\"run_wall_s\":%.6g,"
+        "\"clients_per_sec\":%.6g,\"peak_rss_bytes\":%llu,"
+        "\"interval_mean_s\":%.6g,\"interval_p99_s\":%.6g,"
+        "\"interval_max_s\":%.6g,"
+        "\"server_changes\":%d,\"cold_window_queries\":%lld,"
+        "\"total_migrated_bytes\":%lld}\n",
+        config.num_clients, config.num_servers(), config.num_intervals,
+        args.shards, par::num_threads(), args.model.c_str(),
+        build_wall.count(), run_wall.count(), clients_per_sec,
+        static_cast<unsigned long long>(peak_rss), mean_s, p99_s, max_s,
+        metrics.server_changes, metrics.cold_window_queries,
+        static_cast<long long>(metrics.total_migrated_bytes));
+    std::fclose(out);
+    std::printf("wrote %s\n", args.json.c_str());
+  }
+  return 0;
+}

@@ -88,14 +88,20 @@ std::vector<LayerId> LayerCache::layers(ClientId client) const {
 
 std::vector<bool> LayerCache::mask(ClientId client,
                                    const DnnModel& model) const {
-  std::vector<bool> out(static_cast<std::size_t>(model.num_layers()), false);
+  std::vector<bool> out;
+  mask_into(client, model, out);
+  return out;
+}
+
+void LayerCache::mask_into(ClientId client, const DnnModel& model,
+                           std::vector<bool>& out) const {
+  out.assign(static_cast<std::size_t>(model.num_layers()), false);
   const auto it = entries_.find(client);
-  if (it == entries_.end()) return out;
+  if (it == entries_.end()) return;
   for (LayerId id : it->second.layers) {
     PERDNN_CHECK(id >= 0 && id < model.num_layers());
     out[static_cast<std::size_t>(id)] = true;
   }
-  return out;
 }
 
 std::vector<LayerCache::EntrySnapshot> LayerCache::export_entries() const {

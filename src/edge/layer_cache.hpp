@@ -59,6 +59,11 @@ class LayerCache {
   /// Availability mask sized to the model.
   std::vector<bool> mask(ClientId client, const DnnModel& model) const;
 
+  /// Allocation-free variant for per-interval hot loops: re-assigns `out`
+  /// in place (capacity is reused across calls).
+  void mask_into(ClientId client, const DnnModel& model,
+                 std::vector<bool>& out) const;
+
   /// Total cached weight bytes for the client under its model.
   Bytes cached_bytes(ClientId client, const DnnModel& model) const;
 

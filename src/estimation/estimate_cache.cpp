@@ -24,6 +24,7 @@ std::size_t EstimateCache::KeyHash::operator()(const Key& key) const {
   mix(reinterpret_cast<std::uintptr_t>(key.model));
   mix(reinterpret_cast<std::uintptr_t>(key.estimator));
   mix(key.generation);
+  mix(key.epoch);
   for (std::uint64_t bits : key.stats_bits) mix(bits);
   return static_cast<std::size_t>(h);
 }
@@ -45,6 +46,8 @@ const std::vector<Seconds>& EstimateCache::estimates(
                     std::bit_cast<std::uint64_t>(stats.mem_usage_mb),
                     std::bit_cast<std::uint64_t>(stats.temperature_c)};
 
+  key.epoch = epoch_;
+
   const auto it = entries_.find(key);
   if (it != entries_.end()) {
     ++hits_;
@@ -53,11 +56,30 @@ const std::vector<Seconds>& EstimateCache::estimates(
   }
   ++misses_;
   obs::count("estimate_cache.misses");
-  if (entries_.size() >= max_entries_) entries_.clear();
+  if (entries_.size() >= max_entries_) {
+    // Garbage-collect entries stranded in earlier epochs first; only a
+    // same-epoch overflow forces dropping entries that could still hit.
+    std::erase_if(entries_, [this](const auto& kv) {
+      return kv.first.epoch != epoch_;
+    });
+    if (entries_.size() >= max_entries_) {
+      entries_.clear();
+      live_ = 0;
+    }
+  }
+  ++live_;
   return entries_.emplace(key, estimator.estimate_model(model, stats))
       .first->second;
 }
 
-void EstimateCache::invalidate() { entries_.clear(); }
+void EstimateCache::invalidate() {
+  // Epoch bump instead of a map clear: O(1) on the per-interval refresh
+  // path, and the hit/miss sequence is unchanged because the epoch is part
+  // of the key — entries from earlier epochs are unreachable exactly as if
+  // they had been erased. They are physically reclaimed lazily, on the
+  // first cap-triggering miss.
+  ++epoch_;
+  live_ = 0;
+}
 
 }  // namespace perdnn

@@ -19,8 +19,10 @@
 //   * GpuStats are compared bit-exactly — the cache only ever short-circuits
 //     calls that would have produced byte-identical outputs, which is what
 //     keeps fast-path-on and fast-path-off runs indistinguishable.
-// invalidate() is the explicit hook for per-interval statistics refreshes
-// (and is also called internally when the entry count exceeds the soft cap).
+// invalidate() is the explicit hook for per-interval statistics refreshes.
+// It bumps an epoch that is part of the key (O(1)) instead of clearing the
+// map; stale-epoch entries are garbage-collected when a miss finds the map
+// at its soft cap.
 //
 // Not thread-safe: callers use it from the serial control-plane sections
 // (the simulator's level fill, the master's planning calls).
@@ -37,8 +39,10 @@ namespace perdnn {
 
 class EstimateCache {
  public:
-  /// `max_entries` bounds growth: exceeding it clears the cache (simple and
-  /// deterministic; an LRU would add bookkeeping to the hit path).
+  /// `max_entries` bounds growth: a miss that finds the map at the cap
+  /// first reclaims stale-epoch entries, and clears outright only if the
+  /// current epoch alone still fills it (simple and deterministic; an LRU
+  /// would add bookkeeping to the hit path).
   explicit EstimateCache(std::size_t max_entries = 4096);
 
   /// Memoised `estimator.estimate_model(model, stats)`. The returned
@@ -48,12 +52,18 @@ class EstimateCache {
                                         const DnnModel& model,
                                         const GpuStats& stats);
 
-  /// Drops every entry (per-interval statistics refresh, model reallocation).
+  /// Makes every current entry unreachable (per-interval statistics
+  /// refresh, model reallocation). O(1): bumps the key epoch rather than
+  /// clearing the map — the hit/miss sequence is indistinguishable from a
+  /// clear, and stale entries are reclaimed lazily on the first
+  /// cap-triggering miss.
   void invalidate();
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
-  std::size_t size() const { return entries_.size(); }
+  /// Entries reachable in the current epoch (what a hit can return).
+  /// Stale-epoch entries awaiting lazy reclamation are not counted.
+  std::size_t size() const { return live_; }
 
   /// Restores the whole-run hit/miss tallies from a checkpoint. Entries are
   /// never checkpointed — they are invalidated at every interval start, so a
@@ -71,6 +81,9 @@ class EstimateCache {
     /// generation counters are per-instance, so the address disambiguates.
     const void* estimator = nullptr;
     std::uint64_t generation = 0;
+    /// invalidate() epoch the entry was inserted in; entries from earlier
+    /// epochs never match a current-epoch lookup key.
+    std::uint64_t epoch = 0;
     /// num_clients and age_intervals packed, plus the four doubles of
     /// GpuStats bit-cast — a stale snapshot whose values happen to equal a
     /// fresh one must not collide.
@@ -84,6 +97,8 @@ class EstimateCache {
 
   std::size_t max_entries_;
   std::unordered_map<Key, std::vector<Seconds>, KeyHash> entries_;
+  std::uint64_t epoch_ = 0;
+  std::size_t live_ = 0;  ///< entries inserted in the current epoch
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };

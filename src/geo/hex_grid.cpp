@@ -59,13 +59,20 @@ std::vector<HexCoord> HexGrid::neighbors(HexCoord cell) {
 }
 
 std::vector<HexCoord> HexGrid::cells_within(Point p, double radius_m) const {
+  std::vector<HexCoord> out;
+  cells_within_into(p, radius_m, out);
+  return out;
+}
+
+void HexGrid::cells_within_into(Point p, double radius_m,
+                                std::vector<HexCoord>& out) const {
   PERDNN_CHECK(radius_m >= 0.0);
+  out.clear();
   // Centres are at least sqrt(3)*R apart, so cells within radius_m of p lie
   // within ceil(radius_m / (sqrt(3)*R)) + 1 hex steps of p's cell.
   const HexCoord origin = cell_at(p);
   const auto steps =
       static_cast<std::int32_t>(std::ceil(radius_m / (kSqrt3 * radius_))) + 1;
-  std::vector<HexCoord> out;
   for (std::int32_t q = -steps; q <= steps; ++q) {
     for (std::int32_t r = -steps; r <= steps; ++r) {
       if (std::abs(q + r) > steps) continue;  // outside the hex ball
@@ -73,7 +80,6 @@ std::vector<HexCoord> HexGrid::cells_within(Point p, double radius_m) const {
       if (distance(center(cell), p) <= radius_m) out.push_back(cell);
     }
   }
-  return out;
 }
 
 }  // namespace perdnn

@@ -56,6 +56,11 @@ class HexGrid {
   /// Enumerates the bounding hex ring rather than scanning the whole grid.
   std::vector<HexCoord> cells_within(Point p, double radius_m) const;
 
+  /// Allocation-free variant for per-interval hot loops: clears `out` and
+  /// fills it with the same cells (capacity is reused across calls).
+  void cells_within_into(Point p, double radius_m,
+                         std::vector<HexCoord>& out) const;
+
  private:
   double radius_;
 };

@@ -57,13 +57,22 @@ ServerId ServerMap::nearest_server(Point p, double max_radius_m) const {
 }
 
 std::vector<ServerId> ServerMap::servers_within(Point p, double radius_m) const {
+  std::vector<HexCoord> cells;
   std::vector<ServerId> out;
-  for (HexCoord cell : grid_.cells_within(p, radius_m)) {
+  servers_within_into(p, radius_m, cells, out);
+  return out;
+}
+
+void ServerMap::servers_within_into(Point p, double radius_m,
+                                    std::vector<HexCoord>& cells_scratch,
+                                    std::vector<ServerId>& out) const {
+  grid_.cells_within_into(p, radius_m, cells_scratch);
+  out.clear();
+  for (HexCoord cell : cells_scratch) {
     const auto it = cell_to_server_.find(cell);
     if (it != cell_to_server_.end()) out.push_back(it->second);
   }
   std::sort(out.begin(), out.end());
-  return out;
 }
 
 Point ServerMap::server_center(ServerId id) const {

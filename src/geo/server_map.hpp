@@ -38,6 +38,13 @@ class ServerMap {
   /// All servers whose cell centre is within radius_m of p.
   std::vector<ServerId> servers_within(Point p, double radius_m) const;
 
+  /// Allocation-free variant for per-interval hot loops: fills `out` with
+  /// the same (sorted) ids, using `cells_scratch` for the ring enumeration.
+  /// Both vectors are cleared; their capacity is reused across calls.
+  void servers_within_into(Point p, double radius_m,
+                           std::vector<HexCoord>& cells_scratch,
+                           std::vector<ServerId>& out) const;
+
   /// Centre of a server's cell.
   Point server_center(ServerId id) const;
 

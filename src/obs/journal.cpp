@@ -54,7 +54,9 @@ void append_int(std::string& out, Int v) {
   out.append(buf, static_cast<std::size_t>(res.ptr - buf));
 }
 
-void append_event_json(std::string& out, const JournalEvent& e) {
+}  // namespace
+
+void append_journal_event_jsonl(std::string& out, const JournalEvent& e) {
   out += "{\"interval\":";
   append_int(out, e.interval);
   out += ",\"kind\":\"";
@@ -84,6 +86,8 @@ void append_event_json(std::string& out, const JournalEvent& e) {
   }
   out += "}";
 }
+
+namespace {
 
 double require_number(const JsonValue& doc, const char* key,
                       std::size_t line) {
@@ -218,7 +222,7 @@ std::string journal_to_jsonl(const std::vector<JournalEvent>& events) {
   std::string out;
   out.reserve(events.size() * 144);  // measured mean line is ~134 bytes
   for (const JournalEvent& e : events) {
-    append_event_json(out, e);
+    append_journal_event_jsonl(out, e);
     out += '\n';
   }
   return out;

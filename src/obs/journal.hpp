@@ -172,6 +172,12 @@ class Journal {
   std::vector<std::pair<ClientId, std::uint64_t>> client_chains_;
 };
 
+/// Appends the JSONL encoding of one event (no trailing newline) to `out`.
+/// This is the single formatter behind write_jsonl / journal_to_jsonl and
+/// the streaming journal writer, so buffered and streamed exports are
+/// byte-identical by construction.
+void append_journal_event_jsonl(std::string& out, const JournalEvent& event);
+
 /// Serializes `events` as JSONL (the exact format write_jsonl streams).
 std::string journal_to_jsonl(const std::vector<JournalEvent>& events);
 

@@ -1,0 +1,23 @@
+#include "obs/resource.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace perdnn::obs {
+
+std::uint64_t peak_rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  std::uint64_t kb = 0;
+  char line[256];
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      std::sscanf(line + 6, "%llu", reinterpret_cast<unsigned long long*>(&kb));
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+}  // namespace perdnn::obs

@@ -1,0 +1,13 @@
+// Process resource probes used by the scale bench and the scenario runner's
+// per-shard status files.
+#pragma once
+
+#include <cstdint>
+
+namespace perdnn::obs {
+
+/// Peak resident-set size of this process in bytes (Linux: VmHWM from
+/// /proc/self/status). Returns 0 on platforms without the proc interface.
+std::uint64_t peak_rss_bytes();
+
+}  // namespace perdnn::obs

@@ -1,0 +1,129 @@
+#include "obs/stream_writer.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+
+#include "common/check.hpp"
+
+namespace perdnn::obs {
+
+namespace {
+
+void truncate_to(const std::string& path, std::uint64_t offset) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec)
+    throw std::runtime_error("stream writer: cannot stat " + path + ": " +
+                             ec.message());
+  if (size < offset)
+    throw std::runtime_error(
+        "stream writer: " + path + " is shorter than the checkpoint offset (" +
+        std::to_string(size) + " < " + std::to_string(offset) +
+        "); refusing to resume into it");
+  std::filesystem::resize_file(path, offset, ec);
+  if (ec)
+    throw std::runtime_error("stream writer: cannot truncate " + path + ": " +
+                             ec.message());
+}
+
+std::ofstream open_appending(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out)
+    throw std::runtime_error("stream writer: cannot open " + path);
+  return out;
+}
+
+}  // namespace
+
+TimeseriesStreamWriter::TimeseriesStreamWriter(const std::string& path,
+                                               const std::string& model) {
+  out_ = std::ofstream(path, std::ios::binary | std::ios::trunc);
+  if (!out_)
+    throw std::runtime_error("stream writer: cannot open " + path);
+  line_ = "# schema=" + std::to_string(SimTimeseries::kCsvSchemaVersion) + "\n";
+  if (!model.empty())
+    line_ += "# model=" + SimTimeseries::csv_quote(model) + "\n";
+  line_ += SimTimeseries::csv_header();
+  line_ += '\n';
+  out_.write(line_.data(), static_cast<std::streamsize>(line_.size()));
+  bytes_ = line_.size();
+}
+
+TimeseriesStreamWriter::TimeseriesStreamWriter(const std::string& path,
+                                               Resume resume,
+                                               std::uint64_t rows) {
+  truncate_to(path, resume.bytes);
+  out_ = open_appending(path);
+  bytes_ = resume.bytes;
+  rows_ = rows;
+}
+
+void TimeseriesStreamWriter::append(const TimeseriesRow& row) {
+  line_.clear();
+  append_timeseries_row_csv(line_, row);
+  line_.push_back('\n');
+  out_.write(line_.data(), static_cast<std::streamsize>(line_.size()));
+  bytes_ += line_.size();
+  ++rows_;
+}
+
+void TimeseriesStreamWriter::flush() {
+  out_.flush();
+  PERDNN_CHECK_MSG(out_.good(), "timeseries stream write failed");
+}
+
+JournalStreamWriter::JournalStreamWriter(const std::string& path) {
+  out_ = std::ofstream(path, std::ios::binary | std::ios::trunc);
+  if (!out_)
+    throw std::runtime_error("stream writer: cannot open " + path);
+}
+
+JournalStreamWriter::JournalStreamWriter(
+    const std::string& path, Resume resume, std::uint64_t events,
+    std::uint64_t next_chain,
+    const std::vector<std::pair<ClientId, std::uint64_t>>& client_chains) {
+  truncate_to(path, resume.bytes);
+  out_ = open_appending(path);
+  bytes_ = resume.bytes;
+  events_ = events;
+  next_chain_ = next_chain;
+  for (const auto& [client, chain] : client_chains) chains_[client] = chain;
+}
+
+std::uint64_t JournalStreamWriter::begin_chain(ClientId client) {
+  const std::uint64_t chain = next_chain_++;
+  chains_[client] = chain;
+  return chain;
+}
+
+std::uint64_t JournalStreamWriter::chain_of(ClientId client) const {
+  const auto it = chains_.find(client);
+  return it == chains_.end() ? 0 : it->second;
+}
+
+void JournalStreamWriter::record(JournalEvent event) {
+  if (event.chain == 0 && event.client >= 0)
+    event.chain = chain_of(event.client);
+  line_.clear();
+  append_journal_event_jsonl(line_, event);
+  line_.push_back('\n');
+  out_.write(line_.data(), static_cast<std::streamsize>(line_.size()));
+  bytes_ += line_.size();
+  ++events_;
+}
+
+void JournalStreamWriter::flush() {
+  out_.flush();
+  PERDNN_CHECK_MSG(out_.good(), "journal stream write failed");
+}
+
+std::vector<std::pair<ClientId, std::uint64_t>>
+JournalStreamWriter::client_chains() const {
+  std::vector<std::pair<ClientId, std::uint64_t>> out(chains_.begin(),
+                                                      chains_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace perdnn::obs

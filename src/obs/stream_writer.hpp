@@ -1,0 +1,106 @@
+// Incremental on-disk writers for the two large simulation outputs: the
+// per-interval timeseries CSV and the event-journal JSONL. The buffered
+// exporters (SimTimeseries::write_csv, Journal::write_jsonl) hold every row
+// in memory until the run ends, which is O(intervals * servers) resident
+// state — untenable for the city-scale sharded runs. These writers append
+// each row/event as it is produced, using the exact shared formatters
+// (append_timeseries_row_csv, append_journal_event_jsonl), so a streamed
+// file is byte-identical to the buffered export of the same run.
+//
+// Checkpoint/resume contract: both writers count the bytes they have written
+// (including the CSV preamble). A checkpoint stores those offsets; a resumed
+// run reopens the file with `Resume{offset}`, which truncates it back to the
+// checkpoint boundary and appends from there. Rows written after the
+// checkpoint by a killed run — including a partial line cut off mid-write by
+// kill -9 — are discarded by the truncation, so the resumed file ends up
+// byte-identical to an uninterrupted run's.
+//
+// Not thread-safe: the sharded simulator calls them only from its serial
+// apply phase (which is what makes the output deterministic in the first
+// place).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "obs/journal.hpp"
+#include "obs/timeseries.hpp"
+
+namespace perdnn::obs {
+
+/// Tag selecting the resume-at-offset constructor paths below.
+struct Resume {
+  std::uint64_t bytes = 0;
+};
+
+/// Streams TimeseriesRow lines into a CSV file with the same preamble
+/// (`# schema=N`, optional `# model=...`, header line) and row encoding as
+/// SimTimeseries::write_csv.
+class TimeseriesStreamWriter {
+ public:
+  /// Fresh run: truncates `path` and writes the preamble.
+  TimeseriesStreamWriter(const std::string& path, const std::string& model);
+  /// Resumed run: truncates `path` back to `resume.bytes` (the preamble and
+  /// all pre-checkpoint rows are already on disk) and appends. `rows` is the
+  /// checkpointed row count. Throws std::runtime_error if the file is
+  /// shorter than the checkpoint offset.
+  TimeseriesStreamWriter(const std::string& path, Resume resume,
+                         std::uint64_t rows);
+
+  void append(const TimeseriesRow& row);
+  void flush();
+
+  /// Total file bytes written so far (preamble included).
+  std::uint64_t bytes_written() const { return bytes_; }
+  std::uint64_t rows_written() const { return rows_; }
+
+ private:
+  std::ofstream out_;
+  std::string line_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t rows_ = 0;
+};
+
+/// Streams JournalEvent lines into a JSONL file (the write_jsonl format),
+/// maintaining the same chain bookkeeping as obs::Journal: begin_chain()
+/// numbers chains from 1 in record order, record() auto-fills a zero chain
+/// from the client's current binding. Chain state is exposed so checkpoints
+/// can carry it across a resume.
+class JournalStreamWriter {
+ public:
+  /// Fresh run: truncates `path`.
+  explicit JournalStreamWriter(const std::string& path);
+  /// Resumed run: truncates `path` back to `resume.bytes` and appends,
+  /// restoring the chain counter/bindings recorded at the checkpoint.
+  JournalStreamWriter(
+      const std::string& path, Resume resume, std::uint64_t events,
+      std::uint64_t next_chain,
+      const std::vector<std::pair<ClientId, std::uint64_t>>& client_chains);
+
+  std::uint64_t begin_chain(ClientId client);
+  std::uint64_t chain_of(ClientId client) const;
+  void record(JournalEvent event);
+  void flush();
+
+  std::uint64_t bytes_written() const { return bytes_; }
+  std::uint64_t events_written() const { return events_; }
+  std::uint64_t next_chain() const { return next_chain_; }
+  /// Client -> current chain bindings, sorted by client (canonical snapshot
+  /// encoding, mirroring JournalState::client_chains).
+  std::vector<std::pair<ClientId, std::uint64_t>> client_chains() const;
+
+ private:
+  std::ofstream out_;
+  std::string line_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t events_ = 0;
+  std::uint64_t next_chain_ = 1;
+  std::unordered_map<ClientId, std::uint64_t> chains_;
+};
+
+}  // namespace perdnn::obs

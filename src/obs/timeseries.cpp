@@ -1,5 +1,6 @@
 #include "obs/timeseries.hpp"
 
+#include <charconv>
 #include <ostream>
 #include <sstream>
 
@@ -7,6 +8,54 @@
 #include "obs/json.hpp"
 
 namespace perdnn::obs {
+
+namespace {
+// Integer columns go through std::to_chars (digit-identical to the ostream
+// integer inserters write_csv historically used); double columns keep the
+// json_number() encoding.
+template <typename Int>
+void append_int(std::string& out, Int v) {
+  char buf[24];
+  const std::to_chars_result res = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, static_cast<std::size_t>(res.ptr - buf));
+}
+}  // namespace
+
+void append_timeseries_row_csv(std::string& out, const TimeseriesRow& r) {
+  append_int(out, r.interval);
+  out += ',';
+  append_int(out, r.server);
+  out += ',';
+  append_int(out, r.attached);
+  out += ',';
+  append_int(out, r.hits);
+  out += ',';
+  append_int(out, r.partials);
+  out += ',';
+  append_int(out, r.misses);
+  out += ',';
+  append_int(out, r.cold_window_queries);
+  out += ',';
+  out += json_number(r.cold_latency_sum_s);
+  out += ',';
+  append_int(out, r.uplink_bytes);
+  out += ',';
+  append_int(out, r.downlink_bytes);
+  out += ',';
+  append_int(out, r.migration_orders);
+  out += ',';
+  append_int(out, r.predictor_samples);
+  out += ',';
+  out += json_number(r.predictor_error_sum_m);
+  out += ',';
+  append_int(out, r.local_queries);
+  out += ',';
+  out += json_number(r.local_latency_sum_s);
+  out += ',';
+  append_int(out, r.deferred_bytes);
+  out += ',';
+  append_int(out, r.degraded);
+}
 
 void SimTimeseries::start(int num_servers, double interval_length_s) {
   PERDNN_CHECK(num_servers >= 0);
@@ -223,17 +272,13 @@ void SimTimeseries::write_csv(std::ostream& out) const {
   out << "# schema=" << kCsvSchemaVersion << '\n';
   if (!model.empty()) out << "# model=" << csv_quote(model) << '\n';
   out << csv_header() << '\n';
+  std::string line;
+  line.reserve(160);
   for (const TimeseriesRow& r : rows) {
-    out << r.interval << ',' << r.server << ',' << r.attached << ','
-        << r.hits << ',' << r.partials << ',' << r.misses << ','
-        << r.cold_window_queries << ','
-        << json_number(r.cold_latency_sum_s) << ',' << r.uplink_bytes << ','
-        << r.downlink_bytes << ',' << r.migration_orders << ','
-        << r.predictor_samples << ','
-        << json_number(r.predictor_error_sum_m) << ','
-        << r.local_queries << ','
-        << json_number(r.local_latency_sum_s) << ','
-        << r.deferred_bytes << ',' << r.degraded << '\n';
+    line.clear();
+    append_timeseries_row_csv(line, r);
+    line.push_back('\n');
+    out.write(line.data(), static_cast<std::streamsize>(line.size()));
   }
 }
 

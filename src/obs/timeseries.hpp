@@ -70,6 +70,12 @@ struct TimeseriesRow {
   int degraded = 0;
 };
 
+/// Appends the CSV encoding of one row (no trailing newline) to `out`,
+/// column order exactly as SimTimeseries::csv_header(). The single formatter
+/// behind SimTimeseries::write_csv and the streaming timeseries writer, so
+/// buffered and streamed exports are byte-identical by construction.
+void append_timeseries_row_csv(std::string& out, const TimeseriesRow& row);
+
 class SimTimeseries {
  public:
   /// Bumped whenever the CSV column set or header layout changes, and

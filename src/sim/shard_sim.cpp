@@ -1,0 +1,867 @@
+#include "sim/shard_sim.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "geo/point.hpp"
+#include "obs/stream_writer.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace perdnn {
+
+namespace {
+
+constexpr double kSqrt3 = 1.7320508075688772;
+constexpr double kTwoPi = 6.283185307179586;
+/// Hard bound on queries simulated inside one cold-start window; only
+/// reachable with a pathological (near-zero latency, zero gap) config.
+constexpr long long kMaxColdQueries = 100000;
+
+int floor_mod2(int v) { return ((v % 2) + 2) % 2; }
+
+/// Stateless counter-based draw: one 64-bit hash per (client substream,
+/// purpose tag, interval counter). Phase A randomness must not depend on
+/// evaluation order, so no sequential generator ever appears there.
+std::uint64_t hash3(std::uint64_t sub, std::uint64_t tag,
+                    std::uint64_t counter) {
+  std::uint64_t state = sub ^ (tag * 0x9e3779b97f4a7c15ULL) ^
+                        (counter * 0xbf58476d1ce4e5b9ULL);
+  return splitmix64(state);
+}
+
+/// Uniform double in [0, 1) from a hash value.
+double u01(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+// Purpose tags for hash3 draws.
+enum : std::uint64_t {
+  kTagInitX = 1,
+  kTagInitY = 2,
+  kTagInitHeading = 3,
+  kTagInitSpeed = 4,
+  kTagOffline = 10,
+  kTagTurn = 11,
+  kTagHeading = 12,
+};
+
+enum EventKind : std::uint8_t {
+  kEvOffline = 0,  ///< online->offline transition of an attached client
+  kEvAttach = 1,   ///< re-attachment (cold-start window evaluated)
+  kEvUpload = 2,   ///< steady-state upload progressed
+  kEvPush = 3,     ///< proactive dispatcher push toward a predicted tile
+};
+
+/// One cross-shard exchange record. Phase A emits these in client-id order
+/// per shard; phase B applies the k-way merge in canonical order.
+struct Event {
+  ClientId client = -1;
+  std::uint8_t kind = kEvAttach;
+  std::uint8_t cls = 0;        // attach classification: 0 hit/1 partial/2 miss
+  std::uint16_t p0 = 0;        // cache prefix found at attach
+  std::uint16_t p_end = 0;     // prefix after this interval / pushed prefix
+  ServerId server = kNoServer; // attach target / upload server / push source
+  ServerId peer = kNoServer;   // previous server / push target
+  long long queries = 0;
+  double latency_sum = 0.0;
+};
+
+/// Per-shard phase A output buffer (reused across intervals).
+struct ShardBuf {
+  std::vector<Event> events;
+  long long offline = 0;        // client-intervals spent offline
+  int disconnects = 0;          // offline windows opened
+};
+
+struct CacheEntry {
+  std::uint16_t prefix = 0;
+  std::int32_t expire = 0;  ///< meaningful only while the owner is detached
+};
+
+/// Per-server per-interval accumulator behind the timeseries row.
+struct RowAcc {
+  int hits = 0, partials = 0, misses = 0;
+  long long cold_queries = 0;
+  double cold_latency = 0.0;
+  std::int64_t uplink = 0, downlink = 0;
+  int orders = 0;
+};
+
+class ShardEngine {
+ public:
+  ShardEngine(const ShardWorld& world, const ShardRunOptions& options)
+      : w_(world), cfg_(world.config), opt_(options) {
+    const auto n = static_cast<std::size_t>(cfg_.num_clients);
+    const auto s = static_cast<std::size_t>(cfg_.num_servers());
+    K_ = static_cast<int>(w_.canonical_order.size());
+    x_.resize(n);
+    y_.resize(n);
+    heading_.resize(n);
+    dirx_.resize(n);
+    diry_.resize(n);
+    speed_.resize(n);
+    stream_.resize(n);
+    server_.assign(n, kNoServer);
+    prefix_.assign(n, 0);
+    carry_.assign(n, 0);
+    offline_until_.assign(n, 0);
+    tile_.assign(n, 0);
+    cache_.resize(s);
+    attached_.assign(s, 0);
+    acc_.resize(s);
+    peak_up_.assign(s, 0.0);
+    peak_down_.assign(s, 0.0);
+    wheel_.resize(static_cast<std::size_t>(cfg_.ttl_intervals) + 2);
+
+    for (std::size_t c = 0; c < n; ++c) {
+      std::uint64_t seed_state =
+          cfg_.seed ^ (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(c) + 1));
+      stream_[c] = splitmix64(seed_state);
+      const std::uint64_t sub = stream_[c];
+      x_[c] = u01(hash3(sub, kTagInitX, 0)) * w_.width_m;
+      y_[c] = u01(hash3(sub, kTagInitY, 0)) * w_.height_m;
+      set_heading(static_cast<ClientId>(c),
+                  u01(hash3(sub, kTagInitHeading, 0)) * kTwoPi);
+      speed_[c] = cfg_.speed_min_mps +
+                  u01(hash3(sub, kTagInitSpeed, 0)) *
+                      (cfg_.speed_max_mps - cfg_.speed_min_mps);
+      tile_[c] = w_.tile_at({x_[c], y_[c]});
+    }
+
+    num_shards_ = std::clamp(options.num_shards, 1, cfg_.num_servers());
+    const int tiles = cfg_.num_servers();
+    tile_shard_.assign(static_cast<std::size_t>(tiles), 0);
+    for (int sh = 0; sh < num_shards_; ++sh) {
+      const int lo = static_cast<int>(
+          static_cast<std::int64_t>(sh) * tiles / num_shards_);
+      const int hi = static_cast<int>(
+          static_cast<std::int64_t>(sh + 1) * tiles / num_shards_);
+      for (int tile = lo; tile < hi; ++tile)
+        tile_shard_[static_cast<std::size_t>(tile)] = sh;
+    }
+    bufs_.resize(static_cast<std::size_t>(num_shards_));
+    buckets_.resize(static_cast<std::size_t>(num_shards_));
+  }
+
+  SimulationMetrics run();
+
+ private:
+  void set_heading(ClientId c, double heading) {
+    heading_[static_cast<std::size_t>(c)] = heading;
+    dirx_[static_cast<std::size_t>(c)] = std::cos(heading);
+    diry_[static_cast<std::size_t>(c)] = std::sin(heading);
+  }
+
+  // -- phase A (parallel, pure w.r.t. shared state) --------------------------
+  void step_client(ClientId c, int t, ShardBuf& buf);
+  void emit_pushes(ClientId c, ServerId sid, int t, ShardBuf& buf);
+
+  // -- phase B (serial, canonical client-id order) ---------------------------
+  void apply_events(int t);
+  void apply_event(const Event& e, int t);
+  void detach_from(ClientId c, ServerId sid, int t, std::int32_t reason);
+  void cache_store(ServerId sid, ClientId c, int new_prefix, int t);
+  void schedule_expiry(ServerId sid, ClientId c, int expire);
+  void expire_entries(int t);
+  void finish_interval(int t);
+
+  // -- checkpoint / resume ---------------------------------------------------
+  void restore_from(const snapshot::SimSnapshot& snap);
+  snapshot::SimSnapshot capture(int next_interval);
+  void checkpoint(int t);
+
+  void open_writers_fresh();
+  void journal(obs::JournalEvent e) {
+    if (jr_ != nullptr) jr_->record(e);
+  }
+
+  const ShardWorld& w_;
+  const ShardWorldConfig& cfg_;
+  const ShardRunOptions& opt_;
+  int K_ = 0;  // canonical-order length; prefixes live in [0, K_]
+
+  // SoA client store.
+  std::vector<double> x_, y_, heading_, dirx_, diry_, speed_;
+  std::vector<std::uint64_t> stream_;
+  std::vector<ServerId> server_;
+  std::vector<std::uint16_t> prefix_;
+  std::vector<Bytes> carry_;
+  std::vector<std::int32_t> offline_until_;
+  std::vector<ServerId> tile_;
+
+  // Server-side state (phase B only).
+  std::vector<std::unordered_map<ClientId, CacheEntry>> cache_;
+  std::vector<int> attached_;
+  long long total_attached_ = 0;
+  std::vector<std::vector<std::pair<ServerId, ClientId>>> wheel_;
+
+  // Sharding.
+  int num_shards_ = 1;
+  std::vector<int> tile_shard_;
+  std::vector<std::vector<ClientId>> buckets_;
+  std::vector<ShardBuf> bufs_;
+
+  // Per-interval accounting.
+  std::vector<RowAcc> acc_;
+  std::vector<double> peak_up_, peak_down_;
+  std::int64_t best_interval_bytes_ = -1;
+  double best_interval_fraction_ = 1.0;
+  SimulationMetrics metrics_;
+
+  std::unique_ptr<obs::TimeseriesStreamWriter> ts_;
+  std::unique_ptr<obs::JournalStreamWriter> jr_;
+  int start_interval_ = 0;
+};
+
+void ShardEngine::step_client(ClientId c, int t, ShardBuf& buf) {
+  const auto ci = static_cast<std::size_t>(c);
+  if (offline_until_[ci] > t) {
+    ++buf.offline;
+    return;
+  }
+  const std::uint64_t sub = stream_[ci];
+  const auto tick = static_cast<std::uint64_t>(t) + 1;
+  if (cfg_.offline_probability > 0.0 &&
+      u01(hash3(sub, kTagOffline, tick)) < cfg_.offline_probability) {
+    ++buf.offline;
+    ++buf.disconnects;
+    offline_until_[ci] = t + cfg_.offline_intervals;
+    if (server_[ci] != kNoServer)
+      buf.events.push_back({.client = c,
+                            .kind = kEvOffline,
+                            .server = server_[ci]});
+    server_[ci] = kNoServer;
+    prefix_[ci] = 0;
+    carry_[ci] = 0;
+    return;
+  }
+
+  // Random-walk move, reflecting off the world border.
+  if (u01(hash3(sub, kTagTurn, tick)) < cfg_.turn_probability)
+    set_heading(c, u01(hash3(sub, kTagHeading, tick)) * kTwoPi);
+  const double step = speed_[ci] * cfg_.interval_s;
+  double nx = x_[ci] + dirx_[ci] * step;
+  double ny = y_[ci] + diry_[ci] * step;
+  if (nx < 0.0 || nx > w_.width_m) {
+    nx = std::clamp(nx, 0.0, w_.width_m);
+    set_heading(c, std::atan2(diry_[ci], -dirx_[ci]));
+  }
+  if (ny < 0.0 || ny > w_.height_m) {
+    ny = std::clamp(ny, 0.0, w_.height_m);
+    set_heading(c, std::atan2(-diry_[ci], dirx_[ci]));
+  }
+  x_[ci] = nx;
+  y_[ci] = ny;
+  const ServerId sid = w_.tile_at({nx, ny});
+  tile_[ci] = sid;
+
+  const double up_rate = cfg_.wireless.uplink_bytes_per_sec;
+  if (sid != server_[ci]) {
+    // Re-attachment: classify against the frozen cache, then evaluate the
+    // cold-start window against the precomputed latency table.
+    const int load = std::clamp(
+        attached_[static_cast<std::size_t>(sid)] + 1, 1, cfg_.max_load_level);
+    const ShardLoadLevel& lvl = w_.levels[static_cast<std::size_t>(load - 1)];
+    int p0 = 0;
+    if (cfg_.policy == MigrationPolicy::kOptimal) {
+      p0 = K_;
+    } else if (cfg_.policy == MigrationPolicy::kProactive) {
+      const auto& entries = cache_[static_cast<std::size_t>(sid)];
+      const auto it = entries.find(c);
+      if (it != entries.end()) p0 = std::min<int>(it->second.prefix, K_);
+    }
+    const std::uint8_t cls = p0 >= K_ ? 0 : (p0 == 0 ? 2 : 1);
+
+    double now = 0.0;
+    long long queries = 0;
+    double latency_sum = 0.0;
+    int p = p0;
+    while (queries < kMaxColdQueries) {
+      while (p < K_ &&
+             static_cast<double>(w_.prefix_bytes[static_cast<std::size_t>(p + 1)] -
+                                 w_.prefix_bytes[static_cast<std::size_t>(p0)]) <=
+                 now * up_rate)
+        ++p;
+      const Seconds lat = lvl.latency_by_prefix[static_cast<std::size_t>(p)];
+      if (now + lat > cfg_.interval_s) break;
+      ++queries;
+      latency_sum += lat;
+      now += lat + cfg_.query_gap;
+    }
+
+    const auto uploaded = static_cast<Bytes>(cfg_.interval_s * up_rate);
+    int pe = p0;
+    while (pe < K_ &&
+           w_.prefix_bytes[static_cast<std::size_t>(pe + 1)] -
+                   w_.prefix_bytes[static_cast<std::size_t>(p0)] <=
+               uploaded)
+      ++pe;
+    carry_[ci] = pe < K_
+                     ? uploaded - (w_.prefix_bytes[static_cast<std::size_t>(pe)] -
+                                   w_.prefix_bytes[static_cast<std::size_t>(p0)])
+                     : 0;
+    const ServerId prev = server_[ci];
+    server_[ci] = sid;
+    prefix_[ci] = static_cast<std::uint16_t>(pe);
+    buf.events.push_back({.client = c,
+                          .kind = kEvAttach,
+                          .cls = cls,
+                          .p0 = static_cast<std::uint16_t>(p0),
+                          .p_end = static_cast<std::uint16_t>(pe),
+                          .server = sid,
+                          .peer = prev,
+                          .queries = queries,
+                          .latency_sum = latency_sum});
+  } else if (prefix_[ci] < K_) {
+    // Steady state at the same server: the incremental upload continues at
+    // the wireless uplink rate.
+    carry_[ci] += static_cast<Bytes>(cfg_.interval_s * up_rate);
+    int pe = prefix_[ci];
+    while (pe < K_ &&
+           carry_[ci] >= w_.prefix_bytes[static_cast<std::size_t>(pe + 1)] -
+                             w_.prefix_bytes[static_cast<std::size_t>(pe)]) {
+      carry_[ci] -= w_.prefix_bytes[static_cast<std::size_t>(pe + 1)] -
+                    w_.prefix_bytes[static_cast<std::size_t>(pe)];
+      ++pe;
+    }
+    if (pe > prefix_[ci]) {
+      buf.events.push_back({.client = c,
+                            .kind = kEvUpload,
+                            .p0 = prefix_[ci],
+                            .p_end = static_cast<std::uint16_t>(pe),
+                            .server = sid});
+      prefix_[ci] = static_cast<std::uint16_t>(pe);
+      if (pe >= K_) carry_[ci] = 0;
+    }
+  }
+
+  if (cfg_.policy == MigrationPolicy::kProactive && prefix_[ci] > 0)
+    emit_pushes(c, sid, t, buf);
+}
+
+void ShardEngine::emit_pushes(ClientId c, ServerId sid, int /*t*/,
+                              ShardBuf& buf) {
+  const auto ci = static_cast<std::size_t>(c);
+  // Linear dead-reckoning prediction one interval ahead. Pushes only fire
+  // when the prediction crosses a tile boundary — staying put means the
+  // current server already holds the layers.
+  const double step = speed_[ci] * cfg_.interval_s;
+  const Point predicted{std::clamp(x_[ci] + dirx_[ci] * step, 0.0, w_.width_m),
+                        std::clamp(y_[ci] + diry_[ci] * step, 0.0,
+                                   w_.height_m)};
+  if (w_.tile_at(predicted) == sid) return;
+  // Allocation-free equivalent of grid.cells_within(predicted, radius),
+  // restricted to in-rectangle tiles (no wraparound) and excluding the
+  // current server.
+  const HexCoord origin = w_.grid.cell_at(predicted);
+  const int steps = static_cast<int>(std::ceil(
+                        cfg_.migration_radius_m /
+                        (kSqrt3 * cfg_.cell_radius_m))) +
+                    1;
+  for (int dq = -steps; dq <= steps; ++dq) {
+    for (int dr = -steps; dr <= steps; ++dr) {
+      if (std::abs(dq + dr) > steps) continue;
+      const HexCoord cell{origin.q + dq, origin.r + dr};
+      if (distance(w_.grid.center(cell), predicted) > cfg_.migration_radius_m)
+        continue;
+      const int row = cell.r;
+      const int col = cell.q + (cell.r - floor_mod2(cell.r)) / 2;
+      if (row < 0 || row >= cfg_.tiles_y || col < 0 || col >= cfg_.tiles_x)
+        continue;
+      const ServerId target = static_cast<ServerId>(row) * cfg_.tiles_x + col;
+      if (target == sid) continue;
+      buf.events.push_back({.client = c,
+                            .kind = kEvPush,
+                            .p_end = prefix_[ci],
+                            .server = sid,
+                            .peer = target});
+    }
+  }
+}
+
+void ShardEngine::detach_from(ClientId c, ServerId sid, int t,
+                              std::int32_t reason) {
+  --attached_[static_cast<std::size_t>(sid)];
+  --total_attached_;
+  if (cfg_.policy == MigrationPolicy::kProactive) {
+    auto& entries = cache_[static_cast<std::size_t>(sid)];
+    const auto it = entries.find(c);
+    if (it != entries.end()) schedule_expiry(sid, c, t + cfg_.ttl_intervals);
+  }
+  journal({.interval = t,
+           .kind = obs::JournalEventKind::kDetach,
+           .client = c,
+           .server = sid,
+           .detail = reason});
+}
+
+void ShardEngine::schedule_expiry(ServerId sid, ClientId c, int expire) {
+  auto& entry = cache_[static_cast<std::size_t>(sid)][c];
+  if (expire > entry.expire) {
+    entry.expire = expire;
+    wheel_[static_cast<std::size_t>(expire) % wheel_.size()].push_back(
+        {sid, c});
+  }
+}
+
+void ShardEngine::cache_store(ServerId sid, ClientId c, int new_prefix,
+                              int t) {
+  if (cfg_.policy != MigrationPolicy::kProactive) return;
+  auto& entry = cache_[static_cast<std::size_t>(sid)][c];
+  if (new_prefix > entry.prefix) {
+    journal({.interval = t,
+             .kind = obs::JournalEventKind::kCacheStore,
+             .client = c,
+             .server = sid,
+             .bytes = w_.prefix_bytes[static_cast<std::size_t>(new_prefix)] -
+                      w_.prefix_bytes[entry.prefix],
+             .aux = new_prefix - entry.prefix});
+    entry.prefix = static_cast<std::uint16_t>(new_prefix);
+  }
+}
+
+void ShardEngine::apply_event(const Event& e, int t) {
+  switch (e.kind) {
+    case kEvOffline:
+      detach_from(e.client, e.server, t, obs::kDetachDisconnect);
+      break;
+    case kEvAttach: {
+      if (e.peer != kNoServer) detach_from(e.client, e.peer, t,
+                                           obs::kDetachMoved);
+      ++attached_[static_cast<std::size_t>(e.server)];
+      ++total_attached_;
+      ++metrics_.server_changes;
+      RowAcc& row = acc_[static_cast<std::size_t>(e.server)];
+      if (e.cls == 0) {
+        ++metrics_.hits;
+        ++row.hits;
+      } else if (e.cls == 1) {
+        ++metrics_.partials;
+        ++row.partials;
+      } else {
+        ++metrics_.misses;
+        ++row.misses;
+      }
+      metrics_.cold_window_queries += e.queries;
+      row.cold_queries += e.queries;
+      row.cold_latency += e.latency_sum;
+      if (jr_ != nullptr) {
+        const std::uint64_t chain = jr_->begin_chain(e.client);
+        jr_->record({.interval = t,
+                     .kind = obs::JournalEventKind::kAttach,
+                     .chain = chain,
+                     .client = e.client,
+                     .server = e.server,
+                     .peer = e.peer});
+        jr_->record({.interval = t,
+                     .kind = obs::JournalEventKind::kPlan,
+                     .chain = chain,
+                     .client = e.client,
+                     .server = e.server,
+                     .detail = e.cls == 0   ? obs::kPlanHit
+                               : e.cls == 1 ? obs::kPlanPartial
+                                            : obs::kPlanMiss,
+                     .aux = K_ - e.p0});
+        if (e.queries > 0)
+          jr_->record({.interval = t,
+                       .kind = obs::JournalEventKind::kColdServe,
+                       .chain = chain,
+                       .client = e.client,
+                       .server = e.server,
+                       .aux = static_cast<std::int32_t>(e.queries),
+                       .value = e.latency_sum});
+      }
+      cache_store(e.server, e.client, e.p_end, t);
+      break;
+    }
+    case kEvUpload:
+      cache_store(e.server, e.client, e.p_end, t);
+      break;
+    case kEvPush: {
+      auto& entry = cache_[static_cast<std::size_t>(e.peer)][e.client];
+      const int old_prefix = entry.prefix;
+      const Bytes bytes =
+          e.p_end > old_prefix
+              ? w_.prefix_bytes[e.p_end] - w_.prefix_bytes[old_prefix]
+              : 0;
+      if (e.p_end > old_prefix) entry.prefix = e.p_end;
+      schedule_expiry(e.peer, e.client, t + cfg_.ttl_intervals);
+      acc_[static_cast<std::size_t>(e.server)].uplink += bytes;
+      acc_[static_cast<std::size_t>(e.server)].orders += 1;
+      acc_[static_cast<std::size_t>(e.peer)].downlink += bytes;
+      metrics_.total_migrated_bytes += bytes;
+      journal({.interval = t,
+               .kind = obs::JournalEventKind::kMigrationPushed,
+               .client = e.client,
+               .server = e.server,
+               .peer = e.peer,
+               .bytes = bytes,
+               .aux = std::max(0, static_cast<int>(e.p_end) - old_prefix)});
+      break;
+    }
+    default:
+      PERDNN_CHECK_MSG(false, "unknown shard event kind");
+  }
+}
+
+void ShardEngine::apply_events(int t) {
+  // K-way merge of the per-shard buffers in client-id order. Each client's
+  // events live contiguously in exactly one shard's buffer (its owner), so
+  // picking the shard with the smallest head client id and draining that
+  // client reconstructs the canonical global order regardless of how tiles
+  // were sharded.
+  std::vector<std::size_t> head(bufs_.size(), 0);
+  while (true) {
+    int best = -1;
+    ClientId best_client = std::numeric_limits<ClientId>::max();
+    for (std::size_t s = 0; s < bufs_.size(); ++s) {
+      if (head[s] >= bufs_[s].events.size()) continue;
+      const ClientId client = bufs_[s].events[head[s]].client;
+      if (client < best_client) {
+        best_client = client;
+        best = static_cast<int>(s);
+      }
+    }
+    if (best < 0) break;
+    auto& events = bufs_[static_cast<std::size_t>(best)].events;
+    auto& h = head[static_cast<std::size_t>(best)];
+    while (h < events.size() && events[h].client == best_client) {
+      apply_event(events[h], t);
+      ++h;
+    }
+  }
+}
+
+void ShardEngine::expire_entries(int t) {
+  auto& slot = wheel_[static_cast<std::size_t>(t) % wheel_.size()];
+  // Canonical (server, client) order regardless of insertion history — a
+  // resumed run rebuilds the wheel from sorted snapshot entries, so the
+  // processing order must not depend on how entries were queued.
+  std::sort(slot.begin(), slot.end());
+  slot.erase(std::unique(slot.begin(), slot.end()), slot.end());
+  for (const auto& [sid, c] : slot) {
+    auto& entries = cache_[static_cast<std::size_t>(sid)];
+    const auto it = entries.find(c);
+    if (it == entries.end()) continue;
+    if (server_[static_cast<std::size_t>(c)] == sid) continue;  // kept alive
+    if (it->second.expire > t) continue;  // refreshed since queued
+    journal({.interval = t,
+             .kind = obs::JournalEventKind::kCacheExpire,
+             .client = c,
+             .server = sid,
+             .aux = it->second.prefix});
+    entries.erase(it);
+  }
+  slot.clear();
+}
+
+void ShardEngine::finish_interval(int t) {
+  expire_entries(t);
+
+  for (const ShardBuf& buf : bufs_) {
+    metrics_.offline_client_intervals += buf.offline;
+  }
+  metrics_.attached_client_intervals += total_attached_;
+
+  const int num_servers = cfg_.num_servers();
+  std::int64_t interval_total = 0;
+  int under_100 = 0;
+  for (int s = 0; s < num_servers; ++s) {
+    const RowAcc& acc = acc_[static_cast<std::size_t>(s)];
+    const double up_mbps = bytes_to_mbps(static_cast<double>(acc.uplink),
+                                         cfg_.interval_s);
+    const double down_mbps = bytes_to_mbps(static_cast<double>(acc.downlink),
+                                           cfg_.interval_s);
+    peak_up_[static_cast<std::size_t>(s)] =
+        std::max(peak_up_[static_cast<std::size_t>(s)], up_mbps);
+    peak_down_[static_cast<std::size_t>(s)] =
+        std::max(peak_down_[static_cast<std::size_t>(s)], down_mbps);
+    interval_total += acc.uplink;
+    if (up_mbps <= 100.0) ++under_100;
+    if (ts_ != nullptr) {
+      obs::TimeseriesRow row;
+      row.interval = t;
+      row.server = s;
+      row.attached = attached_[static_cast<std::size_t>(s)];
+      row.hits = acc.hits;
+      row.partials = acc.partials;
+      row.misses = acc.misses;
+      row.cold_window_queries = acc.cold_queries;
+      row.cold_latency_sum_s = acc.cold_latency;
+      row.uplink_bytes = acc.uplink;
+      row.downlink_bytes = acc.downlink;
+      row.migration_orders = acc.orders;
+      ts_->append(row);
+    }
+  }
+  if (interval_total > best_interval_bytes_) {
+    best_interval_bytes_ = interval_total;
+    best_interval_fraction_ =
+        static_cast<double>(under_100) / static_cast<double>(num_servers);
+  }
+}
+
+void ShardEngine::open_writers_fresh() {
+  if (!opt_.timeseries_path.empty())
+    ts_ = std::make_unique<obs::TimeseriesStreamWriter>(opt_.timeseries_path,
+                                                        w_.model.name());
+  if (!opt_.journal_path.empty())
+    jr_ = std::make_unique<obs::JournalStreamWriter>(opt_.journal_path);
+}
+
+void ShardEngine::restore_from(const snapshot::SimSnapshot& snap) {
+  if (!snap.has_shard)
+    throw snapshot::SnapshotError(
+        "snapshot: not a sharded-world checkpoint");
+  if (snap.config_fingerprint != shard_config_fingerprint(cfg_))
+    throw snapshot::SnapshotError(
+        "snapshot: config fingerprint mismatch (different scenario)");
+  if (snap.num_intervals != cfg_.num_intervals)
+    throw snapshot::SnapshotError("snapshot: interval count mismatch");
+  const auto n = static_cast<std::size_t>(cfg_.num_clients);
+  const snapshot::ShardSimState& s = snap.shard;
+  if (s.x.size() != n || s.y.size() != n || s.heading.size() != n ||
+      s.server.size() != n || s.prefix.size() != n || s.carry.size() != n ||
+      s.offline_until.size() != n)
+    throw snapshot::SnapshotError("snapshot: client array size mismatch");
+  if (s.entry_server.size() != s.entry_client.size() ||
+      s.entry_server.size() != s.entry_expire.size() ||
+      s.entry_server.size() != s.entry_prefix.size())
+    throw snapshot::SnapshotError("snapshot: cache entry arrays misaligned");
+  if (s.peak_uplink_mbps.size() !=
+          static_cast<std::size_t>(cfg_.num_servers()) ||
+      s.peak_downlink_mbps.size() !=
+          static_cast<std::size_t>(cfg_.num_servers()))
+    throw snapshot::SnapshotError("snapshot: server array size mismatch");
+  if (!opt_.timeseries_path.empty() != snap.has_timeseries)
+    throw snapshot::SnapshotError(
+        "snapshot: timeseries recording mismatch between checkpointed and "
+        "resumed run");
+  if (!opt_.journal_path.empty() != snap.has_journal)
+    throw snapshot::SnapshotError(
+        "snapshot: journal recording mismatch between checkpointed and "
+        "resumed run");
+
+  x_ = s.x;
+  y_ = s.y;
+  for (std::size_t c = 0; c < n; ++c) set_heading(static_cast<ClientId>(c),
+                                                  s.heading[c]);
+  server_ = s.server;
+  for (std::size_t c = 0; c < n; ++c)
+    prefix_[c] = static_cast<std::uint16_t>(s.prefix[c]);
+  carry_ = s.carry;
+  offline_until_ = s.offline_until;
+
+  std::fill(attached_.begin(), attached_.end(), 0);
+  total_attached_ = 0;
+  for (std::size_t c = 0; c < n; ++c) {
+    tile_[c] = w_.tile_at({x_[c], y_[c]});
+    if (server_[c] != kNoServer) {
+      const auto sid = static_cast<std::size_t>(server_[c]);
+      if (sid >= attached_.size())
+        throw snapshot::SnapshotError("snapshot: server id out of range");
+      ++attached_[sid];
+      ++total_attached_;
+    }
+  }
+
+  for (auto& entries : cache_) entries.clear();
+  for (auto& slot : wheel_) slot.clear();
+  const int start = snap.next_interval;
+  for (std::size_t i = 0; i < s.entry_server.size(); ++i) {
+    const auto sid = s.entry_server[i];
+    const auto c = s.entry_client[i];
+    if (sid < 0 || sid >= cfg_.num_servers() || c < 0 ||
+        c >= cfg_.num_clients)
+      throw snapshot::SnapshotError("snapshot: cache entry out of range");
+    CacheEntry entry;
+    entry.prefix = static_cast<std::uint16_t>(s.entry_prefix[i]);
+    entry.expire = s.entry_expire[i];
+    cache_[static_cast<std::size_t>(sid)][c] = entry;
+    if (server_[static_cast<std::size_t>(c)] != sid && entry.expire >= start)
+      wheel_[static_cast<std::size_t>(entry.expire) % wheel_.size()]
+          .push_back({sid, c});
+  }
+
+  peak_up_ = s.peak_uplink_mbps;
+  peak_down_ = s.peak_downlink_mbps;
+  best_interval_bytes_ = s.best_interval_bytes;
+  best_interval_fraction_ = s.best_interval_fraction;
+  metrics_ = snap.metrics;
+  start_interval_ = snap.next_interval;
+
+  if (!opt_.timeseries_path.empty())
+    ts_ = std::make_unique<obs::TimeseriesStreamWriter>(
+        opt_.timeseries_path, obs::Resume{s.timeseries_bytes},
+        s.timeseries_rows);
+  if (!opt_.journal_path.empty()) {
+    std::vector<std::pair<ClientId, std::uint64_t>> chains;
+    chains.reserve(s.client_chains.size());
+    for (const auto& [client, chain] : s.client_chains)
+      chains.emplace_back(client, chain);
+    jr_ = std::make_unique<obs::JournalStreamWriter>(
+        opt_.journal_path, obs::Resume{s.journal_bytes}, s.journal_events,
+        s.journal_next_chain, chains);
+  }
+}
+
+snapshot::SimSnapshot ShardEngine::capture(int next_interval) {
+  if (ts_ != nullptr) ts_->flush();
+  if (jr_ != nullptr) jr_->flush();
+  snapshot::SimSnapshot snap;
+  snap.config_fingerprint = shard_config_fingerprint(cfg_);
+  snap.next_interval = next_interval;
+  snap.num_intervals = cfg_.num_intervals;
+  snap.metrics = metrics_;
+  snap.has_timeseries = ts_ != nullptr;
+  snap.has_journal = jr_ != nullptr;
+  snap.has_shard = true;
+  snapshot::ShardSimState& s = snap.shard;
+  s.x = x_;
+  s.y = y_;
+  s.heading = heading_;
+  s.server = server_;
+  s.prefix.assign(prefix_.begin(), prefix_.end());
+  s.carry = carry_;
+  s.offline_until = offline_until_;
+  std::size_t total_entries = 0;
+  for (const auto& entries : cache_) total_entries += entries.size();
+  s.entry_server.reserve(total_entries);
+  s.entry_client.reserve(total_entries);
+  s.entry_expire.reserve(total_entries);
+  s.entry_prefix.reserve(total_entries);
+  std::vector<std::pair<ClientId, CacheEntry>> sorted;
+  for (int sid = 0; sid < cfg_.num_servers(); ++sid) {
+    const auto& entries = cache_[static_cast<std::size_t>(sid)];
+    sorted.assign(entries.begin(), entries.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [c, entry] : sorted) {
+      s.entry_server.push_back(sid);
+      s.entry_client.push_back(c);
+      s.entry_expire.push_back(entry.expire);
+      s.entry_prefix.push_back(entry.prefix);
+    }
+  }
+  s.peak_uplink_mbps = peak_up_;
+  s.peak_downlink_mbps = peak_down_;
+  s.best_interval_bytes = best_interval_bytes_;
+  s.best_interval_fraction = best_interval_fraction_;
+  if (ts_ != nullptr) {
+    s.timeseries_bytes = ts_->bytes_written();
+    s.timeseries_rows = ts_->rows_written();
+  }
+  if (jr_ != nullptr) {
+    s.journal_bytes = jr_->bytes_written();
+    s.journal_events = jr_->events_written();
+    s.journal_next_chain = jr_->next_chain();
+    for (const auto& [client, chain] : jr_->client_chains())
+      s.client_chains.emplace_back(client, chain);
+  }
+  return snap;
+}
+
+void ShardEngine::checkpoint(int t) {
+  snapshot::SimSnapshot snap = capture(t + 1);
+  if (!opt_.checkpoint_path.empty())
+    snapshot::save(snap, opt_.checkpoint_path);
+  if (opt_.capture_out != nullptr) *opt_.capture_out = std::move(snap);
+}
+
+SimulationMetrics ShardEngine::run() {
+  if (opt_.resume_from != nullptr) {
+    restore_from(*opt_.resume_from);  // opens the writers at the offsets
+  } else {
+    open_writers_fresh();
+  }
+  if (opt_.interval_wall_s != nullptr) opt_.interval_wall_s->clear();
+
+  const auto n = static_cast<std::size_t>(cfg_.num_clients);
+  for (int t = start_interval_; t < cfg_.num_intervals; ++t) {
+    const auto wall_start = std::chrono::steady_clock::now();
+
+    // Ownership: the shard of the tile each client stood on at the
+    // interval start. Buckets stay sorted by client id by construction.
+    for (auto& bucket : buckets_) bucket.clear();
+    for (std::size_t c = 0; c < n; ++c)
+      buckets_[static_cast<std::size_t>(
+                   tile_shard_[static_cast<std::size_t>(tile_[c])])]
+          .push_back(static_cast<ClientId>(c));
+
+    // Phase A: pure per-shard walks against frozen shared state.
+    for (auto& buf : bufs_) {
+      buf.events.clear();
+      buf.offline = 0;
+      buf.disconnects = 0;
+    }
+    par::parallel_for(bufs_.size(), [&](std::size_t sh) {
+      ShardBuf& buf = bufs_[sh];
+      for (ClientId c : buckets_[sh]) step_client(c, t, buf);
+    });
+
+    // Phase B: canonical-order exchange and every shared-state mutation.
+    for (auto& acc : acc_) acc = RowAcc{};
+    for (const ShardBuf& buf : bufs_)
+      metrics_.client_disconnect_events += buf.disconnects;
+    apply_events(t);
+    finish_interval(t);
+
+    if (opt_.interval_wall_s != nullptr) {
+      const std::chrono::duration<double> wall =
+          std::chrono::steady_clock::now() - wall_start;
+      opt_.interval_wall_s->push_back(wall.count());
+    }
+
+    const bool periodic =
+        opt_.checkpoint_every > 0 && (t + 1) % opt_.checkpoint_every == 0;
+    const bool stopping = opt_.stop_after_interval == t;
+    if (periodic || stopping) checkpoint(t);
+    if (stopping) break;
+  }
+
+  metrics_.peak_uplink_mbps =
+      peak_up_.empty() ? 0.0 : *std::max_element(peak_up_.begin(),
+                                                 peak_up_.end());
+  metrics_.peak_downlink_mbps =
+      peak_down_.empty() ? 0.0
+                         : *std::max_element(peak_down_.begin(),
+                                             peak_down_.end());
+  int under_100 = 0;
+  for (double v : peak_up_)
+    if (v <= 100.0) ++under_100;
+  metrics_.fraction_servers_within_100mbps =
+      peak_up_.empty() ? 0.0
+                       : static_cast<double>(under_100) /
+                             static_cast<double>(peak_up_.size());
+  metrics_.fraction_servers_within_100mbps_at_peak =
+      best_interval_bytes_ >= 0 ? best_interval_fraction_ : 1.0;
+  metrics_.server_peak_uplink_mbps = peak_up_;
+  metrics_.num_servers = cfg_.num_servers();
+  metrics_.num_clients = cfg_.num_clients;
+  metrics_.num_intervals = cfg_.num_intervals;
+
+  if (ts_ != nullptr) ts_->flush();
+  if (jr_ != nullptr) jr_->flush();
+  return metrics_;
+}
+
+}  // namespace
+
+SimulationMetrics run_sharded_simulation(const ShardWorld& world,
+                                         const ShardRunOptions& options) {
+  PERDNN_CHECK(!world.levels.empty());
+  ShardEngine engine(world, options);
+  return engine.run();
+}
+
+}  // namespace perdnn

@@ -1,0 +1,187 @@
+#include "sim/shard_world.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/fastpath.hpp"
+#include "common/rng.hpp"
+#include "device/profiler.hpp"
+#include "estimation/estimate_cache.hpp"
+
+namespace perdnn {
+
+namespace {
+
+constexpr double kSqrt3 = 1.7320508075688772;
+
+[[noreturn]] void bad_field(const std::string& what) {
+  throw std::logic_error("ShardWorldConfig: " + what);
+}
+
+int floor_mod2(int v) { return ((v % 2) + 2) % 2; }
+
+}  // namespace
+
+void ShardWorldConfig::validate() const {
+  if (tiles_x <= 0 || tiles_y <= 0)
+    bad_field("tiles_x/tiles_y must be positive");
+  if (cell_radius_m <= 0.0) bad_field("cell_radius_m must be positive");
+  if (num_clients <= 0) bad_field("num_clients must be positive");
+  if (num_intervals <= 0) bad_field("num_intervals must be positive");
+  if (interval_s <= 0.0) bad_field("interval_s must be positive");
+  if (query_gap < 0.0) bad_field("query_gap must be non-negative");
+  if (wireless.uplink_bytes_per_sec <= 0.0 ||
+      wireless.downlink_bytes_per_sec <= 0.0)
+    bad_field("wireless rates must be positive");
+  if (migration_radius_m < 0.0)
+    bad_field("migration_radius_m must be non-negative");
+  if (ttl_intervals < 1) bad_field("ttl_intervals must be >= 1");
+  if (max_load_level < 1) bad_field("max_load_level must be >= 1");
+  if (speed_min_mps < 0.0 || speed_max_mps < speed_min_mps)
+    bad_field("speeds must satisfy 0 <= speed_min_mps <= speed_max_mps");
+  if (turn_probability < 0.0 || turn_probability > 1.0)
+    bad_field("turn_probability must be in [0, 1]");
+  if (offline_probability < 0.0 || offline_probability > 1.0)
+    bad_field("offline_probability must be in [0, 1]");
+  if (offline_intervals < 1) bad_field("offline_intervals must be >= 1");
+}
+
+ServerId ShardWorld::tile_at(Point p) const {
+  const HexCoord axial = grid.cell_at(p);
+  int row = axial.r;
+  int col = axial.q + (axial.r - floor_mod2(axial.r)) / 2;
+  row = std::clamp(row, 0, config.tiles_y - 1);
+  col = std::clamp(col, 0, config.tiles_x - 1);
+  return static_cast<ServerId>(row) * config.tiles_x + col;
+}
+
+ShardWorld build_shard_world(const ShardWorldConfig& config) {
+  config.validate();
+  ShardWorld w;
+  w.config = config;
+  w.model = build_model(config.model);
+  w.client_profile = profile_on_client(w.model, odroid_xu4_profile());
+  w.gpu = std::make_shared<GpuContentionModel>(titan_xp_profile());
+
+  // Offline estimator training, same pipeline as build_world(): a
+  // concurrency sweep over this model's layers, then the random forest.
+  Rng rng(config.seed);
+  ConcurrencyProfiler profiler(w.gpu.get(), rng.fork());
+  const DnnModel* models[] = {&w.model};
+  ProfilerConfig prof_config;
+  prof_config.max_clients = std::max(12, config.max_load_level);
+  prof_config.samples_per_level = 4;
+  const auto records = profiler.profile_models(models, prof_config);
+  w.estimator = std::make_shared<RandomForestEstimator>();
+  Rng train_rng = rng.fork();
+  w.estimator->train(records, train_rng);
+
+  // Tile grid: odd-r offset rectangle, one server per tile, row-major ids.
+  w.grid = HexGrid(config.cell_radius_m);
+  w.server_centers.reserve(static_cast<std::size_t>(config.num_servers()));
+  for (int row = 0; row < config.tiles_y; ++row) {
+    for (int col = 0; col < config.tiles_x; ++col) {
+      const HexCoord axial{col - (row - (row & 1)) / 2, row};
+      w.server_centers.push_back(w.grid.center(axial));
+    }
+  }
+  w.width_m = kSqrt3 * config.cell_radius_m * config.tiles_x;
+  w.height_m = 1.5 * config.cell_radius_m * config.tiles_y;
+
+  // Per-level planning tables. Each level's GPU statistics come from a
+  // dedicated seeded stream (never from a shared sequential RNG), so the
+  // table is identical no matter what was built before it. The estimator
+  // fill goes through the fastpath estimate cache when enabled — required
+  // to be bit-identical to the direct loop, so the fastpath toggle cannot
+  // change the tables.
+  EstimateCache estimate_cache;
+  const auto n = static_cast<std::size_t>(w.model.num_layers());
+  w.levels.resize(static_cast<std::size_t>(config.max_load_level));
+  for (int load = 1; load <= config.max_load_level; ++load) {
+    ShardLoadLevel& lvl = w.levels[static_cast<std::size_t>(load - 1)];
+    std::uint64_t state =
+        config.seed ^ (0x1e7e1ed5ULL * static_cast<std::uint64_t>(load + 1));
+    Rng level_rng(splitmix64(state));
+    lvl.stats = w.gpu->stats_for_load(load, static_cast<double>(load),
+                                      level_rng);
+    std::vector<Seconds> estimated;
+    if (fastpath::enabled()) {
+      estimated = estimate_cache.estimates(*w.estimator, w.model, lvl.stats);
+    } else {
+      estimated.reserve(n);
+      for (LayerId id = 0; id < w.model.num_layers(); ++id)
+        estimated.push_back(w.estimator->estimate(
+            w.model.layer(id), w.model.input_bytes(id), lvl.stats));
+    }
+    PartitionContext context;
+    context.model = &w.model;
+    context.client_profile = &w.client_profile;
+    context.server_time = std::move(estimated);
+    context.net = config.wireless;
+    if (load == 1) {
+      // The canonical upload order every client follows: the uncontended
+      // plan's server layers in topological order.
+      const PartitionPlan plan = compute_best_plan(context);
+      w.canonical_order = plan.server_layers();
+      w.prefix_bytes.assign(1, 0);
+      w.prefix_bytes.reserve(w.canonical_order.size() + 1);
+      for (LayerId id : w.canonical_order)
+        w.prefix_bytes.push_back(w.prefix_bytes.back() +
+                                 w.model.layer(id).weight_bytes);
+    }
+    lvl.latency_by_prefix.resize(w.canonical_order.size() + 1);
+    std::vector<bool> uploadable(n, false);
+    for (std::size_t p = 0; p <= w.canonical_order.size(); ++p) {
+      lvl.latency_by_prefix[p] = plan_latency(context, uploadable);
+      if (p < w.canonical_order.size())
+        uploadable[static_cast<std::size_t>(w.canonical_order[p])] = true;
+    }
+  }
+  return w;
+}
+
+std::uint64_t shard_config_fingerprint(const ShardWorldConfig& c) {
+  // Chained splitmix64 over every simulation-affecting knob, mirroring
+  // snapshot::config_fingerprint for the trace-replay engine. Shard and
+  // thread counts are excluded: both are byte-identity-neutral.
+  std::uint64_t state = 0x5ead5ca1eULL;
+  std::uint64_t digest = 0;
+  const auto mix = [&](std::uint64_t v) {
+    state ^= v;
+    digest ^= splitmix64(state);
+  };
+  const auto mix_double = [&](double v) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    mix(bits);
+  };
+  mix(static_cast<std::uint64_t>(c.model));
+  mix(static_cast<std::uint64_t>(c.policy));
+  mix(static_cast<std::uint64_t>(c.tiles_x));
+  mix(static_cast<std::uint64_t>(c.tiles_y));
+  mix_double(c.cell_radius_m);
+  mix(static_cast<std::uint64_t>(c.num_clients));
+  mix(static_cast<std::uint64_t>(c.num_intervals));
+  mix_double(c.interval_s);
+  mix_double(c.query_gap);
+  mix_double(c.wireless.uplink_bytes_per_sec);
+  mix_double(c.wireless.downlink_bytes_per_sec);
+  mix_double(c.wireless.rtt);
+  mix_double(c.migration_radius_m);
+  mix(static_cast<std::uint64_t>(c.ttl_intervals));
+  mix(static_cast<std::uint64_t>(c.max_load_level));
+  mix_double(c.speed_min_mps);
+  mix_double(c.speed_max_mps);
+  mix_double(c.turn_probability);
+  mix_double(c.offline_probability);
+  mix(static_cast<std::uint64_t>(c.offline_intervals));
+  mix(c.seed);
+  return digest;
+}
+
+}  // namespace perdnn

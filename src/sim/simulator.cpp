@@ -351,6 +351,7 @@ class SimulatorImpl {
   /// backhaul; kInfSeconds when unavailable.
   Seconds routed_path_latency(ClientId c, ServerId previous,
                               int interval_index);
+  void sort_canonical(std::vector<LayerId>& layers) const;
   std::vector<LayerId> order_by_canonical(std::vector<LayerId> layers) const;
 
   const SimulationConfig& config_;
@@ -387,6 +388,14 @@ class SimulatorImpl {
   /// same (model, stats) estimate. levels_ persists across intervals, so
   /// misses here are rare once the load levels are warm.
   EstimateCache estimate_cache_;
+  // Scratch buffers for the per-interval proactive-migration sweep. The
+  // sweep runs for every attached client every interval; growing into these
+  // instead of allocating fresh vectors keeps the steady-state path
+  // allocation-free (bench_micro --json reports allocations per interval).
+  std::vector<HexCoord> cells_scratch_;
+  std::vector<ServerId> targets_scratch_;
+  std::vector<bool> source_mask_scratch_;
+  std::vector<LayerId> sendable_scratch_;
   std::vector<ColdJob> cold_jobs_;  // this interval's deferred windows
   SimulationMetrics metrics_;
   /// First interval run() executes; nonzero only after restore_from().
@@ -499,8 +508,7 @@ const LoadLevelCache& SimulatorImpl::degraded_level(int load) {
   return degraded_levels_.emplace(load, std::move(lvl)).first->second;
 }
 
-std::vector<LayerId> SimulatorImpl::order_by_canonical(
-    std::vector<LayerId> layers) const {
+void SimulatorImpl::sort_canonical(std::vector<LayerId>& layers) const {
   std::sort(layers.begin(), layers.end(), [&](LayerId a, LayerId b) {
     const int ra = order_rank_[static_cast<std::size_t>(a)];
     const int rb = order_rank_[static_cast<std::size_t>(b)];
@@ -510,6 +518,11 @@ std::vector<LayerId> SimulatorImpl::order_by_canonical(
     if (rb >= 0) return false;
     return a < b;
   });
+}
+
+std::vector<LayerId> SimulatorImpl::order_by_canonical(
+    std::vector<LayerId> layers) const {
+  sort_canonical(layers);
   return layers;
 }
 
@@ -1123,15 +1136,15 @@ void SimulatorImpl::proactive_migration(int interval_index) {
       if (timeseries_ != nullptr)
         timeseries_->record_predictor_sample(client.current, error_m);
     }
-    const std::vector<ServerId> targets =
-        world_.servers.servers_within(*predicted, config_.migration_radius_m);
+    world_.servers.servers_within_into(*predicted, config_.migration_radius_m,
+                                       cells_scratch_, targets_scratch_);
 
     LayerCache& source_cache =
         caches_[static_cast<std::size_t>(client.current)];
-    const std::vector<bool> source_mask =
-        source_cache.mask(c, world_.model);
+    source_cache.mask_into(c, world_.model, source_mask_scratch_);
+    const std::vector<bool>& source_mask = source_mask_scratch_;
 
-    for (ServerId target : targets) {
+    for (ServerId target : targets_scratch_) {
       if (target == client.current) continue;  // futile for migration
       if (is_down(target, interval_index)) continue;
       const int load = attached_[static_cast<std::size_t>(target)] + 1;
@@ -1141,25 +1154,30 @@ void SimulatorImpl::proactive_migration(int interval_index) {
               : level(load);
 
       // Send what the future plan needs and the source actually has.
-      std::vector<LayerId> sendable;
+      // Candidates accumulate in a scratch vector so the (common) futile
+      // and truncated-to-nothing targets cost no allocation; a real vector
+      // is only materialized once an order is actually issued.
+      sendable_scratch_.clear();
       for (LayerId id : lvl.needed)
-        if (source_mask[static_cast<std::size_t>(id)]) sendable.push_back(id);
+        if (source_mask[static_cast<std::size_t>(id)])
+          sendable_scratch_.push_back(id);
       // Futile order: the source holds nothing the future plan needs, so no
       // layer could ever ship. Don't issue (or count, or record) an order
       // that cannot move a byte.
-      if (sendable.empty()) continue;
-      sendable = order_by_canonical(std::move(sendable));
+      if (sendable_scratch_.empty()) continue;
+      sort_canonical(sendable_scratch_);
       if (journal_ != nullptr) {
         Bytes planned_bytes = 0;
-        for (LayerId id : sendable)
+        for (LayerId id : sendable_scratch_)
           planned_bytes += world_.model.layer(id).weight_bytes;
-        journal_->record({.interval = interval_index,
-                          .kind = obs::JournalEventKind::kMigrationPlanned,
-                          .client = c,
-                          .server = client.current,
-                          .peer = target,
-                          .bytes = planned_bytes,
-                          .aux = static_cast<std::int32_t>(sendable.size())});
+        journal_->record(
+            {.interval = interval_index,
+             .kind = obs::JournalEventKind::kMigrationPlanned,
+             .client = c,
+             .server = client.current,
+             .peer = target,
+             .bytes = planned_bytes,
+             .aux = static_cast<std::int32_t>(sendable_scratch_.size())});
       }
 
       // Fractional migration: crowded endpoints cap the migrated bytes to
@@ -1171,8 +1189,9 @@ void SimulatorImpl::proactive_migration(int interval_index) {
       if (capped) {
         Bytes used = 0;
         std::size_t keep = 0;
-        while (keep < sendable.size()) {
-          const Bytes w = world_.model.layer(sendable[keep]).weight_bytes;
+        while (keep < sendable_scratch_.size()) {
+          const Bytes w =
+              world_.model.layer(sendable_scratch_[keep]).weight_bytes;
           if (used + w > config_.crowded_byte_budget) break;
           used += w;
           ++keep;
@@ -1185,8 +1204,10 @@ void SimulatorImpl::proactive_migration(int interval_index) {
           obs::count("sim.migration.truncated");
           continue;
         }
-        sendable.resize(keep);
+        sendable_scratch_.resize(keep);
       }
+      std::vector<LayerId> sendable(sendable_scratch_.begin(),
+                                    sendable_scratch_.end());
 
       // Fault-aware delivery. On a healthy link this stores (deduplicating)
       // and accounts only the bytes that actually crossed the backhaul; even

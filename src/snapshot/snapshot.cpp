@@ -259,6 +259,90 @@ obs::JournalState read_journal(Reader& r) {
   return j;
 }
 
+void write_shard(Writer& w, const ShardSimState& s) {
+  const auto write_f64s = [&](const std::vector<double>& v) {
+    w.count(v.size());
+    for (double x : v) w.f64(x);
+  };
+  const auto write_i32s = [&](const std::vector<std::int32_t>& v) {
+    w.count(v.size());
+    for (std::int32_t x : v) w.i32(x);
+  };
+  const auto write_u32s = [&](const std::vector<std::uint32_t>& v) {
+    w.count(v.size());
+    for (std::uint32_t x : v) w.u32(x);
+  };
+  write_f64s(s.x);
+  write_f64s(s.y);
+  write_f64s(s.heading);
+  write_i32s(s.server);
+  write_u32s(s.prefix);
+  w.count(s.carry.size());
+  for (std::int64_t x : s.carry) w.i64(x);
+  write_i32s(s.offline_until);
+  write_i32s(s.entry_server);
+  write_i32s(s.entry_client);
+  write_i32s(s.entry_expire);
+  write_u32s(s.entry_prefix);
+  write_f64s(s.peak_uplink_mbps);
+  write_f64s(s.peak_downlink_mbps);
+  w.i64(s.best_interval_bytes);
+  w.f64(s.best_interval_fraction);
+  w.u64(s.timeseries_bytes);
+  w.u64(s.timeseries_rows);
+  w.u64(s.journal_bytes);
+  w.u64(s.journal_events);
+  w.u64(s.journal_next_chain);
+  w.count(s.client_chains.size());
+  for (const auto& [client, chain] : s.client_chains) {
+    w.i32(client);
+    w.u64(chain);
+  }
+}
+
+ShardSimState read_shard(Reader& r) {
+  ShardSimState s;
+  const auto read_f64s = [&](std::vector<double>& v) {
+    v.resize(r.count(8));
+    for (double& x : v) x = r.f64();
+  };
+  const auto read_i32s = [&](std::vector<std::int32_t>& v) {
+    v.resize(r.count(4));
+    for (std::int32_t& x : v) x = r.i32();
+  };
+  const auto read_u32s = [&](std::vector<std::uint32_t>& v) {
+    v.resize(r.count(4));
+    for (std::uint32_t& x : v) x = r.u32();
+  };
+  read_f64s(s.x);
+  read_f64s(s.y);
+  read_f64s(s.heading);
+  read_i32s(s.server);
+  read_u32s(s.prefix);
+  s.carry.resize(r.count(8));
+  for (std::int64_t& x : s.carry) x = r.i64();
+  read_i32s(s.offline_until);
+  read_i32s(s.entry_server);
+  read_i32s(s.entry_client);
+  read_i32s(s.entry_expire);
+  read_u32s(s.entry_prefix);
+  read_f64s(s.peak_uplink_mbps);
+  read_f64s(s.peak_downlink_mbps);
+  s.best_interval_bytes = r.i64();
+  s.best_interval_fraction = r.f64();
+  s.timeseries_bytes = r.u64();
+  s.timeseries_rows = r.u64();
+  s.journal_bytes = r.u64();
+  s.journal_events = r.u64();
+  s.journal_next_chain = r.u64();
+  s.client_chains.resize(r.count(12));
+  for (auto& [client, chain] : s.client_chains) {
+    client = r.i32();
+    chain = r.u64();
+  }
+  return s;
+}
+
 }  // namespace
 
 // -- config fingerprint ------------------------------------------------------
@@ -406,11 +490,24 @@ std::string encode(const SimSnapshot& snap) {
   payload.boolean(snap.has_journal);
   write_journal(payload, snap.journal);
 
+  payload.boolean(snap.has_shard);
+  if (snap.has_shard) write_shard(payload, snap.shard);
+
   return wire::frame(kMagic, kSnapshotVersion, payload.bytes());
 }
 
 SimSnapshot decode(const std::string& bytes) try {
-  Reader r = wire::unframe(bytes, kMagic, kSnapshotVersion, "snapshot");
+  // Accept the current version and version 2 (pre-shard files): the shard
+  // section is the only difference, so old checkpoints decode with
+  // has_shard == false. Unknown versions fall through to unframe()'s
+  // version-mismatch error.
+  std::uint32_t version = kSnapshotVersion;
+  if (bytes.size() >= 12) {
+    Reader vr(bytes.data() + 8, 4);
+    const std::uint32_t declared = vr.u32();
+    if (declared == 2) version = declared;
+  }
+  Reader r = wire::unframe(bytes, kMagic, version, "snapshot");
   SimSnapshot snap;
   snap.config_fingerprint = r.u64();
   snap.next_interval = r.i32();
@@ -480,6 +577,11 @@ SimSnapshot decode(const std::string& bytes) try {
 
   snap.has_journal = r.boolean();
   snap.journal = read_journal(r);
+
+  if (version >= 3) {
+    snap.has_shard = r.boolean();
+    if (snap.has_shard) snap.shard = read_shard(r);
+  }
 
   if (!r.done())
     throw SnapshotError("snapshot: trailing bytes after the last field");

@@ -51,7 +51,10 @@ namespace perdnn::snapshot {
 
 /// Version 2 appended the event-journal state (has_journal + JournalState)
 /// so a resumed run's journal is byte-identical to the uninterrupted one.
-inline constexpr std::uint32_t kSnapshotVersion = 2;
+/// Version 3 appended the sharded-world section (has_shard + ShardSimState)
+/// for the SoA city-scale simulator; decode still accepts version-2 files
+/// (their shard section is simply absent).
+inline constexpr std::uint32_t kSnapshotVersion = 3;
 
 /// Thrown for every malformed-snapshot condition: bad magic, unknown
 /// version, truncation, checksum mismatch, out-of-range lengths, fingerprint
@@ -75,6 +78,35 @@ struct ClientSnapshot {
 struct LoadLevelSnapshot {
   int load = 0;
   GpuStats stats;
+};
+
+/// Complete mutable state of the sharded (SoA) city-scale simulator at an
+/// interval boundary. Per-client arrays are indexed by client id; cache
+/// entries are flattened in (server, client) order — the canonical encoding
+/// every shard/thread count produces identically. RNG substreams, per-client
+/// speeds and the tile index are deterministic functions of (seed, client)
+/// or of the stored position, so they are recomputed on resume rather than
+/// stored. Stream offsets let a resumed run truncate its timeseries CSV /
+/// journal JSONL back to the checkpoint boundary and append from there.
+struct ShardSimState {
+  // SoA client store.
+  std::vector<double> x, y, heading;
+  std::vector<std::int32_t> server;         // kNoServer when detached/offline
+  std::vector<std::uint32_t> prefix;        // uploaded canonical-prefix length
+  std::vector<std::int64_t> carry;          // bytes banked toward next layer
+  std::vector<std::int32_t> offline_until;  // offline while interval < this
+  // Layer-cache entries, flattened and sorted by (server, client).
+  std::vector<std::int32_t> entry_server, entry_client, entry_expire;
+  std::vector<std::uint32_t> entry_prefix;
+  // Backhaul peaks (per-server all-time) and the busiest-interval record.
+  std::vector<double> peak_uplink_mbps, peak_downlink_mbps;
+  std::int64_t best_interval_bytes = -1;
+  double best_interval_fraction = 1.0;
+  // Streamed-output positions at the checkpoint.
+  std::uint64_t timeseries_bytes = 0, timeseries_rows = 0;
+  std::uint64_t journal_bytes = 0, journal_events = 0;
+  std::uint64_t journal_next_chain = 1;
+  std::vector<std::pair<std::int32_t, std::uint64_t>> client_chains;
 };
 
 struct SimSnapshot {
@@ -108,6 +140,11 @@ struct SimSnapshot {
   /// and deliberately never stored (journal.hpp explains why).
   bool has_journal = false;
   obs::JournalState journal;
+  /// Sharded-world section (version 3). When has_shard is set the legacy
+  /// per-client/per-server vectors above stay empty: the two engines never
+  /// share a snapshot.
+  bool has_shard = false;
+  ShardSimState shard;
 };
 
 /// Hash of every simulation-affecting config knob plus the world's shape

@@ -84,6 +84,51 @@ TEST_F(EstimateCacheTest, InvalidateClears) {
   EXPECT_EQ(cache.misses(), 2u);
 }
 
+TEST_F(EstimateCacheTest, EpochBumpKeepsHitMissSequenceOfAClear) {
+  // invalidate() is an O(1) epoch bump, not a map clear. The observable
+  // hit/miss sequence must stay exactly what a clear would produce: no
+  // stale hit after invalidate, fresh entries hit again within an epoch.
+  EstimateCache cache;
+  GpuStats a, b;
+  a.num_clients = 1;
+  b.num_clients = 2;
+  cache.estimates(estimator_, *model_, a);  // miss
+  cache.estimates(estimator_, *model_, b);  // miss
+  cache.estimates(estimator_, *model_, a);  // hit
+  cache.invalidate();
+  cache.estimates(estimator_, *model_, a);  // miss again: old epoch dead
+  cache.estimates(estimator_, *model_, a);  // hit in the new epoch
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_F(EstimateCacheTest, CapMissReclaimsStaleEpochsBeforeLiveEntries) {
+  // With the map at its cap, a miss must evict lazily-retained stale-epoch
+  // entries first — live entries keep hitting, so the sequence still
+  // matches what eager clearing on invalidate() would have produced.
+  EstimateCache cache(/*max_entries=*/4);
+  GpuStats stats;
+  for (int i = 0; i < 3; ++i) {
+    stats.num_clients = i + 1;
+    cache.estimates(estimator_, *model_, stats);
+  }
+  cache.invalidate();
+  for (int i = 0; i < 3; ++i) {
+    stats.num_clients = i + 1;
+    cache.estimates(estimator_, *model_, stats);  // 2nd insert hits the cap
+  }
+  EXPECT_EQ(cache.misses(), 6u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    stats.num_clients = i + 1;
+    cache.estimates(estimator_, *model_, stats);
+  }
+  EXPECT_EQ(cache.hits(), 3u);  // the GC never touched the live epoch
+  EXPECT_EQ(cache.misses(), 6u);
+}
+
 TEST_F(EstimateCacheTest, CapTriggersClearNotGrowth) {
   EstimateCache cache(/*max_entries=*/2);
   GpuStats stats;

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdlib>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "common/rng.hpp"
 
@@ -114,6 +118,115 @@ TEST(HexGrid, ZeroRadiusReturnsAtMostOwnCell) {
   HexGrid grid(50.0);
   const auto cells = grid.cells_within({1.0, 1.0}, 0.0);
   EXPECT_LE(cells.size(), 1u);
+}
+
+// Boundary: a point exactly on the edge between two cells (the midpoint of
+// their centres) must resolve to one of those two cells, deterministically —
+// cell_at must not invent a third cell or flip between calls. These are the
+// "client standing on a tile border" positions the sharded world feeds in.
+TEST(HexGrid, EdgeMidpointsResolveToAnAdjacentCellDeterministically) {
+  HexGrid grid(50.0);
+  for (std::int32_t q = -6; q <= 6; q += 2) {
+    for (std::int32_t r = -6; r <= 6; r += 2) {
+      const HexCoord cell{q, r};
+      const Point c0 = grid.center(cell);
+      for (const HexCoord neighbor : HexGrid::neighbors(cell)) {
+        const Point c1 = grid.center(neighbor);
+        const Point mid{(c0.x + c1.x) / 2.0, (c0.y + c1.y) / 2.0};
+        const HexCoord got = grid.cell_at(mid);
+        EXPECT_TRUE(got == cell || got == neighbor)
+            << "midpoint of (" << q << "," << r << ") and (" << neighbor.q
+            << "," << neighbor.r << ") landed in (" << got.q << "," << got.r
+            << ")";
+        // Deterministic: asking again gives the same answer.
+        const HexCoord again = grid.cell_at(mid);
+        EXPECT_TRUE(got == again);
+      }
+    }
+  }
+}
+
+// Boundary: cell vertices are equidistant from three cells; cell_at must
+// still pick one of those three nearest cells (never a farther one).
+TEST(HexGrid, CellVerticesResolveToANearestCell) {
+  HexGrid grid(40.0);
+  for (std::int32_t q = -4; q <= 4; q += 2) {
+    for (std::int32_t r = -4; r <= 4; r += 2) {
+      const HexCoord cell{q, r};
+      const Point c = grid.center(cell);
+      for (int k = 0; k < 6; ++k) {
+        // Pointy-top vertices sit at 30° + k·60° from the centre.
+        const double angle = (30.0 + 60.0 * k) * 3.14159265358979323846 / 180.0;
+        const Point vertex{c.x + 40.0 * std::cos(angle),
+                           c.y + 40.0 * std::sin(angle)};
+        const HexCoord got = grid.cell_at(vertex);
+        const double own = distance(grid.center(got), vertex);
+        // Whatever it picked, no neighbour of the picked cell is strictly
+        // closer: the choice is among the tied nearest cells.
+        for (const HexCoord n : HexGrid::neighbors(got))
+          EXPECT_LE(own, distance(grid.center(n), vertex) + 1e-6);
+      }
+    }
+  }
+}
+
+// No wraparound: neighbour queries at extreme coordinates stay local — six
+// distinct cells, all at hex distance 1, each offset by at most one step in
+// q and r. (A modular/wrapping grid would teleport across the world.)
+TEST(HexGrid, NeighborsAtExtremeCoordinatesDoNotWrap) {
+  const HexCoord extremes[] = {{1000000, 0},
+                               {-1000000, 0},
+                               {0, 1000000},
+                               {0, -1000000},
+                               {999999, -999999}};
+  for (const HexCoord origin : extremes) {
+    std::set<std::pair<int, int>> unique;
+    for (const HexCoord n : HexGrid::neighbors(origin)) {
+      EXPECT_EQ(HexGrid::hex_distance(origin, n), 1);
+      EXPECT_LE(std::abs(n.q - origin.q), 1);
+      EXPECT_LE(std::abs(n.r - origin.r), 1);
+      unique.insert({n.q, n.r});
+    }
+    EXPECT_EQ(unique.size(), 6u);
+  }
+}
+
+// cells_within far from the origin returns no duplicates and only cells
+// whose centres genuinely lie in the disc — another wraparound guard.
+TEST(HexGrid, CellsWithinFarFromOriginIsDuplicateFreeAndLocal) {
+  HexGrid grid(50.0);
+  const Point far{1.0e6, -7.5e5};
+  const auto cells = grid.cells_within(far, 180.0);
+  EXPECT_FALSE(cells.empty());
+  std::set<std::pair<int, int>> unique;
+  for (const HexCoord cell : cells) {
+    EXPECT_LE(distance(grid.center(cell), far), 180.0 + 1e-6);
+    unique.insert({cell.q, cell.r});
+  }
+  EXPECT_EQ(unique.size(), cells.size());
+}
+
+// The allocation-free variant returns exactly what cells_within returns,
+// and a reused scratch vector is cleared on every call (stale contents from
+// a previous, larger query must not leak into the next result).
+TEST(HexGrid, CellsWithinIntoMatchesAndClearsScratch) {
+  HexGrid grid(50.0);
+  Rng rng(37);
+  std::vector<HexCoord> scratch;
+  for (int trial = 0; trial < 25; ++trial) {
+    const Point p{rng.uniform(-400.0, 400.0), rng.uniform(-400.0, 400.0)};
+    const double radius = rng.uniform(0.0, 250.0);
+    const auto fresh = grid.cells_within(p, radius);
+    grid.cells_within_into(p, radius, scratch);
+    ASSERT_EQ(scratch.size(), fresh.size());
+    for (std::size_t i = 0; i < fresh.size(); ++i)
+      EXPECT_TRUE(scratch[i] == fresh[i]);
+  }
+  // Large query followed by an empty one: the scratch must come back empty.
+  grid.cells_within_into({0.0, 0.0}, 300.0, scratch);
+  EXPECT_GT(scratch.size(), 1u);
+  grid.cells_within_into({1.0e4, 1.0e4}, 0.0, scratch);
+  EXPECT_LE(scratch.size(), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,265 @@
+// Tier-1 determinism gate for the sharded city-scale engine: the same
+// seeded ShardWorld must produce byte-identical metrics, streamed
+// timeseries CSV and streamed journal JSONL across
+//
+//   threads x shards x fastpath x checkpoint/resume
+//
+// per the contract in sim/shard_sim.hpp. The resume leg also emulates a
+// kill -9 mid-write (garbage appended past the checkpoint offset) — the
+// stream writers must truncate back to the boundary and still converge on
+// the uninterrupted bytes.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/fastpath.hpp"
+#include "common/parallel.hpp"
+#include "sim/shard_sim.hpp"
+#include "sim/shard_world.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace perdnn {
+namespace {
+
+std::string metrics_fingerprint(const SimulationMetrics& m) {
+  std::string out;
+  char buf[128];
+  const auto add = [&](const char* name, double v) {
+    std::snprintf(buf, sizeof buf, "%s=%.17g\n", name, v);
+    out += buf;
+  };
+  add("cold_window_queries", static_cast<double>(m.cold_window_queries));
+  add("server_changes", m.server_changes);
+  add("hits", m.hits);
+  add("partials", m.partials);
+  add("misses", m.misses);
+  add("client_disconnect_events", m.client_disconnect_events);
+  add("attached_client_intervals",
+      static_cast<double>(m.attached_client_intervals));
+  add("offline_client_intervals",
+      static_cast<double>(m.offline_client_intervals));
+  add("peak_uplink_mbps", m.peak_uplink_mbps);
+  add("peak_downlink_mbps", m.peak_downlink_mbps);
+  add("fraction_servers_within_100mbps", m.fraction_servers_within_100mbps);
+  add("fraction_servers_within_100mbps_at_peak",
+      m.fraction_servers_within_100mbps_at_peak);
+  add("total_migrated_bytes", static_cast<double>(m.total_migrated_bytes));
+  add("num_servers", m.num_servers);
+  add("num_clients", m.num_clients);
+  add("num_intervals", m.num_intervals);
+  for (std::size_t s = 0; s < m.server_peak_uplink_mbps.size(); ++s) {
+    std::snprintf(buf, sizeof buf, "server_peak[%zu]=%.17g\n", s,
+                  m.server_peak_uplink_mbps[s]);
+    out += buf;
+  }
+  return out;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+struct FastPathGuard {
+  explicit FastPathGuard(bool enable) : previous(fastpath::enabled()) {
+    fastpath::set_enabled(enable);
+  }
+  ~FastPathGuard() { fastpath::set_enabled(previous); }
+  bool previous;
+};
+
+struct RunResult {
+  std::string metrics;
+  std::string timeseries;
+  std::string journal;
+};
+
+class ShardDeterminismTest : public ::testing::Test {
+ protected:
+  static ShardWorldConfig small_config() {
+    ShardWorldConfig config;
+    config.model = ModelName::kMobileNet;
+    config.tiles_x = 4;
+    config.tiles_y = 5;
+    config.cell_radius_m = 50.0;
+    config.num_clients = 60;
+    config.num_intervals = 10;
+    config.max_load_level = 6;
+    config.offline_probability = 0.05;
+    config.offline_intervals = 2;
+    config.seed = 7;
+    return config;
+  }
+
+  static void SetUpTestSuite() {
+    world_ = new ShardWorld(build_shard_world(small_config()));
+  }
+
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+    par::set_num_threads(0);
+  }
+
+  static std::string ts_path() { return ::testing::TempDir() + "shard_ts.csv"; }
+  static std::string jr_path() {
+    return ::testing::TempDir() + "shard_jr.jsonl";
+  }
+
+  static RunResult run_at(const ShardWorld& world, int threads, int shards) {
+    par::set_num_threads(threads);
+    ShardRunOptions options;
+    options.num_shards = shards;
+    options.timeseries_path = ts_path();
+    options.journal_path = jr_path();
+    const SimulationMetrics metrics = run_sharded_simulation(world, options);
+    par::set_num_threads(0);
+    return {metrics_fingerprint(metrics), slurp(ts_path()), slurp(jr_path())};
+  }
+
+  static ShardWorld* world_;
+};
+
+ShardWorld* ShardDeterminismTest::world_ = nullptr;
+
+TEST_F(ShardDeterminismTest, MatrixByteIdenticalAcrossThreadsAndShards) {
+  const RunResult baseline = run_at(*world_, 1, 1);
+  ASSERT_FALSE(baseline.metrics.empty());
+  ASSERT_FALSE(baseline.timeseries.empty());
+  ASSERT_FALSE(baseline.journal.empty());
+
+  for (const int shards : {1, 4, 16}) {
+    for (const int threads : {1, 2, 8}) {
+      const RunResult r = run_at(*world_, threads, shards);
+      EXPECT_EQ(baseline.metrics, r.metrics)
+          << "threads=" << threads << " shards=" << shards;
+      EXPECT_EQ(baseline.timeseries, r.timeseries)
+          << "threads=" << threads << " shards=" << shards;
+      EXPECT_EQ(baseline.journal, r.journal)
+          << "threads=" << threads << " shards=" << shards;
+    }
+  }
+
+  // Not vacuous: the run exercised attaches, pushes, cold windows and
+  // offline churn.
+  EXPECT_EQ(baseline.metrics.find("server_changes=0\n"), std::string::npos);
+  EXPECT_EQ(baseline.metrics.find("total_migrated_bytes=0\n"),
+            std::string::npos);
+  EXPECT_EQ(baseline.metrics.find("cold_window_queries=0\n"),
+            std::string::npos);
+  EXPECT_EQ(baseline.metrics.find("offline_client_intervals=0\n"),
+            std::string::npos);
+}
+
+TEST_F(ShardDeterminismTest, FastPathOffWorldProducesIdenticalRun) {
+  const RunResult on = run_at(*world_, 2, 4);
+  const ShardWorld off_world = [] {
+    FastPathGuard guard(false);
+    return build_shard_world(small_config());
+  }();
+  ASSERT_EQ(world_->canonical_order, off_world.canonical_order);
+  ASSERT_EQ(world_->prefix_bytes, off_world.prefix_bytes);
+  const RunResult off = [&] {
+    FastPathGuard guard(false);
+    return run_at(off_world, 8, 16);
+  }();
+  EXPECT_EQ(on.metrics, off.metrics);
+  EXPECT_EQ(on.timeseries, off.timeseries);
+  EXPECT_EQ(on.journal, off.journal);
+}
+
+TEST_F(ShardDeterminismTest, ResumeAfterKillConvergesByteIdentical) {
+  const RunResult full = run_at(*world_, 2, 4);
+
+  // First half: stop after interval 4 with a checkpoint, at different
+  // thread/shard counts than the uninterrupted run.
+  par::set_num_threads(1);
+  snapshot::SimSnapshot snap;
+  {
+    ShardRunOptions options;
+    options.num_shards = 16;
+    options.timeseries_path = ts_path();
+    options.journal_path = jr_path();
+    options.stop_after_interval = 4;
+    options.capture_out = &snap;
+    run_sharded_simulation(*world_, options);
+  }
+  ASSERT_TRUE(snap.has_shard);
+  ASSERT_EQ(snap.next_interval, 5);
+
+  // Emulate kill -9 mid-write: bytes past the checkpoint offset, including
+  // a partial line, that the resumed run must discard.
+  {
+    std::ofstream ts(ts_path(), std::ios::binary | std::ios::app);
+    ts << "9,9,9,garbage-past-the-checkpo";
+    std::ofstream jr(jr_path(), std::ios::binary | std::ios::app);
+    jr << "{\"interval\":999,\"kind\":\"atta";
+  }
+
+  // Round-trip the snapshot through the v3 codec before resuming, so the
+  // resume leg also covers the shard-section encode/decode.
+  const snapshot::SimSnapshot decoded = snapshot::decode(snapshot::encode(snap));
+  ASSERT_TRUE(decoded.has_shard);
+
+  ShardRunOptions options;
+  options.num_shards = 4;
+  options.timeseries_path = ts_path();
+  options.journal_path = jr_path();
+  options.resume_from = &decoded;
+  const SimulationMetrics resumed = run_sharded_simulation(*world_, options);
+  par::set_num_threads(0);
+
+  EXPECT_EQ(full.metrics, metrics_fingerprint(resumed));
+  EXPECT_EQ(full.timeseries, slurp(ts_path()));
+  EXPECT_EQ(full.journal, slurp(jr_path()));
+}
+
+TEST_F(ShardDeterminismTest, ResumeRejectsForeignConfig) {
+  par::set_num_threads(1);
+  snapshot::SimSnapshot snap;
+  ShardRunOptions options;
+  options.stop_after_interval = 1;
+  options.capture_out = &snap;
+  run_sharded_simulation(*world_, options);
+
+  ShardWorldConfig other = small_config();
+  other.seed = 8;
+  const ShardWorld other_world = build_shard_world(other);
+  ShardRunOptions resume;
+  resume.resume_from = &snap;
+  EXPECT_THROW(run_sharded_simulation(other_world, resume),
+               snapshot::SnapshotError);
+  par::set_num_threads(0);
+}
+
+TEST_F(ShardDeterminismTest, EmptyTileShardsStillEmitDenseRows) {
+  // 20 tiles, 3 clients: most tiles (and with 16 shards, most shards) own
+  // no client at all. The merged output must still be the dense
+  // intervals x servers row matrix, byte-identical to the single-shard run.
+  ShardWorldConfig config = small_config();
+  config.num_clients = 3;
+  config.num_intervals = 5;
+  const ShardWorld sparse = build_shard_world(config);
+
+  const RunResult one = run_at(sparse, 1, 1);
+  const RunResult sixteen = run_at(sparse, 8, 16);
+  EXPECT_EQ(one.metrics, sixteen.metrics);
+  EXPECT_EQ(one.timeseries, sixteen.timeseries);
+  EXPECT_EQ(one.journal, sixteen.journal);
+
+  long long lines = 0;
+  for (const char c : one.timeseries)
+    if (c == '\n') ++lines;
+  // `# schema=`, `# model=`, header, then one row per (interval, server).
+  EXPECT_EQ(lines, 3 + static_cast<long long>(config.num_intervals) *
+                           config.num_servers());
+}
+
+}  // namespace
+}  // namespace perdnn

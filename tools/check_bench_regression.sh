@@ -12,14 +12,22 @@
 #     itself, not a relative comparison.
 # When no baseline exists the current run becomes the baseline (commit it).
 #
+# The city-scale benchmark is gated too, when a result is supplied: set
+# BENCH_SCALE_JSON=path/to/result.json (produced by `bench_scale --json`) and
+# it is compared against the committed BENCH_scale.json baseline —
+# clients_per_sec must stay >= 50% of baseline and peak_rss_bytes <= 150%.
+# The 1M-client run takes minutes, so it is never executed here implicitly;
+# without BENCH_SCALE_JSON the scale gate is skipped with a note.
+#
 # Usage: tools/check_bench_regression.sh [--update] [path/to/bench_micro]
-#   --update   rewrite the baseline with the current run, then exit 0.
+#   --update   rewrite the baseline(s) with the current run, then exit 0.
 #
 # Plain bash + awk on the harness's own one-line JSON; no python/jq needed.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BASELINE="$ROOT/BENCH_fastpath.json"
+SCALE_BASELINE="$ROOT/BENCH_scale.json"
 
 update=0
 bench_micro="${BENCH_MICRO:-$ROOT/build/bench/bench_micro}"
@@ -44,6 +52,10 @@ echo "running $bench_micro --json ..."
 if [ "$update" -eq 1 ] || [ ! -f "$BASELINE" ]; then
   cp "$current" "$BASELINE"
   echo "baseline written to $BASELINE — commit it"
+  if [ -n "${BENCH_SCALE_JSON:-}" ] && [ -f "$BENCH_SCALE_JSON" ]; then
+    cp "$BENCH_SCALE_JSON" "$SCALE_BASELINE"
+    echo "scale baseline written to $SCALE_BASELINE — commit it"
+  fi
   exit 0
 fi
 
@@ -83,6 +95,47 @@ while read -r name t sp; do
       fi ;;
   esac
 done <<< "$(extract "$current")"
+
+# ---- city-scale gate (BENCH_scale.json) -----------------------------------
+# Pulls one numeric field out of bench_scale's one-line JSON result.
+scale_field() { # file key
+  awk -v k="$2" '{
+    if (match($0, "\"" k "\":[0-9.eE+-]+"))
+      print substr($0, RSTART + length(k) + 3, RLENGTH - length(k) - 3)
+  }' "$1"
+}
+
+if [ -z "${BENCH_SCALE_JSON:-}" ]; then
+  echo "note: BENCH_SCALE_JSON not set — city-scale gate skipped"
+elif [ ! -f "$BENCH_SCALE_JSON" ]; then
+  echo "error: BENCH_SCALE_JSON='$BENCH_SCALE_JSON' not found" >&2
+  exit 2
+elif [ ! -f "$SCALE_BASELINE" ]; then
+  cp "$BENCH_SCALE_JSON" "$SCALE_BASELINE"
+  echo "scale baseline written to $SCALE_BASELINE — commit it"
+else
+  cur_cps="$(scale_field "$BENCH_SCALE_JSON" clients_per_sec)"
+  base_cps="$(scale_field "$SCALE_BASELINE" clients_per_sec)"
+  cur_rss="$(scale_field "$BENCH_SCALE_JSON" peak_rss_bytes)"
+  base_rss="$(scale_field "$SCALE_BASELINE" peak_rss_bytes)"
+  if [ -z "$cur_cps" ] || [ -z "$base_cps" ] || \
+     [ -z "$cur_rss" ] || [ -z "$base_rss" ]; then
+    echo "error: could not parse clients_per_sec/peak_rss_bytes from scale JSON" >&2
+    exit 2
+  fi
+  if awk -v c="$cur_cps" -v b="$base_cps" 'BEGIN { exit !(c < b * 0.5) }'; then
+    echo "REGRESSION: scale throughput ${cur_cps} clients/s vs baseline ${base_cps} (below 50% floor)"
+    fail=1
+  else
+    echo "ok: scale throughput ${cur_cps} clients/s (baseline ${base_cps})"
+  fi
+  if awk -v c="$cur_rss" -v b="$base_rss" 'BEGIN { exit !(c > b * 1.5) }'; then
+    echo "REGRESSION: scale peak RSS ${cur_rss} bytes vs baseline ${base_rss} (above 150% ceiling)"
+    fail=1
+  else
+    echo "ok: scale peak RSS ${cur_rss} bytes (baseline ${base_rss})"
+  fi
+fi
 
 if [ "$fail" -ne 0 ]; then
   echo "bench regression check FAILED (refresh with --update only if the"

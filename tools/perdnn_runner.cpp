@@ -48,6 +48,7 @@
 #include "mobility/trace_gen.hpp"
 #include "obs/journal.hpp"
 #include "obs/json.hpp"
+#include "obs/resource.hpp"
 #include "obs/timeseries.hpp"
 #include "sim/simulator.hpp"
 #include "snapshot/snapshot.hpp"
@@ -215,6 +216,9 @@ std::string timeseries_path(const std::string& out_dir, const Shard& s) {
 std::string journal_path(const std::string& out_dir, const Shard& s) {
   return out_dir + "/" + s.name() + ".journal.jsonl";
 }
+std::string stats_path(const std::string& out_dir, const Shard& s) {
+  return out_dir + "/" + s.name() + ".stats.json";
+}
 
 std::optional<long long> file_size(const std::string& path) {
   struct ::stat st{};
@@ -299,6 +303,7 @@ void run_shard(const Manifest& m, const Shard& shard,
     // run_simulation() restarts the recorder via start(), which resets it;
     // the journal has no equivalent hook, so clear it explicitly.
     journal.clear();
+    resuming = false;  // the stats sidecar reports what actually happened
     SimulationRunOptions fresh = options;
     fresh.resume_from = nullptr;
     metrics = run_simulation(config, world, &timeseries, fresh);
@@ -316,6 +321,17 @@ void run_shard(const Manifest& m, const Shard& shard,
     journal.write_jsonl(out);
     write_file_atomic(journal_path(out_dir, shard), out.str());
   }
+  // Resource sidecar for `status`: what this shard cost and streamed. The
+  // RSS is the worker process's peak — an upper bound when one worker runs
+  // several shards, but exact for the usual one-big-shard-per-worker case.
+  std::string stats = "{\"peak_rss_bytes\":" +
+                      std::to_string(obs::peak_rss_bytes()) +
+                      ",\"timeseries_rows\":" +
+                      std::to_string(timeseries.rows().size()) +
+                      ",\"journal_events\":" +
+                      std::to_string(m.journal ? journal.size() : 0) +
+                      ",\"resumed\":" + (resuming ? "true" : "false") + "}\n";
+  write_file_atomic(stats_path(out_dir, shard), stats);
   // The metrics file is the done-marker, so it lands last.
   write_file_atomic(metrics_path(out_dir, shard),
                     snapshot::metrics_to_json(metrics));
@@ -483,9 +499,34 @@ int cmd_status(const Manifest& m, const std::string& out_dir) {
   int done = 0, checkpointed = 0, pending = 0;
   for (const Shard& shard : shards) {
     std::string state = "pending";
+    std::string resources;
     if (file_exists(metrics_path(out_dir, shard))) {
       state = "done";
       ++done;
+      // Resource sidecar written by run_shard: peak RSS and streamed rows.
+      // Older output directories predate it, so its absence is not an error.
+      try {
+        const obs::JsonValue stats =
+            obs::parse_json(read_file(stats_path(out_dir, shard)));
+        const auto field = [&](const char* key) -> long long {
+          const obs::JsonValue* v = stats.find(key);
+          return v != nullptr && v->kind() == obs::JsonValue::Kind::kNumber
+                     ? static_cast<long long>(v->as_number())
+                     : -1;
+        };
+        const long long rss = field("peak_rss_bytes");
+        const long long rows = field("timeseries_rows");
+        if (rss >= 0)
+          resources += "  rss=" + std::to_string(rss / (1024 * 1024)) + "MiB";
+        if (rows >= 0) resources += "  rows=" + std::to_string(rows);
+        if (m.journal) {
+          const long long events = field("journal_events");
+          if (events >= 0)
+            resources += "  journal_events=" + std::to_string(events);
+        }
+      } catch (const std::exception&) {
+        // no/unreadable sidecar: just omit the resource columns
+      }
     } else if (file_exists(ckpt_path(out_dir, shard))) {
       try {
         const snapshot::SimSnapshot snap =
@@ -493,6 +534,9 @@ int cmd_status(const Manifest& m, const std::string& out_dir) {
         state = "checkpointed @ interval " +
                 std::to_string(snap.next_interval) + "/" +
                 std::to_string(snap.num_intervals);
+        // Rows the run had streamed/recorded up to the checkpoint.
+        if (snap.has_timeseries)
+          resources += "  rows=" + std::to_string(snap.timeseries_rows.size());
       } catch (const snapshot::SnapshotError&) {
         state = "checkpoint unreadable";
       }
@@ -507,10 +551,10 @@ int cmd_status(const Manifest& m, const std::string& out_dir) {
       else
         journal_note = "  journal=-";
     }
-    std::printf("%s  policy=%-7s seed=%-3d fault=%-5s  %s%s\n",
+    std::printf("%s  policy=%-7s seed=%-3d fault=%-5s  %s%s%s\n",
                 shard.name().c_str(), shard.policy.c_str(), shard.seed,
                 obs::json_number(shard.fault_intensity).c_str(),
-                state.c_str(), journal_note.c_str());
+                state.c_str(), resources.c_str(), journal_note.c_str());
   }
   std::printf("%d done, %d checkpointed, %d pending of %zu\n", done,
               checkpointed, pending, shards.size());
