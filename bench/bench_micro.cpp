@@ -30,8 +30,10 @@
 
 #include "common/fastpath.hpp"
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 #include "core/perdnn.hpp"
 #include "datasets.hpp"
+#include "ml/flat_forest.hpp"
 #include "mobility/predictor.hpp"
 #include "mobility/trace_gen.hpp"
 #include "sim/simulator.hpp"
@@ -246,8 +248,13 @@ int run_parallel_bench(const char* json_path, int threads) {
     std::fprintf(stderr, "cannot open %s\n", json_path);
     return 1;
   }
-  std::fprintf(out, "{\"hardware_threads\":%d,\"threads\":%d,\"benches\":[",
-               par::hardware_threads(), threads);
+  // `simd` records which kernel produced the fastpath numbers, so the
+  // regression gate only applies vector-speedup floors where the vector
+  // kernel actually ran.
+  std::fprintf(out,
+               "{\"hardware_threads\":%d,\"threads\":%d,\"simd\":\"%s\","
+               "\"benches\":[",
+               par::hardware_threads(), threads, simd::active_kernel());
   bool first = true;
   for (const Workload& w : workloads) {
     par::set_num_threads(1);
@@ -306,6 +313,46 @@ int run_parallel_bench(const char* json_path, int threads) {
           {.enumeration = enumeration, .scoring = scoring}));
   };
 
+  // Batched-forest kernel: the same FlatForest over the same row block,
+  // scalar rows vs the width-8 AVX2 traversal. Both legs go through
+  // predict_batch_into, so the ratio isolates the SIMD kernel (the JSON's
+  // `simd` field says whether the fast leg actually ran vectorized).
+  const bool simd_was_enabled = simd::enabled();
+  ml::FlatForest batch_forest;
+  {
+    ml::Dataset batch_data;
+    Rng gen_rng(23);
+    for (int i = 0; i < 400; ++i) {
+      Vector x(6);
+      for (auto& v : x) v = gen_rng.uniform(-2.0, 2.0);
+      double y = 0.0;
+      for (std::size_t f = 0; f < x.size(); ++f)
+        y += (f % 2 == 0 ? 1.0 : -0.5) * x[f] * x[f];
+      batch_data.add(std::move(x), y);
+    }
+    ml::ForestConfig forest_config;
+    forest_config.num_trees = 16;
+    ml::RandomForest forest(forest_config);
+    Rng fit_rng(27);
+    forest.fit(batch_data, fit_rng);
+    batch_forest = ml::FlatForest::compile(forest);
+  }
+  const std::size_t batch_rows = 8192;
+  std::vector<double> batch_features(batch_rows *
+                                     batch_forest.num_features());
+  {
+    Rng row_rng(29);
+    for (double& v : batch_features) v = row_rng.uniform(-3.0, 3.0);
+  }
+  std::vector<double> batch_out(batch_rows);
+  const auto forest_sweep = [&] {
+    for (int rep = 0; rep < 24; ++rep)
+      batch_forest.predict_batch_into(batch_features.data(),
+                                      batch_forest.num_features(), batch_rows,
+                                      batch_out.data());
+    benchmark::DoNotOptimize(batch_out.data());
+  };
+
   struct FastBench {
     const char* name;
     std::function<void()> baseline;
@@ -335,14 +382,32 @@ int run_parallel_bench(const char* json_path, int threads) {
        [&] {
          upload_sweep(UploadEnumeration::kAnchored,
                       UploadScoring::kIncremental);
+       }},
+      {"forest_batch",
+       [&] {
+         simd::set_enabled(false);
+         forest_sweep();
+       },
+       [&] {
+         simd::set_enabled(true);  // clamped to build/CPU availability
+         forest_sweep();
        }}};
 
+  // Best-of-3 per leg: on a shared runner any single measurement can absorb
+  // a scheduler preemption or a noisy neighbour; the minimum of three runs
+  // is the closest observable to the code's actual cost, and it keeps the
+  // fast-path speedup ratios stable enough to gate on.
+  const auto best_of = [](const std::function<void()>& fn) {
+    double best = wall_seconds(fn);
+    for (int rep = 0; rep < 2; ++rep) best = std::min(best, wall_seconds(fn));
+    return best;
+  };
   std::fprintf(out, "],\"fastpath\":[");
   first = true;
   for (const FastBench& b : fast_benches) {
     b.fast();  // warm-up: touches every code path and scratch buffer once
-    const double baseline_s = wall_seconds(b.baseline);
-    const double fast_s = wall_seconds(b.fast);
+    const double baseline_s = best_of(b.baseline);
+    const double fast_s = best_of(b.fast);
     const double speedup = fast_s > 0.0 ? baseline_s / fast_s : 0.0;
     std::fprintf(out,
                  "%s{\"name\":\"%s\",\"baseline_s\":%.6f,\"fast_s\":%.6f,"
@@ -353,6 +418,7 @@ int run_parallel_bench(const char* json_path, int threads) {
     first = false;
   }
   fastpath::set_enabled(fastpath_was_enabled);
+  simd::set_enabled(simd_was_enabled);
 
   // ------------------------------------- steady-state allocation audit
   // Same world shape at two horizons: differencing the operator-new counts

@@ -1,0 +1,147 @@
+// Open-addressing hash map keyed by non-negative 32-bit ids (client ids,
+// server ids), replacing std::unordered_map on the simulator's per-server
+// cache tables. The node-based map spent roughly half of bench_scale's run
+// wall in find()/operator[] — every probe a pointer chase into a separately
+// allocated node. Here a probe lands in one contiguous slot array: linear
+// probing over a power-of-two capacity, multiplicative hashing, and
+// backward-shift deletion (no tombstones, so load factor never degrades).
+//
+// Iteration visits slots in table order, which is NOT insertion order and
+// changes across rehashes — callers that need a canonical order must sort
+// (the snapshot capture path already does).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace perdnn {
+
+/// Map from non-negative int32 keys to `Value`. Key -1 is reserved as the
+/// empty-slot sentinel.
+template <typename Value>
+class FlatMap32 {
+ public:
+  static constexpr std::int32_t kEmpty = -1;
+
+  struct Slot {
+    std::int32_t key = kEmpty;
+    Value value{};
+  };
+
+  FlatMap32() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    slots_.clear();
+    mask_ = 0;
+    size_ = 0;
+  }
+
+  /// Pointer to the mapped value, or nullptr when absent.
+  Value* find(std::int32_t key) {
+    if (size_ == 0) return nullptr;
+    for (std::size_t i = index_of(key);; i = (i + 1) & mask_) {
+      Slot& slot = slots_[i];
+      if (slot.key == key) return &slot.value;
+      if (slot.key == kEmpty) return nullptr;
+    }
+  }
+  const Value* find(std::int32_t key) const {
+    return const_cast<FlatMap32*>(this)->find(key);
+  }
+
+  /// Reference to the mapped value, default-constructing it when absent
+  /// (unordered_map::operator[] semantics).
+  Value& operator[](std::int32_t key) {
+    PERDNN_CHECK(key >= 0);
+    if (slots_.empty() || (size_ + 1) * 4 > capacity() * 3) grow();
+    for (std::size_t i = index_of(key);; i = (i + 1) & mask_) {
+      Slot& slot = slots_[i];
+      if (slot.key == key) return slot.value;
+      if (slot.key == kEmpty) {
+        slot.key = key;
+        ++size_;
+        return slot.value;
+      }
+    }
+  }
+
+  /// Removes `key` if present. Backward-shift deletion keeps every probe
+  /// chain gap-free without tombstones.
+  void erase(std::int32_t key) {
+    if (size_ == 0) return;
+    std::size_t i = index_of(key);
+    while (slots_[i].key != key) {
+      if (slots_[i].key == kEmpty) return;
+      i = (i + 1) & mask_;
+    }
+    --size_;
+    std::size_t hole = i;
+    for (std::size_t j = (hole + 1) & mask_;; j = (j + 1) & mask_) {
+      const std::int32_t k = slots_[j].key;
+      if (k == kEmpty) break;
+      // Shift back any entry whose home slot cannot reach it through the
+      // hole; measured as circular distance from its home position.
+      const std::size_t home = index_of(k);
+      const std::size_t dist_to_j = (j - home) & mask_;
+      const std::size_t dist_to_hole = (hole - home) & mask_;
+      if (dist_to_hole <= dist_to_j) {
+        slots_[hole] = slots_[j];
+        hole = j;
+      }
+    }
+    slots_[hole].key = kEmpty;
+    slots_[hole].value = Value{};
+  }
+
+  /// Hints the cache line of `key`'s home slot into cache ahead of a
+  /// find()/operator[] a few iterations later.
+  void prefetch(std::int32_t key) const {
+    if (size_ == 0) return;
+    __builtin_prefetch(&slots_[index_of(key)]);
+  }
+
+  /// Calls fn(key, value&) for every entry, in table (not insertion) order.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (Slot& slot : slots_)
+      if (slot.key != kEmpty) fn(slot.key, slot.value);
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& slot : slots_)
+      if (slot.key != kEmpty) fn(slot.key, slot.value);
+  }
+
+ private:
+  std::size_t capacity() const { return slots_.size(); }
+
+  std::size_t index_of(std::int32_t key) const {
+    // Fibonacci multiplicative hash: ids are dense small integers, so the
+    // multiply spreads consecutive keys across the table.
+    const auto h = static_cast<std::uint64_t>(static_cast<std::uint32_t>(key)) *
+                   0x9e3779b97f4a7c15ULL;
+    return static_cast<std::size_t>(h >> 32) & mask_;
+  }
+
+  void grow() {
+    const std::size_t new_capacity = slots_.empty() ? 16 : capacity() * 2;
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_capacity, Slot{});
+    mask_ = new_capacity - 1;
+    size_ = 0;
+    for (Slot& slot : old)
+      if (slot.key != kEmpty) (*this)[slot.key] = std::move(slot.value);
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace perdnn

@@ -1,0 +1,58 @@
+#include "common/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace perdnn::simd {
+
+namespace {
+
+bool env_allows() {
+  const char* env = std::getenv("PERDNN_NO_SIMD");
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "0") == 0)
+    return true;
+  return false;
+}
+
+bool detect_cpu() {
+#if defined(__x86_64__) || defined(_M_X64)
+  // __builtin_cpu_supports consults cpuid once and caches; it is the
+  // runtime half of the dispatch (the compile half is PERDNN_SIMD_AVX2).
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+std::atomic<bool>& flag() {
+  static std::atomic<bool> state{compiled_in() && cpu_supported() &&
+                                 env_allows()};
+  return state;
+}
+
+}  // namespace
+
+bool compiled_in() {
+#ifdef PERDNN_SIMD_AVX2
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool cpu_supported() {
+  static const bool supported = detect_cpu();
+  return supported;
+}
+
+bool enabled() { return flag().load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  flag().store(on && compiled_in() && cpu_supported(),
+               std::memory_order_relaxed);
+}
+
+const char* active_kernel() { return enabled() ? "avx2" : "scalar"; }
+
+}  // namespace perdnn::simd

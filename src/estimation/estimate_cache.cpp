@@ -29,9 +29,9 @@ std::size_t EstimateCache::KeyHash::operator()(const Key& key) const {
   return static_cast<std::size_t>(h);
 }
 
-const std::vector<Seconds>& EstimateCache::estimates(
+EstimateCache::Key EstimateCache::make_key(
     const LayerTimeEstimator& estimator, const DnnModel& model,
-    const GpuStats& stats) {
+    const GpuStats& stats) const {
   Key key;
   key.model = &model;
   key.estimator = &estimator;
@@ -45,15 +45,14 @@ const std::vector<Seconds>& EstimateCache::estimates(
                     std::bit_cast<std::uint64_t>(stats.mem_util),
                     std::bit_cast<std::uint64_t>(stats.mem_usage_mb),
                     std::bit_cast<std::uint64_t>(stats.temperature_c)};
-
   key.epoch = epoch_;
+  return key;
+}
 
-  const auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    ++hits_;
-    obs::count("estimate_cache.hits");
-    return it->second;
-  }
+// Counts the miss and makes room exactly as estimates() always has; the cap
+// logic looks only at sizes and epochs, so batched callers can run it before
+// the miss value exists.
+void EstimateCache::count_miss_and_make_room() {
   ++misses_;
   obs::count("estimate_cache.misses");
   if (entries_.size() >= max_entries_) {
@@ -68,8 +67,71 @@ const std::vector<Seconds>& EstimateCache::estimates(
     }
   }
   ++live_;
+}
+
+const std::vector<Seconds>& EstimateCache::estimates(
+    const LayerTimeEstimator& estimator, const DnnModel& model,
+    const GpuStats& stats) {
+  const Key key = make_key(estimator, model, stats);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++hits_;
+    obs::count("estimate_cache.hits");
+    return it->second;
+  }
+  count_miss_and_make_room();
   return entries_.emplace(key, estimator.estimate_model(model, stats))
       .first->second;
+}
+
+void EstimateCache::estimates_batch(
+    const LayerTimeEstimator& estimator, const DnnModel& model,
+    const std::vector<GpuStats>& stats_block,
+    std::vector<const std::vector<Seconds>*>& results) {
+  PERDNN_CHECK_MSG(stats_block.size() <= max_entries_,
+                   "estimates_batch block exceeds the cache cap");
+  results.clear();
+  results.reserve(stats_block.size());
+
+  // Pass 1 — classify in call order. Every first-seen miss inserts an empty
+  // placeholder immediately, so a key repeated later in the block finds it
+  // and classifies as a hit, and the cap GC fires at exactly the same points
+  // as the serial call sequence would.
+  std::vector<Key> keys;
+  keys.reserve(stats_block.size());
+  std::vector<std::pair<Key, const GpuStats*>> misses;
+  for (const GpuStats& stats : stats_block) {
+    const Key key = make_key(estimator, model, stats);
+    keys.push_back(key);
+    if (entries_.find(key) != entries_.end()) {
+      ++hits_;
+      obs::count("estimate_cache.hits");
+      continue;
+    }
+    count_miss_and_make_room();
+    entries_.emplace(key, std::vector<Seconds>{});
+    misses.emplace_back(key, &stats);
+  }
+
+  // Pass 2 — compute the misses, filling the placeholders in place. A
+  // placeholder can only be gone if a same-epoch overflow cleared the map
+  // mid-block; the serial sequence loses the same entries there.
+  for (const auto& [key, stats] : misses) {
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) continue;
+    if (it->second.empty())
+      it->second = estimator.estimate_model(model, *stats);
+  }
+
+  // Pass 3 — resolve pointers only after every insertion, so rehashing
+  // during the miss fills cannot invalidate them.
+  for (const Key& key : keys) {
+    const auto it = entries_.find(key);
+    PERDNN_CHECK_MSG(it != entries_.end(),
+                     "estimates_batch entry evicted mid-block (cache cap too "
+                     "small for this call pattern)");
+    results.push_back(&it->second);
+  }
 }
 
 void EstimateCache::invalidate() {

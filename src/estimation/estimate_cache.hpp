@@ -52,6 +52,20 @@ class EstimateCache {
                                         const DnnModel& model,
                                         const GpuStats& stats);
 
+  /// Batched probe: equivalent to calling estimates() once per entry of
+  /// `stats_block` (same estimator/model for the whole block — the shape of
+  /// the level-fill and planning call sites), but the block is partitioned
+  /// into hits and misses in one pass and only the misses compute. The
+  /// hit/miss counters, cap GC and final cache contents match the serial
+  /// call sequence exactly: a key repeated within the block misses once and
+  /// hits thereafter. Returned pointers (one per query, positional) follow
+  /// the same lifetime rule as estimates(). `stats_block.size()` must not
+  /// exceed the cache cap.
+  void estimates_batch(const LayerTimeEstimator& estimator,
+                       const DnnModel& model,
+                       const std::vector<GpuStats>& stats_block,
+                       std::vector<const std::vector<Seconds>*>& results);
+
   /// Makes every current entry unreachable (per-interval statistics
   /// refresh, model reallocation). O(1): bumps the key epoch rather than
   /// clearing the map — the hit/miss sequence is indistinguishable from a
@@ -94,6 +108,12 @@ class EstimateCache {
   struct KeyHash {
     std::size_t operator()(const Key& key) const;
   };
+
+  Key make_key(const LayerTimeEstimator& estimator, const DnnModel& model,
+               const GpuStats& stats) const;
+  /// Miss bookkeeping shared by the serial and batched paths: counter,
+  /// stale-epoch GC / overflow clear at the cap, live count.
+  void count_miss_and_make_room();
 
   std::size_t max_entries_;
   std::unordered_map<Key, std::vector<Seconds>, KeyHash> entries_;

@@ -28,16 +28,74 @@ Vector& feature_scratch() {
   return scratch;
 }
 
+// Shared batched estimate_model for the forest-backed estimators: one
+// feature-matrix assembly for the whole model, then each layer-kind group
+// packed contiguously and pushed through its flat ensemble's batch kernel.
+// Layer kinds without a compiled forest fall back to the global ridge, as
+// the scalar path does; the output is positionally bit-identical to the
+// per-layer estimate() loop because predict_batch_into is bit-identical to
+// predict() per row.
+void forest_estimate_model_into(
+    const std::map<LayerKind, ml::FlatForest>& forests,
+    const ml::RidgeRegression& global, const DnnModel& model,
+    const GpuStats& stats, Seconds* out) {
+  const auto n = static_cast<std::size_t>(model.num_layers());
+  if (n == 0) return;
+  const std::size_t stride = combined_feature_count();
+  // All scratch is thread-local: this runs on the serial control plane but
+  // also under estimate_model() calls issued from parallel regions.
+  thread_local std::vector<double> rows;
+  thread_local std::vector<double> packed;
+  thread_local std::vector<double> predictions;
+  thread_local std::vector<std::int32_t> group;
+  thread_local std::vector<char> covered;
+  rows.resize(n * stride);
+  combined_features_rows(model, stats, rows.data(), stride);
+  covered.assign(n, 0);
+  for (const auto& [kind, forest] : forests) {
+    group.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (model.layer(static_cast<LayerId>(i)).kind == kind)
+        group.push_back(static_cast<std::int32_t>(i));
+    }
+    if (group.empty()) continue;
+    packed.resize(group.size() * stride);
+    for (std::size_t j = 0; j < group.size(); ++j) {
+      std::copy_n(rows.data() + static_cast<std::size_t>(group[j]) * stride,
+                  stride, packed.data() + j * stride);
+    }
+    predictions.resize(group.size());
+    forest.predict_batch_into(packed.data(), stride, group.size(),
+                              predictions.data());
+    for (std::size_t j = 0; j < group.size(); ++j) {
+      out[group[j]] = clamp_estimate(predictions[j]);
+      covered[static_cast<std::size_t>(group[j])] = 1;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (covered[i]) continue;
+    Vector& feats = feature_scratch();
+    feats.assign(rows.data() + i * stride, rows.data() + i * stride + stride);
+    out[i] = clamp_estimate(global.predict(feats));
+  }
+}
+
 }  // namespace
+
+void LayerTimeEstimator::estimate_model_into(const DnnModel& model,
+                                             const GpuStats& stats,
+                                             Seconds* out) const {
+  const auto n = static_cast<std::size_t>(model.num_layers());
+  par::parallel_for(n, [&](std::size_t i) {
+    const auto id = static_cast<LayerId>(i);
+    out[i] = estimate(model.layer(id), model.input_bytes(id), stats);
+  });
+}
 
 std::vector<Seconds> LayerTimeEstimator::estimate_model(
     const DnnModel& model, const GpuStats& stats) const {
-  const auto n = static_cast<std::size_t>(model.num_layers());
-  std::vector<Seconds> times(n);
-  par::parallel_for(n, [&](std::size_t i) {
-    const auto id = static_cast<LayerId>(i);
-    times[i] = estimate(model.layer(id), model.input_bytes(id), stats);
-  });
+  std::vector<Seconds> times(static_cast<std::size_t>(model.num_layers()));
+  estimate_model_into(model, stats, times.data());
   return times;
 }
 
@@ -205,6 +263,19 @@ Seconds RandomForestEstimator::estimate(const LayerSpec& layer,
   return clamp_estimate(global_->predict(feats));
 }
 
+void RandomForestEstimator::estimate_model_into(const DnnModel& model,
+                                                const GpuStats& stats,
+                                                Seconds* out) const {
+  PERDNN_CHECK_MSG(global_ != nullptr, "estimate_model() before train()");
+  if (!fastpath::enabled()) {
+    LayerTimeEstimator::estimate_model_into(model, stats, out);
+    return;
+  }
+  // One count per layer, matching the per-call counter in estimate().
+  obs::count("estimator.estimates", static_cast<double>(model.num_layers()));
+  forest_estimate_model_into(flat_, *global_, model, stats, out);
+}
+
 Vector RandomForestEstimator::feature_importance(LayerKind kind) const {
   const auto it = models_.find(kind);
   if (it == models_.end()) return {};
@@ -257,6 +328,17 @@ Seconds GradientBoostedEstimator::estimate(const LayerSpec& layer,
     if (it != models_.end()) return clamp_estimate(it->second.predict(feats));
   }
   return clamp_estimate(global_->predict(feats));
+}
+
+void GradientBoostedEstimator::estimate_model_into(const DnnModel& model,
+                                                   const GpuStats& stats,
+                                                   Seconds* out) const {
+  PERDNN_CHECK_MSG(global_ != nullptr, "estimate_model() before train()");
+  if (!fastpath::enabled()) {
+    LayerTimeEstimator::estimate_model_into(model, stats, out);
+    return;
+  }
+  forest_estimate_model_into(flat_, *global_, model, stats, out);
 }
 
 // ---------------------------------------------------------------- eval

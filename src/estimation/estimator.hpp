@@ -48,6 +48,16 @@ class LayerTimeEstimator {
   std::vector<Seconds> estimate_model(const DnnModel& model,
                                       const GpuStats& stats) const;
 
+  /// In-place form of estimate_model(): writes exactly model.num_layers()
+  /// entries to `out`. The base implementation fans the per-layer
+  /// estimate() loop across the parallel runtime; the forest-backed
+  /// estimators override it with a batched kernel that assembles one
+  /// feature matrix and pushes each layer-kind group through
+  /// FlatForest::predict_batch_into. Results are positionally bit-identical
+  /// either way.
+  virtual void estimate_model_into(const DnnModel& model,
+                                   const GpuStats& stats, Seconds* out) const;
+
   virtual std::string name() const = 0;
 
   /// Monotonic train() counter. EstimateCache keys include it, so entries
@@ -110,6 +120,8 @@ class RandomForestEstimator : public LayerTimeEstimator {
   void train(const std::vector<ProfileRecord>& records, Rng& rng) override;
   Seconds estimate(const LayerSpec& layer, Bytes input_bytes,
                    const GpuStats& stats) const override;
+  void estimate_model_into(const DnnModel& model, const GpuStats& stats,
+                           Seconds* out) const override;
   std::string name() const override { return "RF+load"; }
 
   /// Normalised importances for the given kind, aligned with
@@ -134,6 +146,8 @@ class GradientBoostedEstimator : public LayerTimeEstimator {
   void train(const std::vector<ProfileRecord>& records, Rng& rng) override;
   Seconds estimate(const LayerSpec& layer, Bytes input_bytes,
                    const GpuStats& stats) const override;
+  void estimate_model_into(const DnnModel& model, const GpuStats& stats,
+                           Seconds* out) const override;
   std::string name() const override { return "GBT+load"; }
 
  private:

@@ -1,5 +1,7 @@
 #include "estimation/features.hpp"
 
+#include <algorithm>
+
 namespace perdnn {
 
 namespace {
@@ -74,6 +76,26 @@ Vector combined_features(const LayerSpec& layer, Bytes input_bytes,
   Vector out;
   combined_features_into(layer, input_bytes, stats, out);
   return out;
+}
+
+std::size_t combined_feature_count() {
+  return kNumLayerFeatures + kNumLoadFeatures;
+}
+
+void combined_features_rows(const DnnModel& model, const GpuStats& stats,
+                            double* out, std::size_t stride) {
+  const auto n = static_cast<std::size_t>(model.num_layers());
+  if (n == 0) return;
+  write_layer_features(model.layer(0), model.input_bytes(0), out);
+  write_load_features(stats, out + kNumLayerFeatures);
+  for (std::size_t i = 1; i < n; ++i) {
+    const auto id = static_cast<LayerId>(i);
+    double* row = out + i * stride;
+    write_layer_features(model.layer(id), model.input_bytes(id), row);
+    // The load block never varies within one call; replicate row 0's copy.
+    std::copy_n(out + kNumLayerFeatures, kNumLoadFeatures,
+                row + kNumLayerFeatures);
+  }
 }
 
 std::vector<std::string> combined_feature_names() {

@@ -11,6 +11,7 @@
 #include "common/types.hpp"
 #include "device/gpu_model.hpp"
 #include "nn/layer.hpp"
+#include "nn/model.hpp"
 
 namespace perdnn {
 
@@ -41,5 +42,17 @@ void combined_features_into(const LayerSpec& layer, Bytes input_bytes,
 
 /// Names aligned with combined_features().
 std::vector<std::string> combined_feature_names();
+
+/// Entries per row written by combined_features_rows() (== the size of
+/// combined_features()).
+std::size_t combined_feature_count();
+
+/// Whole-model feature-matrix assembly for the batched estimators: writes
+/// model.num_layers() rows of combined features starting at `out`, rows
+/// `stride` doubles apart (stride >= combined_feature_count()). Row i is
+/// bit-identical to combined_features(layer i, input_bytes i, stats); the
+/// load block is the same for every row, so it is written once and copied.
+void combined_features_rows(const DnnModel& model, const GpuStats& stats,
+                            double* out, std::size_t stride);
 
 }  // namespace perdnn

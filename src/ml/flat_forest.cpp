@@ -1,6 +1,7 @@
 #include "ml/flat_forest.hpp"
 
 #include "common/check.hpp"
+#include "common/simd.hpp"
 
 namespace perdnn::ml {
 
@@ -9,17 +10,37 @@ void FlatForest::append_tree(const RegressionTree& tree) {
   const auto offset = static_cast<std::int32_t>(feature_.size());
   roots_.push_back(offset);
   const auto& nodes = tree.nodes();
+  // BFS re-layout with sibling pairs adjacent: every inner node's children
+  // land at consecutive indices, so right_[i] == left_[i] + 1 throughout
+  // and the AVX2 kernel derives the right child instead of gathering it.
+  // Only node numbering changes — each traversal makes the same comparisons
+  // and reaches the same leaf value, so predictions are unaffected.
+  std::vector<std::int32_t> remap(nodes.size(), -1);
+  std::vector<std::int32_t> order;  // source indices in BFS visit order
+  order.reserve(nodes.size());
+  order.push_back(0);
+  remap[0] = offset;
+  std::int32_t next = offset + 1;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const RegressionTree::Node& node = nodes[order[i]];
+    if (node.feature < 0) continue;
+    remap[node.left] = next++;
+    remap[node.right] = next++;
+    order.push_back(node.left);
+    order.push_back(node.right);
+  }
   feature_.reserve(feature_.size() + nodes.size());
   threshold_.reserve(threshold_.size() + nodes.size());
   left_.reserve(left_.size() + nodes.size());
   right_.reserve(right_.size() + nodes.size());
-  for (const RegressionTree::Node& node : nodes) {
+  for (const std::int32_t src : order) {
+    const RegressionTree::Node& node = nodes[src];
     feature_.push_back(node.feature);
     // Leaves carry their prediction in the threshold slot; inner nodes keep
     // the split threshold.
     threshold_.push_back(node.feature < 0 ? node.value : node.threshold);
-    left_.push_back(node.left < 0 ? -1 : node.left + offset);
-    right_.push_back(node.right < 0 ? -1 : node.right + offset);
+    left_.push_back(node.feature < 0 ? -1 : remap[node.left]);
+    right_.push_back(node.feature < 0 ? -1 : remap[node.right]);
   }
 }
 
@@ -85,12 +106,40 @@ double FlatForest::predict(const Vector& features) const {
   return predict_row(features.data());
 }
 
+detail::ForestKernelView FlatForest::kernel_view() const {
+  detail::ForestKernelView view;
+  view.feature = feature_.data();
+  view.threshold = threshold_.data();
+  view.left = left_.data();
+  view.roots = roots_.data();
+  view.num_trees = roots_.size();
+  view.combine = static_cast<int>(combine_);
+  view.base = base_;
+  view.shrinkage = shrinkage_;
+  return view;
+}
+
+void FlatForest::predict_batch_into(const double* rows, std::size_t stride,
+                                    std::size_t n, double* out) const {
+  PERDNN_CHECK_MSG(!empty(), "predict_batch_into() on an empty FlatForest");
+  PERDNN_CHECK(stride >= num_features_);
+  std::size_t r = 0;
+#ifdef PERDNN_SIMD_AVX2
+  if (simd::enabled() && n >= kSimdWidth) {
+    const std::size_t vec = n - n % kSimdWidth;
+    detail::predict_batch_avx2(kernel_view(), rows, stride, vec, out);
+    r = vec;
+  }
+#endif
+  for (; r < n; ++r) out[r] = predict_row(rows + r * stride);
+}
+
 Vector FlatForest::predict_batch(const Matrix& rows) const {
   PERDNN_CHECK_MSG(!empty(), "predict_batch() on an empty FlatForest");
   PERDNN_CHECK(rows.cols() == num_features_);
   Vector out(rows.rows());
-  for (std::size_t r = 0; r < rows.rows(); ++r)
-    out[r] = predict_row(rows.row_data(r));
+  if (rows.rows() > 0)
+    predict_batch_into(rows.row_data(0), rows.cols(), rows.rows(), out.data());
   return out;
 }
 

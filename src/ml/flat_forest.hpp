@@ -4,11 +4,18 @@
 // per tree; the flat layout keeps every field of every node of every tree in
 // five dense arrays, which is what the estimator's per-query hot loop wants.
 //
+// Nodes are laid out in BFS order per tree with each inner node's children
+// allocated adjacently (right child == left child + 1). The batched AVX2
+// kernel (flat_forest_avx2.cpp, dispatched through common/simd.hpp)
+// exploits the adjacency to derive the right child instead of gathering it.
+//
 // Determinism contract: predict() reproduces the source ensemble's output
 // *bit for bit* — same traversal comparisons, same per-tree accumulation
 // order, same combine arithmetic (mean for forests, base + lr * value per
-// round for GBT). predict_batch() is positionally bit-identical to calling
-// predict() per row. Verified by tests/ml/flat_forest_test.cpp.
+// round for GBT). predict_batch()/predict_batch_into() are positionally
+// bit-identical to calling predict() per row, with the SIMD kernel on or
+// off. Verified by tests/ml/flat_forest_test.cpp and
+// tests/ml/flat_forest_simd_test.cpp.
 #pragma once
 
 #include <cstdint>
@@ -21,8 +28,37 @@
 
 namespace perdnn::ml {
 
+namespace detail {
+
+/// POD view over a FlatForest's node pool for out-of-line kernels (the AVX2
+/// translation unit must not see the class internals change shape under it).
+/// `combine` mirrors FlatForest::Combine's underlying values.
+struct ForestKernelView {
+  const std::int32_t* feature = nullptr;
+  const double* threshold = nullptr;
+  const std::int32_t* left = nullptr;
+  const std::int32_t* roots = nullptr;
+  std::size_t num_trees = 0;
+  int combine = 0;
+  double base = 0.0;
+  double shrinkage = 1.0;
+};
+
+#ifdef PERDNN_SIMD_AVX2
+/// Width-8 AVX2 traversal over `n` row-major rows (`n` must be a multiple
+/// of 8). Bit-identical to FlatForest::predict_row per row.
+void predict_batch_avx2(const ForestKernelView& view, const double* rows,
+                        std::size_t stride, std::size_t n, double* out);
+#endif
+
+}  // namespace detail
+
 class FlatForest {
  public:
+  /// Lanes the AVX2 batch kernel processes per step; predict_batch_into
+  /// falls back to scalar rows for any tail shorter than this.
+  static constexpr std::size_t kSimdWidth = 8;
+
   FlatForest() = default;
 
   static FlatForest compile(const RegressionTree& tree);
@@ -41,6 +77,13 @@ class FlatForest {
   /// count); entry i is bit-identical to predict(row i).
   Vector predict_batch(const Matrix& rows) const;
 
+  /// Batched prediction over `n` feature rows laid out row-major `stride`
+  /// doubles apart (stride >= num_features()). Dispatches to the AVX2
+  /// kernel when simd::enabled(); out[i] is bit-identical to predict(row i)
+  /// either way. n == 0 is a no-op.
+  void predict_batch_into(const double* rows, std::size_t stride,
+                          std::size_t n, double* out) const;
+
  private:
   /// How per-tree leaf values combine into the ensemble output.
   enum class Combine : std::uint8_t {
@@ -51,9 +94,12 @@ class FlatForest {
 
   void append_tree(const RegressionTree& tree);
   double predict_row(const double* features) const;
+  detail::ForestKernelView kernel_view() const;
 
-  // SoA node pool: all trees concatenated; roots_[t] is tree t's root index.
-  // Leaves have feature_ < 0 and keep their prediction in threshold_.
+  // SoA node pool: all trees concatenated in BFS order with sibling pairs
+  // adjacent (right_[i] == left_[i] + 1 for inner nodes); roots_[t] is tree
+  // t's root index. Leaves have feature_ < 0 and keep their prediction in
+  // threshold_.
   std::vector<std::int32_t> feature_;
   std::vector<double> threshold_;
   std::vector<std::int32_t> left_;

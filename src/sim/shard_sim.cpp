@@ -3,14 +3,15 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <memory>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/flat_map.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "geo/point.hpp"
@@ -76,11 +77,24 @@ struct Event {
   double latency_sum = 0.0;
 };
 
+/// Client disposition after the mobility stage of a Phase A block.
+enum Disp : std::uint8_t {
+  kDispNone = 0,     ///< offline (continuing, or went offline unattached)
+  kDispOffline = 1,  ///< went offline while attached: emit kEvOffline
+  kDispAttach = 2,   ///< tile changed: attach path
+  kDispStay = 3,     ///< same server: steady upload / pushes
+};
+
 /// Per-shard phase A output buffer (reused across intervals).
 struct ShardBuf {
   std::vector<Event> events;
   long long offline = 0;        // client-intervals spent offline
   int disconnects = 0;          // offline windows opened
+  // Block-stage scratch: one entry per client of the current block.
+  std::vector<std::uint8_t> disp;
+  std::vector<ServerId> prev;        // pre-offline server (kDispOffline only)
+  std::vector<std::uint16_t> p0;     // cache probe result (kDispAttach only)
+  std::vector<std::uint32_t> attach_idx;  // block indices with kDispAttach
 };
 
 struct CacheEntry {
@@ -151,6 +165,8 @@ class ShardEngine {
     }
     bufs_.resize(static_cast<std::size_t>(num_shards_));
     buckets_.resize(static_cast<std::size_t>(num_shards_));
+
+    build_attach_tables();
   }
 
   SimulationMetrics run();
@@ -163,7 +179,11 @@ class ShardEngine {
   }
 
   // -- phase A (parallel, pure w.r.t. shared state) --------------------------
-  void step_client(ClientId c, int t, ShardBuf& buf);
+  void build_attach_tables();
+  void run_shard(std::size_t sh, int t);
+  std::uint8_t stage_move(ClientId c, int t, ShardBuf& buf, ServerId& prev);
+  void finish_client(ClientId c, std::uint8_t disp, ServerId offline_prev,
+                     int probed_p0, int t, ShardBuf& buf);
   void emit_pushes(ClientId c, ServerId sid, int t, ShardBuf& buf);
 
   // -- phase B (serial, canonical client-id order) ---------------------------
@@ -199,11 +219,22 @@ class ShardEngine {
   std::vector<std::int32_t> offline_until_;
   std::vector<ServerId> tile_;
 
-  // Server-side state (phase B only).
-  std::vector<std::unordered_map<ClientId, CacheEntry>> cache_;
+  // Server-side state (phase B only; phase A reads the frozen tables).
+  std::vector<FlatMap32<CacheEntry>> cache_;
   std::vector<int> attached_;
   long long total_attached_ = 0;
   std::vector<std::vector<std::pair<ServerId, ClientId>>> wheel_;
+
+  // Attach-time lookup tables, filled once at construction: the cold-start
+  // window outcome is a pure function of (load level, cached prefix p0) and
+  // the first-interval upload advance of p0 alone — every input (latency
+  // tables, prefix byte sums, interval length, uplink rate) is fixed at
+  // world build. The fills run the exact loops the per-client path used to
+  // run, so each cell is bit-identical to computing it at attach time.
+  std::vector<long long> cold_queries_;   // (load-1) * (K_+1) + p0
+  std::vector<double> cold_latency_;
+  std::vector<std::uint16_t> attach_pe_;  // indexed by p0
+  std::vector<Bytes> attach_carry_;
 
   // Sharding.
   int num_shards_ = 1;
@@ -223,11 +254,63 @@ class ShardEngine {
   int start_interval_ = 0;
 };
 
-void ShardEngine::step_client(ClientId c, int t, ShardBuf& buf) {
+void ShardEngine::build_attach_tables() {
+  const double up_rate = cfg_.wireless.uplink_bytes_per_sec;
+  const auto uploaded = static_cast<Bytes>(cfg_.interval_s * up_rate);
+  attach_pe_.resize(static_cast<std::size_t>(K_) + 1);
+  attach_carry_.resize(static_cast<std::size_t>(K_) + 1);
+  for (int p0 = 0; p0 <= K_; ++p0) {
+    int pe = p0;
+    while (pe < K_ &&
+           w_.prefix_bytes[static_cast<std::size_t>(pe + 1)] -
+                   w_.prefix_bytes[static_cast<std::size_t>(p0)] <=
+               uploaded)
+      ++pe;
+    attach_pe_[static_cast<std::size_t>(p0)] = static_cast<std::uint16_t>(pe);
+    attach_carry_[static_cast<std::size_t>(p0)] =
+        pe < K_ ? uploaded - (w_.prefix_bytes[static_cast<std::size_t>(pe)] -
+                              w_.prefix_bytes[static_cast<std::size_t>(p0)])
+                : 0;
+  }
+
+  const auto num_levels = w_.levels.size();
+  cold_queries_.resize(num_levels * (static_cast<std::size_t>(K_) + 1));
+  cold_latency_.resize(cold_queries_.size());
+  for (std::size_t level = 0; level < num_levels; ++level) {
+    const ShardLoadLevel& lvl = w_.levels[level];
+    for (int p0 = 0; p0 <= K_; ++p0) {
+      double now = 0.0;
+      long long queries = 0;
+      double latency_sum = 0.0;
+      int p = p0;
+      while (queries < kMaxColdQueries) {
+        while (p < K_ &&
+               static_cast<double>(
+                   w_.prefix_bytes[static_cast<std::size_t>(p + 1)] -
+                   w_.prefix_bytes[static_cast<std::size_t>(p0)]) <=
+                   now * up_rate)
+          ++p;
+        const Seconds lat = lvl.latency_by_prefix[static_cast<std::size_t>(p)];
+        if (now + lat > cfg_.interval_s) break;
+        ++queries;
+        latency_sum += lat;
+        now += lat + cfg_.query_gap;
+      }
+      const std::size_t cell =
+          level * (static_cast<std::size_t>(K_) + 1) +
+          static_cast<std::size_t>(p0);
+      cold_queries_[cell] = queries;
+      cold_latency_[cell] = latency_sum;
+    }
+  }
+}
+
+std::uint8_t ShardEngine::stage_move(ClientId c, int t, ShardBuf& buf,
+                                     ServerId& prev) {
   const auto ci = static_cast<std::size_t>(c);
   if (offline_until_[ci] > t) {
     ++buf.offline;
-    return;
+    return kDispNone;
   }
   const std::uint64_t sub = stream_[ci];
   const auto tick = static_cast<std::uint64_t>(t) + 1;
@@ -236,14 +319,11 @@ void ShardEngine::step_client(ClientId c, int t, ShardBuf& buf) {
     ++buf.offline;
     ++buf.disconnects;
     offline_until_[ci] = t + cfg_.offline_intervals;
-    if (server_[ci] != kNoServer)
-      buf.events.push_back({.client = c,
-                            .kind = kEvOffline,
-                            .server = server_[ci]});
+    prev = server_[ci];
     server_[ci] = kNoServer;
     prefix_[ci] = 0;
     carry_[ci] = 0;
-    return;
+    return prev != kNoServer ? kDispOffline : kDispNone;
   }
 
   // Random-walk move, reflecting off the world border.
@@ -264,52 +344,38 @@ void ShardEngine::step_client(ClientId c, int t, ShardBuf& buf) {
   y_[ci] = ny;
   const ServerId sid = w_.tile_at({nx, ny});
   tile_[ci] = sid;
+  return sid != server_[ci] ? kDispAttach : kDispStay;
+}
 
-  const double up_rate = cfg_.wireless.uplink_bytes_per_sec;
-  if (sid != server_[ci]) {
-    // Re-attachment: classify against the frozen cache, then evaluate the
-    // cold-start window against the precomputed latency table.
+void ShardEngine::finish_client(ClientId c, std::uint8_t disp,
+                                ServerId offline_prev, int probed_p0, int t,
+                                ShardBuf& buf) {
+  const auto ci = static_cast<std::size_t>(c);
+  if (disp == kDispOffline) {
+    buf.events.push_back({.client = c,
+                          .kind = kEvOffline,
+                          .server = offline_prev});
+    return;
+  }
+  const ServerId sid = tile_[ci];
+  if (disp == kDispAttach) {
+    // Re-attachment: the cold-start window and the first-interval upload
+    // advance come straight from the precomputed (load, p0) tables.
     const int load = std::clamp(
         attached_[static_cast<std::size_t>(sid)] + 1, 1, cfg_.max_load_level);
-    const ShardLoadLevel& lvl = w_.levels[static_cast<std::size_t>(load - 1)];
     int p0 = 0;
     if (cfg_.policy == MigrationPolicy::kOptimal) {
       p0 = K_;
     } else if (cfg_.policy == MigrationPolicy::kProactive) {
-      const auto& entries = cache_[static_cast<std::size_t>(sid)];
-      const auto it = entries.find(c);
-      if (it != entries.end()) p0 = std::min<int>(it->second.prefix, K_);
+      p0 = probed_p0;
     }
     const std::uint8_t cls = p0 >= K_ ? 0 : (p0 == 0 ? 2 : 1);
-
-    double now = 0.0;
-    long long queries = 0;
-    double latency_sum = 0.0;
-    int p = p0;
-    while (queries < kMaxColdQueries) {
-      while (p < K_ &&
-             static_cast<double>(w_.prefix_bytes[static_cast<std::size_t>(p + 1)] -
-                                 w_.prefix_bytes[static_cast<std::size_t>(p0)]) <=
-                 now * up_rate)
-        ++p;
-      const Seconds lat = lvl.latency_by_prefix[static_cast<std::size_t>(p)];
-      if (now + lat > cfg_.interval_s) break;
-      ++queries;
-      latency_sum += lat;
-      now += lat + cfg_.query_gap;
-    }
-
-    const auto uploaded = static_cast<Bytes>(cfg_.interval_s * up_rate);
-    int pe = p0;
-    while (pe < K_ &&
-           w_.prefix_bytes[static_cast<std::size_t>(pe + 1)] -
-                   w_.prefix_bytes[static_cast<std::size_t>(p0)] <=
-               uploaded)
-      ++pe;
-    carry_[ci] = pe < K_
-                     ? uploaded - (w_.prefix_bytes[static_cast<std::size_t>(pe)] -
-                                   w_.prefix_bytes[static_cast<std::size_t>(p0)])
-                     : 0;
+    const std::size_t cell =
+        static_cast<std::size_t>(load - 1) *
+            (static_cast<std::size_t>(K_) + 1) +
+        static_cast<std::size_t>(p0);
+    const int pe = attach_pe_[static_cast<std::size_t>(p0)];
+    carry_[ci] = attach_carry_[static_cast<std::size_t>(p0)];
     const ServerId prev = server_[ci];
     server_[ci] = sid;
     prefix_[ci] = static_cast<std::uint16_t>(pe);
@@ -320,12 +386,13 @@ void ShardEngine::step_client(ClientId c, int t, ShardBuf& buf) {
                           .p_end = static_cast<std::uint16_t>(pe),
                           .server = sid,
                           .peer = prev,
-                          .queries = queries,
-                          .latency_sum = latency_sum});
+                          .queries = cold_queries_[cell],
+                          .latency_sum = cold_latency_[cell]});
   } else if (prefix_[ci] < K_) {
     // Steady state at the same server: the incremental upload continues at
     // the wireless uplink rate.
-    carry_[ci] += static_cast<Bytes>(cfg_.interval_s * up_rate);
+    carry_[ci] += static_cast<Bytes>(cfg_.interval_s *
+                                     cfg_.wireless.uplink_bytes_per_sec);
     int pe = prefix_[ci];
     while (pe < K_ &&
            carry_[ci] >= w_.prefix_bytes[static_cast<std::size_t>(pe + 1)] -
@@ -347,6 +414,59 @@ void ShardEngine::step_client(ClientId c, int t, ShardBuf& buf) {
 
   if (cfg_.policy == MigrationPolicy::kProactive && prefix_[ci] > 0)
     emit_pushes(c, sid, t, buf);
+}
+
+void ShardEngine::run_shard(std::size_t sh, int t) {
+  // Cache-blocked Phase A: each block runs three stages — mobility for
+  // every client, then the cache probes for the attach candidates (with the
+  // flat-map home slots prefetched a few probes ahead), then an in-order
+  // finish pass that emits events. Events still leave the buffer in strict
+  // client-id order with each client's events contiguous, which the Phase B
+  // k-way merge depends on; only the work between event emissions is
+  // re-grouped.
+  constexpr std::size_t kBlock = 256;
+  constexpr std::size_t kLookahead = 8;
+  ShardBuf& buf = bufs_[sh];
+  const std::vector<ClientId>& bucket = buckets_[sh];
+  for (std::size_t start = 0; start < bucket.size(); start += kBlock) {
+    const std::size_t m = std::min(kBlock, bucket.size() - start);
+    buf.disp.resize(m);
+    buf.prev.assign(m, kNoServer);
+    buf.p0.assign(m, 0);
+
+    for (std::size_t i = 0; i < m; ++i)
+      buf.disp[i] = stage_move(bucket[start + i], t, buf, buf.prev[i]);
+
+    if (cfg_.policy == MigrationPolicy::kProactive) {
+      buf.attach_idx.clear();
+      for (std::size_t i = 0; i < m; ++i)
+        if (buf.disp[i] == kDispAttach)
+          buf.attach_idx.push_back(static_cast<std::uint32_t>(i));
+      for (std::size_t j = 0; j < buf.attach_idx.size(); ++j) {
+        if (j + kLookahead < buf.attach_idx.size()) {
+          const ClientId pc = bucket[start + buf.attach_idx[j + kLookahead]];
+          cache_[static_cast<std::size_t>(
+                     tile_[static_cast<std::size_t>(pc)])]
+              .prefetch(pc);
+        }
+        const std::size_t i = buf.attach_idx[j];
+        const ClientId c = bucket[start + i];
+        const CacheEntry* entry =
+            cache_[static_cast<std::size_t>(
+                       tile_[static_cast<std::size_t>(c)])]
+                .find(c);
+        if (entry != nullptr)
+          buf.p0[i] =
+              static_cast<std::uint16_t>(std::min<int>(entry->prefix, K_));
+      }
+    }
+
+    for (std::size_t i = 0; i < m; ++i) {
+      if (buf.disp[i] == kDispNone) continue;
+      finish_client(bucket[start + i], buf.disp[i], buf.prev[i], buf.p0[i],
+                    t, buf);
+    }
+  }
 }
 
 void ShardEngine::emit_pushes(ClientId c, ServerId sid, int /*t*/,
@@ -394,9 +514,8 @@ void ShardEngine::detach_from(ClientId c, ServerId sid, int t,
   --attached_[static_cast<std::size_t>(sid)];
   --total_attached_;
   if (cfg_.policy == MigrationPolicy::kProactive) {
-    auto& entries = cache_[static_cast<std::size_t>(sid)];
-    const auto it = entries.find(c);
-    if (it != entries.end()) schedule_expiry(sid, c, t + cfg_.ttl_intervals);
+    if (cache_[static_cast<std::size_t>(sid)].find(c) != nullptr)
+      schedule_expiry(sid, c, t + cfg_.ttl_intervals);
   }
   journal({.interval = t,
            .kind = obs::JournalEventKind::kDetach,
@@ -536,6 +655,17 @@ void ShardEngine::apply_events(int t) {
     auto& events = bufs_[static_cast<std::size_t>(best)].events;
     auto& h = head[static_cast<std::size_t>(best)];
     while (h < events.size() && events[h].client == best_client) {
+      // Warm the cache-table slot the following event will touch while this
+      // one applies; push events hit the peer's table, the rest the
+      // attach/upload server's.
+      if (h + 1 < events.size()) {
+        const Event& next = events[h + 1];
+        if (next.kind == kEvPush) {
+          cache_[static_cast<std::size_t>(next.peer)].prefetch(next.client);
+        } else if (next.server != kNoServer) {
+          cache_[static_cast<std::size_t>(next.server)].prefetch(next.client);
+        }
+      }
       apply_event(events[h], t);
       ++h;
     }
@@ -551,16 +681,16 @@ void ShardEngine::expire_entries(int t) {
   slot.erase(std::unique(slot.begin(), slot.end()), slot.end());
   for (const auto& [sid, c] : slot) {
     auto& entries = cache_[static_cast<std::size_t>(sid)];
-    const auto it = entries.find(c);
-    if (it == entries.end()) continue;
+    const CacheEntry* entry = entries.find(c);
+    if (entry == nullptr) continue;
     if (server_[static_cast<std::size_t>(c)] == sid) continue;  // kept alive
-    if (it->second.expire > t) continue;  // refreshed since queued
+    if (entry->expire > t) continue;  // refreshed since queued
     journal({.interval = t,
              .kind = obs::JournalEventKind::kCacheExpire,
              .client = c,
              .server = sid,
-             .aux = it->second.prefix});
-    entries.erase(it);
+             .aux = entry->prefix});
+    entries.erase(c);
   }
   slot.clear();
 }
@@ -743,7 +873,11 @@ snapshot::SimSnapshot ShardEngine::capture(int next_interval) {
   std::vector<std::pair<ClientId, CacheEntry>> sorted;
   for (int sid = 0; sid < cfg_.num_servers(); ++sid) {
     const auto& entries = cache_[static_cast<std::size_t>(sid)];
-    sorted.assign(entries.begin(), entries.end());
+    sorted.clear();
+    sorted.reserve(entries.size());
+    entries.for_each([&sorted](ClientId c, const CacheEntry& entry) {
+      sorted.emplace_back(c, entry);
+    });
     std::sort(sorted.begin(), sorted.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
     for (const auto& [c, entry] : sorted) {
@@ -786,12 +920,18 @@ SimulationMetrics ShardEngine::run() {
   }
   if (opt_.interval_wall_s != nullptr) opt_.interval_wall_s->clear();
 
+  double tm_bucket = 0, tm_phase_a = 0, tm_apply = 0, tm_finish = 0;
+  const auto now = [] { return std::chrono::steady_clock::now(); };
+  const auto secs = [](auto a, auto b) {
+    return std::chrono::duration<double>(b - a).count();
+  };
   const auto n = static_cast<std::size_t>(cfg_.num_clients);
   for (int t = start_interval_; t < cfg_.num_intervals; ++t) {
     const auto wall_start = std::chrono::steady_clock::now();
 
     // Ownership: the shard of the tile each client stood on at the
     // interval start. Buckets stay sorted by client id by construction.
+    auto t0 = now();
     for (auto& bucket : buckets_) bucket.clear();
     for (std::size_t c = 0; c < n; ++c)
       buckets_[static_cast<std::size_t>(
@@ -804,17 +944,21 @@ SimulationMetrics ShardEngine::run() {
       buf.offline = 0;
       buf.disconnects = 0;
     }
-    par::parallel_for(bufs_.size(), [&](std::size_t sh) {
-      ShardBuf& buf = bufs_[sh];
-      for (ClientId c : buckets_[sh]) step_client(c, t, buf);
-    });
+    auto t1 = now();
+    tm_bucket += secs(t0, t1);
+    par::parallel_for(bufs_.size(), [&](std::size_t sh) { run_shard(sh, t); });
+    auto t2 = now();
+    tm_phase_a += secs(t1, t2);
 
     // Phase B: canonical-order exchange and every shared-state mutation.
     for (auto& acc : acc_) acc = RowAcc{};
     for (const ShardBuf& buf : bufs_)
       metrics_.client_disconnect_events += buf.disconnects;
     apply_events(t);
+    auto t3 = now();
+    tm_apply += secs(t2, t3);
     finish_interval(t);
+    tm_finish += secs(t3, now());
 
     if (opt_.interval_wall_s != nullptr) {
       const std::chrono::duration<double> wall =
@@ -828,6 +972,12 @@ SimulationMetrics ShardEngine::run() {
     if (periodic || stopping) checkpoint(t);
     if (stopping) break;
   }
+
+  if (std::getenv("PERDNN_PHASE_TIMING") != nullptr)
+    std::fprintf(stderr,
+                 "phase timing: bucket=%.2fs phase_a=%.2fs apply=%.2fs "
+                 "finish=%.2fs\n",
+                 tm_bucket, tm_phase_a, tm_apply, tm_finish);
 
   metrics_.peak_uplink_mbps =
       peak_up_.empty() ? 0.0 : *std::max_element(peak_up_.begin(),

@@ -101,16 +101,30 @@ ShardWorld build_shard_world(const ShardWorldConfig& config) {
   EstimateCache estimate_cache;
   const auto n = static_cast<std::size_t>(w.model.num_layers());
   w.levels.resize(static_cast<std::size_t>(config.max_load_level));
+  // Every level's GPU statistics first, then one batched cache probe for
+  // the whole block — the misses run through the estimators' batched
+  // predict path. Hit/miss sequence and values match per-level estimates()
+  // calls exactly, so the tables stay bit-identical.
   for (int load = 1; load <= config.max_load_level; ++load) {
-    ShardLoadLevel& lvl = w.levels[static_cast<std::size_t>(load - 1)];
     std::uint64_t state =
         config.seed ^ (0x1e7e1ed5ULL * static_cast<std::uint64_t>(load + 1));
     Rng level_rng(splitmix64(state));
-    lvl.stats = w.gpu->stats_for_load(load, static_cast<double>(load),
-                                      level_rng);
+    w.levels[static_cast<std::size_t>(load - 1)].stats =
+        w.gpu->stats_for_load(load, static_cast<double>(load), level_rng);
+  }
+  std::vector<const std::vector<Seconds>*> level_estimates;
+  if (fastpath::enabled()) {
+    std::vector<GpuStats> level_stats;
+    level_stats.reserve(w.levels.size());
+    for (const ShardLoadLevel& lvl : w.levels) level_stats.push_back(lvl.stats);
+    estimate_cache.estimates_batch(*w.estimator, w.model, level_stats,
+                                   level_estimates);
+  }
+  for (int load = 1; load <= config.max_load_level; ++load) {
+    ShardLoadLevel& lvl = w.levels[static_cast<std::size_t>(load - 1)];
     std::vector<Seconds> estimated;
     if (fastpath::enabled()) {
-      estimated = estimate_cache.estimates(*w.estimator, w.model, lvl.stats);
+      estimated = *level_estimates[static_cast<std::size_t>(load - 1)];
     } else {
       estimated.reserve(n);
       for (LayerId id = 0; id < w.model.num_layers(); ++id)

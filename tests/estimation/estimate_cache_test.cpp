@@ -129,6 +129,77 @@ TEST_F(EstimateCacheTest, CapMissReclaimsStaleEpochsBeforeLiveEntries) {
   EXPECT_EQ(cache.misses(), 6u);
 }
 
+TEST_F(EstimateCacheTest, BatchPartitionsHitsAndMissesLikeSerialCalls) {
+  // estimates_batch must be observationally identical to calling
+  // estimates() once per block entry: same values, same hit/miss counters,
+  // same cache contents afterwards.
+  EstimateCache serial_cache, batch_cache;
+  std::vector<GpuStats> block(5);
+  for (int i = 0; i < 5; ++i) block[static_cast<std::size_t>(i)].num_clients =
+      i % 3 + 1;  // keys repeat within the block: {1,2,3,1,2}
+
+  std::vector<std::vector<Seconds>> serial_results;
+  for (const GpuStats& stats : block)
+    serial_results.push_back(serial_cache.estimates(estimator_, *model_,
+                                                    stats));
+
+  std::vector<const std::vector<Seconds>*> batch_results;
+  batch_cache.estimates_batch(estimator_, *model_, block, batch_results);
+
+  ASSERT_EQ(batch_results.size(), block.size());
+  for (std::size_t i = 0; i < block.size(); ++i)
+    EXPECT_EQ(*batch_results[i], serial_results[i]) << "entry " << i;
+  EXPECT_EQ(batch_cache.hits(), serial_cache.hits());      // 2: repeats hit
+  EXPECT_EQ(batch_cache.misses(), serial_cache.misses());  // 3 distinct keys
+  EXPECT_EQ(batch_cache.hits(), 2u);
+  EXPECT_EQ(batch_cache.misses(), 3u);
+  EXPECT_EQ(batch_cache.size(), 3u);
+}
+
+TEST_F(EstimateCacheTest, BatchHitsPreviouslyCachedEntries) {
+  EstimateCache cache;
+  GpuStats warm;
+  warm.num_clients = 2;
+  const std::vector<Seconds> warm_value =
+      cache.estimates(estimator_, *model_, warm);
+
+  std::vector<GpuStats> block(2);
+  block[0].num_clients = 2;  // hit
+  block[1].num_clients = 9;  // miss
+  std::vector<const std::vector<Seconds>*> results;
+  cache.estimates_batch(estimator_, *model_, block, results);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(*results[0], warm_value);
+  EXPECT_EQ(*results[1], estimator_.estimate_model(*model_, block[1]));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST_F(EstimateCacheTest, BatchPointersSurviveTheWholeBlock) {
+  // Many distinct misses in one block: the returned pointers must all stay
+  // valid even though the underlying map rehashes while filling them.
+  EstimateCache cache;
+  std::vector<GpuStats> block(24);
+  for (std::size_t i = 0; i < block.size(); ++i)
+    block[i].num_clients = static_cast<int>(i) + 1;
+  std::vector<const std::vector<Seconds>*> results;
+  cache.estimates_batch(estimator_, *model_, block, results);
+  ASSERT_EQ(results.size(), block.size());
+  for (std::size_t i = 0; i < block.size(); ++i)
+    EXPECT_EQ(*results[i], estimator_.estimate_model(*model_, block[i]))
+        << "entry " << i;
+}
+
+TEST_F(EstimateCacheTest, BatchLargerThanCapIsRejected) {
+  EstimateCache cache(/*max_entries=*/2);
+  std::vector<GpuStats> block(3);
+  for (std::size_t i = 0; i < block.size(); ++i)
+    block[i].num_clients = static_cast<int>(i) + 1;
+  std::vector<const std::vector<Seconds>*> results;
+  EXPECT_THROW(cache.estimates_batch(estimator_, *model_, block, results),
+               std::logic_error);
+}
+
 TEST_F(EstimateCacheTest, CapTriggersClearNotGrowth) {
   EstimateCache cache(/*max_entries=*/2);
   GpuStats stats;

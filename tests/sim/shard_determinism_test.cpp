@@ -17,6 +17,7 @@
 
 #include "common/fastpath.hpp"
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 #include "sim/shard_sim.hpp"
 #include "sim/shard_world.hpp"
 #include "snapshot/snapshot.hpp"
@@ -71,6 +72,14 @@ struct FastPathGuard {
     fastpath::set_enabled(enable);
   }
   ~FastPathGuard() { fastpath::set_enabled(previous); }
+  bool previous;
+};
+
+struct SimdGuard {
+  explicit SimdGuard(bool enable) : previous(simd::enabled()) {
+    simd::set_enabled(enable);
+  }
+  ~SimdGuard() { simd::set_enabled(previous); }
   bool previous;
 };
 
@@ -167,6 +176,31 @@ TEST_F(ShardDeterminismTest, FastPathOffWorldProducesIdenticalRun) {
   ASSERT_EQ(world_->prefix_bytes, off_world.prefix_bytes);
   const RunResult off = [&] {
     FastPathGuard guard(false);
+    return run_at(off_world, 8, 16);
+  }();
+  EXPECT_EQ(on.metrics, off.metrics);
+  EXPECT_EQ(on.timeseries, off.timeseries);
+  EXPECT_EQ(on.journal, off.journal);
+}
+
+TEST_F(ShardDeterminismTest, SimdOffWorldProducesIdenticalRun) {
+  // The AVX2 batch kernels sit under the estimator fill of the planning
+  // tables; per the simd.hpp contract they are bit-identical to the scalar
+  // fallback, so disabling them — world build and run both — must change
+  // nothing. On machines without AVX2 both legs run scalar and the test is
+  // trivially (but correctly) green.
+  const RunResult on = [&] {
+    SimdGuard guard(true);
+    return run_at(*world_, 2, 4);
+  }();
+  const ShardWorld off_world = [] {
+    SimdGuard guard(false);
+    return build_shard_world(small_config());
+  }();
+  ASSERT_EQ(world_->canonical_order, off_world.canonical_order);
+  ASSERT_EQ(world_->prefix_bytes, off_world.prefix_bytes);
+  const RunResult off = [&] {
+    SimdGuard guard(false);
     return run_at(off_world, 8, 16);
   }();
   EXPECT_EQ(on.metrics, off.metrics);

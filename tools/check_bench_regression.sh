@@ -1,15 +1,28 @@
 #!/usr/bin/env bash
 # Fast-path performance regression gate.
 #
-# Runs `bench_micro --json`, extracts one representative wall-clock per
-# micro-bench (serial_s for the parallel-harness entries, fast_s for the
-# fast-path entries) and compares them against the committed baseline
-# BENCH_fastpath.json at the repo root:
+# Runs `bench_micro --json` (or takes a pre-computed result via
+# BENCH_FASTPATH_JSON=path, skipping the run), extracts one representative
+# wall-clock per micro-bench (serial_s for the parallel-harness entries,
+# fast_s for the fast-path entries) and compares them against the committed
+# baseline BENCH_fastpath.json at the repo root:
 #   * any micro more than 25% slower than its baseline fails the check
 #     (plus a 2ms absolute slack so sub-millisecond entries aren't flaky);
 #   * the upload-order fast-path speedups must stay >= 2x regardless of the
 #     machine — that floor is the acceptance criterion of the fast path
-#     itself, not a relative comparison.
+#     itself, not a relative comparison;
+#   * the forest_batch SIMD speedup must stay >= 3x, but only when the
+#     current result's "simd" field says the vector kernel actually ran
+#     ("avx2") — a scalar-only build or CPU is exempt, not failing. The
+#     kernel's target is 4x and quiet runs measure ~3.8-4.8x, but the shared
+#     dev runner has multi-second noisy stretches that best-of-3 timing
+#     can't fully hide (observed down to ~3.4x); the floor sits below that
+#     band so a slow run doesn't flake the gate while a real regression
+#     (e.g. losing the tree-interleaved walkers) still fails it;
+#   * the serial-vs-pool speedups of the parallel-harness entries must stay
+#     >= 50% of their baseline speedup — skipped entirely when the baseline
+#     records "hardware_threads":1, where pool "speedups" are single-core
+#     scheduling noise (e.g. the forest_train 0.982x of a 1-core runner).
 # When no baseline exists the current run becomes the baseline (commit it).
 #
 # The city-scale benchmark is gated too, when a result is supplied: set
@@ -38,16 +51,24 @@ for arg in "$@"; do
   esac
 done
 
-if [ ! -x "$bench_micro" ]; then
-  echo "error: bench_micro not found at '$bench_micro'" >&2
-  echo "build it (cmake --build build --target bench_micro) or pass its path" >&2
-  exit 2
-fi
-
 current="$(mktemp)"
 trap 'rm -f "$current"' EXIT
-echo "running $bench_micro --json ..."
-"$bench_micro" --json "$current" >/dev/null
+if [ -n "${BENCH_FASTPATH_JSON:-}" ]; then
+  if [ ! -f "$BENCH_FASTPATH_JSON" ]; then
+    echo "error: BENCH_FASTPATH_JSON='$BENCH_FASTPATH_JSON' not found" >&2
+    exit 2
+  fi
+  echo "using pre-computed result $BENCH_FASTPATH_JSON"
+  cp "$BENCH_FASTPATH_JSON" "$current"
+else
+  if [ ! -x "$bench_micro" ]; then
+    echo "error: bench_micro not found at '$bench_micro'" >&2
+    echo "build it (cmake --build build --target bench_micro) or pass its path" >&2
+    exit 2
+  fi
+  echo "running $bench_micro --json ..."
+  "$bench_micro" --json "$current" >/dev/null
+fi
 
 if [ "$update" -eq 1 ] || [ ! -f "$BASELINE" ]; then
   cp "$current" "$BASELINE"
@@ -73,7 +94,22 @@ extract() {
   }' "$1"
 }
 
+# Pulls a quoted or numeric scalar field out of a one-line JSON file.
+json_field() { # file key
+  awk -v k="$2" '{
+    if (match($0, "\"" k "\":\"[^\"]*\""))
+      print substr($0, RSTART + length(k) + 4, RLENGTH - length(k) - 5)
+    else if (match($0, "\"" k "\":[0-9.eE+-]+"))
+      print substr($0, RSTART + length(k) + 3, RLENGTH - length(k) - 3)
+  }' "$1"
+}
+
 base_rows="$(extract "$BASELINE")"
+base_ht="$(json_field "$BASELINE" hardware_threads)"
+cur_simd="$(json_field "$current" simd)"
+if [ "${base_ht:-0}" -le 1 ]; then
+  echo "note: baseline hardware_threads=${base_ht:-?} — pool-speedup checks skipped"
+fi
 fail=0
 while read -r name t sp; do
   bt="$(printf '%s\n' "$base_rows" | awk -v n="$name" '$1 == n { print $2 }')"
@@ -92,6 +128,27 @@ while read -r name t sp; do
       if awk -v s="$sp" 'BEGIN { exit !(s < 2.0) }'; then
         echo "REGRESSION: $name speedup ${sp}x below the 2x acceptance floor"
         fail=1
+      fi ;;
+    forest_batch)
+      # SIMD floor only where the vector kernel ran; the scalar fallback is
+      # a correctness path, not a performance contract.
+      if [ "$cur_simd" = "avx2" ]; then
+        if awk -v s="$sp" 'BEGIN { exit !(s < 3.0) }'; then
+          echo "REGRESSION: forest_batch SIMD speedup ${sp}x below the 3x floor"
+          fail=1
+        fi
+      else
+        echo "note: forest_batch ran the scalar kernel (simd=${cur_simd:-unknown}) — 3x floor skipped"
+      fi ;;
+    simulator|forest_train|profiler_sweep)
+      # Serial-vs-pool speedup: meaningless on a single-core baseline.
+      if [ "${base_ht:-0}" -gt 1 ]; then
+        bsp="$(printf '%s\n' "$base_rows" | awk -v n="$name" '$1 == n { print $3 }')"
+        if [ -n "$bsp" ] && [ "$bsp" != "-" ] &&
+           awk -v s="$sp" -v b="$bsp" 'BEGIN { exit !(s < b * 0.5) }'; then
+          echo "REGRESSION: $name pool speedup ${sp}x vs baseline ${bsp}x (below 50%)"
+          fail=1
+        fi
       fi ;;
   esac
 done <<< "$(extract "$current")"

@@ -8,7 +8,10 @@
 #     (PERDNN_NO_FASTPATH=1), and across a checkpoint/resume split;
 #   * the binary (.jnl) encoding decodes to the same event stream;
 #   * every journal parses through the bundled JSON parser
-#     (perdnn_obs validate) and the scripted-fault chain reconstructs.
+#     (perdnn_obs validate) and the scripted-fault chain reconstructs;
+#   * a second -DPERDNN_SIMD=OFF configuration re-runs the forest/estimator/
+#     shard-determinism tests with the AVX2 kernels compiled out, keeping
+#     the scalar fallback ASan/UBSan-tested.
 #
 # Usage: tools/check_obs.sh [build-dir]     (default: build-obs)
 set -euo pipefail
@@ -90,4 +93,12 @@ done
 "$OBS" chain "$WORK/ref.jsonl" --client 1 | grep -q "attach to server"
 "$OBS" chain "$WORK/ref.jsonl" --client 1 | grep -q "detach from server"
 
-echo "Observability check passed (build dir: $BUILD_DIR)"
+# Scalar-fallback leg: SIMD compiled out, same sanitizers.
+SCALAR_DIR="${BUILD_DIR}-scalar"
+cmake -B "$SCALAR_DIR" -S . -DPERDNN_SANITIZE=address -DPERDNN_SIMD=OFF
+cmake --build "$SCALAR_DIR" -j"$(nproc)" \
+  --target test_ml test_estimation test_sim
+ctest --test-dir "$SCALAR_DIR" --output-on-failure \
+  -R 'FlatForest|Estimator|EstimateCache|ShardDeterminism'
+
+echo "Observability check passed (build dirs: $BUILD_DIR, $SCALAR_DIR)"

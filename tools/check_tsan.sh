@@ -4,6 +4,11 @@
 # the parallel_for/parallel_map unit tests, the simulator (including the
 # 1/2/8-thread determinism gate), and the multi-threaded metrics tests.
 #
+# A second configuration with -DPERDNN_SIMD=OFF keeps the scalar fallback
+# of the batched forest kernels sanitizer-tested: that build contains no
+# AVX2 translation unit at all, so the forest/estimator/shard tests run the
+# pure scalar paths under TSan.
+#
 # Usage: tools/check_tsan.sh [build-dir]     (default: build-tsan)
 # PERDNN_THREADS is forced to 4 so every parallel region actually fans out.
 set -euo pipefail
@@ -22,4 +27,12 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
   -R 'Parallel|Simulator|Metrics'
 
-echo "TSan check passed (build dir: $BUILD_DIR)"
+# Scalar-fallback leg: same sanitizer, SIMD compiled out.
+SCALAR_DIR="${BUILD_DIR}-scalar"
+cmake -B "$SCALAR_DIR" -S . -DPERDNN_SANITIZE=thread -DPERDNN_SIMD=OFF
+cmake --build "$SCALAR_DIR" -j"$(nproc)" \
+  --target test_ml test_estimation test_sim
+ctest --test-dir "$SCALAR_DIR" --output-on-failure \
+  -R 'FlatForest|Estimator|EstimateCache|ShardDeterminism'
+
+echo "TSan check passed (build dirs: $BUILD_DIR, $SCALAR_DIR)"
