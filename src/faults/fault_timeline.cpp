@@ -49,6 +49,46 @@ FaultTimeline::FaultTimeline(const FaultPlan& plan, int num_servers,
   // start lists inherit that order, so the binary searches below are valid.
   std::sort(crash_starts_.begin(), crash_starts_.end());
   std::sort(disconnect_starts_.begin(), disconnect_starts_.end());
+
+  // Precompile the interval-indexed views: one begin edge at each window
+  // start, one end edge at its exclusive end. Per-interval consumers apply
+  // the edges_at() slice instead of rescanning windows — O(edges this
+  // interval) per interval instead of O(plan) per entity query.
+  const auto emit = [](std::vector<FaultEdge>& edges, int start, int end,
+                       std::int32_t id) {
+    edges.push_back({start, id, true});
+    edges.push_back({end, id, false});
+  };
+  for (ServerId s = 0; s < num_servers; ++s) {
+    for (const Window& w : server_down_[static_cast<std::size_t>(s)])
+      emit(server_down_edges_, w.start, w.end, s);
+    for (const Window& w : telemetry_down_[static_cast<std::size_t>(s)])
+      emit(telemetry_edges_, w.start, w.end, s);
+  }
+  for (ClientId c = 0; c < num_clients; ++c)
+    for (const Window& w : client_offline_[static_cast<std::size_t>(c)])
+      emit(client_offline_edges_, w.start, w.end, c);
+  for (const Window& w : backhaul_active_)
+    emit(backhaul_edges_, w.start, w.end, 0);
+  const auto order = [](const FaultEdge& a, const FaultEdge& b) {
+    if (a.interval != b.interval) return a.interval < b.interval;
+    if (a.id != b.id) return a.id < b.id;
+    return a.begins < b.begins;
+  };
+  std::sort(server_down_edges_.begin(), server_down_edges_.end(), order);
+  std::sort(telemetry_edges_.begin(), telemetry_edges_.end(), order);
+  std::sort(client_offline_edges_.begin(), client_offline_edges_.end(), order);
+  std::sort(backhaul_edges_.begin(), backhaul_edges_.end(), order);
+}
+
+std::pair<const FaultEdge*, const FaultEdge*> FaultTimeline::edges_at(
+    const std::vector<FaultEdge>& edges, int interval) {
+  const auto lo = std::lower_bound(
+      edges.begin(), edges.end(), interval,
+      [](const FaultEdge& e, int t) { return e.interval < t; });
+  auto hi = lo;
+  while (hi != edges.end() && hi->interval == interval) ++hi;
+  return {edges.data() + (lo - edges.begin()), edges.data() + (hi - edges.begin())};
 }
 
 bool FaultTimeline::in_any(const std::vector<Window>& windows, int interval) {

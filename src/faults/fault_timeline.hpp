@@ -16,6 +16,19 @@
 
 namespace perdnn {
 
+/// One state-change edge in the interval-indexed view of a fault class:
+/// `begins` is true at a window's first interval and false at its exclusive
+/// end. Consumers keep a per-entity active *count* (an entity is faulted
+/// while its count is positive), which reproduces the union semantics of
+/// overlapping windows exactly. Edge lists are sorted by (interval, id), so
+/// walking the clock forward applies each interval's edges as one contiguous
+/// slice — no per-entity rescans of the plan.
+struct FaultEdge {
+  int interval = 0;
+  std::int32_t id = 0;  // server or client id; 0 for the global backhaul list
+  bool begins = false;
+};
+
 class FaultTimeline {
  public:
   /// Compiles `plan` for a world of the given size; bounds-checks every
@@ -45,6 +58,30 @@ class FaultTimeline {
   /// consumers skip per-link accounting entirely on healthy intervals.
   bool any_backhaul_fault(int interval) const;
 
+  // Interval-indexed edge lists, precompiled at construction for consumers
+  // that advance the clock one interval at a time (the sharded engine).
+  // Counting begins/ends per entity is equivalent to the per-entity window
+  // queries above — tests/faults/fault_timeline_index_test.cpp proves it.
+  const std::vector<FaultEdge>& server_down_edges() const {
+    return server_down_edges_;
+  }
+  const std::vector<FaultEdge>& telemetry_edges() const {
+    return telemetry_edges_;
+  }
+  const std::vector<FaultEdge>& client_offline_edges() const {
+    return client_offline_edges_;
+  }
+  /// Backhaul window activity edges (id unused): a positive count means
+  /// any_backhaul_fault() is true for the interval.
+  const std::vector<FaultEdge>& backhaul_edges() const {
+    return backhaul_edges_;
+  }
+
+  /// The contiguous [first, last) slice of `edges` at exactly `interval`
+  /// (binary search; edges are sorted by interval).
+  static std::pair<const FaultEdge*, const FaultEdge*> edges_at(
+      const std::vector<FaultEdge>& edges, int interval);
+
  private:
   struct Window {
     int start = 0;
@@ -67,6 +104,11 @@ class FaultTimeline {
   std::vector<std::pair<int, ServerId>> crash_starts_;       // sorted
   std::vector<std::pair<int, ClientId>> disconnect_starts_;  // sorted
   std::vector<Window> backhaul_active_;  // union-ish: any event window
+  // Interval-indexed views, each sorted by (interval, id, begins).
+  std::vector<FaultEdge> server_down_edges_;
+  std::vector<FaultEdge> telemetry_edges_;
+  std::vector<FaultEdge> client_offline_edges_;
+  std::vector<FaultEdge> backhaul_edges_;
 };
 
 }  // namespace perdnn

@@ -41,6 +41,7 @@ constexpr KindName kKindNames[] = {
     {JournalEventKind::kCacheExpire, "cache_expire"},
     {JournalEventKind::kCheckpointSave, "checkpoint_save"},
     {JournalEventKind::kCheckpointResume, "checkpoint_resume"},
+    {JournalEventKind::kAttachShed, "attach_shed"},
 };
 
 // Integer fields go straight through std::to_chars into a stack buffer:
@@ -308,7 +309,7 @@ std::vector<JournalEvent> journal_decode(const std::string& bytes) {
     for (JournalEvent& e : events) {
       e.interval = r.i32();
       const std::uint8_t kind = r.u8();
-      if (kind > static_cast<std::uint8_t>(JournalEventKind::kCheckpointResume))
+      if (kind > static_cast<std::uint8_t>(JournalEventKind::kAttachShed))
         throw wire::WireError("journal: event kind out of range");
       e.kind = static_cast<JournalEventKind>(kind);
       e.chain = r.u64();

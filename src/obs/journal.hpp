@@ -46,6 +46,9 @@ enum class JournalEventKind : std::uint8_t {
   kCacheExpire,        // entry aged out of TTL; aux: #layers
   kCheckpointSave,     // meta only: checkpoint captured after this interval
   kCheckpointResume,   // meta only: run resumed at this interval
+  // Wire values are positional and frozen; new kinds append here.
+  kAttachShed,         // admission control refused the attach; detail: server
+                       // queue depth at the decision, aux: cached prefix
 };
 
 /// Stable lower_snake_case name used in JSONL and by perdnn_obs filters.
@@ -82,6 +85,7 @@ enum FaultCode : std::int32_t {
 enum DropReason : std::int32_t {
   kDropRetryBudget = 0,  // outlived max_attempts
   kDropDissolved = 1,    // layers arrived by other means; nothing left to send
+  kDropQueueFull = 2,    // source server's retry queue was at capacity
 };
 
 /// One journal record. Fixed shape: unused fields keep their defaults so

@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <limits>
 #include <memory>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -14,6 +15,8 @@
 #include "common/flat_map.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "edge/shard_retry.hpp"
+#include "faults/fault_timeline.hpp"
 #include "geo/point.hpp"
 #include "obs/stream_writer.hpp"
 #include "snapshot/snapshot.hpp"
@@ -51,6 +54,8 @@ enum : std::uint64_t {
   kTagInitY = 2,
   kTagInitHeading = 3,
   kTagInitSpeed = 4,
+  kTagCrowd = 5,
+  kTagCrowdTile = 6,
   kTagOffline = 10,
   kTagTurn = 11,
   kTagHeading = 12,
@@ -61,6 +66,12 @@ enum EventKind : std::uint8_t {
   kEvAttach = 1,   ///< re-attachment (cold-start window evaluated)
   kEvUpload = 2,   ///< steady-state upload progressed
   kEvPush = 3,     ///< proactive dispatcher push toward a predicted tile
+  kEvLocal = 4,    ///< tile server down: the interval ran on the local fallback
+};
+
+/// Event flag bits.
+enum : std::uint8_t {
+  kFlagDegraded = 1,  ///< attach planned from stale telemetry (dropout tile)
 };
 
 /// One cross-shard exchange record. Phase A emits these in client-id order
@@ -69,6 +80,7 @@ struct Event {
   ClientId client = -1;
   std::uint8_t kind = kEvAttach;
   std::uint8_t cls = 0;        // attach classification: 0 hit/1 partial/2 miss
+  std::uint8_t flags = 0;      // kFlag* bits
   std::uint16_t p0 = 0;        // cache prefix found at attach
   std::uint16_t p_end = 0;     // prefix after this interval / pushed prefix
   ServerId server = kNoServer; // attach target / upload server / push source
@@ -83,6 +95,7 @@ enum Disp : std::uint8_t {
   kDispOffline = 1,  ///< went offline while attached: emit kEvOffline
   kDispAttach = 2,   ///< tile changed: attach path
   kDispStay = 3,     ///< same server: steady upload / pushes
+  kDispLocal = 4,    ///< tile server down: emit kEvLocal
 };
 
 /// Per-shard phase A output buffer (reused across intervals).
@@ -109,7 +122,21 @@ struct RowAcc {
   double cold_latency = 0.0;
   std::int64_t uplink = 0, downlink = 0;
   int orders = 0;
+  long long local_queries = 0;
+  double local_latency = 0.0;
+  std::int64_t deferred = 0;
+  int degraded = 0;
 };
+
+/// Unordered link id: a degraded backhaul link's capacity is shared by both
+/// directions (same keying as the trace-replay engine).
+std::uint64_t link_key(ServerId a, ServerId b) {
+  const auto lo =
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(std::min(a, b)));
+  const auto hi =
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(std::max(a, b)));
+  return (hi << 32) | lo;
+}
 
 class ShardEngine {
  public:
@@ -137,13 +164,43 @@ class ShardEngine {
     peak_down_.assign(s, 0.0);
     wheel_.resize(static_cast<std::size_t>(cfg_.ttl_intervals) + 2);
 
+    // Flash-crowd placement: with the knob on, a share of clients starts
+    // packed into the hot tiles so that each hot tile holds ~multiplier×
+    // the uniform per-tile population. Membership and tile choice use
+    // dedicated hash tags, so a disabled knob reproduces the uniform layout
+    // bit for bit.
+    const auto& hot = w_.flash_crowd_hot_tiles;
+    const bool crowd = !hot.empty() && cfg_.flash_crowd_multiplier > 1.0;
+    const double crowd_share =
+        crowd ? ((cfg_.flash_crowd_multiplier - 1.0) *
+                 static_cast<double>(hot.size())) /
+                    (static_cast<double>(cfg_.num_servers()) +
+                     (cfg_.flash_crowd_multiplier - 1.0) *
+                         static_cast<double>(hot.size()))
+              : 0.0;
+
     for (std::size_t c = 0; c < n; ++c) {
       std::uint64_t seed_state =
           cfg_.seed ^ (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(c) + 1));
       stream_[c] = splitmix64(seed_state);
       const std::uint64_t sub = stream_[c];
-      x_[c] = u01(hash3(sub, kTagInitX, 0)) * w_.width_m;
-      y_[c] = u01(hash3(sub, kTagInitY, 0)) * w_.height_m;
+      if (crowd && u01(hash3(sub, kTagCrowd, 0)) < crowd_share) {
+        const auto pick = hash3(sub, kTagCrowdTile, 0) %
+                          static_cast<std::uint64_t>(hot.size());
+        const Point centre =
+            w_.server_centers[static_cast<std::size_t>(
+                hot[static_cast<std::size_t>(pick)])];
+        const double half = 0.6 * cfg_.cell_radius_m;  // inside the hex
+        x_[c] = std::clamp(
+            centre.x + (u01(hash3(sub, kTagInitX, 0)) * 2.0 - 1.0) * half,
+            0.0, w_.width_m);
+        y_[c] = std::clamp(
+            centre.y + (u01(hash3(sub, kTagInitY, 0)) * 2.0 - 1.0) * half,
+            0.0, w_.height_m);
+      } else {
+        x_[c] = u01(hash3(sub, kTagInitX, 0)) * w_.width_m;
+        y_[c] = u01(hash3(sub, kTagInitY, 0)) * w_.height_m;
+      }
       set_heading(static_cast<ClientId>(c),
                   u01(hash3(sub, kTagInitHeading, 0)) * kTwoPi);
       speed_[c] = cfg_.speed_min_mps +
@@ -165,6 +222,33 @@ class ShardEngine {
     }
     bufs_.resize(static_cast<std::size_t>(num_shards_));
     buckets_.resize(static_cast<std::size_t>(num_shards_));
+
+    retry_ = ShardRetryQueue(cfg_.migration_retry, cfg_.num_servers(),
+                             cfg_.retry_queue_cap);
+    faults_ = !cfg_.fault_plan.empty();
+    if (faults_) {
+      ft_ = FaultTimeline(cfg_.fault_plan, cfg_.num_servers(),
+                          cfg_.num_clients);
+      down_count_.assign(s, 0);
+      tele_count_.assign(s, 0);
+      down_.assign(s, 0);
+      tele_.assign(s, 0);
+      off_count_.assign(n, 0);
+      scripted_off_.assign(n, 0);
+    }
+    // Local-fallback outcome of one full interval, evaluated once: the
+    // local-only latency is level-independent, so every client that falls
+    // back sees the same query count and latency sum.
+    {
+      const Seconds lat = w_.local_query_latency_s;
+      Seconds clock = 0.0;
+      while (clock + lat <= cfg_.interval_s &&
+             local_queries_ < kMaxColdQueries) {
+        ++local_queries_;
+        clock += lat + cfg_.query_gap;
+      }
+      local_latency_sum_ = static_cast<double>(local_queries_) * lat;
+    }
 
     build_attach_tables();
   }
@@ -194,6 +278,20 @@ class ShardEngine {
   void schedule_expiry(ServerId sid, ClientId c, int expire);
   void expire_entries(int t);
   void finish_interval(int t);
+
+  // -- fault machinery (serial; all no-ops on a fault-free run) --------------
+  void fault_step(int t);
+  void replay_fault_edges(int upto);
+  void compute_shed();
+  void apply_shed(const Event& e, int t);
+  void push_faulted(const Event& e, int t);
+  void deliver_push(ClientId c, ServerId source, ServerId target,
+                    int old_prefix, int new_prefix, int t);
+  void defer_push(ClientId c, ServerId source, ServerId target, int want,
+                  Bytes bytes, int t);
+  bool park_or_drop(ShardRetryOrder order, int t);
+  void drop_order(const ShardRetryOrder& order, int t, std::int32_t reason);
+  void retry_deferred(int t);
 
   // -- checkpoint / resume ---------------------------------------------------
   void restore_from(const snapshot::SimSnapshot& snap);
@@ -242,6 +340,27 @@ class ShardEngine {
   std::vector<std::vector<ClientId>> buckets_;
   std::vector<ShardBuf> bufs_;
 
+  // Fault machinery (inert unless the config scripts a plan). The byte
+  // flags are what Phase A reads; the counts behind them advance by one
+  // interval's slice of the precompiled FaultTimeline edge lists per tick.
+  bool faults_ = false;
+  FaultTimeline ft_;
+  std::vector<std::int32_t> down_count_, tele_count_, off_count_;
+  std::vector<std::uint8_t> down_, tele_, scripted_off_;
+  int backhaul_count_ = 0;
+  bool backhaul_now_ = false;
+  std::unordered_map<std::uint64_t, Bytes> link_used_;  // per-interval caps
+  ShardRetryQueue retry_;
+  // Degraded (stale-telemetry) cold tables, parallel to cold_queries_;
+  // filled only when the plan scripts a telemetry dropout.
+  std::vector<long long> dcold_queries_;
+  std::vector<double> dcold_latency_;
+  // Local-fallback outcome of one interval (identical for every client).
+  long long local_queries_ = 0;
+  double local_latency_sum_ = 0.0;
+  // Clients refused by admission control this interval (sorted by id).
+  std::vector<ClientId> shed_;
+
   // Per-interval accounting.
   std::vector<RowAcc> acc_;
   std::vector<double> peak_up_, peak_down_;
@@ -274,10 +393,10 @@ void ShardEngine::build_attach_tables() {
   }
 
   const auto num_levels = w_.levels.size();
-  cold_queries_.resize(num_levels * (static_cast<std::size_t>(K_) + 1));
-  cold_latency_.resize(cold_queries_.size());
-  for (std::size_t level = 0; level < num_levels; ++level) {
-    const ShardLoadLevel& lvl = w_.levels[level];
+  const auto fill_cold = [this, up_rate](const std::vector<Seconds>& latency,
+                                         std::size_t level,
+                                         std::vector<long long>& out_queries,
+                                         std::vector<double>& out_latency) {
     for (int p0 = 0; p0 <= K_; ++p0) {
       double now = 0.0;
       long long queries = 0;
@@ -290,7 +409,7 @@ void ShardEngine::build_attach_tables() {
                    w_.prefix_bytes[static_cast<std::size_t>(p0)]) <=
                    now * up_rate)
           ++p;
-        const Seconds lat = lvl.latency_by_prefix[static_cast<std::size_t>(p)];
+        const Seconds lat = latency[static_cast<std::size_t>(p)];
         if (now + lat > cfg_.interval_s) break;
         ++queries;
         latency_sum += lat;
@@ -299,9 +418,21 @@ void ShardEngine::build_attach_tables() {
       const std::size_t cell =
           level * (static_cast<std::size_t>(K_) + 1) +
           static_cast<std::size_t>(p0);
-      cold_queries_[cell] = queries;
-      cold_latency_[cell] = latency_sum;
+      out_queries[cell] = queries;
+      out_latency[cell] = latency_sum;
     }
+  };
+  cold_queries_.resize(num_levels * (static_cast<std::size_t>(K_) + 1));
+  cold_latency_.resize(cold_queries_.size());
+  for (std::size_t level = 0; level < num_levels; ++level)
+    fill_cold(w_.levels[level].latency_by_prefix, level, cold_queries_,
+              cold_latency_);
+  if (num_levels > 0 && !w_.levels[0].degraded_latency_by_prefix.empty()) {
+    dcold_queries_.resize(cold_queries_.size());
+    dcold_latency_.resize(cold_latency_.size());
+    for (std::size_t level = 0; level < num_levels; ++level)
+      fill_cold(w_.levels[level].degraded_latency_by_prefix, level,
+                dcold_queries_, dcold_latency_);
   }
 }
 
@@ -309,6 +440,14 @@ std::uint8_t ShardEngine::stage_move(ClientId c, int t, ShardBuf& buf,
                                      ServerId& prev) {
   const auto ci = static_cast<std::size_t>(c);
   if (offline_until_[ci] > t) {
+    ++buf.offline;
+    return kDispNone;
+  }
+  if (faults_ && scripted_off_[ci] != 0) {
+    // Scripted disconnect window: the detach and the disconnect count were
+    // handled by fault_step when the window opened. No churn/movement draws
+    // are consumed, but the counter-based streams resume unshifted when the
+    // window closes.
     ++buf.offline;
     return kDispNone;
   }
@@ -344,6 +483,14 @@ std::uint8_t ShardEngine::stage_move(ClientId c, int t, ShardBuf& buf,
   y_[ci] = ny;
   const ServerId sid = w_.tile_at({nx, ny});
   tile_[ci] = sid;
+  if (faults_ && down_[static_cast<std::size_t>(sid)] != 0) {
+    // The tile's server is down: the interval runs on the local fallback.
+    prev = server_[ci];
+    server_[ci] = kNoServer;
+    prefix_[ci] = 0;
+    carry_[ci] = 0;
+    return kDispLocal;
+  }
   return sid != server_[ci] ? kDispAttach : kDispStay;
 }
 
@@ -358,6 +505,15 @@ void ShardEngine::finish_client(ClientId c, std::uint8_t disp,
     return;
   }
   const ServerId sid = tile_[ci];
+  if (disp == kDispLocal) {
+    buf.events.push_back({.client = c,
+                          .kind = kEvLocal,
+                          .server = sid,
+                          .peer = offline_prev,
+                          .queries = local_queries_,
+                          .latency_sum = local_latency_sum_});
+    return;
+  }
   if (disp == kDispAttach) {
     // Re-attachment: the cold-start window and the first-interval upload
     // advance come straight from the precomputed (load, p0) tables.
@@ -370,6 +526,8 @@ void ShardEngine::finish_client(ClientId c, std::uint8_t disp,
       p0 = probed_p0;
     }
     const std::uint8_t cls = p0 >= K_ ? 0 : (p0 == 0 ? 2 : 1);
+    const bool degraded =
+        faults_ && tele_[static_cast<std::size_t>(sid)] != 0;
     const std::size_t cell =
         static_cast<std::size_t>(load - 1) *
             (static_cast<std::size_t>(K_) + 1) +
@@ -382,12 +540,16 @@ void ShardEngine::finish_client(ClientId c, std::uint8_t disp,
     buf.events.push_back({.client = c,
                           .kind = kEvAttach,
                           .cls = cls,
+                          .flags = static_cast<std::uint8_t>(
+                              degraded ? kFlagDegraded : 0),
                           .p0 = static_cast<std::uint16_t>(p0),
                           .p_end = static_cast<std::uint16_t>(pe),
                           .server = sid,
                           .peer = prev,
-                          .queries = cold_queries_[cell],
-                          .latency_sum = cold_latency_[cell]});
+                          .queries = degraded ? dcold_queries_[cell]
+                                              : cold_queries_[cell],
+                          .latency_sum = degraded ? dcold_latency_[cell]
+                                                  : cold_latency_[cell]});
   } else if (prefix_[ci] < K_) {
     // Steady state at the same server: the incremental upload continues at
     // the wireless uplink rate.
@@ -574,6 +736,11 @@ void ShardEngine::apply_event(const Event& e, int t) {
       metrics_.cold_window_queries += e.queries;
       row.cold_queries += e.queries;
       row.cold_latency += e.latency_sum;
+      const bool degraded = (e.flags & kFlagDegraded) != 0;
+      if (degraded) {
+        ++metrics_.degraded_attaches;
+        ++row.degraded;
+      }
       if (jr_ != nullptr) {
         const std::uint64_t chain = jr_->begin_chain(e.client);
         jr_->record({.interval = t,
@@ -583,7 +750,8 @@ void ShardEngine::apply_event(const Event& e, int t) {
                      .server = e.server,
                      .peer = e.peer});
         jr_->record({.interval = t,
-                     .kind = obs::JournalEventKind::kPlan,
+                     .kind = degraded ? obs::JournalEventKind::kDegradedPlan
+                                      : obs::JournalEventKind::kPlan,
                      .chain = chain,
                      .client = e.client,
                      .server = e.server,
@@ -606,7 +774,30 @@ void ShardEngine::apply_event(const Event& e, int t) {
     case kEvUpload:
       cache_store(e.server, e.client, e.p_end, t);
       break;
+    case kEvLocal: {
+      if (e.peer != kNoServer)
+        detach_from(e.client, e.peer, t, obs::kDetachUnreachable);
+      ++metrics_.unreachable_client_intervals;
+      metrics_.local_fallback_queries += e.queries;
+      metrics_.local_latency_sum_s += e.latency_sum;
+      RowAcc& row = acc_[static_cast<std::size_t>(e.server)];
+      row.local_queries += e.queries;
+      row.local_latency += e.latency_sum;
+      if (e.queries > 0)
+        journal({.interval = t,
+                 .kind = obs::JournalEventKind::kLocalFallback,
+                 .client = e.client,
+                 .server = e.server,
+                 .aux = static_cast<std::int32_t>(e.queries),
+                 .value = e.latency_sum});
+      break;
+    }
     case kEvPush: {
+      if (faults_ &&
+          (backhaul_now_ || down_[static_cast<std::size_t>(e.peer)] != 0)) {
+        push_faulted(e, t);
+        break;
+      }
       auto& entry = cache_[static_cast<std::size_t>(e.peer)][e.client];
       const int old_prefix = entry.prefix;
       const Bytes bytes =
@@ -639,6 +830,7 @@ void ShardEngine::apply_events(int t) {
   // picking the shard with the smallest head client id and draining that
   // client reconstructs the canonical global order regardless of how tiles
   // were sharded.
+  const bool shedding = !shed_.empty();
   std::vector<std::size_t> head(bufs_.size(), 0);
   while (true) {
     int best = -1;
@@ -666,9 +858,435 @@ void ShardEngine::apply_events(int t) {
           cache_[static_cast<std::size_t>(next.server)].prefetch(next.client);
         }
       }
-      apply_event(events[h], t);
+      const Event& e = events[h];
+      if (shedding &&
+          std::binary_search(shed_.begin(), shed_.end(), e.client)) {
+        // Admission control refused this client's attach. Its pushes were
+        // planned against an attach that never happened, so they drop with
+        // it.
+        if (e.kind == kEvAttach) apply_shed(e, t);
+      } else {
+        apply_event(e, t);
+      }
       ++h;
     }
+  }
+}
+
+void ShardEngine::fault_step(int t) {
+  if (!faults_) return;
+  // Scripted fault boundaries, journalled exactly like the trace-replay
+  // engine's apply_faults: one kFaultApplied at the window's first interval
+  // and one kFaultCleared at its exclusive end.
+  if (jr_ != nullptr) {
+    for (const FaultEvent& ev : cfg_.fault_plan.events()) {
+      const auto code = static_cast<std::int32_t>(ev.kind);
+      if (ev.at_interval == t)
+        jr_->record({.interval = t,
+                     .kind = obs::JournalEventKind::kFaultApplied,
+                     .client = ev.client,
+                     .server = ev.server,
+                     .peer = ev.peer,
+                     .detail = code,
+                     .aux = ev.duration_intervals,
+                     .value = ev.severity});
+      if (ev.at_interval + ev.duration_intervals == t)
+        jr_->record({.interval = t,
+                     .kind = obs::JournalEventKind::kFaultCleared,
+                     .client = ev.client,
+                     .server = ev.server,
+                     .peer = ev.peer,
+                     .detail = code});
+    }
+  }
+
+  // Crash starts: the server's cache is lost and every attached client
+  // drops. One SoA pass buckets the dropped clients per crashed server so
+  // the work below runs in (server, client-id) order.
+  const std::vector<ServerId> crashes = ft_.crashes_starting_at(t);
+  if (!crashes.empty()) {
+    std::vector<std::vector<ClientId>> dropped(crashes.size());
+    for (std::size_t c = 0; c < server_.size(); ++c) {
+      const ServerId sv = server_[c];
+      if (sv == kNoServer) continue;
+      const auto it = std::lower_bound(crashes.begin(), crashes.end(), sv);
+      if (it != crashes.end() && *it == sv)
+        dropped[static_cast<std::size_t>(it - crashes.begin())].push_back(
+            static_cast<ClientId>(c));
+    }
+    std::vector<std::pair<ClientId, std::uint16_t>> evicted;
+    for (std::size_t i = 0; i < crashes.size(); ++i) {
+      const ServerId sid = crashes[i];
+      ++metrics_.server_failures;
+      auto& entries = cache_[static_cast<std::size_t>(sid)];
+      if (jr_ != nullptr && entries.size() > 0) {
+        evicted.clear();
+        entries.for_each([&evicted](ClientId c, const CacheEntry& entry) {
+          evicted.emplace_back(c, entry.prefix);
+        });
+        std::sort(evicted.begin(), evicted.end());
+        for (const auto& [c, prefix] : evicted)
+          jr_->record({.interval = t,
+                       .kind = obs::JournalEventKind::kCacheEvict,
+                       .client = c,
+                       .server = sid,
+                       .aux = prefix});
+      }
+      entries.clear();
+      for (const ClientId c : dropped[i]) {
+        detach_from(c, sid, t, obs::kDetachCrash);
+        ++metrics_.failure_evictions;
+        const auto ci = static_cast<std::size_t>(c);
+        server_[ci] = kNoServer;
+        prefix_[ci] = 0;
+        carry_[ci] = 0;
+      }
+    }
+  }
+
+  // Disconnect starts: the client's own outage; detach if attached.
+  for (const ClientId c : ft_.disconnects_starting_at(t)) {
+    ++metrics_.client_disconnect_events;
+    const auto ci = static_cast<std::size_t>(c);
+    if (server_[ci] != kNoServer) {
+      detach_from(c, server_[ci], t, obs::kDetachDisconnect);
+      server_[ci] = kNoServer;
+      prefix_[ci] = 0;
+      carry_[ci] = 0;
+    }
+  }
+
+  // Advance the window counters with this interval's slice of the
+  // precompiled edge lists, then refresh the flags Phase A reads.
+  const auto apply = [](const std::vector<FaultEdge>& edges, int interval,
+                        auto&& fn) {
+    const auto [first, last] = FaultTimeline::edges_at(edges, interval);
+    for (const FaultEdge* e = first; e != last; ++e) fn(*e);
+  };
+  apply(ft_.server_down_edges(), t, [this](const FaultEdge& e) {
+    auto& count = down_count_[static_cast<std::size_t>(e.id)];
+    count += e.begins ? 1 : -1;
+    down_[static_cast<std::size_t>(e.id)] = count > 0 ? 1 : 0;
+  });
+  apply(ft_.telemetry_edges(), t, [this](const FaultEdge& e) {
+    auto& count = tele_count_[static_cast<std::size_t>(e.id)];
+    count += e.begins ? 1 : -1;
+    tele_[static_cast<std::size_t>(e.id)] = count > 0 ? 1 : 0;
+  });
+  apply(ft_.client_offline_edges(), t, [this](const FaultEdge& e) {
+    auto& count = off_count_[static_cast<std::size_t>(e.id)];
+    count += e.begins ? 1 : -1;
+    scripted_off_[static_cast<std::size_t>(e.id)] = count > 0 ? 1 : 0;
+  });
+  apply(ft_.backhaul_edges(), t, [this](const FaultEdge& e) {
+    backhaul_count_ += e.begins ? 1 : -1;
+  });
+  backhaul_now_ = backhaul_count_ > 0;
+  link_used_.clear();
+}
+
+void ShardEngine::replay_fault_edges(int upto) {
+  // Rebuilds the window counters a checkpointed run had entering interval
+  // `upto`: every edge strictly before it applied once. fault_step(upto)
+  // then applies the resumed interval's own edges, exactly as the
+  // uninterrupted run did.
+  if (!faults_) return;
+  std::fill(down_count_.begin(), down_count_.end(), 0);
+  std::fill(tele_count_.begin(), tele_count_.end(), 0);
+  std::fill(off_count_.begin(), off_count_.end(), 0);
+  backhaul_count_ = 0;
+  const auto replay = [upto](const std::vector<FaultEdge>& edges, auto&& fn) {
+    for (const FaultEdge& e : edges) {
+      if (e.interval >= upto) break;
+      fn(e);
+    }
+  };
+  replay(ft_.server_down_edges(), [this](const FaultEdge& e) {
+    down_count_[static_cast<std::size_t>(e.id)] += e.begins ? 1 : -1;
+  });
+  replay(ft_.telemetry_edges(), [this](const FaultEdge& e) {
+    tele_count_[static_cast<std::size_t>(e.id)] += e.begins ? 1 : -1;
+  });
+  replay(ft_.client_offline_edges(), [this](const FaultEdge& e) {
+    off_count_[static_cast<std::size_t>(e.id)] += e.begins ? 1 : -1;
+  });
+  replay(ft_.backhaul_edges(), [this](const FaultEdge& e) {
+    backhaul_count_ += e.begins ? 1 : -1;
+  });
+  for (std::size_t s = 0; s < down_.size(); ++s)
+    down_[s] = down_count_[s] > 0 ? 1 : 0;
+  for (std::size_t s = 0; s < tele_.size(); ++s)
+    tele_[s] = tele_count_[s] > 0 ? 1 : 0;
+  for (std::size_t c = 0; c < scripted_off_.size(); ++c)
+    scripted_off_[c] = off_count_[c] > 0 ? 1 : 0;
+  backhaul_now_ = backhaul_count_ > 0;
+}
+
+void ShardEngine::compute_shed() {
+  shed_.clear();
+  if (cfg_.admission_max_attached <= 0) return;
+  // Admission control: each server accepts at most admission_max_attached
+  // clients, measured against its interval-start occupancy. The most
+  // efficient attaches (highest cached prefix, ties to the lowest client
+  // id) are kept; the rest shed to the local fallback.
+  struct Cand {
+    ServerId server;
+    std::uint16_t p0;
+    ClientId client;
+  };
+  std::vector<Cand> cand;
+  for (const ShardBuf& buf : bufs_)
+    for (const Event& e : buf.events)
+      if (e.kind == kEvAttach) cand.push_back({e.server, e.p0, e.client});
+  if (cand.empty()) return;
+  std::sort(cand.begin(), cand.end(), [](const Cand& a, const Cand& b) {
+    if (a.server != b.server) return a.server < b.server;
+    if (a.p0 != b.p0) return a.p0 > b.p0;
+    return a.client < b.client;
+  });
+  std::size_t i = 0;
+  while (i < cand.size()) {
+    std::size_t j = i;
+    while (j < cand.size() && cand[j].server == cand[i].server) ++j;
+    const auto capacity = static_cast<std::size_t>(std::max(
+        0, cfg_.admission_max_attached -
+               attached_[static_cast<std::size_t>(cand[i].server)]));
+    for (std::size_t k = i + capacity; k < j; ++k)
+      shed_.push_back(cand[k].client);
+    i = j;
+  }
+  std::sort(shed_.begin(), shed_.end());
+}
+
+void ShardEngine::apply_shed(const Event& e, int t) {
+  // Admission control refused this attach: undo Phase A's speculative SoA
+  // write and run the interval on the local fallback instead.
+  const auto ci = static_cast<std::size_t>(e.client);
+  server_[ci] = kNoServer;
+  prefix_[ci] = 0;
+  carry_[ci] = 0;
+  if (e.peer != kNoServer) detach_from(e.client, e.peer, t, obs::kDetachMoved);
+  ++metrics_.attaches_shed;
+  ++metrics_.unreachable_client_intervals;
+  metrics_.local_fallback_queries += local_queries_;
+  metrics_.local_latency_sum_s += local_latency_sum_;
+  RowAcc& row = acc_[static_cast<std::size_t>(e.server)];
+  row.local_queries += local_queries_;
+  row.local_latency += local_latency_sum_;
+  if (jr_ != nullptr) {
+    const std::uint64_t chain = jr_->begin_chain(e.client);
+    jr_->record({.interval = t,
+                 .kind = obs::JournalEventKind::kAttachShed,
+                 .chain = chain,
+                 .client = e.client,
+                 .server = e.server,
+                 .peer = e.peer,
+                 .detail = attached_[static_cast<std::size_t>(e.server)],
+                 .aux = e.p0});
+    if (local_queries_ > 0)
+      jr_->record({.interval = t,
+                   .kind = obs::JournalEventKind::kLocalFallback,
+                   .chain = chain,
+                   .client = e.client,
+                   .server = e.server,
+                   .aux = static_cast<std::int32_t>(local_queries_),
+                   .value = local_latency_sum_});
+  }
+}
+
+void ShardEngine::push_faulted(const Event& e, int t) {
+  // Fault-path push: the target may be down, or a backhaul event may cap or
+  // sever the link. Mirrors the trace-replay engine's push_layers: already
+  // present layers cost nothing, a capacity too small for even one layer
+  // defers the whole order (and skips the TTL refresh — nothing crossed),
+  // a partial fit delivers the prefix that fits and parks the remainder as
+  // a fresh order.
+  const CacheEntry* cur =
+      cache_[static_cast<std::size_t>(e.peer)].find(e.client);
+  const int old_prefix = cur != nullptr ? cur->prefix : 0;
+  const int want = e.p_end;
+  const Bytes bytes_needed =
+      want > old_prefix
+          ? w_.prefix_bytes[static_cast<std::size_t>(want)] -
+                w_.prefix_bytes[static_cast<std::size_t>(old_prefix)]
+          : 0;
+  if (down_[static_cast<std::size_t>(e.peer)] != 0) {
+    if (bytes_needed > 0)
+      defer_push(e.client, e.server, e.peer, want, bytes_needed, t);
+    return;
+  }
+  const double factor =
+      backhaul_now_ ? ft_.backhaul_factor(e.server, e.peer, t) : 1.0;
+  if (factor <= 0.0) {
+    if (bytes_needed > 0)
+      defer_push(e.client, e.server, e.peer, want, bytes_needed, t);
+    return;
+  }
+  int p = want;
+  if (factor < 1.0 && bytes_needed > 0) {
+    const auto cap = static_cast<Bytes>(factor * cfg_.backhaul_bytes_per_sec *
+                                        cfg_.interval_s);
+    Bytes& used = link_used_[link_key(e.server, e.peer)];
+    p = old_prefix;
+    while (p < want &&
+           used + (w_.prefix_bytes[static_cast<std::size_t>(p + 1)] -
+                   w_.prefix_bytes[static_cast<std::size_t>(old_prefix)]) <=
+               cap)
+      ++p;
+    if (p == old_prefix) {
+      ++metrics_.migrations_truncated;
+      defer_push(e.client, e.server, e.peer, want, bytes_needed, t);
+      return;
+    }
+    used += w_.prefix_bytes[static_cast<std::size_t>(p)] -
+            w_.prefix_bytes[static_cast<std::size_t>(old_prefix)];
+  }
+  deliver_push(e.client, e.server, e.peer, old_prefix, p, t);
+  if (p < want)
+    defer_push(e.client, e.server, e.peer, want,
+               w_.prefix_bytes[static_cast<std::size_t>(want)] -
+                   w_.prefix_bytes[static_cast<std::size_t>(p)],
+               t);
+}
+
+void ShardEngine::deliver_push(ClientId c, ServerId source, ServerId target,
+                               int old_prefix, int new_prefix, int t) {
+  auto& entry = cache_[static_cast<std::size_t>(target)][c];
+  const Bytes bytes =
+      new_prefix > old_prefix
+          ? w_.prefix_bytes[static_cast<std::size_t>(new_prefix)] -
+                w_.prefix_bytes[static_cast<std::size_t>(old_prefix)]
+          : 0;
+  if (new_prefix > entry.prefix)
+    entry.prefix = static_cast<std::uint16_t>(new_prefix);
+  schedule_expiry(target, c, t + cfg_.ttl_intervals);
+  acc_[static_cast<std::size_t>(source)].uplink += bytes;
+  acc_[static_cast<std::size_t>(source)].orders += 1;
+  acc_[static_cast<std::size_t>(target)].downlink += bytes;
+  metrics_.total_migrated_bytes += bytes;
+  journal({.interval = t,
+           .kind = obs::JournalEventKind::kMigrationPushed,
+           .client = c,
+           .server = source,
+           .peer = target,
+           .bytes = bytes,
+           .aux = std::max(0, new_prefix - old_prefix)});
+}
+
+void ShardEngine::defer_push(ClientId c, ServerId source, ServerId target,
+                             int want, Bytes bytes, int t) {
+  const ShardRetryOrder order{.client = c,
+                              .source = source,
+                              .target = target,
+                              .prefix = static_cast<std::uint16_t>(want),
+                              .bytes = bytes,
+                              .attempts = 1};
+  if (park_or_drop(order, t)) {
+    ++metrics_.migrations_deferred;
+    metrics_.deferred_migration_bytes += bytes;
+    acc_[static_cast<std::size_t>(source)].deferred += bytes;
+  }
+}
+
+bool ShardEngine::park_or_drop(ShardRetryOrder order, int t) {
+  if (retry_.budget_spent(order.attempts)) {
+    drop_order(order, t, obs::kDropRetryBudget);
+    return false;
+  }
+  if (retry_.full(order.source)) {
+    drop_order(order, t, obs::kDropQueueFull);
+    return false;
+  }
+  order.next_attempt_interval = t + retry_.backoff_after(order.attempts);
+  journal({.interval = t,
+           .kind = obs::JournalEventKind::kMigrationDeferred,
+           .client = order.client,
+           .server = order.source,
+           .peer = order.target,
+           .bytes = order.bytes,
+           .detail = order.attempts,
+           .aux = order.next_attempt_interval});
+  retry_.park(order);
+  return true;
+}
+
+void ShardEngine::drop_order(const ShardRetryOrder& order, int t,
+                             std::int32_t reason) {
+  ++metrics_.migrations_abandoned;
+  metrics_.abandoned_migration_bytes += order.bytes;
+  journal({.interval = t,
+           .kind = obs::JournalEventKind::kMigrationDropped,
+           .client = order.client,
+           .server = order.source,
+           .peer = order.target,
+           .bytes = order.bytes,
+           .detail = order.attempts,
+           .aux = reason});
+}
+
+void ShardEngine::retry_deferred(int t) {
+  if (retry_.backlog_orders() == 0) return;
+  for (const ShardRetryOrder& order : retry_.take_due(t)) {
+    ++metrics_.migration_retries;
+    journal({.interval = t,
+             .kind = obs::JournalEventKind::kMigrationRetried,
+             .client = order.client,
+             .server = order.source,
+             .peer = order.target,
+             .bytes = order.bytes,
+             .detail = order.attempts});
+    if (down_[static_cast<std::size_t>(order.source)] != 0 ||
+        down_[static_cast<std::size_t>(order.target)] != 0) {
+      park_or_drop(order, t);
+      continue;
+    }
+    const CacheEntry* cur =
+        cache_[static_cast<std::size_t>(order.target)].find(order.client);
+    const int old_prefix = cur != nullptr ? cur->prefix : 0;
+    const int want = order.prefix;
+    if (want <= old_prefix) {
+      // The layers arrived by other means while the order was parked.
+      journal({.interval = t,
+               .kind = obs::JournalEventKind::kMigrationDropped,
+               .client = order.client,
+               .server = order.source,
+               .peer = order.target,
+               .bytes = order.bytes,
+               .detail = order.attempts,
+               .aux = obs::kDropDissolved});
+      continue;
+    }
+    const double factor =
+        backhaul_now_ ? ft_.backhaul_factor(order.source, order.target, t)
+                      : 1.0;
+    if (factor <= 0.0) {
+      park_or_drop(order, t);
+      continue;
+    }
+    int p = want;
+    if (factor < 1.0) {
+      const auto cap = static_cast<Bytes>(
+          factor * cfg_.backhaul_bytes_per_sec * cfg_.interval_s);
+      Bytes& used = link_used_[link_key(order.source, order.target)];
+      p = old_prefix;
+      while (p < want &&
+             used + (w_.prefix_bytes[static_cast<std::size_t>(p + 1)] -
+                     w_.prefix_bytes[static_cast<std::size_t>(old_prefix)]) <=
+                 cap)
+        ++p;
+      if (p == old_prefix) {
+        park_or_drop(order, t);
+        continue;
+      }
+      used += w_.prefix_bytes[static_cast<std::size_t>(p)] -
+              w_.prefix_bytes[static_cast<std::size_t>(old_prefix)];
+    }
+    deliver_push(order.client, order.source, order.target, old_prefix, p, t);
+    if (p < want)
+      defer_push(order.client, order.source, order.target, want,
+                 w_.prefix_bytes[static_cast<std::size_t>(want)] -
+                     w_.prefix_bytes[static_cast<std::size_t>(p)],
+                 t);
   }
 }
 
@@ -731,9 +1349,16 @@ void ShardEngine::finish_interval(int t) {
       row.uplink_bytes = acc.uplink;
       row.downlink_bytes = acc.downlink;
       row.migration_orders = acc.orders;
+      row.local_queries = acc.local_queries;
+      row.local_latency_sum_s = acc.local_latency;
+      row.deferred_bytes = acc.deferred;
+      row.degraded = acc.degraded;
       ts_->append(row);
     }
   }
+  if (faults_)
+    metrics_.peak_deferred_backlog_bytes = std::max(
+        metrics_.peak_deferred_backlog_bytes, retry_.backlog_bytes());
   if (interval_total > best_interval_bytes_) {
     best_interval_bytes_ = interval_total;
     best_interval_fraction_ =
@@ -830,6 +1455,30 @@ void ShardEngine::restore_from(const snapshot::SimSnapshot& snap) {
   metrics_ = snap.metrics;
   start_interval_ = snap.next_interval;
 
+  const std::size_t nr = s.retry_client.size();
+  if (s.retry_source.size() != nr || s.retry_target.size() != nr ||
+      s.retry_prefix.size() != nr || s.retry_bytes.size() != nr ||
+      s.retry_attempts.size() != nr || s.retry_next_attempt.size() != nr)
+    throw snapshot::SnapshotError(
+        "snapshot: retry-queue arrays misaligned");
+  std::vector<ShardRetryOrder> orders;
+  orders.reserve(nr);
+  for (std::size_t i = 0; i < nr; ++i) {
+    if (s.retry_source[i] < 0 || s.retry_source[i] >= cfg_.num_servers() ||
+        s.retry_target[i] < 0 || s.retry_target[i] >= cfg_.num_servers() ||
+        s.retry_client[i] < 0 || s.retry_client[i] >= cfg_.num_clients)
+      throw snapshot::SnapshotError("snapshot: retry order out of range");
+    orders.push_back({.client = s.retry_client[i],
+                      .source = s.retry_source[i],
+                      .target = s.retry_target[i],
+                      .prefix = static_cast<std::uint16_t>(s.retry_prefix[i]),
+                      .bytes = s.retry_bytes[i],
+                      .attempts = s.retry_attempts[i],
+                      .next_attempt_interval = s.retry_next_attempt[i]});
+  }
+  retry_.restore(orders);
+  replay_fault_edges(start);
+
   if (!opt_.timeseries_path.empty())
     ts_ = std::make_unique<obs::TimeseriesStreamWriter>(
         opt_.timeseries_path, obs::Resume{s.timeseries_bytes},
@@ -891,6 +1540,15 @@ snapshot::SimSnapshot ShardEngine::capture(int next_interval) {
   s.peak_downlink_mbps = peak_down_;
   s.best_interval_bytes = best_interval_bytes_;
   s.best_interval_fraction = best_interval_fraction_;
+  for (const ShardRetryOrder& order : retry_.flatten()) {
+    s.retry_client.push_back(order.client);
+    s.retry_source.push_back(order.source);
+    s.retry_target.push_back(order.target);
+    s.retry_prefix.push_back(order.prefix);
+    s.retry_bytes.push_back(order.bytes);
+    s.retry_attempts.push_back(order.attempts);
+    s.retry_next_attempt.push_back(order.next_attempt_interval);
+  }
   if (ts_ != nullptr) {
     s.timeseries_bytes = ts_->bytes_written();
     s.timeseries_rows = ts_->rows_written();
@@ -929,6 +1587,10 @@ SimulationMetrics ShardEngine::run() {
   for (int t = start_interval_; t < cfg_.num_intervals; ++t) {
     const auto wall_start = std::chrono::steady_clock::now();
 
+    // Scripted fault boundaries first: crashes wipe caches and drop
+    // clients, and the window flags Phase A reads advance to this interval.
+    fault_step(t);
+
     // Ownership: the shard of the tile each client stood on at the
     // interval start. Buckets stay sorted by client id by construction.
     auto t0 = now();
@@ -954,7 +1616,9 @@ SimulationMetrics ShardEngine::run() {
     for (auto& acc : acc_) acc = RowAcc{};
     for (const ShardBuf& buf : bufs_)
       metrics_.client_disconnect_events += buf.disconnects;
+    compute_shed();
     apply_events(t);
+    if (faults_) retry_deferred(t);
     auto t3 = now();
     tm_apply += secs(t2, t3);
     finish_interval(t);

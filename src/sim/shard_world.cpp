@@ -9,6 +9,7 @@
 #include "common/check.hpp"
 #include "common/fastpath.hpp"
 #include "common/rng.hpp"
+#include "common/wire.hpp"
 #include "device/profiler.hpp"
 #include "estimation/estimate_cache.hpp"
 
@@ -48,6 +49,22 @@ void ShardWorldConfig::validate() const {
   if (offline_probability < 0.0 || offline_probability > 1.0)
     bad_field("offline_probability must be in [0, 1]");
   if (offline_intervals < 1) bad_field("offline_intervals must be >= 1");
+  if (backhaul_bytes_per_sec <= 0.0)
+    bad_field("backhaul_bytes_per_sec must be positive");
+  if (retry_queue_cap < 1) bad_field("retry_queue_cap must be >= 1");
+  if (migration_retry.max_attempts < 1 ||
+      migration_retry.initial_backoff_intervals < 1 ||
+      migration_retry.max_backoff_intervals <
+          migration_retry.initial_backoff_intervals)
+    bad_field("migration_retry must satisfy max_attempts >= 1 and "
+              "1 <= initial_backoff <= max_backoff");
+  if (admission_max_attached < 0)
+    bad_field("admission_max_attached must be non-negative");
+  if (flash_crowd_tiles < 0 || flash_crowd_tiles > num_servers())
+    bad_field("flash_crowd_tiles must be in [0, num_servers]");
+  if (flash_crowd_multiplier < 1.0)
+    bad_field("flash_crowd_multiplier must be >= 1");
+  fault_plan.check_bounds(num_servers(), num_clients);
 }
 
 ServerId ShardWorld::tile_at(Point p) const {
@@ -155,6 +172,74 @@ ShardWorld build_shard_world(const ShardWorldConfig& config) {
         uploadable[static_cast<std::size_t>(w.canonical_order[p])] = true;
     }
   }
+
+  // Local-fallback service rate: the all-client plan with every server-side
+  // time zeroed, mirroring SimulatorImpl::local_query_latency(). Pure
+  // function of the model — no RNG.
+  {
+    PartitionContext context;
+    context.model = &w.model;
+    context.client_profile = &w.client_profile;
+    context.server_time.assign(n, 0.0);
+    context.net = config.wireless;
+    w.local_query_latency_s = local_only_latency(context);
+    PERDNN_CHECK_MSG(w.local_query_latency_s > 0.0,
+                     "local-only execution latency must be positive");
+  }
+
+  // Flash-crowd hot tiles: the ones nearest the world centre, ties broken
+  // by id so the ranking is total.
+  if (config.flash_crowd_tiles > 0) {
+    const Point centre{w.width_m * 0.5, w.height_m * 0.5};
+    std::vector<std::pair<double, ServerId>> ranked;
+    ranked.reserve(w.server_centers.size());
+    for (std::size_t s = 0; s < w.server_centers.size(); ++s) {
+      const double dx = w.server_centers[s].x - centre.x;
+      const double dy = w.server_centers[s].y - centre.y;
+      ranked.emplace_back(dx * dx + dy * dy, static_cast<ServerId>(s));
+    }
+    std::sort(ranked.begin(), ranked.end());
+    for (int i = 0; i < config.flash_crowd_tiles; ++i)
+      w.flash_crowd_hot_tiles.push_back(ranked[static_cast<std::size_t>(i)].second);
+  }
+
+  // Telemetry-dropout fallback tables: the load-free (LL) estimator over
+  // stale statistics, mirroring degraded_level() of the trace-replay engine.
+  // Trained last with a fresh fork — every pre-existing stream draws exactly
+  // what it always did — and only when the plan actually scripts a dropout,
+  // so fault-free builds do no extra work at all. The estimates are filled
+  // with a direct loop on both fastpath settings: the table must not depend
+  // on a toggle the fingerprint ignores.
+  bool has_dropout = false;
+  for (const FaultEvent& e : config.fault_plan.events())
+    if (e.kind == FaultKind::kTelemetryDropout) has_dropout = true;
+  if (has_dropout) {
+    NeurosurgeonEstimator fallback;
+    Rng fallback_rng = rng.fork();
+    fallback.train(records, fallback_rng);
+    for (ShardLoadLevel& lvl : w.levels) {
+      GpuStats stale = lvl.stats;
+      stale.age_intervals = 1;  // telemetry stopped arriving: snapshot stale
+      std::vector<Seconds> estimated;
+      estimated.reserve(n);
+      for (LayerId id = 0; id < w.model.num_layers(); ++id)
+        estimated.push_back(
+            fallback.estimate(w.model.layer(id), w.model.input_bytes(id),
+                              stale));
+      PartitionContext context;
+      context.model = &w.model;
+      context.client_profile = &w.client_profile;
+      context.server_time = std::move(estimated);
+      context.net = config.wireless;
+      lvl.degraded_latency_by_prefix.resize(w.canonical_order.size() + 1);
+      std::vector<bool> uploadable(n, false);
+      for (std::size_t p = 0; p <= w.canonical_order.size(); ++p) {
+        lvl.degraded_latency_by_prefix[p] = plan_latency(context, uploadable);
+        if (p < w.canonical_order.size())
+          uploadable[static_cast<std::size_t>(w.canonical_order[p])] = true;
+      }
+    }
+  }
   return w;
 }
 
@@ -195,6 +280,22 @@ std::uint64_t shard_config_fingerprint(const ShardWorldConfig& c) {
   mix_double(c.offline_probability);
   mix(static_cast<std::uint64_t>(c.offline_intervals));
   mix(c.seed);
+  // Fault/robustness knobs, appended so fault-free fingerprints keep their
+  // original mixing order (and value stability is irrelevant — any change
+  // to the digest only tightens the resume check).
+  {
+    const std::string plan_json = c.fault_plan.to_json();
+    mix(plan_json.size());
+    mix(wire::fnv1a(plan_json.data(), plan_json.size()));
+  }
+  mix(static_cast<std::uint64_t>(c.migration_retry.max_attempts));
+  mix(static_cast<std::uint64_t>(c.migration_retry.initial_backoff_intervals));
+  mix(static_cast<std::uint64_t>(c.migration_retry.max_backoff_intervals));
+  mix_double(c.backhaul_bytes_per_sec);
+  mix(static_cast<std::uint64_t>(c.retry_queue_cap));
+  mix(static_cast<std::uint64_t>(c.admission_max_attached));
+  mix(static_cast<std::uint64_t>(c.flash_crowd_tiles));
+  mix_double(c.flash_crowd_multiplier);
   return digest;
 }
 

@@ -71,6 +71,26 @@ struct ShardWorldConfig {
   double offline_probability = 0.0;
   int offline_intervals = 3;
   std::uint64_t seed = 42;
+  /// Scripted fault schedule applied by the sharded engine. An empty plan
+  /// is the default and keeps the run byte-identical to a fault-free build.
+  FaultPlan fault_plan;
+  /// Backoff policy for deferred migration orders (faulted runs only).
+  MigrationRetryConfig migration_retry{};
+  /// Healthy per-link backhaul capacity; a degraded link delivers
+  /// factor * this per interval (factor from the fault plan's severity).
+  double backhaul_bytes_per_sec = mbps_to_bytes_per_sec(1000.0);
+  /// Per-server cap on parked retry orders: a deferral into a full source
+  /// queue is dropped immediately (journal aux kDropQueueFull).
+  int retry_queue_cap = 64;
+  /// Per-server admission limit: once a server holds this many attached
+  /// clients, further attaches this interval are shed to the local
+  /// fallback, lowest cached prefix first. 0 disables admission control.
+  int admission_max_attached = 0;
+  /// Flash-crowd scenario: this many hot tiles (nearest the world centre)
+  /// receive flash_crowd_multiplier x the uniform client density at
+  /// placement. tiles = 0 or multiplier = 1 disables the knob.
+  int flash_crowd_tiles = 0;
+  double flash_crowd_multiplier = 1.0;
 
   int num_servers() const { return tiles_x * tiles_y; }
   /// Throws std::logic_error naming the offending field.
@@ -83,6 +103,10 @@ struct ShardLoadLevel {
   /// Plan latency when the first p canonical layers are server-resident,
   /// p in [0, canonical_order.size()]. p = 0 is the all-client plan.
   std::vector<Seconds> latency_by_prefix;
+  /// Same table planned from the load-free fallback estimator over stale
+  /// statistics — the latencies a telemetry-dropout tile serves at. Built
+  /// only when the config's fault plan scripts a dropout; empty otherwise.
+  std::vector<Seconds> degraded_latency_by_prefix;
 };
 
 struct ShardWorld {
@@ -104,6 +128,12 @@ struct ShardWorld {
   /// Metric bounding box clients walk inside.
   double width_m = 0.0;
   double height_m = 0.0;
+  /// Latency of one query executed entirely on the client (every
+  /// server-side time zeroed) — the local-fallback service rate.
+  Seconds local_query_latency_s = 0.0;
+  /// Flash-crowd hot tiles, nearest the world centre first (ties by id).
+  /// Empty unless config.flash_crowd_tiles > 0.
+  std::vector<ServerId> flash_crowd_hot_tiles;
 
   int num_servers() const { return config.num_servers(); }
   /// Tile (= server id) containing p, with out-of-rectangle cells clamped

@@ -170,6 +170,10 @@ struct SimulationMetrics {
   /// Re-attachments whose partitioning plan was built in degraded mode
   /// (stale GPU telemetry at the chosen server).
   int degraded_attaches = 0;
+  /// Attach attempts refused by per-server admission control (sharded
+  /// engine's overload shedding); the client spent the interval on the
+  /// local fallback instead.
+  int attaches_shed = 0;
   // Migration retry/backoff accounting (mirrors MigrationDispatcher).
   int migrations_deferred = 0;   ///< orders parked at least once
   int migration_retries = 0;     ///< delivery re-attempts popped from the queue

@@ -107,9 +107,10 @@ void write_metrics(Writer& w, const SimulationMetrics& m) {
   w.i32(m.num_servers);
   w.i32(m.num_clients);
   w.i32(m.num_intervals);
+  w.i32(m.attaches_shed);  // appended in version 4
 }
 
-SimulationMetrics read_metrics(Reader& r) {
+SimulationMetrics read_metrics(Reader& r, std::uint32_t version) {
   SimulationMetrics m;
   m.cold_window_queries = r.i64();
   m.server_changes = r.i32();
@@ -143,6 +144,7 @@ SimulationMetrics read_metrics(Reader& r) {
   m.num_servers = r.i32();
   m.num_clients = r.i32();
   m.num_intervals = r.i32();
+  if (version >= 4) m.attaches_shed = r.i32();
   return m;
 }
 
@@ -236,8 +238,7 @@ obs::JournalState read_journal(Reader& r) {
   for (obs::JournalEvent& e : j.events) {
     e.interval = r.i32();
     const std::uint8_t kind = r.u8();
-    if (kind >
-        static_cast<std::uint8_t>(obs::JournalEventKind::kCheckpointResume))
+    if (kind > static_cast<std::uint8_t>(obs::JournalEventKind::kAttachShed))
       throw SnapshotError("snapshot: journal event kind out of range");
     e.kind = static_cast<obs::JournalEventKind>(kind);
     e.chain = r.u64();
@@ -298,9 +299,18 @@ void write_shard(Writer& w, const ShardSimState& s) {
     w.i32(client);
     w.u64(chain);
   }
+  // v3.1 retry-queue arrays, appended in version 4.
+  write_i32s(s.retry_client);
+  write_i32s(s.retry_source);
+  write_i32s(s.retry_target);
+  write_u32s(s.retry_prefix);
+  w.count(s.retry_bytes.size());
+  for (std::int64_t x : s.retry_bytes) w.i64(x);
+  write_i32s(s.retry_attempts);
+  write_i32s(s.retry_next_attempt);
 }
 
-ShardSimState read_shard(Reader& r) {
+ShardSimState read_shard(Reader& r, std::uint32_t version) {
   ShardSimState s;
   const auto read_f64s = [&](std::vector<double>& v) {
     v.resize(r.count(8));
@@ -339,6 +349,21 @@ ShardSimState read_shard(Reader& r) {
   for (auto& [client, chain] : s.client_chains) {
     client = r.i32();
     chain = r.u64();
+  }
+  if (version >= 4) {
+    read_i32s(s.retry_client);
+    read_i32s(s.retry_source);
+    read_i32s(s.retry_target);
+    read_u32s(s.retry_prefix);
+    s.retry_bytes.resize(r.count(8));
+    for (std::int64_t& x : s.retry_bytes) x = r.i64();
+    read_i32s(s.retry_attempts);
+    read_i32s(s.retry_next_attempt);
+    const std::size_t n = s.retry_client.size();
+    if (s.retry_source.size() != n || s.retry_target.size() != n ||
+        s.retry_prefix.size() != n || s.retry_bytes.size() != n ||
+        s.retry_attempts.size() != n || s.retry_next_attempt.size() != n)
+      throw SnapshotError("snapshot: retry-queue arrays disagree on length");
   }
   return s;
 }
@@ -497,15 +522,15 @@ std::string encode(const SimSnapshot& snap) {
 }
 
 SimSnapshot decode(const std::string& bytes) try {
-  // Accept the current version and version 2 (pre-shard files): the shard
-  // section is the only difference, so old checkpoints decode with
-  // has_shard == false. Unknown versions fall through to unframe()'s
+  // Accept the current version plus version 2 (pre-shard files, their shard
+  // section is absent) and version 3 (pre-retry-queue files, their retry
+  // arrays are empty). Unknown versions fall through to unframe()'s
   // version-mismatch error.
   std::uint32_t version = kSnapshotVersion;
   if (bytes.size() >= 12) {
     Reader vr(bytes.data() + 8, 4);
     const std::uint32_t declared = vr.u32();
-    if (declared == 2) version = declared;
+    if (declared == 2 || declared == 3) version = declared;
   }
   Reader r = wire::unframe(bytes, kMagic, version, "snapshot");
   SimSnapshot snap;
@@ -569,7 +594,7 @@ SimSnapshot decode(const std::string& bytes) try {
   snap.degraded_levels = read_levels(r);
   snap.estimate_cache_hits = r.u64();
   snap.estimate_cache_misses = r.u64();
-  snap.metrics = read_metrics(r);
+  snap.metrics = read_metrics(r, version);
 
   snap.has_timeseries = r.boolean();
   snap.timeseries_rows.resize(r.count(100));
@@ -580,7 +605,7 @@ SimSnapshot decode(const std::string& bytes) try {
 
   if (version >= 3) {
     snap.has_shard = r.boolean();
-    if (snap.has_shard) snap.shard = read_shard(r);
+    if (snap.has_shard) snap.shard = read_shard(r, version);
   }
 
   if (!r.done())
@@ -649,6 +674,9 @@ std::string metrics_to_json(const SimulationMetrics& m) {
   num("migration_retries", m.migration_retries);
   num("migrations_abandoned", m.migrations_abandoned);
   num("migrations_truncated", m.migrations_truncated);
+  // Emitted only when admission control actually shed an attach, so runs
+  // without the knob keep their exact pre-existing JSON bytes.
+  if (m.attaches_shed != 0) num("attaches_shed", m.attaches_shed);
   num("deferred_migration_bytes",
       static_cast<double>(m.deferred_migration_bytes));
   num("abandoned_migration_bytes",
@@ -680,6 +708,12 @@ double require_number(const obs::JsonValue& doc, const char* key) {
   if (value == nullptr)
     throw SnapshotError(std::string("metrics json: missing field ") + key);
   return value->as_number();
+}
+
+double optional_number(const obs::JsonValue& doc, const char* key,
+                       double fallback) {
+  const obs::JsonValue* value = doc.find(key);
+  return value == nullptr ? fallback : value->as_number();
 }
 
 }  // namespace
@@ -727,6 +761,7 @@ SimulationMetrics metrics_from_json(const std::string& json) {
       static_cast<int>(require_number(doc, "migrations_abandoned"));
   m.migrations_truncated =
       static_cast<int>(require_number(doc, "migrations_truncated"));
+  m.attaches_shed = static_cast<int>(optional_number(doc, "attaches_shed", 0));
   m.deferred_migration_bytes =
       static_cast<Bytes>(require_number(doc, "deferred_migration_bytes"));
   m.abandoned_migration_bytes =

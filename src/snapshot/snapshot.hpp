@@ -54,7 +54,11 @@ namespace perdnn::snapshot {
 /// Version 3 appended the sharded-world section (has_shard + ShardSimState)
 /// for the SoA city-scale simulator; decode still accepts version-2 files
 /// (their shard section is simply absent).
-inline constexpr std::uint32_t kSnapshotVersion = 3;
+/// Version 4 (the "v3.1" field additions) appended the sharded engine's
+/// deferred-migration retry queue to ShardSimState and the attaches_shed
+/// counter to the metrics block; decode still accepts version-2 and
+/// version-3 files (their retry queue is simply empty).
+inline constexpr std::uint32_t kSnapshotVersion = 4;
 
 /// Thrown for every malformed-snapshot condition: bad magic, unknown
 /// version, truncation, checksum mismatch, out-of-range lengths, fingerprint
@@ -107,6 +111,14 @@ struct ShardSimState {
   std::uint64_t journal_bytes = 0, journal_events = 0;
   std::uint64_t journal_next_chain = 1;
   std::vector<std::pair<std::int32_t, std::uint64_t>> client_chains;
+  // v3.1 (wire version 4): the deferred-migration retry queue, flattened in
+  // (source server, FIFO position) order — the canonical order every
+  // shard/thread count produces identically. All seven arrays share one
+  // length; version-3 files decode with all of them empty.
+  std::vector<std::int32_t> retry_client, retry_source, retry_target;
+  std::vector<std::uint32_t> retry_prefix;
+  std::vector<std::int64_t> retry_bytes;
+  std::vector<std::int32_t> retry_attempts, retry_next_attempt;
 };
 
 struct SimSnapshot {

@@ -1,0 +1,174 @@
+// Proves the interval-indexed edge lists (FaultTimeline::*_edges) are an
+// exact re-encoding of the per-entity window queries: a consumer advancing
+// the clock one interval at a time, applying each interval's edge slice to
+// per-entity counters, sees precisely server_down / telemetry_down /
+// client_offline / any_backhaul_fault at every step. This equivalence is the
+// contract the sharded engine's fault_step leans on.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "faults/fault_plan.hpp"
+#include "faults/fault_timeline.hpp"
+
+namespace perdnn {
+namespace {
+
+struct CounterState {
+  std::vector<int> server_down;
+  std::vector<int> telemetry;
+  std::vector<int> client_offline;
+  int backhaul = 0;
+};
+
+// Applies the slice of edges at exactly `interval` to a counter vector.
+void apply_slice(const std::vector<FaultEdge>& edges, int interval,
+                 std::vector<int>* counts) {
+  auto [first, last] = FaultTimeline::edges_at(edges, interval);
+  for (const FaultEdge* e = first; e != last; ++e)
+    (*counts)[static_cast<std::size_t>(e->id)] += e->begins ? 1 : -1;
+}
+
+void apply_backhaul_slice(const std::vector<FaultEdge>& edges, int interval,
+                          int* count) {
+  auto [first, last] = FaultTimeline::edges_at(edges, interval);
+  for (const FaultEdge* e = first; e != last; ++e)
+    *count += e->begins ? 1 : -1;
+}
+
+// Walks every interval, advancing the counters by the edge slices and
+// cross-checking each entity's flag against the window queries.
+void check_equivalence(const FaultTimeline& timeline, int num_servers,
+                       int num_clients, int num_intervals) {
+  CounterState state;
+  state.server_down.assign(static_cast<std::size_t>(num_servers), 0);
+  state.telemetry.assign(static_cast<std::size_t>(num_servers), 0);
+  state.client_offline.assign(static_cast<std::size_t>(num_clients), 0);
+
+  // Walk a few intervals past the plan's end so closing edges are exercised
+  // and every counter is proven to return to zero.
+  for (int t = 0; t < num_intervals + 8; ++t) {
+    apply_slice(timeline.server_down_edges(), t, &state.server_down);
+    apply_slice(timeline.telemetry_edges(), t, &state.telemetry);
+    apply_slice(timeline.client_offline_edges(), t, &state.client_offline);
+    apply_backhaul_slice(timeline.backhaul_edges(), t, &state.backhaul);
+
+    for (int s = 0; s < num_servers; ++s) {
+      SCOPED_TRACE("interval " + std::to_string(t) + " server " +
+                   std::to_string(s));
+      ASSERT_GE(state.server_down[static_cast<std::size_t>(s)], 0);
+      ASSERT_GE(state.telemetry[static_cast<std::size_t>(s)], 0);
+      EXPECT_EQ(state.server_down[static_cast<std::size_t>(s)] > 0,
+                timeline.server_down(s, t));
+      EXPECT_EQ(state.telemetry[static_cast<std::size_t>(s)] > 0,
+                timeline.telemetry_down(s, t));
+    }
+    for (int c = 0; c < num_clients; ++c) {
+      SCOPED_TRACE("interval " + std::to_string(t) + " client " +
+                   std::to_string(c));
+      ASSERT_GE(state.client_offline[static_cast<std::size_t>(c)], 0);
+      EXPECT_EQ(state.client_offline[static_cast<std::size_t>(c)] > 0,
+                timeline.client_offline(c, t));
+    }
+    ASSERT_GE(state.backhaul, 0);
+    EXPECT_EQ(state.backhaul > 0, timeline.any_backhaul_fault(t))
+        << "interval " << t;
+  }
+
+  // All windows closed: every counter back at zero.
+  for (int v : state.server_down) EXPECT_EQ(v, 0);
+  for (int v : state.telemetry) EXPECT_EQ(v, 0);
+  for (int v : state.client_offline) EXPECT_EQ(v, 0);
+  EXPECT_EQ(state.backhaul, 0);
+}
+
+TEST(FaultTimelineIndex, MatchesWindowQueriesOnRandomSchedule) {
+  RandomFaultConfig config;
+  config.seed = 1234;
+  config.num_servers = 30;
+  config.num_clients = 200;
+  config.num_intervals = 40;
+  config.server_crash_rate = 0.02;
+  config.crash_downtime_intervals = 5;
+  config.backhaul_degrade_rate = 0.015;
+  config.backhaul_outage_intervals = 3;
+  config.telemetry_dropout_rate = 0.02;
+  config.telemetry_dropout_intervals = 6;
+  config.client_disconnect_rate = 0.01;
+  config.client_disconnect_intervals = 4;
+
+  FaultPlan plan = FaultPlan::random_schedule(config);
+  ASSERT_FALSE(plan.empty()) << "random schedule produced no events — the "
+                                "equivalence check would be vacuous";
+  FaultTimeline timeline(plan, config.num_servers, config.num_clients);
+  check_equivalence(timeline, config.num_servers, config.num_clients,
+                    config.num_intervals);
+}
+
+TEST(FaultTimelineIndex, OverlappingWindowsUnionViaCounts) {
+  // Two crash windows on the same server overlap: [2,6) and [4,9). The
+  // counter view must report the union [2,9), not toggle off at the first
+  // window's end. Same shape for telemetry, disconnects, and backhaul.
+  std::vector<FaultEvent> events;
+  events.push_back({.kind = FaultKind::kServerCrash,
+                    .at_interval = 2,
+                    .duration_intervals = 4,
+                    .server = 1});
+  events.push_back({.kind = FaultKind::kServerCrash,
+                    .at_interval = 4,
+                    .duration_intervals = 5,
+                    .server = 1});
+  events.push_back({.kind = FaultKind::kTelemetryDropout,
+                    .at_interval = 0,
+                    .duration_intervals = 3,
+                    .server = 0});
+  events.push_back({.kind = FaultKind::kTelemetryDropout,
+                    .at_interval = 1,
+                    .duration_intervals = 1,
+                    .server = 0});
+  events.push_back({.kind = FaultKind::kClientDisconnect,
+                    .at_interval = 3,
+                    .duration_intervals = 2,
+                    .client = 2});
+  events.push_back({.kind = FaultKind::kClientDisconnect,
+                    .at_interval = 4,
+                    .duration_intervals = 4,
+                    .client = 2});
+  events.push_back({.kind = FaultKind::kBackhaulDegrade,
+                    .at_interval = 1,
+                    .duration_intervals = 4,
+                    .server = 0,
+                    .peer = kAllServers,
+                    .severity = 0.5});
+  events.push_back({.kind = FaultKind::kBackhaulDegrade,
+                    .at_interval = 3,
+                    .duration_intervals = 5,
+                    .server = 1,
+                    .peer = 2,
+                    .severity = 1.0});
+
+  FaultPlan plan{std::move(events)};
+  FaultTimeline timeline(plan, /*num_servers=*/3, /*num_clients=*/4);
+  check_equivalence(timeline, 3, 4, 10);
+
+  // Spot-check the union semantics directly.
+  EXPECT_FALSE(timeline.server_down(1, 1));
+  EXPECT_TRUE(timeline.server_down(1, 5));   // inside both windows
+  EXPECT_TRUE(timeline.server_down(1, 7));   // only the second window
+  EXPECT_FALSE(timeline.server_down(1, 9));  // exclusive end
+  EXPECT_TRUE(timeline.client_offline(2, 4));
+  EXPECT_TRUE(timeline.client_offline(2, 7));
+  EXPECT_FALSE(timeline.client_offline(2, 8));
+}
+
+TEST(FaultTimelineIndex, EmptyTimelineHasNoEdges) {
+  FaultTimeline timeline;
+  EXPECT_TRUE(timeline.empty());
+  EXPECT_TRUE(timeline.server_down_edges().empty());
+  EXPECT_TRUE(timeline.telemetry_edges().empty());
+  EXPECT_TRUE(timeline.client_offline_edges().empty());
+  EXPECT_TRUE(timeline.backhaul_edges().empty());
+}
+
+}  // namespace
+}  // namespace perdnn

@@ -1,0 +1,346 @@
+// Determinism gate for the sharded engine WITH the fault machinery engaged:
+// a scripted plan covering all four fault classes, plus a flash crowd and
+// per-server admission control, must produce byte-identical metrics,
+// timeseries CSV and journal JSONL across
+//
+//   threads x shards x simd x fastpath x checkpoint/resume
+//
+// — the same contract as the fault-free ShardDeterminism suite, now with
+// crashes wiping caches, backhaul outages parking migrations in the retry
+// queue, telemetry dropouts degrading plans, and shedding rerouting attaches
+// to the local fallback. The resume test checkpoints mid-backoff and proves
+// the deferred-migration queue survives a kill -9 byte-identically.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/fastpath.hpp"
+#include "common/parallel.hpp"
+#include "common/simd.hpp"
+#include "faults/fault_plan.hpp"
+#include "sim/shard_sim.hpp"
+#include "sim/shard_world.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace perdnn {
+namespace {
+
+std::string metrics_fingerprint(const SimulationMetrics& m) {
+  std::string out;
+  char buf[128];
+  const auto add = [&](const char* name, double v) {
+    std::snprintf(buf, sizeof buf, "%s=%.17g\n", name, v);
+    out += buf;
+  };
+  add("cold_window_queries", static_cast<double>(m.cold_window_queries));
+  add("server_changes", m.server_changes);
+  add("hits", m.hits);
+  add("partials", m.partials);
+  add("misses", m.misses);
+  add("server_failures", m.server_failures);
+  add("failure_evictions", m.failure_evictions);
+  add("client_disconnect_events", m.client_disconnect_events);
+  add("local_fallback_queries",
+      static_cast<double>(m.local_fallback_queries));
+  add("local_latency_sum_s", m.local_latency_sum_s);
+  add("attached_client_intervals",
+      static_cast<double>(m.attached_client_intervals));
+  add("unreachable_client_intervals",
+      static_cast<double>(m.unreachable_client_intervals));
+  add("offline_client_intervals",
+      static_cast<double>(m.offline_client_intervals));
+  add("degraded_attaches", m.degraded_attaches);
+  add("attaches_shed", m.attaches_shed);
+  add("migrations_deferred", m.migrations_deferred);
+  add("migration_retries", m.migration_retries);
+  add("migrations_abandoned", m.migrations_abandoned);
+  add("migrations_truncated", m.migrations_truncated);
+  add("deferred_migration_bytes",
+      static_cast<double>(m.deferred_migration_bytes));
+  add("abandoned_migration_bytes",
+      static_cast<double>(m.abandoned_migration_bytes));
+  add("peak_deferred_backlog_bytes",
+      static_cast<double>(m.peak_deferred_backlog_bytes));
+  add("total_migrated_bytes", static_cast<double>(m.total_migrated_bytes));
+  add("availability", m.availability());
+  add("offload_ratio", m.offload_ratio());
+  for (std::size_t s = 0; s < m.server_peak_uplink_mbps.size(); ++s) {
+    std::snprintf(buf, sizeof buf, "server_peak[%zu]=%.17g\n", s,
+                  m.server_peak_uplink_mbps[s]);
+    out += buf;
+  }
+  return out;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+struct FastPathGuard {
+  explicit FastPathGuard(bool enable) : previous(fastpath::enabled()) {
+    fastpath::set_enabled(enable);
+  }
+  ~FastPathGuard() { fastpath::set_enabled(previous); }
+  bool previous;
+};
+
+struct SimdGuard {
+  explicit SimdGuard(bool enable) : previous(simd::enabled()) {
+    simd::set_enabled(enable);
+  }
+  ~SimdGuard() { simd::set_enabled(previous); }
+  bool previous;
+};
+
+struct RunResult {
+  std::string metrics;
+  std::string timeseries;
+  std::string journal;
+};
+
+class ShardFaultDeterminismTest : public ::testing::Test {
+ protected:
+  // The fault-free base world of the ShardDeterminism suite, with every
+  // robustness knob turned on at once: a scripted plan touching all four
+  // fault classes, a flash crowd concentrating clients on two hot tiles,
+  // per-server admission control tight enough to shed some of them, and a
+  // small retry queue so the outage window exercises the backlog cap.
+  static ShardWorldConfig faulted_config() {
+    ShardWorldConfig config;
+    config.model = ModelName::kMobileNet;
+    config.tiles_x = 4;
+    config.tiles_y = 5;
+    config.cell_radius_m = 50.0;
+    config.num_clients = 60;
+    config.num_intervals = 10;
+    config.max_load_level = 6;
+    config.offline_probability = 0.05;
+    config.offline_intervals = 2;
+    config.seed = 7;
+
+    config.migration_retry.max_attempts = 5;
+    config.migration_retry.initial_backoff_intervals = 2;
+    config.migration_retry.max_backoff_intervals = 8;
+    config.retry_queue_cap = 8;
+    config.admission_max_attached = 7;
+    config.flash_crowd_tiles = 2;
+    config.flash_crowd_multiplier = 8.0;
+
+    std::vector<FaultEvent> events;
+    // Crashes: two waves, so recovery re-attaches are also simulated.
+    for (const ServerId s : {ServerId{2}, ServerId{7}})
+      events.push_back({.kind = FaultKind::kServerCrash,
+                        .at_interval = 3,
+                        .duration_intervals = 2,
+                        .server = s});
+    events.push_back({.kind = FaultKind::kServerCrash,
+                      .at_interval = 6,
+                      .duration_intervals = 2,
+                      .server = 11});
+    // Backhaul: a global full outage window [4,6) parks every push of those
+    // intervals in the retry queue, plus a partial-capacity window early on.
+    for (int s = 0; s < 20; ++s)
+      events.push_back({.kind = FaultKind::kBackhaulDegrade,
+                        .at_interval = 4,
+                        .duration_intervals = 2,
+                        .server = s,
+                        .peer = kAllServers,
+                        .severity = 1.0});
+    events.push_back({.kind = FaultKind::kBackhaulDegrade,
+                      .at_interval = 1,
+                      .duration_intervals = 2,
+                      .server = 1,
+                      .peer = kAllServers,
+                      .severity = 0.6});
+    // Telemetry dropouts on half the grid for the whole run: any attach
+    // landing there plans in degraded mode.
+    for (int s = 0; s < 10; ++s)
+      events.push_back({.kind = FaultKind::kTelemetryDropout,
+                        .at_interval = 0,
+                        .duration_intervals = 10,
+                        .server = s});
+    // Scripted client churn on top of the probabilistic offline knob.
+    for (const ClientId c : {ClientId{5}, ClientId{23}, ClientId{42}})
+      events.push_back({.kind = FaultKind::kClientDisconnect,
+                        .at_interval = 2,
+                        .duration_intervals = 3,
+                        .client = c});
+    config.fault_plan = FaultPlan(std::move(events));
+    return config;
+  }
+
+  static void SetUpTestSuite() {
+    world_ = new ShardWorld(build_shard_world(faulted_config()));
+  }
+
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+    par::set_num_threads(0);
+  }
+
+  static std::string ts_path() {
+    return ::testing::TempDir() + "shard_fault_ts.csv";
+  }
+  static std::string jr_path() {
+    return ::testing::TempDir() + "shard_fault_jr.jsonl";
+  }
+
+  static RunResult run_at(const ShardWorld& world, int threads, int shards) {
+    par::set_num_threads(threads);
+    ShardRunOptions options;
+    options.num_shards = shards;
+    options.timeseries_path = ts_path();
+    options.journal_path = jr_path();
+    const SimulationMetrics metrics = run_sharded_simulation(world, options);
+    par::set_num_threads(0);
+    return {metrics_fingerprint(metrics), slurp(ts_path()), slurp(jr_path())};
+  }
+
+  static ShardWorld* world_;
+};
+
+ShardWorld* ShardFaultDeterminismTest::world_ = nullptr;
+
+TEST_F(ShardFaultDeterminismTest, MatrixByteIdenticalAcrossThreadsAndShards) {
+  const RunResult baseline = run_at(*world_, 1, 1);
+  ASSERT_FALSE(baseline.metrics.empty());
+
+  for (const int shards : {1, 4, 16}) {
+    for (const int threads : {1, 2, 8}) {
+      const RunResult r = run_at(*world_, threads, shards);
+      EXPECT_EQ(baseline.metrics, r.metrics)
+          << "threads=" << threads << " shards=" << shards;
+      EXPECT_EQ(baseline.timeseries, r.timeseries)
+          << "threads=" << threads << " shards=" << shards;
+      EXPECT_EQ(baseline.journal, r.journal)
+          << "threads=" << threads << " shards=" << shards;
+    }
+  }
+
+  // Non-vacuity: every fault class and the overload machinery actually
+  // fired. A knob that silently stopped firing would turn the whole matrix
+  // into a fault-free rerun.
+  EXPECT_EQ(baseline.metrics.find("server_failures=0\n"), std::string::npos);
+  EXPECT_EQ(baseline.metrics.find("failure_evictions=0\n"),
+            std::string::npos);
+  EXPECT_EQ(baseline.metrics.find("client_disconnect_events=0\n"),
+            std::string::npos);
+  EXPECT_EQ(baseline.metrics.find("local_fallback_queries=0\n"),
+            std::string::npos);
+  EXPECT_EQ(baseline.metrics.find("unreachable_client_intervals=0\n"),
+            std::string::npos);
+  EXPECT_EQ(baseline.metrics.find("degraded_attaches=0\n"),
+            std::string::npos);
+  EXPECT_EQ(baseline.metrics.find("attaches_shed=0\n"), std::string::npos);
+  EXPECT_EQ(baseline.metrics.find("migrations_deferred=0\n"),
+            std::string::npos);
+  EXPECT_EQ(baseline.metrics.find("migration_retries=0\n"),
+            std::string::npos);
+  EXPECT_EQ(baseline.metrics.find("peak_deferred_backlog_bytes=0\n"),
+            std::string::npos);
+  // The fault columns reached the streamed outputs too.
+  EXPECT_NE(baseline.journal.find("\"local_fallback\""), std::string::npos);
+  EXPECT_NE(baseline.journal.find("\"attach_shed\""), std::string::npos);
+  EXPECT_NE(baseline.journal.find("\"migration_deferred\""),
+            std::string::npos);
+  EXPECT_NE(baseline.journal.find("\"migration_retried\""),
+            std::string::npos);
+  EXPECT_NE(baseline.journal.find("\"fault_applied\""), std::string::npos);
+}
+
+TEST_F(ShardFaultDeterminismTest, FastPathOffWorldProducesIdenticalRun) {
+  const RunResult on = run_at(*world_, 2, 4);
+  const ShardWorld off_world = [] {
+    FastPathGuard guard(false);
+    return build_shard_world(faulted_config());
+  }();
+  const RunResult off = [&] {
+    FastPathGuard guard(false);
+    return run_at(off_world, 8, 16);
+  }();
+  EXPECT_EQ(on.metrics, off.metrics);
+  EXPECT_EQ(on.timeseries, off.timeseries);
+  EXPECT_EQ(on.journal, off.journal);
+}
+
+TEST_F(ShardFaultDeterminismTest, SimdOffWorldProducesIdenticalRun) {
+  const RunResult on = [&] {
+    SimdGuard guard(true);
+    return run_at(*world_, 2, 4);
+  }();
+  const ShardWorld off_world = [] {
+    SimdGuard guard(false);
+    return build_shard_world(faulted_config());
+  }();
+  const RunResult off = [&] {
+    SimdGuard guard(false);
+    return run_at(off_world, 8, 16);
+  }();
+  EXPECT_EQ(on.metrics, off.metrics);
+  EXPECT_EQ(on.timeseries, off.timeseries);
+  EXPECT_EQ(on.journal, off.journal);
+}
+
+TEST_F(ShardFaultDeterminismTest, ResumeMidBackoffRestoresRetryQueue) {
+  const RunResult full = run_at(*world_, 2, 4);
+
+  // Checkpoint at the end of interval 4 — inside the global backhaul outage
+  // [4,6), so pushes of interval 4 are parked with their first retry still
+  // pending (initial backoff 2 intervals). The snapshot must carry them.
+  par::set_num_threads(1);
+  snapshot::SimSnapshot snap;
+  {
+    ShardRunOptions options;
+    options.num_shards = 16;
+    options.timeseries_path = ts_path();
+    options.journal_path = jr_path();
+    options.stop_after_interval = 4;
+    options.capture_out = &snap;
+    run_sharded_simulation(*world_, options);
+  }
+  ASSERT_TRUE(snap.has_shard);
+  ASSERT_EQ(snap.next_interval, 5);
+  ASSERT_FALSE(snap.shard.retry_client.empty())
+      << "checkpoint during the outage window carries no parked migrations — "
+         "the mid-backoff leg is vacuous";
+
+  // Emulate kill -9 mid-write: garbage past the checkpoint offset that the
+  // resumed run must truncate away.
+  {
+    std::ofstream ts(ts_path(), std::ios::binary | std::ios::app);
+    ts << "9,9,9,garbage-past-the-checkpo";
+    std::ofstream jr(jr_path(), std::ios::binary | std::ios::app);
+    jr << "{\"interval\":999,\"kind\":\"atta";
+  }
+
+  // Round-trip through the v4 codec so the retry arrays' encode/decode is
+  // on the tested path too.
+  const snapshot::SimSnapshot decoded =
+      snapshot::decode(snapshot::encode(snap));
+  ASSERT_TRUE(decoded.has_shard);
+  ASSERT_EQ(decoded.shard.retry_client.size(), snap.shard.retry_client.size());
+
+  ShardRunOptions options;
+  options.num_shards = 4;
+  options.timeseries_path = ts_path();
+  options.journal_path = jr_path();
+  options.resume_from = &decoded;
+  const SimulationMetrics resumed = run_sharded_simulation(*world_, options);
+  par::set_num_threads(0);
+
+  EXPECT_EQ(full.metrics, metrics_fingerprint(resumed));
+  EXPECT_EQ(full.timeseries, slurp(ts_path()));
+  EXPECT_EQ(full.journal, slurp(jr_path()));
+}
+
+}  // namespace
+}  // namespace perdnn

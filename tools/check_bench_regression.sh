@@ -32,6 +32,15 @@
 # The 1M-client run takes minutes, so it is never executed here implicitly;
 # without BENCH_SCALE_JSON the scale gate is skipped with a note.
 #
+# The chaos-at-scale benchmark (`bench_chaos --sharded --json-out`) is gated
+# the same way: set BENCH_CHAOS_JSON=path/to/result.json and it is compared
+# against the committed BENCH_chaos_scale.json baseline —
+#   * zero-fault availability must stay >= 0.999 (absolute floor: a run with
+#     no fault plan must not lose queries to the fault machinery);
+#   * mid-faults clients_per_sec must stay >= 50% of baseline (fault handling
+#     must not wreck throughput).
+# Without BENCH_CHAOS_JSON the chaos gate is skipped with a note.
+#
 # Usage: tools/check_bench_regression.sh [--update] [path/to/bench_micro]
 #   --update   rewrite the baseline(s) with the current run, then exit 0.
 #
@@ -41,6 +50,7 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BASELINE="$ROOT/BENCH_fastpath.json"
 SCALE_BASELINE="$ROOT/BENCH_scale.json"
+CHAOS_BASELINE="$ROOT/BENCH_chaos_scale.json"
 
 update=0
 bench_micro="${BENCH_MICRO:-$ROOT/build/bench/bench_micro}"
@@ -76,6 +86,10 @@ if [ "$update" -eq 1 ] || [ ! -f "$BASELINE" ]; then
   if [ -n "${BENCH_SCALE_JSON:-}" ] && [ -f "$BENCH_SCALE_JSON" ]; then
     cp "$BENCH_SCALE_JSON" "$SCALE_BASELINE"
     echo "scale baseline written to $SCALE_BASELINE — commit it"
+  fi
+  if [ -n "${BENCH_CHAOS_JSON:-}" ] && [ -f "$BENCH_CHAOS_JSON" ]; then
+    cp "$BENCH_CHAOS_JSON" "$CHAOS_BASELINE"
+    echo "chaos baseline written to $CHAOS_BASELINE — commit it"
   fi
   exit 0
 fi
@@ -191,6 +205,49 @@ else
     fail=1
   else
     echo "ok: scale peak RSS ${cur_rss} bytes (baseline ${base_rss})"
+  fi
+fi
+
+# ---- chaos-at-scale gate (BENCH_chaos_scale.json) -------------------------
+# Pulls one numeric field out of a named scenario object inside bench_chaos's
+# one-line JSON result. Splitting records on '{' isolates each scenario.
+chaos_scenario_field() { # file scenario key
+  awk -v s="$2" -v k="$3" 'BEGIN { RS = "{" }
+  index($0, "\"scenario\":\"" s "\"") {
+    if (match($0, "\"" k "\":[0-9.eE+-]+"))
+      print substr($0, RSTART + length(k) + 3, RLENGTH - length(k) - 3)
+  }' "$1"
+}
+
+if [ -z "${BENCH_CHAOS_JSON:-}" ]; then
+  echo "note: BENCH_CHAOS_JSON not set — chaos-at-scale gate skipped"
+elif [ ! -f "$BENCH_CHAOS_JSON" ]; then
+  echo "error: BENCH_CHAOS_JSON='$BENCH_CHAOS_JSON' not found" >&2
+  exit 2
+elif [ ! -f "$CHAOS_BASELINE" ]; then
+  cp "$BENCH_CHAOS_JSON" "$CHAOS_BASELINE"
+  echo "chaos baseline written to $CHAOS_BASELINE — commit it"
+else
+  zf_avail="$(chaos_scenario_field "$BENCH_CHAOS_JSON" zero-fault availability)"
+  cur_mf_cps="$(chaos_scenario_field "$BENCH_CHAOS_JSON" mid-faults clients_per_sec)"
+  base_mf_cps="$(chaos_scenario_field "$CHAOS_BASELINE" mid-faults clients_per_sec)"
+  if [ -z "$zf_avail" ] || [ -z "$cur_mf_cps" ] || [ -z "$base_mf_cps" ]; then
+    echo "error: could not parse zero-fault/mid-faults scenarios from chaos JSON" >&2
+    exit 2
+  fi
+  # Zero-fault availability is an absolute floor, not a relative one: with no
+  # fault plan the fault machinery must be inert, so any loss is a bug.
+  if awk -v a="$zf_avail" 'BEGIN { exit !(a < 0.999) }'; then
+    echo "REGRESSION: chaos zero-fault availability ${zf_avail} below the 0.999 floor"
+    fail=1
+  else
+    echo "ok: chaos zero-fault availability ${zf_avail}"
+  fi
+  if awk -v c="$cur_mf_cps" -v b="$base_mf_cps" 'BEGIN { exit !(c < b * 0.5) }'; then
+    echo "REGRESSION: chaos mid-faults throughput ${cur_mf_cps} clients/s vs baseline ${base_mf_cps} (below 50% floor)"
+    fail=1
+  else
+    echo "ok: chaos mid-faults throughput ${cur_mf_cps} clients/s (baseline ${base_mf_cps})"
   fi
 fi
 

@@ -2,8 +2,11 @@
 # Builds the repo with ASan+UBSan (-DPERDNN_SANITIZE=address) and runs the
 # robustness surface under it: the fault-plan/timeline unit tests, the
 # migration-dispatcher retry tests, the end-to-end fault simulations, the
-# fault-plan determinism gate, and a bench_chaos smoke run (sweep + scripted
-# plan + strict-flag rejection). Any sanitizer report fails the script.
+# fault-plan determinism gates (serial and sharded), and bench_chaos smoke
+# runs (sweep + scripted plan + sharded fault scenario + strict-flag
+# rejection). A second leg rebuilds with -DPERDNN_SIMD=OFF and re-runs the
+# sharded fault suite so the scalar kernels get the same sanitizer coverage
+# as the vector ones. Any sanitizer report fails the script.
 #
 # Usage: tools/check_chaos.sh [build-dir]     (default: build-chaos)
 set -euo pipefail
@@ -11,15 +14,16 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-chaos}"
 
-cmake -B "$BUILD_DIR" -S . -DPERDNN_SANITIZE=address
+cmake -B "$BUILD_DIR" -S . -DPERDNN_SANITIZE=address -DPERDNN_SIMD=ON
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target test_faults test_edge test_sim bench_chaos
 
 export PERDNN_THREADS=4
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}"
 
-ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R 'FaultPlan|FaultTimeline|FaultSim|MigrationDispatcher|LayerCache|ParallelDeterminism|SimulationConfigValidate|SimulationMetricsFault'
+CHAOS_TESTS='FaultPlan|FaultTimeline|FaultSim|MigrationDispatcher|LayerCache|ParallelDeterminism|SimulationConfigValidate|SimulationMetricsFault|ShardDeterminism|ShardFault|ShardRetry'
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -R "$CHAOS_TESTS"
 
 # Smoke: the chaos sweep runs end-to-end and the strict CLI rejects junk.
 "$BUILD_DIR"/bench/bench_chaos --model mobilenet --seed 7 --threads 4
@@ -36,9 +40,26 @@ cat > "$PLAN_FILE" <<'EOF'
 EOF
 "$BUILD_DIR"/bench/bench_chaos --plan "$PLAN_FILE" --json --threads 4 > /dev/null
 
+# Smoke: the sharded chaos path (fault scenarios folded into the tiled
+# engine) at a small scale, under the sanitizers.
+"$BUILD_DIR"/bench/bench_chaos --sharded --clients 1500 --tiles-x 6 \
+  --tiles-y 6 --intervals 8 --shards 4 --threads 4 > /dev/null
+
 if "$BUILD_DIR"/bench/bench_chaos --definitely-not-a-flag 2> /dev/null; then
   echo "error: bench_chaos accepted an unknown flag" >&2
   exit 1
 fi
 
-echo "Chaos check passed (build dir: $BUILD_DIR)"
+# ---- scalar leg: same sanitizer coverage with the SIMD kernels off --------
+SCALAR_DIR="${BUILD_DIR}-scalar"
+cmake -B "$SCALAR_DIR" -S . -DPERDNN_SANITIZE=address -DPERDNN_SIMD=OFF
+cmake --build "$SCALAR_DIR" -j"$(nproc)" \
+  --target test_faults test_sim bench_chaos
+
+ctest --test-dir "$SCALAR_DIR" --output-on-failure \
+  -R 'FaultTimeline|FaultSim|ShardDeterminism|ShardFault'
+
+"$SCALAR_DIR"/bench/bench_chaos --sharded --clients 1500 --tiles-x 6 \
+  --tiles-y 6 --intervals 8 --shards 4 --threads 4 > /dev/null
+
+echo "Chaos check passed (build dirs: $BUILD_DIR, $SCALAR_DIR)"

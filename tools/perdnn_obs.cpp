@@ -121,6 +121,7 @@ const char* drop_reason_name(std::int32_t aux) {
   switch (aux) {
     case obs::kDropRetryBudget: return "retry_budget";
     case obs::kDropDissolved: return "dissolved";
+    case obs::kDropQueueFull: return "queue_full";
     default: return "?";
   }
 }
@@ -228,6 +229,12 @@ std::string describe(const JournalEvent& e) {
       break;
     case JournalEventKind::kCheckpointResume:
       std::snprintf(buf, sizeof buf, "resumed from checkpoint");
+      break;
+    case JournalEventKind::kAttachShed:
+      std::snprintf(buf, sizeof buf,
+                    "attach shed by server %d admission control "
+                    "(queue depth %d, cached prefix %d)",
+                    e.server, e.detail, e.aux);
       break;
   }
   return buf;
@@ -340,7 +347,8 @@ int cmd_aggregate(const std::string& path, int argc, char** argv) {
   std::map<std::string, long long> by_kind;
   std::map<ServerId, long long> evictions;  // crash wipes + TTL expiries
   long long planned_bytes = 0, pushed_bytes = 0, deferred_bytes = 0,
-            dropped_bytes = 0;
+            retried_bytes = 0, dropped_bytes = 0;
+  long long shed_attaches = 0;
   for (const JournalEvent& e : events) {
     ++by_kind[obs::journal_kind_name(e.kind)];
     switch (e.kind) {
@@ -357,8 +365,14 @@ int cmd_aggregate(const std::string& path, int argc, char** argv) {
       case JournalEventKind::kMigrationDeferred:
         deferred_bytes += e.bytes;
         break;
+      case JournalEventKind::kMigrationRetried:
+        retried_bytes += e.bytes;
+        break;
       case JournalEventKind::kMigrationDropped:
         dropped_bytes += e.bytes;
+        break;
+      case JournalEventKind::kAttachShed:
+        ++shed_attaches;
         break;
       default:
         break;
@@ -370,8 +384,11 @@ int cmd_aggregate(const std::string& path, int argc, char** argv) {
   for (const auto& [kind, count] : by_kind)
     std::printf("  %-20s %lld\n", kind.c_str(), count);
   std::printf("migration bytes: planned %lld, pushed %lld, deferred %lld, "
-              "dropped %lld\n",
-              planned_bytes, pushed_bytes, deferred_bytes, dropped_bytes);
+              "retried %lld, dropped %lld\n",
+              planned_bytes, pushed_bytes, deferred_bytes, retried_bytes,
+              dropped_bytes);
+  if (shed_attaches > 0)
+    std::printf("admission control: %lld attach(es) shed\n", shed_attaches);
 
   std::vector<std::pair<ServerId, long long>> ranked(evictions.begin(),
                                                      evictions.end());
