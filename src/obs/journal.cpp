@@ -42,6 +42,7 @@ constexpr KindName kKindNames[] = {
     {JournalEventKind::kCheckpointSave, "checkpoint_save"},
     {JournalEventKind::kCheckpointResume, "checkpoint_resume"},
     {JournalEventKind::kAttachShed, "attach_shed"},
+    {JournalEventKind::kCachePartial, "cache_partial"},
 };
 
 // Integer fields go straight through std::to_chars into a stack buffer:
@@ -309,7 +310,7 @@ std::vector<JournalEvent> journal_decode(const std::string& bytes) {
     for (JournalEvent& e : events) {
       e.interval = r.i32();
       const std::uint8_t kind = r.u8();
-      if (kind > static_cast<std::uint8_t>(JournalEventKind::kAttachShed))
+      if (kind > static_cast<std::uint8_t>(JournalEventKind::kCachePartial))
         throw wire::WireError("journal: event kind out of range");
       e.kind = static_cast<JournalEventKind>(kind);
       e.chain = r.u64();

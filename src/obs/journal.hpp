@@ -49,6 +49,8 @@ enum class JournalEventKind : std::uint8_t {
   // Wire values are positional and frozen; new kinds append here.
   kAttachShed,         // admission control refused the attach; detail: server
                        // queue depth at the decision, aux: cached prefix
+  kCachePartial,       // budgeted store admitted only a prefix of the send;
+                       // bytes: refused bytes, aux: #layers refused
 };
 
 /// Stable lower_snake_case name used in JSONL and by perdnn_obs filters.

@@ -37,14 +37,20 @@ std::ofstream open_appending(const std::string& path) {
 }  // namespace
 
 TimeseriesStreamWriter::TimeseriesStreamWriter(const std::string& path,
-                                               const std::string& model) {
+                                               const std::string& model,
+                                               bool cache_columns)
+    : cache_columns_(cache_columns) {
   out_ = std::ofstream(path, std::ios::binary | std::ios::trunc);
   if (!out_)
     throw std::runtime_error("stream writer: cannot open " + path);
-  line_ = "# schema=" + std::to_string(SimTimeseries::kCsvSchemaVersion) + "\n";
+  line_ = "# schema=" +
+          std::to_string(cache_columns_
+                             ? SimTimeseries::kCsvCacheSchemaVersion
+                             : SimTimeseries::kCsvSchemaVersion) +
+          "\n";
   if (!model.empty())
     line_ += "# model=" + SimTimeseries::csv_quote(model) + "\n";
-  line_ += SimTimeseries::csv_header();
+  line_ += SimTimeseries::csv_header(cache_columns_);
   line_ += '\n';
   out_.write(line_.data(), static_cast<std::streamsize>(line_.size()));
   bytes_ = line_.size();
@@ -52,7 +58,9 @@ TimeseriesStreamWriter::TimeseriesStreamWriter(const std::string& path,
 
 TimeseriesStreamWriter::TimeseriesStreamWriter(const std::string& path,
                                                Resume resume,
-                                               std::uint64_t rows) {
+                                               std::uint64_t rows,
+                                               bool cache_columns)
+    : cache_columns_(cache_columns) {
   truncate_to(path, resume.bytes);
   out_ = open_appending(path);
   bytes_ = resume.bytes;
@@ -61,7 +69,7 @@ TimeseriesStreamWriter::TimeseriesStreamWriter(const std::string& path,
 
 void TimeseriesStreamWriter::append(const TimeseriesRow& row) {
   line_.clear();
-  append_timeseries_row_csv(line_, row);
+  append_timeseries_row_csv(line_, row, cache_columns_);
   line_.push_back('\n');
   out_.write(line_.data(), static_cast<std::streamsize>(line_.size()));
   bytes_ += line_.size();

@@ -44,13 +44,16 @@ struct Resume {
 class TimeseriesStreamWriter {
  public:
   /// Fresh run: truncates `path` and writes the preamble.
-  TimeseriesStreamWriter(const std::string& path, const std::string& model);
+  /// `cache_columns` selects the schema-3 budgeted-cache layout (must match
+  /// the recording engine's budget setting).
+  TimeseriesStreamWriter(const std::string& path, const std::string& model,
+                         bool cache_columns = false);
   /// Resumed run: truncates `path` back to `resume.bytes` (the preamble and
   /// all pre-checkpoint rows are already on disk) and appends. `rows` is the
   /// checkpointed row count. Throws std::runtime_error if the file is
   /// shorter than the checkpoint offset.
   TimeseriesStreamWriter(const std::string& path, Resume resume,
-                         std::uint64_t rows);
+                         std::uint64_t rows, bool cache_columns = false);
 
   void append(const TimeseriesRow& row);
   void flush();
@@ -64,6 +67,7 @@ class TimeseriesStreamWriter {
   std::string line_;
   std::uint64_t bytes_ = 0;
   std::uint64_t rows_ = 0;
+  bool cache_columns_ = false;
 };
 
 /// Streams JournalEvent lines into a JSONL file (the write_jsonl format),

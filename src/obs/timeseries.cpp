@@ -21,7 +21,8 @@ void append_int(std::string& out, Int v) {
 }
 }  // namespace
 
-void append_timeseries_row_csv(std::string& out, const TimeseriesRow& r) {
+void append_timeseries_row_csv(std::string& out, const TimeseriesRow& r,
+                               bool with_cache_columns) {
   append_int(out, r.interval);
   out += ',';
   append_int(out, r.server);
@@ -55,6 +56,14 @@ void append_timeseries_row_csv(std::string& out, const TimeseriesRow& r) {
   append_int(out, r.deferred_bytes);
   out += ',';
   append_int(out, r.degraded);
+  if (with_cache_columns) {
+    out += ',';
+    append_int(out, r.cache_bytes);
+    out += ',';
+    append_int(out, r.cache_evictions);
+    out += ',';
+    append_int(out, r.cache_partial_stores);
+  }
 }
 
 void SimTimeseries::start(int num_servers, double interval_length_s) {
@@ -176,6 +185,32 @@ void SimTimeseries::record_degraded(int server) {
   row_for(current_, server).degraded += 1;
 }
 
+void SimTimeseries::record_cache(int server, std::int64_t bytes,
+                                 int evictions, int partial_stores) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PERDNN_CHECK(interval_open_);
+  PERDNN_CHECK(bytes >= 0);
+  TimeseriesRow& row = row_for(current_, server);
+  row.cache_bytes = bytes;
+  row.cache_evictions += evictions;
+  row.cache_partial_stores += partial_stores;
+}
+
+void SimTimeseries::enable_cache_columns() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_columns_ = true;
+}
+
+bool SimTimeseries::cache_columns_enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_columns_;
+}
+
+int SimTimeseries::csv_schema() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_columns_ ? kCsvCacheSchemaVersion : kCsvSchemaVersion;
+}
+
 void SimTimeseries::set_attached(const std::vector<int>& attached_per_server) {
   std::lock_guard<std::mutex> lock(mu_);
   PERDNN_CHECK(interval_open_);
@@ -233,15 +268,24 @@ PERDNN_TS_SUM(std::int64_t, total_downlink_bytes, downlink_bytes)
 PERDNN_TS_SUM(long long, total_local_queries, local_queries)
 PERDNN_TS_SUM(std::int64_t, total_deferred_bytes, deferred_bytes)
 PERDNN_TS_SUM(long long, total_degraded, degraded)
+PERDNN_TS_SUM(long long, total_cache_evictions, cache_evictions)
+PERDNN_TS_SUM(long long, total_cache_partial_stores, cache_partial_stores)
 
 #undef PERDNN_TS_SUM
 
-const char* SimTimeseries::csv_header() {
-  return "interval,server,attached,hits,partials,misses,"
-         "cold_window_queries,cold_latency_sum_s,uplink_bytes,"
-         "downlink_bytes,migration_orders,predictor_samples,"
-         "predictor_error_sum_m,local_queries,local_latency_sum_s,"
-         "deferred_bytes,degraded";
+const char* SimTimeseries::csv_header(bool with_cache_columns) {
+  return with_cache_columns
+             ? "interval,server,attached,hits,partials,misses,"
+               "cold_window_queries,cold_latency_sum_s,uplink_bytes,"
+               "downlink_bytes,migration_orders,predictor_samples,"
+               "predictor_error_sum_m,local_queries,local_latency_sum_s,"
+               "deferred_bytes,degraded,cache_bytes,cache_evictions,"
+               "cache_partial_stores"
+             : "interval,server,attached,hits,partials,misses,"
+               "cold_window_queries,cold_latency_sum_s,uplink_bytes,"
+               "downlink_bytes,migration_orders,predictor_samples,"
+               "predictor_error_sum_m,local_queries,local_latency_sum_s,"
+               "deferred_bytes,degraded";
 }
 
 std::string SimTimeseries::csv_quote(const std::string& value) {
@@ -264,19 +308,22 @@ std::string SimTimeseries::csv_quote(const std::string& value) {
 void SimTimeseries::write_csv(std::ostream& out) const {
   std::vector<TimeseriesRow> rows;
   std::string model;
+  bool cache_columns;
   {
     std::lock_guard<std::mutex> lock(mu_);
     rows = rows_;
     model = model_;
+    cache_columns = cache_columns_;
   }
-  out << "# schema=" << kCsvSchemaVersion << '\n';
+  out << "# schema="
+      << (cache_columns ? kCsvCacheSchemaVersion : kCsvSchemaVersion) << '\n';
   if (!model.empty()) out << "# model=" << csv_quote(model) << '\n';
-  out << csv_header() << '\n';
+  out << csv_header(cache_columns) << '\n';
   std::string line;
   line.reserve(160);
   for (const TimeseriesRow& r : rows) {
     line.clear();
-    append_timeseries_row_csv(line, r);
+    append_timeseries_row_csv(line, r, cache_columns);
     line.push_back('\n');
     out.write(line.data(), static_cast<std::streamsize>(line.size()));
   }
@@ -287,12 +334,14 @@ std::string SimTimeseries::to_json() const {
   std::string model;
   int num_servers;
   double interval_length;
+  bool cache_columns;
   {
     std::lock_guard<std::mutex> lock(mu_);
     rows = rows_;
     model = model_;
     num_servers = num_servers_;
     interval_length = interval_length_s_;
+    cache_columns = cache_columns_;
   }
   std::vector<JsonValue> items;
   items.reserve(rows.size());
@@ -330,10 +379,22 @@ std::string SimTimeseries::to_json() const {
                    JsonValue::make_number(
                        static_cast<double>(r.deferred_bytes)));
     m.emplace_back("degraded", JsonValue::make_number(r.degraded));
+    if (cache_columns) {
+      m.emplace_back("cache_bytes",
+                     JsonValue::make_number(
+                         static_cast<double>(r.cache_bytes)));
+      m.emplace_back("cache_evictions",
+                     JsonValue::make_number(r.cache_evictions));
+      m.emplace_back("cache_partial_stores",
+                     JsonValue::make_number(r.cache_partial_stores));
+    }
     items.push_back(JsonValue::make_object(std::move(m)));
   }
   std::vector<std::pair<std::string, JsonValue>> doc;
-  doc.emplace_back("schema", JsonValue::make_number(kCsvSchemaVersion));
+  doc.emplace_back("schema",
+                   JsonValue::make_number(cache_columns
+                                              ? kCsvCacheSchemaVersion
+                                              : kCsvSchemaVersion));
   doc.emplace_back("model", JsonValue::make_string(model));
   doc.emplace_back("interval_length_s",
                    JsonValue::make_number(interval_length));

@@ -68,13 +68,22 @@ struct TimeseriesRow {
   std::int64_t deferred_bytes = 0;
   /// Attaches planned in degraded mode (stale GPU telemetry at this server).
   int degraded = 0;
+  /// Budgeted-cache columns (schema 3; exported only when the run enforces
+  /// a cache byte budget, so unbudgeted runs keep the schema-2 layout).
+  /// Resident cache bytes at the end of the interval, plus budget evictions
+  /// and budget-trimmed (partial-residency) stores during it.
+  std::int64_t cache_bytes = 0;
+  int cache_evictions = 0;
+  int cache_partial_stores = 0;
 };
 
 /// Appends the CSV encoding of one row (no trailing newline) to `out`,
 /// column order exactly as SimTimeseries::csv_header(). The single formatter
 /// behind SimTimeseries::write_csv and the streaming timeseries writer, so
 /// buffered and streamed exports are byte-identical by construction.
-void append_timeseries_row_csv(std::string& out, const TimeseriesRow& row);
+/// `with_cache_columns` appends the three schema-3 budgeted-cache columns.
+void append_timeseries_row_csv(std::string& out, const TimeseriesRow& row,
+                               bool with_cache_columns = false);
 
 class SimTimeseries {
  public:
@@ -82,6 +91,9 @@ class SimTimeseries {
   /// announced by the `# schema=N` comment line so downstream parsers can
   /// refuse rather than silently misalign columns.
   static constexpr int kCsvSchemaVersion = 2;
+  /// Schema announced when the budgeted-cache columns are enabled. Runs
+  /// without a cache budget keep emitting schema 2 byte-identically.
+  static constexpr int kCsvCacheSchemaVersion = 3;
 
   /// Must be called before the first interval. Resets prior state.
   void start(int num_servers, double interval_length_s);
@@ -117,9 +129,23 @@ class SimTimeseries {
   void record_deferred(int server, std::int64_t bytes);
   /// One attach whose plan was built in degraded (stale-telemetry) mode.
   void record_degraded(int server);
+  /// Budgeted-cache state for `server` this interval: resident bytes at the
+  /// snapshot point plus eviction / partial-store counts since the previous
+  /// interval. Only meaningful after enable_cache_columns().
+  void record_cache(int server, std::int64_t bytes, int evictions,
+                    int partial_stores);
   /// Attached-client counts at the end of the open interval.
   void set_attached(const std::vector<int>& attached_per_server);
   void end_interval();
+
+  /// Switches exports to the schema-3 layout with the budgeted-cache
+  /// columns. Called once by the engine when a cache byte budget is set;
+  /// survives restore() so a resumed run keeps its schema. Never called for
+  /// unbudgeted runs, whose exports stay byte-identical to schema 2.
+  void enable_cache_columns();
+  bool cache_columns_enabled() const;
+  /// The `# schema=N` value write_csv will announce.
+  int csv_schema() const;
 
   int num_servers() const;
   int num_intervals() const;
@@ -139,9 +165,12 @@ class SimTimeseries {
   long long total_local_queries() const;
   std::int64_t total_deferred_bytes() const;
   long long total_degraded() const;
+  long long total_cache_evictions() const;
+  long long total_cache_partial_stores() const;
 
   /// Column order of write_csv, comma-joined in the header line.
-  static const char* csv_header();
+  /// `with_cache_columns` selects the schema-3 layout.
+  static const char* csv_header(bool with_cache_columns = false);
 
   /// RFC-4180 quoting for string fields in CSV output (model and server
   /// names): wraps the value in double quotes and doubles embedded quotes
@@ -156,6 +185,7 @@ class SimTimeseries {
  private:
   mutable std::mutex mu_;
   std::string model_;  // optional; not reset by start()/restore()
+  bool cache_columns_ = false;  // sticky, like model_
   int num_servers_ = 0;
   double interval_length_s_ = 0.0;
   int current_interval_ = -1;

@@ -60,6 +60,27 @@ Bytes run_bytes(const DnnModel& model, LayerId first, LayerId last) {
   return total;
 }
 
+/// Appends the committed run [best.first, best.last] to the schedule,
+/// splitting the run's latency benefit across its layers by weight-byte
+/// share (equal split when the run carries no weight bytes). Shared by the
+/// reference and incremental planners so their schedules stay identical.
+void commit_run(UploadSchedule& schedule, const DnnModel& model,
+                const Candidate& best, Bytes& sent,
+                std::vector<bool>& uploaded) {
+  const int run_layers = best.last - best.first + 1;
+  for (LayerId id = best.first; id <= best.last; ++id) {
+    const Bytes weight = model.layer(id).weight_bytes;
+    schedule.order.push_back(id);
+    sent += weight;
+    schedule.cumulative_bytes.push_back(sent);
+    schedule.latency_reduction.push_back(
+        best.bytes > 0 ? best.benefit * (static_cast<double>(weight) /
+                                         static_cast<double>(best.bytes))
+                       : best.benefit / static_cast<double>(run_layers));
+    uploaded[static_cast<std::size_t>(id)] = true;
+  }
+}
+
 /// Maximal runs of consecutive server-side layers of the target plan.
 std::vector<Run> collect_runs(const PartitionPlan& target) {
   std::vector<Run> runs;
@@ -128,12 +149,7 @@ UploadSchedule plan_upload_order_reference(const PartitionContext& context,
     PERDNN_CHECK(best.first != kNoLayer);
 
     // Commit the winning run to the schedule.
-    for (LayerId id = best.first; id <= best.last; ++id) {
-      schedule.order.push_back(id);
-      sent += model.layer(id).weight_bytes;
-      schedule.cumulative_bytes.push_back(sent);
-      uploaded[static_cast<std::size_t>(id)] = true;
-    }
+    commit_run(schedule, model, best, sent, uploaded);
     current_latency = plan_latency(context, uploaded);
 
     // Split/remove the runs the pick touched.
@@ -378,12 +394,7 @@ UploadSchedule plan_upload_order_incremental(
     obs::count("upload_order.rescored", static_cast<double>(rescored));
     PERDNN_CHECK(best.first != kNoLayer);
 
-    for (LayerId id = best.first; id <= best.last; ++id) {
-      schedule.order.push_back(id);
-      sent += model.layer(id).weight_bytes;
-      schedule.cumulative_bytes.push_back(sent);
-      uploaded[static_cast<std::size_t>(id)] = true;
-    }
+    commit_run(schedule, model, best, sent, uploaded);
 
     std::vector<Run> next;
     next.reserve(runs.size() + 1);

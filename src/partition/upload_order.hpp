@@ -55,6 +55,13 @@ struct UploadSchedule {
   std::vector<LayerId> order;
   /// Cumulative weight bytes after each entry of `order`.
   std::vector<Bytes> cumulative_bytes;
+  /// Latency reduction attributed to each entry of `order`: the committed
+  /// run's benefit apportioned across its layers by weight-byte share
+  /// (equal split for zero-byte runs). Summing a prefix approximates the
+  /// latency saved when that prefix is server-resident — the per-layer form
+  /// of the efficiency metric the greedy planner ranks runs by, and what
+  /// budgeted caches use to price an entry in saved-seconds-per-byte.
+  std::vector<Seconds> latency_reduction;
 
   Bytes total_bytes() const {
     return cumulative_bytes.empty() ? 0 : cumulative_bytes.back();

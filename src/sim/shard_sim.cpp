@@ -126,6 +126,8 @@ struct RowAcc {
   double local_latency = 0.0;
   std::int64_t deferred = 0;
   int degraded = 0;
+  int cache_evictions = 0;
+  int cache_partial_stores = 0;
 };
 
 /// Unordered link id: a degraded backhaul link's capacity is shared by both
@@ -163,6 +165,8 @@ class ShardEngine {
     peak_up_.assign(s, 0.0);
     peak_down_.assign(s, 0.0);
     wheel_.resize(static_cast<std::size_t>(cfg_.ttl_intervals) + 2);
+    budget_ = cfg_.cache_budget_bytes;
+    cache_bytes_.assign(s, 0);
 
     // Flash-crowd placement: with the knob on, a share of clients starts
     // packed into the hot tiles so that each hot tile holds ~multiplier×
@@ -275,6 +279,7 @@ class ShardEngine {
   void apply_event(const Event& e, int t);
   void detach_from(ClientId c, ServerId sid, int t, std::int32_t reason);
   void cache_store(ServerId sid, ClientId c, int new_prefix, int t);
+  int admit(ServerId sid, ClientId c, int old_prefix, int want, int t);
   void schedule_expiry(ServerId sid, ClientId c, int expire);
   void expire_entries(int t);
   void finish_interval(int t);
@@ -322,6 +327,12 @@ class ShardEngine {
   std::vector<int> attached_;
   long long total_attached_ = 0;
   std::vector<std::vector<std::pair<ServerId, ClientId>>> wheel_;
+  // Budgeted-cache state; inert when cfg_.cache_budget_bytes == 0. Resident
+  // bytes per tile are maintained incrementally by every Phase B mutation,
+  // so budget_ > 0 never touches Phase A.
+  Bytes budget_ = 0;
+  std::vector<Bytes> cache_bytes_;
+  std::vector<std::pair<std::uint16_t, ClientId>> evict_scratch_;
 
   // Attach-time lookup tables, filled once at construction: the cold-start
   // window outcome is a pure function of (load level, cached prefix p0) and
@@ -698,17 +709,92 @@ void ShardEngine::schedule_expiry(ServerId sid, ClientId c, int expire) {
 void ShardEngine::cache_store(ServerId sid, ClientId c, int new_prefix,
                               int t) {
   if (cfg_.policy != MigrationPolicy::kProactive) return;
-  auto& entry = cache_[static_cast<std::size_t>(sid)][c];
-  if (new_prefix > entry.prefix) {
+  const auto si = static_cast<std::size_t>(sid);
+  int p = new_prefix;
+  if (budget_ > 0) {
+    const CacheEntry* cur = cache_[si].find(c);
+    const int old_prefix = cur != nullptr ? cur->prefix : 0;
+    if (new_prefix > old_prefix) {
+      p = admit(sid, c, old_prefix, new_prefix, t);
+      if (p < new_prefix &&
+          server_[static_cast<std::size_t>(c)] == sid) {
+        // The owner's own store was trimmed: sync the SoA upload state back
+        // down so the client keeps re-offering the refused suffix instead of
+        // believing it is resident.
+        prefix_[static_cast<std::size_t>(c)] = static_cast<std::uint16_t>(p);
+        carry_[static_cast<std::size_t>(c)] = 0;
+      }
+    }
+  }
+  auto& entry = cache_[si][c];
+  if (p > entry.prefix) {
+    const Bytes added = w_.prefix_bytes[static_cast<std::size_t>(p)] -
+                        w_.prefix_bytes[entry.prefix];
     journal({.interval = t,
              .kind = obs::JournalEventKind::kCacheStore,
              .client = c,
              .server = sid,
-             .bytes = w_.prefix_bytes[static_cast<std::size_t>(new_prefix)] -
-                      w_.prefix_bytes[entry.prefix],
-             .aux = new_prefix - entry.prefix});
-    entry.prefix = static_cast<std::uint16_t>(new_prefix);
+             .bytes = added,
+             .aux = p - entry.prefix});
+    entry.prefix = static_cast<std::uint16_t>(p);
+    if (budget_ > 0) cache_bytes_[si] += added;
   }
+}
+
+int ShardEngine::admit(ServerId sid, ClientId c, int old_prefix, int want,
+                       int t) {
+  // Budget admission for one tile cache, Phase B only. Evicts detached
+  // entries — largest resident prefix first (the lowest marginal
+  // latency-saved-per-byte on the shared concave latency-by-prefix curve),
+  // ties to the highest client id — until the incoming delta fits, then
+  // trims the admission to the longest prefix the remaining room allows.
+  // Pure function of serial Phase B state, so identical across every
+  // shard/thread count.
+  const auto si = static_cast<std::size_t>(sid);
+  const Bytes need = w_.prefix_bytes[static_cast<std::size_t>(want)] -
+                     w_.prefix_bytes[static_cast<std::size_t>(old_prefix)];
+  if (cache_bytes_[si] + need > budget_) {
+    evict_scratch_.clear();
+    cache_[si].for_each([&](ClientId vc, const CacheEntry& entry) {
+      if (vc == c || entry.prefix == 0) return;
+      if (server_[static_cast<std::size_t>(vc)] == sid) return;  // attached
+      evict_scratch_.emplace_back(entry.prefix, vc);
+    });
+    std::sort(evict_scratch_.begin(), evict_scratch_.end(),
+              [](const auto& a, const auto& b) { return b < a; });
+    for (const auto& [vprefix, vc] : evict_scratch_) {
+      if (cache_bytes_[si] + need <= budget_) break;
+      const Bytes vbytes = w_.prefix_bytes[static_cast<std::size_t>(vprefix)];
+      cache_[si].erase(vc);
+      cache_bytes_[si] -= vbytes;
+      ++metrics_.cache_evictions;
+      ++acc_[si].cache_evictions;
+      journal({.interval = t,
+               .kind = obs::JournalEventKind::kCacheEvict,
+               .client = vc,
+               .server = sid,
+               .bytes = vbytes,
+               .aux = vprefix});
+    }
+  }
+  int p = want;
+  while (p > old_prefix &&
+         cache_bytes_[si] + w_.prefix_bytes[static_cast<std::size_t>(p)] -
+                 w_.prefix_bytes[static_cast<std::size_t>(old_prefix)] >
+             budget_)
+    --p;
+  if (p < want) {
+    ++metrics_.cache_partial_stores;
+    ++acc_[si].cache_partial_stores;
+    journal({.interval = t,
+             .kind = obs::JournalEventKind::kCachePartial,
+             .client = c,
+             .server = sid,
+             .bytes = w_.prefix_bytes[static_cast<std::size_t>(want)] -
+                      w_.prefix_bytes[static_cast<std::size_t>(p)],
+             .aux = want - p});
+  }
+  return p;
 }
 
 void ShardEngine::apply_event(const Event& e, int t) {
@@ -798,13 +884,23 @@ void ShardEngine::apply_event(const Event& e, int t) {
         push_faulted(e, t);
         break;
       }
+      const CacheEntry* cur =
+          cache_[static_cast<std::size_t>(e.peer)].find(e.client);
+      const int old_prefix = cur != nullptr ? cur->prefix : 0;
+      int p = e.p_end;
+      if (budget_ > 0 && p > old_prefix)
+        p = admit(e.peer, e.client, old_prefix, p, t);
       auto& entry = cache_[static_cast<std::size_t>(e.peer)][e.client];
-      const int old_prefix = entry.prefix;
       const Bytes bytes =
-          e.p_end > old_prefix
-              ? w_.prefix_bytes[e.p_end] - w_.prefix_bytes[old_prefix]
+          p > old_prefix
+              ? w_.prefix_bytes[static_cast<std::size_t>(p)] -
+                    w_.prefix_bytes[static_cast<std::size_t>(old_prefix)]
               : 0;
-      if (e.p_end > old_prefix) entry.prefix = e.p_end;
+      if (p > entry.prefix) {
+        entry.prefix = static_cast<std::uint16_t>(p);
+        if (budget_ > 0)
+          cache_bytes_[static_cast<std::size_t>(e.peer)] += bytes;
+      }
       schedule_expiry(e.peer, e.client, t + cfg_.ttl_intervals);
       acc_[static_cast<std::size_t>(e.server)].uplink += bytes;
       acc_[static_cast<std::size_t>(e.server)].orders += 1;
@@ -816,7 +912,7 @@ void ShardEngine::apply_event(const Event& e, int t) {
                .server = e.server,
                .peer = e.peer,
                .bytes = bytes,
-               .aux = std::max(0, static_cast<int>(e.p_end) - old_prefix)});
+               .aux = std::max(0, p - old_prefix)});
       break;
     }
     default:
@@ -933,6 +1029,7 @@ void ShardEngine::fault_step(int t) {
                        .aux = prefix});
       }
       entries.clear();
+      if (budget_ > 0) cache_bytes_[static_cast<std::size_t>(sid)] = 0;
       for (const ClientId c : dropped[i]) {
         detach_from(c, sid, t, obs::kDetachCrash);
         ++metrics_.failure_evictions;
@@ -1151,14 +1248,18 @@ void ShardEngine::push_faulted(const Event& e, int t) {
 
 void ShardEngine::deliver_push(ClientId c, ServerId source, ServerId target,
                                int old_prefix, int new_prefix, int t) {
+  int p = new_prefix;
+  if (budget_ > 0 && p > old_prefix) p = admit(target, c, old_prefix, p, t);
   auto& entry = cache_[static_cast<std::size_t>(target)][c];
   const Bytes bytes =
-      new_prefix > old_prefix
-          ? w_.prefix_bytes[static_cast<std::size_t>(new_prefix)] -
+      p > old_prefix
+          ? w_.prefix_bytes[static_cast<std::size_t>(p)] -
                 w_.prefix_bytes[static_cast<std::size_t>(old_prefix)]
           : 0;
-  if (new_prefix > entry.prefix)
-    entry.prefix = static_cast<std::uint16_t>(new_prefix);
+  if (p > entry.prefix) {
+    entry.prefix = static_cast<std::uint16_t>(p);
+    if (budget_ > 0) cache_bytes_[static_cast<std::size_t>(target)] += bytes;
+  }
   schedule_expiry(target, c, t + cfg_.ttl_intervals);
   acc_[static_cast<std::size_t>(source)].uplink += bytes;
   acc_[static_cast<std::size_t>(source)].orders += 1;
@@ -1170,7 +1271,7 @@ void ShardEngine::deliver_push(ClientId c, ServerId source, ServerId target,
            .server = source,
            .peer = target,
            .bytes = bytes,
-           .aux = std::max(0, new_prefix - old_prefix)});
+           .aux = std::max(0, p - old_prefix)});
 }
 
 void ShardEngine::defer_push(ClientId c, ServerId source, ServerId target,
@@ -1308,6 +1409,9 @@ void ShardEngine::expire_entries(int t) {
              .client = c,
              .server = sid,
              .aux = entry->prefix});
+    if (budget_ > 0)
+      cache_bytes_[static_cast<std::size_t>(sid)] -=
+          w_.prefix_bytes[entry->prefix];
     entries.erase(c);
   }
   slot.clear();
@@ -1324,8 +1428,14 @@ void ShardEngine::finish_interval(int t) {
   const int num_servers = cfg_.num_servers();
   std::int64_t interval_total = 0;
   int under_100 = 0;
+  Bytes resident_total = 0;
   for (int s = 0; s < num_servers; ++s) {
     const RowAcc& acc = acc_[static_cast<std::size_t>(s)];
+    if (budget_ > 0) {
+      PERDNN_CHECK_MSG(cache_bytes_[static_cast<std::size_t>(s)] <= budget_,
+                       "cache budget invariant violated on server " << s);
+      resident_total += cache_bytes_[static_cast<std::size_t>(s)];
+    }
     const double up_mbps = bytes_to_mbps(static_cast<double>(acc.uplink),
                                          cfg_.interval_s);
     const double down_mbps = bytes_to_mbps(static_cast<double>(acc.downlink),
@@ -1353,9 +1463,17 @@ void ShardEngine::finish_interval(int t) {
       row.local_latency_sum_s = acc.local_latency;
       row.deferred_bytes = acc.deferred;
       row.degraded = acc.degraded;
+      if (budget_ > 0) {
+        row.cache_bytes = cache_bytes_[static_cast<std::size_t>(s)];
+        row.cache_evictions = acc.cache_evictions;
+        row.cache_partial_stores = acc.cache_partial_stores;
+      }
       ts_->append(row);
     }
   }
+  if (budget_ > 0)
+    metrics_.peak_cache_bytes =
+        std::max(metrics_.peak_cache_bytes, resident_total);
   if (faults_)
     metrics_.peak_deferred_backlog_bytes = std::max(
         metrics_.peak_deferred_backlog_bytes, retry_.backlog_bytes());
@@ -1368,8 +1486,8 @@ void ShardEngine::finish_interval(int t) {
 
 void ShardEngine::open_writers_fresh() {
   if (!opt_.timeseries_path.empty())
-    ts_ = std::make_unique<obs::TimeseriesStreamWriter>(opt_.timeseries_path,
-                                                        w_.model.name());
+    ts_ = std::make_unique<obs::TimeseriesStreamWriter>(
+        opt_.timeseries_path, w_.model.name(), budget_ > 0);
   if (!opt_.journal_path.empty())
     jr_ = std::make_unique<obs::JournalStreamWriter>(opt_.journal_path);
 }
@@ -1442,11 +1560,20 @@ void ShardEngine::restore_from(const snapshot::SimSnapshot& snap) {
     CacheEntry entry;
     entry.prefix = static_cast<std::uint16_t>(s.entry_prefix[i]);
     entry.expire = s.entry_expire[i];
+    if (entry.prefix > K_)
+      throw snapshot::SnapshotError("snapshot: cache prefix out of range");
     cache_[static_cast<std::size_t>(sid)][c] = entry;
     if (server_[static_cast<std::size_t>(c)] != sid && entry.expire >= start)
       wheel_[static_cast<std::size_t>(entry.expire) % wheel_.size()]
           .push_back({sid, c});
   }
+  // Resident bytes are a pure function of the restored prefixes — recomputed
+  // rather than stored, so pre-v5 checkpoints restore exactly too.
+  std::fill(cache_bytes_.begin(), cache_bytes_.end(), 0);
+  if (budget_ > 0)
+    for (std::size_t i = 0; i < s.entry_server.size(); ++i)
+      cache_bytes_[static_cast<std::size_t>(s.entry_server[i])] +=
+          w_.prefix_bytes[static_cast<std::size_t>(s.entry_prefix[i])];
 
   peak_up_ = s.peak_uplink_mbps;
   peak_down_ = s.peak_downlink_mbps;
@@ -1482,7 +1609,7 @@ void ShardEngine::restore_from(const snapshot::SimSnapshot& snap) {
   if (!opt_.timeseries_path.empty())
     ts_ = std::make_unique<obs::TimeseriesStreamWriter>(
         opt_.timeseries_path, obs::Resume{s.timeseries_bytes},
-        s.timeseries_rows);
+        s.timeseries_rows, budget_ > 0);
   if (!opt_.journal_path.empty()) {
     std::vector<std::pair<ClientId, std::uint64_t>> chains;
     chains.reserve(s.client_chains.size());

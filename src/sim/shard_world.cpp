@@ -64,6 +64,8 @@ void ShardWorldConfig::validate() const {
     bad_field("flash_crowd_tiles must be in [0, num_servers]");
   if (flash_crowd_multiplier < 1.0)
     bad_field("flash_crowd_multiplier must be >= 1");
+  if (cache_budget_bytes < 0)
+    bad_field("cache_budget_bytes must be non-negative");
   fault_plan.check_bounds(num_servers(), num_clients);
 }
 
@@ -296,6 +298,7 @@ std::uint64_t shard_config_fingerprint(const ShardWorldConfig& c) {
   mix(static_cast<std::uint64_t>(c.admission_max_attached));
   mix(static_cast<std::uint64_t>(c.flash_crowd_tiles));
   mix_double(c.flash_crowd_multiplier);
+  mix(static_cast<std::uint64_t>(c.cache_budget_bytes));
   return digest;
 }
 

@@ -91,6 +91,11 @@ struct ShardWorldConfig {
   /// placement. tiles = 0 or multiplier = 1 disables the knob.
   int flash_crowd_tiles = 0;
   double flash_crowd_multiplier = 1.0;
+  /// Per-server byte budget for cached layer weights. 0 (the default) means
+  /// unbudgeted — byte-identical to the pre-budget engine. When set, each
+  /// tile evicts its lowest-saved-latency-per-byte detached entries to make
+  /// room and admits only the prefix of an incoming send that fits.
+  Bytes cache_budget_bytes = 0;
 
   int num_servers() const { return tiles_x * tiles_y; }
   /// Throws std::logic_error naming the offending field.

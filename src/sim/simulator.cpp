@@ -75,6 +75,9 @@ void SimulationConfig::validate() const {
   PERDNN_CHECK_MSG(crowded_byte_budget >= 0,
                    "crowded_byte_budget must be >= 0 (got "
                        << crowded_byte_budget << ")");
+  PERDNN_CHECK_MSG(cache_budget_bytes >= 0,
+                   "cache_budget_bytes must be >= 0 (got "
+                       << cache_budget_bytes << ")");
   PERDNN_CHECK_MSG(migration_retry.max_attempts >= 1,
                    "migration_retry.max_attempts must be >= 1 (got "
                        << migration_retry.max_attempts << ")");
@@ -227,6 +230,30 @@ class SimulatorImpl {
     }
     caches_.assign(static_cast<std::size_t>(world.servers.num_servers()),
                    LayerCache(config.ttl_intervals));
+    if (config.cache_budget_bytes > 0) {
+      // Per-layer cost model for budget eviction: weight bytes from the
+      // model, latency saved from the canonical schedule's per-layer
+      // benefit apportionment (layers outside the schedule save nothing).
+      std::vector<Bytes> layer_bytes(
+          static_cast<std::size_t>(world.model.num_layers()));
+      std::vector<double> layer_saved(
+          static_cast<std::size_t>(world.model.num_layers()), 0.0);
+      for (LayerId id = 0; id < world.model.num_layers(); ++id)
+        layer_bytes[static_cast<std::size_t>(id)] =
+            world.model.layer(id).weight_bytes;
+      for (std::size_t i = 0; i < world.canonical_schedule.order.size(); ++i)
+        layer_saved[static_cast<std::size_t>(
+            world.canonical_schedule.order[i])] =
+            world.canonical_schedule.latency_reduction[i];
+      for (LayerCache& cache : caches_) {
+        cache.set_budget(config.cache_budget_bytes);
+        cache.set_cost_model(layer_bytes, layer_saved);
+      }
+    }
+    cache_evictions_seen_.assign(
+        static_cast<std::size_t>(world.servers.num_servers()), 0);
+    cache_partials_seen_.assign(
+        static_cast<std::size_t>(world.servers.num_servers()), 0);
     attached_.assign(static_cast<std::size_t>(world.servers.num_servers()),
                      0);
     clients_.reserve(world.test_traces.size());
@@ -396,7 +423,18 @@ class SimulatorImpl {
   std::vector<ServerId> targets_scratch_;
   std::vector<bool> source_mask_scratch_;
   std::vector<LayerId> sendable_scratch_;
+  /// Target-cache mask inside push_layers' degraded-link branch.
+  std::vector<bool> push_mask_scratch_;
+  /// Source-cache mask in routed_path_latency / retry_deferred_migrations
+  /// (never live at the same time as push_mask_scratch_'s use).
+  std::vector<bool> lookup_mask_scratch_;
   std::vector<ColdJob> cold_jobs_;  // this interval's deferred windows
+  /// Cumulative cache counters already folded into metrics_, per server.
+  /// The caches restart their counters at 0 on a resumed process while
+  /// metrics_ comes back from the snapshot, so per-interval deltas compose
+  /// correctly across checkpoint/resume.
+  std::vector<long long> cache_evictions_seen_;
+  std::vector<long long> cache_partials_seen_;
   SimulationMetrics metrics_;
   /// First interval run() executes; nonzero only after restore_from().
   int start_interval_ = 0;
@@ -531,8 +569,9 @@ Seconds SimulatorImpl::routed_path_latency(ClientId c, ServerId previous,
   if (!config_.routing_fallback || previous == kNoServer ||
       is_down(previous, interval_index))
     return kInfSeconds;
-  const std::vector<bool> prev_mask =
-      caches_[static_cast<std::size_t>(previous)].mask(c, world_.model);
+  caches_[static_cast<std::size_t>(previous)].mask_into(c, world_.model,
+                                                        lookup_mask_scratch_);
+  const std::vector<bool>& prev_mask = lookup_mask_scratch_;
   // The previous server still serves this client remotely, so it keeps the
   // client's unit of load.
   const LoadLevelCache& prev_lvl =
@@ -801,19 +840,9 @@ void SimulatorImpl::apply_faults(int interval_index) {
   for (ServerId s : timeline_.crashes_starting_at(interval_index)) {
     ++metrics_.server_failures;
     obs::count("sim.fault.server_crashes");
-    // The crash loses every cached layer on the node...
-    if (journal_ != nullptr) {
-      for (const LayerCache::EntrySnapshot& e :
-           caches_[static_cast<std::size_t>(s)].export_entries())
-        journal_->record({.interval = interval_index,
-                          .kind = obs::JournalEventKind::kCacheEvict,
-                          .client = e.client,
-                          .server = s,
-                          .aux = static_cast<std::int32_t>(e.layers.size())});
-    }
-    caches_[static_cast<std::size_t>(s)] = LayerCache(config_.ttl_intervals);
-    if (journal_ != nullptr)
-      caches_[static_cast<std::size_t>(s)].set_journal(journal_, s);
+    // The crash loses every cached layer on the node (journalled per entry
+    // in client order; TTL, journal binding and budget survive the wipe)...
+    caches_[static_cast<std::size_t>(s)].wipe(interval_index);
     // ...and drops its clients, who re-attach (cold) next placement pass.
     for (ClientId c = 0; c < static_cast<ClientId>(clients_.size()); ++c) {
       ClientState& client = clients_[static_cast<std::size_t>(c)];
@@ -883,7 +912,8 @@ SimulatorImpl::PushResult SimulatorImpl::push_layers(
     // Degraded link: the prefix (canonical efficiency order) that fits the
     // remaining shared per-link capacity this interval. Layers the target
     // already holds cost no capacity (dedup suppresses the transfer).
-    const std::vector<bool> present = target_cache.mask(c, model);
+    target_cache.mask_into(c, model, push_mask_scratch_);
+    const std::vector<bool>& present = push_mask_scratch_;
     const Bytes cap = static_cast<Bytes>(
         factor * config_.backhaul_bytes_per_sec * world_.interval);
     Bytes& used = link_used_[link_key(source, target)];
@@ -948,9 +978,9 @@ void SimulatorImpl::retry_deferred_migrations(int interval_index) {
     }
     // Only what the source still holds is sendable (TTL expiry or a crash
     // wipe may have eaten the order since it was parked).
-    const std::vector<bool> source_mask =
-        caches_[static_cast<std::size_t>(order.source)].mask(order.client,
-                                                             world_.model);
+    caches_[static_cast<std::size_t>(order.source)].mask_into(
+        order.client, world_.model, lookup_mask_scratch_);
+    const std::vector<bool>& source_mask = lookup_mask_scratch_;
     std::vector<LayerId> layers;
     for (LayerId id : order.layers)
       if (source_mask[static_cast<std::size_t>(id)]) layers.push_back(id);
@@ -1329,6 +1359,8 @@ void SimulatorImpl::restore_from(const snapshot::SimSnapshot& snap) {
 
 SimulationMetrics SimulatorImpl::run(const SimulationRunOptions& options) {
   PERDNN_SPAN("sim.run");
+  if (timeseries_ != nullptr && config_.cache_budget_bytes > 0)
+    timeseries_->enable_cache_columns();
   if (options.resume_from != nullptr) {
     restore_from(*options.resume_from);
     if (timeseries_ != nullptr)
@@ -1425,6 +1457,39 @@ SimulationMetrics SimulatorImpl::run(const SimulationRunOptions& options) {
 
     // 4) TTL expiry.
     for (auto& cache : caches_) cache.expire(interval_index);
+
+    // 5) Budgeted-cache accounting (skipped entirely for unbudgeted runs,
+    //    which stay byte-identical to builds without the knob).
+    if (config_.cache_budget_bytes > 0) {
+      Bytes resident = 0;
+      for (ServerId s = 0; s < world_.servers.num_servers(); ++s) {
+        LayerCache& cache = caches_[static_cast<std::size_t>(s)];
+        PERDNN_CHECK_MSG(cache.total_bytes() <= config_.cache_budget_bytes,
+                         "cache budget invariant violated on server " << s);
+        resident += cache.total_bytes();
+        const long long dev =
+            cache.evictions() - cache_evictions_seen_[static_cast<std::size_t>(s)];
+        const long long dps =
+            cache.partial_stores() -
+            cache_partials_seen_[static_cast<std::size_t>(s)];
+        cache_evictions_seen_[static_cast<std::size_t>(s)] = cache.evictions();
+        cache_partials_seen_[static_cast<std::size_t>(s)] =
+            cache.partial_stores();
+        metrics_.cache_evictions += dev;
+        metrics_.cache_partial_stores += dps;
+        if (dev > 0)
+          obs::count("sim.cache.evictions", static_cast<double>(dev));
+        if (dps > 0)
+          obs::count("sim.cache.partial_stores", static_cast<double>(dps));
+        if (timeseries_ != nullptr)
+          timeseries_->record_cache(s,
+                                    static_cast<std::int64_t>(cache.total_bytes()),
+                                    static_cast<int>(dev),
+                                    static_cast<int>(dps));
+      }
+      metrics_.peak_cache_bytes =
+          std::max(metrics_.peak_cache_bytes, resident);
+    }
 
     metrics_.peak_deferred_backlog_bytes = std::max(
         metrics_.peak_deferred_backlog_bytes, dispatcher_.backlog_bytes());

@@ -132,6 +132,14 @@ struct SimulationConfig {
   std::vector<ServerId> crowded_servers;
   Bytes crowded_byte_budget = 0;
 
+  /// Per-server layer-cache byte budget. 0 (the default) leaves caches
+  /// unbounded and the simulation byte-identical to builds without the
+  /// knob. A positive budget makes every server's cache cost-aware: stores
+  /// that would exceed it evict the lowest latency-saved-per-byte entries
+  /// first, then admit only the highest-efficiency prefix of the incoming
+  /// layers that fits (partial residency).
+  Bytes cache_budget_bytes = 0;
+
   std::uint64_t seed = 42;
 
   /// Structural validation of every knob: rates/probabilities inside their
@@ -185,6 +193,12 @@ struct SimulationMetrics {
   Bytes deferred_migration_bytes = 0;   ///< bytes ever parked in the queue
   Bytes abandoned_migration_bytes = 0;  ///< bytes of abandoned orders
   Bytes peak_deferred_backlog_bytes = 0;  ///< max parked bytes at interval end
+
+  // Budgeted layer caches (all zero when cache_budget_bytes is unset).
+  long long cache_evictions = 0;       ///< entries displaced by the budget
+  long long cache_partial_stores = 0;  ///< stores trimmed to a prefix
+  /// Max over intervals of the cache bytes resident across all servers.
+  Bytes peak_cache_bytes = 0;
 
   /// Share of active, online client-intervals spent attached to a live
   /// server: attached / (attached + unreachable). Scripted client

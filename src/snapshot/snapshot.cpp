@@ -108,6 +108,10 @@ void write_metrics(Writer& w, const SimulationMetrics& m) {
   w.i32(m.num_clients);
   w.i32(m.num_intervals);
   w.i32(m.attaches_shed);  // appended in version 4
+  // Budgeted-cache counters, appended in version 5.
+  w.i64(m.cache_evictions);
+  w.i64(m.cache_partial_stores);
+  w.i64(m.peak_cache_bytes);
 }
 
 SimulationMetrics read_metrics(Reader& r, std::uint32_t version) {
@@ -145,6 +149,11 @@ SimulationMetrics read_metrics(Reader& r, std::uint32_t version) {
   m.num_clients = r.i32();
   m.num_intervals = r.i32();
   if (version >= 4) m.attaches_shed = r.i32();
+  if (version >= 5) {
+    m.cache_evictions = r.i64();
+    m.cache_partial_stores = r.i64();
+    m.peak_cache_bytes = r.i64();
+  }
   return m;
 }
 
@@ -166,9 +175,13 @@ void write_row(Writer& w, const obs::TimeseriesRow& row) {
   w.f64(row.local_latency_sum_s);
   w.i64(row.deferred_bytes);
   w.i32(row.degraded);
+  // Budgeted-cache columns, appended in version 5.
+  w.i64(row.cache_bytes);
+  w.i32(row.cache_evictions);
+  w.i32(row.cache_partial_stores);
 }
 
-obs::TimeseriesRow read_row(Reader& r) {
+obs::TimeseriesRow read_row(Reader& r, std::uint32_t version) {
   obs::TimeseriesRow row;
   row.interval = r.i32();
   row.server = r.i32();
@@ -187,6 +200,11 @@ obs::TimeseriesRow read_row(Reader& r) {
   row.local_latency_sum_s = r.f64();
   row.deferred_bytes = r.i64();
   row.degraded = r.i32();
+  if (version >= 5) {
+    row.cache_bytes = r.i64();
+    row.cache_evictions = r.i32();
+    row.cache_partial_stores = r.i32();
+  }
   return row;
 }
 
@@ -238,7 +256,7 @@ obs::JournalState read_journal(Reader& r) {
   for (obs::JournalEvent& e : j.events) {
     e.interval = r.i32();
     const std::uint8_t kind = r.u8();
-    if (kind > static_cast<std::uint8_t>(obs::JournalEventKind::kAttachShed))
+    if (kind > static_cast<std::uint8_t>(obs::JournalEventKind::kCachePartial))
       throw SnapshotError("snapshot: journal event kind out of range");
     e.kind = static_cast<obs::JournalEventKind>(kind);
     e.chain = r.u64();
@@ -438,6 +456,8 @@ std::uint64_t config_fingerprint(const SimulationConfig& config,
     h.mix(trace.points.size());
   h.mix_double(world.interval);
   h.mix(static_cast<std::uint64_t>(world.model.num_layers()));
+  // Appended in version 5: the per-server cache byte budget.
+  h.mix(static_cast<std::uint64_t>(config.cache_budget_bytes));
   return h.digest();
 }
 
@@ -459,6 +479,7 @@ std::string encode(const SimSnapshot& snap) {
       payload.i32(e.expires_at);
       payload.count(e.layers.size());
       for (LayerId id : e.layers) payload.i32(id);
+      payload.i64(e.bytes);  // appended in version 5
     }
   }
 
@@ -523,14 +544,15 @@ std::string encode(const SimSnapshot& snap) {
 
 SimSnapshot decode(const std::string& bytes) try {
   // Accept the current version plus version 2 (pre-shard files, their shard
-  // section is absent) and version 3 (pre-retry-queue files, their retry
-  // arrays are empty). Unknown versions fall through to unframe()'s
-  // version-mismatch error.
+  // section is absent), version 3 (pre-retry-queue files, their retry
+  // arrays are empty), and version 4 (pre-budgeted-cache files, their
+  // per-entry byte counts are recomputed on restore). Unknown versions fall
+  // through to unframe()'s version-mismatch error.
   std::uint32_t version = kSnapshotVersion;
   if (bytes.size() >= 12) {
     Reader vr(bytes.data() + 8, 4);
     const std::uint32_t declared = vr.u32();
-    if (declared == 2 || declared == 3) version = declared;
+    if (declared == 2 || declared == 3 || declared == 4) version = declared;
   }
   Reader r = wire::unframe(bytes, kMagic, version, "snapshot");
   SimSnapshot snap;
@@ -548,6 +570,7 @@ SimSnapshot decode(const std::string& bytes) try {
       e.expires_at = r.i32();
       e.layers.resize(r.count(4));
       for (LayerId& id : e.layers) id = r.i32();
+      if (version >= 5) e.bytes = r.i64();
     }
   }
 
@@ -598,7 +621,8 @@ SimSnapshot decode(const std::string& bytes) try {
 
   snap.has_timeseries = r.boolean();
   snap.timeseries_rows.resize(r.count(100));
-  for (obs::TimeseriesRow& row : snap.timeseries_rows) row = read_row(r);
+  for (obs::TimeseriesRow& row : snap.timeseries_rows)
+    row = read_row(r, version);
 
   snap.has_journal = r.boolean();
   snap.journal = read_journal(r);
@@ -683,6 +707,14 @@ std::string metrics_to_json(const SimulationMetrics& m) {
       static_cast<double>(m.abandoned_migration_bytes));
   num("peak_deferred_backlog_bytes",
       static_cast<double>(m.peak_deferred_backlog_bytes));
+  // Budgeted-cache counters — emitted only when a budget actually bit, so
+  // unbudgeted runs keep their exact pre-existing JSON bytes.
+  if (m.cache_evictions != 0)
+    num("cache_evictions", static_cast<double>(m.cache_evictions));
+  if (m.cache_partial_stores != 0)
+    num("cache_partial_stores", static_cast<double>(m.cache_partial_stores));
+  if (m.peak_cache_bytes != 0)
+    num("peak_cache_bytes", static_cast<double>(m.peak_cache_bytes));
   num("peak_uplink_mbps", m.peak_uplink_mbps);
   num("peak_downlink_mbps", m.peak_downlink_mbps);
   num("fraction_servers_within_100mbps", m.fraction_servers_within_100mbps);
@@ -768,6 +800,12 @@ SimulationMetrics metrics_from_json(const std::string& json) {
       static_cast<Bytes>(require_number(doc, "abandoned_migration_bytes"));
   m.peak_deferred_backlog_bytes =
       static_cast<Bytes>(require_number(doc, "peak_deferred_backlog_bytes"));
+  m.cache_evictions =
+      static_cast<long long>(optional_number(doc, "cache_evictions", 0));
+  m.cache_partial_stores =
+      static_cast<long long>(optional_number(doc, "cache_partial_stores", 0));
+  m.peak_cache_bytes =
+      static_cast<Bytes>(optional_number(doc, "peak_cache_bytes", 0));
   m.peak_uplink_mbps = require_number(doc, "peak_uplink_mbps");
   m.peak_downlink_mbps = require_number(doc, "peak_downlink_mbps");
   m.fraction_servers_within_100mbps =

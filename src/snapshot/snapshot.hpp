@@ -58,7 +58,13 @@ namespace perdnn::snapshot {
 /// deferred-migration retry queue to ShardSimState and the attaches_shed
 /// counter to the metrics block; decode still accepts version-2 and
 /// version-3 files (their retry queue is simply empty).
-inline constexpr std::uint32_t kSnapshotVersion = 4;
+/// Version 5 appended the budgeted-cache state: per-cache-entry resident
+/// byte counts (classic engine), the cache_evictions / cache_partial_stores
+/// / peak_cache_bytes metrics fields, and the three budgeted-cache
+/// timeseries-row columns; decode still accepts versions 2–4 (their byte
+/// counts are recomputed from the cost model on restore and the new
+/// metrics/row fields default to zero).
+inline constexpr std::uint32_t kSnapshotVersion = 5;
 
 /// Thrown for every malformed-snapshot condition: bad magic, unknown
 /// version, truncation, checksum mismatch, out-of-range lengths, fingerprint

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "nn/model_zoo.hpp"
+#include "obs/journal.hpp"
 
 namespace perdnn {
 namespace {
@@ -196,6 +197,195 @@ TEST(LayerCache, EntriesAreIndependentPerClient) {
 
 TEST(LayerCache, InvalidTtlRejected) {
   EXPECT_THROW(LayerCache(0), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Budgeted (cost-aware) cache behaviour. Cost model: six 100-byte layers
+// whose saved latency falls with the id, so the efficiency ordering is just
+// the id ordering and every expectation below can be computed by hand.
+// ---------------------------------------------------------------------------
+
+LayerCache budgeted_cache(Bytes budget, int ttl = 10) {
+  LayerCache cache(ttl);
+  cache.set_budget(budget);
+  cache.set_cost_model({100, 100, 100, 100, 100, 100},
+                       {0.60, 0.50, 0.40, 0.30, 0.20, 0.10});
+  return cache;
+}
+
+TEST(LayerCacheBudget, StoreWithoutCostModelIsRejected) {
+  LayerCache cache(5);
+  cache.set_budget(1000);
+  EXPECT_THROW(cache.store(1, {0}, 0), std::logic_error);
+}
+
+TEST(LayerCacheBudget, EvictsLowestEfficiencyPerByteFirst) {
+  LayerCache cache = budgeted_cache(400);
+  cache.store(1, {4, 5}, 0);  // 200 B, saves 0.30 s -> least efficient
+  cache.store(2, {0, 1}, 0);  // 200 B, saves 1.10 s -> most efficient
+  EXPECT_EQ(cache.total_bytes(), 400);
+
+  // Client 3 saves 0.70 s over 200 B: more efficient than client 1, less
+  // than client 2 — only client 1 may be displaced.
+  const auto added = cache.store(3, {2, 3}, 1);
+  EXPECT_EQ(added, (std::vector<LayerId>{2, 3}));
+  EXPECT_FALSE(cache.has_entry(1));
+  EXPECT_TRUE(cache.has_entry(2));
+  EXPECT_TRUE(cache.has_entry(3));
+  EXPECT_EQ(cache.total_bytes(), 400);
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_EQ(cache.partial_stores(), 0);
+}
+
+TEST(LayerCacheBudget, NeverDisplacesMoreEfficientResidents) {
+  LayerCache cache = budgeted_cache(400);
+  cache.store(1, {0, 1}, 0);  // saves 1.10 s
+  cache.store(2, {2, 3}, 0);  // saves 0.70 s
+  // Client 3's 0.30 s / 200 B is worse than both residents: nothing is
+  // evicted, no room exists, and the store admits nothing (the client
+  // keeps the layers on-device instead).
+  const auto added = cache.store(3, {4, 5}, 1);
+  EXPECT_TRUE(added.empty());
+  EXPECT_FALSE(cache.has_entry(3));
+  EXPECT_TRUE(cache.has_entry(1));
+  EXPECT_TRUE(cache.has_entry(2));
+  EXPECT_EQ(cache.evictions(), 0);
+  EXPECT_EQ(cache.partial_stores(), 1);
+  EXPECT_EQ(cache.total_bytes(), 400);
+}
+
+TEST(LayerCacheBudget, PartialResidencyAdmitsTheLongestFittingPrefix) {
+  LayerCache cache = budgeted_cache(250);
+  // Incoming layers arrive in upload-schedule order; 250 B holds two of the
+  // three 100-byte layers, so exactly the first two are admitted.
+  const auto added = cache.store(1, {0, 1, 2}, 0);
+  EXPECT_EQ(added, (std::vector<LayerId>{0, 1}));
+  EXPECT_EQ(cache.layers(1), (std::vector<LayerId>{0, 1}));
+  EXPECT_EQ(cache.total_bytes(), 200);
+  EXPECT_EQ(cache.partial_stores(), 1);
+  // The refused suffix can still arrive later once the budget allows.
+  LayerCache roomy = budgeted_cache(600);
+  roomy.store(1, {0, 1, 2}, 0);
+  EXPECT_EQ(roomy.layers(1), (std::vector<LayerId>{0, 1, 2}));
+  EXPECT_EQ(roomy.partial_stores(), 0);
+}
+
+TEST(LayerCacheBudget, TotalBytesNeverExceedsBudgetUnderChurn) {
+  LayerCache cache = budgeted_cache(300, /*ttl=*/2);
+  for (int t = 0; t < 12; ++t) {
+    const ClientId c = t % 5;
+    cache.store(c, {t % 6, (t + 1) % 6, (t + 2) % 6}, t);
+    cache.expire(t);
+    ASSERT_LE(cache.total_bytes(), 300) << "interval " << t;
+  }
+}
+
+TEST(LayerCacheBudget, EvictionFreesRoomTrackedByTotalBytes) {
+  LayerCache cache = budgeted_cache(300);
+  cache.store(1, {5}, 0);  // 100 B, least efficient possible
+  cache.store(2, {4}, 0);
+  cache.store(3, {3}, 0);
+  EXPECT_EQ(cache.total_bytes(), 300);
+  // 0.60+0.50 over 200 B beats every resident; two victims must go.
+  cache.store(4, {0, 1}, 1);
+  EXPECT_EQ(cache.total_bytes(), 300);
+  EXPECT_EQ(cache.evictions(), 2);
+  EXPECT_FALSE(cache.has_entry(1));
+  EXPECT_FALSE(cache.has_entry(2));
+  EXPECT_TRUE(cache.has_entry(3));
+  EXPECT_TRUE(cache.has_entry(4));
+}
+
+TEST(LayerCacheBudget, ExportRestoreCarriesEntryBytes) {
+  LayerCache cache = budgeted_cache(1000);
+  cache.store(1, {0, 1}, 0);
+  cache.store(2, {5}, 3);
+  const auto entries = cache.export_entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].bytes, 200);
+  EXPECT_EQ(entries[1].bytes, 100);
+
+  // Without a cost model the snapshot's byte counts are trusted as-is.
+  LayerCache plain(10);
+  plain.restore_entries(entries);
+  EXPECT_EQ(plain.total_bytes(), 300);
+
+  // With a cost model they are recomputed (pre-v5 snapshots carry zeros).
+  auto zeroed = entries;
+  for (auto& e : zeroed) e.bytes = 0;
+  LayerCache budgeted = budgeted_cache(1000);
+  budgeted.restore_entries(zeroed);
+  EXPECT_EQ(budgeted.total_bytes(), 300);
+  EXPECT_EQ(budgeted.export_entries(), entries);
+}
+
+// ---------------------------------------------------------------------------
+// Journal pinning: the exact event stream the cache records.
+// ---------------------------------------------------------------------------
+
+TEST(LayerCacheJournal, FullyDuplicateSendRecordsATouchNotAZeroLayerStore) {
+  // Regression: a non-empty but fully-duplicate send used to journal
+  // kCacheStore with aux=0 while the equivalent empty send journalled
+  // kCacheTouch — the same suppressed transmission, two different stories.
+  obs::Journal journal;
+  LayerCache cache(5);
+  cache.set_journal(&journal, /*self=*/7);
+
+  cache.store(1, {0, 1}, 0);  // real store
+  cache.store(1, {1, 0}, 1);  // non-empty, fully duplicate
+  cache.store(1, {}, 2);      // empty (fully deduplicated upstream)
+
+  const auto events = journal.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, obs::JournalEventKind::kCacheStore);
+  EXPECT_EQ(events[0].aux, 2);
+  EXPECT_EQ(events[1].kind, obs::JournalEventKind::kCacheTouch);
+  EXPECT_EQ(events[2].kind, obs::JournalEventKind::kCacheTouch);
+  for (const auto& event : events) {
+    EXPECT_EQ(event.server, 7);
+    if (event.kind == obs::JournalEventKind::kCacheStore) {
+      EXPECT_GT(event.aux, 0) << "zero-layer store leaked into the journal";
+    }
+  }
+  // And the JSONL stream pins the kind names downstream tools filter on.
+  const std::string jsonl = obs::journal_to_jsonl(events);
+  EXPECT_NE(jsonl.find("cache_store"), std::string::npos);
+  EXPECT_NE(jsonl.find("cache_touch"), std::string::npos);
+}
+
+TEST(LayerCacheJournal, BudgetEvictionCarriesBytesCrashWipeDoesNot) {
+  // Budget evictions and crash wipes share kCacheEvict; bytes > 0 is the
+  // discriminator perdnn_obs uses to tell them apart.
+  obs::Journal journal;
+  LayerCache cache = budgeted_cache(200);
+  cache.set_journal(&journal, /*self=*/3);
+
+  cache.store(1, {4, 5}, 0);      // resident, least efficient
+  cache.store(2, {0, 1}, 1);      // displaces client 1
+  cache.store(2, {0, 1, 2}, 2);   // duplicate prefix + one refused layer
+  cache.wipe(3);                  // crash wipe: bytes stays 0
+
+  const auto events = journal.events();
+  ASSERT_EQ(events.size(), 6u);
+  EXPECT_EQ(events[0].kind, obs::JournalEventKind::kCacheStore);
+  // Budget eviction of client 1: 200 bytes, 2 layers, on server 3.
+  EXPECT_EQ(events[1].kind, obs::JournalEventKind::kCacheEvict);
+  EXPECT_EQ(events[1].client, 1);
+  EXPECT_EQ(events[1].server, 3);
+  EXPECT_EQ(events[1].bytes, 200);
+  EXPECT_EQ(events[1].aux, 2);
+  EXPECT_EQ(events[2].kind, obs::JournalEventKind::kCacheStore);
+  // Over-budget remainder: one 100-byte layer refused; the fully-refused
+  // send still refreshes the TTL, so a touch follows the partial record.
+  EXPECT_EQ(events[3].kind, obs::JournalEventKind::kCachePartial);
+  EXPECT_EQ(events[3].client, 2);
+  EXPECT_EQ(events[3].bytes, 100);
+  EXPECT_EQ(events[3].aux, 1);
+  EXPECT_EQ(events[4].kind, obs::JournalEventKind::kCacheTouch);
+  // Crash wipe keeps the legacy zero-byte form.
+  EXPECT_EQ(events[5].kind, obs::JournalEventKind::kCacheEvict);
+  EXPECT_EQ(events[5].client, 2);
+  EXPECT_EQ(events[5].bytes, 0);
 }
 
 }  // namespace

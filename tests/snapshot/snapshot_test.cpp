@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -316,6 +317,78 @@ TEST_F(SnapshotTest, CorruptedInputsAreRejectedNotCrashed) {
 TEST_F(SnapshotTest, LoadOfMissingFileThrows) {
   EXPECT_THROW(snapshot::load("/nonexistent/dir/nothing.ckpt"),
                snapshot::SnapshotError);
+}
+
+/// Reads one golden fixture from tests/snapshot/data (checked-in files
+/// written by earlier kSnapshotVersion writers).
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(PERDNN_TEST_DATA_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::uint32_t declared_version(const std::string& bytes) {
+  // Wire layout: magic (8 bytes), then a little-endian u32 version.
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i)
+    v = (v << 8) | static_cast<unsigned char>(bytes[8 + static_cast<std::size_t>(i)]);
+  return v;
+}
+
+TEST_F(SnapshotTest, GoldenVersion2FixtureStillDecodes) {
+  const std::string bytes = read_fixture("v2.snap");
+  ASSERT_EQ(declared_version(bytes), 2u);
+  const snapshot::SimSnapshot snap = snapshot::decode(bytes);
+  EXPECT_GT(snap.next_interval, 0);
+  EXPECT_FALSE(snap.has_shard);
+  EXPECT_TRUE(snap.has_journal);
+  EXPECT_FALSE(snap.journal.events.empty());
+  ASSERT_FALSE(snap.caches.empty());
+  // Pre-v5 files carry no per-entry byte counts; they default to zero and
+  // are recomputed from the cost model on restore.
+  for (const auto& server_cache : snap.caches)
+    for (const auto& entry : server_cache) EXPECT_EQ(entry.bytes, 0);
+  // A decoded golden file re-encodes as a valid current-version snapshot.
+  const std::string reencoded = snapshot::encode(snap);
+  EXPECT_EQ(declared_version(reencoded), snapshot::kSnapshotVersion);
+  EXPECT_NO_THROW(snapshot::decode(reencoded));
+}
+
+TEST_F(SnapshotTest, GoldenVersion3ShardFixtureStillDecodes) {
+  const std::string bytes = read_fixture("v3.snap");
+  ASSERT_EQ(declared_version(bytes), 3u);
+  const snapshot::SimSnapshot snap = snapshot::decode(bytes);
+  EXPECT_GT(snap.next_interval, 0);
+  EXPECT_TRUE(snap.has_shard);
+  // Version 3 predates the shard retry queue: it decodes empty.
+  EXPECT_TRUE(snap.shard.retry_client.empty());
+  EXPECT_FALSE(snap.shard.x.empty());
+  EXPECT_NO_THROW(snapshot::decode(snapshot::encode(snap)));
+}
+
+TEST_F(SnapshotTest, GoldenVersion4FixturesStillDecode) {
+  const std::string classic_bytes = read_fixture("v4_classic.snap");
+  ASSERT_EQ(declared_version(classic_bytes), 4u);
+  const snapshot::SimSnapshot classic = snapshot::decode(classic_bytes);
+  EXPECT_GT(classic.next_interval, 0);
+  EXPECT_FALSE(classic.has_shard);
+  EXPECT_TRUE(classic.has_journal);
+  EXPECT_FALSE(classic.caches.empty());
+  // Version 4 predates the budgeted-cache counters: they decode zero.
+  EXPECT_EQ(classic.metrics.cache_evictions, 0);
+  EXPECT_EQ(classic.metrics.cache_partial_stores, 0);
+  EXPECT_EQ(classic.metrics.peak_cache_bytes, 0);
+
+  const std::string shard_bytes = read_fixture("v4_shard.snap");
+  ASSERT_EQ(declared_version(shard_bytes), 4u);
+  const snapshot::SimSnapshot shard = snapshot::decode(shard_bytes);
+  EXPECT_GT(shard.next_interval, 0);
+  EXPECT_TRUE(shard.has_shard);
+  EXPECT_FALSE(shard.shard.x.empty());
+  EXPECT_NO_THROW(snapshot::decode(snapshot::encode(shard)));
 }
 
 TEST_F(SnapshotTest, FingerprintMismatchIsRejectedOnResume) {

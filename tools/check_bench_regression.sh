@@ -41,6 +41,17 @@
 #     must not wreck throughput).
 # Without BENCH_CHAOS_JSON the chaos gate is skipped with a note.
 #
+# The cache-pressure benchmark (`bench_cache --json-out`) is gated the same
+# way: set BENCH_CACHE_JSON=path/to/result.json and it is compared against
+# the committed BENCH_cache.json baseline —
+#   * the unbudgeted scenario must report zero evictions and zero partial
+#     stores (absolute floor: with no budget the budget machinery is inert);
+#   * the 1x/1-prefix scenario's peak_cache_bytes must stay within its own
+#     budget_bytes (the budget invariant, visible in the artifact itself);
+#   * the 1x/1-prefix backhaul_bytes must stay <= 150% of baseline (the
+#     budget must keep throttling proactive traffic).
+# Without BENCH_CACHE_JSON the cache gate is skipped with a note.
+#
 # Usage: tools/check_bench_regression.sh [--update] [path/to/bench_micro]
 #   --update   rewrite the baseline(s) with the current run, then exit 0.
 #
@@ -51,6 +62,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BASELINE="$ROOT/BENCH_fastpath.json"
 SCALE_BASELINE="$ROOT/BENCH_scale.json"
 CHAOS_BASELINE="$ROOT/BENCH_chaos_scale.json"
+CACHE_BASELINE="$ROOT/BENCH_cache.json"
 
 update=0
 bench_micro="${BENCH_MICRO:-$ROOT/build/bench/bench_micro}"
@@ -90,6 +102,10 @@ if [ "$update" -eq 1 ] || [ ! -f "$BASELINE" ]; then
   if [ -n "${BENCH_CHAOS_JSON:-}" ] && [ -f "$BENCH_CHAOS_JSON" ]; then
     cp "$BENCH_CHAOS_JSON" "$CHAOS_BASELINE"
     echo "chaos baseline written to $CHAOS_BASELINE — commit it"
+  fi
+  if [ -n "${BENCH_CACHE_JSON:-}" ] && [ -f "$BENCH_CACHE_JSON" ]; then
+    cp "$BENCH_CACHE_JSON" "$CACHE_BASELINE"
+    echo "cache baseline written to $CACHE_BASELINE — commit it"
   fi
   exit 0
 fi
@@ -248,6 +264,54 @@ else
     fail=1
   else
     echo "ok: chaos mid-faults throughput ${cur_mf_cps} clients/s (baseline ${base_mf_cps})"
+  fi
+fi
+
+# ---- cache-pressure gate (BENCH_cache.json) -------------------------------
+# Scenario objects share the chaos JSON shape, so the same per-scenario
+# field extractor applies.
+if [ -z "${BENCH_CACHE_JSON:-}" ]; then
+  echo "note: BENCH_CACHE_JSON not set — cache-pressure gate skipped"
+elif [ ! -f "$BENCH_CACHE_JSON" ]; then
+  echo "error: BENCH_CACHE_JSON='$BENCH_CACHE_JSON' not found" >&2
+  exit 2
+elif [ ! -f "$CACHE_BASELINE" ]; then
+  cp "$BENCH_CACHE_JSON" "$CACHE_BASELINE"
+  echo "cache baseline written to $CACHE_BASELINE — commit it"
+else
+  ub_evict="$(chaos_scenario_field "$BENCH_CACHE_JSON" 1x/unbudgeted cache_evictions)"
+  ub_partial="$(chaos_scenario_field "$BENCH_CACHE_JSON" 1x/unbudgeted cache_partial_stores)"
+  t_peak="$(chaos_scenario_field "$BENCH_CACHE_JSON" 1x/1-prefix peak_cache_bytes)"
+  t_budget="$(chaos_scenario_field "$BENCH_CACHE_JSON" 1x/1-prefix budget_bytes)"
+  t_servers="$(json_field "$BENCH_CACHE_JSON" servers)"
+  cur_bh="$(chaos_scenario_field "$BENCH_CACHE_JSON" 1x/1-prefix backhaul_bytes)"
+  base_bh="$(chaos_scenario_field "$CACHE_BASELINE" 1x/1-prefix backhaul_bytes)"
+  if [ -z "$ub_evict" ] || [ -z "$ub_partial" ] || [ -z "$t_peak" ] || \
+     [ -z "$t_budget" ] || [ -z "$t_servers" ] || [ -z "$cur_bh" ] || \
+     [ -z "$base_bh" ]; then
+    echo "error: could not parse 1x/unbudgeted and 1x/1-prefix scenarios from cache JSON" >&2
+    exit 2
+  fi
+  # With no budget set the budget machinery must be inert — absolute floor.
+  if awk -v e="$ub_evict" -v p="$ub_partial" 'BEGIN { exit !(e > 0 || p > 0) }'; then
+    echo "REGRESSION: unbudgeted cache run reports ${ub_evict} evictions / ${ub_partial} partial stores (must be 0)"
+    fail=1
+  else
+    echo "ok: unbudgeted cache run is budget-inert"
+  fi
+  # peak_cache_bytes sums residency across all servers; budget_bytes is per
+  # server, so the invariant ceiling is budget * servers.
+  if awk -v p="$t_peak" -v b="$t_budget" -v s="$t_servers" 'BEGIN { exit !(p > b * s) }'; then
+    echo "REGRESSION: 1-prefix peak cache ${t_peak} bytes exceeds budget ${t_budget} x ${t_servers} servers"
+    fail=1
+  else
+    echo "ok: 1-prefix peak cache ${t_peak} bytes within budget ceiling"
+  fi
+  if awk -v c="$cur_bh" -v b="$base_bh" 'BEGIN { exit !(c > b * 1.5) }'; then
+    echo "REGRESSION: 1-prefix backhaul ${cur_bh} bytes vs baseline ${base_bh} (above 150% ceiling)"
+    fail=1
+  else
+    echo "ok: 1-prefix backhaul ${cur_bh} bytes (baseline ${base_bh})"
   fi
 fi
 

@@ -8,6 +8,11 @@
 # sharded fault suite so the scalar kernels get the same sanitizer coverage
 # as the vector ones. Any sanitizer report fails the script.
 #
+# The budgeted-cache leg rides along: the CacheBudget suites (which include
+# the crash-mid-pressure kill -9 resume byte-identity gate and per-interval
+# budget-invariant checks) run under the sanitizers in both legs, plus a
+# bench_cache smoke run exercising eviction/partial-residency churn.
+#
 # Usage: tools/check_chaos.sh [build-dir]     (default: build-chaos)
 set -euo pipefail
 
@@ -16,12 +21,12 @@ BUILD_DIR="${1:-build-chaos}"
 
 cmake -B "$BUILD_DIR" -S . -DPERDNN_SANITIZE=address -DPERDNN_SIMD=ON
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target test_faults test_edge test_sim bench_chaos
+  --target test_faults test_edge test_sim bench_chaos bench_cache
 
 export PERDNN_THREADS=4
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}"
 
-CHAOS_TESTS='FaultPlan|FaultTimeline|FaultSim|MigrationDispatcher|LayerCache|ParallelDeterminism|SimulationConfigValidate|SimulationMetricsFault|ShardDeterminism|ShardFault|ShardRetry'
+CHAOS_TESTS='FaultPlan|FaultTimeline|FaultSim|MigrationDispatcher|LayerCache|ParallelDeterminism|SimulationConfigValidate|SimulationMetricsFault|ShardDeterminism|ShardFault|ShardRetry|CacheBudget'
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure -R "$CHAOS_TESTS"
 
@@ -50,6 +55,16 @@ if "$BUILD_DIR"/bench/bench_chaos --definitely-not-a-flag 2> /dev/null; then
   exit 1
 fi
 
+# Smoke: the budgeted-cache sweep (eviction + partial-residency churn in
+# every budgeted scenario) at a small scale, under the sanitizers.
+"$BUILD_DIR"/bench/bench_cache --clients 1500 --tiles-x 6 --tiles-y 6 \
+  --intervals 8 --shards 4 --threads 4 > /dev/null
+
+if "$BUILD_DIR"/bench/bench_cache --definitely-not-a-flag 2> /dev/null; then
+  echo "error: bench_cache accepted an unknown flag" >&2
+  exit 1
+fi
+
 # ---- scalar leg: same sanitizer coverage with the SIMD kernels off --------
 SCALAR_DIR="${BUILD_DIR}-scalar"
 cmake -B "$SCALAR_DIR" -S . -DPERDNN_SANITIZE=address -DPERDNN_SIMD=OFF
@@ -57,7 +72,7 @@ cmake --build "$SCALAR_DIR" -j"$(nproc)" \
   --target test_faults test_sim bench_chaos
 
 ctest --test-dir "$SCALAR_DIR" --output-on-failure \
-  -R 'FaultTimeline|FaultSim|ShardDeterminism|ShardFault'
+  -R 'FaultTimeline|FaultSim|ShardDeterminism|ShardFault|ShardCacheBudget'
 
 "$SCALAR_DIR"/bench/bench_chaos --sharded --clients 1500 --tiles-x 6 \
   --tiles-y 6 --intervals 8 --shards 4 --threads 4 > /dev/null

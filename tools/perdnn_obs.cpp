@@ -215,9 +215,17 @@ std::string describe(const JournalEvent& e) {
                     e.server);
       break;
     case JournalEventKind::kCacheEvict:
-      std::snprintf(buf, sizeof buf,
-                    "cache evicted on server %d (crash wipe, %d layer(s))",
-                    e.server, e.aux);
+      // Crash wipes evict with bytes = 0; budget evictions carry the
+      // victim's resident byte count.
+      if (e.bytes > 0)
+        std::snprintf(buf, sizeof buf,
+                      "cache evicted on server %d (budget, %d layer(s), "
+                      "%lld bytes)",
+                      e.server, e.aux, static_cast<long long>(e.bytes));
+      else
+        std::snprintf(buf, sizeof buf,
+                      "cache evicted on server %d (crash wipe, %d layer(s))",
+                      e.server, e.aux);
       break;
     case JournalEventKind::kCacheExpire:
       std::snprintf(buf, sizeof buf,
@@ -235,6 +243,12 @@ std::string describe(const JournalEvent& e) {
                     "attach shed by server %d admission control "
                     "(queue depth %d, cached prefix %d)",
                     e.server, e.detail, e.aux);
+      break;
+    case JournalEventKind::kCachePartial:
+      std::snprintf(buf, sizeof buf,
+                    "cache store trimmed on server %d (budget, %d layer(s) "
+                    "refused, %lld bytes)",
+                    e.server, e.aux, static_cast<long long>(e.bytes));
       break;
   }
   return buf;
@@ -349,12 +363,22 @@ int cmd_aggregate(const std::string& path, int argc, char** argv) {
   long long planned_bytes = 0, pushed_bytes = 0, deferred_bytes = 0,
             retried_bytes = 0, dropped_bytes = 0;
   long long shed_attaches = 0;
+  long long budget_evictions = 0, budget_evicted_bytes = 0;
+  long long partial_stores = 0, partial_refused_bytes = 0;
   for (const JournalEvent& e : events) {
     ++by_kind[obs::journal_kind_name(e.kind)];
     switch (e.kind) {
       case JournalEventKind::kCacheEvict:
       case JournalEventKind::kCacheExpire:
         ++evictions[e.server];
+        if (e.kind == JournalEventKind::kCacheEvict && e.bytes > 0) {
+          ++budget_evictions;
+          budget_evicted_bytes += e.bytes;
+        }
+        break;
+      case JournalEventKind::kCachePartial:
+        ++partial_stores;
+        partial_refused_bytes += e.bytes;
         break;
       case JournalEventKind::kMigrationPlanned:
         planned_bytes += e.bytes;
@@ -389,6 +413,11 @@ int cmd_aggregate(const std::string& path, int argc, char** argv) {
               dropped_bytes);
   if (shed_attaches > 0)
     std::printf("admission control: %lld attach(es) shed\n", shed_attaches);
+  if (budget_evictions > 0 || partial_stores > 0)
+    std::printf("cache budget: %lld eviction(s) (%lld bytes), %lld partial "
+                "store(s) (%lld bytes refused)\n",
+                budget_evictions, budget_evicted_bytes, partial_stores,
+                partial_refused_bytes);
 
   std::vector<std::pair<ServerId, long long>> ranked(evictions.begin(),
                                                      evictions.end());

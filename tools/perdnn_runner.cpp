@@ -79,6 +79,7 @@ struct Manifest {
   double minutes = 120.0;
   int checkpoint_every = 4;
   int downtime = 3;
+  long long cache_budget_bytes = 0;  // 0 = unbudgeted caches
   bool journal = false;  // record per-shard event journals
   std::vector<std::string> policies;
   std::vector<int> seeds;
@@ -164,6 +165,9 @@ Manifest parse_manifest(const std::string& path) {
     m.checkpoint_every = static_cast<int>(require_number(doc, "checkpoint_every"));
   if (doc.find("downtime"))
     m.downtime = static_cast<int>(require_number(doc, "downtime"));
+  if (doc.find("cache_budget_bytes"))
+    m.cache_budget_bytes =
+        static_cast<long long>(require_number(doc, "cache_budget_bytes"));
   if (const auto* v = doc.find("journal")) m.journal = v->as_bool();
 
   const obs::JsonValue* policies = doc.find("policies");
@@ -261,6 +265,7 @@ void run_shard(const Manifest& m, const Shard& shard,
   config.seed = static_cast<std::uint64_t>(shard.seed);
   config.server_failure_rate = shard.fault_intensity;
   config.server_downtime_intervals = m.downtime;
+  config.cache_budget_bytes = m.cache_budget_bytes;
 
   // A stale or corrupt checkpoint (scenario changed under it, torn file
   // copied in from elsewhere) is discarded with a warning: the shard is
@@ -369,12 +374,16 @@ int worker_main(const Manifest& m, const std::string& out_dir, int index,
 int cmd_merge(const Manifest& m, const std::string& out_dir) {
   const std::vector<Shard> shards = expand_shards(m);
   std::string metrics_json = "{\"shards\":[";
+  // Budgeted sweeps record the schema-3 cache columns in every shard CSV,
+  // so the merged preamble has to announce the same layout.
+  const bool cache_cols = m.cache_budget_bytes > 0;
   std::string csv = "# schema=";
-  csv += std::to_string(obs::SimTimeseries::kCsvSchemaVersion);
+  csv += std::to_string(cache_cols ? obs::SimTimeseries::kCsvCacheSchemaVersion
+                                   : obs::SimTimeseries::kCsvSchemaVersion);
   csv += "\n# model=";
   csv += obs::SimTimeseries::csv_quote(m.model);
   csv += "\nshard,policy,seed,fault_intensity,";
-  csv += obs::SimTimeseries::csv_header();
+  csv += obs::SimTimeseries::csv_header(cache_cols);
   csv += "\n";
   std::string merged_journal;  // shard order == canonical grid order
   bool first = true;
